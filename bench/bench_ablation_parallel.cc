@@ -1,0 +1,66 @@
+// Ablation (implementation): wall-clock of Algorithm 1 as a function of
+// the ranking-phase thread count. Candidate generation is inherently
+// sequential (the queue drives gen()); the error ranking dominates on the
+// datasets where Sec. IV-C reports 44-63% of total time, so parallel
+// ranking shortens exactly that share. Results are identical across
+// thread counts (see core_parallel_search_test).
+#include <cstdio>
+
+#include "core/search.h"
+#include "harness/bench_config.h"
+#include "harness/tablefmt.h"
+#include "util/str.h"
+#include "util/thread_pool.h"
+#include "workload/datasets.h"
+
+namespace pcbl {
+namespace {
+
+int Run() {
+  harness::BenchConfig config = harness::BenchConfig::FromEnv();
+  harness::PrintFigureHeader(
+      "Ablation", "Top-down search runtime vs ranking threads",
+      "speedup approaches the ranking phase's share of total runtime "
+      "(Amdahl); identical results at every thread count");
+
+  auto datasets = workload::MakePaperDatasets(config.scale, config.seed);
+  if (!datasets.ok()) {
+    std::fprintf(stderr, "%s\n", datasets.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("hardware threads: %d\n\n", DefaultThreadCount());
+  for (const auto& [name, table] : *datasets) {
+    std::printf("-- %s --\n", name.c_str());
+    harness::TextTable out({"bound", "threads", "total s", "generate s",
+                            "rank s", "speedup", "max err"});
+    LabelSearch search(table);
+    for (int64_t bound : {50, 100}) {
+      double serial_total = 0.0;
+      for (int threads : {1, 2, 4, 8}) {
+        SearchOptions options;
+        options.size_bound = bound;
+        options.num_threads = threads;
+        SearchResult result = search.TopDown(options);
+        if (threads == 1) serial_total = result.stats.total_seconds;
+        const double speedup =
+            result.stats.total_seconds > 0
+                ? serial_total / result.stats.total_seconds
+                : 1.0;
+        out.AddRowValues(bound, threads,
+                         StrFormat("%.3f", result.stats.total_seconds),
+                         StrFormat("%.3f", result.stats.candidate_seconds),
+                         StrFormat("%.3f", result.stats.error_eval_seconds),
+                         StrFormat("%.2fx", speedup),
+                         StrFormat("%.0f", result.error.max_abs));
+      }
+    }
+    std::printf("%s\n", out.ToMarkdown().c_str());
+  }
+  std::printf("(%s)\n", config.ToString().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace pcbl
+
+int main() { return pcbl::Run(); }

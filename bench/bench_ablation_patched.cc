@@ -1,0 +1,65 @@
+// Ablation (conclusion/future-work extension): plain label with budget B
+// vs a patched label splitting B between a smaller base label and exact
+// counts of the worst-estimated patterns. Quantifies the "overlapping
+// combinations / partial patterns" idea the paper defers (Sec. II-C / VI):
+// patches win when the error mass is concentrated in a few outlier rows.
+#include <cstdio>
+
+#include "core/patched_label.h"
+#include "core/search.h"
+#include "harness/bench_config.h"
+#include "harness/tablefmt.h"
+#include "util/str.h"
+#include "workload/datasets.h"
+
+namespace pcbl {
+namespace {
+
+int Run() {
+  harness::BenchConfig config = harness::BenchConfig::FromEnv();
+  harness::PrintFigureHeader(
+      "Ablation", "Plain label vs patched label at equal budget",
+      "a patched label spends part of B_s on exact counts of the worst "
+      "outlier patterns; it wins when the residual error is concentrated "
+      "(future work of Sec. VI)");
+
+  auto datasets = workload::MakePaperDatasets(config.scale, config.seed);
+  if (!datasets.ok()) {
+    std::fprintf(stderr, "%s\n", datasets.status().ToString().c_str());
+    return 1;
+  }
+  for (const auto& [name, table] : *datasets) {
+    std::printf("-- %s --\n", name.c_str());
+    harness::TextTable out({"budget", "plan", "base size", "patches",
+                            "max err", "mean err"});
+    for (int64_t budget : {20, 50, 100}) {
+      PatchedSearchOptions options;
+      options.total_bound = budget;
+      auto result = SearchPatchedLabel(table, options);
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+        continue;
+      }
+      for (const PatchedSplitInfo& split : result->splits) {
+        const bool winner =
+            split.num_patches == result->num_patches &&
+            split.base_size + split.num_patches == result->total_size;
+        out.AddRowValues(
+            budget,
+            split.num_patches == 0 ? "plain"
+                                   : (winner ? "patched *" : "patched"),
+            split.base_size, split.num_patches,
+            StrFormat("%.0f", split.error.max_abs),
+            StrFormat("%.2f", split.error.mean_abs));
+      }
+    }
+    std::printf("%s\n", out.ToMarkdown().c_str());
+  }
+  std::printf("(%s)\n", config.ToString().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace pcbl
+
+int main() { return pcbl::Run(); }

@@ -1,0 +1,59 @@
+// Figure 4 reproduction: absolute max error (mean in parentheses) as a
+// function of label size, for PCBL vs the PostgreSQL-style estimator vs
+// uniform sampling, on the three evaluation datasets.
+//
+// Expected shape (Sec. IV-B): PCBL max error decreases as the label grows
+// and sits at or below the Postgres line; the sample of equal footprint
+// has a mean error several times PCBL's.
+#include <cstdio>
+
+#include "harness/accuracy.h"
+#include "harness/bench_config.h"
+#include "harness/tablefmt.h"
+#include "util/str.h"
+#include "workload/datasets.h"
+
+namespace pcbl {
+namespace {
+
+int Run() {
+  harness::BenchConfig config = harness::BenchConfig::FromEnv();
+  harness::PrintFigureHeader(
+      "Figure 4", "Absolute max error as a function of label size",
+      "PCBL max error decreases with label size and beats Postgres; "
+      "sample mean error is a multiple of PCBL's (Sec. IV-B)");
+
+  auto datasets = workload::MakePaperDatasets(config.scale, config.seed);
+  if (!datasets.ok()) {
+    std::fprintf(stderr, "%s\n", datasets.status().ToString().c_str());
+    return 1;
+  }
+  for (const auto& [name, table] : *datasets) {
+    harness::AccuracySweepOptions sweep;
+    auto points = harness::RunAccuracySweep(table, sweep);
+    std::printf("-- %s (%s rows) --\n", name.c_str(),
+                WithThousandsSeparators(table.num_rows()).c_str());
+    harness::TextTable out(
+        {"bound", "label size", "PCBL max", "PCBL max %", "PCBL (mean)",
+         "Postgres max", "Postgres (mean)", "Sample max", "Sample (mean)"});
+    double rows = static_cast<double>(table.num_rows());
+    for (const auto& p : points) {
+      out.AddRowValues(
+          p.bound, p.label_size, StrFormat("%.0f", p.pcbl.max_abs),
+          PercentString(p.pcbl.max_abs / rows),
+          StrFormat("(%.1f)", p.pcbl.mean_abs),
+          StrFormat("%.0f", p.postgres.max_abs),
+          StrFormat("(%.1f)", p.postgres.mean_abs),
+          StrFormat("%.0f", p.sample_mean.max_abs),
+          StrFormat("(%.1f)", p.sample_mean.mean_abs));
+    }
+    std::printf("%s\n", out.ToMarkdown().c_str());
+  }
+  std::printf("(%s)\n", config.ToString().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace pcbl
+
+int main() { return pcbl::Run(); }

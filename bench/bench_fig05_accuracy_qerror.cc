@@ -1,0 +1,57 @@
+// Figure 5 reproduction: mean q-error as a function of label size, for
+// PCBL vs Postgres vs sampling, on the three evaluation datasets.
+//
+// Expected shape (Sec. IV-B): PCBL has the lowest mean q-error everywhere
+// and the error decreases as the label grows; the sample baseline's mean
+// q-error is a small multiple of PCBL's.
+#include <cstdio>
+
+#include "harness/accuracy.h"
+#include "harness/bench_config.h"
+#include "harness/tablefmt.h"
+#include "util/str.h"
+#include "workload/datasets.h"
+
+namespace pcbl {
+namespace {
+
+int Run() {
+  harness::BenchConfig config = harness::BenchConfig::FromEnv();
+  harness::PrintFigureHeader(
+      "Figure 5", "Mean q-error as a function of label size",
+      "PCBL outperforms both competitors at every size; mean q-error "
+      "decreases as the label grows (Sec. IV-B)");
+
+  auto datasets = workload::MakePaperDatasets(config.scale, config.seed);
+  if (!datasets.ok()) {
+    std::fprintf(stderr, "%s\n", datasets.status().ToString().c_str());
+    return 1;
+  }
+  for (const auto& [name, table] : *datasets) {
+    harness::AccuracySweepOptions sweep;
+    auto points = harness::RunAccuracySweep(table, sweep);
+    std::printf("-- %s (%s rows) --\n", name.c_str(),
+                WithThousandsSeparators(table.num_rows()).c_str());
+    harness::TextTable out({"bound", "label size", "PCBL mean-q",
+                            "PCBL max-q", "Postgres mean-q",
+                            "Postgres max-q", "Sample mean-q",
+                            "Sample max-q"});
+    for (const auto& p : points) {
+      out.AddRowValues(p.bound, p.label_size,
+                       StrFormat("%.2f", p.pcbl.mean_q),
+                       StrFormat("%.1f", p.pcbl.max_q),
+                       StrFormat("%.2f", p.postgres.mean_q),
+                       StrFormat("%.1f", p.postgres.max_q),
+                       StrFormat("%.2f", p.sample_mean.mean_q),
+                       StrFormat("%.1f", p.sample_mean.max_q));
+    }
+    std::printf("%s\n", out.ToMarkdown().c_str());
+  }
+  std::printf("(%s)\n", config.ToString().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace pcbl
+
+int main() { return pcbl::Run(); }

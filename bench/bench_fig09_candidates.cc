@@ -1,0 +1,68 @@
+// Figure 9 reproduction: number of candidate attribute subsets examined
+// during label generation, naive vs optimized, for bounds
+// {10, 30, 50, 70, 100}.
+//
+// Expected shape (Sec. IV-D): the optimized heuristic examines 1-2 orders
+// of magnitude fewer subsets (54%-99% gain), with the largest gains on
+// the many-attribute datasets; the naive count at bound b equals the sum
+// of binomial levels up to the first all-over-budget level.
+#include <cstdio>
+
+#include "core/search.h"
+#include "harness/bench_config.h"
+#include "harness/tablefmt.h"
+#include "util/str.h"
+#include "workload/datasets.h"
+
+namespace pcbl {
+namespace {
+
+int Run() {
+  harness::BenchConfig config = harness::BenchConfig::FromEnv();
+  harness::PrintFigureHeader(
+      "Figure 9", "Label candidates examined vs size bound",
+      "optimized examines far fewer subsets than naive — gains of "
+      "54%-99% (Sec. IV-D)");
+
+  auto datasets = workload::MakePaperDatasets(config.scale, config.seed);
+  if (!datasets.ok()) {
+    std::fprintf(stderr, "%s\n", datasets.status().ToString().c_str());
+    return 1;
+  }
+  for (const auto& [name, table] : *datasets) {
+    LabelSearch search(table);
+    std::printf("-- %s (%d attributes) --\n", name.c_str(),
+                table.num_attributes());
+    harness::TextTable out({"bound", "naive #subsets",
+                            "optimized #subsets", "gain",
+                            "naive within-bound", "optimized candidates"});
+    for (int64_t bound : {10, 30, 50, 70, 100}) {
+      SearchOptions options;
+      options.size_bound = bound;
+      options.time_limit_seconds = config.time_limit_seconds;
+      SearchResult naive = search.Naive(options);
+      SearchResult optimized = search.TopDown(options);
+      double gain =
+          naive.stats.subsets_examined == 0
+              ? 0.0
+              : 100.0 * (1.0 - static_cast<double>(
+                                   optimized.stats.subsets_examined) /
+                                   static_cast<double>(
+                                       naive.stats.subsets_examined));
+      out.AddRowValues(bound,
+                       WithThousandsSeparators(naive.stats.subsets_examined),
+                       WithThousandsSeparators(
+                           optimized.stats.subsets_examined),
+                       StrFormat("%.0f%%", gain), naive.stats.within_bound,
+                       optimized.stats.error_evaluations);
+    }
+    std::printf("%s\n", out.ToMarkdown().c_str());
+  }
+  std::printf("(%s)\n", config.ToString().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace pcbl
+
+int main() { return pcbl::Run(); }

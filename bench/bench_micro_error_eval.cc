@@ -1,0 +1,107 @@
+// Ablation micro-benchmarks (DESIGN.md §5.3-5.4): the Sec. IV-C
+// max-error early-termination scan vs the exact scan, and estimation
+// throughput for label vs baselines.
+#include <benchmark/benchmark.h>
+
+#include "baselines/independence.h"
+#include "baselines/postgres.h"
+#include "baselines/sampling.h"
+#include "core/error.h"
+#include "core/label.h"
+#include "workload/datasets.h"
+
+namespace pcbl {
+namespace {
+
+struct Context {
+  Table table;
+  FullPatternIndex index;
+  Label label;
+};
+
+const Context& GetContext() {
+  static const Context* ctx = [] {
+    auto t = workload::MakeCompas(30000, 7);
+    PCBL_CHECK(t.ok());
+    auto* c = new Context{std::move(t).value(), FullPatternIndex(), Label()};
+    c->index = FullPatternIndex::Build(c->table);
+    c->label = Label::Build(c->table, AttrMask::FromIndices({0, 2, 12}));
+    return c;
+  }();
+  return *ctx;
+}
+
+void BM_ErrorEvalExact(benchmark::State& state) {
+  const Context& ctx = GetContext();
+  LabelEstimator est(ctx.label);
+  for (auto _ : state) {
+    ErrorReport r =
+        EvaluateOverFullPatterns(ctx.index, est, ErrorMode::kExact);
+    benchmark::DoNotOptimize(r.max_abs);
+  }
+  state.SetItemsProcessed(state.iterations() * ctx.index.num_patterns());
+}
+BENCHMARK(BM_ErrorEvalExact);
+
+void BM_ErrorEvalEarlyTermination(benchmark::State& state) {
+  const Context& ctx = GetContext();
+  LabelEstimator est(ctx.label);
+  for (auto _ : state) {
+    ErrorReport r = EvaluateOverFullPatterns(ctx.index, est,
+                                             ErrorMode::kEarlyTermination);
+    benchmark::DoNotOptimize(r.max_abs);
+  }
+}
+BENCHMARK(BM_ErrorEvalEarlyTermination);
+
+void BM_EstimateLabel(benchmark::State& state) {
+  const Context& ctx = GetContext();
+  int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.label.EstimateFullPattern(
+        ctx.index.codes(i), ctx.index.width()));
+    i = (i + 1) % ctx.index.num_patterns();
+  }
+}
+BENCHMARK(BM_EstimateLabel);
+
+void BM_EstimateIndependence(benchmark::State& state) {
+  const Context& ctx = GetContext();
+  IndependenceEstimator est = IndependenceEstimator::Build(ctx.table);
+  int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        est.EstimateFullPattern(ctx.index.codes(i), ctx.index.width()));
+    i = (i + 1) % ctx.index.num_patterns();
+  }
+}
+BENCHMARK(BM_EstimateIndependence);
+
+void BM_EstimatePostgres(benchmark::State& state) {
+  const Context& ctx = GetContext();
+  PostgresEstimator est = PostgresEstimator::Build(ctx.table);
+  int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        est.EstimateFullPattern(ctx.index.codes(i), ctx.index.width()));
+    i = (i + 1) % ctx.index.num_patterns();
+  }
+}
+BENCHMARK(BM_EstimatePostgres);
+
+void BM_EstimateSample(benchmark::State& state) {
+  const Context& ctx = GetContext();
+  SamplingEstimator est = SamplingEstimator::Build(ctx.table, 500, 3);
+  int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        est.EstimateFullPattern(ctx.index.codes(i), ctx.index.width()));
+    i = (i + 1) % ctx.index.num_patterns();
+  }
+}
+BENCHMARK(BM_EstimateSample);
+
+}  // namespace
+}  // namespace pcbl
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// Ablation micro-benchmark (DESIGN.md §5.1): dense vs hash vs sort
+// group-by strategies for pattern counting, across group cardinalities.
+#include <benchmark/benchmark.h>
+
+#include "pattern/counter.h"
+#include "workload/datasets.h"
+
+namespace pcbl {
+namespace {
+
+const Table& CompasTable() {
+  static const Table* table = [] {
+    auto t = workload::MakeCompas(20000, 7);
+    PCBL_CHECK(t.ok());
+    return new Table(std::move(t).value());
+  }();
+  return *table;
+}
+
+// Masks of increasing joint cardinality: a near-functional pair, a
+// demographic pair, and a wide demographic triple.
+AttrMask MaskForArg(int64_t arg) {
+  switch (arg) {
+    case 0:
+      return AttrMask::FromIndices({10, 11});  // Scale_ID x DisplayText
+    case 1:
+      return AttrMask::FromIndices({0, 2});  // Gender x Race
+    case 2:
+      return AttrMask::FromIndices({1, 2, 3});  // Age x Race x Marital
+    default:
+      return AttrMask::FromIndices({0, 1, 2, 3, 4});
+  }
+}
+
+void BM_GroupByDense(benchmark::State& state) {
+  const Table& t = CompasTable();
+  AttrMask mask = MaskForArg(state.range(0));
+  for (auto _ : state) {
+    GroupCounts gc = ComputeGroupCounts(t, mask, GroupByStrategy::kDense);
+    benchmark::DoNotOptimize(gc.num_groups());
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_GroupByDense)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_GroupByHash(benchmark::State& state) {
+  const Table& t = CompasTable();
+  AttrMask mask = MaskForArg(state.range(0));
+  for (auto _ : state) {
+    GroupCounts gc = ComputeGroupCounts(t, mask, GroupByStrategy::kHash);
+    benchmark::DoNotOptimize(gc.num_groups());
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_GroupByHash)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_GroupBySort(benchmark::State& state) {
+  const Table& t = CompasTable();
+  AttrMask mask = MaskForArg(state.range(0));
+  for (auto _ : state) {
+    GroupCounts gc = ComputeGroupCounts(t, mask, GroupByStrategy::kSort);
+    benchmark::DoNotOptimize(gc.num_groups());
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_GroupBySort)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_PatternCounts(benchmark::State& state) {
+  const Table& t = CompasTable();
+  AttrMask mask = MaskForArg(state.range(0));
+  for (auto _ : state) {
+    GroupCounts gc = ComputePatternCounts(t, mask);
+    benchmark::DoNotOptimize(gc.num_groups());
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_PatternCounts)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+}  // namespace
+}  // namespace pcbl
+
+BENCHMARK_MAIN();

@@ -1,0 +1,132 @@
+// Ablation micro-benchmark: incremental label maintenance vs rebuilding.
+//
+// IncrementalLabel claims O(|A|) per appended row against the O(|D|) full
+// rebuild of Label::Build. This bench puts numbers on both, plus the batch
+// AppendTable path, so the drift-policy trade-off (keep patching vs
+// re-search) in the label_lifecycle example is grounded.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "core/incremental.h"
+#include "core/label.h"
+#include "pattern/full_pattern_index.h"
+#include "workload/datasets.h"
+
+namespace pcbl {
+namespace {
+
+const Table& BaseTable() {
+  static const Table* table = [] {
+    auto t = workload::MakeCompas(20000, 7);
+    PCBL_CHECK(t.ok());
+    return new Table(std::move(t).value());
+  }();
+  return *table;
+}
+
+const Table& DeltaTable() {
+  static const Table* table = [] {
+    auto t = workload::MakeCompas(2000, 99);
+    PCBL_CHECK(t.ok());
+    return new Table(std::move(t).value());
+  }();
+  return *table;
+}
+
+// String rows of the delta, pre-extracted so the bench measures the
+// append path and not string materialization.
+const std::vector<std::vector<std::string>>& DeltaRows() {
+  static const auto* rows = [] {
+    const Table& d = DeltaTable();
+    auto* out = new std::vector<std::vector<std::string>>();
+    for (int64_t r = 0; r < d.num_rows(); ++r) {
+      std::vector<std::string> row;
+      for (int a = 0; a < d.num_attributes(); ++a) {
+        const ValueId v = d.value(r, a);
+        row.push_back(IsNull(v) ? "" : d.dictionary(a).GetString(v));
+      }
+      out->push_back(std::move(row));
+    }
+    return out;
+  }();
+  return *rows;
+}
+
+void BM_IncrementalAppendRow(benchmark::State& state) {
+  auto inc = IncrementalLabel::Create(BaseTable(),
+                                      AttrMask::FromIndices({0, 2, 12}),
+                                      1 << 20);
+  PCBL_CHECK(inc.ok());
+  const auto& rows = DeltaRows();
+  size_t i = 0;
+  for (auto _ : state) {
+    PCBL_CHECK(inc->AppendRow(rows[i]).ok());
+    if (++i == rows.size()) i = 0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IncrementalAppendRow);
+
+void BM_IncrementalAppendTable(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto inc = IncrementalLabel::Create(BaseTable(),
+                                        AttrMask::FromIndices({0, 2, 12}),
+                                        1 << 20);
+    PCBL_CHECK(inc.ok());
+    state.ResumeTiming();
+    PCBL_CHECK(inc->AppendTable(DeltaTable()).ok());
+    benchmark::DoNotOptimize(inc->FootprintEntries());
+  }
+  state.SetItemsProcessed(state.iterations() * DeltaTable().num_rows());
+}
+BENCHMARK(BM_IncrementalAppendTable);
+
+// The alternative the incremental path avoids: a full VC + PC rebuild.
+void BM_FullLabelRebuild(benchmark::State& state) {
+  const Table& t = BaseTable();
+  for (auto _ : state) {
+    Label label = Label::Build(t, AttrMask::FromIndices({0, 2, 12}));
+    benchmark::DoNotOptimize(label.size());
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_FullLabelRebuild);
+
+// Estimation through the mutable (map-backed) state vs the immutable
+// (radix-encoded) label, to price the maintenance convenience.
+void BM_IncrementalEstimate(benchmark::State& state) {
+  auto inc = IncrementalLabel::Create(BaseTable(),
+                                      AttrMask::FromIndices({0, 2, 12}),
+                                      1 << 20);
+  PCBL_CHECK(inc.ok());
+  FullPatternIndex index = FullPatternIndex::Build(BaseTable());
+  int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        inc->EstimateFullPattern(index.codes(i), index.width()));
+    if (++i == index.num_patterns()) i = 0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IncrementalEstimate);
+
+void BM_ImmutableEstimate(benchmark::State& state) {
+  Label label = Label::Build(BaseTable(), AttrMask::FromIndices({0, 2, 12}));
+  FullPatternIndex index = FullPatternIndex::Build(BaseTable());
+  int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        label.EstimateFullPattern(index.codes(i), index.width()));
+    if (++i == index.num_patterns()) i = 0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ImmutableEstimate);
+
+}  // namespace
+}  // namespace pcbl
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Ablation micro-benchmark (DESIGN.md §5.2): early-exit label sizing vs
+// exact counting. The early exit is what makes the naive search feasible:
+// over-budget subsets are detected within ~bound distinct groups instead
+// of scanning every row.
+#include <benchmark/benchmark.h>
+
+#include "pattern/counter.h"
+#include "workload/datasets.h"
+
+namespace pcbl {
+namespace {
+
+const Table& CreditTable() {
+  static const Table* table = [] {
+    auto t = workload::MakeCreditCard(30000, 7);
+    PCBL_CHECK(t.ok());
+    return new Table(std::move(t).value());
+  }();
+  return *table;
+}
+
+// A wide uncorrelated mask: blows past any small budget within a few
+// hundred rows.
+AttrMask WideMask() { return AttrMask::FromIndices({0, 1, 2, 4, 11, 17}); }
+
+// A correlated mask (the PAY_* chain): stays small.
+AttrMask CorrelatedMask() {
+  return AttrMask::FromIndices({5, 6, 7, 8, 9, 10});
+}
+
+void BM_SizingEarlyExitOverBudget(benchmark::State& state) {
+  const Table& t = CreditTable();
+  int64_t budget = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CountDistinctPatterns(t, WideMask(), budget));
+  }
+}
+BENCHMARK(BM_SizingEarlyExitOverBudget)->Arg(10)->Arg(50)->Arg(100);
+
+void BM_SizingExactOverBudget(benchmark::State& state) {
+  const Table& t = CreditTable();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CountDistinctPatterns(t, WideMask(), -1));
+  }
+}
+BENCHMARK(BM_SizingExactOverBudget);
+
+void BM_SizingEarlyExitWithinBudget(benchmark::State& state) {
+  // Within-budget subsets cannot early-exit; this is the floor cost.
+  const Table& t = CreditTable();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        CountDistinctPatterns(t, CorrelatedMask(), 1000));
+  }
+}
+BENCHMARK(BM_SizingEarlyExitWithinBudget);
+
+}  // namespace
+}  // namespace pcbl
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+// Fairness audit: use a pattern-count label to flag under-represented
+// intersectional groups — the paper's motivating COMPAS scenario (Sec. I:
+// "a judge sentencing a Hispanic woman presumably would like to be
+// informed about this low count of Hispanic women in the data set").
+//
+// The label is computed once (as dataset metadata); the audit then runs
+// entirely against the label — no access to the raw data — estimating the
+// size of every demographic intersection and warning when a group falls
+// below a support threshold.
+//
+//   $ ./compas_audit [min_support]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "pcbl/pcbl.h"
+
+using pcbl::AttrMask;
+using pcbl::LabelSearch;
+using pcbl::Pattern;
+using pcbl::PortableLabel;
+using pcbl::SearchOptions;
+using pcbl::SearchResult;
+using pcbl::Table;
+
+namespace {
+
+struct Finding {
+  std::string group;
+  double estimated = 0;
+  int64_t actual = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t min_support = 150;
+  if (argc > 1) min_support = std::atoll(argv[1]);
+
+  auto table_or = pcbl::workload::MakeCompas();
+  if (!table_or.ok()) {
+    std::fprintf(stderr, "%s\n", table_or.status().ToString().c_str());
+    return 1;
+  }
+  const Table& table = *table_or;
+  std::printf("COMPAS-like dataset: %lld tuples, %d attributes\n",
+              static_cast<long long>(table.num_rows()),
+              table.num_attributes());
+
+  // The dataset publisher computes the label (bound 100) once.
+  LabelSearch search(table);
+  SearchOptions options;
+  options.size_bound = 100;
+  SearchResult result = search.TopDown(options);
+  PortableLabel label = MakePortable(result.label, table, "COMPAS");
+  std::printf(
+      "Published label: S = %s, |PC| = %lld, max error %.0f (%.2f%% of "
+      "rows)\n\n",
+      result.best_attrs.ToString().c_str(),
+      static_cast<long long>(result.label.size()), result.error.max_abs,
+      100.0 * result.error.max_abs /
+          static_cast<double>(table.num_rows()));
+
+  // The auditor (label-only!) sweeps demographic intersections through
+  // the library's fitness-for-use audit (core/warnings.h).
+  pcbl::AuditOptions audit_options;
+  audit_options.min_group_count = min_support;
+  audit_options.max_arity = 3;  // gender x race x marital triples
+  audit_options.correlation_factor = 1e18;  // representation only here
+  audit_options.max_group_share = 1.1;
+  auto warnings = pcbl::AuditLabel(
+      label, {"Gender", "Race", "MaritalStatus"}, audit_options);
+  if (!warnings.ok()) {
+    std::fprintf(stderr, "%s\n", warnings.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<Finding> flagged;
+  for (const pcbl::FitnessWarning& w : *warnings) {
+    if (w.group.size() != 3) continue;  // report the full triples
+    // Cross-check against the (normally unavailable) ground truth to
+    // show the estimate quality.
+    auto p = Pattern::Parse(table, w.group);
+    int64_t actual = p.ok() ? CountMatches(table, *p) : 0;
+    flagged.push_back(Finding{w.GroupString(), w.estimated, actual});
+  }
+
+  std::printf("Audited gender x race x marital-status intersections; "
+              "%zu triples fall below min support %lld:\n\n",
+              flagged.size(), static_cast<long long>(min_support));
+  std::printf("  %-62s %12s %12s\n", "group", "estimated", "actual");
+  for (const Finding& f : flagged) {
+    std::printf("  %-62s %12.1f %12lld%s\n", f.group.c_str(), f.estimated,
+                static_cast<long long>(f.actual),
+                f.actual < min_support ? "" : "  (false alarm)");
+  }
+
+  int64_t true_hits = 0;
+  for (const Finding& f : flagged) {
+    if (f.actual < min_support) ++true_hits;
+  }
+  std::printf(
+      "\n%lld/%zu warnings confirmed by ground truth. Groups this small "
+      "are candidates for the coverage-enhancement step the paper cites "
+      "([8], Asudeh et al., ICDE 2019).\n",
+      static_cast<long long>(true_hits), flagged.size());
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Fitness-for-use report: bucketize a numeric dataset, label it, and
+// check distribution skew and attribute dependence before using the data
+// to train a model — the Credit Card scenario of Sec. IV-A.
+//
+// Demonstrates: bucketization of continuous domains, attribute profiling
+// (entropy / skew), label-vs-sample footprint comparison, and dependence
+// discovery by comparing label estimates against independence estimates
+// ("if all tuples representing individuals under 20 are also single, this
+// may point out a possible connection", Sec. I).
+//
+//   $ ./creditcard_fitness
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "pcbl/pcbl.h"
+
+using pcbl::AttrMask;
+using pcbl::ErrorMode;
+using pcbl::ErrorReport;
+using pcbl::EvaluateOverFullPatterns;
+using pcbl::IndependenceEstimator;
+using pcbl::LabelEstimator;
+using pcbl::LabelSearch;
+using pcbl::SamplingEstimator;
+using pcbl::SearchOptions;
+using pcbl::SearchResult;
+using pcbl::Table;
+
+int main() {
+  auto table_or = pcbl::workload::MakeCreditCard();
+  if (!table_or.ok()) {
+    std::fprintf(stderr, "%s\n", table_or.status().ToString().c_str());
+    return 1;
+  }
+  const Table& table = *table_or;
+  std::printf("Credit-card dataset: %lld clients, %d attributes "
+              "(numerics bucketized to 5 bins)\n\n",
+              static_cast<long long>(table.num_rows()),
+              table.num_attributes());
+
+  // --- 1. attribute profile: skew worth knowing about --------------------
+  std::printf("Most skewed attributes (top value share):\n");
+  auto summaries = pcbl::SummarizeAttributes(table);
+  std::sort(summaries.begin(), summaries.end(),
+            [](const auto& a, const auto& b) {
+              return a.top_count > b.top_count;
+            });
+  for (size_t i = 0; i < 5 && i < summaries.size(); ++i) {
+    const auto& s = summaries[i];
+    std::printf("  %-28s top='%s' %5.1f%%  (%lld distinct, %.2f bits)\n",
+                s.name.c_str(), s.top_value.c_str(),
+                100.0 * static_cast<double>(s.top_count) /
+                    static_cast<double>(table.num_rows()),
+                static_cast<long long>(s.distinct_values), s.entropy_bits);
+  }
+  std::printf("\n");
+
+  // --- 2. the label -------------------------------------------------------
+  LabelSearch search(table);
+  SearchOptions options;
+  options.size_bound = 100;
+  SearchResult result = search.TopDown(options);
+  std::printf("Label (bound 100): S = %s, |PC| = %lld, max err %.0f, "
+              "mean err %.2f\n",
+              result.best_attrs.ToString().c_str(),
+              static_cast<long long>(result.label.size()),
+              result.error.max_abs, result.error.mean_abs);
+
+  // --- 3. same footprint, sample vs label ---------------------------------
+  int64_t footprint =
+      result.label.size() + search.value_counts().TotalEntries();
+  SamplingEstimator sample = SamplingEstimator::Build(table, footprint, 1);
+  ErrorReport sample_err = EvaluateOverFullPatterns(
+      search.full_patterns(), sample, ErrorMode::kExact);
+  std::printf("Uniform sample of the same footprint (%lld entries): "
+              "max err %.0f, mean err %.2f  (label mean is %.1fx better)\n\n",
+              static_cast<long long>(footprint), sample_err.max_abs,
+              sample_err.mean_abs,
+              sample_err.mean_abs / std::max(result.error.mean_abs, 1e-9));
+
+  // --- 4. dependence discovery --------------------------------------------
+  // Compare label estimates against the independence assumption for the
+  // repayment-status chain: large ratios reveal correlated attributes.
+  IndependenceEstimator indep = IndependenceEstimator::Build(
+      table, result.label.shared_value_counts());
+  std::printf("Dependence check (label estimate / independence estimate):\n");
+  struct Probe {
+    const char* a;
+    const char* b;
+  };
+  for (const Probe& probe : std::vector<Probe>{
+           {"PAY_0", "PAY_2"}, {"PAY_2", "PAY_3"}, {"SEX", "MARRIAGE"}}) {
+    int ia = table.schema().FindAttribute(probe.a).value();
+    int ib = table.schema().FindAttribute(probe.b).value();
+    // Probe the modal value of each attribute.
+    pcbl::ValueCounts vc = pcbl::ValueCounts::Compute(table);
+    auto modal = [&](int attr) {
+      pcbl::ValueId best = 0;
+      for (pcbl::ValueId v = 1; v < table.DomainSize(attr); ++v) {
+        if (vc.Count(attr, v) > vc.Count(attr, best)) best = v;
+      }
+      return best;
+    };
+    auto p = pcbl::Pattern::Create(
+        {{ia, modal(ia)}, {ib, modal(ib)}});
+    if (!p.ok()) continue;
+    double joint = result.label.EstimateCount(*p);
+    double ind = indep.EstimateCount(*p);
+    double actual = static_cast<double>(CountMatches(table, *p));
+    std::printf("  %-8s x %-8s  label=%8.0f  indep=%8.0f  actual=%8.0f  "
+                "lift=%.2f\n",
+                probe.a, probe.b, joint, ind, actual,
+                actual / std::max(ind, 1e-9));
+  }
+  std::printf(
+      "\nLift far from 1.0 marks correlated attributes: treat per-attribute "
+      "statistics of those columns with suspicion when assessing fitness "
+      "for use.\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Label lifecycle: ship, consume, maintain, patch.
+//
+// A dataset publisher builds a label and ships it as metadata; a consumer
+// binds the shipped label to their copy of the data and audits it; the
+// dataset then grows, the label is maintained incrementally, and the drift
+// report decides when a fresh search (optionally with outlier patches) is
+// worth it. Exercises PortableLabel, BoundPortableLabel, IncrementalLabel
+// and PatchedLabel end to end.
+//
+//   $ ./label_lifecycle
+#include <cstdio>
+
+#include "pcbl/pcbl.h"
+
+using pcbl::AttrMask;
+using pcbl::BoundPortableLabel;
+using pcbl::ErrorMode;
+using pcbl::ErrorReport;
+using pcbl::EvaluateOverFullPatterns;
+using pcbl::FullPatternIndex;
+using pcbl::IncrementalLabel;
+using pcbl::LabelDrift;
+using pcbl::LabelSearch;
+using pcbl::MakePortable;
+using pcbl::PatchedSearchOptions;
+using pcbl::PortableLabel;
+using pcbl::SearchOptions;
+using pcbl::SearchResult;
+using pcbl::Table;
+
+int main() {
+  // --- publisher: build and ship a label ---------------------------------
+  auto base = pcbl::workload::MakeCompas(8000, 2021);
+  if (!base.ok()) {
+    std::fprintf(stderr, "%s\n", base.status().ToString().c_str());
+    return 1;
+  }
+  LabelSearch search(*base);
+  SearchOptions options;
+  options.size_bound = 60;
+  options.num_threads = pcbl::DefaultThreadCount();
+  SearchResult shipped = search.TopDown(options);
+  std::printf("publisher: label over S = %s, |PC| = %lld, max error %.0f\n",
+              shipped.best_attrs.ToString().c_str(),
+              static_cast<long long>(shipped.label.size()),
+              shipped.error.max_abs);
+  PortableLabel portable = MakePortable(shipped.label, *base, "compas-8k");
+
+  // --- consumer: bind the shipped label to a local copy and audit it -----
+  auto bound = BoundPortableLabel::Bind(portable, *base);
+  if (!bound.ok()) {
+    std::fprintf(stderr, "%s\n", bound.status().ToString().c_str());
+    return 1;
+  }
+  FullPatternIndex index = FullPatternIndex::Build(*base);
+  ErrorReport audit =
+      EvaluateOverFullPatterns(index, *bound, ErrorMode::kExact);
+  std::printf("consumer:  audited shipped label: max %.0f / mean %.2f over "
+              "%lld patterns\n",
+              audit.max_abs, audit.mean_abs,
+              static_cast<long long>(audit.total));
+
+  // --- maintainer: the dataset grows --------------------------------------
+  auto inc = IncrementalLabel::Create(*base, shipped.best_attrs,
+                                      options.size_bound);
+  if (!inc.ok()) {
+    std::fprintf(stderr, "%s\n", inc.status().ToString().c_str());
+    return 1;
+  }
+  auto delta = pcbl::workload::MakeCompas(2500, 77);
+  if (!delta.ok() || !inc->AppendTable(*delta).ok()) {
+    std::fprintf(stderr, "append failed\n");
+    return 1;
+  }
+  LabelDrift drift = inc->drift();
+  std::printf("maintainer: +%lld rows, +%lld new PC patterns, bound %s\n",
+              static_cast<long long>(drift.appended_rows),
+              static_cast<long long>(drift.new_patterns),
+              drift.bound_exceeded ? "EXCEEDED" : "ok");
+  std::printf("maintainer: rebuild advisable at 20%% growth? %s\n",
+              drift.SuggestRebuild(0.2) ? "yes" : "no");
+
+  // --- rebuild with an outlier patch list when the search re-runs --------
+  if (drift.SuggestRebuild(0.2)) {
+    auto grown = pcbl::workload::MakeCompas(10500, 4242);
+    if (!grown.ok()) return 1;
+    PatchedSearchOptions patched_options;
+    patched_options.total_bound = options.size_bound;
+    auto patched = pcbl::SearchPatchedLabel(*grown, patched_options);
+    if (!patched.ok()) {
+      std::fprintf(stderr, "%s\n", patched.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("rebuild:   base S = %s + %d patches (footprint %lld), "
+                "max error %.0f\n",
+                patched->base_attrs.ToString().c_str(),
+                patched->num_patches,
+                static_cast<long long>(patched->total_size),
+                patched->error.max_abs);
+    for (const auto& split : patched->splits) {
+      std::printf("           split k=%-3d base %-3lld -> max %.0f\n",
+                  split.num_patches,
+                  static_cast<long long>(split.base_size),
+                  split.error.max_abs);
+    }
+  }
+  return 0;
+}

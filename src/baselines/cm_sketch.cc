@@ -1,0 +1,113 @@
+#include "baselines/cm_sketch.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace pcbl {
+
+Result<CmSketchEstimator> CmSketchEstimator::Build(
+    const Table& table, const CmSketchOptions& options,
+    std::shared_ptr<const ValueCounts> vc) {
+  if (options.depth < 1) {
+    return InvalidArgumentError("CM sketch depth must be at least 1");
+  }
+  if (options.width < 1) {
+    return InvalidArgumentError("CM sketch width must be at least 1");
+  }
+  CmSketchEstimator sketch;
+  sketch.table_width_ = table.num_attributes();
+  sketch.depth_ = options.depth;
+  sketch.width_ = options.width;
+  sketch.row_seeds_.reserve(static_cast<size_t>(options.depth));
+  for (int r = 0; r < options.depth; ++r) {
+    sketch.row_seeds_.push_back(
+        Mix64(options.seed + 0x9e3779b97f4a7c15ULL * (r + 1)));
+  }
+  sketch.counters_.assign(
+      static_cast<size_t>(options.depth) * static_cast<size_t>(options.width),
+      0);
+  sketch.fallback_ = IndependenceEstimator::Build(table, std::move(vc));
+
+  const int64_t rows = table.num_rows();
+  const int width = sketch.table_width_;
+  std::vector<ValueId> codes(static_cast<size_t>(width));
+  // Hoist column pointers out of the row loop (hot path).
+  std::vector<const ValueId*> columns(static_cast<size_t>(width));
+  for (int a = 0; a < width; ++a) columns[a] = table.column(a).data();
+  for (int64_t row = 0; row < rows; ++row) {
+    bool has_null = false;
+    for (int a = 0; a < width; ++a) {
+      codes[static_cast<size_t>(a)] = columns[a][row];
+      if (IsNull(codes[static_cast<size_t>(a)])) {
+        has_null = true;
+        break;
+      }
+    }
+    if (has_null) continue;
+    for (int r = 0; r < sketch.depth_; ++r) {
+      const uint64_t h = sketch.RowHash(r, codes.data());
+      ++sketch.counters_[static_cast<size_t>(r) *
+                             static_cast<size_t>(sketch.width_) +
+                         h % static_cast<uint64_t>(sketch.width_)];
+    }
+  }
+  return sketch;
+}
+
+Result<CmSketchEstimator> CmSketchEstimator::BuildForBudget(
+    const Table& table, int64_t budget,
+    std::shared_ptr<const ValueCounts> vc) {
+  if (budget < 1) {
+    return InvalidArgumentError("CM sketch budget must be positive");
+  }
+  CmSketchOptions options;
+  options.depth = static_cast<int>(std::min<int64_t>(options.depth, budget));
+  options.width = std::max<int64_t>(budget / options.depth, 1);
+  return Build(table, options, std::move(vc));
+}
+
+uint64_t CmSketchEstimator::RowHash(int row, const ValueId* codes) const {
+  uint64_t h = row_seeds_[static_cast<size_t>(row)];
+  for (int a = 0; a < table_width_; ++a) {
+    h = HashCombine(h, codes[a]);
+  }
+  return h;
+}
+
+int64_t CmSketchEstimator::PointQuery(const ValueId* codes) const {
+  int64_t best = std::numeric_limits<int64_t>::max();
+  for (int r = 0; r < depth_; ++r) {
+    const uint64_t h = RowHash(r, codes);
+    best = std::min(
+        best, counters_[static_cast<size_t>(r) * static_cast<size_t>(width_) +
+                        h % static_cast<uint64_t>(width_)]);
+  }
+  return best;
+}
+
+double CmSketchEstimator::EstimateFullPattern(const ValueId* codes,
+                                              int width) const {
+  if (width == table_width_) {
+    return static_cast<double>(PointQuery(codes));
+  }
+  return CardinalityEstimator::EstimateFullPattern(codes, width);
+}
+
+double CmSketchEstimator::EstimateCount(const Pattern& p) const {
+  if (p.size() == table_width_) {
+    std::vector<ValueId> codes(static_cast<size_t>(table_width_));
+    for (const PatternTerm& t : p.terms()) {
+      codes[static_cast<size_t>(t.attr)] = t.value;
+    }
+    return static_cast<double>(PointQuery(codes.data()));
+  }
+  // The sketch keys on complete rows; partial patterns use the VC-only
+  // independence estimate (the information every label also carries).
+  return fallback_->EstimateCount(p);
+}
+
+}  // namespace pcbl

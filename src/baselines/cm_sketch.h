@@ -1,0 +1,87 @@
+// Count-Min sketch baseline — a classic synopsis comparator from the
+// selectivity-estimation literature the paper surveys (Sec. V, [11], [23]).
+//
+// The sketch summarizes the multiset of complete rows (full patterns):
+// every row increments `depth` counters chosen by independent hashes of
+// its code vector; a point query returns the minimum of its counters.
+// Estimates are therefore one-sided (never below the true count). Partial
+// patterns cannot be answered from the sketch and fall back to the
+// VC-based independence estimate — the same information every label
+// carries — which keeps the comparison with PCBL honest: both sides get
+// VC for free and spend their budget on joint information.
+//
+// Footprint is depth × width counters, priced in the same count-entry
+// unit as a label's |PC|.
+#ifndef PCBL_BASELINES_CM_SKETCH_H_
+#define PCBL_BASELINES_CM_SKETCH_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "baselines/independence.h"
+#include "core/estimator.h"
+#include "relation/stats.h"
+#include "relation/table.h"
+#include "util/status.h"
+
+namespace pcbl {
+
+/// Sketch-shape knobs.
+struct CmSketchOptions {
+  /// Number of hash rows. 3 is the conventional accuracy/space trade-off.
+  int depth = 3;
+  /// Counters per row.
+  int64_t width = 64;
+  /// Seed for the per-row hash functions (deterministic by default).
+  uint64_t seed = 0x5bd1e995;
+};
+
+/// Count-Min sketch over the full patterns (complete rows) of a table.
+class CmSketchEstimator : public CardinalityEstimator {
+ public:
+  /// Builds the sketch in one scan. Rows containing NULLs are skipped (they
+  /// form no full pattern, matching FullPatternIndex). `vc` may be shared;
+  /// when null it is computed.
+  static Result<CmSketchEstimator> Build(
+      const Table& table, const CmSketchOptions& options = {},
+      std::shared_ptr<const ValueCounts> vc = nullptr);
+
+  /// Builds a sketch whose counter footprint is at most `budget` entries
+  /// (depth fixed at options.depth; width = budget / depth, at least 1).
+  static Result<CmSketchEstimator> BuildForBudget(
+      const Table& table, int64_t budget,
+      std::shared_ptr<const ValueCounts> vc = nullptr);
+
+  double EstimateCount(const Pattern& p) const override;
+  double EstimateFullPattern(const ValueId* codes, int width) const override;
+  std::string name() const override { return "CM-sketch"; }
+
+  /// depth × width counters.
+  int64_t FootprintEntries() const override {
+    return static_cast<int64_t>(depth_) * width_;
+  }
+
+  int depth() const { return depth_; }
+  int64_t width() const { return width_; }
+
+  /// The sketch's point lookup (min over rows) for a full code vector.
+  int64_t PointQuery(const ValueId* codes) const;
+
+ private:
+  CmSketchEstimator() = default;
+
+  uint64_t RowHash(int row, const ValueId* codes) const;
+
+  int table_width_ = 0;
+  int depth_ = 0;
+  int64_t width_ = 0;
+  std::vector<uint64_t> row_seeds_;
+  std::vector<int64_t> counters_;  // depth * width, row-major
+  std::optional<IndependenceEstimator> fallback_;
+};
+
+}  // namespace pcbl
+
+#endif  // PCBL_BASELINES_CM_SKETCH_H_

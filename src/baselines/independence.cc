@@ -1,0 +1,42 @@
+#include "baselines/independence.h"
+
+#include "util/logging.h"
+
+namespace pcbl {
+
+IndependenceEstimator IndependenceEstimator::Build(
+    const Table& table, std::shared_ptr<const ValueCounts> vc) {
+  IndependenceEstimator e;
+  e.table_rows_ = table.num_rows();
+  e.vc_ = vc != nullptr ? std::move(vc)
+                        : std::make_shared<const ValueCounts>(
+                              ValueCounts::Compute(table));
+  e.inv_totals_.assign(static_cast<size_t>(table.num_attributes()), 0.0);
+  for (int a = 0; a < table.num_attributes(); ++a) {
+    int64_t t = e.vc_->NonNullTotal(a);
+    e.inv_totals_[static_cast<size_t>(a)] =
+        t > 0 ? 1.0 / static_cast<double>(t) : 0.0;
+  }
+  return e;
+}
+
+double IndependenceEstimator::EstimateCount(const Pattern& p) const {
+  double est = static_cast<double>(table_rows_);
+  for (const PatternTerm& t : p.terms()) {
+    est *= static_cast<double>(vc_->Count(t.attr, t.value)) *
+           inv_totals_[static_cast<size_t>(t.attr)];
+  }
+  return est;
+}
+
+double IndependenceEstimator::EstimateFullPattern(const ValueId* codes,
+                                                  int width) const {
+  double est = static_cast<double>(table_rows_);
+  for (int a = 0; a < width; ++a) {
+    est *= static_cast<double>(vc_->Count(a, codes[a])) *
+           inv_totals_[static_cast<size_t>(a)];
+  }
+  return est;
+}
+
+}  // namespace pcbl

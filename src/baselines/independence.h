@@ -1,0 +1,42 @@
+// Independence estimator: pattern counts from the VC set alone.
+//
+// This is the degenerate label L_∅(D) — exactly the "keep counts for only
+// individual attribute values and estimate combinations assuming
+// independence" strawman of Sec. I, and the base case of the estimation
+// function (Example 2.6). Useful as a floor baseline and for tests
+// (Label(S=∅) must agree with it bit-for-bit).
+#ifndef PCBL_BASELINES_INDEPENDENCE_H_
+#define PCBL_BASELINES_INDEPENDENCE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "core/estimator.h"
+#include "relation/stats.h"
+#include "relation/table.h"
+
+namespace pcbl {
+
+/// Estimates c_D(p) as |D| · ∏ c_D({A=a}) / Σ_a' c_D({A=a'}).
+class IndependenceEstimator : public CardinalityEstimator {
+ public:
+  /// `vc` may be shared with other consumers; when null it is computed.
+  static IndependenceEstimator Build(
+      const Table& table, std::shared_ptr<const ValueCounts> vc = nullptr);
+
+  double EstimateCount(const Pattern& p) const override;
+  double EstimateFullPattern(const ValueId* codes, int width) const override;
+  std::string name() const override { return "Independence"; }
+  int64_t FootprintEntries() const override { return vc_->TotalEntries(); }
+
+ private:
+  IndependenceEstimator() = default;
+
+  int64_t table_rows_ = 0;
+  std::shared_ptr<const ValueCounts> vc_;
+  std::vector<double> inv_totals_;
+};
+
+}  // namespace pcbl
+
+#endif  // PCBL_BASELINES_INDEPENDENCE_H_

@@ -1,0 +1,206 @@
+#include "baselines/pairwise_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace pcbl {
+
+namespace {
+
+uint64_t PairKey(ValueId a, ValueId b) {
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+// One joint group-by over rows where both attributes are non-NULL.
+struct PairScan {
+  std::unordered_map<uint64_t, int64_t> joint;
+  std::unordered_map<ValueId, int64_t> marginal_a;
+  std::unordered_map<ValueId, int64_t> marginal_b;
+  int64_t rows = 0;
+};
+
+PairScan ScanPair(const Table& table, int attr_a, int attr_b) {
+  PairScan scan;
+  const ValueId* col_a = table.column(attr_a).data();
+  const ValueId* col_b = table.column(attr_b).data();
+  const int64_t rows = table.num_rows();
+  for (int64_t r = 0; r < rows; ++r) {
+    const ValueId va = col_a[r];
+    const ValueId vb = col_b[r];
+    if (IsNull(va) || IsNull(vb)) continue;
+    ++scan.joint[PairKey(va, vb)];
+    ++scan.marginal_a[va];
+    ++scan.marginal_b[vb];
+    ++scan.rows;
+  }
+  return scan;
+}
+
+double MutualInformationFromScan(const PairScan& scan) {
+  if (scan.rows == 0) return 0.0;
+  const double n = static_cast<double>(scan.rows);
+  double mi = 0.0;
+  for (const auto& [key, count] : scan.joint) {
+    const ValueId va = static_cast<ValueId>(key >> 32);
+    const ValueId vb = static_cast<ValueId>(key & 0xffffffffULL);
+    const double pxy = static_cast<double>(count) / n;
+    const double px = static_cast<double>(scan.marginal_a.at(va)) / n;
+    const double py = static_cast<double>(scan.marginal_b.at(vb)) / n;
+    mi += pxy * std::log2(pxy / (px * py));
+  }
+  // Numerical noise can leave a tiny negative residue for independent data.
+  return std::max(mi, 0.0);
+}
+
+}  // namespace
+
+double MutualInformationBits(const Table& table, int attr_a, int attr_b) {
+  return MutualInformationFromScan(ScanPair(table, attr_a, attr_b));
+}
+
+Result<PairwiseHistogramEstimator> PairwiseHistogramEstimator::Build(
+    const Table& table, const PairwiseHistogramOptions& options,
+    std::shared_ptr<const ValueCounts> vc) {
+  if (options.budget < 0) {
+    return InvalidArgumentError("pairwise histogram budget must be >= 0");
+  }
+  PairwiseHistogramEstimator est;
+  est.width_ = table.num_attributes();
+  est.table_rows_ = table.num_rows();
+  est.vc_ = vc != nullptr
+                ? std::move(vc)
+                : std::make_shared<const ValueCounts>(
+                      ValueCounts::Compute(table));
+  est.inv_totals_.resize(static_cast<size_t>(est.width_), 0.0);
+  for (int a = 0; a < est.width_; ++a) {
+    const int64_t total = est.vc_->NonNullTotal(a);
+    est.inv_totals_[static_cast<size_t>(a)] =
+        total > 0 ? 1.0 / static_cast<double>(total) : 0.0;
+  }
+  est.disjoint_ = options.disjoint_pairs;
+  est.pair_of_attr_.assign(static_cast<size_t>(est.width_), -1);
+
+  // Score every pair once; keep the scans so selection reuses them.
+  struct Candidate {
+    int a;
+    int b;
+    double mi;
+    int64_t entries;
+    PairScan scan;
+  };
+  std::vector<Candidate> candidates;
+  for (int a = 0; a < est.width_; ++a) {
+    for (int b = a + 1; b < est.width_; ++b) {
+      Candidate c;
+      c.a = a;
+      c.b = b;
+      c.scan = ScanPair(table, a, b);
+      c.mi = MutualInformationFromScan(c.scan);
+      c.entries = static_cast<int64_t>(c.scan.joint.size());
+      candidates.push_back(std::move(c));
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& x, const Candidate& y) {
+              if (x.mi != y.mi) return x.mi > y.mi;
+              if (x.entries != y.entries) return x.entries < y.entries;
+              if (x.a != y.a) return x.a < y.a;
+              return x.b < y.b;
+            });
+
+  for (Candidate& c : candidates) {
+    if (c.mi < options.min_mutual_information) break;  // sorted: rest worse
+    if (est.footprint_ + c.entries > options.budget) continue;
+    if (est.disjoint_ &&
+        (est.pair_of_attr_[static_cast<size_t>(c.a)] >= 0 ||
+         est.pair_of_attr_[static_cast<size_t>(c.b)] >= 0)) {
+      continue;
+    }
+    StoredPair stored;
+    stored.attr_a = c.a;
+    stored.attr_b = c.b;
+    stored.mutual_information = c.mi;
+    stored.joint = std::move(c.scan.joint);
+    est.footprint_ += c.entries;
+    if (est.disjoint_) {
+      est.pair_of_attr_[static_cast<size_t>(c.a)] =
+          static_cast<int>(est.pairs_.size());
+      est.pair_of_attr_[static_cast<size_t>(c.b)] =
+          static_cast<int>(est.pairs_.size());
+    }
+    est.pairs_.push_back(std::move(stored));
+  }
+  return est;
+}
+
+int64_t PairwiseHistogramEstimator::JointCount(size_t i, ValueId va,
+                                               ValueId vb) const {
+  const auto& joint = pairs_[i].joint;
+  const auto it = joint.find(PairKey(va, vb));
+  return it == joint.end() ? 0 : it->second;
+}
+
+double PairwiseHistogramEstimator::EstimateCount(const Pattern& p) const {
+  if (table_rows_ == 0) return 0.0;
+  // Bound values by attribute, kNullValue when unbound.
+  std::vector<ValueId> bound(static_cast<size_t>(width_), kNullValue);
+  for (const PatternTerm& t : p.terms()) {
+    bound[static_cast<size_t>(t.attr)] = t.value;
+  }
+  const double n = static_cast<double>(table_rows_);
+  double selectivity = 1.0;
+  std::vector<bool> covered(static_cast<size_t>(width_), false);
+  // Pairs are stored in MI-descending order; greedily apply every pair
+  // whose two attributes are bound and not yet covered (in disjoint mode
+  // that is every applicable pair; otherwise a greedy maximal matching).
+  for (size_t i = 0; i < pairs_.size(); ++i) {
+    const StoredPair& pair = pairs_[i];
+    const ValueId va = bound[static_cast<size_t>(pair.attr_a)];
+    const ValueId vb = bound[static_cast<size_t>(pair.attr_b)];
+    if (IsNull(va) || IsNull(vb)) continue;
+    if (covered[static_cast<size_t>(pair.attr_a)] ||
+        covered[static_cast<size_t>(pair.attr_b)]) {
+      continue;
+    }
+    selectivity *= static_cast<double>(JointCount(i, va, vb)) / n;
+    covered[static_cast<size_t>(pair.attr_a)] = true;
+    covered[static_cast<size_t>(pair.attr_b)] = true;
+  }
+  for (const PatternTerm& t : p.terms()) {
+    if (covered[static_cast<size_t>(t.attr)]) continue;
+    selectivity *= static_cast<double>(vc_->Count(t.attr, t.value)) *
+                   inv_totals_[static_cast<size_t>(t.attr)];
+  }
+  return n * selectivity;
+}
+
+double PairwiseHistogramEstimator::EstimateFullPattern(const ValueId* codes,
+                                                       int width) const {
+  if (width != width_ || table_rows_ == 0) {
+    return CardinalityEstimator::EstimateFullPattern(codes, width);
+  }
+  const double n = static_cast<double>(table_rows_);
+  double selectivity = 1.0;
+  uint64_t covered = 0;
+  for (size_t i = 0; i < pairs_.size(); ++i) {
+    const StoredPair& pair = pairs_[i];
+    const uint64_t mask =
+        (1ULL << pair.attr_a) | (1ULL << pair.attr_b);
+    if ((covered & mask) != 0) continue;
+    selectivity *= static_cast<double>(JointCount(i, codes[pair.attr_a],
+                                                  codes[pair.attr_b])) /
+                   n;
+    covered |= mask;
+  }
+  for (int a = 0; a < width_; ++a) {
+    if ((covered >> a) & 1ULL) continue;
+    selectivity *= static_cast<double>(vc_->Count(a, codes[a])) *
+                   inv_totals_[static_cast<size_t>(a)];
+  }
+  return n * selectivity;
+}
+
+}  // namespace pcbl

@@ -1,0 +1,97 @@
+// Dependency-based pairwise synopsis — a reimplementation, for categorical
+// data, of the multi-dimensional-histogram comparators the paper surveys
+// (Sec. V: [9], [12], [20]; closest to Deshpande et al.'s
+// "dependency-based histogram synopses").
+//
+// The estimator greedily selects disjoint attribute *pairs* in decreasing
+// order of mutual information and stores the exact joint counts of each
+// selected pair, subject to a total entry budget. Estimation treats the
+// selected pairs as independent cliques: a pattern binding both attributes
+// of a stored pair contributes the pair's joint selectivity; every other
+// bound attribute contributes its 1-D (VC) selectivity.
+//
+// Unlike a PCBL label — which stores one joint distribution over a single
+// attribute set S — the pairwise synopsis spreads its budget across many
+// 2-way interactions but can never capture 3-way (or higher) structure.
+// The ablation bench quantifies exactly this trade-off.
+#ifndef PCBL_BASELINES_PAIRWISE_HISTOGRAM_H_
+#define PCBL_BASELINES_PAIRWISE_HISTOGRAM_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/estimator.h"
+#include "relation/stats.h"
+#include "relation/table.h"
+#include "util/status.h"
+
+namespace pcbl {
+
+/// Pair-selection knobs.
+struct PairwiseHistogramOptions {
+  /// Total joint-count entries to spend across all selected pairs.
+  int64_t budget = 100;
+  /// Selected pairs must be attribute-disjoint (a matching). Disabling
+  /// allows overlapping pairs; estimation then uses, per pattern, a
+  /// greedy maximal matching among the applicable pairs.
+  bool disjoint_pairs = true;
+  /// Pairs whose mutual information (bits) falls below this threshold are
+  /// not worth storing and are skipped.
+  double min_mutual_information = 1e-9;
+};
+
+/// One stored pair with its joint distribution.
+struct StoredPair {
+  int attr_a = 0;
+  int attr_b = 0;
+  double mutual_information = 0.0;  // bits
+  /// Joint counts keyed by (a_value << 32) | b_value.
+  std::unordered_map<uint64_t, int64_t> joint;
+};
+
+/// Selectivity model from exact 1-D counts plus selected 2-D joints.
+class PairwiseHistogramEstimator : public CardinalityEstimator {
+ public:
+  /// Scans the table once per candidate pair (O(|A|^2) group-bys, each
+  /// O(rows)) to score and select pairs. `vc` may be shared; when null it
+  /// is computed.
+  static Result<PairwiseHistogramEstimator> Build(
+      const Table& table, const PairwiseHistogramOptions& options = {},
+      std::shared_ptr<const ValueCounts> vc = nullptr);
+
+  double EstimateCount(const Pattern& p) const override;
+  double EstimateFullPattern(const ValueId* codes, int width) const override;
+  std::string name() const override { return "2D-hist"; }
+
+  /// Σ joint entries over the selected pairs.
+  int64_t FootprintEntries() const override { return footprint_; }
+
+  const std::vector<StoredPair>& pairs() const { return pairs_; }
+
+ private:
+  PairwiseHistogramEstimator() = default;
+
+  // Joint count of pair index `i` at (va, vb); 0 when unseen.
+  int64_t JointCount(size_t i, ValueId va, ValueId vb) const;
+
+  int width_ = 0;
+  int64_t table_rows_ = 0;
+  std::shared_ptr<const ValueCounts> vc_;
+  std::vector<double> inv_totals_;
+  std::vector<StoredPair> pairs_;
+  // attr -> index into pairs_ covering it, or -1 (disjoint mode only).
+  std::vector<int> pair_of_attr_;
+  bool disjoint_ = true;
+  int64_t footprint_ = 0;
+};
+
+/// Mutual information (bits) between two attributes of a table, from exact
+/// joint counts over non-NULL rows. Exposed for tests and diagnostics.
+double MutualInformationBits(const Table& table, int attr_a, int attr_b);
+
+}  // namespace pcbl
+
+#endif  // PCBL_BASELINES_PAIRWISE_HISTOGRAM_H_

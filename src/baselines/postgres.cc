@@ -1,0 +1,127 @@
+#include "baselines/postgres.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace pcbl {
+
+PostgresEstimator PostgresEstimator::Build(const Table& table,
+                                           const PostgresOptions& options) {
+  PostgresEstimator e;
+  e.width_ = table.num_attributes();
+  e.table_rows_ = table.num_rows();
+  e.columns_.resize(static_cast<size_t>(e.width_));
+
+  // Choose the rows ANALYZE looks at.
+  std::vector<int64_t> sample;
+  bool sampled = options.analyze_sample_rows > 0 &&
+                 options.analyze_sample_rows < table.num_rows();
+  if (sampled) {
+    Rng rng(options.seed);
+    sample = rng.SampleWithoutReplacement(table.num_rows(),
+                                          options.analyze_sample_rows);
+  }
+  int64_t scanned = sampled ? static_cast<int64_t>(sample.size())
+                            : table.num_rows();
+
+  for (int a = 0; a < e.width_; ++a) {
+    ColumnStats& cs = e.columns_[static_cast<size_t>(a)];
+    std::vector<int64_t> counts(table.DomainSize(a), 0);
+    int64_t nulls = 0;
+    auto tally = [&](int64_t r) {
+      ValueId v = table.value(r, a);
+      if (IsNull(v)) {
+        ++nulls;
+      } else {
+        ++counts[v];
+      }
+    };
+    if (sampled) {
+      for (int64_t r : sample) tally(r);
+    } else {
+      for (int64_t r = 0; r < table.num_rows(); ++r) tally(r);
+    }
+
+    cs.null_frac = scanned > 0 ? static_cast<double>(nulls) /
+                                     static_cast<double>(scanned)
+                               : 0.0;
+    // Distinct values seen.
+    std::vector<ValueId> present;
+    for (ValueId v = 0; v < counts.size(); ++v) {
+      if (counts[v] > 0) present.push_back(v);
+    }
+    cs.n_distinct = static_cast<int64_t>(present.size());
+
+    // MCV list: the stats_target most frequent values.
+    std::sort(present.begin(), present.end(), [&](ValueId x, ValueId y) {
+      if (counts[x] != counts[y]) return counts[x] > counts[y];
+      return x < y;
+    });
+    int keep = std::min<int>(options.stats_target,
+                             static_cast<int>(present.size()));
+    cs.mcv_freq.assign(counts.size(), -1.0);
+    double denom = static_cast<double>(std::max<int64_t>(scanned, 1));
+    for (int i = 0; i < keep; ++i) {
+      ValueId v = present[static_cast<size_t>(i)];
+      double f = static_cast<double>(counts[v]) / denom;
+      cs.mcv_freq[v] = f;
+      cs.mcv_total_freq += f;
+    }
+    cs.mcv_entries = keep;
+
+    // Residual selectivity for equality with a non-MCV value
+    // (var_eq_const arithmetic: remaining mass spread over the remaining
+    // distinct values).
+    int64_t remaining = cs.n_distinct - keep;
+    if (remaining > 0) {
+      double residual_mass =
+          std::max(0.0, 1.0 - cs.mcv_total_freq - cs.null_frac);
+      cs.residual_sel = residual_mass / static_cast<double>(remaining);
+    } else {
+      cs.residual_sel = 0.0;
+    }
+  }
+  return e;
+}
+
+double PostgresEstimator::Selectivity(int attr, ValueId v) const {
+  const ColumnStats& cs = columns_[static_cast<size_t>(attr)];
+  if (IsNull(v)) return cs.null_frac;
+  if (v < cs.mcv_freq.size() && cs.mcv_freq[v] >= 0.0) {
+    return cs.mcv_freq[v];
+  }
+  return cs.residual_sel;
+}
+
+double PostgresEstimator::EstimateCount(const Pattern& p) const {
+  double sel = 1.0;
+  for (const PatternTerm& t : p.terms()) {
+    sel *= Selectivity(t.attr, t.value);
+  }
+  double rows = sel * static_cast<double>(table_rows_);
+  // The planner never estimates fewer than one row.
+  return std::max(rows, 1.0);
+}
+
+double PostgresEstimator::EstimateFullPattern(const ValueId* codes,
+                                              int width) const {
+  PCBL_DCHECK(width == width_);
+  double sel = 1.0;
+  for (int a = 0; a < width; ++a) {
+    sel *= Selectivity(a, codes[a]);
+  }
+  double rows = sel * static_cast<double>(table_rows_);
+  return std::max(rows, 1.0);
+}
+
+int64_t PostgresEstimator::FootprintEntries() const {
+  int64_t total = 0;
+  for (const ColumnStats& cs : columns_) {
+    total += cs.mcv_entries;
+  }
+  return total;
+}
+
+}  // namespace pcbl

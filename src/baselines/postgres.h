@@ -1,0 +1,70 @@
+// PostgreSQL-style 1-D statistics estimator — the "Postgres" baseline of
+// Sec. IV-B.
+//
+// The PostgreSQL planner estimates equality selectivity per column from
+// pg_statistic: a most-common-values (MCV) list with frequencies (at most
+// `stats_target` entries, default 100) and an n_distinct estimate; values
+// outside the MCV list share the residual frequency uniformly. Conjunctive
+// predicates multiply per-column selectivities (attribute independence),
+// and the row estimate is clamped to at least one row. This module
+// reimplements exactly that arithmetic. Statistics can be computed from
+// the full table or, like ANALYZE, from a random sample of rows.
+#ifndef PCBL_BASELINES_POSTGRES_H_
+#define PCBL_BASELINES_POSTGRES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/estimator.h"
+#include "relation/table.h"
+
+namespace pcbl {
+
+/// Statistics-collection knobs, mirroring ANALYZE.
+struct PostgresOptions {
+  /// Per-column MCV list capacity (default_statistics_target).
+  int stats_target = 100;
+  /// Rows sampled by ANALYZE; <= 0 means scan the full table (then the
+  /// MCV frequencies are exact).
+  int64_t analyze_sample_rows = -1;
+  /// Seed for the ANALYZE sample.
+  uint64_t seed = 0x9e3779b9;
+};
+
+/// Per-attribute equality-selectivity model from 1-D statistics.
+class PostgresEstimator : public CardinalityEstimator {
+ public:
+  static PostgresEstimator Build(const Table& table,
+                                 const PostgresOptions& options = {});
+
+  double EstimateCount(const Pattern& p) const override;
+  double EstimateFullPattern(const ValueId* codes, int width) const override;
+  std::string name() const override { return "Postgres"; }
+
+  /// Entries stored across all MCV lists (the comparable footprint).
+  int64_t FootprintEntries() const override;
+
+  /// Equality selectivity P[A_attr = v] under the model.
+  double Selectivity(int attr, ValueId v) const;
+
+ private:
+  PostgresEstimator() = default;
+
+  struct ColumnStats {
+    // mcv_freq[v] >= 0 when v is in the MCV list, else -1.
+    std::vector<double> mcv_freq;  // indexed by ValueId
+    int mcv_entries = 0;
+    double mcv_total_freq = 0.0;
+    double null_frac = 0.0;
+    int64_t n_distinct = 0;
+    double residual_sel = 0.0;  // selectivity of a non-MCV value
+  };
+
+  int width_ = 0;
+  int64_t table_rows_ = 0;
+  std::vector<ColumnStats> columns_;
+};
+
+}  // namespace pcbl
+
+#endif  // PCBL_BASELINES_POSTGRES_H_

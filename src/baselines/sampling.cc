@@ -1,0 +1,108 @@
+#include "baselines/sampling.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace pcbl {
+
+SamplingEstimator SamplingEstimator::Build(const Table& table,
+                                           int64_t sample_size,
+                                           uint64_t seed) {
+  SamplingEstimator s;
+  s.width_ = table.num_attributes();
+  s.table_rows_ = table.num_rows();
+  sample_size = std::min<int64_t>(std::max<int64_t>(sample_size, 0),
+                                  table.num_rows());
+  s.num_sample_rows_ = sample_size;
+  s.scale_ = sample_size > 0 ? static_cast<double>(table.num_rows()) /
+                                   static_cast<double>(sample_size)
+                             : 0.0;
+
+  Rng rng(seed);
+  std::vector<int64_t> picked =
+      rng.SampleWithoutReplacement(table.num_rows(), sample_size);
+  std::sort(picked.begin(), picked.end());
+
+  size_t width = static_cast<size_t>(s.width_);
+  s.rows_.reserve(picked.size() * width);
+  for (int64_t r : picked) {
+    for (size_t a = 0; a < width; ++a) {
+      s.rows_.push_back(table.value(r, static_cast<int>(a)));
+    }
+  }
+
+  // Index distinct rows for the fast full-pattern path.
+  size_t n = picked.size();
+  std::vector<int64_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = static_cast<int64_t>(i);
+  const ValueId* data = s.rows_.data();
+  std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    const ValueId* ka = data + static_cast<size_t>(a) * width;
+    const ValueId* kb = data + static_cast<size_t>(b) * width;
+    return std::lexicographical_compare(ka, ka + width, kb, kb + width);
+  });
+  size_t i = 0;
+  while (i < n) {
+    const ValueId* ki = data + static_cast<size_t>(order[i]) * width;
+    size_t j = i + 1;
+    while (j < n) {
+      const ValueId* kj = data + static_cast<size_t>(order[j]) * width;
+      if (!std::equal(ki, ki + width, kj)) break;
+      ++j;
+    }
+    s.distinct_.insert(s.distinct_.end(), ki, ki + width);
+    s.row_mult_.push_back(static_cast<int64_t>(j - i));
+    i = j;
+  }
+  return s;
+}
+
+double SamplingEstimator::EstimateCount(const Pattern& p) const {
+  // c_S(p): scan the sample.
+  size_t width = static_cast<size_t>(width_);
+  int64_t matches = 0;
+  size_t n = static_cast<size_t>(num_sample_rows_);
+  for (size_t r = 0; r < n; ++r) {
+    const ValueId* row = rows_.data() + r * width;
+    bool ok = true;
+    for (const PatternTerm& t : p.terms()) {
+      if (row[t.attr] != t.value) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) ++matches;
+  }
+  return static_cast<double>(matches) * scale_;
+}
+
+double SamplingEstimator::EstimateFullPattern(const ValueId* codes,
+                                              int width) const {
+  PCBL_DCHECK(width == width_);
+  size_t w = static_cast<size_t>(width_);
+  // Binary search the distinct sorted sample rows.
+  int64_t lo = 0;
+  int64_t hi = static_cast<int64_t>(row_mult_.size());
+  const ValueId* data = distinct_.data();
+  while (lo < hi) {
+    int64_t mid = lo + (hi - lo) / 2;
+    const ValueId* k = data + static_cast<size_t>(mid) * w;
+    if (std::lexicographical_compare(k, k + w, codes, codes + w)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo < static_cast<int64_t>(row_mult_.size())) {
+    const ValueId* k = data + static_cast<size_t>(lo) * w;
+    if (std::equal(codes, codes + w, k)) {
+      return static_cast<double>(row_mult_[static_cast<size_t>(lo)]) *
+             scale_;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace pcbl

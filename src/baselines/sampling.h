@@ -1,0 +1,49 @@
+// Uniform-sampling cardinality estimation — the "Sample" baseline of
+// Sec. IV-B.
+//
+// A uniform random sample S of the dataset is stored; the count of a
+// pattern p is estimated as c_S(p) * |D| / |S|. Following the paper, the
+// sample size that corresponds to a label bound x is x + |VC| entries,
+// and reported results average over several seeds.
+#ifndef PCBL_BASELINES_SAMPLING_H_
+#define PCBL_BASELINES_SAMPLING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/estimator.h"
+#include "relation/table.h"
+
+namespace pcbl {
+
+/// Estimates pattern counts by scaling counts observed in a uniform
+/// random sample of the rows.
+class SamplingEstimator : public CardinalityEstimator {
+ public:
+  /// Draws `sample_size` rows without replacement (clamped to |D|).
+  static SamplingEstimator Build(const Table& table, int64_t sample_size,
+                                 uint64_t seed);
+
+  double EstimateCount(const Pattern& p) const override;
+  double EstimateFullPattern(const ValueId* codes, int width) const override;
+  std::string name() const override { return "Sample"; }
+  int64_t FootprintEntries() const override { return num_sample_rows_; }
+
+  int64_t sample_rows() const { return num_sample_rows_; }
+  int64_t table_rows() const { return table_rows_; }
+
+ private:
+  SamplingEstimator() = default;
+
+  int width_ = 0;
+  int64_t table_rows_ = 0;
+  int64_t num_sample_rows_ = 0;
+  double scale_ = 0.0;             // |D| / |S|
+  std::vector<ValueId> rows_;      // row-major sample, sorted lexicographic
+  std::vector<int64_t> row_mult_;  // multiplicity of each distinct row
+  std::vector<ValueId> distinct_;  // row-major distinct sample rows
+};
+
+}  // namespace pcbl
+
+#endif  // PCBL_BASELINES_SAMPLING_H_

@@ -1,0 +1,99 @@
+#include "cli/args.h"
+
+#include <algorithm>
+
+#include "util/str.h"
+
+namespace pcbl {
+namespace cli {
+
+Result<Args> Args::Parse(const std::vector<std::string>& tokens) {
+  Args args;
+  bool flags_done = false;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& tok = tokens[i];
+    if (flags_done || !StartsWith(tok, "--")) {
+      args.positional_.push_back(tok);
+      continue;
+    }
+    if (tok == "--") {
+      flags_done = true;
+      continue;
+    }
+    std::string body = tok.substr(2);
+    if (body.empty()) {
+      return InvalidArgumentError("empty flag name in \"--\"");
+    }
+    const size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      args.flags_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // `--name value` unless the next token is itself a flag.
+    if (i + 1 < tokens.size() && !StartsWith(tokens[i + 1], "--")) {
+      args.flags_[body] = tokens[i + 1];
+      ++i;
+    } else {
+      args.flags_[body] = "true";
+    }
+  }
+  return args;
+}
+
+std::string Args::GetString(const std::string& name,
+                            const std::string& fallback) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+Result<int64_t> Args::GetInt(const std::string& name,
+                             int64_t fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  auto parsed = ParseInt64(it->second);
+  if (!parsed.ok()) {
+    return InvalidArgumentError(
+        StrCat("--", name, " expects an integer, got \"", it->second, "\""));
+  }
+  return *parsed;
+}
+
+Result<double> Args::GetDouble(const std::string& name,
+                               double fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  auto parsed = ParseDouble(it->second);
+  if (!parsed.ok()) {
+    return InvalidArgumentError(
+        StrCat("--", name, " expects a number, got \"", it->second, "\""));
+  }
+  return *parsed;
+}
+
+bool Args::GetBool(const std::string& name) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return false;
+  const std::string v = ToLower(it->second);
+  return v == "true" || v == "1" || v == "yes";
+}
+
+Status Args::CheckKnown(const std::vector<std::string>& known) const {
+  for (const auto& [name, value] : flags_) {
+    if (std::find(known.begin(), known.end(), name) == known.end()) {
+      return InvalidArgumentError(StrCat("unknown flag --", name));
+    }
+  }
+  return Status::Ok();
+}
+
+Status Args::RequirePositional(size_t count, const std::string& usage) const {
+  if (positional_.size() != count) {
+    return InvalidArgumentError(
+        StrCat("expected ", count, " positional argument(s), got ",
+               positional_.size(), "; usage: ", usage));
+  }
+  return Status::Ok();
+}
+
+}  // namespace cli
+}  // namespace pcbl

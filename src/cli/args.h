@@ -1,0 +1,63 @@
+// Minimal command-line argument parser for the pcbl tool.
+//
+// Grammar: positional arguments mixed with flags; a flag is `--name value`,
+// `--name=value`, or a bare boolean `--name`. `--` ends flag parsing (the
+// rest is positional). Unknown flags are detected by CheckKnown so every
+// command rejects typos instead of silently ignoring them.
+#ifndef PCBL_CLI_ARGS_H_
+#define PCBL_CLI_ARGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace pcbl {
+namespace cli {
+
+/// Parsed command-line arguments of one subcommand.
+class Args {
+ public:
+  /// Parses `tokens` (everything after the subcommand name). A value-less
+  /// flag (next token is another flag, or the end) parses as boolean
+  /// "true".
+  static Result<Args> Parse(const std::vector<std::string>& tokens);
+
+  /// Positional arguments, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// True when the flag was given (with or without a value).
+  bool Has(const std::string& name) const {
+    return flags_.find(name) != flags_.end();
+  }
+
+  /// String value of a flag, or `fallback` when absent.
+  std::string GetString(const std::string& name,
+                        const std::string& fallback = "") const;
+
+  /// Integer value of a flag; parse errors propagate.
+  Result<int64_t> GetInt(const std::string& name, int64_t fallback) const;
+
+  /// Floating-point value of a flag; parse errors propagate.
+  Result<double> GetDouble(const std::string& name, double fallback) const;
+
+  /// Boolean flag: present without value or with value true/1/yes.
+  bool GetBool(const std::string& name) const;
+
+  /// Fails when a flag outside `known` was supplied.
+  Status CheckKnown(const std::vector<std::string>& known) const;
+
+  /// Fails unless there are exactly `count` positional arguments.
+  Status RequirePositional(size_t count, const std::string& usage) const;
+
+ private:
+  std::vector<std::string> positional_;
+  std::map<std::string, std::string> flags_;
+};
+
+}  // namespace cli
+}  // namespace pcbl
+
+#endif  // PCBL_CLI_ARGS_H_

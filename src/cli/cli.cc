@@ -1,0 +1,76 @@
+#include "cli/cli.h"
+
+#include <functional>
+#include <map>
+
+#include "cli/args.h"
+#include "cli/commands.h"
+
+namespace pcbl {
+namespace cli {
+
+namespace {
+
+struct CommandEntry {
+  int (*run)(const Args&, std::ostream&, std::ostream&);
+  const char* summary;
+};
+
+const std::map<std::string, CommandEntry>& CommandTable() {
+  static const auto* table = new std::map<std::string, CommandEntry>{
+      {"audit", {&CmdAudit, "fitness-for-use warnings from a label"}},
+      {"bucketize", {&CmdBucketize, "bin numeric attributes into ranges"}},
+      {"diff", {&CmdDiff, "change log between two label versions"}},
+      {"profile", {&CmdProfile, "per-attribute statistics of a CSV dataset"}},
+      {"build", {&CmdBuild, "search the optimal label for a CSV dataset"}},
+      {"render", {&CmdRender, "print a label as a Fig. 1-style nutrition "
+                              "label"}},
+      {"estimate", {&CmdEstimate, "estimate a pattern count from a label"}},
+      {"error", {&CmdError, "evaluate a label against a CSV dataset"}},
+      {"synth", {&CmdSynth, "generate one of the paper's datasets"}},
+      {"inspect", {&CmdInspect, "show label metadata"}},
+  };
+  return *table;
+}
+
+}  // namespace
+
+std::string UsageText() {
+  std::string out =
+      "pcbl — pattern-count-based labels for datasets (ICDE 2021)\n"
+      "\n"
+      "usage: pcbl <command> [args...]\n"
+      "\n"
+      "commands:\n";
+  for (const auto& [name, entry] : CommandTable()) {
+    out += "  ";
+    out += name;
+    out.append(name.size() < 10 ? 10 - name.size() : 1, ' ');
+    out += entry.summary;
+    out += "\n";
+  }
+  out += "\nRun `pcbl <command> --help` for command-specific flags.\n";
+  return out;
+}
+
+int RunCli(const std::vector<std::string>& argv, std::ostream& out,
+           std::ostream& err) {
+  if (argv.empty() || argv[0] == "--help" || argv[0] == "help") {
+    out << UsageText();
+    return argv.empty() ? 2 : 0;
+  }
+  const auto it = CommandTable().find(argv[0]);
+  if (it == CommandTable().end()) {
+    err << "pcbl: unknown command \"" << argv[0] << "\"\n\n" << UsageText();
+    return 2;
+  }
+  auto args = Args::Parse({argv.begin() + 1, argv.end()});
+  if (!args.ok()) {
+    err << "pcbl " << argv[0] << ": " << args.status().message() << "\n";
+    return 2;
+  }
+  return it->second.run(*args, out, err);
+}
+
+}  // namespace cli
+}  // namespace pcbl

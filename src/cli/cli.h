@@ -1,0 +1,35 @@
+// Entry point of the `pcbl` command-line tool.
+//
+// The tool packages the library's end-to-end flow for shell use:
+//
+//   pcbl synth compas --rows 10000 --out compas.csv
+//   pcbl profile compas.csv
+//   pcbl build compas.csv --bound 100 --out compas-label.json
+//   pcbl render compas-label.json
+//   pcbl estimate compas-label.json --pattern "Sex_Code_Text=Female"
+//   pcbl error compas-label.json compas.csv
+//
+// RunCli is process-free (streams in, exit code out) so the test suite can
+// drive it directly.
+#ifndef PCBL_CLI_CLI_H_
+#define PCBL_CLI_CLI_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pcbl {
+namespace cli {
+
+/// Dispatches `pcbl <command> ...`. `argv` excludes the program name.
+/// Returns the process exit code (0 success, 1 command error, 2 usage).
+int RunCli(const std::vector<std::string>& argv, std::ostream& out,
+           std::ostream& err);
+
+/// The top-level usage text.
+std::string UsageText();
+
+}  // namespace cli
+}  // namespace pcbl
+
+#endif  // PCBL_CLI_CLI_H_

@@ -1,0 +1,114 @@
+// `pcbl audit <label>` — fitness-for-use warnings from a label alone: the
+// paper's motivating workflow (Sec. I) of turning count metadata into
+// "inadequate representation" / "dangerous intersected combination"
+// warnings without touching the data.
+#include <ostream>
+
+#include "cli/commands.h"
+#include "cli/common.h"
+#include "core/warnings.h"
+#include "harness/tablefmt.h"
+#include "util/str.h"
+
+namespace pcbl {
+namespace cli {
+
+namespace {
+constexpr char kUsage[] =
+    "usage: pcbl audit <label.{json,bin}> [flags]\n"
+    "\n"
+    "flags:\n"
+    "  --attrs A,B,C     attributes to intersect (default: all)\n"
+    "  --min-count N     underrepresentation threshold (default 100)\n"
+    "  --max-share F     skew threshold as a fraction of rows (default 0.5)\n"
+    "  --corr-factor F   correlation deviation factor (default 2.0)\n"
+    "  --max-arity K     intersection arity scanned (default 2)\n"
+    "  --limit N         warnings printed per kind (default 20, 0 = all)\n";
+}  // namespace
+
+int CmdAudit(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.GetBool("help")) {
+    out << kUsage;
+    return kExitOk;
+  }
+  if (Status s = args.CheckKnown({"help", "attrs", "min-count", "max-share",
+                                  "corr-factor", "max-arity", "limit"});
+      !s.ok()) {
+    return FailWith(s, "audit", err);
+  }
+  if (Status s = args.RequirePositional(1, "pcbl audit <label>"); !s.ok()) {
+    return FailWith(s, "audit", err);
+  }
+  AuditOptions options;
+  auto min_count = args.GetInt("min-count", options.min_group_count);
+  if (!min_count.ok()) return FailWith(min_count.status(), "audit", err);
+  options.min_group_count = *min_count;
+  auto max_share = args.GetDouble("max-share", options.max_group_share);
+  if (!max_share.ok()) return FailWith(max_share.status(), "audit", err);
+  options.max_group_share = *max_share;
+  auto corr = args.GetDouble("corr-factor", options.correlation_factor);
+  if (!corr.ok()) return FailWith(corr.status(), "audit", err);
+  options.correlation_factor = *corr;
+  auto arity = args.GetInt("max-arity", options.max_arity);
+  if (!arity.ok()) return FailWith(arity.status(), "audit", err);
+  options.max_arity = static_cast<int>(*arity);
+  auto limit = args.GetInt("limit", 20);
+  if (!limit.ok()) return FailWith(limit.status(), "audit", err);
+
+  auto label = LoadLabelFile(args.positional()[0]);
+  if (!label.ok()) return FailWith(label.status(), "audit", err);
+
+  std::vector<std::string> attrs;
+  const std::string attrs_flag = args.GetString("attrs");
+  if (!attrs_flag.empty()) {
+    for (const std::string& raw : Split(attrs_flag, ',')) {
+      const std::string name(Trim(raw));
+      if (!name.empty()) attrs.push_back(name);
+    }
+  }
+
+  auto warnings = AuditLabel(*label, attrs, options);
+  if (!warnings.ok()) return FailWith(warnings.status(), "audit", err);
+
+  out << "label:    " << args.positional()[0] << " ("
+      << WithThousandsSeparators(label->total_rows) << " rows)\n";
+  out << "warnings: " << warnings->size() << " (min-count "
+      << options.min_group_count << ", max-share "
+      << PercentString(options.max_group_share, 0) << ", corr-factor "
+      << StrFormat("%.1f", options.correlation_factor) << ")\n\n";
+
+  WarningKind current = WarningKind::kUnderrepresented;
+  bool first_section = true;
+  int64_t shown_in_section = 0;
+  int64_t suppressed = 0;
+  for (const FitnessWarning& w : *warnings) {
+    if (first_section || w.kind != current) {
+      if (suppressed > 0) {
+        out << "  ... " << suppressed << " more\n";
+        suppressed = 0;
+      }
+      current = w.kind;
+      first_section = false;
+      shown_in_section = 0;
+      out << "[" << WarningKindName(w.kind) << "]\n";
+    }
+    if (*limit > 0 && shown_in_section >= *limit) {
+      ++suppressed;
+      continue;
+    }
+    ++shown_in_section;
+    if (w.kind == WarningKind::kCorrelated) {
+      out << StrFormat("  %-60s est %.1f vs independent %.1f\n",
+                       w.GroupString().c_str(), w.estimated, w.reference);
+    } else {
+      out << StrFormat("  %-60s est %.1f (threshold %.1f)\n",
+                       w.GroupString().c_str(), w.estimated, w.reference);
+    }
+  }
+  if (suppressed > 0) out << "  ... " << suppressed << " more\n";
+  if (warnings->empty()) out << "no warnings at these thresholds\n";
+  return kExitOk;
+}
+
+}  // namespace cli
+}  // namespace pcbl

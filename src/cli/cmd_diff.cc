@@ -1,0 +1,49 @@
+// `pcbl diff <old-label> <new-label>` — what changed between two releases
+// of a dataset, as seen through their labels alone: marginal shifts, new
+// or vanished values, and pattern-count churn over the shared S.
+#include <ostream>
+
+#include "cli/commands.h"
+#include "cli/common.h"
+#include "core/label_diff.h"
+#include "util/str.h"
+
+namespace pcbl {
+namespace cli {
+
+namespace {
+constexpr char kUsage[] =
+    "usage: pcbl diff <old-label.{json,bin}> <new-label.{json,bin}> [flags]\n"
+    "\n"
+    "flags:\n"
+    "  --limit N   rows shown per section (default 20, 0 = all)\n";
+}  // namespace
+
+int CmdDiff(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.GetBool("help")) {
+    out << kUsage;
+    return kExitOk;
+  }
+  if (Status s = args.CheckKnown({"help", "limit"}); !s.ok()) {
+    return FailWith(s, "diff", err);
+  }
+  if (Status s =
+          args.RequirePositional(2, "pcbl diff <old-label> <new-label>");
+      !s.ok()) {
+    return FailWith(s, "diff", err);
+  }
+  auto limit = args.GetInt("limit", 20);
+  if (!limit.ok()) return FailWith(limit.status(), "diff", err);
+  auto old_label = LoadLabelFile(args.positional()[0]);
+  if (!old_label.ok()) return FailWith(old_label.status(), "diff", err);
+  auto new_label = LoadLabelFile(args.positional()[1]);
+  if (!new_label.ok()) return FailWith(new_label.status(), "diff", err);
+
+  const LabelDiff diff = DiffLabels(*old_label, *new_label);
+  out << args.positional()[0] << " -> " << args.positional()[1] << "\n";
+  out << RenderLabelDiff(diff, static_cast<int>(*limit));
+  return kExitOk;
+}
+
+}  // namespace cli
+}  // namespace pcbl

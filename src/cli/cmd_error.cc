@@ -1,0 +1,81 @@
+// `pcbl error <label> <data.csv>` — evaluates a shipped label against a
+// dataset: binds the label to the table by attribute name and reports the
+// estimation error over the dataset's full patterns (the paper's P = P_A).
+// Useful both to verify a freshly built label and to measure drift when
+// the data has changed since the label was generated.
+#include <ostream>
+
+#include "cli/commands.h"
+#include "cli/common.h"
+#include "core/bound_label.h"
+#include "core/error.h"
+#include "core/render.h"
+#include "pattern/full_pattern_index.h"
+#include "util/str.h"
+
+namespace pcbl {
+namespace cli {
+
+namespace {
+constexpr char kUsage[] =
+    "usage: pcbl error <label.{json,bin}> <data.csv> [flags]\n"
+    "\n"
+    "flags:\n"
+    "  --mode M   exact (default) or early (the Sec. IV-C early-terminated\n"
+    "             max-error scan)\n"
+    "  --render   also print the Fig. 1-style nutrition label with the\n"
+    "             freshly computed error summary block\n";
+}  // namespace
+
+int CmdError(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.GetBool("help")) {
+    out << kUsage;
+    return kExitOk;
+  }
+  if (Status s = args.CheckKnown({"help", "mode", "render"}); !s.ok()) {
+    return FailWith(s, "error", err);
+  }
+  if (Status s =
+          args.RequirePositional(2, "pcbl error <label> <data.csv>");
+      !s.ok()) {
+    return FailWith(s, "error", err);
+  }
+  const std::string mode_name = ToLower(args.GetString("mode", "exact"));
+  if (mode_name != "exact" && mode_name != "early") {
+    return FailWith(InvalidArgumentError("--mode expects exact or early"),
+                    "error", err);
+  }
+  auto label = LoadLabelFile(args.positional()[0]);
+  if (!label.ok()) return FailWith(label.status(), "error", err);
+  auto table = LoadCsvTable(args.positional()[1]);
+  if (!table.ok()) return FailWith(table.status(), "error", err);
+
+  auto bound = BoundPortableLabel::Bind(*label, *table);
+  if (!bound.ok()) return FailWith(bound.status(), "error", err);
+
+  const FullPatternIndex index = FullPatternIndex::Build(*table);
+  const ErrorReport report = EvaluateOverFullPatterns(
+      index, *bound,
+      mode_name == "early" ? ErrorMode::kEarlyTermination
+                           : ErrorMode::kExact);
+
+  out << "label:    " << args.positional()[0] << " (|PC| = "
+      << bound->FootprintEntries() << ", labeled rows = "
+      << WithThousandsSeparators(label->total_rows) << ")\n";
+  out << "dataset:  " << args.positional()[1] << " ("
+      << WithThousandsSeparators(table->num_rows()) << " rows, "
+      << WithThousandsSeparators(index.num_patterns())
+      << " distinct full patterns)\n";
+  if (label->total_rows != table->num_rows()) {
+    out << "note:     row counts differ — the label was built on another "
+           "version of this data; errors below include that drift\n";
+  }
+  out << "error over P_A:\n" << FormatErrorReport(report, table->num_rows());
+  if (args.GetBool("render")) {
+    out << "\n" << RenderNutritionLabel(*label, &report);
+  }
+  return kExitOk;
+}
+
+}  // namespace cli
+}  // namespace pcbl

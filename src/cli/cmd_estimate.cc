@@ -1,0 +1,63 @@
+// `pcbl estimate <label> --pattern "attr=value,..."` — answers a pattern
+// count query from a saved label alone, exactly the consumer-side use the
+// paper envisages (a judge asking "how many Hispanic women does this
+// training set contain?" without access to the data).
+#include <cmath>
+#include <ostream>
+
+#include "cli/commands.h"
+#include "cli/common.h"
+#include "util/str.h"
+
+namespace pcbl {
+namespace cli {
+
+namespace {
+constexpr char kUsage[] =
+    "usage: pcbl estimate <label.{json,bin}> --pattern \"a=x,b=y\"\n"
+    "\n"
+    "Estimates the count of the given attribute-value combination from the\n"
+    "label (Definition 2.11). Attribute and value strings must match the\n"
+    "labeled dataset's.\n";
+}  // namespace
+
+int CmdEstimate(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.GetBool("help")) {
+    out << kUsage;
+    return kExitOk;
+  }
+  if (Status s = args.CheckKnown({"help", "pattern"}); !s.ok()) {
+    return FailWith(s, "estimate", err);
+  }
+  if (Status s = args.RequirePositional(
+          1, "pcbl estimate <label> --pattern \"a=x,b=y\"");
+      !s.ok()) {
+    return FailWith(s, "estimate", err);
+  }
+  const std::string pattern_text = args.GetString("pattern");
+  if (pattern_text.empty()) {
+    return FailWith(InvalidArgumentError("--pattern is required"), "estimate",
+                    err);
+  }
+  auto terms = ParseNamedPattern(pattern_text);
+  if (!terms.ok()) return FailWith(terms.status(), "estimate", err);
+  auto label = LoadLabelFile(args.positional()[0]);
+  if (!label.ok()) return FailWith(label.status(), "estimate", err);
+
+  auto estimate = label->EstimateCount(*terms);
+  if (!estimate.ok()) return FailWith(estimate.status(), "estimate", err);
+
+  const double share =
+      label->total_rows > 0
+          ? *estimate / static_cast<double>(label->total_rows)
+          : 0.0;
+  out << "pattern:   " << pattern_text << "\n";
+  out << StrFormat("estimate:  %.2f (~%lld of %lld rows, %s)\n", *estimate,
+                   static_cast<long long>(std::llround(*estimate)),
+                   static_cast<long long>(label->total_rows),
+                   PercentString(share).c_str());
+  return kExitOk;
+}
+
+}  // namespace cli
+}  // namespace pcbl

@@ -1,0 +1,97 @@
+// `pcbl inspect <label>` — label metadata at a glance: the attribute set
+// S, sizes, and the heaviest stored pattern counts.
+#include <algorithm>
+#include <ostream>
+#include <vector>
+
+#include "cli/commands.h"
+#include "cli/common.h"
+#include "harness/tablefmt.h"
+#include "util/str.h"
+
+namespace pcbl {
+namespace cli {
+
+namespace {
+constexpr char kUsage[] =
+    "usage: pcbl inspect <label.{json,bin}> [flags]\n"
+    "\n"
+    "flags:\n"
+    "  --top N   heaviest PC entries to list (default 10, 0 = none)\n";
+}  // namespace
+
+int CmdInspect(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.GetBool("help")) {
+    out << kUsage;
+    return kExitOk;
+  }
+  if (Status s = args.CheckKnown({"help", "top"}); !s.ok()) {
+    return FailWith(s, "inspect", err);
+  }
+  if (Status s = args.RequirePositional(1, "pcbl inspect <label>"); !s.ok()) {
+    return FailWith(s, "inspect", err);
+  }
+  auto top = args.GetInt("top", 10);
+  if (!top.ok()) return FailWith(top.status(), "inspect", err);
+  auto label = LoadLabelFile(args.positional()[0]);
+  if (!label.ok()) return FailWith(label.status(), "inspect", err);
+
+  std::vector<std::string> s_names;
+  for (int i : label->label_attributes) {
+    s_names.push_back(label->attribute_names[static_cast<size_t>(i)]);
+  }
+  int64_t vc_entries = 0;
+  for (const auto& per_attr : label->value_counts) {
+    vc_entries += static_cast<int64_t>(per_attr.size());
+  }
+  int64_t pc_rows_covered = 0;
+  for (const auto& [values, count] : label->pattern_counts) {
+    pc_rows_covered += count;
+  }
+
+  out << "dataset:       "
+      << (label->dataset_name.empty() ? "(unnamed)" : label->dataset_name)
+      << "\n";
+  out << "rows:          " << WithThousandsSeparators(label->total_rows)
+      << "\n";
+  out << "attributes:    " << label->attribute_names.size() << "\n";
+  out << "S:             "
+      << (s_names.empty() ? "(empty — independence label)"
+                          : Join(s_names, ", "))
+      << "\n";
+  out << "|PC|:          " << label->size() << "\n";
+  out << "|VC| entries:  " << vc_entries << "\n";
+  if (label->total_rows > 0) {
+    out << "PC coverage:   "
+        << PercentString(static_cast<double>(pc_rows_covered) /
+                         static_cast<double>(label->total_rows))
+        << " of rows bind a stored pattern\n";
+  }
+
+  if (*top > 0 && !label->pattern_counts.empty()) {
+    std::vector<size_t> order(label->pattern_counts.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      if (label->pattern_counts[a].second != label->pattern_counts[b].second) {
+        return label->pattern_counts[a].second >
+               label->pattern_counts[b].second;
+      }
+      return a < b;
+    });
+    order.resize(std::min<size_t>(order.size(), static_cast<size_t>(*top)));
+    out << "\n";
+    std::vector<std::string> header = s_names;
+    header.push_back("count");
+    harness::TextTable grid(header);
+    for (size_t i : order) {
+      std::vector<std::string> row = label->pattern_counts[i].first;
+      row.push_back(std::to_string(label->pattern_counts[i].second));
+      grid.AddRow(row);
+    }
+    out << grid.ToMarkdown();
+  }
+  return kExitOk;
+}
+
+}  // namespace cli
+}  // namespace pcbl

@@ -1,0 +1,53 @@
+// `pcbl profile <data.csv>` — the data-profiling entry point: row count and
+// per-attribute distinct counts, nulls, entropy, and modal values. This is
+// the information an analyst inspects before choosing a label bound.
+#include <ostream>
+
+#include "cli/commands.h"
+#include "cli/common.h"
+#include "harness/tablefmt.h"
+#include "relation/stats.h"
+#include "util/str.h"
+
+namespace pcbl {
+namespace cli {
+
+namespace {
+constexpr char kUsage[] =
+    "usage: pcbl profile <data.csv>\n"
+    "\n"
+    "Prints per-attribute statistics of a CSV dataset: distinct values,\n"
+    "null count, Shannon entropy, and the most common value.\n";
+}  // namespace
+
+int CmdProfile(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.GetBool("help")) {
+    out << kUsage;
+    return kExitOk;
+  }
+  if (Status s = args.CheckKnown({"help"}); !s.ok()) {
+    return FailWith(s, "profile", err);
+  }
+  if (Status s = args.RequirePositional(1, "pcbl profile <data.csv>");
+      !s.ok()) {
+    return FailWith(s, "profile", err);
+  }
+  auto table = LoadCsvTable(args.positional()[0]);
+  if (!table.ok()) return FailWith(table.status(), "profile", err);
+
+  out << args.positional()[0] << ": "
+      << WithThousandsSeparators(table->num_rows()) << " rows, "
+      << table->num_attributes() << " attributes\n\n";
+  harness::TextTable grid(
+      {"attribute", "distinct", "nulls", "entropy", "top value", "top count"});
+  for (const AttributeSummary& a : SummarizeAttributes(*table)) {
+    grid.AddRowValues(a.name, a.distinct_values, a.null_count,
+                      StrFormat("%.2f", a.entropy_bits), a.top_value,
+                      a.top_count);
+  }
+  out << grid.ToMarkdown();
+  return kExitOk;
+}
+
+}  // namespace cli
+}  // namespace pcbl

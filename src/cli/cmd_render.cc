@@ -1,0 +1,50 @@
+// `pcbl render <label>` — prints a saved label in the paper's Fig. 1
+// nutrition-label style.
+#include <ostream>
+
+#include "cli/commands.h"
+#include "cli/common.h"
+#include "core/render.h"
+
+namespace pcbl {
+namespace cli {
+
+namespace {
+constexpr char kUsage[] =
+    "usage: pcbl render <label.{json,bin}> [flags]\n"
+    "\n"
+    "flags:\n"
+    "  --max-values N    values shown per attribute (default 12, 0 = all)\n"
+    "  --max-patterns N  PC rows shown (default 40, 0 = all)\n";
+}  // namespace
+
+int CmdRender(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.GetBool("help")) {
+    out << kUsage;
+    return kExitOk;
+  }
+  if (Status s = args.CheckKnown({"help", "max-values", "max-patterns"});
+      !s.ok()) {
+    return FailWith(s, "render", err);
+  }
+  if (Status s = args.RequirePositional(1, "pcbl render <label>"); !s.ok()) {
+    return FailWith(s, "render", err);
+  }
+  auto max_values = args.GetInt("max-values", 12);
+  if (!max_values.ok()) return FailWith(max_values.status(), "render", err);
+  auto max_patterns = args.GetInt("max-patterns", 40);
+  if (!max_patterns.ok()) {
+    return FailWith(max_patterns.status(), "render", err);
+  }
+  auto label = LoadLabelFile(args.positional()[0]);
+  if (!label.ok()) return FailWith(label.status(), "render", err);
+
+  RenderOptions options;
+  options.max_values_per_attribute = static_cast<int>(*max_values);
+  options.max_pattern_rows = static_cast<int>(*max_patterns);
+  out << RenderNutritionLabel(*label, nullptr, options);
+  return kExitOk;
+}
+
+}  // namespace cli
+}  // namespace pcbl

@@ -1,0 +1,84 @@
+// `pcbl synth <dataset>` — generates one of the paper's (simulated)
+// evaluation datasets as CSV, for experimenting with the tool end-to-end
+// without redistributable data.
+#include <ostream>
+#include <string>
+
+#include "cli/commands.h"
+#include "cli/common.h"
+#include "relation/csv.h"
+#include "util/str.h"
+#include "workload/datasets.h"
+
+namespace pcbl {
+namespace cli {
+
+namespace {
+constexpr char kUsage[] =
+    "usage: pcbl synth <bluenile|compas|creditcard|fig2> --out data.csv\n"
+    "\n"
+    "flags:\n"
+    "  --rows N   rows to generate (default: the paper's count;\n"
+    "             fig2 is fixed at 18 rows)\n"
+    "  --seed S   generator seed (default 2021)\n"
+    "  --out F    output CSV path (required)\n";
+}  // namespace
+
+int CmdSynth(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.GetBool("help")) {
+    out << kUsage;
+    return kExitOk;
+  }
+  if (Status s = args.CheckKnown({"help", "rows", "seed", "out"}); !s.ok()) {
+    return FailWith(s, "synth", err);
+  }
+  if (Status s = args.RequirePositional(
+          1, "pcbl synth <bluenile|compas|creditcard|fig2> --out data.csv");
+      !s.ok()) {
+    return FailWith(s, "synth", err);
+  }
+  const std::string out_path = args.GetString("out");
+  if (out_path.empty()) {
+    return FailWith(InvalidArgumentError("--out is required"), "synth", err);
+  }
+  auto seed = args.GetInt("seed", 2021);
+  if (!seed.ok()) return FailWith(seed.status(), "synth", err);
+
+  const std::string which = ToLower(args.positional()[0]);
+  Result<Table> table = InvalidArgumentError(
+      StrCat("unknown dataset \"", which,
+             "\" (expected bluenile, compas, creditcard, or fig2)"));
+  if (which == "fig2") {
+    table = workload::MakeFig2Demo();
+  } else if (which == "bluenile" || which == "compas" ||
+             which == "creditcard") {
+    int64_t default_rows = workload::kBlueNileRows;
+    if (which == "compas") default_rows = workload::kCompasRows;
+    if (which == "creditcard") default_rows = workload::kCreditCardRows;
+    auto rows = args.GetInt("rows", default_rows);
+    if (!rows.ok()) return FailWith(rows.status(), "synth", err);
+    if (*rows <= 0) {
+      return FailWith(InvalidArgumentError("--rows must be positive"),
+                      "synth", err);
+    }
+    if (which == "bluenile") {
+      table = workload::MakeBlueNile(*rows, static_cast<uint64_t>(*seed));
+    } else if (which == "compas") {
+      table = workload::MakeCompas(*rows, static_cast<uint64_t>(*seed));
+    } else {
+      table = workload::MakeCreditCard(*rows, static_cast<uint64_t>(*seed));
+    }
+  }
+  if (!table.ok()) return FailWith(table.status(), "synth", err);
+
+  if (Status s = WriteCsvFile(*table, out_path); !s.ok()) {
+    return FailWith(s, "synth", err);
+  }
+  out << which << ": " << WithThousandsSeparators(table->num_rows())
+      << " rows, " << table->num_attributes() << " attributes -> " << out_path
+      << "\n";
+  return kExitOk;
+}
+
+}  // namespace cli
+}  // namespace pcbl

@@ -1,0 +1,63 @@
+// The pcbl tool's subcommands. Each command takes parsed Args and the
+// output/error streams and returns a process exit code; RunCli (cli.h)
+// dispatches to them. Keeping commands as plain functions over streams
+// makes them directly testable without spawning processes.
+#ifndef PCBL_CLI_COMMANDS_H_
+#define PCBL_CLI_COMMANDS_H_
+
+#include <ostream>
+
+#include "cli/args.h"
+
+namespace pcbl {
+namespace cli {
+
+/// `pcbl profile <data.csv>` — per-attribute statistics of a dataset.
+int CmdProfile(const Args& args, std::ostream& out, std::ostream& err);
+
+/// `pcbl build <data.csv> [--bound N] [--algo topdown|naive]
+///  [--metric max-abs|mean-abs|max-q|mean-q] [--out label.json]
+///  [--binary] [--name NAME] [--time-limit SECONDS]` — search the optimal
+/// label and optionally save it.
+int CmdBuild(const Args& args, std::ostream& out, std::ostream& err);
+
+/// `pcbl render <label.{json,bin}> [--max-values N] [--max-patterns N]` —
+/// print the Fig. 1-style nutrition label.
+int CmdRender(const Args& args, std::ostream& out, std::ostream& err);
+
+/// `pcbl estimate <label.{json,bin}> --pattern "attr=value,attr=value"` —
+/// estimate one pattern's count from a label alone.
+int CmdEstimate(const Args& args, std::ostream& out, std::ostream& err);
+
+/// `pcbl error <label.{json,bin}> <data.csv> [--mode exact|early]` —
+/// evaluate a shipped label against a dataset (max/mean absolute error and
+/// q-error over its full patterns).
+int CmdError(const Args& args, std::ostream& out, std::ostream& err);
+
+/// `pcbl synth <bluenile|compas|creditcard|fig2> [--rows N] [--seed S]
+///  --out data.csv` — generate one of the paper's (simulated) datasets.
+int CmdSynth(const Args& args, std::ostream& out, std::ostream& err);
+
+/// `pcbl inspect <label.{json,bin}>` — label metadata: S, sizes, top
+/// pattern counts.
+int CmdInspect(const Args& args, std::ostream& out, std::ostream& err);
+
+/// `pcbl audit <label.{json,bin}> [--attrs A,B] [--min-count N]
+///  [--max-share F] [--corr-factor F] [--max-arity K]` — fitness-for-use
+/// warnings (underrepresentation, skew, correlated pairs) from the label
+/// alone.
+int CmdAudit(const Args& args, std::ostream& out, std::ostream& err);
+
+/// `pcbl bucketize <data.csv> --out binned.csv [--attrs A,B] [--bins N]
+///  [--strategy width|depth]` — bin numeric attributes into categorical
+/// ranges (the Sec. II preprocessing step).
+int CmdBucketize(const Args& args, std::ostream& out, std::ostream& err);
+
+/// `pcbl diff <old-label> <new-label>` — change log between two labels of
+/// successive dataset versions (marginal shifts, pattern churn).
+int CmdDiff(const Args& args, std::ostream& out, std::ostream& err);
+
+}  // namespace cli
+}  // namespace pcbl
+
+#endif  // PCBL_CLI_COMMANDS_H_

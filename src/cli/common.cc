@@ -1,0 +1,75 @@
+#include "cli/common.h"
+
+#include <utility>
+
+#include "relation/csv.h"
+#include "util/str.h"
+
+namespace pcbl {
+namespace cli {
+
+int FailWith(const Status& status, const std::string& command,
+             std::ostream& err) {
+  err << "pcbl " << command << ": " << status.ToString() << "\n";
+  return status.code() == StatusCode::kInvalidArgument ? kExitUsage
+                                                       : kExitError;
+}
+
+Result<Table> LoadCsvTable(const std::string& path) {
+  return ReadCsvFile(path);
+}
+
+Result<PortableLabel> LoadLabelFile(const std::string& path) {
+  return LoadLabel(path);
+}
+
+Result<std::vector<std::pair<std::string, std::string>>> ParseNamedPattern(
+    const std::string& text) {
+  std::vector<std::pair<std::string, std::string>> terms;
+  for (const std::string& raw : Split(text, ',')) {
+    const std::string term(Trim(raw));
+    if (term.empty()) continue;
+    const size_t eq = term.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return InvalidArgumentError(
+          StrCat("pattern term \"", term, "\" is not attr=value"));
+    }
+    terms.emplace_back(std::string(Trim(term.substr(0, eq))),
+                       std::string(Trim(term.substr(eq + 1))));
+  }
+  if (terms.empty()) {
+    return InvalidArgumentError("pattern has no attr=value terms");
+  }
+  return terms;
+}
+
+Result<OptimizationMetric> ParseMetric(const std::string& name) {
+  const std::string n = ToLower(name);
+  if (n == "max-abs") return OptimizationMetric::kMaxAbsolute;
+  if (n == "mean-abs") return OptimizationMetric::kMeanAbsolute;
+  if (n == "max-q") return OptimizationMetric::kMaxQError;
+  if (n == "mean-q") return OptimizationMetric::kMeanQError;
+  return InvalidArgumentError(
+      StrCat("unknown metric \"", name,
+             "\" (expected max-abs, mean-abs, max-q, or mean-q)"));
+}
+
+std::string FormatErrorReport(const ErrorReport& report, int64_t total_rows) {
+  std::string out;
+  const double frac =
+      total_rows > 0 ? report.max_abs / static_cast<double>(total_rows) : 0.0;
+  out += StrFormat("  max abs error:   %.0f (%s of rows)\n", report.max_abs,
+                   PercentString(frac).c_str());
+  out += StrFormat("  mean abs error:  %.3f\n", report.mean_abs);
+  out += StrFormat("  std abs error:   %.3f\n", report.std_abs);
+  out += StrFormat("  max q-error:     %.1f\n", report.max_q);
+  out += StrFormat("  mean q-error:    %.2f\n", report.mean_q);
+  out += StrFormat("  patterns:        %lld of %lld evaluated%s\n",
+                   static_cast<long long>(report.evaluated),
+                   static_cast<long long>(report.total),
+                   report.early_terminated ? " (early termination)" : "");
+  return out;
+}
+
+}  // namespace cli
+}  // namespace pcbl

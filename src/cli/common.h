@@ -1,0 +1,49 @@
+// Helpers shared by the pcbl subcommands.
+#ifndef PCBL_CLI_COMMON_H_
+#define PCBL_CLI_COMMON_H_
+
+#include <ostream>
+#include <string>
+
+#include "cli/args.h"
+#include "core/error.h"
+#include "core/portable_label.h"
+#include "relation/table.h"
+#include "util/status.h"
+
+namespace pcbl {
+namespace cli {
+
+/// Exit codes shared by all commands.
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitError = 1;
+inline constexpr int kExitUsage = 2;
+
+/// Prints `status` as "pcbl <command>: <message>" and returns the exit
+/// code for it (usage errors map to kExitUsage).
+int FailWith(const Status& status, const std::string& command,
+             std::ostream& err);
+
+/// Reads a CSV dataset, reporting row/attribute counts to `out` unless
+/// quiet.
+Result<Table> LoadCsvTable(const std::string& path);
+
+/// Loads a portable label from a JSON or binary file.
+Result<PortableLabel> LoadLabelFile(const std::string& path);
+
+/// Parses "attr=value,attr=value" into (attribute, value) pairs. Values
+/// may contain '=' (only the first one per term separates); terms are
+/// trimmed.
+Result<std::vector<std::pair<std::string, std::string>>> ParseNamedPattern(
+    const std::string& text);
+
+/// Parses an OptimizationMetric name (max-abs, mean-abs, max-q, mean-q).
+Result<OptimizationMetric> ParseMetric(const std::string& name);
+
+/// Renders an ErrorReport as aligned "key: value" lines.
+std::string FormatErrorReport(const ErrorReport& report, int64_t total_rows);
+
+}  // namespace cli
+}  // namespace pcbl
+
+#endif  // PCBL_CLI_COMMON_H_

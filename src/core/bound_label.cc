@@ -1,0 +1,171 @@
+#include "core/bound_label.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/str.h"
+
+namespace pcbl {
+
+Result<BoundPortableLabel> BoundPortableLabel::Bind(const PortableLabel& label,
+                                                    const Table& table) {
+  BoundPortableLabel bound;
+  bound.width_ = table.num_attributes();
+  bound.total_rows_ = label.total_rows;
+
+  if (label.value_counts.size() != label.attribute_names.size()) {
+    return InvalidArgumentError(
+        "portable label VC does not cover its attribute list");
+  }
+
+  // Label attribute position -> table attribute index.
+  std::vector<int> to_table(label.attribute_names.size(), -1);
+  for (size_t i = 0; i < label.attribute_names.size(); ++i) {
+    auto idx = table.schema().FindAttribute(label.attribute_names[i]);
+    if (!idx.ok()) {
+      return NotFoundError(StrCat("label attribute \"",
+                                  label.attribute_names[i],
+                                  "\" not in the table schema"));
+    }
+    to_table[i] = *idx;
+  }
+
+  // VC: translate value strings to table codes; the denominator is the
+  // label's own total per attribute (Definition 2.11 divides by label
+  // counts, not by the bound table's).
+  bound.vc_counts_.assign(static_cast<size_t>(bound.width_), {});
+  bound.inv_totals_.assign(static_cast<size_t>(bound.width_), 0.0);
+  for (size_t i = 0; i < label.value_counts.size(); ++i) {
+    const int attr = to_table[i];
+    auto& per_code = bound.vc_counts_[static_cast<size_t>(attr)];
+    per_code.assign(static_cast<size_t>(table.DomainSize(attr)), 0);
+    int64_t total = 0;
+    for (const auto& [value, count] : label.value_counts[i]) {
+      total += count;
+      const ValueId code = table.dictionary(attr).Lookup(value);
+      if (!IsNull(code)) per_code[code] = count;
+    }
+    bound.inv_totals_[static_cast<size_t>(attr)] =
+        total > 0 ? 1.0 / static_cast<double>(total) : 0.0;
+  }
+
+  // S, in table attribute order; remember the permutation of PC columns.
+  std::vector<std::pair<int, size_t>> order;  // (table attr, PC column)
+  for (size_t j = 0; j < label.label_attributes.size(); ++j) {
+    const int li = label.label_attributes[j];
+    if (li < 0 || static_cast<size_t>(li) >= to_table.size()) {
+      return InvalidArgumentError("portable label S index out of range");
+    }
+    order.emplace_back(to_table[static_cast<size_t>(li)], j);
+  }
+  std::sort(order.begin(), order.end());
+  for (const auto& [attr, col] : order) {
+    if (bound.attrs_.Test(attr)) {
+      return InvalidArgumentError("portable label S has duplicate attributes");
+    }
+    bound.attrs_.Set(attr);
+    bound.s_attrs_.push_back(attr);
+  }
+
+  // PC: re-encode each pattern row into table codes over s_attrs_.
+  for (const auto& [values, count] : label.pattern_counts) {
+    if (values.size() != order.size()) {
+      return InvalidArgumentError(
+          "portable label PC row arity does not match S");
+    }
+    std::vector<ValueId> key(order.size());
+    for (size_t k = 0; k < order.size(); ++k) {
+      const auto& [attr, col] = order[k];
+      // Unknown values stay kNullValue: the entry can never be the exact
+      // lookup target but still participates in containment sums.
+      key[k] = table.dictionary(attr).Lookup(values[col]);
+    }
+    auto [it, inserted] = bound.pc_.emplace(std::move(key), count);
+    if (!inserted) it->second += count;
+    bound.pc_counts_.push_back(count);
+  }
+  return bound;
+}
+
+double BoundPortableLabel::RestrictedCount(
+    const std::vector<ValueId>& bound) const {
+  bool all_bound = true;
+  bool none_bound = true;
+  for (int attr : s_attrs_) {
+    if (IsNull(bound[static_cast<size_t>(attr)])) {
+      all_bound = false;
+    } else {
+      none_bound = false;
+    }
+  }
+  if (none_bound) return static_cast<double>(total_rows_);
+  if (all_bound) {
+    std::vector<ValueId> key(s_attrs_.size());
+    for (size_t j = 0; j < s_attrs_.size(); ++j) {
+      key[j] = bound[static_cast<size_t>(s_attrs_[j])];
+    }
+    const auto it = pc_.find(key);
+    return it == pc_.end() ? 0.0 : static_cast<double>(it->second);
+  }
+  // Containment: sum the entries agreeing with every bound S-attribute.
+  int64_t sum = 0;
+  for (const auto& [key, count] : pc_) {
+    bool agrees = true;
+    for (size_t j = 0; j < s_attrs_.size(); ++j) {
+      const ValueId want = bound[static_cast<size_t>(s_attrs_[j])];
+      if (!IsNull(want) && key[j] != want) {
+        agrees = false;
+        break;
+      }
+    }
+    if (agrees) sum += count;
+  }
+  return static_cast<double>(sum);
+}
+
+double BoundPortableLabel::EstimateCount(const Pattern& p) const {
+  std::vector<ValueId> bound(static_cast<size_t>(width_), kNullValue);
+  for (const PatternTerm& t : p.terms()) {
+    bound[static_cast<size_t>(t.attr)] = t.value;
+  }
+  double est = RestrictedCount(bound);
+  for (const PatternTerm& t : p.terms()) {
+    if (attrs_.Test(t.attr)) continue;
+    const auto& per_code = vc_counts_[static_cast<size_t>(t.attr)];
+    const int64_t numer =
+        t.value < per_code.size() ? per_code[t.value] : 0;
+    est *= static_cast<double>(numer) *
+           inv_totals_[static_cast<size_t>(t.attr)];
+  }
+  return est;
+}
+
+double BoundPortableLabel::EstimateFullPattern(const ValueId* codes,
+                                               int width) const {
+  if (width != width_) {
+    return CardinalityEstimator::EstimateFullPattern(codes, width);
+  }
+  double est;
+  if (s_attrs_.empty()) {
+    est = static_cast<double>(total_rows_);
+  } else {
+    std::vector<ValueId> key(s_attrs_.size());
+    for (size_t j = 0; j < s_attrs_.size(); ++j) {
+      key[j] = codes[s_attrs_[j]];
+    }
+    const auto it = pc_.find(key);
+    est = it == pc_.end() ? 0.0 : static_cast<double>(it->second);
+  }
+  if (est == 0.0) return 0.0;
+  for (int a = 0; a < width_; ++a) {
+    if (attrs_.Test(a)) continue;
+    const auto& per_code = vc_counts_[static_cast<size_t>(a)];
+    const int64_t numer = codes[a] < per_code.size() ? per_code[codes[a]] : 0;
+    est *= static_cast<double>(numer) * inv_totals_[static_cast<size_t>(a)];
+  }
+  return est;
+}
+
+}  // namespace pcbl

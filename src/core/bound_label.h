@@ -1,0 +1,79 @@
+// BoundPortableLabel — a PortableLabel re-attached to a concrete table.
+//
+// The intended deployment (Sec. I) ships a label as metadata next to a
+// dataset; a consumer who later obtains the data wants to check the label
+// against it (or against a successor version of the data). Binding
+// translates the label's attribute names and value strings into the
+// table's dictionary codes once, producing a CardinalityEstimator that can
+// be evaluated with the ordinary error machinery — e.g. by the `pcbl
+// error` CLI command and by drift checks after appends.
+//
+// Binding is name-based and strict on attributes: every attribute the
+// label mentions must exist in the table's schema. Values the table has
+// never seen bind to "absent" and contribute zero counts (the label then
+// simply predicts 0 for patterns using them).
+#ifndef PCBL_CORE_BOUND_LABEL_H_
+#define PCBL_CORE_BOUND_LABEL_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/estimator.h"
+#include "core/portable_label.h"
+#include "relation/table.h"
+#include "util/attr_mask.h"
+#include "util/status.h"
+
+namespace pcbl {
+
+/// A portable label translated into one table's code space.
+class BoundPortableLabel : public CardinalityEstimator {
+ public:
+  /// Binds `label` to `table` by attribute name. Fails when the label
+  /// names an attribute the table lacks, or when the label is internally
+  /// inconsistent (PC rows not matching the declared attribute set).
+  static Result<BoundPortableLabel> Bind(const PortableLabel& label,
+                                         const Table& table);
+
+  double EstimateCount(const Pattern& p) const override;
+  double EstimateFullPattern(const ValueId* codes, int width) const override;
+  std::string name() const override { return "PCBL-bound"; }
+
+  /// |PC| of the underlying label.
+  int64_t FootprintEntries() const override {
+    return static_cast<int64_t>(pc_counts_.size());
+  }
+
+  /// The label's attribute set S, as table attribute indices.
+  AttrMask attributes() const { return attrs_; }
+
+  /// |D| recorded in the label (not the bound table's row count).
+  int64_t label_total_rows() const { return total_rows_; }
+
+ private:
+  BoundPortableLabel() = default;
+
+  // c_D(p|S) from PC: exact lookup when all of S is bound, otherwise a
+  // containment sum. `bound` holds a code per table attribute
+  // (kNullValue = unbound).
+  double RestrictedCount(const std::vector<ValueId>& bound) const;
+
+  int width_ = 0;
+  int64_t total_rows_ = 0;
+  AttrMask attrs_;
+  std::vector<int> s_attrs_;  // members of S in increasing order
+  // VC translated to table codes: vc_counts_[attr][code], plus the
+  // per-attribute denominator.
+  std::vector<std::vector<int64_t>> vc_counts_;
+  std::vector<double> inv_totals_;
+  // PC keys (codes over s_attrs_, in order) -> count. kNullValue inside a
+  // key marks a label value the table does not know (never matches).
+  std::map<std::vector<ValueId>, int64_t> pc_;
+  std::vector<int64_t> pc_counts_;  // flat copy, for footprint/iteration
+};
+
+}  // namespace pcbl
+
+#endif  // PCBL_CORE_BOUND_LABEL_H_

@@ -1,0 +1,151 @@
+#include "core/error.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/pattern_set.h"
+#include "util/logging.h"
+#include "util/stats_accumulator.h"
+
+namespace pcbl {
+
+double QError(int64_t actual, double estimate) {
+  PCBL_DCHECK(actual > 0) << "q-error needs positive true counts";
+  // Counts are integers: an estimate below one row reads as "0 rows", and
+  // the paper sets est := 1 whenever the estimation is 0 (Sec. IV-B).
+  // Clamping to one row is the standard planner convention and keeps the
+  // metric finite for the tiny independence products of wide patterns.
+  double est = std::max(estimate, 1.0);
+  double a = static_cast<double>(actual);
+  return std::max(a / est, est / a);
+}
+
+ErrorReport EvaluateOverFullPatterns(const FullPatternIndex& index,
+                                     const CardinalityEstimator& estimator,
+                                     ErrorMode mode) {
+  ErrorReport report;
+  report.total = index.num_patterns();
+  StatsAccumulator abs_acc;
+  StatsAccumulator q_acc;
+  double max_abs = 0.0;
+  double max_q = 0.0;
+  const int width = index.width();
+  for (int64_t i = 0; i < index.num_patterns(); ++i) {
+    int64_t actual = index.count(i);
+    if (mode == ErrorMode::kEarlyTermination &&
+        static_cast<double>(actual) < max_abs) {
+      // Counts are descending; the paper's Sec. IV-C rule stops here.
+      report.early_terminated = true;
+      break;
+    }
+    double est = estimator.EstimateFullPattern(index.codes(i), width);
+    double err = std::fabs(static_cast<double>(actual) - est);
+    abs_acc.Add(err);
+    double q = QError(actual, est);
+    q_acc.Add(q);
+    if (err > max_abs) max_abs = err;
+    if (q > max_q) max_q = q;
+  }
+  report.max_abs = max_abs;
+  report.mean_abs = abs_acc.mean();
+  report.std_abs = abs_acc.stddev();
+  report.max_q = max_q;
+  report.mean_q = q_acc.mean();
+  report.evaluated = abs_acc.count();
+  return report;
+}
+
+ErrorReport EvaluateOverPatternSet(const PatternSet& set,
+                                   const CardinalityEstimator& estimator,
+                                   ErrorMode mode) {
+  ErrorReport report;
+  report.total = set.size();
+  StatsAccumulator abs_acc;
+  StatsAccumulator q_acc;
+  double max_abs = 0.0;
+  double max_q = 0.0;
+  for (int64_t i = 0; i < set.size(); ++i) {
+    int64_t actual = set.count(i);
+    if (mode == ErrorMode::kEarlyTermination &&
+        static_cast<double>(actual) < max_abs) {
+      report.early_terminated = true;
+      break;
+    }
+    double est = estimator.EstimateCount(set.pattern(i));
+    double err = std::fabs(static_cast<double>(actual) - est);
+    abs_acc.Add(err);
+    if (err > max_abs) max_abs = err;
+    if (actual > 0) {
+      double q = QError(actual, est);
+      q_acc.Add(q);
+      if (q > max_q) max_q = q;
+    }
+  }
+  report.max_abs = max_abs;
+  report.mean_abs = abs_acc.mean();
+  report.std_abs = abs_acc.stddev();
+  report.max_q = max_q;
+  report.mean_q = q_acc.mean();
+  report.evaluated = abs_acc.count();
+  return report;
+}
+
+double MetricValue(const ErrorReport& report, OptimizationMetric metric) {
+  switch (metric) {
+    case OptimizationMetric::kMaxAbsolute:
+      return report.max_abs;
+    case OptimizationMetric::kMeanAbsolute:
+      return report.mean_abs;
+    case OptimizationMetric::kMaxQError:
+      return report.max_q;
+    case OptimizationMetric::kMeanQError:
+      return report.mean_q;
+  }
+  return report.max_abs;
+}
+
+const char* MetricName(OptimizationMetric metric) {
+  switch (metric) {
+    case OptimizationMetric::kMaxAbsolute:
+      return "max-absolute";
+    case OptimizationMetric::kMeanAbsolute:
+      return "mean-absolute";
+    case OptimizationMetric::kMaxQError:
+      return "max-q";
+    case OptimizationMetric::kMeanQError:
+      return "mean-q";
+  }
+  return "max-absolute";
+}
+
+ErrorReport EvaluateOverPatterns(const std::vector<Pattern>& patterns,
+                                 const std::vector<int64_t>& actuals,
+                                 const CardinalityEstimator& estimator) {
+  PCBL_CHECK_EQ(patterns.size(), actuals.size());
+  ErrorReport report;
+  report.total = static_cast<int64_t>(patterns.size());
+  StatsAccumulator abs_acc;
+  StatsAccumulator q_acc;
+  double max_abs = 0.0;
+  double max_q = 0.0;
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    double est = estimator.EstimateCount(patterns[i]);
+    double err = std::fabs(static_cast<double>(actuals[i]) - est);
+    abs_acc.Add(err);
+    if (err > max_abs) max_abs = err;
+    if (actuals[i] > 0) {
+      double q = QError(actuals[i], est);
+      q_acc.Add(q);
+      if (q > max_q) max_q = q;
+    }
+  }
+  report.max_abs = max_abs;
+  report.mean_abs = abs_acc.mean();
+  report.std_abs = abs_acc.stddev();
+  report.max_q = max_q;
+  report.mean_q = q_acc.mean();
+  report.evaluated = abs_acc.count();
+  return report;
+}
+
+}  // namespace pcbl

@@ -1,0 +1,19 @@
+#include "core/estimator.h"
+
+#include "util/logging.h"
+
+namespace pcbl {
+
+double CardinalityEstimator::EstimateFullPattern(const ValueId* codes,
+                                                 int width) const {
+  std::vector<PatternTerm> terms;
+  terms.reserve(static_cast<size_t>(width));
+  for (int a = 0; a < width; ++a) {
+    terms.push_back(PatternTerm{a, codes[a]});
+  }
+  auto p = Pattern::Create(std::move(terms));
+  PCBL_CHECK(p.ok()) << p.status();
+  return EstimateCount(*p);
+}
+
+}  // namespace pcbl

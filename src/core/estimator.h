@@ -1,0 +1,62 @@
+// Uniform interface over pattern-count estimation methods.
+//
+// The paper compares its labels (PCBL) against a PostgreSQL-style 1-D
+// statistics estimator and uniform-sampling estimation (Sec. IV-B). The
+// error-evaluation harness works against this interface so that all three
+// (plus the degenerate independence estimator) are measured identically.
+#ifndef PCBL_CORE_ESTIMATOR_H_
+#define PCBL_CORE_ESTIMATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/label.h"
+#include "pattern/pattern.h"
+#include "relation/value.h"
+
+namespace pcbl {
+
+/// Estimates the count of a pattern in a dataset from compact metadata.
+class CardinalityEstimator {
+ public:
+  virtual ~CardinalityEstimator() = default;
+
+  /// Estimated c_D(p).
+  virtual double EstimateCount(const Pattern& p) const = 0;
+
+  /// Estimated count of the full pattern given by row codes (one ValueId
+  /// per attribute, no NULLs). Default: materializes a Pattern.
+  virtual double EstimateFullPattern(const ValueId* codes, int width) const;
+
+  /// Display name (e.g. "PCBL", "Postgres", "Sample").
+  virtual std::string name() const = 0;
+
+  /// Comparable size of the stored metadata, in count-entries — the unit
+  /// of the paper's size bound B_s.
+  virtual int64_t FootprintEntries() const = 0;
+};
+
+/// Adapts a Label to the CardinalityEstimator interface ("PCBL").
+class LabelEstimator : public CardinalityEstimator {
+ public:
+  explicit LabelEstimator(Label label) : label_(std::move(label)) {}
+
+  double EstimateCount(const Pattern& p) const override {
+    return label_.EstimateCount(p);
+  }
+  double EstimateFullPattern(const ValueId* codes, int width) const override {
+    return label_.EstimateFullPattern(codes, width);
+  }
+  std::string name() const override { return "PCBL"; }
+  int64_t FootprintEntries() const override { return label_.size(); }
+
+  const Label& label() const { return label_; }
+
+ private:
+  Label label_;
+};
+
+}  // namespace pcbl
+
+#endif  // PCBL_CORE_ESTIMATOR_H_

@@ -1,0 +1,184 @@
+#include "core/label.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace pcbl {
+
+Label Label::Build(const Table& table, AttrMask s,
+                   std::shared_ptr<const ValueCounts> vc) {
+  Label l;
+  l.attrs_ = s;
+  l.total_rows_ = table.num_rows();
+  // PC holds tuple restrictions of arity >= 2 (see counter.h); on
+  // NULL-free data this is exactly Definition 2.9's pattern set.
+  l.pc_ = ComputePatternCounts(table, s);
+  l.vc_ = vc != nullptr
+              ? std::move(vc)
+              : std::make_shared<const ValueCounts>(
+                    ValueCounts::Compute(table));
+
+  int n = table.num_attributes();
+  l.inv_totals_.assign(static_cast<size_t>(n), 0.0);
+  for (int a = 0; a < n; ++a) {
+    int64_t t = l.vc_->NonNullTotal(a);
+    l.inv_totals_[static_cast<size_t>(a)] =
+        t > 0 ? 1.0 / static_cast<double>(t) : 0.0;
+  }
+
+  l.attr_pos_.assign(static_cast<size_t>(n), -1);
+  const std::vector<int>& attrs = l.pc_.attrs();
+  for (size_t j = 0; j < attrs.size(); ++j) {
+    l.attr_pos_[static_cast<size_t>(attrs[j])] = static_cast<int>(j);
+  }
+
+  // Mixed-radix encoding of PC keys for O(log |PC|) exact lookups; each
+  // attribute gets domain-size + 1 slots, the last encoding NULL (unbound
+  // in the restriction). The PC keys arrive in ascending code order.
+  l.encodable_ = true;
+  l.radix_mult_.resize(attrs.size());
+  int64_t m = 1;
+  for (size_t j = attrs.size(); j-- > 0;) {
+    l.radix_mult_[j] = m;
+    int64_t dom = static_cast<int64_t>(table.DomainSize(attrs[j])) + 1;
+    if (m > std::numeric_limits<int64_t>::max() / dom) {
+      l.encodable_ = false;
+      break;
+    }
+    m *= dom;
+  }
+  if (l.encodable_) {
+    l.domain_sizes_.resize(attrs.size());
+    for (size_t j = 0; j < attrs.size(); ++j) {
+      l.domain_sizes_[j] = table.DomainSize(attrs[j]);
+    }
+    l.pc_codes_.reserve(static_cast<size_t>(l.pc_.num_groups()));
+    for (int64_t g = 0; g < l.pc_.num_groups(); ++g) {
+      const ValueId* key = l.pc_.key(g);
+      int64_t code = 0;
+      for (size_t j = 0; j < attrs.size(); ++j) {
+        int64_t slot = IsNull(key[j])
+                           ? static_cast<int64_t>(l.domain_sizes_[j])
+                           : static_cast<int64_t>(key[j]);
+        code += slot * l.radix_mult_[j];
+      }
+      l.pc_codes_.push_back(code);
+    }
+    PCBL_DCHECK(std::is_sorted(l.pc_codes_.begin(), l.pc_codes_.end()));
+  }
+  return l;
+}
+
+int64_t Label::LookupPcKey(const ValueId* key) const {
+  int width = pc_.key_width();
+  if (width == 0) return attrs_.empty() ? total_rows_ : 0;
+  if (encodable_) {
+    int64_t code = 0;
+    for (int j = 0; j < width; ++j) {
+      size_t sj = static_cast<size_t>(j);
+      int64_t slot = IsNull(key[j])
+                         ? static_cast<int64_t>(domain_sizes_[sj])
+                         : static_cast<int64_t>(key[j]);
+      code += slot * radix_mult_[sj];
+    }
+    auto it = std::lower_bound(pc_codes_.begin(), pc_codes_.end(), code);
+    if (it == pc_codes_.end() || *it != code) return 0;
+    return pc_.count(it - pc_codes_.begin());
+  }
+  // Lexicographic binary search over the flat key array.
+  int64_t lo = 0;
+  int64_t hi = pc_.num_groups();
+  while (lo < hi) {
+    int64_t mid = lo + (hi - lo) / 2;
+    const ValueId* k = pc_.key(mid);
+    if (std::lexicographical_compare(k, k + width, key, key + width)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo < pc_.num_groups() &&
+      std::equal(key, key + width, pc_.key(lo))) {
+    return pc_.count(lo);
+  }
+  return 0;
+}
+
+int64_t Label::RestrictedCount(const Pattern& p) const {
+  AttrMask bound = p.attributes().Intersect(attrs_);
+  if (bound == attrs_) {
+    // Complete assignment over S: exact PC lookup.
+    if (attrs_.empty()) return total_rows_;
+    std::vector<ValueId> key(static_cast<size_t>(pc_.key_width()));
+    for (const PatternTerm& t : p.terms()) {
+      int pos = attr_pos_[static_cast<size_t>(t.attr)];
+      if (pos >= 0) key[static_cast<size_t>(pos)] = t.value;
+    }
+    return LookupPcKey(key.data());
+  }
+  if (bound.empty()) return total_rows_;
+  // Marginal: sum PC entries agreeing with p on the bound attributes.
+  std::vector<std::pair<int, ValueId>> checks;  // (position in S, value)
+  for (const PatternTerm& t : p.terms()) {
+    int pos = t.attr < static_cast<int>(attr_pos_.size())
+                  ? attr_pos_[static_cast<size_t>(t.attr)]
+                  : -1;
+    if (pos >= 0) checks.emplace_back(pos, t.value);
+  }
+  int64_t total = 0;
+  for (int64_t g = 0; g < pc_.num_groups(); ++g) {
+    const ValueId* key = pc_.key(g);
+    bool match = true;
+    for (const auto& [pos, v] : checks) {
+      if (key[pos] != v) {
+        match = false;
+        break;
+      }
+    }
+    if (match) total += pc_.count(g);
+  }
+  return total;
+}
+
+int64_t Label::RestrictedCountForCodes(const ValueId* codes) const {
+  if (attrs_.empty()) return total_rows_;
+  int width = pc_.key_width();
+  // Gather the S-positions from the full code row.
+  ValueId stack_key[kMaxAttributes];
+  const std::vector<int>& attrs = pc_.attrs();
+  for (int j = 0; j < width; ++j) {
+    stack_key[j] = codes[attrs[static_cast<size_t>(j)]];
+  }
+  return LookupPcKey(stack_key);
+}
+
+double Label::EstimateCount(const Pattern& p) const {
+  double est = static_cast<double>(RestrictedCount(p));
+  for (const PatternTerm& t : p.terms()) {
+    if (attrs_.Test(t.attr)) continue;
+    est *= static_cast<double>(vc_->Count(t.attr, t.value)) *
+           inv_totals_[static_cast<size_t>(t.attr)];
+  }
+  return est;
+}
+
+double Label::EstimateFullPattern(const ValueId* codes, int width) const {
+  double est = static_cast<double>(RestrictedCountForCodes(codes));
+  if (est == 0.0) return 0.0;
+  for (int a = 0; a < width; ++a) {
+    if (attrs_.Test(a)) continue;
+    est *= static_cast<double>(vc_->Count(a, codes[a])) *
+           inv_totals_[static_cast<size_t>(a)];
+  }
+  return est;
+}
+
+double Label::AbsoluteError(const Pattern& p, int64_t actual) const {
+  double est = EstimateCount(p);
+  double diff = static_cast<double>(actual) - est;
+  return diff < 0 ? -diff : diff;
+}
+
+}  // namespace pcbl

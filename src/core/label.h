@@ -1,0 +1,104 @@
+// Label: the paper's core artifact (Definition 2.9).
+//
+// A label L_S(D) of dataset D using attribute subset S contains
+//   PC — the count of every pattern over exactly S with positive count, and
+//   VC — the count of every individual attribute value of D.
+// Its size is |PC|; VC is shared by all labels of the same dataset.
+// Labels support exact lookups (complete assignments over S), marginal
+// counts (partial assignments, by summing PC), and the estimation function
+// of Definition 2.11 via EstimateCount().
+#ifndef PCBL_CORE_LABEL_H_
+#define PCBL_CORE_LABEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "pattern/counter.h"
+#include "pattern/pattern.h"
+#include "relation/stats.h"
+#include "relation/table.h"
+#include "util/attr_mask.h"
+#include "util/status.h"
+
+namespace pcbl {
+
+/// An immutable pattern-count-based label over one dataset.
+class Label {
+ public:
+  /// An empty placeholder label (no dataset, no counts). Use Build() to
+  /// construct a meaningful label.
+  Label() = default;
+
+  /// Builds L_S(D). When `vc` is null the VC set is computed from the
+  /// table; pass a shared instance when building many labels of the same
+  /// dataset (the search algorithms do).
+  static Label Build(const Table& table, AttrMask s,
+                     std::shared_ptr<const ValueCounts> vc = nullptr);
+
+  /// The attribute subset S.
+  AttrMask attributes() const { return attrs_; }
+
+  /// Label size |PC| (the quantity bounded by B_s).
+  int64_t size() const { return pc_.num_groups(); }
+
+  /// The PC set.
+  const GroupCounts& pattern_counts() const { return pc_; }
+
+  /// The VC set (shared across labels of the same dataset).
+  const ValueCounts& value_counts() const { return *vc_; }
+  std::shared_ptr<const ValueCounts> shared_value_counts() const {
+    return vc_;
+  }
+
+  /// |D| — number of tuples of the labeled dataset.
+  int64_t total_rows() const { return total_rows_; }
+
+  /// c_D(p|S): the count of p restricted to S ∩ Attr(p), answered from
+  /// the label alone. Exact PC lookup when the restriction binds all of
+  /// S; otherwise a containment sum over PC entries (entries whose bound
+  /// values agree with the restriction). For the empty restriction this
+  /// is |D|. On NULL-free data this equals the true restricted count
+  /// whenever the restriction binds >= 1 attribute of a |S| >= 2 label;
+  /// with missing values it is the PC-derived count under which the
+  /// appendix-A hardness reduction is sound (see DESIGN.md §5a).
+  int64_t RestrictedCount(const Pattern& p) const;
+
+  /// Fast path of RestrictedCount for a full pattern given as row codes
+  /// (codes[a] for every attribute a; no NULLs): direct PC lookup.
+  int64_t RestrictedCountForCodes(const ValueId* codes) const;
+
+  /// Est(p, l) per Definition 2.11 (generalized to Attr(p) ⊅ S via
+  /// restriction to S ∩ Attr(p), as in Proposition 3.2's proof).
+  double EstimateCount(const Pattern& p) const;
+
+  /// Est for a full pattern given as row codes — the hot loop of error
+  /// evaluation.
+  double EstimateFullPattern(const ValueId* codes, int width) const;
+
+  /// Err(l, p) = |c_D(p) − Est(p, l)| (Definition 2.13); `actual` is the
+  /// caller-supplied true count.
+  double AbsoluteError(const Pattern& p, int64_t actual) const;
+
+ private:
+  // Looks up a complete PC key (values for every attribute of S, in
+  // ascending attribute order). Returns 0 when absent.
+  int64_t LookupPcKey(const ValueId* key) const;
+
+  AttrMask attrs_;
+  GroupCounts pc_;
+  std::shared_ptr<const ValueCounts> vc_;
+  int64_t total_rows_ = 0;
+
+  // Estimation accelerators.
+  std::vector<double> inv_totals_;    // 1 / NonNullTotal(a) per attribute
+  std::vector<int64_t> radix_mult_;   // mixed-radix multipliers over S
+  std::vector<ValueId> domain_sizes_; // |Dom| per S-attribute (NULL slot)
+  bool encodable_ = false;            // key space fits in int64
+  std::vector<int64_t> pc_codes_;     // encoded PC keys, ascending
+  std::vector<int> attr_pos_;         // attr index -> position in S, or -1
+};
+
+}  // namespace pcbl
+
+#endif  // PCBL_CORE_LABEL_H_

@@ -1,0 +1,208 @@
+#include "core/label_diff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <utility>
+
+#include "util/str.h"
+
+namespace pcbl {
+
+namespace {
+
+// name -> position in attribute_names.
+std::map<std::string, size_t> NameIndex(const PortableLabel& label) {
+  std::map<std::string, size_t> out;
+  for (size_t i = 0; i < label.attribute_names.size(); ++i) {
+    out.emplace(label.attribute_names[i], i);
+  }
+  return out;
+}
+
+AttributeShift ShiftFor(const std::string& name,
+                        const std::vector<std::pair<std::string, int64_t>>&
+                            old_counts,
+                        const std::vector<std::pair<std::string, int64_t>>&
+                            new_counts) {
+  AttributeShift shift;
+  shift.attribute = name;
+  int64_t old_total = 0;
+  int64_t new_total = 0;
+  std::map<std::string, std::pair<int64_t, int64_t>> merged;
+  for (const auto& [value, count] : old_counts) {
+    merged[value].first += count;
+    old_total += count;
+  }
+  for (const auto& [value, count] : new_counts) {
+    merged[value].second += count;
+    new_total += count;
+  }
+  double tv = 0.0;
+  for (const auto& [value, counts] : merged) {
+    const double p = old_total > 0 ? static_cast<double>(counts.first) /
+                                         static_cast<double>(old_total)
+                                   : 0.0;
+    const double q = new_total > 0 ? static_cast<double>(counts.second) /
+                                         static_cast<double>(new_total)
+                                   : 0.0;
+    tv += std::abs(p - q);
+    if (counts.first == 0) shift.added_values.push_back(value);
+    if (counts.second == 0) shift.removed_values.push_back(value);
+  }
+  shift.total_variation = tv / 2.0;
+  return shift;
+}
+
+}  // namespace
+
+double LabelDiff::max_total_variation() const {
+  double best = 0.0;
+  for (const AttributeShift& s : shifts) {
+    best = std::max(best, s.total_variation);
+  }
+  return best;
+}
+
+LabelDiff DiffLabels(const PortableLabel& old_label,
+                     const PortableLabel& new_label) {
+  LabelDiff diff;
+  diff.old_rows = old_label.total_rows;
+  diff.new_rows = new_label.total_rows;
+
+  const auto old_index = NameIndex(old_label);
+  const auto new_index = NameIndex(new_label);
+  for (const auto& [name, pos] : new_index) {
+    if (!old_index.contains(name)) diff.added_attributes.push_back(name);
+  }
+  for (const auto& [name, pos] : old_index) {
+    if (!new_index.contains(name)) diff.removed_attributes.push_back(name);
+  }
+
+  // Marginal shifts over the common attributes.
+  for (const auto& [name, old_pos] : old_index) {
+    const auto it = new_index.find(name);
+    if (it == new_index.end()) continue;
+    diff.shifts.push_back(ShiftFor(name, old_label.value_counts[old_pos],
+                                   new_label.value_counts[it->second]));
+  }
+  std::stable_sort(diff.shifts.begin(), diff.shifts.end(),
+                   [](const AttributeShift& a, const AttributeShift& b) {
+                     return a.total_variation > b.total_variation;
+                   });
+
+  // PC comparison requires the same S (by name, order-insensitive).
+  std::vector<std::string> old_s;
+  for (int i : old_label.label_attributes) {
+    old_s.push_back(old_label.attribute_names[static_cast<size_t>(i)]);
+  }
+  std::vector<std::string> new_s;
+  for (int i : new_label.label_attributes) {
+    new_s.push_back(new_label.attribute_names[static_cast<size_t>(i)]);
+  }
+  std::vector<std::string> old_sorted = old_s;
+  std::vector<std::string> new_sorted = new_s;
+  std::sort(old_sorted.begin(), old_sorted.end());
+  std::sort(new_sorted.begin(), new_sorted.end());
+  diff.comparable_patterns = !old_s.empty() && old_sorted == new_sorted;
+  diff.s_attribute_names = old_s;
+  if (!diff.comparable_patterns) return diff;
+
+  // Permutation taking a new-label PC row into the old label's S order.
+  std::vector<size_t> new_to_old(new_s.size());
+  for (size_t j = 0; j < new_s.size(); ++j) {
+    new_to_old[j] = static_cast<size_t>(
+        std::find(old_s.begin(), old_s.end(), new_s[j]) - old_s.begin());
+  }
+
+  std::map<std::vector<std::string>, std::pair<int64_t, int64_t>> merged;
+  for (const auto& [values, count] : old_label.pattern_counts) {
+    merged[values].first += count;
+  }
+  for (const auto& [values, count] : new_label.pattern_counts) {
+    std::vector<std::string> reordered(values.size());
+    for (size_t j = 0; j < values.size(); ++j) {
+      reordered[new_to_old[j]] = values[j];
+    }
+    merged[std::move(reordered)].second += count;
+  }
+  for (auto& [values, counts] : merged) {
+    if (counts.first == counts.second) continue;
+    PatternChange change;
+    change.values = values;
+    change.old_count = counts.first;
+    change.new_count = counts.second;
+    diff.pattern_changes.push_back(std::move(change));
+  }
+  std::stable_sort(diff.pattern_changes.begin(), diff.pattern_changes.end(),
+                   [](const PatternChange& a, const PatternChange& b) {
+                     return std::llabs(a.new_count - a.old_count) >
+                            std::llabs(b.new_count - b.old_count);
+                   });
+  return diff;
+}
+
+std::string RenderLabelDiff(const LabelDiff& diff, int max_rows) {
+  std::string out;
+  out += StrFormat("rows: %lld -> %lld (%+lld)\n",
+                   static_cast<long long>(diff.old_rows),
+                   static_cast<long long>(diff.new_rows),
+                   static_cast<long long>(diff.new_rows - diff.old_rows));
+  if (!diff.added_attributes.empty()) {
+    out += "attributes added:   " + Join(diff.added_attributes, ", ") + "\n";
+  }
+  if (!diff.removed_attributes.empty()) {
+    out += "attributes removed: " + Join(diff.removed_attributes, ", ") +
+           "\n";
+  }
+
+  out += "\nmarginal shifts (total variation):\n";
+  int shown = 0;
+  for (const AttributeShift& s : diff.shifts) {
+    if (max_rows > 0 && shown >= max_rows) {
+      out += StrFormat("  ... %zu more\n", diff.shifts.size() -
+                                               static_cast<size_t>(shown));
+      break;
+    }
+    ++shown;
+    out += StrFormat("  %-28s %.4f", s.attribute.c_str(),
+                     s.total_variation);
+    if (!s.added_values.empty()) {
+      out += StrFormat("  (+%zu values)", s.added_values.size());
+    }
+    if (!s.removed_values.empty()) {
+      out += StrFormat("  (-%zu values)", s.removed_values.size());
+    }
+    out += "\n";
+  }
+
+  if (!diff.comparable_patterns) {
+    out += "\npattern counts: not comparable (labels use different "
+           "attribute sets)\n";
+    return out;
+  }
+  out += StrFormat("\npattern count changes over {%s}: %zu\n",
+                   Join(diff.s_attribute_names, ", ").c_str(),
+                   diff.pattern_changes.size());
+  shown = 0;
+  for (const PatternChange& c : diff.pattern_changes) {
+    if (max_rows > 0 && shown >= max_rows) {
+      out += StrFormat("  ... %zu more\n",
+                       diff.pattern_changes.size() -
+                           static_cast<size_t>(shown));
+      break;
+    }
+    ++shown;
+    const char* tag = c.old_count == 0   ? "appeared "
+                      : c.new_count == 0 ? "vanished "
+                                         : "changed  ";
+    out += StrFormat("  %s %-48s %lld -> %lld\n", tag,
+                     Join(c.values, ", ").c_str(),
+                     static_cast<long long>(c.old_count),
+                     static_cast<long long>(c.new_count));
+  }
+  return out;
+}
+
+}  // namespace pcbl

@@ -1,0 +1,83 @@
+// Label diffing — comparing two labels of successive dataset versions.
+//
+// Labels ship as dataset metadata (Sec. I); when a dataset is re-released,
+// the natural question is what changed *as seen through the labels*,
+// without access to either version's rows. This module compares two
+// PortableLabels attribute by attribute (marginal distribution shift,
+// measured as total-variation distance) and pattern by pattern (PC
+// entries that appeared, vanished, or changed count), giving data
+// consumers a versioned-metadata change log: exactly the information
+// needed to decide whether conclusions drawn from the old release (group
+// representation, skew, dependence) still stand.
+//
+// Attributes are matched by name; the PC sections are only compared when
+// both labels use the same attribute set S (otherwise the diff degrades
+// gracefully and says so).
+#ifndef PCBL_CORE_LABEL_DIFF_H_
+#define PCBL_CORE_LABEL_DIFF_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/portable_label.h"
+#include "util/status.h"
+
+namespace pcbl {
+
+/// Marginal-distribution change of one attribute.
+struct AttributeShift {
+  std::string attribute;
+  /// Total-variation distance between the old and new value distributions
+  /// (0 = identical, 1 = disjoint). Values absent on one side contribute
+  /// their full mass.
+  double total_variation = 0.0;
+  /// Values present only in the new / only in the old label.
+  std::vector<std::string> added_values;
+  std::vector<std::string> removed_values;
+};
+
+/// One PC entry's change.
+struct PatternChange {
+  /// Values aligned with DiffLabels' s_attribute_names.
+  std::vector<std::string> values;
+  /// Counts before/after; 0 on the missing side.
+  int64_t old_count = 0;
+  int64_t new_count = 0;
+};
+
+/// The change log between two labels.
+struct LabelDiff {
+  /// |D| before/after.
+  int64_t old_rows = 0;
+  int64_t new_rows = 0;
+  /// Attributes present only in the new / only in the old label.
+  std::vector<std::string> added_attributes;
+  std::vector<std::string> removed_attributes;
+  /// Per-common-attribute marginal shift, ordered by total variation
+  /// descending.
+  std::vector<AttributeShift> shifts;
+  /// True when both labels store PC over the same attribute names; the
+  /// pattern_changes section is only populated then.
+  bool comparable_patterns = false;
+  /// S (names) of the compared PC sections, in the old label's order.
+  std::vector<std::string> s_attribute_names;
+  /// Appeared / vanished / count-changed patterns, ordered by
+  /// |new - old| descending. Unchanged entries are omitted.
+  std::vector<PatternChange> pattern_changes;
+
+  /// max over attributes of total_variation (0 when no common attributes).
+  double max_total_variation() const;
+};
+
+/// Computes the change log from `old_label` to `new_label`.
+LabelDiff DiffLabels(const PortableLabel& old_label,
+                     const PortableLabel& new_label);
+
+/// Renders the diff as a human-readable report; `max_rows` caps each list
+/// (0 = unlimited).
+std::string RenderLabelDiff(const LabelDiff& diff, int max_rows = 20);
+
+}  // namespace pcbl
+
+#endif  // PCBL_CORE_LABEL_DIFF_H_

@@ -1,0 +1,254 @@
+#include "core/multi_label.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace pcbl {
+
+MultiLabelEstimator::MultiLabelEstimator(std::vector<Label> labels,
+                                         CombineStrategy strategy)
+    : labels_(std::move(labels)), strategy_(strategy) {
+  PCBL_CHECK(!labels_.empty()) << "MultiLabelEstimator needs >= 1 label";
+}
+
+size_t MultiLabelEstimator::PickLabel(AttrMask pattern_attrs) const {
+  size_t best = 0;
+  int best_overlap = -1;
+  int64_t best_size = -1;
+  for (size_t i = 0; i < labels_.size(); ++i) {
+    int overlap =
+        labels_[i].attributes().Intersect(pattern_attrs).Count();
+    int64_t size = labels_[i].size();
+    if (overlap > best_overlap ||
+        (overlap == best_overlap && size > best_size)) {
+      best = i;
+      best_overlap = overlap;
+      best_size = size;
+    }
+  }
+  return best;
+}
+
+double MultiLabelEstimator::EstimateFactorized(const Pattern& p) const {
+  const Label& first = labels_[0];
+  const double total = static_cast<double>(first.total_rows());
+  if (p.empty() || total <= 0.0) return total;
+  double est = total;
+  AttrMask uncovered = p.attributes();
+  // Greedy disjoint cover: the label with the largest still-uncovered
+  // overlap claims that block; repeat until no label adds coverage.
+  while (!uncovered.empty()) {
+    size_t best = 0;
+    int best_overlap = 0;
+    for (size_t i = 0; i < labels_.size(); ++i) {
+      const int overlap =
+          labels_[i].attributes().Intersect(uncovered).Count();
+      if (overlap > best_overlap) {
+        best = i;
+        best_overlap = overlap;
+      }
+    }
+    if (best_overlap == 0) break;
+    const AttrMask block =
+        labels_[best].attributes().Intersect(uncovered);
+    const double block_count = static_cast<double>(
+        labels_[best].RestrictedCount(p.Restrict(block)));
+    if (block_count <= 0.0) return 0.0;
+    est *= block_count / total;
+    uncovered = uncovered.Minus(block);
+  }
+  // Whatever no label covers contributes its VC factor, exactly as the
+  // single-label estimation function treats attributes outside S.
+  for (const PatternTerm& t : p.terms()) {
+    if (!uncovered.Test(t.attr)) continue;
+    const ValueCounts& vc = first.value_counts();
+    const int64_t denom = vc.NonNullTotal(t.attr);
+    est *= denom > 0 ? static_cast<double>(vc.Count(t.attr, t.value)) /
+                           static_cast<double>(denom)
+                     : 0.0;
+  }
+  return est;
+}
+
+double MultiLabelEstimator::EstimateCount(const Pattern& p) const {
+  switch (strategy_) {
+    case CombineStrategy::kMaxOverlap:
+      return labels_[PickLabel(p.attributes())].EstimateCount(p);
+    case CombineStrategy::kFactorized:
+      return EstimateFactorized(p);
+    case CombineStrategy::kGeometricMean: {
+      double log_sum = 0.0;
+      for (const Label& l : labels_) {
+        double est = l.EstimateCount(p);
+        if (est <= 0.0) return 0.0;
+        log_sum += std::log(est);
+      }
+      return std::exp(log_sum / static_cast<double>(labels_.size()));
+    }
+    case CombineStrategy::kMedian: {
+      std::vector<double> ests;
+      ests.reserve(labels_.size());
+      for (const Label& l : labels_) ests.push_back(l.EstimateCount(p));
+      std::sort(ests.begin(), ests.end());
+      size_t n = ests.size();
+      return n % 2 == 1 ? ests[n / 2]
+                        : 0.5 * (ests[n / 2 - 1] + ests[n / 2]);
+    }
+  }
+  return 0.0;
+}
+
+double MultiLabelEstimator::EstimateFullPattern(const ValueId* codes,
+                                                int width) const {
+  switch (strategy_) {
+    case CombineStrategy::kMaxOverlap:
+      // Full patterns bind every attribute, so overlap == |S_i|; the
+      // widest label wins.
+      return labels_[PickLabel(AttrMask::All(width))].EstimateFullPattern(
+          codes, width);
+    case CombineStrategy::kFactorized: {
+      std::vector<PatternTerm> terms;
+      terms.reserve(static_cast<size_t>(width));
+      for (int a = 0; a < width; ++a) terms.push_back({a, codes[a]});
+      auto p = Pattern::Create(std::move(terms));
+      PCBL_DCHECK(p.ok());
+      return EstimateFactorized(*p);
+    }
+    case CombineStrategy::kGeometricMean: {
+      double log_sum = 0.0;
+      for (const Label& l : labels_) {
+        double est = l.EstimateFullPattern(codes, width);
+        if (est <= 0.0) return 0.0;
+        log_sum += std::log(est);
+      }
+      return std::exp(log_sum / static_cast<double>(labels_.size()));
+    }
+    case CombineStrategy::kMedian: {
+      std::vector<double> ests;
+      ests.reserve(labels_.size());
+      for (const Label& l : labels_) {
+        ests.push_back(l.EstimateFullPattern(codes, width));
+      }
+      std::sort(ests.begin(), ests.end());
+      size_t n = ests.size();
+      return n % 2 == 1 ? ests[n / 2]
+                        : 0.5 * (ests[n / 2 - 1] + ests[n / 2]);
+    }
+  }
+  return 0.0;
+}
+
+int64_t MultiLabelEstimator::FootprintEntries() const {
+  int64_t total = 0;
+  for (const Label& l : labels_) total += l.size();
+  return total;
+}
+
+Result<MultiLabelResult> SearchLabelSet(const Table& table,
+                                        const MultiSearchOptions& options) {
+  if (options.total_bound < 1) {
+    return InvalidArgumentError("total_bound must be >= 1");
+  }
+  if (options.max_labels < 1) {
+    return InvalidArgumentError("max_labels must be >= 1");
+  }
+
+  LabelSearch search(table);
+  const FullPatternIndex& patterns = search.full_patterns();
+
+  // Plan A: a single label with the whole budget (the paper's setting).
+  SearchOptions single_options;
+  single_options.size_bound = options.total_bound;
+  SearchResult single = search.TopDown(single_options);
+
+  MultiLabelResult best;
+  best.label_attrs.push_back(single.best_attrs);
+  best.labels.push_back(single.label);
+  best.total_size = single.label.size();
+  best.error = single.error;
+  if (options.max_labels == 1) return best;
+
+  // Plan B: seed with the optimum of an even budget split, then greedily
+  // add candidate labels (from that search's surviving candidate set)
+  // while budget remains and the combined max error improves. The split
+  // relaxes from max_labels-way down to 2-way: a k-way split can be
+  // infeasible (no label fits total/k) while a coarser one still is.
+  SearchResult seed;
+  bool have_seed = false;
+  for (int k = options.max_labels; k >= 2 && !have_seed; --k) {
+    SearchOptions seed_options;
+    seed_options.size_bound =
+        std::max<int64_t>(1, options.total_bound / k);
+    seed_options.record_candidates = true;
+    seed = search.TopDown(seed_options);
+    have_seed = !seed.best_attrs.empty();
+  }
+  if (!have_seed) return best;  // nothing fits any split
+  auto vc = seed.label.shared_value_counts();
+
+  // Bound the greedy pool: strongest single-label candidates first.
+  std::vector<CandidateInfo> pool = seed.candidates;
+  std::sort(pool.begin(), pool.end(),
+            [](const CandidateInfo& a, const CandidateInfo& b) {
+              return a.max_error < b.max_error;
+            });
+  if (options.max_pool > 0 &&
+      pool.size() > static_cast<size_t>(options.max_pool)) {
+    pool.resize(static_cast<size_t>(options.max_pool));
+  }
+
+  MultiLabelResult plan_b;
+  plan_b.label_attrs.push_back(seed.best_attrs);
+  plan_b.labels.push_back(seed.label);
+  plan_b.total_size = seed.label.size();
+  plan_b.error = seed.error;
+  int64_t remaining = options.total_bound - seed.label.size();
+
+  for (int round = 1; round < options.max_labels && remaining > 0;
+       ++round) {
+    double best_metric = plan_b.error.max_abs;
+    AttrMask chosen;
+    bool improved = false;
+    for (const CandidateInfo& c : pool) {
+      if (c.label_size > remaining || c.label_size <= 0) continue;
+      bool already_used = false;
+      for (AttrMask used : plan_b.label_attrs) {
+        if (used == c.attrs) {
+          already_used = true;
+          break;
+        }
+      }
+      if (already_used) continue;
+      std::vector<Label> trial = plan_b.labels;
+      trial.push_back(Label::Build(table, c.attrs, vc));
+      MultiLabelEstimator estimator(std::move(trial), options.strategy);
+      ErrorReport report = EvaluateOverFullPatterns(
+          patterns, estimator, ErrorMode::kEarlyTermination);
+      if (report.max_abs < best_metric) {
+        best_metric = report.max_abs;
+        chosen = c.attrs;
+        improved = true;
+      }
+    }
+    if (!improved) break;
+    plan_b.labels.push_back(Label::Build(table, chosen, vc));
+    plan_b.label_attrs.push_back(chosen);
+    remaining -= plan_b.labels.back().size();
+    plan_b.total_size += plan_b.labels.back().size();
+    MultiLabelEstimator combined(plan_b.labels, options.strategy);
+    plan_b.error = EvaluateOverFullPatterns(patterns, combined,
+                                            ErrorMode::kExact);
+  }
+
+  // Certify and pick the better plan (ties favour the simpler single
+  // label).
+  if (plan_b.labels.size() > 1 &&
+      plan_b.error.max_abs < best.error.max_abs) {
+    return plan_b;
+  }
+  return best;
+}
+
+}  // namespace pcbl

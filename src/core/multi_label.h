@@ -1,0 +1,109 @@
+// Multi-label estimation — the extension the paper's conclusion sketches
+// ("More complex approaches could consider overlapping combinations of
+// patterns, derive best estimates from multiple labels...", Sec. II-C /
+// VI).
+//
+// A MultiLabelEstimator holds several labels of the same dataset and
+// combines their per-pattern estimates. SearchLabelSet() greedily spends a
+// total size budget across up to `max_labels` labels: the first label is
+// Algorithm 1's optimum; each further label is the within-budget candidate
+// that most reduces the combined error. The ablation bench
+// (bench_ablation_multilabel) measures when splitting one budget across
+// two labels beats a single larger label.
+#ifndef PCBL_CORE_MULTI_LABEL_H_
+#define PCBL_CORE_MULTI_LABEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/error.h"
+#include "core/estimator.h"
+#include "core/label.h"
+#include "core/search.h"
+#include "relation/table.h"
+#include "util/status.h"
+
+namespace pcbl {
+
+/// How estimates from multiple labels are combined.
+enum class CombineStrategy {
+  /// Use the label whose attribute set overlaps Attr(p) the most (fewest
+  /// independence factors); ties break toward the larger label.
+  kMaxOverlap,
+  /// Geometric mean of all labels' estimates (zeros propagate).
+  kGeometricMean,
+  /// Median of all labels' estimates.
+  kMedian,
+  /// Cover Attr(p) with disjoint blocks, greedily assigning each label
+  /// the still-uncovered attributes it knows, then multiply block
+  /// selectivities (each block's restricted count over |D|) with VC
+  /// factors for whatever no label covers. The only strategy that
+  /// *composes* joint information from several labels — with two labels
+  /// over disjoint correlated cliques it estimates both cliques jointly,
+  /// where the others can use at most one (see bench_ablation_multilabel's
+  /// TwoClique section).
+  kFactorized,
+};
+
+/// Combines several labels of the same dataset into one estimator.
+class MultiLabelEstimator : public CardinalityEstimator {
+ public:
+  /// At least one label is required.
+  MultiLabelEstimator(std::vector<Label> labels, CombineStrategy strategy);
+
+  double EstimateCount(const Pattern& p) const override;
+  double EstimateFullPattern(const ValueId* codes, int width) const override;
+  std::string name() const override { return "PCBL-multi"; }
+
+  /// Σ |PC_i|.
+  int64_t FootprintEntries() const override;
+
+  const std::vector<Label>& labels() const { return labels_; }
+  CombineStrategy strategy() const { return strategy_; }
+
+ private:
+  // Index of the label kMaxOverlap picks for this attribute set.
+  size_t PickLabel(AttrMask pattern_attrs) const;
+
+  // kFactorized: |D| * ∏ block selectivities * ∏ uncovered VC factors.
+  double EstimateFactorized(const Pattern& p) const;
+
+  std::vector<Label> labels_;
+  CombineStrategy strategy_;
+};
+
+/// Outcome of the greedy label-set search.
+struct MultiLabelResult {
+  /// Attribute sets of the chosen labels, in selection order.
+  std::vector<AttrMask> label_attrs;
+  /// The combined estimator.
+  std::vector<Label> labels;
+  /// Exact combined error over P_A.
+  ErrorReport error;
+  /// Σ |PC_i| actually spent.
+  int64_t total_size = 0;
+};
+
+/// Greedy multi-label search options.
+struct MultiSearchOptions {
+  /// Total size budget across all labels.
+  int64_t total_bound = 100;
+  /// Maximum number of labels.
+  int max_labels = 2;
+  CombineStrategy strategy = CombineStrategy::kMaxOverlap;
+  /// Per-round cap on the candidate pool the greedy step evaluates (the
+  /// best candidates by their single-label error are tried first).
+  int max_pool = 200;
+};
+
+/// Greedily selects up to max_labels labels within the total budget.
+/// Returns at least one label (Algorithm 1's optimum for the full budget
+/// when splitting does not help).
+Result<MultiLabelResult> SearchLabelSet(const Table& table,
+                                        const MultiSearchOptions& options);
+
+}  // namespace pcbl
+
+#endif  // PCBL_CORE_MULTI_LABEL_H_

@@ -1,0 +1,168 @@
+#include "core/patched_label.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <numeric>
+#include <utility>
+
+#include "core/search.h"
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace pcbl {
+
+namespace {
+
+// Ranks pattern indices by absolute base-estimate error, worst first.
+// Ties break toward the higher true count, then the smaller index, so the
+// selection is deterministic for equal-error patterns.
+std::vector<int64_t> WorstPatterns(const Label& base,
+                                   const FullPatternIndex& index,
+                                   int64_t k) {
+  const int64_t n = index.num_patterns();
+  k = std::min(k, n);
+  if (k <= 0) return {};
+  std::vector<double> errors(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const double est = base.EstimateFullPattern(index.codes(i), index.width());
+    errors[static_cast<size_t>(i)] =
+        std::abs(static_cast<double>(index.count(i)) - est);
+  }
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  const auto worse = [&](int64_t a, int64_t b) {
+    const double ea = errors[static_cast<size_t>(a)];
+    const double eb = errors[static_cast<size_t>(b)];
+    if (ea != eb) return ea > eb;
+    if (index.count(a) != index.count(b)) return index.count(a) > index.count(b);
+    return a < b;
+  };
+  std::nth_element(order.begin(), order.begin() + (k - 1), order.end(), worse);
+  order.resize(static_cast<size_t>(k));
+  std::sort(order.begin(), order.end(), worse);
+  return order;
+}
+
+}  // namespace
+
+PatchedLabel::PatchedLabel(Label base, const FullPatternIndex& index,
+                           int num_patches)
+    : base_(std::move(base)), width_(index.width()) {
+  const std::vector<int64_t> picked =
+      WorstPatterns(base_, index, num_patches);
+  patch_codes_.reserve(picked.size() * static_cast<size_t>(width_));
+  exact_counts_.reserve(picked.size());
+  deltas_.reserve(picked.size());
+  for (int64_t i : picked) {
+    const ValueId* codes = index.codes(i);
+    const int64_t patch_index = static_cast<int64_t>(exact_counts_.size());
+    patch_codes_.insert(patch_codes_.end(), codes, codes + width_);
+    exact_counts_.push_back(index.count(i));
+    deltas_.push_back(static_cast<double>(index.count(i)) -
+                      base_.EstimateFullPattern(codes, width_));
+    by_hash_[HashCodes(codes, static_cast<size_t>(width_))].push_back(
+        patch_index);
+  }
+}
+
+int64_t PatchedLabel::FindPatch(const ValueId* codes) const {
+  const auto it = by_hash_.find(HashCodes(codes, static_cast<size_t>(width_)));
+  if (it == by_hash_.end()) return -1;
+  for (int64_t i : it->second) {
+    if (std::memcmp(patch_codes(i), codes,
+                    sizeof(ValueId) * static_cast<size_t>(width_)) == 0) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+double PatchedLabel::EstimateFullPattern(const ValueId* codes,
+                                         int width) const {
+  if (width == width_) {
+    const int64_t i = FindPatch(codes);
+    // A full-width pattern can only be satisfied by an identical patch, so
+    // the additive correction collapses to the stored exact count.
+    if (i >= 0) return static_cast<double>(exact_counts_[static_cast<size_t>(i)]);
+    return base_.EstimateFullPattern(codes, width);
+  }
+  return CardinalityEstimator::EstimateFullPattern(codes, width);
+}
+
+double PatchedLabel::EstimateCount(const Pattern& p) const {
+  // The empty pattern is exact in the base (|D|); corrections only drift it.
+  if (p.empty()) return base_.EstimateCount(p);
+  double est = base_.EstimateCount(p);
+  const auto& terms = p.terms();
+  const int64_t n = num_patches();
+  for (int64_t i = 0; i < n; ++i) {
+    const ValueId* codes = patch_codes(i);
+    bool satisfies = true;
+    for (const PatternTerm& t : terms) {
+      if (codes[t.attr] != t.value) {
+        satisfies = false;
+        break;
+      }
+    }
+    if (satisfies) est += deltas_[static_cast<size_t>(i)];
+  }
+  return est;
+}
+
+Result<PatchedSearchResult> SearchPatchedLabel(
+    const Table& table, const PatchedSearchOptions& options) {
+  if (options.total_bound < 1) {
+    return InvalidArgumentError("total_bound must be positive");
+  }
+  if (options.min_base_bound < 1) {
+    return InvalidArgumentError("min_base_bound must be positive");
+  }
+
+  // Deduplicated split list, always including the plain label (k = 0).
+  std::vector<int> splits = {0};
+  for (int k : options.patch_splits) {
+    if (k <= 0) continue;
+    if (options.total_bound - k < options.min_base_bound) continue;
+    splits.push_back(k);
+  }
+  std::sort(splits.begin(), splits.end());
+  splits.erase(std::unique(splits.begin(), splits.end()), splits.end());
+
+  LabelSearch search(table);
+  const FullPatternIndex& index = search.full_patterns();
+
+  PatchedSearchResult best;
+  bool have_best = false;
+  for (int k : splits) {
+    SearchOptions base_options;
+    base_options.size_bound = options.total_bound - k;
+    base_options.metric = options.metric;
+    SearchResult base = search.TopDown(base_options);
+    auto estimator =
+        std::make_shared<PatchedLabel>(std::move(base.label), index, k);
+    const ErrorReport report =
+        EvaluateOverFullPatterns(index, *estimator, ErrorMode::kExact);
+    PatchedSplitInfo info;
+    info.num_patches = static_cast<int>(estimator->num_patches());
+    info.base_bound = base_options.size_bound;
+    info.base_size = estimator->base().size();
+    info.metric_value = MetricValue(report, options.metric);
+    info.error = report;
+    best.splits.push_back(info);
+    if (!have_best || info.metric_value < MetricValue(best.error,
+                                                      options.metric)) {
+      have_best = true;
+      best.base_attrs = base.best_attrs;
+      best.num_patches = info.num_patches;
+      best.total_size = estimator->FootprintEntries();
+      best.error = report;
+      best.estimator = std::move(estimator);
+    }
+  }
+  PCBL_DCHECK(have_best);
+  return best;
+}
+
+}  // namespace pcbl

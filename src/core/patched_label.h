@@ -1,0 +1,141 @@
+// PatchedLabel — a label plus an exact-count "patch list" for the patterns
+// it estimates worst.
+//
+// The paper's conclusion (Sec. II-C / VI) defers "more complex approaches
+// [that] consider overlapping combinations of patterns [and] partial
+// patterns". This module implements the simplest such combination that
+// stays within the label cost model: spend part of the size budget B_s on
+// an ordinary label L_S(D) (Algorithm 1) and the remainder on k exact
+// counts of the full patterns whose base estimate is furthest from the
+// truth. Each patch costs one count entry — the same unit as one PC row —
+// so a PatchedLabel with base size b and k patches competes at footprint
+// b + k against a plain label of size b + k.
+//
+// Estimation is additive-corrective:
+//
+//   Est(p) = Est_base(p) + Σ_{q ∈ patches, q satisfies p} (c_D(q) − Est_base(q))
+//
+// where a (full) patched pattern q satisfies p when the patched row matches
+// every term of p. A patched full pattern therefore estimates exactly; a
+// partial pattern inherits the corrections of every patch below it, which
+// repairs the contribution of the patched outlier rows to its marginal.
+// The empty pattern is special-cased to the base estimate (it is already
+// exact there, |D|).
+#ifndef PCBL_CORE_PATCHED_LABEL_H_
+#define PCBL_CORE_PATCHED_LABEL_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/error.h"
+#include "core/estimator.h"
+#include "core/label.h"
+#include "pattern/full_pattern_index.h"
+#include "pattern/pattern.h"
+#include "relation/table.h"
+#include "util/status.h"
+
+namespace pcbl {
+
+/// A base label corrected by exact counts of its worst-estimated full
+/// patterns.
+class PatchedLabel : public CardinalityEstimator {
+ public:
+  /// Builds a patched estimator: ranks every full pattern of `index` by
+  /// |c_D(p) − Est_base(p)| and patches the `num_patches` worst (ties break
+  /// toward the higher true count, then the index order, so construction is
+  /// deterministic). `index` must be built over the table `base` labels.
+  PatchedLabel(Label base, const FullPatternIndex& index, int num_patches);
+
+  double EstimateCount(const Pattern& p) const override;
+  double EstimateFullPattern(const ValueId* codes, int width) const override;
+  std::string name() const override { return "PCBL-patched"; }
+
+  /// |PC_base| + #patches — both priced in count entries.
+  int64_t FootprintEntries() const override {
+    return base_.size() + num_patches();
+  }
+
+  const Label& base() const { return base_; }
+  int64_t num_patches() const {
+    return static_cast<int64_t>(exact_counts_.size());
+  }
+
+  /// Codes of patch `i` (width() values, no NULLs).
+  const ValueId* patch_codes(int64_t i) const {
+    return patch_codes_.data() + static_cast<size_t>(i) * width_;
+  }
+  /// Exact count stored for patch `i`.
+  int64_t patch_count(int64_t i) const {
+    return exact_counts_[static_cast<size_t>(i)];
+  }
+  /// c_D(q_i) − Est_base(q_i) for patch `i`.
+  double patch_delta(int64_t i) const {
+    return deltas_[static_cast<size_t>(i)];
+  }
+  int width() const { return width_; }
+
+ private:
+  // Index of the patch with these full-row codes, or -1.
+  int64_t FindPatch(const ValueId* codes) const;
+
+  Label base_;
+  int width_ = 0;
+  std::vector<ValueId> patch_codes_;  // flat, num_patches * width
+  std::vector<int64_t> exact_counts_;
+  std::vector<double> deltas_;
+  // hash(codes) -> patch indices with that hash (collisions resolved by
+  // code comparison).
+  std::unordered_map<uint64_t, std::vector<int64_t>> by_hash_;
+};
+
+/// Options of the patched-label budget-split search.
+struct PatchedSearchOptions {
+  /// Total footprint budget shared by the base label and the patches.
+  int64_t total_bound = 100;
+  /// Patch counts to try; values with total_bound − k < min_base_bound are
+  /// skipped. k = 0 (the plain label) is always evaluated.
+  std::vector<int> patch_splits = {1, 2, 4, 8, 16, 32};
+  /// Smallest base-label bound worth searching.
+  int64_t min_base_bound = 4;
+  /// The scalar minimized across splits.
+  OptimizationMetric metric = OptimizationMetric::kMaxAbsolute;
+};
+
+/// One evaluated budget split (for ablation output).
+struct PatchedSplitInfo {
+  int num_patches = 0;
+  int64_t base_bound = 0;
+  int64_t base_size = 0;
+  double metric_value = 0.0;
+  ErrorReport error;
+};
+
+/// Outcome of SearchPatchedLabel.
+struct PatchedSearchResult {
+  /// Attribute set of the winning base label.
+  AttrMask base_attrs;
+  /// Patches the winning split spent.
+  int num_patches = 0;
+  /// Total footprint actually used (base |PC| + patches).
+  int64_t total_size = 0;
+  /// Exact error of the winning estimator over P_A.
+  ErrorReport error;
+  /// Every split evaluated, in evaluation order (k ascending).
+  std::vector<PatchedSplitInfo> splits;
+  /// The winning estimator.
+  std::shared_ptr<PatchedLabel> estimator;
+};
+
+/// Sweeps the budget between base label and patch list: for each k, runs
+/// Algorithm 1 with bound total_bound − k, patches the k worst patterns,
+/// and keeps the split with the smallest metric (ties toward fewer
+/// patches). Errors are exact over P_A.
+Result<PatchedSearchResult> SearchPatchedLabel(
+    const Table& table, const PatchedSearchOptions& options);
+
+}  // namespace pcbl
+
+#endif  // PCBL_CORE_PATCHED_LABEL_H_

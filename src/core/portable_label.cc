@@ -1,0 +1,434 @@
+#include "core/portable_label.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/json.h"
+#include "util/logging.h"
+#include "util/str.h"
+
+namespace pcbl {
+
+PortableLabel MakePortable(const Label& label, const Table& table,
+                           std::string dataset_name) {
+  PortableLabel out;
+  out.dataset_name = std::move(dataset_name);
+  out.total_rows = label.total_rows();
+  const int n = table.num_attributes();
+  out.attribute_names.reserve(static_cast<size_t>(n));
+  for (int a = 0; a < n; ++a) {
+    out.attribute_names.push_back(table.schema().name(a));
+  }
+  out.value_counts.resize(static_cast<size_t>(n));
+  const ValueCounts& vc = label.value_counts();
+  for (int a = 0; a < n; ++a) {
+    const auto& counts = vc.CountsFor(a);
+    for (ValueId v = 0; v < counts.size(); ++v) {
+      if (counts[v] > 0) {
+        out.value_counts[static_cast<size_t>(a)].emplace_back(
+            table.dictionary(a).GetString(v), counts[v]);
+      }
+    }
+  }
+  const GroupCounts& pc = label.pattern_counts();
+  out.label_attributes = pc.attrs();
+  out.pattern_counts.reserve(static_cast<size_t>(pc.num_groups()));
+  for (int64_t g = 0; g < pc.num_groups(); ++g) {
+    std::vector<std::string> values;
+    values.reserve(pc.attrs().size());
+    const ValueId* key = pc.key(g);
+    for (size_t j = 0; j < pc.attrs().size(); ++j) {
+      // PC entries over data with missing values can leave attributes
+      // unbound (DESIGN.md §5a); render those as the empty string, which
+      // EstimateCount treats as "does not bind this attribute".
+      values.push_back(IsNull(key[j])
+                           ? std::string()
+                           : table.dictionary(pc.attrs()[j])
+                                 .GetString(key[j]));
+    }
+    out.pattern_counts.emplace_back(std::move(values), pc.count(g));
+  }
+  return out;
+}
+
+Result<double> PortableLabel::EstimateCount(
+    const std::vector<std::pair<std::string, std::string>>& pattern) const {
+  // Resolve names to attribute indices.
+  std::vector<std::pair<int, const std::string*>> terms;
+  terms.reserve(pattern.size());
+  for (const auto& [name, value] : pattern) {
+    int idx = -1;
+    for (size_t a = 0; a < attribute_names.size(); ++a) {
+      if (attribute_names[a] == name) {
+        idx = static_cast<int>(a);
+        break;
+      }
+    }
+    if (idx < 0) return NotFoundError(StrCat("unknown attribute '", name, "'"));
+    for (const auto& [prev, unused] : terms) {
+      (void)unused;
+      if (prev == idx) {
+        return InvalidArgumentError(
+            StrCat("attribute '", name, "' bound twice"));
+      }
+    }
+    terms.emplace_back(idx, &value);
+  }
+
+  auto vc_count = [&](int attr, const std::string& value) -> int64_t {
+    for (const auto& [v, c] : value_counts[static_cast<size_t>(attr)]) {
+      if (v == value) return c;
+    }
+    return 0;
+  };
+  auto vc_total = [&](int attr) -> int64_t {
+    int64_t t = 0;
+    for (const auto& [v, c] : value_counts[static_cast<size_t>(attr)]) {
+      (void)v;
+      t += c;
+    }
+    return t;
+  };
+
+  // Base: c(p|S) — marginal over PC entries matching the bound S-attrs.
+  std::vector<std::pair<size_t, const std::string*>> bound;  // (pos in S, v)
+  for (const auto& [attr, value] : terms) {
+    for (size_t j = 0; j < label_attributes.size(); ++j) {
+      if (label_attributes[j] == attr) {
+        bound.emplace_back(j, value);
+        break;
+      }
+    }
+  }
+  double est;
+  if (bound.empty()) {
+    est = static_cast<double>(total_rows);
+  } else {
+    int64_t base = 0;
+    for (const auto& [values, count] : pattern_counts) {
+      bool match = true;
+      for (const auto& [pos, v] : bound) {
+        // An empty entry value means the stored restriction does not bind
+        // this attribute — it cannot contain the queried term.
+        if (values[pos].empty() || values[pos] != *v) {
+          match = false;
+          break;
+        }
+      }
+      if (match) base += count;
+    }
+    est = static_cast<double>(base);
+  }
+
+  // Independence factors for the attributes outside S.
+  for (const auto& [attr, value] : terms) {
+    bool in_s = false;
+    for (int a : label_attributes) {
+      if (a == attr) {
+        in_s = true;
+        break;
+      }
+    }
+    if (in_s) continue;
+    int64_t total = vc_total(attr);
+    if (total == 0) return 0.0;
+    est *= static_cast<double>(vc_count(attr, *value)) /
+           static_cast<double>(total);
+  }
+  return est;
+}
+
+std::string ToJson(const PortableLabel& label, bool pretty) {
+  JsonValue root = JsonValue::Object();
+  root.Set("format", JsonValue::String("pcbl-label"));
+  root.Set("version", JsonValue::Int(1));
+  root.Set("dataset", JsonValue::String(label.dataset_name));
+  root.Set("total_rows", JsonValue::Int(label.total_rows));
+
+  JsonValue attrs = JsonValue::Array();
+  for (const std::string& name : label.attribute_names) {
+    attrs.Append(JsonValue::String(name));
+  }
+  root.Set("attributes", std::move(attrs));
+
+  JsonValue vc = JsonValue::Array();
+  for (const auto& per_attr : label.value_counts) {
+    JsonValue entries = JsonValue::Array();
+    for (const auto& [value, count] : per_attr) {
+      JsonValue e = JsonValue::Object();
+      e.Set("value", JsonValue::String(value));
+      e.Set("count", JsonValue::Int(count));
+      entries.Append(std::move(e));
+    }
+    vc.Append(std::move(entries));
+  }
+  root.Set("value_counts", std::move(vc));
+
+  JsonValue sattrs = JsonValue::Array();
+  for (int a : label.label_attributes) sattrs.Append(JsonValue::Int(a));
+  root.Set("label_attributes", std::move(sattrs));
+
+  JsonValue pc = JsonValue::Array();
+  for (const auto& [values, count] : label.pattern_counts) {
+    JsonValue e = JsonValue::Object();
+    JsonValue vals = JsonValue::Array();
+    for (const std::string& v : values) vals.Append(JsonValue::String(v));
+    e.Set("values", std::move(vals));
+    e.Set("count", JsonValue::Int(count));
+    pc.Append(std::move(e));
+  }
+  root.Set("pattern_counts", std::move(pc));
+
+  return root.Dump(pretty ? 2 : -1);
+}
+
+Result<PortableLabel> PortableLabelFromJson(const std::string& json) {
+  PCBL_ASSIGN_OR_RETURN(JsonValue root, ParseJson(json));
+  if (!root.is_object()) {
+    return InvalidArgumentError("label JSON must be an object");
+  }
+  PCBL_ASSIGN_OR_RETURN(const JsonValue* format, root.Find("format"));
+  PCBL_ASSIGN_OR_RETURN(std::string format_str, format->GetString());
+  if (format_str != "pcbl-label") {
+    return InvalidArgumentError(
+        StrCat("unexpected format '", format_str, "'"));
+  }
+
+  PortableLabel out;
+  PCBL_ASSIGN_OR_RETURN(const JsonValue* dataset, root.Find("dataset"));
+  PCBL_ASSIGN_OR_RETURN(out.dataset_name, dataset->GetString());
+  PCBL_ASSIGN_OR_RETURN(const JsonValue* rows, root.Find("total_rows"));
+  PCBL_ASSIGN_OR_RETURN(out.total_rows, rows->GetInt());
+
+  PCBL_ASSIGN_OR_RETURN(const JsonValue* attrs, root.Find("attributes"));
+  if (!attrs->is_array()) return InvalidArgumentError("attributes not array");
+  for (const JsonValue& v : attrs->array_items()) {
+    PCBL_ASSIGN_OR_RETURN(std::string name, v.GetString());
+    out.attribute_names.push_back(std::move(name));
+  }
+
+  PCBL_ASSIGN_OR_RETURN(const JsonValue* vc, root.Find("value_counts"));
+  if (!vc->is_array()) return InvalidArgumentError("value_counts not array");
+  if (vc->array_items().size() != out.attribute_names.size()) {
+    return InvalidArgumentError(
+        "value_counts arity differs from attribute count");
+  }
+  for (const JsonValue& per_attr : vc->array_items()) {
+    if (!per_attr.is_array()) {
+      return InvalidArgumentError("value_counts entry not array");
+    }
+    std::vector<std::pair<std::string, int64_t>> entries;
+    for (const JsonValue& e : per_attr.array_items()) {
+      PCBL_ASSIGN_OR_RETURN(const JsonValue* value, e.Find("value"));
+      PCBL_ASSIGN_OR_RETURN(const JsonValue* count, e.Find("count"));
+      PCBL_ASSIGN_OR_RETURN(std::string vs, value->GetString());
+      PCBL_ASSIGN_OR_RETURN(int64_t c, count->GetInt());
+      entries.emplace_back(std::move(vs), c);
+    }
+    out.value_counts.push_back(std::move(entries));
+  }
+
+  PCBL_ASSIGN_OR_RETURN(const JsonValue* sattrs,
+                        root.Find("label_attributes"));
+  if (!sattrs->is_array()) {
+    return InvalidArgumentError("label_attributes not array");
+  }
+  for (const JsonValue& v : sattrs->array_items()) {
+    PCBL_ASSIGN_OR_RETURN(int64_t a, v.GetInt());
+    if (a < 0 || a >= static_cast<int64_t>(out.attribute_names.size())) {
+      return OutOfRangeError(StrCat("label attribute ", a, " out of range"));
+    }
+    out.label_attributes.push_back(static_cast<int>(a));
+  }
+
+  PCBL_ASSIGN_OR_RETURN(const JsonValue* pc, root.Find("pattern_counts"));
+  if (!pc->is_array()) return InvalidArgumentError("pattern_counts not array");
+  for (const JsonValue& e : pc->array_items()) {
+    PCBL_ASSIGN_OR_RETURN(const JsonValue* values, e.Find("values"));
+    PCBL_ASSIGN_OR_RETURN(const JsonValue* count, e.Find("count"));
+    if (!values->is_array() ||
+        values->array_items().size() != out.label_attributes.size()) {
+      return InvalidArgumentError("pattern_counts values arity mismatch");
+    }
+    std::vector<std::string> vals;
+    for (const JsonValue& v : values->array_items()) {
+      PCBL_ASSIGN_OR_RETURN(std::string vs, v.GetString());
+      vals.push_back(std::move(vs));
+    }
+    PCBL_ASSIGN_OR_RETURN(int64_t c, count->GetInt());
+    out.pattern_counts.emplace_back(std::move(vals), c);
+  }
+  return out;
+}
+
+namespace {
+
+constexpr char kBinaryMagic[4] = {'P', 'C', 'B', 'L'};
+constexpr uint32_t kBinaryVersion = 1;
+
+void PutU32(std::string& out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out.append(buf, 4);
+}
+
+void PutI64(std::string& out, int64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out.append(buf, 8);
+}
+
+void PutString(std::string& out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out.append(s);
+}
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& bytes) : bytes_(bytes) {}
+
+  Result<uint32_t> ReadU32() {
+    if (pos_ + 4 > bytes_.size()) return TruncatedError();
+    uint32_t v;
+    std::memcpy(&v, bytes_.data() + pos_, 4);
+    pos_ += 4;
+    return v;
+  }
+
+  Result<int64_t> ReadI64() {
+    if (pos_ + 8 > bytes_.size()) return TruncatedError();
+    int64_t v;
+    std::memcpy(&v, bytes_.data() + pos_, 8);
+    pos_ += 8;
+    return v;
+  }
+
+  Result<std::string> ReadString() {
+    PCBL_ASSIGN_OR_RETURN(uint32_t len, ReadU32());
+    if (pos_ + len > bytes_.size()) return TruncatedError();
+    std::string s = bytes_.substr(pos_, len);
+    pos_ += len;
+    return s;
+  }
+
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  static Status TruncatedError() {
+    return InvalidArgumentError("truncated binary label");
+  }
+
+  const std::string& bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string ToBinary(const PortableLabel& label) {
+  std::string out;
+  out.append(kBinaryMagic, 4);
+  PutU32(out, kBinaryVersion);
+  PutString(out, label.dataset_name);
+  PutI64(out, label.total_rows);
+  PutU32(out, static_cast<uint32_t>(label.attribute_names.size()));
+  for (const std::string& name : label.attribute_names) {
+    PutString(out, name);
+  }
+  for (const auto& per_attr : label.value_counts) {
+    PutU32(out, static_cast<uint32_t>(per_attr.size()));
+    for (const auto& [value, count] : per_attr) {
+      PutString(out, value);
+      PutI64(out, count);
+    }
+  }
+  PutU32(out, static_cast<uint32_t>(label.label_attributes.size()));
+  for (int a : label.label_attributes) {
+    PutU32(out, static_cast<uint32_t>(a));
+  }
+  PutU32(out, static_cast<uint32_t>(label.pattern_counts.size()));
+  for (const auto& [values, count] : label.pattern_counts) {
+    for (const std::string& v : values) PutString(out, v);
+    PutI64(out, count);
+  }
+  return out;
+}
+
+Result<PortableLabel> PortableLabelFromBinary(const std::string& bytes) {
+  if (bytes.size() < 8 || std::memcmp(bytes.data(), kBinaryMagic, 4) != 0) {
+    return InvalidArgumentError("not a PCBL binary label (bad magic)");
+  }
+  BinaryReader reader(bytes);
+  auto magic = reader.ReadU32();
+  (void)magic;  // already validated
+  PCBL_ASSIGN_OR_RETURN(uint32_t version, reader.ReadU32());
+  if (version != kBinaryVersion) {
+    return InvalidArgumentError(
+        StrCat("unsupported label version ", version));
+  }
+  PortableLabel out;
+  PCBL_ASSIGN_OR_RETURN(out.dataset_name, reader.ReadString());
+  PCBL_ASSIGN_OR_RETURN(out.total_rows, reader.ReadI64());
+  PCBL_ASSIGN_OR_RETURN(uint32_t num_attrs, reader.ReadU32());
+  for (uint32_t i = 0; i < num_attrs; ++i) {
+    PCBL_ASSIGN_OR_RETURN(std::string name, reader.ReadString());
+    out.attribute_names.push_back(std::move(name));
+  }
+  for (uint32_t a = 0; a < num_attrs; ++a) {
+    PCBL_ASSIGN_OR_RETURN(uint32_t n, reader.ReadU32());
+    std::vector<std::pair<std::string, int64_t>> entries;
+    entries.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      PCBL_ASSIGN_OR_RETURN(std::string value, reader.ReadString());
+      PCBL_ASSIGN_OR_RETURN(int64_t count, reader.ReadI64());
+      entries.emplace_back(std::move(value), count);
+    }
+    out.value_counts.push_back(std::move(entries));
+  }
+  PCBL_ASSIGN_OR_RETURN(uint32_t s_size, reader.ReadU32());
+  for (uint32_t i = 0; i < s_size; ++i) {
+    PCBL_ASSIGN_OR_RETURN(uint32_t a, reader.ReadU32());
+    if (a >= num_attrs) {
+      return OutOfRangeError(StrCat("label attribute ", a, " out of range"));
+    }
+    out.label_attributes.push_back(static_cast<int>(a));
+  }
+  PCBL_ASSIGN_OR_RETURN(uint32_t pc_size, reader.ReadU32());
+  for (uint32_t i = 0; i < pc_size; ++i) {
+    std::vector<std::string> values;
+    values.reserve(s_size);
+    for (uint32_t j = 0; j < s_size; ++j) {
+      PCBL_ASSIGN_OR_RETURN(std::string v, reader.ReadString());
+      values.push_back(std::move(v));
+    }
+    PCBL_ASSIGN_OR_RETURN(int64_t count, reader.ReadI64());
+    out.pattern_counts.emplace_back(std::move(values), count);
+  }
+  if (!reader.AtEnd()) {
+    return InvalidArgumentError("trailing bytes after binary label");
+  }
+  return out;
+}
+
+Status SaveLabel(const PortableLabel& label, const std::string& path,
+                 bool binary) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return IOError(StrCat("cannot open '", path, "' for writing"));
+  out << (binary ? ToBinary(label) : ToJson(label));
+  if (!out) return IOError(StrCat("error writing '", path, "'"));
+  return Status::Ok();
+}
+
+Result<PortableLabel> LoadLabel(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return IOError(StrCat("cannot open '", path, "' for reading"));
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string bytes = buf.str();
+  if (bytes.size() >= 4 && std::memcmp(bytes.data(), kBinaryMagic, 4) == 0) {
+    return PortableLabelFromBinary(bytes);
+  }
+  return PortableLabelFromJson(bytes);
+}
+
+}  // namespace pcbl

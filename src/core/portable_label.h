@@ -1,0 +1,71 @@
+// PortableLabel: a self-contained, table-independent form of a label.
+//
+// The paper envisages labels shipped as dataset metadata ("we envisage this
+// information being made available as meta-data with each data set",
+// Sec. I). A PortableLabel carries attribute names, the VC set, and the PC
+// set as strings + counts, so a consumer can estimate pattern counts
+// without access to the data. Serializes to JSON (human-inspectable) and
+// to a compact binary format.
+#ifndef PCBL_CORE_PORTABLE_LABEL_H_
+#define PCBL_CORE_PORTABLE_LABEL_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/label.h"
+#include "relation/table.h"
+#include "util/status.h"
+
+namespace pcbl {
+
+/// A label detached from its table: names and strings instead of indices
+/// and dictionary codes.
+struct PortableLabel {
+  /// Dataset display name (optional).
+  std::string dataset_name;
+  /// |D|.
+  int64_t total_rows = 0;
+  /// All attribute names, in schema order.
+  std::vector<std::string> attribute_names;
+  /// VC: per attribute, (value, count) pairs with positive counts.
+  std::vector<std::vector<std::pair<std::string, int64_t>>> value_counts;
+  /// Indices (into attribute_names) of the label's attribute set S.
+  std::vector<int> label_attributes;
+  /// PC: per pattern over S, the values (aligned with label_attributes)
+  /// and the count.
+  std::vector<std::pair<std::vector<std::string>, int64_t>> pattern_counts;
+
+  /// |PC| — the label size.
+  int64_t size() const {
+    return static_cast<int64_t>(pattern_counts.size());
+  }
+
+  /// Estimates the count of the pattern given as (attribute name, value)
+  /// pairs, per Definition 2.11. Unknown attributes are an error; unknown
+  /// values estimate as 0 (they do not appear in the data).
+  Result<double> EstimateCount(
+      const std::vector<std::pair<std::string, std::string>>& pattern) const;
+};
+
+/// Detaches a label from its table.
+PortableLabel MakePortable(const Label& label, const Table& table,
+                           std::string dataset_name = "");
+
+/// JSON round-trip.
+std::string ToJson(const PortableLabel& label, bool pretty = true);
+Result<PortableLabel> PortableLabelFromJson(const std::string& json);
+
+/// Compact binary round-trip (magic "PCBL", version 1, little-endian).
+std::string ToBinary(const PortableLabel& label);
+Result<PortableLabel> PortableLabelFromBinary(const std::string& bytes);
+
+/// File helpers.
+Status SaveLabel(const PortableLabel& label, const std::string& path,
+                 bool binary = false);
+Result<PortableLabel> LoadLabel(const std::string& path);
+
+}  // namespace pcbl
+
+#endif  // PCBL_CORE_PORTABLE_LABEL_H_

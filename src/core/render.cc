@@ -1,0 +1,152 @@
+#include "core/render.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/str.h"
+
+namespace pcbl {
+namespace {
+
+struct Row {
+  std::string c0, c1, c2, c3;
+};
+
+void EmitRows(std::string& out, const std::vector<Row>& rows) {
+  size_t w0 = 0, w1 = 0, w2 = 0, w3 = 0;
+  for (const Row& r : rows) {
+    w0 = std::max(w0, r.c0.size());
+    w1 = std::max(w1, r.c1.size());
+    w2 = std::max(w2, r.c2.size());
+    w3 = std::max(w3, r.c3.size());
+  }
+  size_t total = w0 + w1 + w2 + w3 + 3 * 2;  // three 2-space gutters
+  out += StrCat("  ", std::string(total, '-'), "\n");
+  for (const Row& r : rows) {
+    std::string line = "  ";
+    line += r.c0;
+    line.append(w0 - r.c0.size(), ' ');
+    line += "  ";
+    line += r.c1;
+    line.append(w1 - r.c1.size(), ' ');
+    line += "  ";
+    line.append(w2 - r.c2.size(), ' ');  // right-align counts
+    line += r.c2;
+    line += "  ";
+    line.append(w3 - r.c3.size(), ' ');  // right-align percents
+    line += r.c3;
+    out += line;
+    out += "\n";
+  }
+}
+
+std::string Percent(int64_t count, int64_t total) {
+  if (total <= 0) return "";
+  double frac = static_cast<double>(count) / static_cast<double>(total);
+  if (frac >= 0.0095) return StrFormat("%.0f%%", frac * 100.0);
+  return StrFormat("%.1f%%", frac * 100.0);
+}
+
+}  // namespace
+
+std::string RenderNutritionLabel(const PortableLabel& label,
+                                 const ErrorReport* error,
+                                 const RenderOptions& options) {
+  std::string out;
+  if (!label.dataset_name.empty()) {
+    out += StrCat("Dataset: ", label.dataset_name, "\n");
+  }
+  out += StrCat("Total size: ", WithThousandsSeparators(label.total_rows),
+                "\n\n");
+
+  // --- VC section -------------------------------------------------------
+  std::vector<Row> vc_rows;
+  vc_rows.push_back(Row{"Attribute", "Value", "Count", ""});
+  for (size_t a = 0; a < label.attribute_names.size(); ++a) {
+    auto entries = label.value_counts[a];  // copy: sorted for display
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& x, const auto& y) {
+                if (x.second != y.second) return x.second > y.second;
+                return x.first < y.first;
+              });
+    size_t limit = entries.size();
+    if (options.max_values_per_attribute > 0) {
+      limit = std::min<size_t>(
+          limit, static_cast<size_t>(options.max_values_per_attribute));
+    }
+    for (size_t i = 0; i < limit; ++i) {
+      Row r;
+      r.c0 = (i == 0) ? label.attribute_names[a] : "";
+      r.c1 = entries[i].first;
+      r.c2 = WithThousandsSeparators(entries[i].second);
+      r.c3 = Percent(entries[i].second, label.total_rows);
+      vc_rows.push_back(std::move(r));
+    }
+    if (limit < entries.size()) {
+      vc_rows.push_back(Row{
+          "", StrCat("... (", entries.size() - limit, " more values)"), "",
+          ""});
+    }
+  }
+  EmitRows(out, vc_rows);
+
+  // --- PC section -------------------------------------------------------
+  if (!label.label_attributes.empty()) {
+    out += "\n";
+    std::vector<std::string> names;
+    for (int a : label.label_attributes) {
+      names.push_back(label.attribute_names[static_cast<size_t>(a)]);
+    }
+    out += StrCat("Pattern counts over { ", Join(names, ", "), " }:\n");
+    std::vector<Row> pc_rows;
+    pc_rows.push_back(Row{"Pattern", "", "Count", ""});
+    auto patterns = label.pattern_counts;  // copy: sorted for display
+    std::sort(patterns.begin(), patterns.end(),
+              [](const auto& x, const auto& y) {
+                if (x.second != y.second) return x.second > y.second;
+                return x.first < y.first;
+              });
+    size_t limit = patterns.size();
+    if (options.max_pattern_rows > 0) {
+      limit = std::min<size_t>(limit,
+                               static_cast<size_t>(options.max_pattern_rows));
+    }
+    for (size_t i = 0; i < limit; ++i) {
+      Row r;
+      r.c0 = Join(patterns[i].first, " / ");
+      r.c2 = WithThousandsSeparators(patterns[i].second);
+      r.c3 = Percent(patterns[i].second, label.total_rows);
+      pc_rows.push_back(std::move(r));
+    }
+    if (limit < patterns.size()) {
+      pc_rows.push_back(Row{
+          StrCat("... (", patterns.size() - limit, " more patterns)"), "",
+          "", ""});
+    }
+    EmitRows(out, pc_rows);
+  }
+
+  // --- Error summary ----------------------------------------------------
+  if (error != nullptr && options.include_error_summary) {
+    out += "\n";
+    std::vector<Row> err_rows;
+    err_rows.push_back(
+        Row{"Average Error", "",
+            WithThousandsSeparators(static_cast<int64_t>(error->mean_abs)),
+            Percent(static_cast<int64_t>(error->mean_abs),
+                    label.total_rows)});
+    err_rows.push_back(
+        Row{"Maximal Error", "",
+            WithThousandsSeparators(static_cast<int64_t>(error->max_abs)),
+            Percent(static_cast<int64_t>(error->max_abs),
+                    label.total_rows)});
+    err_rows.push_back(
+        Row{"Standard deviation", "",
+            WithThousandsSeparators(static_cast<int64_t>(error->std_abs)),
+            ""});
+    EmitRows(out, err_rows);
+  }
+  return out;
+}
+
+}  // namespace pcbl

@@ -1,0 +1,33 @@
+// ASCII rendering of a label in the style of the paper's Fig. 1: the
+// dataset's total size, the VC section (per-attribute value counts with
+// percentages), the PC section (the stored pattern counts), and an
+// optional error summary (average / maximal error, standard deviation).
+#ifndef PCBL_CORE_RENDER_H_
+#define PCBL_CORE_RENDER_H_
+
+#include <string>
+
+#include "core/error.h"
+#include "core/portable_label.h"
+
+namespace pcbl {
+
+/// Rendering knobs.
+struct RenderOptions {
+  /// Show at most this many values per attribute in the VC section
+  /// (most frequent first); 0 means unlimited.
+  int max_values_per_attribute = 12;
+  /// Show at most this many PC rows; 0 means unlimited.
+  int max_pattern_rows = 40;
+  /// Append the error summary section when a report is supplied.
+  bool include_error_summary = true;
+};
+
+/// Renders the Fig. 1-style nutrition label. `error` may be null.
+std::string RenderNutritionLabel(const PortableLabel& label,
+                                 const ErrorReport* error = nullptr,
+                                 const RenderOptions& options = {});
+
+}  // namespace pcbl
+
+#endif  // PCBL_CORE_RENDER_H_

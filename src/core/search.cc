@@ -1,0 +1,198 @@
+#include "core/search.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "pattern/counter.h"
+#include "pattern/lattice.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace pcbl {
+
+LabelSearch::LabelSearch(const Table& table)
+    : table_(&table),
+      vc_(std::make_shared<const ValueCounts>(ValueCounts::Compute(table))),
+      patterns_(std::make_shared<const FullPatternIndex>(
+          FullPatternIndex::Build(table))) {}
+
+LabelSearch::LabelSearch(const Table& table,
+                         std::shared_ptr<const ValueCounts> vc,
+                         std::shared_ptr<const FullPatternIndex> patterns)
+    : table_(&table), vc_(std::move(vc)), patterns_(std::move(patterns)) {
+  PCBL_CHECK(vc_ != nullptr);
+  PCBL_CHECK(patterns_ != nullptr);
+}
+
+ErrorReport LabelSearch::Evaluate(const CardinalityEstimator& estimator,
+                                  ErrorMode mode) const {
+  if (eval_patterns_ != nullptr) {
+    return EvaluateOverPatternSet(*eval_patterns_, estimator, mode);
+  }
+  return EvaluateOverFullPatterns(*patterns_, estimator, mode);
+}
+
+SearchResult LabelSearch::Finish(const std::vector<AttrMask>& cands,
+                                 const SearchOptions& options,
+                                 SearchStats stats,
+                                 double candidate_seconds) const {
+  Stopwatch eval_watch;
+  SearchResult result;
+
+  // The count-descending early cut only bounds the max-abs metric; other
+  // metrics require the exact scan.
+  ErrorMode mode = options.metric == OptimizationMetric::kMaxAbsolute
+                       ? options.candidate_error_mode
+                       : ErrorMode::kExact;
+
+  // Each candidate's evaluation is independent, read-only work over the
+  // immutable table/VC/P_A, so the ranking loop runs under ParallelFor.
+  // The reduction below is serial and order-based, so the outcome is
+  // identical for any thread count.
+  struct Ranked {
+    int64_t size = 0;
+    double metric_value = 0.0;
+    int64_t patterns_scanned = 0;
+  };
+  std::vector<Ranked> ranked(cands.size());
+  ParallelFor(static_cast<int64_t>(cands.size()), options.num_threads,
+              [&](int64_t i) {
+                Label label =
+                    Label::Build(*table_, cands[static_cast<size_t>(i)], vc_);
+                LabelEstimator estimator(std::move(label));
+                ErrorReport report = Evaluate(estimator, mode);
+                ranked[static_cast<size_t>(i)] =
+                    Ranked{estimator.label().size(),
+                           MetricValue(report, options.metric),
+                           report.evaluated};
+              });
+
+  bool have_best = false;
+  AttrMask best_attrs;
+  double best_error = 0.0;
+  int64_t best_size = 0;
+
+  for (size_t i = 0; i < cands.size(); ++i) {
+    const AttrMask s = cands[i];
+    ++stats.error_evaluations;
+    stats.patterns_scanned += ranked[i].patterns_scanned;
+    const int64_t size = ranked[i].size;
+    const double metric_value = ranked[i].metric_value;
+    if (options.record_candidates) {
+      result.candidates.push_back(CandidateInfo{s, size, metric_value});
+    }
+    bool better = false;
+    if (!have_best) {
+      better = true;
+    } else if (metric_value != best_error) {
+      better = metric_value < best_error;
+    } else if (size != best_size) {
+      better = size < best_size;
+    } else {
+      better = s.bits() < best_attrs.bits();
+    }
+    if (better) {
+      have_best = true;
+      best_attrs = s;
+      best_error = metric_value;
+      best_size = size;
+    }
+  }
+
+  result.best_attrs = best_attrs;  // empty mask when no candidate fit
+  result.label = Label::Build(*table_, best_attrs, vc_);
+  stats.error_eval_seconds = eval_watch.ElapsedSeconds();
+  stats.candidate_seconds = candidate_seconds;
+  stats.total_seconds = candidate_seconds + stats.error_eval_seconds;
+  // The final label is always certified with an exact scan.
+  LabelEstimator final_estimator(result.label);
+  result.error = Evaluate(final_estimator, ErrorMode::kExact);
+  result.stats = stats;
+  return result;
+}
+
+SearchResult LabelSearch::Naive(const SearchOptions& options) const {
+  Stopwatch watch;
+  SearchStats stats;
+  std::vector<AttrMask> cands;
+  const int n = table_->num_attributes();
+
+  // Level-wise enumeration, starting with subsets of size 2 (Sec. III):
+  // singleton labels carry no information beyond VC. A level with no
+  // within-bound label terminates the scan: supersets only grow labels.
+  for (int level = 2; level <= n && !stats.timed_out; ++level) {
+    bool any_within_bound = false;
+    ForEachSubsetOfSize(n, level, [&](AttrMask s) {
+      if (stats.timed_out) return;
+      ++stats.subsets_examined;
+      if (options.time_limit_seconds > 0 &&
+          (stats.subsets_examined & 1023) == 0 &&
+          watch.ElapsedSeconds() > options.time_limit_seconds) {
+        stats.timed_out = true;
+        return;
+      }
+      int64_t size = CountDistinctPatterns(*table_, s, options.size_bound);
+      if (size <= options.size_bound) {
+        any_within_bound = true;
+        ++stats.within_bound;
+        cands.push_back(s);
+      }
+    });
+    stats.levels_completed = level - 1;  // levels beyond the start size
+    if (!any_within_bound) break;
+  }
+  return Finish(cands, options, stats, watch.ElapsedSeconds());
+}
+
+SearchResult LabelSearch::TopDown(const SearchOptions& options) const {
+  Stopwatch watch;
+  SearchStats stats;
+  const int n = table_->num_attributes();
+
+  // Algorithm 1. Q starts as gen({}) — the singletons; cands collects the
+  // within-budget subsets generated by gen(), with dominated parents
+  // removed (Proposition 3.2: a superset's label is at least as accurate).
+  std::deque<AttrMask> queue;
+  for (AttrMask s : Gen(AttrMask(), n)) queue.push_back(s);
+
+  std::unordered_set<uint64_t> cand_set;
+  std::vector<AttrMask> cand_order;  // insertion order, for determinism
+
+  while (!queue.empty() && !stats.timed_out) {
+    AttrMask curr = queue.front();
+    queue.pop_front();
+    for (AttrMask c : Gen(curr, n)) {
+      ++stats.subsets_examined;
+      if (options.time_limit_seconds > 0 &&
+          (stats.subsets_examined & 1023) == 0 &&
+          watch.ElapsedSeconds() > options.time_limit_seconds) {
+        stats.timed_out = true;
+        break;
+      }
+      int64_t size = CountDistinctPatterns(*table_, c, options.size_bound);
+      if (size > options.size_bound) continue;
+      ++stats.within_bound;
+      queue.push_back(c);
+      // removeParents(cands, c): drop every parent of c from cands.
+      for (AttrMask parent : Parents(c)) {
+        cand_set.erase(parent.bits());
+      }
+      cand_set.insert(c.bits());
+      cand_order.push_back(c);
+    }
+  }
+
+  std::vector<AttrMask> cands;
+  cands.reserve(cand_set.size());
+  for (AttrMask s : cand_order) {
+    if (cand_set.contains(s.bits())) {
+      cands.push_back(s);
+      cand_set.erase(s.bits());  // deduplicate while preserving order
+    }
+  }
+  return Finish(cands, options, stats, watch.ElapsedSeconds());
+}
+
+}  // namespace pcbl

@@ -1,0 +1,162 @@
+// Optimal-label search (Sec. III).
+//
+// Given D, a pattern set P (here: P_A via FullPatternIndex) and a size
+// bound B_s, find S minimizing Err(L_S(D), P) subject to |P_S| <= B_s
+// (Definition 2.15). The decision version is NP-hard (Theorem 2.17), so
+// the paper gives:
+//
+//  * NaiveSearch  — level-wise enumeration of all attribute subsets of
+//    size 2, 3, ...; stops after the first level where every subset's
+//    label exceeds the bound (Sec. III, first paragraph).
+//  * TopDownSearch — Algorithm 1: a top-down lattice traversal driven by
+//    gen(S) (Definition 3.5) that only expands within-budget subsets,
+//    prunes dominated parents from the candidate set (Proposition 3.2),
+//    and evaluates the error only on the surviving candidates.
+//
+// Both pick the minimal-max-error candidate; ties break toward the smaller
+// label, then the lexicographically smaller attribute set, so the two
+// algorithms are deterministically comparable.
+#ifndef PCBL_CORE_SEARCH_H_
+#define PCBL_CORE_SEARCH_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/error.h"
+#include "core/label.h"
+#include "core/pattern_set.h"
+#include "pattern/full_pattern_index.h"
+#include "relation/stats.h"
+#include "relation/table.h"
+#include "util/attr_mask.h"
+#include "util/status.h"
+
+namespace pcbl {
+
+/// Tuning knobs of the label search.
+struct SearchOptions {
+  /// B_s: maximal label size |PC|.
+  int64_t size_bound = 100;
+
+  /// Error-scan mode used while ranking candidates. The paper uses the
+  /// early-termination scan (Sec. IV-C); the final reported label is always
+  /// re-evaluated exactly. Ignored (exact is used) when `metric` is not
+  /// kMaxAbsolute — the early cut is only sound for the max-abs scan.
+  ErrorMode candidate_error_mode = ErrorMode::kEarlyTermination;
+
+  /// The scalar the search minimizes (Definition 2.15 uses the maximal
+  /// absolute error; Sec. II-B notes q-error works identically).
+  OptimizationMetric metric = OptimizationMetric::kMaxAbsolute;
+
+  /// Record per-candidate sizes/errors in SearchResult::candidates.
+  bool record_candidates = false;
+
+  /// Worker threads for the candidate-ranking phase (the error evaluation
+  /// of every surviving candidate — independent read-only work). 1 =
+  /// serial. The result is bit-identical for any thread count; only
+  /// wall-clock changes. See bench_ablation_parallel.
+  int num_threads = 1;
+
+  /// Abort candidate generation after this many seconds (0 = unlimited)
+  /// and fall through to ranking whatever was collected; SearchStats::
+  /// timed_out is set. Mirrors the paper's 30-minute cap on the naive
+  /// algorithm (Sec. IV-C).
+  double time_limit_seconds = 0.0;
+};
+
+/// Counters describing the work one search performed (Figs. 6-9).
+struct SearchStats {
+  /// Attribute subsets whose label size was computed ("# cands generated"
+  /// in Fig. 9 — every subset the algorithm examined).
+  int64_t subsets_examined = 0;
+  /// Subsets whose label fit within the bound.
+  int64_t within_bound = 0;
+  /// Labels whose error was evaluated (the final candidate set).
+  int64_t error_evaluations = 0;
+  /// Total patterns touched across all error evaluations.
+  int64_t patterns_scanned = 0;
+  /// Levels fully enumerated (naive only).
+  int levels_completed = 0;
+  /// Wall-clock seconds: total, candidate generation, error ranking.
+  double total_seconds = 0.0;
+  double candidate_seconds = 0.0;
+  double error_eval_seconds = 0.0;
+  /// True when candidate generation hit SearchOptions::time_limit_seconds.
+  bool timed_out = false;
+};
+
+/// One surviving candidate (for ablation/debugging output).
+struct CandidateInfo {
+  AttrMask attrs;
+  int64_t label_size = 0;
+  /// Value of SearchOptions::metric for this candidate (max absolute
+  /// error under the default metric).
+  double max_error = 0.0;
+};
+
+/// Outcome of a search.
+struct SearchResult {
+  /// Arg-min attribute set; empty when no subset of size >= 2 fits the
+  /// bound (the label then degenerates to the independence estimator).
+  AttrMask best_attrs;
+  /// The label built on best_attrs.
+  Label label;
+  /// Exact error report of `label` over P_A.
+  ErrorReport error;
+  SearchStats stats;
+  /// Present when SearchOptions::record_candidates is set.
+  std::vector<CandidateInfo> candidates;
+};
+
+/// Shared context for running searches over one dataset: the table, its VC
+/// set, and the evaluation pattern set P_A. Construct once, search many
+/// times (the figure harness sweeps bounds this way).
+class LabelSearch {
+ public:
+  /// Builds VC and P_A eagerly (one scan + one sort).
+  explicit LabelSearch(const Table& table);
+
+  /// Reuses precomputed VC / P_A (they must describe `table`).
+  LabelSearch(const Table& table,
+              std::shared_ptr<const ValueCounts> vc,
+              std::shared_ptr<const FullPatternIndex> patterns);
+
+  /// Ranks candidates against an explicit pattern set instead of P_A —
+  /// Definition 2.15's "patterns that include only sensitive attributes"
+  /// use case. The final ErrorReport is then over `patterns` too.
+  void SetEvaluationPatterns(std::shared_ptr<const PatternSet> patterns) {
+    eval_patterns_ = std::move(patterns);
+  }
+
+  /// The naive level-wise algorithm (Sec. III).
+  SearchResult Naive(const SearchOptions& options) const;
+
+  /// Algorithm 1, the optimized top-down heuristic.
+  SearchResult TopDown(const SearchOptions& options) const;
+
+  const Table& table() const { return *table_; }
+  const ValueCounts& value_counts() const { return *vc_; }
+  const FullPatternIndex& full_patterns() const { return *patterns_; }
+
+ private:
+  // Ranks `cands` by (exactness-ordered) max error and assembles the
+  // SearchResult; shared tail of both algorithms.
+  SearchResult Finish(const std::vector<AttrMask>& cands,
+                      const SearchOptions& options, SearchStats stats,
+                      double candidate_seconds) const;
+
+  // Evaluates one estimator against the active pattern set (P_A or the
+  // user-supplied one).
+  ErrorReport Evaluate(const CardinalityEstimator& estimator,
+                       ErrorMode mode) const;
+
+  const Table* table_;
+  std::shared_ptr<const ValueCounts> vc_;
+  std::shared_ptr<const FullPatternIndex> patterns_;
+  std::shared_ptr<const PatternSet> eval_patterns_;  // optional
+};
+
+}  // namespace pcbl
+
+#endif  // PCBL_CORE_SEARCH_H_

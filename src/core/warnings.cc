@@ -1,0 +1,191 @@
+#include "core/warnings.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/str.h"
+
+namespace pcbl {
+
+namespace {
+
+// max(x, 1) — the q-error-style clamp used for deviation ratios.
+double ClampOne(double x) { return x < 1.0 ? 1.0 : x; }
+
+double DeviationRatio(double estimated, double independence) {
+  const double a = ClampOne(estimated);
+  const double b = ClampOne(independence);
+  return a > b ? a / b : b / a;
+}
+
+}  // namespace
+
+const char* WarningKindName(WarningKind kind) {
+  switch (kind) {
+    case WarningKind::kUnderrepresented:
+      return "underrepresented";
+    case WarningKind::kSkewed:
+      return "skewed";
+    case WarningKind::kCorrelated:
+      return "correlated";
+  }
+  return "?";
+}
+
+std::string FitnessWarning::GroupString() const {
+  std::vector<std::string> parts;
+  parts.reserve(group.size());
+  for (const auto& [attr, value] : group) {
+    parts.push_back(StrCat(attr, "=", value));
+  }
+  return Join(parts, ", ");
+}
+
+Result<std::vector<FitnessWarning>> AuditLabel(
+    const PortableLabel& label, std::vector<std::string> attributes,
+    const AuditOptions& options) {
+  if (options.max_arity < 1) {
+    return InvalidArgumentError("max_arity must be at least 1");
+  }
+  if (attributes.empty()) attributes = label.attribute_names;
+
+  // Resolve names to label indices.
+  std::vector<int> attr_idx;
+  attr_idx.reserve(attributes.size());
+  for (const std::string& name : attributes) {
+    int found = -1;
+    for (size_t i = 0; i < label.attribute_names.size(); ++i) {
+      if (label.attribute_names[i] == name) {
+        found = static_cast<int>(i);
+        break;
+      }
+    }
+    if (found < 0) {
+      return NotFoundError(
+          StrCat("attribute \"", name, "\" is not in the label"));
+    }
+    attr_idx.push_back(found);
+  }
+  std::sort(attr_idx.begin(), attr_idx.end());
+  if (std::adjacent_find(attr_idx.begin(), attr_idx.end()) !=
+      attr_idx.end()) {
+    return InvalidArgumentError("duplicate attribute in the audit list");
+  }
+
+  const double total = static_cast<double>(label.total_rows);
+  const double skew_rows = options.max_group_share * total;
+  std::vector<FitnessWarning> underrepresented;
+  std::vector<FitnessWarning> skewed;
+  std::vector<FitnessWarning> correlated;
+
+  // Enumerate attribute combinations of arity 1..max_arity via bitmask
+  // over the (small) audit list.
+  const int m = static_cast<int>(attr_idx.size());
+  if (m > 30) return InvalidArgumentError("audit list too long (> 30)");
+  for (uint32_t bits = 1; bits < (1u << m); ++bits) {
+    const int arity = __builtin_popcount(bits);
+    if (arity > options.max_arity) continue;
+    std::vector<int> combo;  // label attribute indices
+    for (int j = 0; j < m; ++j) {
+      if ((bits >> j) & 1u) combo.push_back(attr_idx[static_cast<size_t>(j)]);
+    }
+    // Cross-product size guard.
+    int64_t groups = 1;
+    bool skip = false;
+    for (int a : combo) {
+      const auto& vc = label.value_counts[static_cast<size_t>(a)];
+      if (vc.empty()) {
+        skip = true;
+        break;
+      }
+      if (groups > options.max_groups_per_combination /
+                       static_cast<int64_t>(vc.size())) {
+        skip = true;
+        break;
+      }
+      groups *= static_cast<int64_t>(vc.size());
+    }
+    if (skip) continue;
+
+    // Odometer over the value combinations.
+    std::vector<size_t> pos(combo.size(), 0);
+    for (;;) {
+      std::vector<std::pair<std::string, std::string>> group;
+      group.reserve(combo.size());
+      double independence = total;
+      for (size_t j = 0; j < combo.size(); ++j) {
+        const int a = combo[j];
+        const auto& vc = label.value_counts[static_cast<size_t>(a)];
+        const auto& [value, count] = vc[pos[j]];
+        group.emplace_back(label.attribute_names[static_cast<size_t>(a)],
+                           value);
+        int64_t attr_total = 0;
+        for (const auto& [v, c] : vc) attr_total += c;
+        independence *= attr_total > 0 ? static_cast<double>(count) /
+                                             static_cast<double>(attr_total)
+                                       : 0.0;
+      }
+      auto est = label.EstimateCount(group);
+      if (!est.ok()) return est.status();
+
+      if (*est < static_cast<double>(options.min_group_count)) {
+        FitnessWarning w;
+        w.kind = WarningKind::kUnderrepresented;
+        w.group = group;
+        w.estimated = *est;
+        w.reference = static_cast<double>(options.min_group_count);
+        underrepresented.push_back(std::move(w));
+      } else if (*est > skew_rows) {
+        FitnessWarning w;
+        w.kind = WarningKind::kSkewed;
+        w.group = group;
+        w.estimated = *est;
+        w.reference = skew_rows;
+        skewed.push_back(std::move(w));
+      }
+      if (combo.size() == 2 &&
+          DeviationRatio(*est, independence) >= options.correlation_factor) {
+        FitnessWarning w;
+        w.kind = WarningKind::kCorrelated;
+        w.group = group;
+        w.estimated = *est;
+        w.reference = independence;
+        correlated.push_back(std::move(w));
+      }
+
+      // Advance the odometer.
+      size_t j = 0;
+      for (; j < pos.size(); ++j) {
+        if (++pos[j] <
+            label.value_counts[static_cast<size_t>(combo[j])].size()) {
+          break;
+        }
+        pos[j] = 0;
+      }
+      if (j == pos.size()) break;
+    }
+  }
+
+  std::sort(underrepresented.begin(), underrepresented.end(),
+            [](const FitnessWarning& a, const FitnessWarning& b) {
+              return a.estimated < b.estimated;
+            });
+  std::sort(skewed.begin(), skewed.end(),
+            [](const FitnessWarning& a, const FitnessWarning& b) {
+              return a.estimated > b.estimated;
+            });
+  std::sort(correlated.begin(), correlated.end(),
+            [](const FitnessWarning& a, const FitnessWarning& b) {
+              return DeviationRatio(a.estimated, a.reference) >
+                     DeviationRatio(b.estimated, b.reference);
+            });
+
+  std::vector<FitnessWarning> out;
+  out.reserve(underrepresented.size() + skewed.size() + correlated.size());
+  for (auto* bucket : {&underrepresented, &skewed, &correlated}) {
+    for (FitnessWarning& w : *bucket) out.push_back(std::move(w));
+  }
+  return out;
+}
+
+}  // namespace pcbl

@@ -1,0 +1,88 @@
+// Fitness-for-use warnings derived from a label alone.
+//
+// The paper's introduction motivates labels with exactly this workflow:
+// "Once the count information is available, it can be used to develop
+// usecase-specific metadata warnings such as 'dangerous intersected
+// attribute combinations' or 'inadequate representation of a protected
+// group'" (Sec. I). This module runs that audit against a PortableLabel —
+// no access to the underlying data — enumerating attribute-value
+// intersections and flagging:
+//
+//   * kUnderrepresented — an intersection's estimated count falls below a
+//     support threshold (the Hispanic-women COMPAS scenario);
+//   * kSkewed — a single intersection holds more than a threshold share
+//     of the data (Sec. I's "high percentage of data that represents the
+//     same group");
+//   * kCorrelated — a pair's estimated count deviates from its
+//     independence expectation by more than a threshold factor (Sec. I's
+//     "potential dependent or correlated attributes"). Only pairs inside
+//     the label's S can deviate — for all others the label itself
+//     estimates via independence — so these warnings are exactly the
+//     dependencies the label stored evidence for.
+#ifndef PCBL_CORE_WARNINGS_H_
+#define PCBL_CORE_WARNINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/portable_label.h"
+#include "util/status.h"
+
+namespace pcbl {
+
+/// What a FitnessWarning flags.
+enum class WarningKind {
+  kUnderrepresented,
+  kSkewed,
+  kCorrelated,
+};
+
+/// Human-readable kind name ("underrepresented", ...).
+const char* WarningKindName(WarningKind kind);
+
+/// One flagged intersection.
+struct FitnessWarning {
+  WarningKind kind = WarningKind::kUnderrepresented;
+  /// The intersection, as (attribute, value) terms.
+  std::vector<std::pair<std::string, std::string>> group;
+  /// The label's estimate for the intersection.
+  double estimated = 0.0;
+  /// What the estimate was compared against: the support threshold
+  /// (underrepresented), the share threshold in rows (skewed), or the
+  /// independence expectation (correlated).
+  double reference = 0.0;
+  /// Renders "gender=Female, race=Hispanic".
+  std::string GroupString() const;
+};
+
+/// Audit thresholds.
+struct AuditOptions {
+  /// Intersections estimated below this count are underrepresented.
+  int64_t min_group_count = 100;
+  /// Intersections estimated above this share of |D| are skew warnings.
+  double max_group_share = 0.5;
+  /// Pairs whose estimate deviates from independence by at least this
+  /// factor (either direction; both sides clamped to >= 1) are flagged
+  /// as correlated.
+  double correlation_factor = 2.0;
+  /// Intersection arity scanned for representation/skew (1..max_arity).
+  int max_arity = 2;
+  /// Skip attribute combinations whose value cross-product exceeds this
+  /// (keeps the audit label-only and fast on wide domains).
+  int64_t max_groups_per_combination = 200000;
+};
+
+/// Audits the intersections of the named attributes (every non-empty
+/// subset up to max_arity, every value combination from the label's VC).
+/// When `attributes` is empty, all attributes of the label are used.
+/// Warnings are ordered: underrepresented (ascending estimate), then
+/// skewed (descending estimate), then correlated (descending deviation).
+Result<std::vector<FitnessWarning>> AuditLabel(
+    const PortableLabel& label, std::vector<std::string> attributes,
+    const AuditOptions& options = {});
+
+}  // namespace pcbl
+
+#endif  // PCBL_CORE_WARNINGS_H_

@@ -1,0 +1,67 @@
+#include "harness/accuracy.h"
+
+#include "baselines/postgres.h"
+#include "baselines/sampling.h"
+#include "util/stopwatch.h"
+
+namespace pcbl {
+namespace harness {
+
+std::vector<AccuracyPoint> RunAccuracySweep(
+    const Table& table, const AccuracySweepOptions& options) {
+  LabelSearch search(table);
+  const FullPatternIndex& patterns = search.full_patterns();
+  const int64_t vc_entries = search.value_counts().TotalEntries();
+
+  PostgresEstimator pg = PostgresEstimator::Build(table);
+  ErrorReport pg_report =
+      EvaluateOverFullPatterns(patterns, pg, ErrorMode::kExact);
+
+  std::vector<AccuracyPoint> out;
+  out.reserve(options.bounds.size());
+  for (int64_t bound : options.bounds) {
+    AccuracyPoint point;
+    point.bound = bound;
+    point.postgres = pg_report;
+
+    SearchOptions search_options;
+    search_options.size_bound = bound;
+    Stopwatch watch;
+    SearchResult result = options.top_down ? search.TopDown(search_options)
+                                           : search.Naive(search_options);
+    point.search_seconds = watch.ElapsedSeconds();
+    point.label_size = result.label.size();
+    point.label_attrs = result.best_attrs;
+    point.pcbl = result.error;
+
+    // Sample sized bound + |VC| (Sec. IV-A footnote), averaged per metric
+    // over the seeds.
+    point.sample_rows = bound + vc_entries;
+    ErrorReport acc;
+    for (int seed = 0; seed < options.sample_seeds; ++seed) {
+      SamplingEstimator sample = SamplingEstimator::Build(
+          table, point.sample_rows, static_cast<uint64_t>(seed) * 7919 + 17);
+      ErrorReport r =
+          EvaluateOverFullPatterns(patterns, sample, ErrorMode::kExact);
+      acc.max_abs += r.max_abs;
+      acc.mean_abs += r.mean_abs;
+      acc.std_abs += r.std_abs;
+      acc.max_q += r.max_q;
+      acc.mean_q += r.mean_q;
+      acc.evaluated = r.evaluated;
+      acc.total = r.total;
+    }
+    double n = static_cast<double>(options.sample_seeds);
+    acc.max_abs /= n;
+    acc.mean_abs /= n;
+    acc.std_abs /= n;
+    acc.max_q /= n;
+    acc.mean_q /= n;
+    point.sample_mean = acc;
+    out.push_back(point);
+  }
+  return out;
+}
+
+}  // namespace harness
+}  // namespace pcbl

@@ -1,0 +1,54 @@
+// Shared machinery for the accuracy figures (Figs. 4 and 5): for one
+// dataset and one label-size bound, produce the PCBL / Postgres / Sample
+// error reports exactly the way Sec. IV-B describes (sample sized
+// bound + |VC|, averaged over seeds; the final label re-evaluated
+// exactly).
+#ifndef PCBL_HARNESS_ACCURACY_H_
+#define PCBL_HARNESS_ACCURACY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/error.h"
+#include "core/search.h"
+#include "relation/table.h"
+
+namespace pcbl {
+namespace harness {
+
+/// One row of the Fig. 4/5 sweep.
+struct AccuracyPoint {
+  int64_t bound = 0;
+  /// Size of the label the search actually produced (|PC| <= bound).
+  int64_t label_size = 0;
+  /// The searched label's attribute set.
+  AttrMask label_attrs;
+  /// Exact error reports.
+  ErrorReport pcbl;
+  ErrorReport postgres;
+  /// Sample estimates averaged over `sample_seeds` runs (each metric is
+  /// the mean of that metric across seeds, as the paper averages).
+  ErrorReport sample_mean;
+  int64_t sample_rows = 0;
+  /// Label generation time (the search), seconds.
+  double search_seconds = 0;
+};
+
+/// Sweep configuration.
+struct AccuracySweepOptions {
+  std::vector<int64_t> bounds = {10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
+  int sample_seeds = 5;
+  /// Use Algorithm 1 (true) or the naive search (false).
+  bool top_down = true;
+};
+
+/// Runs the full sweep for one dataset. The Postgres report is computed
+/// once (its footprint does not depend on the bound) and replicated into
+/// every point, mirroring the flat gray line of Fig. 4.
+std::vector<AccuracyPoint> RunAccuracySweep(
+    const Table& table, const AccuracySweepOptions& options);
+
+}  // namespace harness
+}  // namespace pcbl
+
+#endif  // PCBL_HARNESS_ACCURACY_H_

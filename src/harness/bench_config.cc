@@ -1,0 +1,40 @@
+#include "harness/bench_config.h"
+
+#include <cstdlib>
+
+#include "util/str.h"
+
+namespace pcbl {
+namespace harness {
+
+BenchConfig BenchConfig::FromEnv() {
+  BenchConfig config;
+  if (const char* env = std::getenv("PCBL_BENCH_SCALE")) {
+    auto pct = ParseDouble(env);
+    if (pct.ok() && *pct > 0 && *pct <= 100000.0) {
+      config.scale = *pct / 100.0;
+    }
+  }
+  if (const char* env = std::getenv("PCBL_BENCH_SEED")) {
+    auto seed = ParseInt64(env);
+    if (seed.ok() && *seed >= 0) {
+      config.seed = static_cast<uint64_t>(*seed);
+    }
+  }
+  if (const char* env = std::getenv("PCBL_BENCH_TIME_LIMIT")) {
+    auto limit = ParseDouble(env);
+    if (limit.ok() && *limit >= 0) {
+      config.time_limit_seconds = *limit;
+    }
+  }
+  return config;
+}
+
+std::string BenchConfig::ToString() const {
+  return StrFormat("scale=%.6g%% seed=%llu time_limit=%.0fs", scale * 100.0,
+                   static_cast<unsigned long long>(seed),
+                   time_limit_seconds);
+}
+
+}  // namespace harness
+}  // namespace pcbl

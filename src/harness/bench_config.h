@@ -1,0 +1,37 @@
+// Environment-driven configuration for the figure benchmarks.
+//
+// PCBL_BENCH_SCALE (percent, default 100) scales dataset row counts so CI
+// can exercise every figure quickly; the recorded EXPERIMENTS.md numbers
+// use the full scale. PCBL_BENCH_SEED overrides the workload seed.
+#ifndef PCBL_HARNESS_BENCH_CONFIG_H_
+#define PCBL_HARNESS_BENCH_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace pcbl {
+namespace harness {
+
+/// Resolved benchmark configuration.
+struct BenchConfig {
+  /// Row-count multiplier in (0, 1e3]; 1.0 = paper-size datasets.
+  double scale = 1.0;
+  /// Workload generator seed.
+  uint64_t seed = 2021;
+  /// Per-search time cap in seconds for the runtime figures (the paper
+  /// itself caps the naive algorithm at 30 minutes); 0 disables.
+  /// PCBL_BENCH_TIME_LIMIT overrides.
+  double time_limit_seconds = 120.0;
+
+  /// Reads PCBL_BENCH_SCALE / PCBL_BENCH_SEED / PCBL_BENCH_TIME_LIMIT
+  /// from the environment.
+  static BenchConfig FromEnv();
+
+  /// "scale=100% seed=2021" for banners.
+  std::string ToString() const;
+};
+
+}  // namespace harness
+}  // namespace pcbl
+
+#endif  // PCBL_HARNESS_BENCH_CONFIG_H_

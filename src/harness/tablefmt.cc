@@ -1,0 +1,97 @@
+#include "harness/tablefmt.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace pcbl {
+namespace harness {
+namespace {
+
+bool CsvNeedsQuoting(const std::string& s) {
+  for (char c : s) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  PCBL_CHECK_EQ(cells.size(), headers_.size())
+      << "row arity differs from header arity";
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::ToMarkdown() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row,
+                      std::string& out) {
+    out += "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      out += " ";
+      out += row[c];
+      out.append(widths[c] - row[c].size(), ' ');
+      out += " |";
+    }
+    out += "\n";
+  };
+  std::string out;
+  emit_row(headers_, out);
+  out += "|";
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    out.append(widths[c] + 2, '-');
+    out += "|";
+  }
+  out += "\n";
+  for (const auto& row : rows_) emit_row(row, out);
+  return out;
+}
+
+std::string TextTable::ToCsv() const {
+  auto emit_row = [](const std::vector<std::string>& row, std::string& out) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += ",";
+      if (CsvNeedsQuoting(row[c])) {
+        out += '"';
+        for (char ch : row[c]) {
+          if (ch == '"') out += '"';
+          out += ch;
+        }
+        out += '"';
+      } else {
+        out += row[c];
+      }
+    }
+    out += "\n";
+  };
+  std::string out;
+  emit_row(headers_, out);
+  for (const auto& row : rows_) emit_row(row, out);
+  return out;
+}
+
+void PrintFigureHeader(const std::string& figure_id, const std::string& title,
+                       const std::string& paper_expectation) {
+  std::string banner = "== " + figure_id + ": " + title + " ==";
+  std::string line(banner.size(), '=');
+  std::printf("%s\n%s\n%s\n", line.c_str(), banner.c_str(), line.c_str());
+  if (!paper_expectation.empty()) {
+    std::printf("Paper expectation: %s\n", paper_expectation.c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace harness
+}  // namespace pcbl

@@ -1,0 +1,47 @@
+// Text-table rendering for the figure-reproduction benchmarks: aligned
+// markdown (what the bench binaries print) and CSV (for plotting).
+#ifndef PCBL_HARNESS_TABLEFMT_H_
+#define PCBL_HARNESS_TABLEFMT_H_
+
+#include <string>
+#include <vector>
+
+namespace pcbl {
+namespace harness {
+
+/// A rectangular table of strings with a header row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row; must match the header arity.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats each cell with StrCat-able values.
+  template <typename... Args>
+  void AddRowValues(const Args&... args);
+
+  /// GitHub-flavoured markdown with padded columns.
+  std::string ToMarkdown() const;
+
+  /// RFC-ish CSV (quotes only when needed).
+  std::string ToCsv() const;
+
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a figure banner: "== Figure 4: ... ==" plus a description block.
+void PrintFigureHeader(const std::string& figure_id,
+                       const std::string& title,
+                       const std::string& paper_expectation);
+
+}  // namespace harness
+}  // namespace pcbl
+
+#include "harness/tablefmt_inl.h"
+
+#endif  // PCBL_HARNESS_TABLEFMT_H_

@@ -1,0 +1,26 @@
+// Template implementation detail of TextTable.
+#ifndef PCBL_HARNESS_TABLEFMT_INL_H_
+#define PCBL_HARNESS_TABLEFMT_INL_H_
+
+#include <sstream>
+
+namespace pcbl {
+namespace harness {
+
+template <typename... Args>
+void TextTable::AddRowValues(const Args&... args) {
+  std::vector<std::string> cells;
+  cells.reserve(sizeof...(args));
+  auto add = [&cells](const auto& v) {
+    std::ostringstream os;
+    os << v;
+    cells.push_back(os.str());
+  };
+  (add(args), ...);
+  AddRow(std::move(cells));
+}
+
+}  // namespace harness
+}  // namespace pcbl
+
+#endif  // PCBL_HARNESS_TABLEFMT_INL_H_

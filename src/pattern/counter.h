@@ -1,0 +1,113 @@
+// Group-by counting over attribute subsets — the engine behind both label
+// construction (computing the PC set of Definition 2.9) and label sizing
+// (|P_S|, the budget check of the search algorithms).
+//
+// Three strategies are provided and picked automatically:
+//   * dense:  mixed-radix direct addressing when ∏|Dom| is small,
+//   * hash:   64-bit-encodable keys into an open-addressing map,
+//   * sort:   exact lexicographic sort-and-run-count fallback (always
+//             applicable, used when the key space overflows 64 bits).
+// Rows with a NULL in any grouped attribute contribute no pattern
+// (Definition 2.3: NULL never satisfies an equality term).
+#ifndef PCBL_PATTERN_COUNTER_H_
+#define PCBL_PATTERN_COUNTER_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "pattern/pattern.h"
+#include "relation/table.h"
+#include "util/attr_mask.h"
+
+namespace pcbl {
+
+/// Which group-by implementation to use.
+enum class GroupByStrategy {
+  kAuto,
+  kDense,
+  kHash,
+  kSort,
+};
+
+/// The exact pattern counts over one attribute subset: the PC set of
+/// L_S(D), restricted to patterns with positive count.
+class GroupCounts {
+ public:
+  /// Attributes of S in increasing index order.
+  const std::vector<int>& attrs() const { return attrs_; }
+  AttrMask mask() const { return mask_; }
+
+  /// Number of distinct patterns |P_S|.
+  int64_t num_groups() const {
+    return static_cast<int64_t>(counts_.size());
+  }
+
+  /// Key of group `g`: one ValueId per attribute, in attrs() order.
+  const ValueId* key(int64_t g) const {
+    return keys_.data() + static_cast<size_t>(g) * attrs_.size();
+  }
+
+  /// Count of group `g`.
+  int64_t count(int64_t g) const {
+    return counts_[static_cast<size_t>(g)];
+  }
+
+  /// Width of a key (number of grouped attributes).
+  int key_width() const { return static_cast<int>(attrs_.size()); }
+
+  /// Sum of all group counts (rows with no NULL in the grouped attributes).
+  int64_t total_count() const;
+
+  /// Materializes group `g` as a Pattern.
+  Pattern ToPattern(int64_t g) const;
+
+ private:
+  friend struct GroupCountsAccess;
+  std::vector<int> attrs_;
+  AttrMask mask_;
+  std::vector<ValueId> keys_;    // flat, num_groups * key_width
+  std::vector<int64_t> counts_;  // per group
+};
+
+/// Computes the exact pattern counts of `table` grouped by `mask`.
+GroupCounts ComputeGroupCounts(const Table& table, AttrMask mask,
+                               GroupByStrategy strategy =
+                                   GroupByStrategy::kAuto);
+
+/// Counts distinct non-NULL combinations over `mask`, stopping early once
+/// the count exceeds `budget` (when budget >= 0). Returns the exact count
+/// when it is <= budget, otherwise any value > budget. This early exit is
+/// what makes the naive search algorithm feasible: most candidate subsets
+/// blow past the bound within a few hundred rows.
+int64_t CountDistinctCombos(const Table& table, AttrMask mask,
+                            int64_t budget = -1);
+
+/// Mixed-radix encoding capacity: product of domain sizes of `mask`, or
+/// nullopt when it would overflow int64 (or when any domain is empty while
+/// the column still has rows — impossible in practice).
+std::optional<int64_t> DenseKeySpace(const Table& table, AttrMask mask);
+
+/// The PC set of L_S(D) under the missing-value semantics implied by the
+/// paper's appendix A: tuples are grouped by their *non-NULL restriction*
+/// to `mask`, and only restrictions binding at least two attributes are
+/// stored (arity-0/1 information is already carried by |D| and VC). Keys
+/// have width |mask| with kNullValue marking unbound attributes, and are
+/// emitted in ascending mixed-radix order (NULL sorting last per
+/// attribute).
+///
+/// On NULL-free data this is identical to ComputeGroupCounts for
+/// |mask| >= 2, and empty for smaller masks. This is the semantics under
+/// which Lemma A.8's label sizes and the Theorem 2.17 reduction are sound;
+/// see DESIGN.md.
+GroupCounts ComputePatternCounts(const Table& table, AttrMask mask);
+
+/// |P_S| under the same semantics, with the same early-exit budget
+/// behaviour as CountDistinctCombos. This is the quantity the search
+/// algorithms bound by B_s.
+int64_t CountDistinctPatterns(const Table& table, AttrMask mask,
+                              int64_t budget = -1);
+
+}  // namespace pcbl
+
+#endif  // PCBL_PATTERN_COUNTER_H_

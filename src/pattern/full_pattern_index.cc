@@ -1,0 +1,93 @@
+#include "pattern/full_pattern_index.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace pcbl {
+
+FullPatternIndex FullPatternIndex::Build(const Table& table) {
+  FullPatternIndex idx;
+  idx.width_ = table.num_attributes();
+  size_t width = static_cast<size_t>(idx.width_);
+
+  // Materialize row-major keys of NULL-free rows.
+  std::vector<ValueId> rows;
+  rows.reserve(static_cast<size_t>(table.num_rows()) * width);
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    bool ok = true;
+    for (size_t a = 0; a < width; ++a) {
+      if (IsNull(table.value(r, static_cast<int>(a)))) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) {
+      ++idx.rows_skipped_;
+      continue;
+    }
+    for (size_t a = 0; a < width; ++a) {
+      rows.push_back(table.value(r, static_cast<int>(a)));
+    }
+    ++idx.rows_indexed_;
+  }
+
+  size_t n = width == 0 ? 0 : rows.size() / width;
+  std::vector<int64_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = static_cast<int64_t>(i);
+  const ValueId* data = rows.data();
+  std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    const ValueId* ka = data + static_cast<size_t>(a) * width;
+    const ValueId* kb = data + static_cast<size_t>(b) * width;
+    return std::lexicographical_compare(ka, ka + width, kb, kb + width);
+  });
+
+  // Count runs into (start offset, count) pairs.
+  struct Group {
+    int64_t row;  // index into `order`
+    int64_t count;
+  };
+  std::vector<Group> groups;
+  size_t i = 0;
+  while (i < n) {
+    const ValueId* ki = data + static_cast<size_t>(order[i]) * width;
+    size_t j = i + 1;
+    while (j < n) {
+      const ValueId* kj = data + static_cast<size_t>(order[j]) * width;
+      if (!std::equal(ki, ki + width, kj)) break;
+      ++j;
+    }
+    groups.push_back(Group{order[i], static_cast<int64_t>(j - i)});
+    i = j;
+  }
+
+  // Order by count descending; break ties by key for determinism.
+  std::stable_sort(groups.begin(), groups.end(),
+                   [](const Group& a, const Group& b) {
+                     return a.count > b.count;
+                   });
+
+  idx.codes_.reserve(groups.size() * width);
+  idx.counts_.reserve(groups.size());
+  for (const Group& g : groups) {
+    const ValueId* k = data + static_cast<size_t>(g.row) * width;
+    idx.codes_.insert(idx.codes_.end(), k, k + width);
+    idx.counts_.push_back(g.count);
+  }
+  return idx;
+}
+
+Pattern FullPatternIndex::ToPattern(int64_t i) const {
+  PCBL_CHECK(i >= 0 && i < num_patterns());
+  std::vector<PatternTerm> terms;
+  terms.reserve(static_cast<size_t>(width_));
+  const ValueId* k = codes(i);
+  for (int a = 0; a < width_; ++a) {
+    terms.push_back(PatternTerm{a, k[a]});
+  }
+  auto result = Pattern::Create(std::move(terms));
+  PCBL_CHECK(result.ok()) << result.status();
+  return std::move(result).value();
+}
+
+}  // namespace pcbl

@@ -1,0 +1,63 @@
+// FullPatternIndex: the pattern set P_A of all full patterns present in a
+// dataset, with counts, sorted by count descending.
+//
+// The paper's experiments evaluate label error against P = P_A — every
+// pattern that binds all attributes and appears in the data (Sec. IV-A).
+// Those patterns are exactly the distinct complete rows; their counts are
+// the row multiplicities. The descending count order enables the
+// early-termination trick of Sec. IV-C when computing maximal error.
+// Rows containing NULLs produce no full pattern and are excluded.
+#ifndef PCBL_PATTERN_FULL_PATTERN_INDEX_H_
+#define PCBL_PATTERN_FULL_PATTERN_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "pattern/pattern.h"
+#include "relation/table.h"
+
+namespace pcbl {
+
+/// Distinct complete rows of a table with their multiplicities, ordered by
+/// multiplicity (count) descending.
+class FullPatternIndex {
+ public:
+  /// Builds the index with one scan + sort.
+  static FullPatternIndex Build(const Table& table);
+
+  /// Number of distinct full patterns |P_A|.
+  int64_t num_patterns() const {
+    return static_cast<int64_t>(counts_.size());
+  }
+
+  /// Codes of pattern `i` (width = num_attributes, no NULLs).
+  const ValueId* codes(int64_t i) const {
+    return codes_.data() + static_cast<size_t>(i) * width_;
+  }
+
+  /// Count c_D(p_i).
+  int64_t count(int64_t i) const { return counts_[static_cast<size_t>(i)]; }
+
+  /// Number of attributes per pattern.
+  int width() const { return width_; }
+
+  /// Rows included (no NULLs) — equals the sum of all counts.
+  int64_t rows_indexed() const { return rows_indexed_; }
+
+  /// Rows skipped because of NULL cells.
+  int64_t rows_skipped() const { return rows_skipped_; }
+
+  /// Materializes pattern `i` as a Pattern object.
+  Pattern ToPattern(int64_t i) const;
+
+ private:
+  int width_ = 0;
+  std::vector<ValueId> codes_;   // flat, num_patterns * width
+  std::vector<int64_t> counts_;  // descending
+  int64_t rows_indexed_ = 0;
+  int64_t rows_skipped_ = 0;
+};
+
+}  // namespace pcbl
+
+#endif  // PCBL_PATTERN_FULL_PATTERN_INDEX_H_

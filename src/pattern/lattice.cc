@@ -1,0 +1,86 @@
+#include "pattern/lattice.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace pcbl {
+
+std::vector<AttrMask> Gen(AttrMask s, int n) {
+  PCBL_DCHECK(n >= 0 && n <= kMaxAttributes);
+  std::vector<AttrMask> out;
+  int start = s.empty() ? 0 : s.MaxIndex() + 1;
+  for (int j = start; j < n; ++j) {
+    out.push_back(s.With(j));
+  }
+  return out;
+}
+
+std::vector<AttrMask> Children(AttrMask s, int n) {
+  std::vector<AttrMask> out;
+  for (int j = 0; j < n; ++j) {
+    if (!s.Test(j)) out.push_back(s.With(j));
+  }
+  return out;
+}
+
+std::vector<AttrMask> Parents(AttrMask s) {
+  std::vector<AttrMask> out;
+  for (int j : s.ToIndices()) {
+    out.push_back(s.Without(j));
+  }
+  return out;
+}
+
+void ForEachSubsetOfSize(int n, int k,
+                         const std::function<void(AttrMask)>& fn) {
+  PCBL_CHECK(n >= 0 && n <= kMaxAttributes);
+  PCBL_CHECK(k >= 0);
+  if (k > n) return;
+  if (k == 0) {
+    fn(AttrMask());
+    return;
+  }
+  uint64_t v = (k == 64) ? ~0ULL : ((1ULL << k) - 1);
+  uint64_t limit_bit = 1ULL << (n - 1);
+  (void)limit_bit;
+  while (true) {
+    fn(AttrMask(v));
+    // Gosper's hack: next bit permutation with the same popcount.
+    uint64_t c = v & (~v + 1);
+    uint64_t r = v + c;
+    if (r == 0) break;  // overflow: done
+    v = (((r ^ v) >> 2) / c) | r;
+    if (n < 64 && (v >> n) != 0) break;
+  }
+}
+
+void ForEachSubsetOf(AttrMask universe,
+                     const std::function<void(AttrMask)>& fn) {
+  // Classic submask enumeration: s -> (s-1) & u visits every non-empty
+  // submask exactly once, in descending numeric order, using O(1) space.
+  uint64_t u = universe.bits();
+  uint64_t s = u;
+  while (s != 0) {
+    fn(AttrMask(s));
+    s = (s - 1) & u;
+  }
+}
+
+int64_t Binomial(int n, int k) {
+  if (k < 0 || k > n) return 0;
+  k = std::min(k, n - k);
+  int64_t result = 1;
+  for (int i = 1; i <= k; ++i) {
+    // result *= (n - k + i) / i, keeping exact integer arithmetic.
+    int64_t num = n - k + i;
+    if (result > std::numeric_limits<int64_t>::max() / num) {
+      return std::numeric_limits<int64_t>::max();
+    }
+    result = result * num / i;
+  }
+  return result;
+}
+
+}  // namespace pcbl

@@ -1,0 +1,43 @@
+// The labels lattice (Definition 3.4) and its traversal primitives.
+//
+// Vertices are attribute subsets (AttrMask); S1 is a parent of S2 when
+// S2 = S1 ∪ {A} for a single attribute A. gen(S) (Definition 3.5) extends
+// S only with attributes of index greater than idx(S) = max index in S, so
+// a top-down scan generates every subset exactly once (Proposition 3.8).
+#ifndef PCBL_PATTERN_LATTICE_H_
+#define PCBL_PATTERN_LATTICE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/attr_mask.h"
+
+namespace pcbl {
+
+/// gen(S) per Definition 3.5: {S ∪ {A_j} : idx(S) < j <= n-1}; for the
+/// empty set, all singletons. `n` is the number of attributes.
+std::vector<AttrMask> Gen(AttrMask s, int n);
+
+/// All children of S in the lattice: S ∪ {A} for every A ∉ S.
+std::vector<AttrMask> Children(AttrMask s, int n);
+
+/// All parents of S in the lattice: S \ {A} for every A ∈ S.
+std::vector<AttrMask> Parents(AttrMask s);
+
+/// Invokes `fn` for every size-k subset of {0,...,n-1}, in ascending
+/// bitmask order (Gosper's hack).
+void ForEachSubsetOfSize(int n, int k,
+                         const std::function<void(AttrMask)>& fn);
+
+/// Invokes `fn` for every non-empty subset of `universe` (2^|universe|-1
+/// calls), in descending bitmask order, using O(1) space.
+void ForEachSubsetOf(AttrMask universe,
+                     const std::function<void(AttrMask)>& fn);
+
+/// Binomial coefficient C(n, k) (saturating at int64 max).
+int64_t Binomial(int n, int k);
+
+}  // namespace pcbl
+
+#endif  // PCBL_PATTERN_LATTICE_H_

@@ -1,0 +1,101 @@
+#include "pattern/pattern.h"
+
+#include <algorithm>
+
+#include "util/str.h"
+
+namespace pcbl {
+
+Result<Pattern> Pattern::Create(std::vector<PatternTerm> terms) {
+  std::sort(terms.begin(), terms.end(),
+            [](const PatternTerm& a, const PatternTerm& b) {
+              return a.attr < b.attr;
+            });
+  Pattern p;
+  for (const PatternTerm& t : terms) {
+    if (t.attr < 0 || t.attr >= kMaxAttributes) {
+      return InvalidArgumentError(
+          StrCat("attribute index ", t.attr, " out of range"));
+    }
+    if (IsNull(t.value)) {
+      return InvalidArgumentError(
+          StrCat("pattern term for attribute ", t.attr,
+                 " binds NULL; patterns only bind concrete values"));
+    }
+    if (p.attrs_.Test(t.attr)) {
+      return InvalidArgumentError(
+          StrCat("duplicate attribute ", t.attr, " in pattern"));
+    }
+    p.attrs_.Set(t.attr);
+  }
+  p.terms_ = std::move(terms);
+  return p;
+}
+
+Result<Pattern> Pattern::Parse(
+    const Table& table,
+    const std::vector<std::pair<std::string, std::string>>& named_terms) {
+  std::vector<PatternTerm> terms;
+  terms.reserve(named_terms.size());
+  for (const auto& [attr_name, value] : named_terms) {
+    PCBL_ASSIGN_OR_RETURN(int attr,
+                          table.schema().FindAttribute(attr_name));
+    ValueId v = table.dictionary(attr).Lookup(value);
+    if (IsNull(v)) {
+      return NotFoundError(StrCat("value '", value,
+                                  "' does not appear in attribute '",
+                                  attr_name, "'"));
+    }
+    terms.push_back(PatternTerm{attr, v});
+  }
+  return Create(std::move(terms));
+}
+
+Result<ValueId> Pattern::ValueFor(int attr) const {
+  for (const PatternTerm& t : terms_) {
+    if (t.attr == attr) return t.value;
+  }
+  return NotFoundError(StrCat("attribute ", attr, " not in pattern"));
+}
+
+Pattern Pattern::Restrict(AttrMask mask) const {
+  Pattern p;
+  for (const PatternTerm& t : terms_) {
+    if (mask.Test(t.attr)) {
+      p.terms_.push_back(t);
+      p.attrs_.Set(t.attr);
+    }
+  }
+  return p;
+}
+
+bool Pattern::MatchesRow(const Table& table, int64_t row) const {
+  for (const PatternTerm& t : terms_) {
+    if (table.value(row, t.attr) != t.value) return false;
+  }
+  return true;
+}
+
+std::string Pattern::ToString(const Table& table) const {
+  std::string out = "{";
+  bool first = true;
+  for (const PatternTerm& t : terms_) {
+    if (!first) out += ", ";
+    out += table.schema().name(t.attr);
+    out += "=";
+    out += table.dictionary(t.attr).GetString(t.value);
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+int64_t CountMatches(const Table& table, const Pattern& p) {
+  int64_t count = 0;
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    if (p.MatchesRow(table, r)) ++count;
+  }
+  return count;
+}
+
+}  // namespace pcbl

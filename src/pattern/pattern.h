@@ -1,0 +1,82 @@
+// Pattern: an attribute-value combination (Definition 2.1).
+//
+// A pattern p = {A_i1 = a1, ..., A_ik = ak} is stored as terms sorted by
+// attribute index. A tuple satisfies p when it equals every term's value
+// (Definition 2.3); NULL cells never match.
+#ifndef PCBL_PATTERN_PATTERN_H_
+#define PCBL_PATTERN_PATTERN_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "relation/table.h"
+#include "util/attr_mask.h"
+#include "util/status.h"
+
+namespace pcbl {
+
+/// One conjunct of a pattern: attribute index = value code.
+struct PatternTerm {
+  int attr = 0;
+  ValueId value = 0;
+
+  bool operator==(const PatternTerm& o) const {
+    return attr == o.attr && value == o.value;
+  }
+};
+
+/// An attribute-value combination over a table's schema.
+class Pattern {
+ public:
+  /// The empty pattern (satisfied by every tuple).
+  Pattern() = default;
+
+  /// Builds a pattern from terms. Fails on duplicate attributes, negative
+  /// indices, or NULL values. Terms are sorted by attribute index.
+  static Result<Pattern> Create(std::vector<PatternTerm> terms);
+
+  /// Parses named terms like {"gender","Female"} against a table's schema
+  /// and dictionaries. Unknown attribute or value is an error.
+  static Result<Pattern> Parse(
+      const Table& table,
+      const std::vector<std::pair<std::string, std::string>>& named_terms);
+
+  /// Attr(p): the set of attributes mentioned.
+  AttrMask attributes() const { return attrs_; }
+
+  /// Number of terms (|Attr(p)|).
+  int size() const { return static_cast<int>(terms_.size()); }
+  bool empty() const { return terms_.empty(); }
+
+  /// Terms in increasing attribute order.
+  const std::vector<PatternTerm>& terms() const { return terms_; }
+
+  /// The value bound to `attr`, or error when `attr` ∉ Attr(p).
+  Result<ValueId> ValueFor(int attr) const;
+
+  /// p|S: the restriction of p to the attributes in `mask` (Sec. II-B).
+  Pattern Restrict(AttrMask mask) const;
+
+  /// True when tuple `row` of `table` satisfies this pattern.
+  bool MatchesRow(const Table& table, int64_t row) const;
+
+  /// Renders as "{gender=Female, race=Hispanic}" using the table's
+  /// dictionaries.
+  std::string ToString(const Table& table) const;
+
+  bool operator==(const Pattern& o) const { return terms_ == o.terms_; }
+
+ private:
+  std::vector<PatternTerm> terms_;  // sorted by attr
+  AttrMask attrs_;
+};
+
+/// Counts the tuples of `table` satisfying `p` — c_D(p) (Definition 2.3) —
+/// by a full scan. Exact but O(rows); the label machinery uses
+/// GroupCounts/Label lookups instead for bulk work.
+int64_t CountMatches(const Table& table, const Pattern& p);
+
+}  // namespace pcbl
+
+#endif  // PCBL_PATTERN_PATTERN_H_

@@ -1,0 +1,56 @@
+// Umbrella header for the pcbl library — Patterns Count-Based Labels for
+// Datasets (Moskovitch & Jagadish, ICDE 2021).
+//
+// Typical usage:
+//
+//   #include "pcbl/pcbl.h"
+//
+//   pcbl::Result<pcbl::Table> table = pcbl::ReadCsvFile("data.csv");
+//   pcbl::LabelSearch search(*table);
+//   pcbl::SearchOptions options;
+//   options.size_bound = 100;
+//   pcbl::SearchResult result = search.TopDown(options);
+//
+//   pcbl::PortableLabel portable =
+//       pcbl::MakePortable(result.label, *table, "my-dataset");
+//   std::cout << pcbl::RenderNutritionLabel(portable, &result.error);
+//
+// See README.md for the guided tour and DESIGN.md for the architecture.
+#ifndef PCBL_PCBL_H_
+#define PCBL_PCBL_H_
+
+#include "baselines/cm_sketch.h"      // IWYU pragma: export
+#include "baselines/independence.h"   // IWYU pragma: export
+#include "baselines/pairwise_histogram.h"  // IWYU pragma: export
+#include "baselines/postgres.h"       // IWYU pragma: export
+#include "baselines/sampling.h"       // IWYU pragma: export
+#include "core/error.h"               // IWYU pragma: export
+#include "core/bound_label.h"         // IWYU pragma: export
+#include "core/estimator.h"           // IWYU pragma: export
+#include "core/incremental.h"         // IWYU pragma: export
+#include "core/label.h"               // IWYU pragma: export
+#include "core/label_diff.h"          // IWYU pragma: export
+#include "core/multi_label.h"         // IWYU pragma: export
+#include "core/patched_label.h"       // IWYU pragma: export
+#include "core/pattern_set.h"         // IWYU pragma: export
+#include "core/portable_label.h"      // IWYU pragma: export
+#include "core/render.h"              // IWYU pragma: export
+#include "core/search.h"              // IWYU pragma: export
+#include "core/warnings.h"            // IWYU pragma: export
+#include "pattern/counter.h"          // IWYU pragma: export
+#include "pattern/full_pattern_index.h"  // IWYU pragma: export
+#include "pattern/lattice.h"          // IWYU pragma: export
+#include "pattern/pattern.h"          // IWYU pragma: export
+#include "relation/bucketizer.h"      // IWYU pragma: export
+#include "relation/csv.h"             // IWYU pragma: export
+#include "relation/filter.h"          // IWYU pragma: export
+#include "relation/stats.h"           // IWYU pragma: export
+#include "relation/table.h"           // IWYU pragma: export
+#include "relation/table_transform.h"  // IWYU pragma: export
+#include "util/status.h"              // IWYU pragma: export
+#include "util/str.h"                 // IWYU pragma: export
+#include "util/thread_pool.h"         // IWYU pragma: export
+#include "workload/datasets.h"        // IWYU pragma: export
+#include "workload/generator.h"       // IWYU pragma: export
+
+#endif  // PCBL_PCBL_H_

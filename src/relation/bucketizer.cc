@@ -1,0 +1,123 @@
+#include "relation/bucketizer.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/str.h"
+
+namespace pcbl {
+
+Result<Bucketizer> Bucketizer::Fit(const std::vector<double>& values,
+                                   int num_buckets,
+                                   BucketStrategy strategy) {
+  if (num_buckets < 1) {
+    return InvalidArgumentError(
+        StrCat("num_buckets must be >= 1, got ", num_buckets));
+  }
+  std::vector<double> clean;
+  clean.reserve(values.size());
+  for (double v : values) {
+    if (!std::isnan(v)) clean.push_back(v);
+  }
+  if (clean.empty()) {
+    return InvalidArgumentError("cannot fit bucketizer on all-NaN input");
+  }
+  double lo = *std::min_element(clean.begin(), clean.end());
+  double hi = *std::max_element(clean.begin(), clean.end());
+
+  Bucketizer b;
+  if (lo == hi || num_buckets == 1) {
+    // Degenerate: single bucket.
+    b.BuildLabels(lo, hi);
+    return b;
+  }
+
+  if (strategy == BucketStrategy::kEquiWidth) {
+    double width = (hi - lo) / num_buckets;
+    for (int i = 1; i < num_buckets; ++i) {
+      b.edges_.push_back(lo + width * i);
+    }
+  } else {
+    std::sort(clean.begin(), clean.end());
+    for (int i = 1; i < num_buckets; ++i) {
+      size_t idx = static_cast<size_t>(
+          (static_cast<double>(clean.size()) * i) / num_buckets);
+      if (idx >= clean.size()) idx = clean.size() - 1;
+      double edge = clean[idx];
+      // Keep edges strictly increasing; skip duplicates (fewer buckets).
+      if (b.edges_.empty() || edge > b.edges_.back()) {
+        b.edges_.push_back(edge);
+      }
+    }
+    // Drop edges equal to the extremes, which would create empty buckets.
+    while (!b.edges_.empty() && b.edges_.front() <= lo) {
+      b.edges_.erase(b.edges_.begin());
+    }
+    while (!b.edges_.empty() && b.edges_.back() > hi) b.edges_.pop_back();
+  }
+  b.BuildLabels(lo, hi);
+  return b;
+}
+
+Result<Bucketizer> Bucketizer::FromEdges(double min, double max,
+                                         std::vector<double> interior_edges) {
+  for (size_t i = 1; i < interior_edges.size(); ++i) {
+    if (interior_edges[i] <= interior_edges[i - 1]) {
+      return InvalidArgumentError("interior edges must be strictly ascending");
+    }
+  }
+  Bucketizer b;
+  b.edges_ = std::move(interior_edges);
+  b.BuildLabels(min, max);
+  return b;
+}
+
+void Bucketizer::BuildLabels(double min, double max) {
+  int n = static_cast<int>(edges_.size()) + 1;
+  labels_.clear();
+  labels_.reserve(static_cast<size_t>(n));
+  auto edge_at = [&](int i) -> double {
+    // Bucket i spans [edge_at(i), edge_at(i+1)).
+    if (i <= 0) return min;
+    if (i >= n) return max;
+    return edges_[static_cast<size_t>(i - 1)];
+  };
+  for (int i = 0; i < n; ++i) {
+    double lo = edge_at(i);
+    double hi = edge_at(i + 1);
+    bool last = (i == n - 1);
+    labels_.push_back(StrFormat("%c%.6g,%.6g%c", '[', lo, hi,
+                                last ? ']' : ')'));
+  }
+}
+
+int Bucketizer::BucketIndex(double v) const {
+  if (std::isnan(v)) return -1;
+  // First bucket whose upper interior edge is > v.
+  auto it = std::upper_bound(edges_.begin(), edges_.end(), v);
+  return static_cast<int>(it - edges_.begin());
+}
+
+std::string Bucketizer::BucketLabel(double v) const {
+  int i = BucketIndex(v);
+  if (i < 0) return "";
+  return LabelOfBucket(i);
+}
+
+std::string Bucketizer::LabelOfBucket(int i) const {
+  PCBL_CHECK(i >= 0 && i < num_buckets()) << "bucket index " << i;
+  return labels_[static_cast<size_t>(i)];
+}
+
+Result<std::vector<std::string>> BucketizeColumn(
+    const std::vector<double>& values, int num_buckets,
+    BucketStrategy strategy) {
+  PCBL_ASSIGN_OR_RETURN(Bucketizer b,
+                        Bucketizer::Fit(values, num_buckets, strategy));
+  std::vector<std::string> out;
+  out.reserve(values.size());
+  for (double v : values) out.push_back(b.BucketLabel(v));
+  return out;
+}
+
+}  // namespace pcbl

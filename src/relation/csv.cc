@@ -1,0 +1,191 @@
+#include "relation/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/str.h"
+
+namespace pcbl {
+namespace {
+
+bool NeedsQuoting(std::string_view field, char sep) {
+  for (char c : field) {
+    if (c == sep || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+void AppendQuoted(std::string& out, std::string_view field) {
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+Result<std::vector<std::vector<std::string>>> ParseCsvRecords(
+    std::string_view text, const CsvOptions& options) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> record;
+  std::string field;
+  bool in_quotes = false;
+  bool field_was_quoted = false;
+  bool any_field_in_record = false;
+
+  auto end_field = [&]() {
+    record.push_back(field);
+    field.clear();
+    field_was_quoted = false;
+    any_field_in_record = true;
+  };
+  auto end_record = [&]() {
+    end_field();
+    records.push_back(std::move(record));
+    record.clear();
+    any_field_in_record = false;
+  };
+
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < n && text[i + 1] == '"') {
+          field.push_back('"');
+          i += 2;
+        } else {
+          in_quotes = false;
+          ++i;
+        }
+      } else {
+        field.push_back(c);
+        ++i;
+      }
+      continue;
+    }
+    if (c == '"') {
+      if (!field.empty()) {
+        return InvalidArgumentError(
+            StrCat("stray quote inside unquoted field near offset ", i));
+      }
+      in_quotes = true;
+      field_was_quoted = true;
+      ++i;
+    } else if (c == options.separator) {
+      end_field();
+      ++i;
+    } else if (c == '\r') {
+      // Normalize CRLF and lone CR to record ends.
+      if (i + 1 < n && text[i + 1] == '\n') ++i;
+      end_record();
+      ++i;
+    } else if (c == '\n') {
+      end_record();
+      ++i;
+    } else {
+      field.push_back(c);
+      ++i;
+    }
+  }
+  if (in_quotes) {
+    return InvalidArgumentError("unterminated quoted field at end of input");
+  }
+  // Flush a final record without trailing newline; skip a trailing empty
+  // line (single empty unquoted field and nothing else).
+  if (!field.empty() || field_was_quoted || any_field_in_record) {
+    end_record();
+  }
+  return records;
+}
+
+Result<Table> ReadCsvString(std::string_view text, const CsvOptions& options) {
+  PCBL_ASSIGN_OR_RETURN(auto records, ParseCsvRecords(text, options));
+  if (records.empty()) {
+    return InvalidArgumentError("CSV input has no header record");
+  }
+  PCBL_ASSIGN_OR_RETURN(TableBuilder builder,
+                        TableBuilder::Create(std::move(records[0])));
+  for (size_t r = 1; r < records.size(); ++r) {
+    std::vector<std::string>& rec = records[r];
+    if (static_cast<int>(rec.size()) != builder.num_attributes()) {
+      return InvalidArgumentError(
+          StrCat("record ", r, " has ", rec.size(), " fields; expected ",
+                 builder.num_attributes()));
+    }
+    if (options.null_literal) {
+      // AddRow already maps "" and "NULL" to missing.
+      PCBL_RETURN_IF_ERROR(builder.AddRow(rec));
+    } else {
+      // Preserve the NULL literal as a regular value; only "" is missing.
+      std::vector<ValueId> codes(rec.size());
+      for (size_t a = 0; a < rec.size(); ++a) {
+        codes[a] = rec[a].empty()
+                       ? kNullValue
+                       : builder.InternValue(static_cast<int>(a), rec[a]);
+      }
+      PCBL_RETURN_IF_ERROR(builder.AddRowCodes(codes));
+    }
+  }
+  return builder.Build();
+}
+
+Result<Table> ReadCsvFile(const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return IOError(StrCat("cannot open '", path, "' for reading"));
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return IOError(StrCat("error while reading '", path, "'"));
+  }
+  return ReadCsvString(buffer.str(), options);
+}
+
+std::string WriteCsvString(const Table& table, const CsvOptions& options) {
+  std::string out;
+  for (int a = 0; a < table.num_attributes(); ++a) {
+    if (a > 0) out.push_back(options.separator);
+    const std::string& name = table.schema().name(a);
+    if (NeedsQuoting(name, options.separator)) {
+      AppendQuoted(out, name);
+    } else {
+      out.append(name);
+    }
+  }
+  out.push_back('\n');
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    for (int a = 0; a < table.num_attributes(); ++a) {
+      if (a > 0) out.push_back(options.separator);
+      ValueId v = table.value(r, a);
+      if (IsNull(v)) continue;  // empty field
+      const std::string& s = table.dictionary(a).GetString(v);
+      if (s.empty() || s == "NULL" || NeedsQuoting(s, options.separator)) {
+        AppendQuoted(out, s);
+      } else {
+        out.append(s);
+      }
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return IOError(StrCat("cannot open '", path, "' for writing"));
+  }
+  out << WriteCsvString(table, options);
+  if (!out) {
+    return IOError(StrCat("error while writing '", path, "'"));
+  }
+  return Status::Ok();
+}
+
+}  // namespace pcbl

@@ -1,0 +1,47 @@
+// RFC-4180-flavoured CSV reading/writing for Table.
+//
+// Supports quoted fields with embedded separators, escaped quotes ("")
+// and newlines inside quotes. The first record is the header (attribute
+// names). Empty unquoted fields and the literal NULL read as missing.
+#ifndef PCBL_RELATION_CSV_H_
+#define PCBL_RELATION_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "relation/table.h"
+#include "util/status.h"
+
+namespace pcbl {
+
+/// CSV parsing/serialization options.
+struct CsvOptions {
+  char separator = ',';
+  /// When true, the literal unquoted string NULL parses as missing.
+  bool null_literal = true;
+};
+
+/// Parses CSV text (with header) into a Table.
+Result<Table> ReadCsvString(std::string_view text,
+                            const CsvOptions& options = {});
+
+/// Reads a CSV file (with header) into a Table.
+Result<Table> ReadCsvFile(const std::string& path,
+                          const CsvOptions& options = {});
+
+/// Serializes a table to CSV text (with header). Fields containing the
+/// separator, quotes, or newlines are quoted; NULLs render as empty fields.
+std::string WriteCsvString(const Table& table, const CsvOptions& options = {});
+
+/// Writes a table to a CSV file.
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options = {});
+
+/// Splits one logical CSV text into records of fields (exposed for tests).
+Result<std::vector<std::vector<std::string>>> ParseCsvRecords(
+    std::string_view text, const CsvOptions& options = {});
+
+}  // namespace pcbl
+
+#endif  // PCBL_RELATION_CSV_H_

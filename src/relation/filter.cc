@@ -1,0 +1,45 @@
+#include "relation/filter.h"
+
+namespace pcbl {
+namespace {
+
+Result<Table> FilterImpl(const Table& table, const Pattern& pattern,
+                         bool keep_matching) {
+  // Validate the pattern against the schema up front.
+  for (const PatternTerm& t : pattern.terms()) {
+    if (t.attr >= table.num_attributes()) {
+      return OutOfRangeError("pattern attribute out of schema range");
+    }
+    if (t.value >= table.DomainSize(t.attr)) {
+      return OutOfRangeError("pattern value outside attribute domain");
+    }
+  }
+  PCBL_ASSIGN_OR_RETURN(TableBuilder builder,
+                        TableBuilder::Create(table.schema().names()));
+  for (int a = 0; a < table.num_attributes(); ++a) {
+    for (const std::string& v : table.dictionary(a).values()) {
+      builder.InternValue(a, v);
+    }
+  }
+  std::vector<ValueId> codes(static_cast<size_t>(table.num_attributes()));
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    if (pattern.MatchesRow(table, r) != keep_matching) continue;
+    for (int a = 0; a < table.num_attributes(); ++a) {
+      codes[static_cast<size_t>(a)] = table.value(r, a);
+    }
+    PCBL_RETURN_IF_ERROR(builder.AddRowCodes(codes));
+  }
+  return builder.Build();
+}
+
+}  // namespace
+
+Result<Table> FilterRows(const Table& table, const Pattern& pattern) {
+  return FilterImpl(table, pattern, /*keep_matching=*/true);
+}
+
+Result<Table> FilterRowsOut(const Table& table, const Pattern& pattern) {
+  return FilterImpl(table, pattern, /*keep_matching=*/false);
+}
+
+}  // namespace pcbl

@@ -1,0 +1,27 @@
+// Row filtering: materialize the sub-relation satisfying a pattern.
+//
+// Supports the drill-down loop of a fitness-for-use audit: once a label
+// flags a suspicious group (skewed or under-represented), the analyst
+// inspects that group's actual rows. Dictionaries and attribute order are
+// preserved so patterns and labels built against the original schema keep
+// working on the filtered table.
+#ifndef PCBL_RELATION_FILTER_H_
+#define PCBL_RELATION_FILTER_H_
+
+#include "pattern/pattern.h"
+#include "relation/table.h"
+#include "util/status.h"
+
+namespace pcbl {
+
+/// Returns the rows of `table` satisfying `pattern` (Definition 2.3
+/// semantics: NULLs never match). Dictionaries are copied unchanged, so
+/// ValueIds remain comparable across the original and filtered tables.
+Result<Table> FilterRows(const Table& table, const Pattern& pattern);
+
+/// Returns the rows NOT satisfying `pattern` (the complement).
+Result<Table> FilterRowsOut(const Table& table, const Pattern& pattern);
+
+}  // namespace pcbl
+
+#endif  // PCBL_RELATION_FILTER_H_

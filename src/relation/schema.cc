@@ -1,0 +1,39 @@
+#include "relation/schema.h"
+
+#include "util/attr_mask.h"
+#include "util/str.h"
+
+namespace pcbl {
+
+Result<Schema> Schema::Create(std::vector<std::string> names) {
+  if (static_cast<int>(names.size()) > kMaxAttributes) {
+    return InvalidArgumentError(
+        StrCat("schema has ", names.size(), " attributes; at most ",
+               kMaxAttributes, " are supported"));
+  }
+  Schema s;
+  s.names_ = std::move(names);
+  for (int i = 0; i < static_cast<int>(s.names_.size()); ++i) {
+    auto [it, inserted] = s.index_.emplace(s.names_[static_cast<size_t>(i)], i);
+    (void)it;
+    if (!inserted) {
+      return InvalidArgumentError(
+          StrCat("duplicate attribute name '", s.names_[static_cast<size_t>(i)], "'"));
+    }
+  }
+  return s;
+}
+
+Result<int> Schema::FindAttribute(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  if (it == index_.end()) {
+    return NotFoundError(StrCat("no attribute named '", name, "'"));
+  }
+  return it->second;
+}
+
+bool Schema::HasAttribute(std::string_view name) const {
+  return index_.find(std::string(name)) != index_.end();
+}
+
+}  // namespace pcbl

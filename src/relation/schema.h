@@ -1,0 +1,48 @@
+// Relation schema: ordered list of named categorical attributes.
+//
+// Attribute order matters: the paper's gen(S) operator (Definition 3.5)
+// assumes a fixed total order on attributes, which we take to be schema
+// position.
+#ifndef PCBL_RELATION_SCHEMA_H_
+#define PCBL_RELATION_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace pcbl {
+
+/// An ordered set of attribute names. Names are unique.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Builds a schema from names; returns an error on duplicates.
+  static Result<Schema> Create(std::vector<std::string> names);
+
+  /// Number of attributes.
+  int num_attributes() const { return static_cast<int>(names_.size()); }
+
+  /// Name of attribute `i`.
+  const std::string& name(int i) const { return names_.at(static_cast<size_t>(i)); }
+
+  /// All names in schema order.
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// Index of the attribute called `name`, or error when absent.
+  Result<int> FindAttribute(std::string_view name) const;
+
+  /// True when an attribute with this name exists.
+  bool HasAttribute(std::string_view name) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, int> index_;
+};
+
+}  // namespace pcbl
+
+#endif  // PCBL_RELATION_SCHEMA_H_

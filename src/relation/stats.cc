@@ -1,0 +1,77 @@
+#include "relation/stats.h"
+
+#include <cmath>
+
+namespace pcbl {
+
+ValueCounts ValueCounts::Compute(const Table& table) {
+  ValueCounts vc;
+  int n = table.num_attributes();
+  vc.counts_.resize(static_cast<size_t>(n));
+  vc.totals_.assign(static_cast<size_t>(n), 0);
+  vc.distinct_.assign(static_cast<size_t>(n), 0);
+  for (int a = 0; a < n; ++a) {
+    auto& counts = vc.counts_[static_cast<size_t>(a)];
+    counts.assign(table.DomainSize(a), 0);
+    const auto& col = table.column(a);
+    int64_t total = 0;
+    for (ValueId v : col) {
+      if (IsNull(v)) continue;
+      ++counts[v];
+      ++total;
+    }
+    vc.totals_[static_cast<size_t>(a)] = total;
+    int64_t distinct = 0;
+    for (int64_t c : counts) {
+      if (c > 0) ++distinct;
+    }
+    vc.distinct_[static_cast<size_t>(a)] = distinct;
+  }
+  return vc;
+}
+
+int64_t ValueCounts::TotalEntries() const {
+  int64_t total = 0;
+  for (const auto& c : counts_) {
+    for (int64_t x : c) {
+      if (x > 0) ++total;
+    }
+  }
+  return total;
+}
+
+std::vector<AttributeSummary> SummarizeAttributes(const Table& table) {
+  ValueCounts vc = ValueCounts::Compute(table);
+  std::vector<AttributeSummary> out;
+  out.reserve(static_cast<size_t>(table.num_attributes()));
+  for (int a = 0; a < table.num_attributes(); ++a) {
+    AttributeSummary s;
+    s.name = table.schema().name(a);
+    s.distinct_values = vc.DistinctCount(a);
+    s.null_count = table.num_rows() - vc.NonNullTotal(a);
+    double total = static_cast<double>(vc.NonNullTotal(a));
+    double entropy = 0.0;
+    const auto& counts = vc.CountsFor(a);
+    int64_t best = -1;
+    ValueId best_v = 0;
+    for (ValueId v = 0; v < counts.size(); ++v) {
+      int64_t c = counts[v];
+      if (c <= 0) continue;
+      double p = static_cast<double>(c) / total;
+      entropy -= p * std::log2(p);
+      if (c > best) {
+        best = c;
+        best_v = v;
+      }
+    }
+    s.entropy_bits = entropy;
+    if (best > 0) {
+      s.top_value = table.dictionary(a).GetString(best_v);
+      s.top_count = best;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace pcbl

@@ -1,0 +1,76 @@
+// Per-attribute statistics over a table.
+//
+// ValueCounts is exactly the paper's VC set (Definition 2.9): the count of
+// every individual attribute value in D. It is shared by every label of the
+// same dataset and by the estimation function's denominators.
+#ifndef PCBL_RELATION_STATS_H_
+#define PCBL_RELATION_STATS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relation/table.h"
+
+namespace pcbl {
+
+/// The VC set: for each attribute, the count of each of its values.
+class ValueCounts {
+ public:
+  /// Scans the table once and tallies every value of every attribute.
+  static ValueCounts Compute(const Table& table);
+
+  /// Count of tuples with value `v` in attribute `attr` (0 for kNullValue).
+  int64_t Count(int attr, ValueId v) const {
+    if (IsNull(v)) return 0;
+    const auto& c = counts_[static_cast<size_t>(attr)];
+    return v < c.size() ? c[v] : 0;
+  }
+
+  /// Σ_{a ∈ Dom(A_attr)} c_D({A_attr = a}) — the estimation function's
+  /// denominator; equals the number of non-NULL cells of the attribute.
+  int64_t NonNullTotal(int attr) const {
+    return totals_[static_cast<size_t>(attr)];
+  }
+
+  /// Number of distinct (non-null) values of the attribute.
+  int64_t DistinctCount(int attr) const {
+    return distinct_[static_cast<size_t>(attr)];
+  }
+
+  int num_attributes() const { return static_cast<int>(counts_.size()); }
+
+  /// Total number of (attribute, value, count) entries — the |VC| term used
+  /// when sizing the sampling baseline (Sec. IV-A).
+  int64_t TotalEntries() const;
+
+  /// All counts of one attribute, indexed by ValueId.
+  const std::vector<int64_t>& CountsFor(int attr) const {
+    return counts_[static_cast<size_t>(attr)];
+  }
+
+ private:
+  std::vector<std::vector<int64_t>> counts_;  // [attr][value_id]
+  std::vector<int64_t> totals_;               // non-null totals per attr
+  std::vector<int64_t> distinct_;             // values with count > 0
+};
+
+/// Summary of one attribute for profiling displays.
+struct AttributeSummary {
+  std::string name;
+  int64_t distinct_values = 0;
+  int64_t null_count = 0;
+  /// Shannon entropy (bits) of the value distribution.
+  double entropy_bits = 0.0;
+  /// Most common value and its count.
+  std::string top_value;
+  int64_t top_count = 0;
+};
+
+/// Computes summaries for all attributes.
+std::vector<AttributeSummary> SummarizeAttributes(const Table& table);
+
+}  // namespace pcbl
+
+#endif  // PCBL_RELATION_STATS_H_

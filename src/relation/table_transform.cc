@@ -1,0 +1,103 @@
+#include "relation/table_transform.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/str.h"
+
+namespace pcbl {
+
+namespace {
+
+// Numeric view of one column: value per row, NaN for NULL/non-numeric.
+// Returns false when no cell parses.
+bool NumericColumn(const Table& table, int attr, std::vector<double>* out) {
+  const int64_t rows = table.num_rows();
+  out->assign(static_cast<size_t>(rows),
+              std::numeric_limits<double>::quiet_NaN());
+  bool any = false;
+  for (int64_t r = 0; r < rows; ++r) {
+    const ValueId v = table.value(r, attr);
+    if (IsNull(v)) continue;
+    auto parsed = ParseDouble(table.dictionary(attr).GetString(v));
+    if (parsed.ok()) {
+      (*out)[static_cast<size_t>(r)] = *parsed;
+      any = true;
+    }
+  }
+  return any;
+}
+
+}  // namespace
+
+std::vector<std::string> NumericAttributes(const Table& table) {
+  std::vector<std::string> out;
+  for (int a = 0; a < table.num_attributes(); ++a) {
+    const Dictionary& dict = table.dictionary(a);
+    if (dict.size() == 0) continue;  // all NULL
+    bool all_numeric = true;
+    for (const std::string& v : dict.values()) {
+      if (!ParseDouble(v).ok()) {
+        all_numeric = false;
+        break;
+      }
+    }
+    if (all_numeric) out.push_back(table.schema().name(a));
+  }
+  return out;
+}
+
+Result<Table> BucketizeAttributes(const Table& table,
+                                  const std::vector<std::string>& attributes,
+                                  int num_buckets, BucketStrategy strategy) {
+  if (num_buckets < 1) {
+    return InvalidArgumentError("num_buckets must be at least 1");
+  }
+  std::vector<int> targets;
+  for (const std::string& name : attributes) {
+    auto idx = table.schema().FindAttribute(name);
+    if (!idx.ok()) return idx.status();
+    if (std::find(targets.begin(), targets.end(), *idx) != targets.end()) {
+      return InvalidArgumentError(
+          StrCat("attribute \"", name, "\" listed twice"));
+    }
+    targets.push_back(*idx);
+  }
+
+  // Fit one bucketizer per target.
+  const int n = table.num_attributes();
+  std::vector<std::vector<std::string>> bucketized(static_cast<size_t>(n));
+  for (int attr : targets) {
+    std::vector<double> values;
+    if (!NumericColumn(table, attr, &values)) {
+      return InvalidArgumentError(
+          StrCat("attribute \"", table.schema().name(attr),
+                 "\" has no numeric values"));
+    }
+    auto labels = BucketizeColumn(values, num_buckets, strategy);
+    if (!labels.ok()) return labels.status();
+    bucketized[static_cast<size_t>(attr)] = std::move(*labels);
+  }
+
+  // Rebuild row by row, swapping the target columns for bucket labels.
+  auto builder = TableBuilder::Create(table.schema().names());
+  if (!builder.ok()) return builder.status();
+  std::vector<std::string> row(static_cast<size_t>(n));
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    for (int a = 0; a < n; ++a) {
+      if (!bucketized[static_cast<size_t>(a)].empty()) {
+        row[static_cast<size_t>(a)] =
+            bucketized[static_cast<size_t>(a)][static_cast<size_t>(r)];
+      } else {
+        const ValueId v = table.value(r, a);
+        row[static_cast<size_t>(a)] =
+            IsNull(v) ? "" : table.dictionary(a).GetString(v);
+      }
+    }
+    PCBL_RETURN_IF_ERROR(builder->AddRow(row));
+  }
+  return builder->Build();
+}
+
+}  // namespace pcbl

@@ -1,0 +1,35 @@
+// Whole-table preprocessing transforms.
+//
+// The paper renders continuous attributes categorical "by bucketizing
+// them into ranges" before any label work (Sec. II), and preprocesses the
+// Credit Card dataset by binning every numerical attribute into 5 buckets
+// (Sec. IV-A). This module applies exactly that step to a loaded table,
+// so CSV datasets with numeric columns can enter the label pipeline
+// unchanged (`pcbl bucketize` wraps it on the command line).
+#ifndef PCBL_RELATION_TABLE_TRANSFORM_H_
+#define PCBL_RELATION_TABLE_TRANSFORM_H_
+
+#include <string>
+#include <vector>
+
+#include "relation/bucketizer.h"
+#include "relation/table.h"
+#include "util/status.h"
+
+namespace pcbl {
+
+/// Attributes whose every non-NULL value parses as a number (and that
+/// have at least one non-NULL value) — the natural bucketization targets.
+std::vector<std::string> NumericAttributes(const Table& table);
+
+/// Replaces each named attribute's values with range-bucket labels learned
+/// from that attribute's numeric values. Cells that fail to parse as
+/// numbers (and NULLs) become missing. Fails on unknown attribute names,
+/// duplicates, attributes with no numeric values, or num_buckets < 1.
+Result<Table> BucketizeAttributes(const Table& table,
+                                  const std::vector<std::string>& attributes,
+                                  int num_buckets, BucketStrategy strategy);
+
+}  // namespace pcbl
+
+#endif  // PCBL_RELATION_TABLE_TRANSFORM_H_

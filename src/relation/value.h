@@ -1,0 +1,25 @@
+// Fundamental value representation of the relational substrate.
+//
+// All attribute values are categorical (the paper bucketizes continuous
+// domains first, Sec. II); a value is stored as a dictionary code local to
+// its attribute. Missing values (used by the NP-hardness reduction database
+// of appendix A) are represented by kNullValue and never match any pattern.
+#ifndef PCBL_RELATION_VALUE_H_
+#define PCBL_RELATION_VALUE_H_
+
+#include <cstdint>
+
+namespace pcbl {
+
+/// Dictionary code of a categorical value within one attribute.
+using ValueId = uint32_t;
+
+/// Sentinel for SQL NULL / missing values.
+inline constexpr ValueId kNullValue = 0xFFFFFFFFu;
+
+/// True when `v` denotes a missing value.
+inline bool IsNull(ValueId v) { return v == kNullValue; }
+
+}  // namespace pcbl
+
+#endif  // PCBL_RELATION_VALUE_H_

@@ -1,0 +1,68 @@
+#include "theory/graph.h"
+
+#include <bit>
+
+#include "util/logging.h"
+#include "util/str.h"
+
+namespace pcbl {
+namespace theory {
+
+Graph::Graph(int num_vertices) : num_vertices_(num_vertices) {
+  PCBL_CHECK(num_vertices >= 0);
+  PCBL_CHECK(num_vertices <= 63) << "graphs are limited to 63 vertices";
+}
+
+Status Graph::AddEdge(int u, int v) {
+  if (u < 0 || v < 0 || u >= num_vertices_ || v >= num_vertices_) {
+    return OutOfRangeError(
+        StrCat("edge {", u, ",", v, "} out of range [0,", num_vertices_,
+               ")"));
+  }
+  if (u == v) {
+    return InvalidArgumentError(StrCat("self-loop on vertex ", u));
+  }
+  if (u > v) std::swap(u, v);
+  if (HasEdge(u, v)) {
+    return AlreadyExistsError(StrCat("duplicate edge {", u, ",", v, "}"));
+  }
+  edges_.emplace_back(u, v);
+  return Status::Ok();
+}
+
+bool Graph::HasEdge(int u, int v) const {
+  if (u > v) std::swap(u, v);
+  for (const auto& [a, b] : edges_) {
+    if (a == u && b == v) return true;
+  }
+  return false;
+}
+
+bool IsVertexCover(const Graph& graph, uint64_t mask) {
+  for (const auto& [u, v] : graph.edges()) {
+    if (((mask >> u) & 1) == 0 && ((mask >> v) & 1) == 0) return false;
+  }
+  return true;
+}
+
+bool HasVertexCoverOfSize(const Graph& graph, int k) {
+  if (k >= graph.num_vertices()) return true;
+  if (k < 0) return false;
+  int n = graph.num_vertices();
+  // Exhaustive over all vertex subsets (n <= 63, but in tests n is tiny).
+  PCBL_CHECK(n < 25) << "exhaustive vertex cover limited to small graphs";
+  for (uint64_t mask = 0; mask < (1ULL << n); ++mask) {
+    if (std::popcount(mask) <= k && IsVertexCover(graph, mask)) return true;
+  }
+  return false;
+}
+
+int MinVertexCoverSize(const Graph& graph) {
+  for (int k = 0; k <= graph.num_vertices(); ++k) {
+    if (HasVertexCoverOfSize(graph, k)) return k;
+  }
+  return graph.num_vertices();
+}
+
+}  // namespace theory
+}  // namespace pcbl

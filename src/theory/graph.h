@@ -1,0 +1,53 @@
+// Simple undirected graphs for the NP-hardness machinery (appendix A).
+#ifndef PCBL_THEORY_GRAPH_H_
+#define PCBL_THEORY_GRAPH_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace pcbl {
+namespace theory {
+
+/// An undirected graph on vertices {0, ..., n-1} without self-loops or
+/// parallel edges.
+class Graph {
+ public:
+  /// Creates an empty graph on n vertices.
+  explicit Graph(int num_vertices);
+
+  /// Adds edge {u, v}. Fails on self-loops, out-of-range endpoints, or
+  /// duplicate edges.
+  Status AddEdge(int u, int v);
+
+  int num_vertices() const { return num_vertices_; }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+
+  /// Edges as (u, v) with u < v, in insertion order.
+  const std::vector<std::pair<int, int>>& edges() const { return edges_; }
+
+  /// True when {u, v} is an edge.
+  bool HasEdge(int u, int v) const;
+
+ private:
+  int num_vertices_;
+  std::vector<std::pair<int, int>> edges_;
+};
+
+/// True when `graph` has a vertex cover of size <= k (exhaustive search;
+/// intended for the small instances used in tests).
+bool HasVertexCoverOfSize(const Graph& graph, int k);
+
+/// Size of a minimum vertex cover (exhaustive).
+int MinVertexCoverSize(const Graph& graph);
+
+/// True when the vertex set given by `mask` (bit i = vertex i) covers
+/// every edge.
+bool IsVertexCover(const Graph& graph, uint64_t mask);
+
+}  // namespace theory
+}  // namespace pcbl
+
+#endif  // PCBL_THEORY_GRAPH_H_

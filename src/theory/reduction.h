@@ -1,0 +1,57 @@
+// The vertex-cover reduction of Theorem 2.17 (appendix A), as executable
+// code.
+//
+// Given a graph G = (V, E) and a budget k, the reduction emits a database
+// D with |V|+1 attributes (one per vertex, plus A_E), a pattern set P with
+// one pattern per edge, and a size bound B_s = 2|E| + 4·Σ_{i=1}^{k-1} i,
+// such that G has a vertex cover of size <= k iff some label L_S(D) has
+// |P_S| <= B_s and Err(L_S(D), P) = 0 (Proposition A.4). The test suite
+// validates both directions on exhaustive families of small graphs,
+// exercising labels over data with missing values.
+#ifndef PCBL_THEORY_REDUCTION_H_
+#define PCBL_THEORY_REDUCTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "pattern/pattern.h"
+#include "relation/table.h"
+#include "theory/graph.h"
+#include "util/status.h"
+
+namespace pcbl {
+namespace theory {
+
+/// The reduction's output instance.
+struct ReductionInstance {
+  /// The database D. Attributes 0..n-1 are the vertex attributes A_1..A_n
+  /// (each with domain {x1, x2}); attribute n is A_E with domain
+  /// {e1, ..., e|E|}. Tuples bind only the attributes their block
+  /// mentions; the rest are NULL.
+  Table table;
+  /// P: for edge e_r = {v_i, v_j}, the pattern
+  /// {A_i = x1, A_j = x1, A_E = e_r}.
+  std::vector<Pattern> patterns;
+  /// True pattern counts (each equals |E| by Lemma A.5).
+  std::vector<int64_t> pattern_counts;
+  /// Attribute index of A_E.
+  int edge_attribute = 0;
+};
+
+/// Runs the reduction. The graph must have at least one edge (as in
+/// Theorem A.2's statement).
+Result<ReductionInstance> BuildReduction(const Graph& graph);
+
+/// B_s for a vertex-cover budget k: 2|E| + 4·Σ_{i=1}^{k-1} i.
+int64_t ReductionSizeBound(const Graph& graph, int k);
+
+/// Decision procedure on the reduction's output: does some attribute
+/// subset S yield |L_S(D)| <= size_bound and Err(L_S(D), P) = 0?
+/// Exhaustive over all S (small instances only). Exposed for tests.
+bool ExistsZeroErrorLabel(const ReductionInstance& instance,
+                          int64_t size_bound);
+
+}  // namespace theory
+}  // namespace pcbl
+
+#endif  // PCBL_THEORY_REDUCTION_H_

@@ -1,0 +1,183 @@
+// AttrMask: a set of attribute indices represented as a 64-bit bitmask.
+//
+// Attribute subsets are the vertices of the paper's label lattice
+// (Definition 3.4); all lattice manipulation — parent/child relations, the
+// canonical-extension operator gen(S) (Definition 3.5), subset iteration —
+// operates on this type. Supports up to 64 attributes, far beyond the
+// paper's datasets (7-24 attributes).
+#ifndef PCBL_UTIL_ATTR_MASK_H_
+#define PCBL_UTIL_ATTR_MASK_H_
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace pcbl {
+
+/// Maximum number of attributes representable in an AttrMask.
+inline constexpr int kMaxAttributes = 64;
+
+/// A subset of attribute indices [0, 64), stored as a bitmask.
+class AttrMask {
+ public:
+  /// The empty set.
+  constexpr AttrMask() : bits_(0) {}
+
+  /// Constructs directly from raw bits.
+  explicit constexpr AttrMask(uint64_t bits) : bits_(bits) {}
+
+  /// Constructs from a list of attribute indices.
+  static AttrMask FromIndices(const std::vector<int>& indices) {
+    AttrMask m;
+    for (int i : indices) m.Set(i);
+    return m;
+  }
+
+  /// The full set {0, ..., n-1}.
+  static AttrMask All(int n) {
+    PCBL_DCHECK(n >= 0 && n <= kMaxAttributes);
+    if (n == 64) return AttrMask(~0ULL);
+    return AttrMask((1ULL << n) - 1);
+  }
+
+  /// The singleton {i}.
+  static AttrMask Single(int i) {
+    PCBL_DCHECK(i >= 0 && i < kMaxAttributes);
+    return AttrMask(1ULL << i);
+  }
+
+  uint64_t bits() const { return bits_; }
+  bool empty() const { return bits_ == 0; }
+
+  /// Number of attributes in the set.
+  int Count() const { return std::popcount(bits_); }
+
+  bool Test(int i) const {
+    PCBL_DCHECK(i >= 0 && i < kMaxAttributes);
+    return (bits_ >> i) & 1ULL;
+  }
+
+  void Set(int i) {
+    PCBL_DCHECK(i >= 0 && i < kMaxAttributes);
+    bits_ |= (1ULL << i);
+  }
+
+  void Clear(int i) {
+    PCBL_DCHECK(i >= 0 && i < kMaxAttributes);
+    bits_ &= ~(1ULL << i);
+  }
+
+  /// Returns this ∪ {i}.
+  AttrMask With(int i) const {
+    AttrMask m = *this;
+    m.Set(i);
+    return m;
+  }
+
+  /// Returns this \ {i}.
+  AttrMask Without(int i) const {
+    AttrMask m = *this;
+    m.Clear(i);
+    return m;
+  }
+
+  AttrMask Union(AttrMask other) const { return AttrMask(bits_ | other.bits_); }
+  AttrMask Intersect(AttrMask other) const {
+    return AttrMask(bits_ & other.bits_);
+  }
+  AttrMask Minus(AttrMask other) const {
+    return AttrMask(bits_ & ~other.bits_);
+  }
+
+  /// True when this ⊆ other.
+  bool IsSubsetOf(AttrMask other) const {
+    return (bits_ & other.bits_) == bits_;
+  }
+
+  /// True when this ⊂ other (strict).
+  bool IsStrictSubsetOf(AttrMask other) const {
+    return IsSubsetOf(other) && bits_ != other.bits_;
+  }
+
+  /// Smallest attribute index in the set; requires non-empty.
+  int MinIndex() const {
+    PCBL_DCHECK(!empty());
+    return std::countr_zero(bits_);
+  }
+
+  /// Largest attribute index in the set — the paper's idx(S); requires
+  /// non-empty.
+  int MaxIndex() const {
+    PCBL_DCHECK(!empty());
+    return 63 - std::countl_zero(bits_);
+  }
+
+  /// The member indices in increasing order.
+  std::vector<int> ToIndices() const {
+    std::vector<int> out;
+    out.reserve(Count());
+    uint64_t b = bits_;
+    while (b != 0) {
+      int i = std::countr_zero(b);
+      out.push_back(i);
+      b &= b - 1;
+    }
+    return out;
+  }
+
+  /// Renders as "{1,4,7}".
+  std::string ToString() const {
+    std::string out = "{";
+    bool first = true;
+    for (int i : ToIndices()) {
+      if (!first) out += ",";
+      out += std::to_string(i);
+      first = false;
+    }
+    out += "}";
+    return out;
+  }
+
+  bool operator==(const AttrMask& other) const { return bits_ == other.bits_; }
+  bool operator!=(const AttrMask& other) const { return bits_ != other.bits_; }
+  /// Arbitrary but total order (by raw bits), for use in ordered containers.
+  bool operator<(const AttrMask& other) const { return bits_ < other.bits_; }
+
+ private:
+  uint64_t bits_;
+};
+
+/// Iterates over the set bits of a mask: `for (int i : AttrMaskBits(m))`.
+class AttrMaskBits {
+ public:
+  explicit AttrMaskBits(AttrMask mask) : bits_(mask.bits()) {}
+
+  class Iterator {
+   public:
+    explicit Iterator(uint64_t bits) : bits_(bits) {}
+    int operator*() const { return std::countr_zero(bits_); }
+    Iterator& operator++() {
+      bits_ &= bits_ - 1;
+      return *this;
+    }
+    bool operator!=(const Iterator& other) const {
+      return bits_ != other.bits_;
+    }
+
+   private:
+    uint64_t bits_;
+  };
+
+  Iterator begin() const { return Iterator(bits_); }
+  Iterator end() const { return Iterator(0); }
+
+ private:
+  uint64_t bits_;
+};
+
+}  // namespace pcbl
+
+#endif  // PCBL_UTIL_ATTR_MASK_H_

@@ -1,0 +1,38 @@
+// 64-bit hashing utilities used by the pattern-counting substrate.
+//
+// These are deterministic across runs (no per-process seeding) so that test
+// expectations and benchmark workloads are reproducible.
+#ifndef PCBL_UTIL_HASH_H_
+#define PCBL_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pcbl {
+
+/// SplitMix64 finalizer: a fast, well-distributed 64-bit mixer.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combines an existing hash with a new value, boost-style but 64-bit.
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return Mix64(seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                       (seed >> 2)));
+}
+
+/// Hashes a span of 32-bit codes (e.g. one grouping key of dictionary ids).
+inline uint64_t HashCodes(const uint32_t* data, size_t n) {
+  uint64_t h = 0x51ed270b7a2cf485ULL ^ (n * 0x9e3779b97f4a7c15ULL);
+  for (size_t i = 0; i < n; ++i) {
+    h = HashCombine(h, data[i]);
+  }
+  return h;
+}
+
+}  // namespace pcbl
+
+#endif  // PCBL_UTIL_HASH_H_

@@ -1,0 +1,82 @@
+// Minimal JSON document model, writer, and recursive-descent parser.
+//
+// Supports the subset the library serializes: objects, arrays, strings
+// (with \" \\ \/ \b \f \n \r \t and \uXXXX escapes), 64-bit integers,
+// doubles, booleans and null. No external dependencies.
+#ifndef PCBL_UTIL_JSON_H_
+#define PCBL_UTIL_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace pcbl {
+
+/// A JSON value (tagged union).
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Int(int64_t v);
+  static JsonValue Double(double v);
+  static JsonValue String(std::string s);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_int() const { return type_ == Type::kInt; }
+  bool is_double() const { return type_ == Type::kDouble; }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; fail (Status) when the type mismatches.
+  Result<bool> GetBool() const;
+  Result<int64_t> GetInt() const;
+  Result<double> GetDouble() const;  // accepts ints too
+  Result<std::string> GetString() const;
+
+  /// Array access.
+  const std::vector<JsonValue>& array_items() const { return array_; }
+  void Append(JsonValue v);
+
+  /// Object access (insertion order preserved for writing).
+  const std::vector<std::pair<std::string, JsonValue>>& object_items() const {
+    return object_;
+  }
+  void Set(std::string key, JsonValue v);
+  /// Member lookup; NotFound when the key is absent.
+  Result<const JsonValue*> Find(std::string_view key) const;
+
+  /// Serializes; `indent` < 0 means compact.
+  std::string Dump(int indent = -1) const;
+
+ private:
+  void DumpTo(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// Parses a complete JSON document (trailing whitespace allowed).
+Result<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace pcbl
+
+#endif  // PCBL_UTIL_JSON_H_

@@ -1,0 +1,75 @@
+#include "util/logging.h"
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace pcbl {
+namespace {
+
+LogLevel ResolveInitialLevel() {
+  const char* env = std::getenv("PCBL_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kWarning;
+  std::string v(env);
+  if (v == "debug" || v == "0") return LogLevel::kDebug;
+  if (v == "info" || v == "1") return LogLevel::kInfo;
+  if (v == "warning" || v == "2") return LogLevel::kWarning;
+  if (v == "error" || v == "3") return LogLevel::kError;
+  if (v == "fatal" || v == "4") return LogLevel::kFatal;
+  return LogLevel::kWarning;
+}
+
+LogLevel& ActiveLevel() {
+  static LogLevel level = ResolveInitialLevel();
+  return level;
+}
+
+std::mutex& LogMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kFatal:
+      return "F";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { ActiveLevel() = level; }
+
+LogLevel GetLogLevel() { return ActiveLevel(); }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  // Strip the directory part for readability.
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << LevelTag(level) << " [" << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  {
+    std::lock_guard<std::mutex> lock(LogMutex());
+    std::cerr << stream_.str() << std::endl;
+  }
+  if (level_ == LogLevel::kFatal) std::abort();
+}
+
+}  // namespace internal
+}  // namespace pcbl

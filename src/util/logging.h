@@ -1,0 +1,90 @@
+// Minimal logging and invariant-checking facilities.
+//
+// PCBL_CHECK(cond) aborts on violated invariants in all builds;
+// PCBL_DCHECK(cond) only in debug builds. PCBL_LOG(level) << ... writes a
+// timestamped line to stderr when `level` is at or above the active
+// threshold (settable via SetLogLevel or the PCBL_LOG_LEVEL env var).
+#ifndef PCBL_UTIL_LOGGING_H_
+#define PCBL_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace pcbl {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Sets the minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+
+/// Current minimum emitted level.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when the log statement is disabled.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace pcbl
+
+// Usage: PCBL_LOG(Info) << "message " << value;
+#define PCBL_LOG(level)                                                    \
+  if (static_cast<int>(::pcbl::LogLevel::k##level) <                       \
+      static_cast<int>(::pcbl::GetLogLevel())) {                           \
+  } else /* NOLINT */                                                      \
+    ::pcbl::internal::LogMessage(::pcbl::LogLevel::k##level, __FILE__,     \
+                                 __LINE__)                                 \
+        .stream()
+
+#define PCBL_LOG_IF(level, cond) \
+  if (cond) PCBL_LOG(level)
+
+#define PCBL_CHECK(cond)                                                   \
+  while (!(cond))                                                          \
+  ::pcbl::internal::LogMessage(::pcbl::LogLevel::kFatal, __FILE__,         \
+                               __LINE__)                                   \
+      .stream()                                                            \
+      << "Check failed: " #cond " "
+
+#define PCBL_CHECK_EQ(a, b) PCBL_CHECK((a) == (b))
+#define PCBL_CHECK_NE(a, b) PCBL_CHECK((a) != (b))
+#define PCBL_CHECK_LE(a, b) PCBL_CHECK((a) <= (b))
+#define PCBL_CHECK_LT(a, b) PCBL_CHECK((a) < (b))
+#define PCBL_CHECK_GE(a, b) PCBL_CHECK((a) >= (b))
+#define PCBL_CHECK_GT(a, b) PCBL_CHECK((a) > (b))
+
+#ifdef NDEBUG
+#define PCBL_DCHECK(cond) \
+  while (false) PCBL_CHECK(cond)
+#else
+#define PCBL_DCHECK(cond) PCBL_CHECK(cond)
+#endif
+
+#endif  // PCBL_UTIL_LOGGING_H_

@@ -1,0 +1,82 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace pcbl {
+
+double Rng::Gaussian(double mean, double stddev) {
+  // Box-Muller; guard against log(0).
+  double u1 = UniformDouble();
+  double u2 = UniformDouble();
+  if (u1 <= 1e-300) u1 = 1e-300;
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(6.283185307179586 * u2);
+}
+
+std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t n, int64_t k) {
+  PCBL_CHECK(k >= 0);
+  PCBL_CHECK(k <= n);
+  std::vector<int64_t> out;
+  out.reserve(static_cast<size_t>(k));
+  if (k == 0) return out;
+  if (k * 3 >= n) {
+    // Dense case: shuffle a full index vector and take a prefix.
+    std::vector<int64_t> all(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) all[static_cast<size_t>(i)] = i;
+    Shuffle(all);
+    out.assign(all.begin(), all.begin() + static_cast<size_t>(k));
+    return out;
+  }
+  // Sparse case: rejection sampling into a set.
+  std::unordered_set<int64_t> seen;
+  seen.reserve(static_cast<size_t>(k) * 2);
+  while (static_cast<int64_t>(out.size()) < k) {
+    int64_t x = UniformRange(0, n - 1);
+    if (seen.insert(x).second) out.push_back(x);
+  }
+  return out;
+}
+
+DiscreteDistribution::DiscreteDistribution(
+    const std::vector<double>& weights) {
+  PCBL_CHECK(!weights.empty()) << "empty weight vector";
+  double total = 0;
+  for (double w : weights) {
+    PCBL_CHECK(w >= 0) << "negative weight " << w;
+    total += w;
+  }
+  PCBL_CHECK(total > 0) << "weights sum to zero";
+  cdf_.reserve(weights.size());
+  double acc = 0;
+  for (double w : weights) {
+    acc += w / total;
+    cdf_.push_back(acc);
+  }
+  cdf_.back() = 1.0;  // absorb floating-point drift
+}
+
+int DiscreteDistribution::Sample(Rng& rng) const {
+  double u = rng.UniformDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<int>(it - cdf_.begin());
+}
+
+double DiscreteDistribution::Probability(size_t i) const {
+  PCBL_CHECK(i < cdf_.size());
+  return i == 0 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
+}
+
+ZipfDistribution::ZipfDistribution(int n, double s)
+    : dist_([n, s] {
+        PCBL_CHECK(n > 0);
+        std::vector<double> w(static_cast<size_t>(n));
+        for (int k = 0; k < n; ++k) {
+          w[static_cast<size_t>(k)] = 1.0 / std::pow(k + 1.0, s);
+        }
+        return w;
+      }()) {}
+
+}  // namespace pcbl

@@ -1,0 +1,134 @@
+// Deterministic pseudo-random number generation (PCG32) and the discrete
+// distributions used by the synthetic workload generators.
+//
+// The generators must be reproducible across platforms and runs, so we ship
+// our own PRNG instead of relying on implementation-defined std::
+// distributions.
+#ifndef PCBL_UTIL_RNG_H_
+#define PCBL_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace pcbl {
+
+/// PCG32 (XSH-RR variant): small, fast, statistically strong PRNG.
+class Rng {
+ public:
+  /// Seeds the generator; distinct seeds give independent-looking streams.
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    state_ = 0;
+    inc_ = (seed << 1u) | 1u;
+    Next32();
+    state_ += 0x853c49e6748fea9bULL + seed;
+    Next32();
+  }
+
+  /// Uniform 32-bit value.
+  uint32_t Next32() {
+    uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+    uint32_t rot = static_cast<uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next64() {
+    return (static_cast<uint64_t>(Next32()) << 32) | Next32();
+  }
+
+  /// Uniform integer in [0, bound) with Lemire-style rejection to avoid
+  /// modulo bias. `bound` must be > 0.
+  uint32_t UniformInt(uint32_t bound) {
+    PCBL_DCHECK(bound > 0);
+    uint64_t m = static_cast<uint64_t>(Next32()) * bound;
+    uint32_t low = static_cast<uint32_t>(m);
+    if (low < bound) {
+      uint32_t threshold = (~bound + 1u) % bound;
+      while (low < threshold) {
+        m = static_cast<uint64_t>(Next32()) * bound;
+        low = static_cast<uint32_t>(m);
+      }
+    }
+    return static_cast<uint32_t>(m >> 32);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    PCBL_DCHECK(lo <= hi);
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    if (span == 0) return static_cast<int64_t>(Next64());  // full 64-bit span
+    // For spans that fit in 32 bits use the unbiased path.
+    if (span <= 0xffffffffULL) {
+      return lo + static_cast<int64_t>(UniformInt(static_cast<uint32_t>(span)));
+    }
+    return lo + static_cast<int64_t>(Next64() % span);
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Gaussian via Box-Muller (no caching; good enough for data generation).
+  double Gaussian(double mean = 0.0, double stddev = 1.0);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = UniformInt(static_cast<uint32_t>(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) (order unspecified).
+  std::vector<int64_t> SampleWithoutReplacement(int64_t n, int64_t k);
+
+ private:
+  uint64_t state_ = 0;
+  uint64_t inc_ = 0;
+};
+
+/// Samples from an explicit discrete distribution by inverse-CDF lookup.
+class DiscreteDistribution {
+ public:
+  /// `weights` need not be normalized; must be non-empty with a positive sum.
+  explicit DiscreteDistribution(const std::vector<double>& weights);
+
+  /// Draws an index in [0, size()).
+  int Sample(Rng& rng) const;
+
+  size_t size() const { return cdf_.size(); }
+
+  /// Normalized probability of index i.
+  double Probability(size_t i) const;
+
+ private:
+  std::vector<double> cdf_;  // strictly increasing, back() == 1.0
+};
+
+/// Zipf(s) distribution over ranks {0, ..., n-1}: P(k) ∝ 1/(k+1)^s.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(int n, double s);
+
+  int Sample(Rng& rng) const { return dist_.Sample(rng); }
+  double Probability(int k) const { return dist_.Probability(k); }
+  int size() const { return static_cast<int>(dist_.size()); }
+
+ private:
+  DiscreteDistribution dist_;
+};
+
+}  // namespace pcbl
+
+#endif  // PCBL_UTIL_RNG_H_

@@ -1,0 +1,56 @@
+// Streaming accumulator for count / mean / max / standard deviation,
+// used by the error evaluators and the experiment harness.
+#ifndef PCBL_UTIL_STATS_ACCUMULATOR_H_
+#define PCBL_UTIL_STATS_ACCUMULATOR_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace pcbl {
+
+/// Welford-style online accumulator of summary statistics.
+class StatsAccumulator {
+ public:
+  /// Adds one observation.
+  void Add(double x) {
+    ++count_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    max_ = std::max(max_, x);
+    min_ = std::min(min_, x);
+    sum_ += x;
+  }
+
+  int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double max() const {
+    return count_ == 0 ? 0.0 : max_;
+  }
+  double min() const {
+    return count_ == 0 ? 0.0 : min_;
+  }
+
+  /// Population variance (divides by n).
+  double variance() const {
+    return count_ == 0 ? 0.0 : m2_ / static_cast<double>(count_);
+  }
+
+  /// Population standard deviation.
+  double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double max_ = -std::numeric_limits<double>::infinity();
+  double min_ = std::numeric_limits<double>::infinity();
+};
+
+}  // namespace pcbl
+
+#endif  // PCBL_UTIL_STATS_ACCUMULATOR_H_

@@ -1,0 +1,151 @@
+// Lightweight Status / Result<T> error handling, modeled on the
+// absl::Status / absl::StatusOr idiom. The library does not use C++
+// exceptions (per the Google C++ style guide); fallible operations return
+// Status or Result<T> instead.
+#ifndef PCBL_UTIL_STATUS_H_
+#define PCBL_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace pcbl {
+
+/// Canonical error codes, a pragmatic subset of the gRPC/absl canon.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kAlreadyExists = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+  kIOError = 8,
+};
+
+/// Human-readable name of a status code (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error outcome carrying a code and a message.
+///
+/// Status is cheap to copy in the OK case (no allocation) and carries a
+/// heap-allocated message otherwise.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Returns an OK status.
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Convenience constructors mirroring absl's.
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status OutOfRangeError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+Status IOError(std::string message);
+
+/// A value-or-error result, modeled on absl::StatusOr<T>.
+///
+/// Accessing value() on an error result aborts in debug builds and is
+/// undefined behaviour in release builds; callers must check ok() first.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, like StatusOr).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from an error status. `status.ok()` must be false.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) {
+      status_ = Status(StatusCode::kInternal,
+                       "Result constructed from OK status without a value");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK when a value is held.
+  const Status& status() const { return status_; }
+
+  /// The held value; requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when in error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds.
+};
+
+// Propagates errors to the caller, absl-style.
+#define PCBL_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::pcbl::Status pcbl_status_tmp_ = (expr);       \
+    if (!pcbl_status_tmp_.ok()) return pcbl_status_tmp_; \
+  } while (false)
+
+#define PCBL_CONCAT_IMPL_(a, b) a##b
+#define PCBL_CONCAT_(a, b) PCBL_CONCAT_IMPL_(a, b)
+
+// Assigns the value of a Result<T> expression to `lhs`, or returns its
+// error status from the enclosing function.
+#define PCBL_ASSIGN_OR_RETURN(lhs, expr)                      \
+  auto PCBL_CONCAT_(pcbl_result_, __LINE__) = (expr);         \
+  if (!PCBL_CONCAT_(pcbl_result_, __LINE__).ok())             \
+    return PCBL_CONCAT_(pcbl_result_, __LINE__).status();     \
+  lhs = std::move(PCBL_CONCAT_(pcbl_result_, __LINE__)).value()
+
+}  // namespace pcbl
+
+#endif  // PCBL_UTIL_STATUS_H_

@@ -1,0 +1,32 @@
+// Wall-clock stopwatch for the experiment harness.
+#ifndef PCBL_UTIL_STOPWATCH_H_
+#define PCBL_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace pcbl {
+
+/// Measures elapsed wall-clock time; starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pcbl
+
+#endif  // PCBL_UTIL_STOPWATCH_H_

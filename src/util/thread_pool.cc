@@ -1,0 +1,87 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+namespace pcbl {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = std::max(1, num_threads);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(lock,
+                           [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(int64_t count, int num_threads,
+                 const std::function<void(int64_t)>& fn) {
+  if (count <= 0) return;
+  const int threads = static_cast<int>(
+      std::min<int64_t>(std::max(1, num_threads), count));
+  if (threads == 1) {
+    for (int64_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::atomic<int64_t> next{0};
+  const auto worker = [&] {
+    for (int64_t i; (i = next.fetch_add(1, std::memory_order_relaxed)) <
+                    count;) {
+      fn(i);
+    }
+  };
+  std::vector<std::thread> extra;
+  extra.reserve(static_cast<size_t>(threads - 1));
+  for (int t = 0; t < threads - 1; ++t) extra.emplace_back(worker);
+  worker();  // the calling thread participates
+  for (std::thread& th : extra) th.join();
+}
+
+int DefaultThreadCount() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace pcbl

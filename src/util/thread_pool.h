@@ -1,0 +1,65 @@
+// A small fixed-size thread pool and a blocking parallel-for helper.
+//
+// The label search's ranking phase evaluates the error of every surviving
+// candidate label — independent, read-only work over immutable tables —
+// which parallelizes embarrassingly. ParallelFor is the workhorse;
+// ThreadPool is the reusable substrate for longer-lived pipelines.
+#ifndef PCBL_UTIL_THREAD_POOL_H_
+#define PCBL_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pcbl {
+
+/// Fixed-size worker pool executing submitted tasks FIFO.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void WaitIdle();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  int64_t in_flight_ = 0;  // queued + running tasks
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs fn(0..count-1), spreading indices over up to `num_threads` threads
+/// (the calling thread included). Blocks until every call returned. With
+/// num_threads <= 1 this is a plain serial loop — callers get identical
+/// behaviour, just slower. `fn` must be safe to call concurrently and must
+/// not throw.
+void ParallelFor(int64_t count, int num_threads,
+                 const std::function<void(int64_t)>& fn);
+
+/// A reasonable default worker count (hardware concurrency, at least 1).
+int DefaultThreadCount();
+
+}  // namespace pcbl
+
+#endif  // PCBL_UTIL_THREAD_POOL_H_

@@ -1,0 +1,545 @@
+#include "workload/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "relation/bucketizer.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/str.h"
+#include "workload/generator.h"
+
+namespace pcbl {
+namespace workload {
+namespace {
+
+// Sigmoid helper for the credit-card latent model.
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+}  // namespace
+
+Result<Table> MakeBlueNile(int64_t rows, uint64_t seed) {
+  DatasetSpec spec;
+  spec.name = "BlueNile";
+
+  // 0: shape — 10 shapes, round dominates (catalog reality).
+  AttributeSpec shape;
+  shape.name = "shape";
+  shape.values = {"Round",   "Princess", "Cushion", "Emerald", "Oval",
+                  "Radiant", "Asscher",  "Marquise", "Heart",  "Pear"};
+  shape.marginal = {0.45, 0.12, 0.10, 0.07, 0.08,
+                    0.05, 0.03, 0.04, 0.03, 0.03};
+  spec.attributes.push_back(shape);
+
+  // 1: cut — depends on shape (round stones grade higher), softened.
+  AttributeSpec cut;
+  cut.name = "cut";
+  cut.values = {"Ideal", "Very Good", "Good", "Astor Ideal"};
+  cut.marginal = {0.42, 0.35, 0.15, 0.08};
+  cut.parent = 0;
+  cut.noise = 0.30;
+  cut.conditional = {
+      {0.55, 0.28, 0.07, 0.10},  // Round
+      {0.40, 0.38, 0.18, 0.04},  // Princess
+      {0.35, 0.42, 0.20, 0.03},  // Cushion
+      {0.30, 0.45, 0.22, 0.03},  // Emerald
+      {0.38, 0.40, 0.19, 0.03},  // Oval
+      {0.33, 0.42, 0.22, 0.03},  // Radiant
+      {0.30, 0.45, 0.23, 0.02},  // Asscher
+      {0.32, 0.43, 0.23, 0.02},  // Marquise
+      {0.30, 0.44, 0.24, 0.02},  // Heart
+      {0.34, 0.42, 0.22, 0.02},  // Pear
+  };
+  spec.attributes.push_back(cut);
+
+  // 2: color — D..J, mid-heavy.
+  AttributeSpec color;
+  color.name = "color";
+  color.values = {"D", "E", "F", "G", "H", "I", "J"};
+  color.marginal = {0.10, 0.13, 0.16, 0.22, 0.18, 0.13, 0.08};
+  spec.attributes.push_back(color);
+
+  // 3: clarity — 8 grades, VS/SI-heavy.
+  AttributeSpec clarity;
+  clarity.name = "clarity";
+  clarity.values = {"FL", "IF", "VVS1", "VVS2", "VS1", "VS2", "SI1", "SI2"};
+  clarity.marginal = {0.01, 0.04, 0.07, 0.10, 0.20, 0.24, 0.20, 0.14};
+  spec.attributes.push_back(clarity);
+
+  // 4: polish — strongly tied to cut (the finishing-quality clique).
+  AttributeSpec polish;
+  polish.name = "polish";
+  polish.values = {"Excellent", "Very Good", "Good"};
+  polish.marginal = {0.60, 0.33, 0.07};
+  polish.parent = 1;
+  polish.noise = 0.05;
+  polish.conditional = {
+      {0.90, 0.09, 0.01},   // Ideal
+      {0.55, 0.40, 0.05},   // Very Good
+      {0.25, 0.55, 0.20},   // Good
+      {0.98, 0.02, 0.00},   // Astor Ideal
+  };
+  spec.attributes.push_back(polish);
+
+  // 5: symmetry — tied to polish.
+  AttributeSpec symmetry;
+  symmetry.name = "symmetry";
+  symmetry.values = {"Excellent", "Very Good", "Good"};
+  symmetry.marginal = {0.55, 0.37, 0.08};
+  symmetry.parent = 4;
+  symmetry.noise = 0.05;
+  symmetry.conditional = {
+      {0.85, 0.13, 0.02},  // Excellent polish
+      {0.30, 0.60, 0.10},  // Very Good polish
+      {0.08, 0.50, 0.42},  // Good polish
+  };
+  spec.attributes.push_back(symmetry);
+
+  // 6: fluorescence — independent, skewed to None.
+  AttributeSpec fluor;
+  fluor.name = "fluorescence";
+  fluor.values = {"None", "Faint", "Medium", "Strong", "Very Strong"};
+  fluor.marginal = {0.60, 0.20, 0.12, 0.06, 0.02};
+  spec.attributes.push_back(fluor);
+
+  return GenerateDataset(spec, rows, seed);
+}
+
+Result<Table> MakeCompas(int64_t rows, uint64_t seed) {
+  DatasetSpec spec;
+  spec.name = "COMPAS";
+
+  // Fig. 1 marginals (counts out of 60,843), used verbatim as weights.
+  // 0: Gender
+  AttributeSpec gender;
+  gender.name = "Gender";
+  gender.values = {"Male", "Female"};
+  gender.marginal = {47514, 13329};
+  spec.attributes.push_back(gender);
+
+  // 1: AgeGroup
+  AttributeSpec age;
+  age.name = "AgeGroup";
+  age.values = {"under 20", "20-39", "40-59", "over 60"};
+  age.marginal = {2049, 40110, 16467, 2217};
+  spec.attributes.push_back(age);
+
+  // 2: Race — conditioned on Gender to match the Fig. 1 joint exactly
+  // (male: 21486/16350/7011/2667, female: 5583/5433/1731/582).
+  AttributeSpec race;
+  race.name = "Race";
+  race.values = {"African-American", "Caucasian", "Hispanic", "Other"};
+  race.marginal = {27069, 21783, 8742, 3249};
+  race.parent = 0;
+  race.noise = 0.0;
+  race.conditional = {
+      {21486, 16350, 7011, 2667},  // Male
+      {5583, 5433, 1731, 582},     // Female
+  };
+  spec.attributes.push_back(race);
+
+  // 3: MaritalStatus — age-dependent (the intersectionality the intro
+  // motivates: under-20s are overwhelmingly single), softened with noise.
+  AttributeSpec marital;
+  marital.name = "MaritalStatus";
+  marital.values = {"Single",    "Married", "Divorced", "Separated",
+                    "Significant Other", "Widowed", "Unknown"};
+  marital.marginal = {45126, 8172, 3879, 1803, 1260, 390, 213};
+  marital.parent = 1;
+  marital.noise = 0.35;
+  marital.conditional = {
+      {0.965, 0.005, 0.002, 0.003, 0.020, 0.000, 0.005},  // under 20
+      {0.800, 0.110, 0.040, 0.020, 0.023, 0.002, 0.005},  // 20-39
+      {0.550, 0.220, 0.130, 0.060, 0.020, 0.010, 0.010},  // 40-59
+      {0.350, 0.300, 0.180, 0.050, 0.030, 0.080, 0.010},  // over 60
+  };
+  spec.attributes.push_back(marital);
+
+  // 4: CustodyStatus
+  AttributeSpec custody;
+  custody.name = "CustodyStatus";
+  custody.values = {"Pretrial Defendant", "Probation", "Jail Inmate",
+                    "Prison Inmate", "Parole", "Residential Program"};
+  custody.marginal = {0.55, 0.25, 0.08, 0.06, 0.04, 0.02};
+  spec.attributes.push_back(custody);
+
+  // 5: LegalStatus — tracks custody status.
+  AttributeSpec legal;
+  legal.name = "LegalStatus";
+  legal.values = {"Pretrial", "Post Sentence", "Probation Violator",
+                  "Conditional Release", "Other"};
+  legal.marginal = {0.55, 0.30, 0.08, 0.05, 0.02};
+  legal.parent = 4;
+  legal.noise = 0.20;
+  legal.conditional = {
+      {0.90, 0.04, 0.02, 0.02, 0.02},  // Pretrial Defendant
+      {0.05, 0.70, 0.20, 0.03, 0.02},  // Probation
+      {0.40, 0.45, 0.08, 0.04, 0.03},  // Jail Inmate
+      {0.02, 0.90, 0.03, 0.03, 0.02},  // Prison Inmate
+      {0.02, 0.60, 0.05, 0.30, 0.03},  // Parole
+      {0.05, 0.50, 0.10, 0.30, 0.05},  // Residential Program
+  };
+  spec.attributes.push_back(legal);
+
+  // 6: AssessmentReason
+  AttributeSpec reason;
+  reason.name = "AssessmentReason";
+  reason.values = {"Intake", "Re-assessment", "Review"};
+  reason.marginal = {0.80, 0.15, 0.05};
+  spec.attributes.push_back(reason);
+
+  // 7: Agency — tracks custody status.
+  AttributeSpec agency;
+  agency.name = "Agency";
+  agency.values = {"PRETRIAL", "Probation", "DRRD", "Broward County"};
+  agency.marginal = {0.55, 0.30, 0.10, 0.05};
+  agency.parent = 4;
+  agency.noise = 0.15;
+  agency.conditional = {
+      {0.92, 0.04, 0.02, 0.02},  // Pretrial Defendant
+      {0.05, 0.85, 0.06, 0.04},  // Probation
+      {0.30, 0.20, 0.35, 0.15},  // Jail Inmate
+      {0.05, 0.25, 0.50, 0.20},  // Prison Inmate
+      {0.05, 0.55, 0.25, 0.15},  // Parole
+      {0.10, 0.40, 0.30, 0.20},  // Residential Program
+  };
+  spec.attributes.push_back(agency);
+
+  // 8: Language
+  AttributeSpec language;
+  language.name = "Language";
+  language.values = {"English", "Spanish"};
+  language.marginal = {0.97, 0.03};
+  spec.attributes.push_back(language);
+
+  // 9: SexOffender flag
+  AttributeSpec sex_offender;
+  sex_offender.name = "SexOffender";
+  sex_offender.values = {"No", "Yes"};
+  sex_offender.marginal = {0.96, 0.04};
+  spec.attributes.push_back(sex_offender);
+
+  // --- assessment-score clique (near-functional dependencies) ----------
+  // 10: Scale_ID — each assessment produces three scales.
+  AttributeSpec scale_id;
+  scale_id.name = "Scale_ID";
+  scale_id.values = {"1", "7", "8"};
+  scale_id.marginal = {0.334, 0.333, 0.333};
+  spec.attributes.push_back(scale_id);
+
+  // 11: DisplayText — a function of Scale_ID.
+  AttributeSpec display;
+  display.name = "DisplayText";
+  display.values = {"Risk of Recidivism", "Risk of Violence",
+                    "Risk of Failure to Appear"};
+  display.parent = 10;
+  display.noise = 0.0;
+  display.conditional = {
+      {1.0, 0.0, 0.0},
+      {0.0, 1.0, 0.0},
+      {0.0, 0.0, 1.0},
+  };
+  spec.attributes.push_back(display);
+
+  // 12: DecileScore — skewed toward low risk.
+  AttributeSpec decile;
+  decile.name = "DecileScore";
+  decile.values = {"1", "2", "3", "4", "5", "6", "7", "8", "9", "10"};
+  decile.marginal = {0.19, 0.15, 0.12, 0.11, 0.09,
+                     0.08, 0.08, 0.07, 0.06, 0.05};
+  spec.attributes.push_back(decile);
+
+  // 13: ScoreText — deciles 1-4 Low, 5-7 Medium, 8-10 High, with blurred
+  // decision boundaries (adjacent-category mass only, so the number of
+  // distinct clique combinations stays bounded as rows grow — matching
+  // the near-functional dependencies of the real assessment data).
+  AttributeSpec score_text;
+  score_text.name = "ScoreText";
+  score_text.values = {"Low", "Medium", "High"};
+  score_text.parent = 12;
+  score_text.conditional = {
+      {1.00, 0.00, 0.00},  // 1
+      {1.00, 0.00, 0.00},  // 2
+      {1.00, 0.00, 0.00},  // 3
+      {0.90, 0.10, 0.00},  // 4 (boundary)
+      {0.08, 0.92, 0.00},  // 5 (boundary)
+      {0.00, 1.00, 0.00},  // 6
+      {0.00, 0.90, 0.10},  // 7 (boundary)
+      {0.00, 0.08, 0.92},  // 8 (boundary)
+      {0.00, 0.00, 1.00},  // 9
+      {0.00, 0.00, 1.00},  // 10
+  };
+  spec.attributes.push_back(score_text);
+
+  // 14: RecSupervisionLevel — a coarser function of the decile, again
+  // with blurred boundaries only.
+  AttributeSpec rec_level;
+  rec_level.name = "RecSupervisionLevel";
+  rec_level.values = {"1", "2", "3", "4"};
+  rec_level.parent = 12;
+  rec_level.conditional = {
+      {1.00, 0.00, 0.00, 0.00},  // 1
+      {1.00, 0.00, 0.00, 0.00},  // 2
+      {0.92, 0.08, 0.00, 0.00},  // 3 (boundary)
+      {0.10, 0.90, 0.00, 0.00},  // 4 (boundary)
+      {0.00, 1.00, 0.00, 0.00},  // 5
+      {0.00, 0.90, 0.10, 0.00},  // 6 (boundary)
+      {0.00, 0.08, 0.92, 0.00},  // 7 (boundary)
+      {0.00, 0.00, 0.90, 0.10},  // 8 (boundary)
+      {0.00, 0.00, 0.05, 0.95},  // 9 (boundary)
+      {0.00, 0.00, 0.00, 1.00},  // 10
+  };
+  spec.attributes.push_back(rec_level);
+
+  // 15: RecSupervisionLevelText — a function of RecSupervisionLevel.
+  AttributeSpec rec_text;
+  rec_text.name = "RecSupervisionLevelText";
+  rec_text.values = {"Low", "Medium", "Medium with Override Consideration",
+                     "High"};
+  rec_text.parent = 14;
+  rec_text.noise = 0.0;
+  rec_text.conditional = {
+      {1, 0, 0, 0},
+      {0, 1, 0, 0},
+      {0, 0, 1, 0},
+      {0, 0, 0, 1},
+  };
+  spec.attributes.push_back(rec_text);
+
+  // 16: SupervisionLevel — mostly follows the recommendation.
+  AttributeSpec sup_level;
+  sup_level.name = "SupervisionLevel";
+  sup_level.values = {"1", "2", "3", "4"};
+  sup_level.marginal = {0.45, 0.28, 0.16, 0.11};
+  sup_level.parent = 14;
+  sup_level.noise = 0.25;
+  sup_level.conditional = {
+      {0.85, 0.12, 0.02, 0.01},
+      {0.10, 0.75, 0.12, 0.03},
+      {0.03, 0.15, 0.70, 0.12},
+      {0.01, 0.05, 0.18, 0.76},
+  };
+  spec.attributes.push_back(sup_level);
+
+  return GenerateDataset(spec, rows, seed);
+}
+
+Result<Table> MakeCreditCard(int64_t rows, uint64_t seed) {
+  // Numeric families are driven by two latent per-client factors:
+  //   c — creditworthiness, s — spending scale.
+  // Columns are generated numerically, then every numeric attribute is
+  // bucketized into 5 equi-width bins (Sec. IV-A's preprocessing).
+  Rng rng(seed);
+  const int64_t n = rows;
+
+  std::vector<double> c_latent(static_cast<size_t>(n));
+  std::vector<double> s_latent(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    c_latent[static_cast<size_t>(i)] = rng.Gaussian();
+    s_latent[static_cast<size_t>(i)] = rng.Gaussian();
+  }
+
+  // Categorical columns.
+  DiscreteDistribution sex_dist({0.40, 0.60});
+  DiscreteDistribution edu_dist({0.35, 0.47, 0.16, 0.02});
+  DiscreteDistribution mar_dist({0.455, 0.532, 0.013});
+  const char* kSex[] = {"male", "female"};
+  const char* kEdu[] = {"graduate school", "university", "high school",
+                        "others"};
+  const char* kMar[] = {"married", "single", "others"};
+
+  std::vector<int> sex(static_cast<size_t>(n));
+  std::vector<int> edu(static_cast<size_t>(n));
+  std::vector<int> mar(static_cast<size_t>(n));
+  std::vector<double> limit_bal(static_cast<size_t>(n));
+  std::vector<double> age(static_cast<size_t>(n));
+  std::vector<std::vector<double>> pay(6,
+                                       std::vector<double>(static_cast<size_t>(n)));
+  std::vector<std::vector<double>> bill(
+      6, std::vector<double>(static_cast<size_t>(n)));
+  std::vector<std::vector<double>> pay_amt(
+      6, std::vector<double>(static_cast<size_t>(n)));
+  std::vector<int> defaulted(static_cast<size_t>(n));
+
+  for (int64_t i = 0; i < n; ++i) {
+    size_t idx = static_cast<size_t>(i);
+    double c = c_latent[idx];
+    double s = s_latent[idx];
+
+    sex[idx] = sex_dist.Sample(rng);
+    edu[idx] = edu_dist.Sample(rng);
+    mar[idx] = mar_dist.Sample(rng);
+
+    // Education nudges creditworthiness (graduates skew higher limits).
+    double edu_bonus = edu[idx] == 0 ? 0.5 : (edu[idx] == 1 ? 0.1 : -0.3);
+    limit_bal[idx] = std::clamp(
+        std::exp(11.3 + 0.55 * (c + edu_bonus) + 0.35 * rng.Gaussian()),
+        10000.0, 1000000.0);
+
+    age[idx] = std::clamp(21.0 + std::fabs(rng.Gaussian()) * 11.0 +
+                              (mar[idx] == 0 ? 6.0 : 0.0),
+                          21.0, 79.0);
+
+    // Repayment-status chain PAY_0, PAY_2..PAY_6 (AR(1) around -1.2c).
+    double target = -1.2 * c;
+    double prev = target + rng.Gaussian(0.0, 0.9);
+    for (int t = 0; t < 6; ++t) {
+      double v = 0.72 * prev + 0.28 * target + rng.Gaussian(0.0, 0.55);
+      double clamped = std::clamp(std::round(v), -2.0, 8.0);
+      pay[static_cast<size_t>(t)][idx] = clamped;
+      prev = v;
+    }
+
+    // Bill amounts: autocorrelated fraction of the limit.
+    double util = Sigmoid(0.8 * s - 0.2 * c + rng.Gaussian(0.0, 0.6));
+    for (int t = 0; t < 6; ++t) {
+      util = std::clamp(util + rng.Gaussian(0.0, 0.08), 0.0, 1.2);
+      bill[static_cast<size_t>(t)][idx] =
+          limit_bal[idx] * util * (0.85 + 0.3 * rng.UniformDouble());
+    }
+
+    // Payments: a creditworthiness-dependent fraction of the bill.
+    double ratio = std::clamp(Sigmoid(1.1 * c + rng.Gaussian(0.0, 0.8)),
+                              0.01, 1.0);
+    for (int t = 0; t < 6; ++t) {
+      pay_amt[static_cast<size_t>(t)][idx] =
+          bill[static_cast<size_t>(t)][idx] * ratio *
+          (0.7 + 0.6 * rng.UniformDouble());
+    }
+
+    double default_score =
+        Sigmoid(-1.6 * c + 0.35 * pay[0][idx] + rng.Gaussian(0.0, 0.9));
+    defaulted[idx] = default_score > 0.75 ? 1 : 0;
+  }
+
+  // Assemble: bucketize numeric columns through the library Bucketizer.
+  std::vector<std::string> names = {"LIMIT_BAL", "SEX", "EDUCATION",
+                                    "MARRIAGE", "AGE"};
+  const char* kPayNames[] = {"PAY_0", "PAY_2", "PAY_3",
+                             "PAY_4", "PAY_5", "PAY_6"};
+  for (const char* p : kPayNames) names.push_back(p);
+  for (int t = 1; t <= 6; ++t) names.push_back(StrCat("BILL_AMT", t));
+  for (int t = 1; t <= 6; ++t) names.push_back(StrCat("PAY_AMT", t));
+  names.push_back("default_payment_next_month");
+  PCBL_ASSIGN_OR_RETURN(TableBuilder builder,
+                        TableBuilder::Create(std::move(names)));
+
+  auto bucketize = [&](const std::vector<double>& col)
+      -> Result<std::vector<std::string>> {
+    return BucketizeColumn(col, 5, BucketStrategy::kEquiWidth);
+  };
+  PCBL_ASSIGN_OR_RETURN(auto limit_lbl, bucketize(limit_bal));
+  PCBL_ASSIGN_OR_RETURN(auto age_lbl, bucketize(age));
+  std::vector<std::vector<std::string>> pay_lbl(6);
+  std::vector<std::vector<std::string>> bill_lbl(6);
+  std::vector<std::vector<std::string>> pay_amt_lbl(6);
+  for (int t = 0; t < 6; ++t) {
+    PCBL_ASSIGN_OR_RETURN(pay_lbl[static_cast<size_t>(t)],
+                          bucketize(pay[static_cast<size_t>(t)]));
+    PCBL_ASSIGN_OR_RETURN(bill_lbl[static_cast<size_t>(t)],
+                          bucketize(bill[static_cast<size_t>(t)]));
+    PCBL_ASSIGN_OR_RETURN(pay_amt_lbl[static_cast<size_t>(t)],
+                          bucketize(pay_amt[static_cast<size_t>(t)]));
+  }
+
+  std::vector<std::string> row(24);
+  for (int64_t i = 0; i < n; ++i) {
+    size_t idx = static_cast<size_t>(i);
+    int k = 0;
+    row[static_cast<size_t>(k++)] = limit_lbl[idx];
+    row[static_cast<size_t>(k++)] = kSex[sex[idx]];
+    row[static_cast<size_t>(k++)] = kEdu[edu[idx]];
+    row[static_cast<size_t>(k++)] = kMar[mar[idx]];
+    row[static_cast<size_t>(k++)] = age_lbl[idx];
+    for (int t = 0; t < 6; ++t) {
+      row[static_cast<size_t>(k++)] = pay_lbl[static_cast<size_t>(t)][idx];
+    }
+    for (int t = 0; t < 6; ++t) {
+      row[static_cast<size_t>(k++)] = bill_lbl[static_cast<size_t>(t)][idx];
+    }
+    for (int t = 0; t < 6; ++t) {
+      row[static_cast<size_t>(k++)] =
+          pay_amt_lbl[static_cast<size_t>(t)][idx];
+    }
+    row[static_cast<size_t>(k++)] = defaulted[idx] ? "yes" : "no";
+    PCBL_RETURN_IF_ERROR(builder.AddRow(row));
+  }
+  return builder.Build();
+}
+
+Table MakeFig2Demo() {
+  auto builder_or = TableBuilder::Create(
+      {"gender", "age group", "race", "marital status"});
+  PCBL_CHECK(builder_or.ok());
+  TableBuilder builder = std::move(builder_or).value();
+  const char* rows[][4] = {
+      {"Female", "under 20", "African-American", "single"},
+      {"Male", "20-39", "African-American", "divorced"},
+      {"Male", "under 20", "Hispanic", "single"},
+      {"Male", "20-39", "Caucasian", "married"},
+      {"Female", "20-39", "African-American", "divorced"},
+      {"Male", "20-39", "Caucasian", "divorced"},
+      {"Female", "20-39", "African-American", "married"},
+      {"Male", "under 20", "African-American", "single"},
+      {"Female", "20-39", "Caucasian", "divorced"},
+      {"Male", "under 20", "Caucasian", "single"},
+      {"Male", "20-39", "Hispanic", "divorced"},
+      {"Female", "under 20", "Hispanic", "single"},
+      {"Female", "20-39", "Hispanic", "married"},
+      {"Female", "under 20", "Caucasian", "single"},
+      {"Female", "20-39", "Caucasian", "married"},
+      {"Male", "20-39", "Hispanic", "married"},
+      {"Male", "20-39", "African-American", "married"},
+      {"Female", "20-39", "Hispanic", "divorced"},
+  };
+  for (const auto& r : rows) {
+    Status s = builder.AddRow({r[0], r[1], r[2], r[3]});
+    PCBL_CHECK(s.ok()) << s;
+  }
+  return builder.Build();
+}
+
+Result<Table> MakeTwoClique(int64_t rows, uint64_t seed, double noise) {
+  if (noise < 0.0 || noise >= 1.0) {
+    return InvalidArgumentError("noise must be in [0, 1)");
+  }
+  const std::vector<std::string> values = {"v0", "v1", "v2", "v3"};
+  const std::vector<double> uniform = {1.0, 1.0, 1.0, 1.0};
+  // Identity-dominated conditional: the child copies its parent except
+  // under noise.
+  std::vector<std::vector<double>> copy_rows(4, std::vector<double>(4, 0.0));
+  for (size_t v = 0; v < 4; ++v) copy_rows[v][v] = 1.0;
+
+  DatasetSpec spec;
+  spec.name = "TwoClique";
+  spec.attributes.push_back(
+      AttributeSpec{"pair_a0", values, uniform, -1, {}, 0.0});
+  spec.attributes.push_back(
+      AttributeSpec{"pair_a1", values, uniform, 0, copy_rows, noise});
+  spec.attributes.push_back(
+      AttributeSpec{"pair_b0", values, uniform, -1, {}, 0.0});
+  spec.attributes.push_back(
+      AttributeSpec{"pair_b1", values, uniform, 2, copy_rows, noise});
+  return GenerateDataset(spec, rows, seed);
+}
+
+Result<std::vector<NamedDataset>> MakePaperDatasets(double scale,
+                                                    uint64_t seed) {
+  if (scale <= 0.0) return InvalidArgumentError("scale must be positive");
+  auto scaled = [scale](int64_t rows) {
+    return std::max<int64_t>(1, static_cast<int64_t>(
+                                    static_cast<double>(rows) * scale));
+  };
+  std::vector<NamedDataset> out;
+  PCBL_ASSIGN_OR_RETURN(Table bn, MakeBlueNile(scaled(kBlueNileRows), seed));
+  out.push_back(NamedDataset{"BlueNile", std::move(bn)});
+  PCBL_ASSIGN_OR_RETURN(Table cp, MakeCompas(scaled(kCompasRows), seed));
+  out.push_back(NamedDataset{"COMPAS", std::move(cp)});
+  PCBL_ASSIGN_OR_RETURN(Table cc,
+                        MakeCreditCard(scaled(kCreditCardRows), seed));
+  out.push_back(NamedDataset{"CreditCard", std::move(cc)});
+  return out;
+}
+
+}  // namespace workload
+}  // namespace pcbl

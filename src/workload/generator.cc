@@ -1,0 +1,151 @@
+#include "workload/generator.h"
+
+#include <memory>
+
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/str.h"
+
+namespace pcbl {
+namespace {
+
+Status ValidateSpec(const DatasetSpec& spec) {
+  if (spec.attributes.empty()) {
+    return InvalidArgumentError("dataset spec has no attributes");
+  }
+  for (size_t i = 0; i < spec.attributes.size(); ++i) {
+    const AttributeSpec& a = spec.attributes[i];
+    if (a.values.empty()) {
+      return InvalidArgumentError(
+          StrCat("attribute '", a.name, "' has an empty domain"));
+    }
+    if (a.parent >= static_cast<int>(i)) {
+      return InvalidArgumentError(
+          StrCat("attribute '", a.name,
+                 "' depends on a later attribute (parent index ", a.parent,
+                 ")"));
+    }
+    if (a.parent < 0 || a.noise > 0.0) {
+      if (a.marginal.size() != a.values.size()) {
+        return InvalidArgumentError(
+            StrCat("attribute '", a.name, "' marginal has ",
+                   a.marginal.size(), " weights for ", a.values.size(),
+                   " values"));
+      }
+    }
+    if (a.parent >= 0) {
+      size_t parent_domain =
+          spec.attributes[static_cast<size_t>(a.parent)].values.size();
+      if (a.conditional.size() != parent_domain) {
+        return InvalidArgumentError(
+            StrCat("attribute '", a.name, "' conditional has ",
+                   a.conditional.size(), " rows for parent domain ",
+                   parent_domain));
+      }
+      for (const auto& row : a.conditional) {
+        if (row.size() != a.values.size()) {
+          return InvalidArgumentError(
+              StrCat("attribute '", a.name,
+                     "' conditional row has wrong arity"));
+        }
+      }
+    }
+    if (a.noise < 0.0 || a.noise > 1.0) {
+      return InvalidArgumentError(
+          StrCat("attribute '", a.name, "' noise outside [0,1]"));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<Table> GenerateDataset(const DatasetSpec& spec, int64_t rows,
+                              uint64_t seed) {
+  PCBL_RETURN_IF_ERROR(ValidateSpec(spec));
+  if (rows < 0) return InvalidArgumentError("negative row count");
+
+  std::vector<std::string> names;
+  names.reserve(spec.attributes.size());
+  for (const AttributeSpec& a : spec.attributes) names.push_back(a.name);
+  PCBL_ASSIGN_OR_RETURN(TableBuilder builder,
+                        TableBuilder::Create(std::move(names)));
+
+  // Fix dictionary id order to the spec's value order so generated codes
+  // are stable regardless of sampling order.
+  for (size_t a = 0; a < spec.attributes.size(); ++a) {
+    for (const std::string& v : spec.attributes[a].values) {
+      builder.InternValue(static_cast<int>(a), v);
+    }
+  }
+
+  // Pre-build samplers.
+  std::vector<std::unique_ptr<DiscreteDistribution>> marginals(
+      spec.attributes.size());
+  std::vector<std::vector<std::unique_ptr<DiscreteDistribution>>>
+      conditionals(spec.attributes.size());
+  for (size_t a = 0; a < spec.attributes.size(); ++a) {
+    const AttributeSpec& s = spec.attributes[a];
+    if (s.parent < 0 || s.noise > 0.0) {
+      marginals[a] = std::make_unique<DiscreteDistribution>(s.marginal);
+    }
+    if (s.parent >= 0) {
+      conditionals[a].reserve(s.conditional.size());
+      for (const auto& row : s.conditional) {
+        conditionals[a].push_back(
+            std::make_unique<DiscreteDistribution>(row));
+      }
+    }
+  }
+
+  Rng rng(seed);
+  std::vector<ValueId> codes(spec.attributes.size());
+  for (int64_t r = 0; r < rows; ++r) {
+    for (size_t a = 0; a < spec.attributes.size(); ++a) {
+      const AttributeSpec& s = spec.attributes[a];
+      int value;
+      if (s.parent >= 0 && (s.noise == 0.0 || !rng.Bernoulli(s.noise))) {
+        ValueId pv = codes[static_cast<size_t>(s.parent)];
+        value = conditionals[a][pv]->Sample(rng);
+      } else {
+        value = marginals[a]->Sample(rng);
+      }
+      codes[a] = static_cast<ValueId>(value);
+    }
+    PCBL_RETURN_IF_ERROR(builder.AddRowCodes(codes));
+  }
+  return builder.Build();
+}
+
+Result<Table> AugmentWithRandomRows(const Table& table, int64_t extra_rows,
+                                    uint64_t seed) {
+  if (extra_rows < 0) return InvalidArgumentError("negative extra rows");
+  std::vector<std::string> names = table.schema().names();
+  PCBL_ASSIGN_OR_RETURN(TableBuilder builder,
+                        TableBuilder::Create(std::move(names)));
+  // Preserve dictionaries (id order) of the source table.
+  for (int a = 0; a < table.num_attributes(); ++a) {
+    for (const std::string& v : table.dictionary(a).values()) {
+      builder.InternValue(a, v);
+    }
+  }
+  std::vector<ValueId> codes(static_cast<size_t>(table.num_attributes()));
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    for (int a = 0; a < table.num_attributes(); ++a) {
+      codes[static_cast<size_t>(a)] = table.value(r, a);
+    }
+    PCBL_RETURN_IF_ERROR(builder.AddRowCodes(codes));
+  }
+  Rng rng(seed);
+  for (int64_t r = 0; r < extra_rows; ++r) {
+    for (int a = 0; a < table.num_attributes(); ++a) {
+      ValueId dom = table.DomainSize(a);
+      codes[static_cast<size_t>(a)] =
+          dom == 0 ? kNullValue : rng.UniformInt(dom);
+    }
+    PCBL_RETURN_IF_ERROR(builder.AddRowCodes(codes));
+  }
+  return builder.Build();
+}
+
+}  // namespace pcbl

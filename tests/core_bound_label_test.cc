@@ -1,0 +1,153 @@
+// Tests for BoundPortableLabel: re-attaching a shipped PortableLabel to a
+// table and estimating through the ordinary estimator interface.
+#include "core/bound_label.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "core/label.h"
+#include "core/portable_label.h"
+#include "pattern/full_pattern_index.h"
+#include "workload/datasets.h"
+
+namespace pcbl {
+namespace {
+
+TEST(BoundLabelTest, AgreesWithNativeLabelOnFullPatterns) {
+  Table t = workload::MakeCompas(2000, 7).value();
+  Label native = Label::Build(t, AttrMask::FromIndices({0, 2, 12}));
+  PortableLabel portable = MakePortable(native, t, "compas");
+  auto bound = BoundPortableLabel::Bind(portable, t);
+  ASSERT_TRUE(bound.ok()) << bound.status();
+  FullPatternIndex index = FullPatternIndex::Build(t);
+  for (int64_t i = 0; i < index.num_patterns(); ++i) {
+    EXPECT_NEAR(bound->EstimateFullPattern(index.codes(i), index.width()),
+                native.EstimateFullPattern(index.codes(i), index.width()),
+                1e-6)
+        << "pattern " << i;
+  }
+}
+
+TEST(BoundLabelTest, AgreesWithNativeLabelOnPartialPatterns) {
+  Table t = workload::MakeFig2Demo();
+  Label native = Label::Build(t, AttrMask::FromIndices({1, 3}));
+  PortableLabel portable = MakePortable(native, t);
+  auto bound = BoundPortableLabel::Bind(portable, t);
+  ASSERT_TRUE(bound.ok());
+  const std::vector<std::vector<std::pair<std::string, std::string>>> cases =
+      {
+          {{"gender", "Female"}},
+          {{"gender", "Female"}, {"age group", "20-39"}},
+          {{"age group", "20-39"}, {"marital status", "married"}},
+          {{"gender", "Female"},
+           {"age group", "20-39"},
+           {"marital status", "married"}},
+          {{"race", "Hispanic"}, {"marital status", "single"}},
+      };
+  for (const auto& named : cases) {
+    auto p = Pattern::Parse(t, named);
+    ASSERT_TRUE(p.ok());
+    EXPECT_NEAR(bound->EstimateCount(*p), native.EstimateCount(*p), 1e-9);
+  }
+}
+
+TEST(BoundLabelTest, ErrorReportMatchesNativeLabel) {
+  Table t = workload::MakeBlueNile(5000, 3).value();
+  Label native = Label::Build(t, AttrMask::FromIndices({1, 4}));
+  PortableLabel portable = MakePortable(native, t);
+  auto bound = BoundPortableLabel::Bind(portable, t);
+  ASSERT_TRUE(bound.ok());
+  FullPatternIndex index = FullPatternIndex::Build(t);
+  LabelEstimator native_est(native);
+  ErrorReport a = EvaluateOverFullPatterns(index, native_est,
+                                           ErrorMode::kExact);
+  ErrorReport b = EvaluateOverFullPatterns(index, *bound, ErrorMode::kExact);
+  EXPECT_NEAR(a.max_abs, b.max_abs, 1e-6);
+  EXPECT_NEAR(a.mean_abs, b.mean_abs, 1e-6);
+}
+
+TEST(BoundLabelTest, MissingAttributeFailsToBind) {
+  Table t = workload::MakeFig2Demo();
+  Label native = Label::Build(t, AttrMask::FromIndices({0, 1}));
+  PortableLabel portable = MakePortable(native, t);
+  portable.attribute_names[2] = "renamed_attribute";
+  auto bound = BoundPortableLabel::Bind(portable, t);
+  EXPECT_FALSE(bound.ok());
+  EXPECT_EQ(bound.status().code(), StatusCode::kNotFound);
+}
+
+TEST(BoundLabelTest, MalformedPcRowFails) {
+  Table t = workload::MakeFig2Demo();
+  Label native = Label::Build(t, AttrMask::FromIndices({0, 1}));
+  PortableLabel portable = MakePortable(native, t);
+  portable.pattern_counts.push_back({{"only-one-value"}, 3});
+  EXPECT_FALSE(BoundPortableLabel::Bind(portable, t).ok());
+}
+
+TEST(BoundLabelTest, EmptySDegeneratesToIndependence) {
+  Table t = workload::MakeFig2Demo();
+  Label native = Label::Build(t, AttrMask());
+  PortableLabel portable = MakePortable(native, t);
+  auto bound = BoundPortableLabel::Bind(portable, t);
+  ASSERT_TRUE(bound.ok());
+  FullPatternIndex index = FullPatternIndex::Build(t);
+  for (int64_t i = 0; i < index.num_patterns(); ++i) {
+    EXPECT_NEAR(bound->EstimateFullPattern(index.codes(i), index.width()),
+                native.EstimateFullPattern(index.codes(i), index.width()),
+                1e-9);
+  }
+}
+
+TEST(BoundLabelTest, UnknownLabelValuesPredictZero) {
+  // Build the label on a 2-value domain, bind to a table missing one value.
+  auto b1 = TableBuilder::Create({"a", "b"});
+  PCBL_CHECK(b1.ok());
+  PCBL_CHECK(b1->AddRow({"x", "p"}).ok());
+  PCBL_CHECK(b1->AddRow({"y", "q"}).ok());
+  PCBL_CHECK(b1->AddRow({"y", "p"}).ok());
+  Table t1 = b1->Build();
+  Label native = Label::Build(t1, AttrMask::FromIndices({0, 1}));
+  PortableLabel portable = MakePortable(native, t1);
+
+  auto b2 = TableBuilder::Create({"a", "b"});
+  PCBL_CHECK(b2.ok());
+  PCBL_CHECK(b2->AddRow({"x", "p"}).ok());
+  PCBL_CHECK(b2->AddRow({"x", "p"}).ok());
+  Table t2 = b2->Build();
+
+  auto bound = BoundPortableLabel::Bind(portable, t2);
+  ASSERT_TRUE(bound.ok());
+  // (x, p) exists in both: the label's stored count answers.
+  auto p = Pattern::Parse(t2, {{"a", "x"}, {"b", "p"}});
+  ASSERT_TRUE(p.ok());
+  EXPECT_DOUBLE_EQ(bound->EstimateCount(*p), 1.0);
+}
+
+TEST(BoundLabelTest, DriftShowsUpAsError) {
+  // Label built at 2000 rows, data regenerated at 3000: binding succeeds
+  // and the error report reflects the count drift.
+  Table old_data = workload::MakeCompas(2000, 7).value();
+  Table new_data = workload::MakeCompas(3000, 7).value();
+  Label native = Label::Build(old_data, AttrMask::FromIndices({0, 2}));
+  PortableLabel portable = MakePortable(native, old_data);
+  auto bound = BoundPortableLabel::Bind(portable, new_data);
+  ASSERT_TRUE(bound.ok());
+  FullPatternIndex index = FullPatternIndex::Build(new_data);
+  ErrorReport report =
+      EvaluateOverFullPatterns(index, *bound, ErrorMode::kExact);
+  EXPECT_GT(report.max_abs, 0.0);
+}
+
+TEST(BoundLabelTest, LabelTotalRowsPreserved) {
+  Table t = workload::MakeFig2Demo();
+  Label native = Label::Build(t, AttrMask::FromIndices({1, 3}));
+  PortableLabel portable = MakePortable(native, t);
+  auto bound = BoundPortableLabel::Bind(portable, t);
+  ASSERT_TRUE(bound.ok());
+  EXPECT_EQ(bound->label_total_rows(), 18);
+  EXPECT_EQ(bound->FootprintEntries(), native.size());
+  EXPECT_EQ(bound->attributes(), native.attributes());
+}
+
+}  // namespace
+}  // namespace pcbl

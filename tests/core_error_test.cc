@@ -1,0 +1,122 @@
+// Tests for error metrics and the two evaluation modes (Def. 2.13,
+// Sec. IV-C's early-termination optimization).
+#include "core/error.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/independence.h"
+#include "core/search.h"
+#include "workload/datasets.h"
+
+namespace pcbl {
+namespace {
+
+TEST(QErrorTest, SymmetricAndClamped) {
+  EXPECT_DOUBLE_EQ(QError(10, 5.0), 2.0);
+  EXPECT_DOUBLE_EQ(QError(5, 10.0), 2.0);
+  EXPECT_DOUBLE_EQ(QError(7, 7.0), 1.0);
+  // est = 0 is clamped to 1 per Sec. IV-B.
+  EXPECT_DOUBLE_EQ(QError(4, 0.0), 4.0);
+  EXPECT_DOUBLE_EQ(QError(1, 0.0), 1.0);
+  // Sub-one-row estimates read as "0 rows" and clamp to 1 as well.
+  EXPECT_DOUBLE_EQ(QError(10, 0.5), 10.0);
+  // Negative estimates are treated as zero.
+  EXPECT_DOUBLE_EQ(QError(4, -3.0), 4.0);
+}
+
+TEST(QErrorTest, AtLeastOne) {
+  for (double est : {0.001, 0.5, 1.0, 3.0, 100.0}) {
+    EXPECT_GE(QError(3, est), 1.0);
+  }
+}
+
+TEST(EvaluateTest, ExactLabelHasZeroError) {
+  // A label over ALL attributes reproduces every full pattern count.
+  Table t = workload::MakeFig2Demo();
+  FullPatternIndex idx = FullPatternIndex::Build(t);
+  Label l = Label::Build(t, AttrMask::All(t.num_attributes()));
+  LabelEstimator est(l);
+  ErrorReport r = EvaluateOverFullPatterns(idx, est, ErrorMode::kExact);
+  EXPECT_DOUBLE_EQ(r.max_abs, 0.0);
+  EXPECT_DOUBLE_EQ(r.mean_abs, 0.0);
+  EXPECT_DOUBLE_EQ(r.max_q, 1.0);
+  EXPECT_DOUBLE_EQ(r.mean_q, 1.0);
+  EXPECT_EQ(r.evaluated, idx.num_patterns());
+  EXPECT_EQ(r.total, idx.num_patterns());
+  EXPECT_FALSE(r.early_terminated);
+}
+
+TEST(EvaluateTest, ReportStatisticsConsistent) {
+  Table t = workload::MakeCompas(5000, 3).value();
+  FullPatternIndex idx = FullPatternIndex::Build(t);
+  IndependenceEstimator est = IndependenceEstimator::Build(t);
+  ErrorReport r = EvaluateOverFullPatterns(idx, est, ErrorMode::kExact);
+  EXPECT_GE(r.max_abs, r.mean_abs);
+  EXPECT_GE(r.max_q, r.mean_q);
+  EXPECT_GE(r.mean_q, 1.0);
+  EXPECT_GE(r.std_abs, 0.0);
+  EXPECT_EQ(r.evaluated, idx.num_patterns());
+}
+
+TEST(EvaluateTest, EarlyTerminationNeverExceedsExactAndAgreesInPractice) {
+  // The Sec. IV-C rule is exact unless a low-count pattern over-estimates
+  // past the running max; validate agreement on real search candidates.
+  Table t = workload::MakeCompas(8000, 13).value();
+  FullPatternIndex idx = FullPatternIndex::Build(t);
+  for (AttrMask s : {AttrMask::FromIndices({0, 1}),
+                     AttrMask::FromIndices({12, 13}),
+                     AttrMask::FromIndices({0, 2, 12})}) {
+    Label l = Label::Build(t, s);
+    LabelEstimator est(l);
+    ErrorReport exact = EvaluateOverFullPatterns(idx, est,
+                                                 ErrorMode::kExact);
+    ErrorReport early = EvaluateOverFullPatterns(
+        idx, est, ErrorMode::kEarlyTermination);
+    EXPECT_LE(early.evaluated, exact.evaluated);
+    EXPECT_LE(early.max_abs, exact.max_abs + 1e-9);
+    // On these labels the rule is exact for the max metric.
+    EXPECT_NEAR(early.max_abs, exact.max_abs, 1e-9) << s.ToString();
+  }
+}
+
+TEST(EvaluateTest, EarlyTerminationScansFewerPatterns) {
+  Table t = workload::MakeCreditCard(5000, 3).value();
+  FullPatternIndex idx = FullPatternIndex::Build(t);
+  Label l = Label::Build(t, AttrMask::FromIndices({1, 2}));
+  LabelEstimator est(l);
+  ErrorReport early =
+      EvaluateOverFullPatterns(idx, est, ErrorMode::kEarlyTermination);
+  // With a weak label the max error is large, so the scan stops early.
+  EXPECT_TRUE(early.early_terminated);
+  EXPECT_LT(early.evaluated, idx.num_patterns());
+}
+
+TEST(EvaluateOverPatternsTest, ExplicitPatternSet) {
+  Table t = workload::MakeFig2Demo();
+  Label l = Label::Build(t, AttrMask::FromIndices({1, 3}));
+  LabelEstimator est(l);
+  auto p1 = Pattern::Parse(t, {{"gender", "Female"},
+                               {"age group", "20-39"},
+                               {"marital status", "married"}});
+  auto p2 = Pattern::Parse(t, {{"gender", "Male"}});
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  std::vector<Pattern> patterns = {*p1, *p2};
+  std::vector<int64_t> actuals = {3, 9};
+  ErrorReport r = EvaluateOverPatterns(patterns, actuals, est);
+  EXPECT_EQ(r.total, 2);
+  // p1 estimate is exactly 3 (Example 2.12); p2 binds nothing outside VC
+  // and is exact too, so both errors are 0.
+  EXPECT_DOUBLE_EQ(r.max_abs, 0.0);
+}
+
+TEST(EvaluateOverPatternsTest, MismatchedSizesDie) {
+  Table t = workload::MakeFig2Demo();
+  Label l = Label::Build(t, AttrMask());
+  LabelEstimator est(l);
+  std::vector<Pattern> patterns(2);
+  std::vector<int64_t> actuals(1);
+  EXPECT_DEATH(EvaluateOverPatterns(patterns, actuals, est), "");
+}
+
+}  // namespace
+}  // namespace pcbl

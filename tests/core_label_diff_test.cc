@@ -1,0 +1,161 @@
+// Tests for label diffing (core/label_diff): versioned-metadata change
+// logs computed from two labels alone.
+#include "core/label_diff.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/label.h"
+#include "core/portable_label.h"
+#include "workload/datasets.h"
+
+namespace pcbl {
+namespace {
+
+PortableLabel LabelOf(const Table& t, AttrMask s,
+                      const std::string& name = "v") {
+  return MakePortable(Label::Build(t, s), t, name);
+}
+
+Table SmallTable(const std::vector<std::vector<std::string>>& rows) {
+  auto b = TableBuilder::Create({"a", "b"});
+  PCBL_CHECK(b.ok());
+  for (const auto& row : rows) PCBL_CHECK(b->AddRow(row).ok());
+  return b->Build();
+}
+
+TEST(LabelDiffTest, IdenticalLabelsProduceEmptyDiff) {
+  Table t = workload::MakeFig2Demo();
+  PortableLabel l = LabelOf(t, AttrMask::FromIndices({1, 3}));
+  LabelDiff diff = DiffLabels(l, l);
+  EXPECT_EQ(diff.old_rows, diff.new_rows);
+  EXPECT_TRUE(diff.added_attributes.empty());
+  EXPECT_TRUE(diff.removed_attributes.empty());
+  EXPECT_DOUBLE_EQ(diff.max_total_variation(), 0.0);
+  EXPECT_TRUE(diff.comparable_patterns);
+  EXPECT_TRUE(diff.pattern_changes.empty());
+}
+
+TEST(LabelDiffTest, MarginalShiftMeasuredAsTotalVariation) {
+  // Old: a is 50/50 x,y. New: 75/25. TV = (|0.5-0.75| + |0.5-0.25|)/2
+  // = 0.25.
+  Table old_t = SmallTable({{"x", "p"}, {"x", "p"}, {"y", "p"}, {"y", "p"}});
+  Table new_t = SmallTable({{"x", "p"}, {"x", "p"}, {"x", "p"}, {"y", "p"}});
+  LabelDiff diff = DiffLabels(LabelOf(old_t, AttrMask::FromIndices({0, 1})),
+                              LabelOf(new_t, AttrMask::FromIndices({0, 1})));
+  ASSERT_EQ(diff.shifts.size(), 2u);
+  // Shifts are ordered by TV descending: attribute a first.
+  EXPECT_EQ(diff.shifts[0].attribute, "a");
+  EXPECT_NEAR(diff.shifts[0].total_variation, 0.25, 1e-12);
+  EXPECT_EQ(diff.shifts[1].attribute, "b");
+  EXPECT_NEAR(diff.shifts[1].total_variation, 0.0, 1e-12);
+}
+
+TEST(LabelDiffTest, AddedAndRemovedValuesListed) {
+  Table old_t = SmallTable({{"x", "p"}, {"y", "p"}});
+  Table new_t = SmallTable({{"x", "p"}, {"z", "q"}});
+  LabelDiff diff = DiffLabels(LabelOf(old_t, AttrMask::FromIndices({0, 1})),
+                              LabelOf(new_t, AttrMask::FromIndices({0, 1})));
+  const AttributeShift* a = nullptr;
+  for (const AttributeShift& s : diff.shifts) {
+    if (s.attribute == "a") a = &s;
+  }
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->added_values, std::vector<std::string>{"z"});
+  EXPECT_EQ(a->removed_values, std::vector<std::string>{"y"});
+}
+
+TEST(LabelDiffTest, PatternChurnDetected) {
+  Table old_t = SmallTable({{"x", "p"}, {"x", "p"}, {"y", "q"}});
+  Table new_t = SmallTable({{"x", "p"}, {"y", "q"}, {"y", "q"}, {"z", "q"}});
+  LabelDiff diff = DiffLabels(LabelOf(old_t, AttrMask::FromIndices({0, 1})),
+                              LabelOf(new_t, AttrMask::FromIndices({0, 1})));
+  ASSERT_TRUE(diff.comparable_patterns);
+  // (x,p): 2 -> 1; (y,q): 1 -> 2; (z,q): 0 -> 1.
+  ASSERT_EQ(diff.pattern_changes.size(), 3u);
+  for (const PatternChange& c : diff.pattern_changes) {
+    if (c.values == std::vector<std::string>{"x", "p"}) {
+      EXPECT_EQ(c.old_count, 2);
+      EXPECT_EQ(c.new_count, 1);
+    } else if (c.values == std::vector<std::string>{"y", "q"}) {
+      EXPECT_EQ(c.old_count, 1);
+      EXPECT_EQ(c.new_count, 2);
+    } else {
+      EXPECT_EQ(c.values, (std::vector<std::string>{"z", "q"}));
+      EXPECT_EQ(c.old_count, 0);
+      EXPECT_EQ(c.new_count, 1);
+    }
+  }
+}
+
+TEST(LabelDiffTest, DifferentSIsNotComparable) {
+  Table t = workload::MakeFig2Demo();
+  LabelDiff diff = DiffLabels(LabelOf(t, AttrMask::FromIndices({1, 3})),
+                              LabelOf(t, AttrMask::FromIndices({0, 1})));
+  EXPECT_FALSE(diff.comparable_patterns);
+  EXPECT_TRUE(diff.pattern_changes.empty());
+  // Marginals still compare (same dataset: zero shift).
+  EXPECT_DOUBLE_EQ(diff.max_total_variation(), 0.0);
+}
+
+TEST(LabelDiffTest, SameSInDifferentOrderIsComparable) {
+  // Build a second label whose S enumerates the same attributes; the PC
+  // rows must align regardless of stored order.
+  Table t = workload::MakeFig2Demo();
+  PortableLabel a = LabelOf(t, AttrMask::FromIndices({1, 3}));
+  PortableLabel b = a;
+  // Reverse S and each PC row, simulating a producer with different
+  // column order.
+  std::reverse(b.label_attributes.begin(), b.label_attributes.end());
+  for (auto& [values, count] : b.pattern_counts) {
+    std::reverse(values.begin(), values.end());
+  }
+  LabelDiff diff = DiffLabels(a, b);
+  EXPECT_TRUE(diff.comparable_patterns);
+  EXPECT_TRUE(diff.pattern_changes.empty()) << RenderLabelDiff(diff);
+}
+
+TEST(LabelDiffTest, SchemaChangesReported) {
+  Table old_t = SmallTable({{"x", "p"}});
+  auto nb = TableBuilder::Create({"a", "c"});
+  PCBL_CHECK(nb.ok());
+  PCBL_CHECK(nb->AddRow({"x", "m"}).ok());
+  Table new_t = nb->Build();
+  LabelDiff diff = DiffLabels(LabelOf(old_t, AttrMask::FromIndices({0, 1})),
+                              LabelOf(new_t, AttrMask::FromIndices({0, 1})));
+  EXPECT_EQ(diff.added_attributes, std::vector<std::string>{"c"});
+  EXPECT_EQ(diff.removed_attributes, std::vector<std::string>{"b"});
+  EXPECT_FALSE(diff.comparable_patterns);
+}
+
+TEST(LabelDiffTest, RenderMentionsEverySection) {
+  Table old_t = SmallTable({{"x", "p"}, {"y", "q"}});
+  Table new_t =
+      SmallTable({{"x", "p"}, {"x", "p"}, {"y", "q"}, {"z", "q"}});
+  LabelDiff diff = DiffLabels(LabelOf(old_t, AttrMask::FromIndices({0, 1})),
+                              LabelOf(new_t, AttrMask::FromIndices({0, 1})));
+  const std::string text = RenderLabelDiff(diff);
+  EXPECT_NE(text.find("rows: 2 -> 4"), std::string::npos) << text;
+  EXPECT_NE(text.find("marginal shifts"), std::string::npos);
+  EXPECT_NE(text.find("pattern count changes"), std::string::npos);
+  EXPECT_NE(text.find("appeared"), std::string::npos);
+}
+
+TEST(LabelDiffTest, DriftScenario) {
+  // Two releases of the same generator at different sizes: marginals
+  // barely move, pattern counts scale.
+  Table v1 = workload::MakeCompas(4000, 7).value();
+  Table v2 = workload::MakeCompas(8000, 7).value();
+  AttrMask s = AttrMask::FromIndices({0, 2});
+  LabelDiff diff = DiffLabels(LabelOf(v1, s, "v1"), LabelOf(v2, s, "v2"));
+  EXPECT_EQ(diff.old_rows, 4000);
+  EXPECT_EQ(diff.new_rows, 8000);
+  EXPECT_LT(diff.max_total_variation(), 0.05);
+  EXPECT_TRUE(diff.comparable_patterns);
+  EXPECT_FALSE(diff.pattern_changes.empty());
+}
+
+}  // namespace
+}  // namespace pcbl

@@ -1,0 +1,237 @@
+// Tests for multi-label estimation and the greedy label-set search (the
+// conclusion's future-work extension).
+#include "core/multi_label.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "workload/datasets.h"
+
+namespace pcbl {
+namespace {
+
+Table TwoCliqueTable() {
+  // Two independent correlated cliques: (a0,a1) equal-valued and (a2,a3)
+  // equal-valued, all uniform over 4 values. No single small label covers
+  // both cliques; two labels do.
+  auto b = TableBuilder::Create({"a0", "a1", "a2", "a3"});
+  PCBL_CHECK(b.ok());
+  for (int a = 0; a < 4; ++a) {
+    for (int v = 0; v < 4; ++v) {
+      b->InternValue(a, std::string(1, static_cast<char>('p' + v)));
+    }
+  }
+  Rng rng(1234);
+  std::vector<ValueId> codes(4);
+  for (int r = 0; r < 4096; ++r) {
+    ValueId x = rng.UniformInt(4);
+    ValueId y = rng.UniformInt(4);
+    codes[0] = x;
+    codes[1] = x;
+    codes[2] = y;
+    codes[3] = y;
+    PCBL_CHECK(b->AddRowCodes(codes).ok());
+  }
+  return b->Build();
+}
+
+TEST(MultiLabelEstimatorTest, SingleLabelBehavesLikeThatLabel) {
+  Table t = workload::MakeFig2Demo();
+  Label l = Label::Build(t, AttrMask::FromIndices({1, 3}));
+  MultiLabelEstimator multi({l}, CombineStrategy::kMaxOverlap);
+  auto p = Pattern::Parse(t, {{"gender", "Female"},
+                              {"age group", "20-39"},
+                              {"marital status", "married"}});
+  ASSERT_TRUE(p.ok());
+  EXPECT_DOUBLE_EQ(multi.EstimateCount(*p), l.EstimateCount(*p));
+  EXPECT_EQ(multi.FootprintEntries(), l.size());
+}
+
+TEST(MultiLabelEstimatorTest, MaxOverlapPicksCoveringLabel) {
+  Table t = workload::MakeFig2Demo();
+  Label l_am = Label::Build(t, AttrMask::FromIndices({1, 3}));
+  Label l_gr = Label::Build(t, AttrMask::FromIndices({0, 2}));
+  MultiLabelEstimator multi({l_am, l_gr}, CombineStrategy::kMaxOverlap);
+  // A gender+race pattern overlaps l_gr fully: estimate must be exact.
+  auto p = Pattern::Parse(
+      t, {{"gender", "Female"}, {"race", "Hispanic"}});
+  ASSERT_TRUE(p.ok());
+  EXPECT_DOUBLE_EQ(multi.EstimateCount(*p),
+                   static_cast<double>(CountMatches(t, *p)));
+  // An age+marital pattern overlaps l_am fully.
+  auto p2 = Pattern::Parse(
+      t, {{"age group", "under 20"}, {"marital status", "single"}});
+  ASSERT_TRUE(p2.ok());
+  EXPECT_DOUBLE_EQ(multi.EstimateCount(*p2), 6.0);
+}
+
+TEST(MultiLabelEstimatorTest, MedianAndGeoMeanCombine) {
+  Table t = workload::MakeFig2Demo();
+  Label l1 = Label::Build(t, AttrMask::FromIndices({1, 3}));  // est 3
+  Label l2 = Label::Build(t, AttrMask::FromIndices({0, 1}));  // est 2
+  auto p = Pattern::Parse(t, {{"gender", "Female"},
+                              {"age group", "20-39"},
+                              {"marital status", "married"}});
+  ASSERT_TRUE(p.ok());
+  MultiLabelEstimator median({l1, l2}, CombineStrategy::kMedian);
+  EXPECT_DOUBLE_EQ(median.EstimateCount(*p), 2.5);
+  MultiLabelEstimator geo({l1, l2}, CombineStrategy::kGeometricMean);
+  EXPECT_NEAR(geo.EstimateCount(*p), std::sqrt(6.0), 1e-12);
+}
+
+TEST(MultiLabelEstimatorTest, GeoMeanZeroPropagates) {
+  Table t = workload::MakeFig2Demo();
+  Label l1 = Label::Build(t, AttrMask::FromIndices({1, 3}));
+  Label l2 = Label::Build(t, AttrMask::FromIndices({0, 1}));
+  // Unseen combination: l1 estimates 0.
+  auto p = Pattern::Parse(
+      t, {{"age group", "under 20"}, {"marital status", "married"}});
+  ASSERT_TRUE(p.ok());
+  MultiLabelEstimator geo({l1, l2}, CombineStrategy::kGeometricMean);
+  EXPECT_DOUBLE_EQ(geo.EstimateCount(*p), 0.0);
+}
+
+TEST(MultiLabelEstimatorTest, FactorizedSingleLabelEqualsThatLabel) {
+  Table t = workload::MakeCompas(2000, 7).value();
+  Label l = Label::Build(t, AttrMask::FromIndices({0, 2}));
+  MultiLabelEstimator multi({l}, CombineStrategy::kFactorized);
+  FullPatternIndex idx = FullPatternIndex::Build(t);
+  for (int64_t i = 0; i < idx.num_patterns(); ++i) {
+    ASSERT_NEAR(multi.EstimateFullPattern(idx.codes(i), idx.width()),
+                l.EstimateFullPattern(idx.codes(i), idx.width()), 1e-9)
+        << i;
+  }
+  auto partial = Pattern::Parse(t, {{"Gender", "Female"},
+                                    {"MaritalStatus", "Widowed"}});
+  ASSERT_TRUE(partial.ok());
+  EXPECT_NEAR(multi.EstimateCount(*partial), l.EstimateCount(*partial),
+              1e-9);
+}
+
+TEST(MultiLabelEstimatorTest, FactorizedComposesDisjointCliques) {
+  Table t = TwoCliqueTable();
+  Label l_a = Label::Build(t, AttrMask::FromIndices({0, 1}));
+  Label l_b = Label::Build(t, AttrMask::FromIndices({2, 3}));
+  MultiLabelEstimator multi({l_a, l_b}, CombineStrategy::kFactorized);
+  // Full pattern (x,x,y,y): truth ~ N/16; factorized estimate is
+  // N * c(x,x)/N * c(y,y)/N — both cliques joint. A single label (or
+  // max-overlap) can only use one clique and lands near N/64.
+  auto p = Pattern::Parse(t, {{"a0", "p"}, {"a1", "p"},
+                              {"a2", "q"}, {"a3", "q"}});
+  ASSERT_TRUE(p.ok());
+  const double truth = static_cast<double>(CountMatches(t, *p));
+  const double factorized = multi.EstimateCount(*p);
+  MultiLabelEstimator overlap({l_a, l_b}, CombineStrategy::kMaxOverlap);
+  const double single_sided = overlap.EstimateCount(*p);
+  EXPECT_LT(std::abs(factorized - truth), std::abs(single_sided - truth));
+  // Exact composition: both blocks stored exactly, cliques independent by
+  // construction up to sampling noise.
+  EXPECT_NEAR(factorized,
+              static_cast<double>(CountMatches(
+                  t, Pattern::Parse(t, {{"a0", "p"}, {"a1", "p"}}).value())) *
+                  static_cast<double>(CountMatches(
+                      t,
+                      Pattern::Parse(t, {{"a2", "q"}, {"a3", "q"}}).value())) /
+                  static_cast<double>(t.num_rows()),
+              1e-9);
+}
+
+TEST(MultiLabelEstimatorTest, FactorizedZeroBlockPropagates) {
+  Table t = workload::MakeFig2Demo();
+  Label l = Label::Build(t, AttrMask::FromIndices({1, 3}));
+  MultiLabelEstimator multi({l}, CombineStrategy::kFactorized);
+  // (under 20, married) never occurs.
+  auto p = Pattern::Parse(
+      t, {{"age group", "under 20"}, {"marital status", "married"}});
+  ASSERT_TRUE(p.ok());
+  EXPECT_DOUBLE_EQ(multi.EstimateCount(*p), 0.0);
+}
+
+TEST(MultiLabelEstimatorTest, FullPatternPathAgreesWithGeneral) {
+  Table t = workload::MakeCompas(2000, 11).value();
+  Label l1 = Label::Build(t, AttrMask::FromIndices({0, 2}));
+  Label l2 = Label::Build(t, AttrMask::FromIndices({12, 13}));
+  FullPatternIndex idx = FullPatternIndex::Build(t);
+  for (CombineStrategy s :
+       {CombineStrategy::kMaxOverlap, CombineStrategy::kGeometricMean,
+        CombineStrategy::kMedian, CombineStrategy::kFactorized}) {
+    MultiLabelEstimator multi({l1, l2}, s);
+    for (int64_t i = 0; i < std::min<int64_t>(idx.num_patterns(), 50);
+         ++i) {
+      Pattern p = idx.ToPattern(i);
+      EXPECT_NEAR(multi.EstimateFullPattern(idx.codes(i), idx.width()),
+                  multi.EstimateCount(p), 1e-9)
+          << static_cast<int>(s);
+    }
+  }
+}
+
+TEST(SearchLabelSetTest, ValidatesOptions) {
+  Table t = workload::MakeFig2Demo();
+  MultiSearchOptions options;
+  options.total_bound = 0;
+  EXPECT_FALSE(SearchLabelSet(t, options).ok());
+  options.total_bound = 10;
+  options.max_labels = 0;
+  EXPECT_FALSE(SearchLabelSet(t, options).ok());
+}
+
+TEST(SearchLabelSetTest, SingleLabelBudgetMatchesTopDown) {
+  Table t = workload::MakeFig2Demo();
+  MultiSearchOptions options;
+  options.total_bound = 5;
+  options.max_labels = 1;
+  auto result = SearchLabelSet(t, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->labels.size(), 1u);
+  LabelSearch search(t);
+  SearchOptions single;
+  single.size_bound = 5;
+  SearchResult expected = search.TopDown(single);
+  EXPECT_DOUBLE_EQ(result->error.max_abs, expected.error.max_abs);
+}
+
+TEST(SearchLabelSetTest, SplitsBudgetWhenTwoCliquesExist) {
+  Table t = TwoCliqueTable();
+  MultiSearchOptions options;
+  // Each clique label has 4 patterns; the cross-clique label has ~16.
+  // With a budget of 12, one label cannot cover both cliques, but two
+  // size-4 labels can.
+  options.total_bound = 12;
+  options.max_labels = 2;
+  auto result = SearchLabelSet(t, options);
+  ASSERT_TRUE(result.ok());
+  // The single-label plan at bound 12 cannot reach the two-label error.
+  LabelSearch search(t);
+  SearchOptions single;
+  single.size_bound = 12;
+  SearchResult one = search.TopDown(single);
+  EXPECT_LE(result->error.max_abs, one.error.max_abs);
+  EXPECT_LE(result->total_size, 12);
+  if (result->labels.size() == 2) {
+    // When it does split, both cliques should be covered.
+    AttrMask combined;
+    for (AttrMask s : result->label_attrs) combined = combined.Union(s);
+    EXPECT_GE(combined.Count(), 3);
+  }
+}
+
+TEST(SearchLabelSetTest, NeverExceedsBudget) {
+  Table t = workload::MakeCompas(3000, 7).value();
+  for (int64_t budget : {20, 60, 100}) {
+    MultiSearchOptions options;
+    options.total_bound = budget;
+    options.max_labels = 3;
+    auto result = SearchLabelSet(t, options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result->total_size, budget);
+    EXPECT_GE(result->labels.size(), 1u);
+    EXPECT_LE(result->labels.size(), 3u);
+  }
+}
+
+}  // namespace
+}  // namespace pcbl

@@ -1,0 +1,73 @@
+// Differential tests: the parallel candidate-ranking phase must produce
+// bit-identical SearchResults for every thread count.
+#include <gtest/gtest.h>
+
+#include "core/search.h"
+#include "workload/datasets.h"
+
+namespace pcbl {
+namespace {
+
+void ExpectSameResult(const SearchResult& a, const SearchResult& b) {
+  EXPECT_EQ(a.best_attrs, b.best_attrs);
+  EXPECT_EQ(a.label.size(), b.label.size());
+  EXPECT_DOUBLE_EQ(a.error.max_abs, b.error.max_abs);
+  EXPECT_DOUBLE_EQ(a.error.mean_abs, b.error.mean_abs);
+  EXPECT_EQ(a.stats.error_evaluations, b.stats.error_evaluations);
+  EXPECT_EQ(a.stats.patterns_scanned, b.stats.patterns_scanned);
+  ASSERT_EQ(a.candidates.size(), b.candidates.size());
+  for (size_t i = 0; i < a.candidates.size(); ++i) {
+    EXPECT_EQ(a.candidates[i].attrs, b.candidates[i].attrs);
+    EXPECT_EQ(a.candidates[i].label_size, b.candidates[i].label_size);
+    EXPECT_DOUBLE_EQ(a.candidates[i].max_error, b.candidates[i].max_error);
+  }
+}
+
+class ParallelSearchTest : public testing::TestWithParam<int> {};
+
+TEST_P(ParallelSearchTest, TopDownMatchesSerial) {
+  Table t = workload::MakeCompas(4000, 11).value();
+  LabelSearch search(t);
+  SearchOptions serial;
+  serial.size_bound = 60;
+  serial.record_candidates = true;
+  const SearchResult expected = search.TopDown(serial);
+
+  SearchOptions parallel = serial;
+  parallel.num_threads = GetParam();
+  ExpectSameResult(expected, search.TopDown(parallel));
+}
+
+TEST_P(ParallelSearchTest, NaiveMatchesSerial) {
+  Table t = workload::MakeBlueNile(4000, 11).value();
+  LabelSearch search(t);
+  SearchOptions serial;
+  serial.size_bound = 40;
+  serial.record_candidates = true;
+  const SearchResult expected = search.Naive(serial);
+
+  SearchOptions parallel = serial;
+  parallel.num_threads = GetParam();
+  ExpectSameResult(expected, search.Naive(parallel));
+}
+
+TEST_P(ParallelSearchTest, ExactModeMatchesSerial) {
+  Table t = workload::MakeCompas(2000, 5).value();
+  LabelSearch search(t);
+  SearchOptions serial;
+  serial.size_bound = 40;
+  serial.candidate_error_mode = ErrorMode::kExact;
+  serial.metric = OptimizationMetric::kMeanQError;
+  serial.record_candidates = true;
+  const SearchResult expected = search.TopDown(serial);
+
+  SearchOptions parallel = serial;
+  parallel.num_threads = GetParam();
+  ExpectSameResult(expected, search.TopDown(parallel));
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelSearchTest,
+                         testing::Values(2, 4, 8, 16));
+
+}  // namespace
+}  // namespace pcbl

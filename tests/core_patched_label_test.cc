@@ -1,0 +1,209 @@
+// Tests for PatchedLabel: additive-corrective patching of a base label's
+// worst full-pattern estimates (future-work extension of Sec. II-C / VI).
+#include "core/patched_label.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "core/search.h"
+#include "util/rng.h"
+#include "workload/datasets.h"
+
+namespace pcbl {
+namespace {
+
+// A table where independence is badly wrong for a handful of rows: two
+// attributes are equal on most rows, plus a few unique outlier rows.
+Table CorrelatedTable() {
+  auto b = TableBuilder::Create({"a0", "a1", "a2"});
+  PCBL_CHECK(b.ok());
+  for (int a = 0; a < 3; ++a) {
+    for (int v = 0; v < 4; ++v) {
+      b->InternValue(a, std::string(1, static_cast<char>('p' + v)));
+    }
+  }
+  Rng rng(99);
+  std::vector<ValueId> codes(3);
+  for (int r = 0; r < 2000; ++r) {
+    ValueId x = rng.UniformInt(4);
+    codes[0] = x;
+    codes[1] = x;
+    codes[2] = rng.UniformInt(4);
+    PCBL_CHECK(b->AddRowCodes(codes).ok());
+  }
+  return b->Build();
+}
+
+TEST(PatchedLabelTest, ZeroPatchesEqualsBase) {
+  Table t = workload::MakeFig2Demo();
+  Label base = Label::Build(t, AttrMask::FromIndices({1, 3}));
+  FullPatternIndex index = FullPatternIndex::Build(t);
+  PatchedLabel patched(Label::Build(t, AttrMask::FromIndices({1, 3})), index,
+                       0);
+  EXPECT_EQ(patched.num_patches(), 0);
+  EXPECT_EQ(patched.FootprintEntries(), base.size());
+  for (int64_t i = 0; i < index.num_patterns(); ++i) {
+    EXPECT_DOUBLE_EQ(patched.EstimateFullPattern(index.codes(i),
+                                                 index.width()),
+                     base.EstimateFullPattern(index.codes(i), index.width()));
+  }
+}
+
+TEST(PatchedLabelTest, PatchedPatternsEstimateExactly) {
+  Table t = CorrelatedTable();
+  FullPatternIndex index = FullPatternIndex::Build(t);
+  Label base = Label::Build(t, AttrMask::FromIndices({0, 2}));
+  PatchedLabel patched(std::move(base), index, 5);
+  ASSERT_EQ(patched.num_patches(), 5);
+  for (int64_t i = 0; i < patched.num_patches(); ++i) {
+    EXPECT_DOUBLE_EQ(
+        patched.EstimateFullPattern(patched.patch_codes(i), patched.width()),
+        static_cast<double>(patched.patch_count(i)));
+  }
+}
+
+TEST(PatchedLabelTest, MaxErrorDropsToNextWorstPattern) {
+  Table t = CorrelatedTable();
+  FullPatternIndex index = FullPatternIndex::Build(t);
+
+  // Errors of the base label over P_A, descending.
+  Label base = Label::Build(t, AttrMask::FromIndices({0, 2}));
+  std::vector<double> errors;
+  for (int64_t i = 0; i < index.num_patterns(); ++i) {
+    errors.push_back(std::abs(
+        static_cast<double>(index.count(i)) -
+        base.EstimateFullPattern(index.codes(i), index.width())));
+  }
+  std::sort(errors.rbegin(), errors.rend());
+
+  for (int k : {1, 3, 8}) {
+    PatchedLabel patched(Label::Build(t, AttrMask::FromIndices({0, 2})),
+                         index, k);
+    ErrorReport report =
+        EvaluateOverFullPatterns(index, patched, ErrorMode::kExact);
+    ASSERT_LT(static_cast<size_t>(k), errors.size());
+    EXPECT_LE(report.max_abs, errors[static_cast<size_t>(k)] + 1e-9)
+        << "k=" << k;
+  }
+}
+
+TEST(PatchedLabelTest, PartialPatternGetsAdditiveCorrection) {
+  Table t = workload::MakeFig2Demo();
+  FullPatternIndex index = FullPatternIndex::Build(t);
+  Label base = Label::Build(t, AttrMask::FromIndices({1, 3}));
+  PatchedLabel patched(Label::Build(t, AttrMask::FromIndices({1, 3})), index,
+                       3);
+  auto p = Pattern::Parse(t, {{"gender", "Female"}});
+  ASSERT_TRUE(p.ok());
+  // Expected: base estimate plus the deltas of patches matching the term.
+  double expected = base.EstimateCount(*p);
+  for (int64_t i = 0; i < patched.num_patches(); ++i) {
+    if (patched.patch_codes(i)[0] == p->terms()[0].value) {
+      expected += patched.patch_delta(i);
+    }
+  }
+  EXPECT_NEAR(patched.EstimateCount(*p), expected, 1e-9);
+}
+
+TEST(PatchedLabelTest, EmptyPatternStaysExact) {
+  Table t = CorrelatedTable();
+  FullPatternIndex index = FullPatternIndex::Build(t);
+  PatchedLabel patched(Label::Build(t, AttrMask::FromIndices({0, 2})), index,
+                       10);
+  EXPECT_DOUBLE_EQ(patched.EstimateCount(Pattern()),
+                   static_cast<double>(t.num_rows()));
+}
+
+TEST(PatchedLabelTest, PatchCountClampsToPatternCount) {
+  Table t = workload::MakeFig2Demo();
+  FullPatternIndex index = FullPatternIndex::Build(t);
+  PatchedLabel patched(Label::Build(t, AttrMask::FromIndices({0, 1})), index,
+                       1000000);
+  EXPECT_EQ(patched.num_patches(), index.num_patterns());
+  // Fully patched: every full-pattern estimate is exact.
+  ErrorReport report =
+      EvaluateOverFullPatterns(index, patched, ErrorMode::kExact);
+  EXPECT_DOUBLE_EQ(report.max_abs, 0.0);
+}
+
+TEST(PatchedSearchTest, ValidatesOptions) {
+  Table t = workload::MakeFig2Demo();
+  PatchedSearchOptions options;
+  options.total_bound = 0;
+  EXPECT_FALSE(SearchPatchedLabel(t, options).ok());
+  options.total_bound = 10;
+  options.min_base_bound = 0;
+  EXPECT_FALSE(SearchPatchedLabel(t, options).ok());
+}
+
+TEST(PatchedSearchTest, NeverWorseThanPlainTopDown) {
+  Table t = CorrelatedTable();
+  for (int64_t budget : {10, 30}) {
+    PatchedSearchOptions options;
+    options.total_bound = budget;
+    auto result = SearchPatchedLabel(t, options);
+    ASSERT_TRUE(result.ok());
+    LabelSearch search(t);
+    SearchOptions plain;
+    plain.size_bound = budget;
+    SearchResult single = search.TopDown(plain);
+    // k = 0 is always in the sweep, so the winner cannot be worse.
+    EXPECT_LE(result->error.max_abs, single.error.max_abs + 1e-9)
+        << "budget=" << budget;
+    EXPECT_LE(result->total_size, budget);
+  }
+}
+
+TEST(PatchedSearchTest, RecordsAllSplitsAndRespectsMinBase) {
+  Table t = workload::MakeFig2Demo();
+  PatchedSearchOptions options;
+  options.total_bound = 10;
+  options.patch_splits = {2, 4, 8, 64};
+  options.min_base_bound = 4;
+  auto result = SearchPatchedLabel(t, options);
+  ASSERT_TRUE(result.ok());
+  // k=0 plus {2, 4}; 8 and 64 leave base bound < 4 and are skipped.
+  ASSERT_EQ(result->splits.size(), 3u);
+  EXPECT_EQ(result->splits[0].num_patches, 0);
+  EXPECT_EQ(result->splits[1].base_bound, 8);
+  EXPECT_EQ(result->splits[2].base_bound, 6);
+  for (const auto& split : result->splits) {
+    EXPECT_GE(split.base_bound, options.min_base_bound);
+  }
+}
+
+TEST(PatchedSearchTest, EstimatorIsReturnedAndConsistent) {
+  Table t = CorrelatedTable();
+  PatchedSearchOptions options;
+  options.total_bound = 20;
+  auto result = SearchPatchedLabel(t, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_NE(result->estimator, nullptr);
+  EXPECT_EQ(result->estimator->FootprintEntries(), result->total_size);
+  FullPatternIndex index = FullPatternIndex::Build(t);
+  ErrorReport replay =
+      EvaluateOverFullPatterns(index, *result->estimator, ErrorMode::kExact);
+  EXPECT_DOUBLE_EQ(replay.max_abs, result->error.max_abs);
+}
+
+// Patching is deterministic: equal-error ties resolve by count then index.
+TEST(PatchedLabelTest, DeterministicConstruction) {
+  Table t = workload::MakeCompas(2000, 7).value();
+  FullPatternIndex index = FullPatternIndex::Build(t);
+  PatchedLabel a(Label::Build(t, AttrMask::FromIndices({0, 1})), index, 12);
+  PatchedLabel b(Label::Build(t, AttrMask::FromIndices({0, 1})), index, 12);
+  ASSERT_EQ(a.num_patches(), b.num_patches());
+  for (int64_t i = 0; i < a.num_patches(); ++i) {
+    EXPECT_EQ(a.patch_count(i), b.patch_count(i));
+    for (int w = 0; w < a.width(); ++w) {
+      EXPECT_EQ(a.patch_codes(i)[w], b.patch_codes(i)[w]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pcbl

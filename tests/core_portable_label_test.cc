@@ -1,0 +1,136 @@
+// Tests for PortableLabel (detached labels) and its JSON/binary formats.
+#include "core/portable_label.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/datasets.h"
+
+namespace pcbl {
+namespace {
+
+PortableLabel DemoLabel() {
+  Table t = workload::MakeFig2Demo();
+  Label l = Label::Build(t, AttrMask::FromIndices({1, 3}));
+  return MakePortable(l, t, "fig2-demo");
+}
+
+TEST(PortableLabelTest, CarriesEverything) {
+  PortableLabel p = DemoLabel();
+  EXPECT_EQ(p.dataset_name, "fig2-demo");
+  EXPECT_EQ(p.total_rows, 18);
+  EXPECT_EQ(p.attribute_names.size(), 4u);
+  EXPECT_EQ(p.label_attributes, (std::vector<int>{1, 3}));
+  EXPECT_EQ(p.size(), 3);
+  EXPECT_EQ(p.value_counts.size(), 4u);
+  // Gender VC: Female 9, Male 9.
+  int64_t female = 0;
+  for (const auto& [v, c] : p.value_counts[0]) {
+    if (v == "Female") female = c;
+  }
+  EXPECT_EQ(female, 9);
+}
+
+TEST(PortableLabelTest, EstimateMatchesAttachedLabel) {
+  // Example 2.12 numbers survive detachment from the table.
+  PortableLabel p = DemoLabel();
+  auto est = p.EstimateCount({{"gender", "Female"},
+                              {"age group", "20-39"},
+                              {"marital status", "married"}});
+  ASSERT_TRUE(est.ok()) << est.status();
+  EXPECT_DOUBLE_EQ(*est, 3.0);
+}
+
+TEST(PortableLabelTest, EstimateExactInsideS) {
+  PortableLabel p = DemoLabel();
+  auto est = p.EstimateCount(
+      {{"age group", "under 20"}, {"marital status", "single"}});
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ(*est, 6.0);
+}
+
+TEST(PortableLabelTest, EstimateUnknownValueIsZero) {
+  PortableLabel p = DemoLabel();
+  auto est = p.EstimateCount({{"gender", "Robot"}});
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ(*est, 0.0);
+}
+
+TEST(PortableLabelTest, EstimateErrors) {
+  PortableLabel p = DemoLabel();
+  EXPECT_FALSE(p.EstimateCount({{"no such attr", "x"}}).ok());
+  EXPECT_FALSE(
+      p.EstimateCount({{"gender", "Male"}, {"gender", "Female"}}).ok());
+}
+
+TEST(PortableLabelTest, JsonRoundTrip) {
+  PortableLabel p = DemoLabel();
+  std::string json = ToJson(p);
+  auto back = PortableLabelFromJson(json);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->dataset_name, p.dataset_name);
+  EXPECT_EQ(back->total_rows, p.total_rows);
+  EXPECT_EQ(back->attribute_names, p.attribute_names);
+  EXPECT_EQ(back->label_attributes, p.label_attributes);
+  EXPECT_EQ(back->pattern_counts, p.pattern_counts);
+  EXPECT_EQ(back->value_counts, p.value_counts);
+  // Estimates are identical after the round trip.
+  auto est = back->EstimateCount({{"gender", "Female"},
+                                  {"age group", "20-39"},
+                                  {"marital status", "married"}});
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ(*est, 3.0);
+}
+
+TEST(PortableLabelTest, CompactJsonAlsoParses) {
+  PortableLabel p = DemoLabel();
+  auto back = PortableLabelFromJson(ToJson(p, /*pretty=*/false));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->pattern_counts, p.pattern_counts);
+}
+
+TEST(PortableLabelTest, JsonRejectsWrongFormat) {
+  EXPECT_FALSE(PortableLabelFromJson("{}").ok());
+  EXPECT_FALSE(PortableLabelFromJson("[1,2]").ok());
+  EXPECT_FALSE(PortableLabelFromJson("{\"format\":\"other\"}").ok());
+  EXPECT_FALSE(PortableLabelFromJson("not json").ok());
+}
+
+TEST(PortableLabelTest, BinaryRoundTrip) {
+  PortableLabel p = DemoLabel();
+  std::string bytes = ToBinary(p);
+  auto back = PortableLabelFromBinary(bytes);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->dataset_name, p.dataset_name);
+  EXPECT_EQ(back->total_rows, p.total_rows);
+  EXPECT_EQ(back->attribute_names, p.attribute_names);
+  EXPECT_EQ(back->label_attributes, p.label_attributes);
+  EXPECT_EQ(back->pattern_counts, p.pattern_counts);
+  EXPECT_EQ(back->value_counts, p.value_counts);
+}
+
+TEST(PortableLabelTest, BinaryRejectsCorruption) {
+  PortableLabel p = DemoLabel();
+  std::string bytes = ToBinary(p);
+  EXPECT_FALSE(PortableLabelFromBinary("XXXX").ok());
+  EXPECT_FALSE(PortableLabelFromBinary(bytes.substr(0, 20)).ok());
+  std::string extra = bytes + "junk";
+  EXPECT_FALSE(PortableLabelFromBinary(extra).ok());
+}
+
+TEST(PortableLabelTest, FileRoundTripBothFormats) {
+  PortableLabel p = DemoLabel();
+  std::string json_path = ::testing::TempDir() + "/pcbl_label.json";
+  std::string bin_path = ::testing::TempDir() + "/pcbl_label.bin";
+  ASSERT_TRUE(SaveLabel(p, json_path, /*binary=*/false).ok());
+  ASSERT_TRUE(SaveLabel(p, bin_path, /*binary=*/true).ok());
+  auto from_json = LoadLabel(json_path);
+  auto from_bin = LoadLabel(bin_path);
+  ASSERT_TRUE(from_json.ok()) << from_json.status();
+  ASSERT_TRUE(from_bin.ok()) << from_bin.status();
+  EXPECT_EQ(from_json->pattern_counts, p.pattern_counts);
+  EXPECT_EQ(from_bin->pattern_counts, p.pattern_counts);
+  EXPECT_FALSE(LoadLabel("/nonexistent/label").ok());
+}
+
+}  // namespace
+}  // namespace pcbl

@@ -1,0 +1,82 @@
+// Tests for the Fig. 1-style nutrition-label renderer.
+#include "core/render.h"
+
+#include <gtest/gtest.h>
+
+#include "core/search.h"
+#include "workload/datasets.h"
+
+namespace pcbl {
+namespace {
+
+TEST(RenderTest, ContainsCoreSections) {
+  Table t = workload::MakeFig2Demo();
+  Label l = Label::Build(t, AttrMask::FromIndices({1, 3}));
+  PortableLabel p = MakePortable(l, t, "fig2");
+  std::string out = RenderNutritionLabel(p);
+  EXPECT_NE(out.find("Dataset: fig2"), std::string::npos);
+  EXPECT_NE(out.find("Total size: 18"), std::string::npos);
+  EXPECT_NE(out.find("Female"), std::string::npos);
+  EXPECT_NE(out.find("Pattern counts over { age group, marital status }"),
+            std::string::npos);
+  EXPECT_NE(out.find("under 20 / single"), std::string::npos);
+}
+
+TEST(RenderTest, ErrorSummaryIncludedWhenProvided) {
+  Table t = workload::MakeFig2Demo();
+  LabelSearch search(t);
+  SearchOptions options;
+  options.size_bound = 5;
+  SearchResult r = search.TopDown(options);
+  PortableLabel p = MakePortable(r.label, t, "fig2");
+  std::string with = RenderNutritionLabel(p, &r.error);
+  std::string without = RenderNutritionLabel(p);
+  EXPECT_NE(with.find("Maximal Error"), std::string::npos);
+  EXPECT_NE(with.find("Average Error"), std::string::npos);
+  EXPECT_NE(with.find("Standard deviation"), std::string::npos);
+  EXPECT_EQ(without.find("Maximal Error"), std::string::npos);
+}
+
+TEST(RenderTest, ErrorSummarySuppressedByOption) {
+  Table t = workload::MakeFig2Demo();
+  Label l = Label::Build(t, AttrMask::FromIndices({1, 3}));
+  PortableLabel p = MakePortable(l, t, "fig2");
+  ErrorReport err;
+  err.max_abs = 5;
+  RenderOptions opts;
+  opts.include_error_summary = false;
+  std::string out = RenderNutritionLabel(p, &err, opts);
+  EXPECT_EQ(out.find("Maximal Error"), std::string::npos);
+}
+
+TEST(RenderTest, TruncationNotices) {
+  Table t = workload::MakeCompas(2000, 3).value();
+  Label l = Label::Build(t, AttrMask::FromIndices({12, 14}));
+  PortableLabel p = MakePortable(l, t, "compas");
+  RenderOptions opts;
+  opts.max_values_per_attribute = 2;
+  opts.max_pattern_rows = 3;
+  std::string out = RenderNutritionLabel(p, nullptr, opts);
+  EXPECT_NE(out.find("more values"), std::string::npos);
+  EXPECT_NE(out.find("more patterns"), std::string::npos);
+}
+
+TEST(RenderTest, VcOnlyLabelOmitsPcSection) {
+  Table t = workload::MakeFig2Demo();
+  Label l = Label::Build(t, AttrMask());
+  PortableLabel p = MakePortable(l, t, "fig2");
+  std::string out = RenderNutritionLabel(p);
+  EXPECT_EQ(out.find("Pattern counts over"), std::string::npos);
+}
+
+TEST(RenderTest, PercentagesShown) {
+  Table t = workload::MakeFig2Demo();
+  Label l = Label::Build(t, AttrMask::FromIndices({1, 3}));
+  PortableLabel p = MakePortable(l, t, "fig2");
+  std::string out = RenderNutritionLabel(p);
+  // Female is 9/18 = 50%.
+  EXPECT_NE(out.find("50%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pcbl

@@ -1,0 +1,201 @@
+// Tests for the naive and top-down label searches (Sec. III,
+// Algorithm 1), pinned to Example 3.7 and cross-validated against each
+// other and a brute-force optimum.
+#include "core/search.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "pattern/lattice.h"
+#include "workload/datasets.h"
+
+namespace pcbl {
+namespace {
+
+// Brute force: best (minimal exact max error) attribute subset of size
+// >= 2 whose label fits the bound; empty mask when none fits.
+AttrMask BruteForceBest(const LabelSearch& search, int64_t bound,
+                        double* best_error_out) {
+  const Table& t = search.table();
+  AttrMask best;
+  double best_error = -1;
+  int64_t best_size = 0;
+  ForEachSubsetOf(AttrMask::All(t.num_attributes()), [&](AttrMask s) {
+    if (s.Count() < 2) return;
+    Label l = Label::Build(t, s);
+    if (l.size() > bound) return;
+    LabelEstimator est(l);
+    ErrorReport r = EvaluateOverFullPatterns(search.full_patterns(), est,
+                                             ErrorMode::kExact);
+    bool better = best_error < 0 || r.max_abs < best_error ||
+                  (r.max_abs == best_error && l.size() < best_size) ||
+                  (r.max_abs == best_error && l.size() == best_size &&
+                   s.bits() < best.bits());
+    if (better) {
+      best = s;
+      best_error = r.max_abs;
+      best_size = l.size();
+    }
+  });
+  if (best_error_out != nullptr) *best_error_out = best_error;
+  return best;
+}
+
+TEST(TopDownSearchTest, Example37CandidateSet) {
+  // Bound 5 on the Fig. 2 fragment: candidates must be exactly
+  // {gender, age group} (size 4) and {age group, marital status} (size 3).
+  Table t = workload::MakeFig2Demo();
+  LabelSearch search(t);
+  SearchOptions options;
+  options.size_bound = 5;
+  options.record_candidates = true;
+  SearchResult result = search.TopDown(options);
+  std::set<uint64_t> cands;
+  for (const CandidateInfo& c : result.candidates) {
+    cands.insert(c.attrs.bits());
+  }
+  std::set<uint64_t> expected = {
+      AttrMask::FromIndices({0, 1}).bits(),
+      AttrMask::FromIndices({1, 3}).bits(),
+  };
+  EXPECT_EQ(cands, expected);
+  // The returned label fits the bound.
+  EXPECT_LE(result.label.size(), 5);
+  // The winner is one of the two candidates.
+  EXPECT_TRUE(result.best_attrs == AttrMask::FromIndices({0, 1}) ||
+              result.best_attrs == AttrMask::FromIndices({1, 3}));
+}
+
+TEST(TopDownSearchTest, CandidateSizesRecorded) {
+  Table t = workload::MakeFig2Demo();
+  LabelSearch search(t);
+  SearchOptions options;
+  options.size_bound = 5;
+  options.record_candidates = true;
+  SearchResult result = search.TopDown(options);
+  for (const CandidateInfo& c : result.candidates) {
+    Label l = Label::Build(t, c.attrs);
+    EXPECT_EQ(l.size(), c.label_size);
+    EXPECT_LE(c.label_size, 5);
+  }
+}
+
+TEST(NaiveSearchTest, MatchesBruteForceOnSmallTables) {
+  Table t = workload::MakeFig2Demo();
+  LabelSearch search(t);
+  for (int64_t bound : {3, 5, 8, 12, 100}) {
+    SearchOptions options;
+    options.size_bound = bound;
+    options.candidate_error_mode = ErrorMode::kExact;
+    SearchResult naive = search.Naive(options);
+    double brute_error = -1;
+    AttrMask brute = BruteForceBest(search, bound, &brute_error);
+    if (brute.empty()) {
+      EXPECT_TRUE(naive.best_attrs.empty()) << "bound " << bound;
+    } else {
+      EXPECT_EQ(naive.error.max_abs, brute_error) << "bound " << bound;
+    }
+  }
+}
+
+TEST(SearchAgreementTest, TopDownFindsNaiveOptimum) {
+  // The candidate pruning of Algorithm 1 is justified by Prop. 3.2; on
+  // these datasets the two algorithms must return equal-error labels.
+  for (auto& [name, t] : std::vector<std::pair<std::string, Table>>{
+           {"demo", workload::MakeFig2Demo()},
+           {"compas-small", workload::MakeCompas(2000, 3).value()},
+           {"bluenile-small", workload::MakeBlueNile(2000, 3).value()}}) {
+    LabelSearch search(t);
+    for (int64_t bound : {10, 30}) {
+      SearchOptions options;
+      options.size_bound = bound;
+      options.candidate_error_mode = ErrorMode::kExact;
+      SearchResult naive = search.Naive(options);
+      SearchResult top_down = search.TopDown(options);
+      EXPECT_NEAR(naive.error.max_abs, top_down.error.max_abs, 1e-9)
+          << name << " bound " << bound;
+    }
+  }
+}
+
+TEST(SearchStatsTest, TopDownExaminesFewerSubsets) {
+  Table t = workload::MakeCompas(4000, 3).value();
+  LabelSearch search(t);
+  SearchOptions options;
+  options.size_bound = 50;
+  SearchResult naive = search.Naive(options);
+  SearchResult top_down = search.TopDown(options);
+  EXPECT_GT(naive.stats.subsets_examined,
+            top_down.stats.subsets_examined);
+  EXPECT_GT(top_down.stats.subsets_examined, 0);
+  EXPECT_GT(naive.stats.total_seconds, 0.0);
+}
+
+TEST(SearchStatsTest, WithinBoundNeverExceedsExamined) {
+  Table t = workload::MakeBlueNile(3000, 5).value();
+  LabelSearch search(t);
+  SearchOptions options;
+  options.size_bound = 30;
+  for (SearchResult r : {search.Naive(options), search.TopDown(options)}) {
+    EXPECT_LE(r.stats.within_bound, r.stats.subsets_examined);
+    EXPECT_GE(r.stats.error_evaluations, 0);
+  }
+}
+
+TEST(SearchTest, ImpossibleBoundFallsBackToEmptyLabel) {
+  Table t = workload::MakeFig2Demo();
+  LabelSearch search(t);
+  SearchOptions options;
+  options.size_bound = 1;  // no pairwise label fits
+  SearchResult naive = search.Naive(options);
+  SearchResult top_down = search.TopDown(options);
+  EXPECT_TRUE(naive.best_attrs.empty());
+  EXPECT_TRUE(top_down.best_attrs.empty());
+  // The degenerate label still produces a valid (independence) report.
+  EXPECT_GT(naive.error.max_abs, 0.0);
+  EXPECT_DOUBLE_EQ(naive.error.max_abs, top_down.error.max_abs);
+}
+
+TEST(SearchTest, LargerBoundNeverHurts) {
+  Table t = workload::MakeCompas(3000, 17).value();
+  LabelSearch search(t);
+  double prev_error = -1;
+  for (int64_t bound : {5, 10, 20, 50, 100}) {
+    SearchOptions options;
+    options.size_bound = bound;
+    SearchResult r = search.TopDown(options);
+    if (prev_error >= 0) {
+      EXPECT_LE(r.error.max_abs, prev_error + 1e-9)
+          << "bound " << bound;
+    }
+    prev_error = r.error.max_abs;
+  }
+}
+
+TEST(SearchTest, FinalReportIsExactMode) {
+  Table t = workload::MakeFig2Demo();
+  LabelSearch search(t);
+  SearchOptions options;
+  options.size_bound = 5;
+  SearchResult r = search.TopDown(options);
+  EXPECT_FALSE(r.error.early_terminated);
+  EXPECT_EQ(r.error.evaluated, r.error.total);
+}
+
+TEST(SearchTest, SharedContextReusable) {
+  Table t = workload::MakeFig2Demo();
+  auto vc = std::make_shared<const ValueCounts>(ValueCounts::Compute(t));
+  auto fpi = std::make_shared<const FullPatternIndex>(
+      FullPatternIndex::Build(t));
+  LabelSearch search(t, vc, fpi);
+  SearchOptions options;
+  options.size_bound = 5;
+  SearchResult r1 = search.TopDown(options);
+  SearchResult r2 = search.TopDown(options);
+  EXPECT_EQ(r1.best_attrs, r2.best_attrs);
+  EXPECT_DOUBLE_EQ(r1.error.max_abs, r2.error.max_abs);
+}
+
+}  // namespace
+}  // namespace pcbl

@@ -1,0 +1,181 @@
+// Interface-contract tests swept over every CardinalityEstimator in the
+// library (labels, baselines, and extensions): estimates are finite and
+// non-negative, the full-pattern fast path agrees with the generic path,
+// and metadata accessors behave. New estimators get this coverage by
+// adding one factory line.
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/cm_sketch.h"
+#include "baselines/independence.h"
+#include "baselines/pairwise_histogram.h"
+#include "baselines/postgres.h"
+#include "baselines/sampling.h"
+#include "core/bound_label.h"
+#include "core/incremental.h"
+#include "core/multi_label.h"
+#include "core/patched_label.h"
+#include "core/portable_label.h"
+#include "pattern/full_pattern_index.h"
+#include "workload/datasets.h"
+
+namespace pcbl {
+namespace {
+
+struct EstimatorCase {
+  std::string name;
+  std::function<std::unique_ptr<CardinalityEstimator>(const Table&)> make;
+};
+
+const Table& SharedTable() {
+  static const Table* table = [] {
+    auto t = workload::MakeCompas(3000, 7);
+    PCBL_CHECK(t.ok());
+    return new Table(std::move(t).value());
+  }();
+  return *table;
+}
+
+const FullPatternIndex& SharedIndex() {
+  static const FullPatternIndex* index =
+      new FullPatternIndex(FullPatternIndex::Build(SharedTable()));
+  return *index;
+}
+
+std::vector<EstimatorCase> AllEstimators() {
+  const AttrMask s = AttrMask::FromIndices({0, 2});
+  return {
+      {"Label",
+       [s](const Table& t) {
+         return std::make_unique<LabelEstimator>(Label::Build(t, s));
+       }},
+      {"Independence",
+       [](const Table& t) {
+         return std::make_unique<IndependenceEstimator>(
+             IndependenceEstimator::Build(t));
+       }},
+      {"Postgres",
+       [](const Table& t) {
+         return std::make_unique<PostgresEstimator>(
+             PostgresEstimator::Build(t));
+       }},
+      {"Sampling",
+       [](const Table& t) {
+         return std::make_unique<SamplingEstimator>(
+             SamplingEstimator::Build(t, 500, 42));
+       }},
+      {"CmSketch",
+       [](const Table& t) {
+         auto sketch = CmSketchEstimator::BuildForBudget(t, 300);
+         PCBL_CHECK(sketch.ok());
+         return std::make_unique<CmSketchEstimator>(std::move(*sketch));
+       }},
+      {"PairwiseHistogram",
+       [](const Table& t) {
+         auto hist = PairwiseHistogramEstimator::Build(t);
+         PCBL_CHECK(hist.ok());
+         return std::make_unique<PairwiseHistogramEstimator>(
+             std::move(*hist));
+       }},
+      {"MultiLabel",
+       [s](const Table& t) {
+         std::vector<Label> labels;
+         labels.push_back(Label::Build(t, s));
+         labels.push_back(Label::Build(t, AttrMask::FromIndices({12, 13})));
+         return std::make_unique<MultiLabelEstimator>(
+             std::move(labels), CombineStrategy::kMaxOverlap);
+       }},
+      {"MultiLabelFactorized",
+       [s](const Table& t) {
+         std::vector<Label> labels;
+         labels.push_back(Label::Build(t, s));
+         labels.push_back(Label::Build(t, AttrMask::FromIndices({12, 13})));
+         return std::make_unique<MultiLabelEstimator>(
+             std::move(labels), CombineStrategy::kFactorized);
+       }},
+      {"PatchedLabel",
+       [s](const Table& t) {
+         return std::make_unique<PatchedLabel>(
+             Label::Build(t, s), FullPatternIndex::Build(t), 8);
+       }},
+      {"BoundPortableLabel",
+       [s](const Table& t) {
+         PortableLabel portable = MakePortable(Label::Build(t, s), t);
+         auto bound = BoundPortableLabel::Bind(portable, t);
+         PCBL_CHECK(bound.ok());
+         return std::make_unique<BoundPortableLabel>(std::move(*bound));
+       }},
+      {"IncrementalLabel",
+       [s](const Table& t) {
+         auto inc = IncrementalLabel::Create(t, s, 1 << 20);
+         PCBL_CHECK(inc.ok());
+         return std::make_unique<IncrementalLabel>(std::move(*inc));
+       }},
+  };
+}
+
+class EstimatorContractTest : public testing::TestWithParam<EstimatorCase> {
+ protected:
+  std::unique_ptr<CardinalityEstimator> estimator_ =
+      GetParam().make(SharedTable());
+};
+
+TEST_P(EstimatorContractTest, MetadataBehaves) {
+  EXPECT_FALSE(estimator_->name().empty());
+  EXPECT_GE(estimator_->FootprintEntries(), 0);
+}
+
+TEST_P(EstimatorContractTest, FullPatternEstimatesAreFiniteNonNegative) {
+  const FullPatternIndex& index = SharedIndex();
+  for (int64_t i = 0; i < index.num_patterns(); ++i) {
+    const double est =
+        estimator_->EstimateFullPattern(index.codes(i), index.width());
+    ASSERT_TRUE(std::isfinite(est)) << GetParam().name << " pattern " << i;
+    ASSERT_GE(est, 0.0) << GetParam().name << " pattern " << i;
+  }
+}
+
+TEST_P(EstimatorContractTest, FastPathAgreesWithGenericPath) {
+  const FullPatternIndex& index = SharedIndex();
+  const int64_t n = std::min<int64_t>(index.num_patterns(), 200);
+  for (int64_t i = 0; i < n; ++i) {
+    const Pattern p = index.ToPattern(i);
+    EXPECT_NEAR(estimator_->EstimateFullPattern(index.codes(i),
+                                                index.width()),
+                estimator_->EstimateCount(p),
+                1e-6 * (1.0 + estimator_->EstimateCount(p)))
+        << GetParam().name << " pattern " << i;
+  }
+}
+
+TEST_P(EstimatorContractTest, PartialPatternsAreFiniteNonNegative) {
+  const Table& t = SharedTable();
+  for (const auto& named :
+       std::vector<std::vector<std::pair<std::string, std::string>>>{
+           {{"Gender", "Female"}},
+           {{"Gender", "Female"}, {"Race", "Hispanic"}},
+           {{"Race", "Other"}, {"MaritalStatus", "Widowed"}},
+       }) {
+    auto p = Pattern::Parse(t, named);
+    ASSERT_TRUE(p.ok());
+    const double est = estimator_->EstimateCount(*p);
+    EXPECT_TRUE(std::isfinite(est)) << GetParam().name;
+    EXPECT_GE(est, 0.0) << GetParam().name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEstimators, EstimatorContractTest,
+    testing::ValuesIn(AllEstimators()),
+    [](const testing::TestParamInfo<EstimatorCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace pcbl

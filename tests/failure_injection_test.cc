@@ -1,0 +1,142 @@
+// Failure-injection tests: corrupted label files and malformed CSV input
+// must surface Status errors — never crashes, hangs, or silent garbage.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/portable_label.h"
+#include "relation/csv.h"
+#include "workload/datasets.h"
+
+namespace pcbl {
+namespace {
+
+PortableLabel DemoLabel() {
+  Table t = workload::MakeFig2Demo();
+  Label l = Label::Build(t, AttrMask::FromIndices({1, 3}));
+  return MakePortable(l, t, "fig2-demo");
+}
+
+TEST(BinaryCorruptionTest, EveryTruncationFailsCleanly) {
+  const std::string bytes = ToBinary(DemoLabel());
+  ASSERT_GT(bytes.size(), 16u);
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    auto result = PortableLabelFromBinary(bytes.substr(0, len));
+    EXPECT_FALSE(result.ok()) << "truncation at " << len << " parsed";
+  }
+  // The untruncated form round-trips.
+  auto full = PortableLabelFromBinary(bytes);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->dataset_name, "fig2-demo");
+  EXPECT_EQ(full->size(), 3);
+}
+
+TEST(BinaryCorruptionTest, SingleByteFlipsNeverCrash) {
+  const std::string bytes = ToBinary(DemoLabel());
+  // Flip each byte through a few values; parsing must either fail with a
+  // Status or produce *some* label — never crash or hang.
+  for (size_t pos = 0; pos < bytes.size(); ++pos) {
+    for (uint8_t flip : {0x01, 0x80, 0xff}) {
+      std::string corrupt = bytes;
+      corrupt[pos] = static_cast<char>(corrupt[pos] ^ flip);
+      auto result = PortableLabelFromBinary(corrupt);
+      if (result.ok()) {
+        // A surviving parse must still be internally consistent enough to
+        // summarize without touching out-of-range indices.
+        for (int a : result->label_attributes) {
+          EXPECT_GE(a, 0);
+          EXPECT_LT(static_cast<size_t>(a), result->attribute_names.size());
+        }
+      }
+    }
+  }
+}
+
+TEST(BinaryCorruptionTest, WrongMagicAndVersionRejected) {
+  std::string bytes = ToBinary(DemoLabel());
+  std::string bad_magic = bytes;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(PortableLabelFromBinary(bad_magic).ok());
+  std::string bad_version = bytes;
+  bad_version[4] = static_cast<char>(0x7f);  // version LSB
+  EXPECT_FALSE(PortableLabelFromBinary(bad_version).ok());
+  EXPECT_FALSE(PortableLabelFromBinary("").ok());
+  EXPECT_FALSE(PortableLabelFromBinary("PCB").ok());
+}
+
+TEST(JsonCorruptionTest, MalformedDocumentsFailCleanly) {
+  const std::string good = ToJson(DemoLabel());
+  const std::string cases[] = {
+      "",
+      "{",
+      "[]",
+      "null",
+      "{\"totally\": \"unrelated\"}",
+      good.substr(0, good.size() / 2),
+      good + "}",
+  };
+  for (const std::string& text : cases) {
+    EXPECT_FALSE(PortableLabelFromJson(text).ok())
+        << "parsed: " << text.substr(0, 40);
+  }
+  EXPECT_TRUE(PortableLabelFromJson(good).ok());
+}
+
+TEST(JsonCorruptionTest, OutOfRangeLabelAttributeRejected) {
+  PortableLabel label = DemoLabel();
+  label.label_attributes.push_back(99);
+  const std::string json = ToJson(label);
+  EXPECT_FALSE(PortableLabelFromJson(json).ok());
+}
+
+TEST(LabelFileTest, MissingAndUnwritablePaths) {
+  EXPECT_FALSE(LoadLabel("/nonexistent/dir/label.json").ok());
+  EXPECT_FALSE(SaveLabel(DemoLabel(), "/nonexistent/dir/label.json").ok());
+}
+
+TEST(LabelFileTest, GarbageFileFailsToLoad) {
+  const std::string path = testing::TempDir() + "/pcbl_garbage.bin";
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "this is neither JSON nor PCBL binary \x01\x02\x03";
+  }
+  EXPECT_FALSE(LoadLabel(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CsvCorruptionTest, StructuralErrorsAreStatusErrors) {
+  // Ragged row.
+  EXPECT_FALSE(ReadCsvString("a,b\n1,2\n3\n").ok());
+  // Unterminated quote.
+  EXPECT_FALSE(ReadCsvString("a,b\n\"open,2\n").ok());
+  // Empty input has no header.
+  EXPECT_FALSE(ReadCsvString("").ok());
+}
+
+TEST(CsvCorruptionTest, HeaderOnlyIsAValidEmptyTable) {
+  auto t = ReadCsvString("a,b,c\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 0);
+  EXPECT_EQ(t->num_attributes(), 3);
+}
+
+TEST(CsvCorruptionTest, QuotedEdgeCasesParse) {
+  auto t = ReadCsvString(
+      "name,notes\n"
+      "\"Smith, Jane\",\"said \"\"hi\"\"\"\n"
+      "\"multi\nline\",plain\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 2);
+  EXPECT_EQ(t->ValueString(0, 0), "Smith, Jane");
+  EXPECT_EQ(t->ValueString(0, 1), "said \"hi\"");
+  EXPECT_EQ(t->ValueString(1, 0), "multi\nline");
+}
+
+TEST(CsvCorruptionTest, DuplicateHeaderRejected) {
+  EXPECT_FALSE(ReadCsvString("a,a\n1,2\n").ok());
+}
+
+}  // namespace
+}  // namespace pcbl

@@ -1,0 +1,110 @@
+// Tests for the experiment harness: table formatting and bench config.
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "harness/accuracy.h"
+#include "harness/bench_config.h"
+#include "harness/tablefmt.h"
+#include "workload/datasets.h"
+
+namespace pcbl {
+namespace harness {
+namespace {
+
+TEST(TextTableTest, MarkdownAlignsColumns) {
+  TextTable t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"longer-name", "22"});
+  std::string md = t.ToMarkdown();
+  EXPECT_NE(md.find("| name        | value |"), std::string::npos);
+  EXPECT_NE(md.find("| longer-name | 22    |"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(md.find("|---"), std::string::npos);
+}
+
+TEST(TextTableTest, AddRowValuesStringifies) {
+  TextTable t({"a", "b", "c"});
+  t.AddRowValues(42, "x", 2.5);
+  std::string md = t.ToMarkdown();
+  EXPECT_NE(md.find("42"), std::string::npos);
+  EXPECT_NE(md.find("2.5"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 1);
+}
+
+TEST(TextTableTest, ArityMismatchDies) {
+  TextTable t({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"only-one"}), "arity");
+}
+
+TEST(TextTableTest, CsvQuotesOnlyWhenNeeded) {
+  TextTable t({"k", "v"});
+  t.AddRow({"plain", "with,comma"});
+  t.AddRow({"quote\"d", "line\nbreak"});
+  std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("plain,\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"quote\"\"d\""), std::string::npos);
+}
+
+TEST(BenchConfigTest, DefaultsAndEnvOverrides) {
+  unsetenv("PCBL_BENCH_SCALE");
+  unsetenv("PCBL_BENCH_SEED");
+  unsetenv("PCBL_BENCH_TIME_LIMIT");
+  BenchConfig def = BenchConfig::FromEnv();
+  EXPECT_DOUBLE_EQ(def.scale, 1.0);
+  EXPECT_EQ(def.seed, 2021u);
+  EXPECT_DOUBLE_EQ(def.time_limit_seconds, 120.0);
+
+  setenv("PCBL_BENCH_SCALE", "25", 1);
+  setenv("PCBL_BENCH_SEED", "7", 1);
+  setenv("PCBL_BENCH_TIME_LIMIT", "30", 1);
+  BenchConfig cfg = BenchConfig::FromEnv();
+  EXPECT_DOUBLE_EQ(cfg.scale, 0.25);
+  EXPECT_EQ(cfg.seed, 7u);
+  EXPECT_DOUBLE_EQ(cfg.time_limit_seconds, 30.0);
+
+  // Garbage values fall back to defaults.
+  setenv("PCBL_BENCH_SCALE", "not-a-number", 1);
+  setenv("PCBL_BENCH_SEED", "-3", 1);
+  BenchConfig bad = BenchConfig::FromEnv();
+  EXPECT_DOUBLE_EQ(bad.scale, 1.0);
+  EXPECT_EQ(bad.seed, 2021u);
+
+  unsetenv("PCBL_BENCH_SCALE");
+  unsetenv("PCBL_BENCH_SEED");
+  unsetenv("PCBL_BENCH_TIME_LIMIT");
+}
+
+TEST(BenchConfigTest, ToStringMentionsAllFields) {
+  BenchConfig cfg;
+  cfg.scale = 0.5;
+  cfg.seed = 9;
+  std::string s = cfg.ToString();
+  EXPECT_NE(s.find("50%"), std::string::npos);
+  EXPECT_NE(s.find("seed=9"), std::string::npos);
+}
+
+TEST(AccuracySweepTest, ProducesConsistentPoints) {
+  Table t = workload::MakeCompas(3000, 5).value();
+  AccuracySweepOptions options;
+  options.bounds = {10, 50};
+  options.sample_seeds = 2;
+  auto points = RunAccuracySweep(t, options);
+  ASSERT_EQ(points.size(), 2u);
+  for (const AccuracyPoint& p : points) {
+    EXPECT_LE(p.label_size, p.bound);
+    EXPECT_GT(p.sample_rows, p.bound);  // bound + |VC|
+    EXPECT_GE(p.pcbl.max_abs, 0.0);
+    EXPECT_GE(p.sample_mean.max_abs, 0.0);
+    EXPECT_GT(p.postgres.max_abs, 0.0);
+    EXPECT_GE(p.search_seconds, 0.0);
+  }
+  // Larger bound can only improve (or match) the PCBL max error.
+  EXPECT_LE(points[1].pcbl.max_abs, points[0].pcbl.max_abs + 1e-9);
+  // Postgres line is bound-independent.
+  EXPECT_DOUBLE_EQ(points[0].postgres.max_abs, points[1].postgres.max_abs);
+}
+
+}  // namespace
+}  // namespace harness
+}  // namespace pcbl

@@ -1,0 +1,159 @@
+// End-to-end integration tests: the full pipeline from dataset to label,
+// Proposition 3.2's monotonicity claim validated empirically (the paper's
+// Sec. IV-E experiment in miniature), and the PCBL-vs-baselines ordering
+// that Figs. 4-5 report.
+#include <gtest/gtest.h>
+
+#include "baselines/postgres.h"
+#include "baselines/sampling.h"
+#include "core/portable_label.h"
+#include "core/render.h"
+#include "core/search.h"
+#include "pcbl/pcbl.h"
+#include "util/rng.h"
+#include "workload/datasets.h"
+
+namespace pcbl {
+namespace {
+
+TEST(PipelineTest, CsvToLabelToJsonRoundTrip) {
+  // The full user journey: CSV in, search, portable label out, estimates
+  // from the detached label.
+  Table t = workload::MakeFig2Demo();
+  std::string csv = WriteCsvString(t);
+  auto loaded = ReadCsvString(csv);
+  ASSERT_TRUE(loaded.ok());
+
+  LabelSearch search(*loaded);
+  SearchOptions options;
+  options.size_bound = 5;
+  SearchResult result = search.TopDown(options);
+
+  PortableLabel portable = MakePortable(result.label, *loaded, "demo");
+  auto back = PortableLabelFromJson(ToJson(portable));
+  ASSERT_TRUE(back.ok());
+  // Every full pattern's estimate survives the round trip.
+  FullPatternIndex idx = FullPatternIndex::Build(*loaded);
+  for (int64_t i = 0; i < idx.num_patterns(); ++i) {
+    Pattern p = idx.ToPattern(i);
+    std::vector<std::pair<std::string, std::string>> named;
+    for (const PatternTerm& term : p.terms()) {
+      named.emplace_back(loaded->schema().name(term.attr),
+                         loaded->dictionary(term.attr).GetString(term.value));
+    }
+    auto est = back->EstimateCount(named);
+    ASSERT_TRUE(est.ok());
+    EXPECT_NEAR(*est, result.label.EstimateCount(p), 1e-9);
+  }
+}
+
+TEST(Proposition32Test, SupersetLabelsNoWorseInPractice) {
+  // Sec. IV-E validates that labels from supersets of S have error at most
+  // the error of labels from S. This holds on all three (synthetic)
+  // datasets, which is what justifies Algorithm 1's parent pruning.
+  struct Case {
+    std::string name;
+    Table table;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"bluenile", workload::MakeBlueNile(5000, 17).value()});
+  cases.push_back({"compas", workload::MakeCompas(5000, 17).value()});
+  cases.push_back({"creditcard", workload::MakeCreditCard(5000, 17).value()});
+  Rng rng(99);
+  for (auto& [name, t] : cases) {
+    auto vc = std::make_shared<const ValueCounts>(ValueCounts::Compute(t));
+    FullPatternIndex idx = FullPatternIndex::Build(t);
+    for (int trial = 0; trial < 5; ++trial) {
+      // Random S2 of size 3, S1 = S2 minus one attribute.
+      AttrMask s2;
+      while (s2.Count() < 3) {
+        s2.Set(static_cast<int>(rng.UniformInt(
+            static_cast<uint32_t>(t.num_attributes()))));
+      }
+      AttrMask s1 = s2;
+      auto indices = s1.ToIndices();
+      s1.Clear(indices[rng.UniformInt(static_cast<uint32_t>(
+          indices.size()))]);
+      LabelEstimator e1(Label::Build(t, s1, vc));
+      LabelEstimator e2(Label::Build(t, s2, vc));
+      ErrorReport r1 =
+          EvaluateOverFullPatterns(idx, e1, ErrorMode::kExact);
+      ErrorReport r2 =
+          EvaluateOverFullPatterns(idx, e2, ErrorMode::kExact);
+      EXPECT_LE(r2.max_abs, r1.max_abs * 1.05 + 1e-9)
+          << name << " S1=" << s1.ToString() << " S2=" << s2.ToString();
+    }
+  }
+}
+
+TEST(BaselineOrderingTest, PcblBeatsSampleOfEqualFootprint) {
+  // The Fig. 4/5 headline: at equal footprint, the searched label beats a
+  // uniform sample on mean error.
+  Table t = workload::MakeCompas(20000, 7).value();
+  LabelSearch search(t);
+  SearchOptions options;
+  options.size_bound = 50;
+  SearchResult result = search.TopDown(options);
+  LabelEstimator pcbl(result.label);
+  ErrorReport pcbl_err = EvaluateOverFullPatterns(
+      search.full_patterns(), pcbl, ErrorMode::kExact);
+
+  int64_t footprint =
+      options.size_bound + search.value_counts().TotalEntries();
+  double mean_sum = 0;
+  const int kSeeds = 3;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    SamplingEstimator sample = SamplingEstimator::Build(
+        t, footprint, static_cast<uint64_t>(seed) + 1);
+    ErrorReport err = EvaluateOverFullPatterns(
+        search.full_patterns(), sample, ErrorMode::kExact);
+    mean_sum += err.mean_abs;
+  }
+  EXPECT_LT(pcbl_err.mean_abs, mean_sum / kSeeds);
+}
+
+TEST(BaselineOrderingTest, PcblAtLeastMatchesPostgresOnMaxError) {
+  // The gray Postgres line in Fig. 4 sits above PCBL at bound 100 on all
+  // three datasets.
+  Table t = workload::MakeBlueNile(20000, 7).value();
+  LabelSearch search(t);
+  SearchOptions options;
+  options.size_bound = 100;
+  SearchResult result = search.TopDown(options);
+  LabelEstimator pcbl(result.label);
+  ErrorReport pcbl_err = EvaluateOverFullPatterns(
+      search.full_patterns(), pcbl, ErrorMode::kExact);
+  PostgresEstimator pg = PostgresEstimator::Build(t);
+  ErrorReport pg_err = EvaluateOverFullPatterns(search.full_patterns(), pg,
+                                                ErrorMode::kExact);
+  EXPECT_LE(pcbl_err.max_abs, pg_err.max_abs + 1e-9);
+}
+
+TEST(RenderPipelineTest, SearchedLabelRenders) {
+  Table t = workload::MakeCompas(3000, 3).value();
+  LabelSearch search(t);
+  SearchOptions options;
+  options.size_bound = 30;
+  SearchResult result = search.TopDown(options);
+  PortableLabel portable = MakePortable(result.label, t, "COMPAS");
+  std::string rendered = RenderNutritionLabel(portable, &result.error);
+  EXPECT_NE(rendered.find("Total size: 3,000"), std::string::npos);
+  EXPECT_NE(rendered.find("Maximal Error"), std::string::npos);
+}
+
+TEST(ScalingSmokeTest, AugmentedSearchStillAgrees) {
+  // The Fig. 7 protocol at miniature scale: augmentation grows the data,
+  // both algorithms still terminate and agree on error.
+  Table t = workload::MakeCreditCard(1000, 3).value();
+  Table big = AugmentWithRandomRows(t, 2000, 5).value();
+  LabelSearch search(big);
+  SearchOptions options;
+  options.size_bound = 50;
+  options.candidate_error_mode = ErrorMode::kExact;
+  SearchResult naive = search.Naive(options);
+  SearchResult top_down = search.TopDown(options);
+  EXPECT_NEAR(naive.error.max_abs, top_down.error.max_abs, 1e-9);
+}
+
+}  // namespace
+}  // namespace pcbl

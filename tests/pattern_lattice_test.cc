@@ -1,0 +1,145 @@
+// Tests for the label lattice and the gen(S) operator (Defs. 3.4-3.5,
+// Prop. 3.8).
+#include "pattern/lattice.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace pcbl {
+namespace {
+
+TEST(GenTest, EmptySetYieldsSingletons) {
+  auto gen = Gen(AttrMask(), 4);
+  ASSERT_EQ(gen.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(gen[static_cast<size_t>(i)], AttrMask::Single(i));
+  }
+}
+
+TEST(GenTest, ExtendsOnlyBeyondMaxIndex) {
+  // Example 3.6: for S = {gender(0), race(2)} over 4 attributes,
+  // gen(S) = {{gender, race, marital(3)}} only — {0,1,2} is a child in
+  // the lattice but is NOT in gen(S).
+  AttrMask s = AttrMask::FromIndices({0, 2});
+  auto gen = Gen(s, 4);
+  ASSERT_EQ(gen.size(), 1u);
+  EXPECT_EQ(gen[0], AttrMask::FromIndices({0, 2, 3}));
+  auto children = Children(s, 4);
+  EXPECT_EQ(children.size(), 2u);  // {0,1,2} and {0,2,3}
+}
+
+TEST(GenTest, MaxElementHasNoExtensions) {
+  EXPECT_TRUE(Gen(AttrMask::FromIndices({1, 3}), 4).empty());
+  EXPECT_TRUE(Gen(AttrMask::All(4), 4).empty());
+}
+
+TEST(GenTest, GenIsSubsetOfChildren) {
+  for (uint64_t bits = 0; bits < (1u << 5); ++bits) {
+    AttrMask s(bits);
+    auto gen = Gen(s, 5);
+    auto children = Children(s, 5);
+    std::set<AttrMask> child_set(children.begin(), children.end());
+    for (AttrMask g : gen) {
+      EXPECT_TRUE(child_set.count(g)) << s.ToString() << " -> "
+                                      << g.ToString();
+    }
+  }
+}
+
+// Proposition 3.8: a top-down traversal via gen() generates every node of
+// the lattice exactly once.
+class GenTraversalTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GenTraversalTest, GeneratesEveryNodeExactlyOnce) {
+  int n = GetParam();
+  std::multiset<uint64_t> generated;
+  std::vector<AttrMask> queue = Gen(AttrMask(), n);
+  for (AttrMask s : queue) generated.insert(s.bits());
+  size_t head = 0;
+  while (head < queue.size()) {
+    AttrMask curr = queue[head++];
+    for (AttrMask c : Gen(curr, n)) {
+      generated.insert(c.bits());
+      queue.push_back(c);
+    }
+  }
+  // Every non-empty subset appears exactly once.
+  EXPECT_EQ(generated.size(), (1ULL << n) - 1);
+  std::set<uint64_t> unique(generated.begin(), generated.end());
+  EXPECT_EQ(unique.size(), generated.size()) << "duplicate generation";
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GenTraversalTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 10));
+
+TEST(ParentsTest, RemovesOneAttribute) {
+  AttrMask s = AttrMask::FromIndices({1, 4, 6});
+  auto parents = Parents(s);
+  ASSERT_EQ(parents.size(), 3u);
+  std::set<AttrMask> expect = {AttrMask::FromIndices({4, 6}),
+                               AttrMask::FromIndices({1, 6}),
+                               AttrMask::FromIndices({1, 4})};
+  EXPECT_EQ(std::set<AttrMask>(parents.begin(), parents.end()), expect);
+  EXPECT_TRUE(Parents(AttrMask()).empty());
+}
+
+TEST(ChildrenTest, AddsOneAttribute) {
+  AttrMask s = AttrMask::Single(1);
+  auto children = Children(s, 3);
+  std::set<AttrMask> expect = {AttrMask::FromIndices({0, 1}),
+                               AttrMask::FromIndices({1, 2})};
+  EXPECT_EQ(std::set<AttrMask>(children.begin(), children.end()), expect);
+}
+
+TEST(ForEachSubsetOfSizeTest, CountsMatchBinomial) {
+  for (int n : {0, 1, 4, 8}) {
+    for (int k = 0; k <= n + 1; ++k) {
+      int64_t count = 0;
+      ForEachSubsetOfSize(n, k, [&](AttrMask m) {
+        EXPECT_EQ(m.Count(), k);
+        ++count;
+      });
+      EXPECT_EQ(count, Binomial(n, k)) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(ForEachSubsetOfSizeTest, EnumeratesDistinctMasks) {
+  std::set<uint64_t> seen;
+  ForEachSubsetOfSize(10, 4, [&](AttrMask m) { seen.insert(m.bits()); });
+  EXPECT_EQ(static_cast<int64_t>(seen.size()), Binomial(10, 4));
+}
+
+TEST(ForEachSubsetOfTest, EnumeratesAllNonEmptySubmasks) {
+  AttrMask universe = AttrMask::FromIndices({0, 2, 5});
+  std::set<uint64_t> seen;
+  ForEachSubsetOf(universe, [&](AttrMask m) {
+    EXPECT_TRUE(m.IsSubsetOf(universe));
+    EXPECT_FALSE(m.empty());
+    seen.insert(m.bits());
+  });
+  EXPECT_EQ(seen.size(), 7u);  // 2^3 - 1
+}
+
+TEST(BinomialTest, KnownValues) {
+  EXPECT_EQ(Binomial(0, 0), 1);
+  EXPECT_EQ(Binomial(5, 0), 1);
+  EXPECT_EQ(Binomial(5, 5), 1);
+  EXPECT_EQ(Binomial(5, 2), 10);
+  EXPECT_EQ(Binomial(24, 7), 346104);
+  EXPECT_EQ(Binomial(4, 5), 0);
+  EXPECT_EQ(Binomial(5, -1), 0);
+}
+
+TEST(BinomialTest, NaiveLevelSumMatchesPaper) {
+  // Sec. IV-D reports the Credit Card naive search examined 536,130
+  // subsets at bound 50 — exactly levels 2..7 of a 24-attribute lattice.
+  int64_t total = 0;
+  for (int k = 2; k <= 7; ++k) total += Binomial(24, k);
+  EXPECT_EQ(total, 536130);
+}
+
+}  // namespace
+}  // namespace pcbl

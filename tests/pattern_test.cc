@@ -1,0 +1,124 @@
+// Tests for Pattern construction, matching, and restriction (Defs 2.1-2.4).
+#include "pattern/pattern.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "workload/datasets.h"
+
+namespace pcbl {
+namespace {
+
+TEST(PatternTest, CreateSortsTermsByAttribute) {
+  auto p = Pattern::Create({{3, 1}, {0, 2}, {1, 0}});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->size(), 3);
+  EXPECT_EQ(p->terms()[0].attr, 0);
+  EXPECT_EQ(p->terms()[1].attr, 1);
+  EXPECT_EQ(p->terms()[2].attr, 3);
+  EXPECT_EQ(p->attributes(), AttrMask::FromIndices({0, 1, 3}));
+}
+
+TEST(PatternTest, CreateRejectsDuplicatesAndNulls) {
+  EXPECT_FALSE(Pattern::Create({{0, 1}, {0, 2}}).ok());
+  EXPECT_FALSE(Pattern::Create({{0, kNullValue}}).ok());
+  EXPECT_FALSE(Pattern::Create({{-1, 0}}).ok());
+  EXPECT_FALSE(Pattern::Create({{64, 0}}).ok());
+}
+
+TEST(PatternTest, EmptyPattern) {
+  Pattern p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.size(), 0);
+  EXPECT_TRUE(p.attributes().empty());
+}
+
+TEST(PatternTest, ParseAgainstTable) {
+  Table t = workload::MakeFig2Demo();
+  auto p = Pattern::Parse(
+      t, {{"age group", "under 20"}, {"marital status", "single"}});
+  ASSERT_TRUE(p.ok()) << p.status();
+  EXPECT_EQ(p->size(), 2);
+  EXPECT_EQ(p->attributes(), AttrMask::FromIndices({1, 3}));
+}
+
+TEST(PatternTest, ParseErrors) {
+  Table t = workload::MakeFig2Demo();
+  EXPECT_FALSE(Pattern::Parse(t, {{"nope", "x"}}).ok());
+  EXPECT_FALSE(Pattern::Parse(t, {{"gender", "Alien"}}).ok());
+}
+
+TEST(PatternTest, ValueFor) {
+  auto p = Pattern::Create({{2, 7}, {5, 3}});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->ValueFor(2).value(), 7u);
+  EXPECT_EQ(p->ValueFor(5).value(), 3u);
+  EXPECT_FALSE(p->ValueFor(0).ok());
+}
+
+TEST(PatternTest, RestrictProducesSubPattern) {
+  auto p = Pattern::Create({{0, 1}, {2, 2}, {4, 3}});
+  ASSERT_TRUE(p.ok());
+  Pattern r = p->Restrict(AttrMask::FromIndices({0, 4, 9}));
+  EXPECT_EQ(r.size(), 2);
+  EXPECT_EQ(r.attributes(), AttrMask::FromIndices({0, 4}));
+  EXPECT_EQ(r.ValueFor(0).value(), 1u);
+  // Restriction to a disjoint mask is the empty pattern.
+  EXPECT_TRUE(p->Restrict(AttrMask::FromIndices({1, 3})).empty());
+}
+
+TEST(PatternTest, MatchesRowExample24) {
+  // Example 2.4: tuples 1,3,8,10,12,14 (1-based) satisfy
+  // {age group = under 20, marital status = single}; count is 6.
+  Table t = workload::MakeFig2Demo();
+  auto p = Pattern::Parse(
+      t, {{"age group", "under 20"}, {"marital status", "single"}});
+  ASSERT_TRUE(p.ok());
+  std::vector<int64_t> expected = {0, 2, 7, 9, 11, 13};  // 0-based
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    bool should_match =
+        std::find(expected.begin(), expected.end(), r) != expected.end();
+    EXPECT_EQ(p->MatchesRow(t, r), should_match) << "row " << r;
+  }
+  EXPECT_EQ(CountMatches(t, *p), 6);
+}
+
+TEST(PatternTest, NullNeverMatches) {
+  auto b = TableBuilder::Create({"x"});
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(b->AddRow({"v"}).ok());
+  ASSERT_TRUE(b->AddRow({""}).ok());
+  Table t = b->Build();
+  auto p = Pattern::Parse(t, {{"x", "v"}});
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->MatchesRow(t, 0));
+  EXPECT_FALSE(p->MatchesRow(t, 1));
+  EXPECT_EQ(CountMatches(t, *p), 1);
+}
+
+TEST(PatternTest, EmptyPatternMatchesEverything) {
+  Table t = workload::MakeFig2Demo();
+  Pattern p;
+  EXPECT_EQ(CountMatches(t, p), t.num_rows());
+}
+
+TEST(PatternTest, ToStringUsesSchemaNames) {
+  Table t = workload::MakeFig2Demo();
+  auto p = Pattern::Parse(t, {{"gender", "Female"}, {"race", "Hispanic"}});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->ToString(t), "{gender=Female, race=Hispanic}");
+  EXPECT_EQ(Pattern().ToString(t), "{}");
+}
+
+TEST(PatternTest, EqualityIsTermwise) {
+  auto p1 = Pattern::Create({{0, 1}, {2, 3}});
+  auto p2 = Pattern::Create({{2, 3}, {0, 1}});  // same after sorting
+  auto p3 = Pattern::Create({{0, 1}, {2, 4}});
+  ASSERT_TRUE(p1.ok() && p2.ok() && p3.ok());
+  EXPECT_TRUE(*p1 == *p2);
+  EXPECT_FALSE(*p1 == *p3);
+}
+
+}  // namespace
+}  // namespace pcbl

@@ -1,0 +1,147 @@
+// Tests for equi-width / equi-depth bucketization.
+#include "relation/bucketizer.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace pcbl {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+TEST(BucketizerTest, EquiWidthBoundaries) {
+  auto b = Bucketizer::Fit({0, 10}, 5, BucketStrategy::kEquiWidth);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->num_buckets(), 5);
+  EXPECT_EQ(b->interior_edges(),
+            (std::vector<double>{2, 4, 6, 8}));
+  EXPECT_EQ(b->BucketIndex(0.0), 0);
+  EXPECT_EQ(b->BucketIndex(1.99), 0);
+  EXPECT_EQ(b->BucketIndex(2.0), 1);  // half-open [lo, hi)
+  EXPECT_EQ(b->BucketIndex(9.99), 4);
+  EXPECT_EQ(b->BucketIndex(10.0), 4);  // last bucket closed
+}
+
+TEST(BucketizerTest, OutOfRangeValuesClampToEndBuckets) {
+  auto b = Bucketizer::Fit({0, 10}, 5, BucketStrategy::kEquiWidth);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->BucketIndex(-100.0), 0);
+  EXPECT_EQ(b->BucketIndex(+100.0), 4);
+}
+
+TEST(BucketizerTest, NaNMapsToMissing) {
+  auto b = Bucketizer::Fit({0, 1, kNaN}, 2, BucketStrategy::kEquiWidth);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->BucketIndex(kNaN), -1);
+  EXPECT_EQ(b->BucketLabel(kNaN), "");
+}
+
+TEST(BucketizerTest, DegenerateSingleValue) {
+  auto b = Bucketizer::Fit({7, 7, 7}, 5, BucketStrategy::kEquiWidth);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->num_buckets(), 1);
+  EXPECT_EQ(b->BucketIndex(7), 0);
+}
+
+TEST(BucketizerTest, RejectsBadInput) {
+  EXPECT_FALSE(Bucketizer::Fit({}, 5, BucketStrategy::kEquiWidth).ok());
+  EXPECT_FALSE(
+      Bucketizer::Fit({kNaN, kNaN}, 5, BucketStrategy::kEquiWidth).ok());
+  EXPECT_FALSE(Bucketizer::Fit({1, 2}, 0, BucketStrategy::kEquiWidth).ok());
+}
+
+TEST(BucketizerTest, EquiDepthBalancesCounts) {
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) {
+    values.push_back(std::pow(static_cast<double>(i), 2.0));  // skewed
+  }
+  auto b = Bucketizer::Fit(values, 5, BucketStrategy::kEquiDepth);
+  ASSERT_TRUE(b.ok());
+  std::vector<int> counts(static_cast<size_t>(b->num_buckets()), 0);
+  for (double v : values) ++counts[static_cast<size_t>(b->BucketIndex(v))];
+  for (int c : counts) {
+    EXPECT_GT(c, 150);
+    EXPECT_LT(c, 250);
+  }
+}
+
+TEST(BucketizerTest, EquiDepthCollapsesDuplicateEdges) {
+  // Heavily repeated value: fewer than requested buckets, but no crash
+  // and no empty bucket ranges.
+  std::vector<double> values(100, 5.0);
+  values.push_back(6.0);
+  auto b = Bucketizer::Fit(values, 4, BucketStrategy::kEquiDepth);
+  ASSERT_TRUE(b.ok());
+  EXPECT_LE(b->num_buckets(), 4);
+  EXPECT_GE(b->num_buckets(), 1);
+}
+
+TEST(BucketizerTest, FromEdges) {
+  auto b = Bucketizer::FromEdges(0, 100, {10, 50});
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->num_buckets(), 3);
+  EXPECT_EQ(b->BucketIndex(5), 0);
+  EXPECT_EQ(b->BucketIndex(10), 1);
+  EXPECT_EQ(b->BucketIndex(49.9), 1);
+  EXPECT_EQ(b->BucketIndex(99), 2);
+}
+
+TEST(BucketizerTest, FromEdgesRejectsUnsorted) {
+  EXPECT_FALSE(Bucketizer::FromEdges(0, 10, {5, 5}).ok());
+  EXPECT_FALSE(Bucketizer::FromEdges(0, 10, {7, 3}).ok());
+}
+
+TEST(BucketizerTest, LabelsAreRanges) {
+  auto b = Bucketizer::Fit({0, 10}, 2, BucketStrategy::kEquiWidth);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->LabelOfBucket(0), "[0,5)");
+  EXPECT_EQ(b->LabelOfBucket(1), "[5,10]");
+}
+
+TEST(BucketizeColumnTest, ProducesLabels) {
+  auto labels = BucketizeColumn({1, 2, 3, 4, kNaN}, 2,
+                                BucketStrategy::kEquiWidth);
+  ASSERT_TRUE(labels.ok());
+  ASSERT_EQ(labels->size(), 5u);
+  EXPECT_EQ((*labels)[0], (*labels)[1]);  // 1 and 2 in low bucket
+  EXPECT_NE((*labels)[0], (*labels)[3]);  // 1 and 4 differ
+  EXPECT_EQ((*labels)[4], "");            // NaN is missing
+}
+
+// Property sweep: for every bucket count and strategy, each value lands in
+// the bucket whose label-range contains it.
+class BucketizerPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, BucketStrategy>> {};
+
+TEST_P(BucketizerPropertyTest, IndexConsistentWithEdges) {
+  auto [buckets, strategy] = GetParam();
+  std::vector<double> values;
+  for (int i = 0; i < 500; ++i) {
+    values.push_back(std::sin(i * 0.37) * 50 + i * 0.1);
+  }
+  auto b = Bucketizer::Fit(values, buckets, strategy);
+  ASSERT_TRUE(b.ok());
+  const auto& edges = b->interior_edges();
+  for (double v : values) {
+    int idx = b->BucketIndex(v);
+    ASSERT_GE(idx, 0);
+    ASSERT_LT(idx, b->num_buckets());
+    if (idx > 0) {
+      EXPECT_GE(v, edges[static_cast<size_t>(idx - 1)]);
+    }
+    if (idx < static_cast<int>(edges.size())) {
+      EXPECT_LT(v, edges[static_cast<size_t>(idx)]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BucketizerPropertyTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 8, 16),
+                       ::testing::Values(BucketStrategy::kEquiWidth,
+                                         BucketStrategy::kEquiDepth)));
+
+}  // namespace
+}  // namespace pcbl

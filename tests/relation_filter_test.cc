@@ -1,0 +1,97 @@
+// Tests for pattern-based row filtering.
+#include "relation/filter.h"
+
+#include <gtest/gtest.h>
+
+#include "relation/stats.h"
+#include "workload/datasets.h"
+
+namespace pcbl {
+namespace {
+
+TEST(FilterTest, KeepsExactlyMatchingRows) {
+  Table t = workload::MakeFig2Demo();
+  auto p = Pattern::Parse(
+      t, {{"age group", "under 20"}, {"marital status", "single"}});
+  ASSERT_TRUE(p.ok());
+  auto filtered = FilterRows(t, *p);
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_EQ(filtered->num_rows(), 6);  // Example 2.4's count
+  for (int64_t r = 0; r < filtered->num_rows(); ++r) {
+    EXPECT_EQ(filtered->ValueString(r, 1), "under 20");
+    EXPECT_EQ(filtered->ValueString(r, 3), "single");
+  }
+}
+
+TEST(FilterTest, ComplementPartitionsTable) {
+  Table t = workload::MakeFig2Demo();
+  auto p = Pattern::Parse(t, {{"gender", "Female"}});
+  ASSERT_TRUE(p.ok());
+  auto in = FilterRows(t, *p);
+  auto out = FilterRowsOut(t, *p);
+  ASSERT_TRUE(in.ok() && out.ok());
+  EXPECT_EQ(in->num_rows() + out->num_rows(), t.num_rows());
+  EXPECT_EQ(in->num_rows(), 9);
+}
+
+TEST(FilterTest, DictionariesPreserved) {
+  Table t = workload::MakeFig2Demo();
+  auto p = Pattern::Parse(t, {{"race", "Hispanic"}});
+  ASSERT_TRUE(p.ok());
+  auto filtered = FilterRows(t, *p);
+  ASSERT_TRUE(filtered.ok());
+  // Domain sizes unchanged even though some values no longer occur.
+  for (int a = 0; a < t.num_attributes(); ++a) {
+    EXPECT_EQ(filtered->DomainSize(a), t.DomainSize(a));
+  }
+  // Codes comparable: the same pattern still parses and matches all rows.
+  auto p2 = Pattern::Parse(*filtered, {{"race", "Hispanic"}});
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(CountMatches(*filtered, *p2), filtered->num_rows());
+  // Other-race counts drop to zero, visible in VC.
+  ValueCounts vc = ValueCounts::Compute(*filtered);
+  int race = filtered->schema().FindAttribute("race").value();
+  EXPECT_EQ(vc.Count(race, filtered->dictionary(race).Lookup("Caucasian")),
+            0);
+}
+
+TEST(FilterTest, EmptyPatternKeepsEverything) {
+  Table t = workload::MakeFig2Demo();
+  auto all = FilterRows(t, Pattern());
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->num_rows(), t.num_rows());
+  auto none = FilterRowsOut(t, Pattern());
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(none->num_rows(), 0);
+}
+
+TEST(FilterTest, NullsNeverMatch) {
+  auto b = TableBuilder::Create({"x"});
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(b->AddRow({"v"}).ok());
+  ASSERT_TRUE(b->AddRow({""}).ok());
+  Table t = b->Build();
+  auto p = Pattern::Parse(t, {{"x", "v"}});
+  ASSERT_TRUE(p.ok());
+  auto in = FilterRows(t, *p);
+  ASSERT_TRUE(in.ok());
+  EXPECT_EQ(in->num_rows(), 1);
+  // The NULL row lands in the complement.
+  auto out = FilterRowsOut(t, *p);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_rows(), 1);
+  EXPECT_TRUE(IsNull(out->value(0, 0)));
+}
+
+TEST(FilterTest, RejectsOutOfSchemaPatterns) {
+  Table t = workload::MakeFig2Demo();
+  auto bad_attr = Pattern::Create({PatternTerm{9, 0}});
+  ASSERT_TRUE(bad_attr.ok());
+  EXPECT_FALSE(FilterRows(t, *bad_attr).ok());
+  auto bad_value = Pattern::Create({PatternTerm{0, 99}});
+  ASSERT_TRUE(bad_value.ok());
+  EXPECT_FALSE(FilterRows(t, *bad_value).ok());
+}
+
+}  // namespace
+}  // namespace pcbl

@@ -1,0 +1,99 @@
+// Tests for ValueCounts (the VC set) and attribute summaries.
+#include "relation/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/datasets.h"
+
+namespace pcbl {
+namespace {
+
+Table SmallTable() {
+  auto b = TableBuilder::Create({"x", "y"});
+  PCBL_CHECK(b.ok());
+  PCBL_CHECK(b->AddRow({"a", "p"}).ok());
+  PCBL_CHECK(b->AddRow({"a", "q"}).ok());
+  PCBL_CHECK(b->AddRow({"b", "p"}).ok());
+  PCBL_CHECK(b->AddRow({"", "p"}).ok());  // null in x
+  return b->Build();
+}
+
+TEST(ValueCountsTest, CountsPerValue) {
+  Table t = SmallTable();
+  ValueCounts vc = ValueCounts::Compute(t);
+  EXPECT_EQ(vc.Count(0, t.dictionary(0).Lookup("a")), 2);
+  EXPECT_EQ(vc.Count(0, t.dictionary(0).Lookup("b")), 1);
+  EXPECT_EQ(vc.Count(1, t.dictionary(1).Lookup("p")), 3);
+  EXPECT_EQ(vc.Count(1, t.dictionary(1).Lookup("q")), 1);
+}
+
+TEST(ValueCountsTest, NullsExcludedFromTotals) {
+  Table t = SmallTable();
+  ValueCounts vc = ValueCounts::Compute(t);
+  EXPECT_EQ(vc.NonNullTotal(0), 3);  // one null
+  EXPECT_EQ(vc.NonNullTotal(1), 4);
+  EXPECT_EQ(vc.Count(0, kNullValue), 0);
+}
+
+TEST(ValueCountsTest, DistinctCounts) {
+  Table t = SmallTable();
+  ValueCounts vc = ValueCounts::Compute(t);
+  EXPECT_EQ(vc.DistinctCount(0), 2);
+  EXPECT_EQ(vc.DistinctCount(1), 2);
+}
+
+TEST(ValueCountsTest, TotalEntriesIsVcSize) {
+  Table t = SmallTable();
+  ValueCounts vc = ValueCounts::Compute(t);
+  EXPECT_EQ(vc.TotalEntries(), 4);  // a, b, p, q
+}
+
+TEST(ValueCountsTest, Fig2DemoMatchesExample210) {
+  // Example 2.10 lists the full VC set of the Fig. 2 fragment.
+  Table t = workload::MakeFig2Demo();
+  ValueCounts vc = ValueCounts::Compute(t);
+  auto count = [&](int attr, const char* value) {
+    return vc.Count(attr, t.dictionary(attr).Lookup(value));
+  };
+  EXPECT_EQ(count(0, "Female"), 9);
+  EXPECT_EQ(count(0, "Male"), 9);
+  EXPECT_EQ(count(1, "under 20"), 6);
+  EXPECT_EQ(count(1, "20-39"), 12);
+  EXPECT_EQ(count(2, "African-American"), 6);
+  EXPECT_EQ(count(2, "Hispanic"), 6);
+  EXPECT_EQ(count(2, "Caucasian"), 6);
+  EXPECT_EQ(count(3, "single"), 6);
+  EXPECT_EQ(count(3, "divorced"), 6);
+  EXPECT_EQ(count(3, "married"), 6);
+  EXPECT_EQ(vc.TotalEntries(), 10);  // 2 + 2 + 3 + 3 entries
+}
+
+TEST(SummarizeAttributesTest, Basics) {
+  Table t = SmallTable();
+  auto summaries = SummarizeAttributes(t);
+  ASSERT_EQ(summaries.size(), 2u);
+  EXPECT_EQ(summaries[0].name, "x");
+  EXPECT_EQ(summaries[0].distinct_values, 2);
+  EXPECT_EQ(summaries[0].null_count, 1);
+  EXPECT_EQ(summaries[0].top_value, "a");
+  EXPECT_EQ(summaries[0].top_count, 2);
+  EXPECT_EQ(summaries[1].null_count, 0);
+  EXPECT_EQ(summaries[1].top_value, "p");
+}
+
+TEST(SummarizeAttributesTest, EntropyUniformVsSkewed) {
+  auto b = TableBuilder::Create({"u", "s"});
+  ASSERT_TRUE(b.ok());
+  // u uniform over 4 values; s nearly constant.
+  const char* us[] = {"1", "2", "3", "4"};
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(b->AddRow({us[i % 4], i == 0 ? "rare" : "common"}).ok());
+  }
+  Table t = b->Build();
+  auto summaries = SummarizeAttributes(t);
+  EXPECT_NEAR(summaries[0].entropy_bits, 2.0, 1e-9);
+  EXPECT_LT(summaries[1].entropy_bits, 0.2);
+}
+
+}  // namespace
+}  // namespace pcbl

@@ -1,0 +1,109 @@
+// Tests for table-level bucketization (relation/table_transform).
+#include "relation/table_transform.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "relation/csv.h"
+
+namespace pcbl {
+namespace {
+
+Table MixedTable() {
+  auto t = ReadCsvString(
+      "name,age,salary\n"
+      "alice,30,1000\n"
+      "bob,40,2000\n"
+      "carol,50,3000\n"
+      "dave,60,4000\n"
+      "erin,70,\n");
+  PCBL_CHECK(t.ok());
+  return std::move(*t);
+}
+
+TEST(NumericAttributesTest, DetectsNumericColumns) {
+  Table t = MixedTable();
+  EXPECT_EQ(NumericAttributes(t),
+            (std::vector<std::string>{"age", "salary"}));
+}
+
+TEST(NumericAttributesTest, MixedColumnIsNotNumeric) {
+  auto t = ReadCsvString("x\n1\ntwo\n3\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(NumericAttributes(*t).empty());
+}
+
+TEST(BucketizeAttributesTest, EquiWidthBinsCoverTheRange) {
+  Table t = MixedTable();
+  auto binned = BucketizeAttributes(t, {"age"}, 2, BucketStrategy::kEquiWidth);
+  ASSERT_TRUE(binned.ok()) << binned.status();
+  // ages 30..70 split at 50: {30,40} low, {50,60,70} high.
+  EXPECT_EQ(binned->DomainSize(1), 2u);
+  EXPECT_EQ(binned->ValueString(0, 1), binned->ValueString(1, 1));
+  EXPECT_EQ(binned->ValueString(2, 1), binned->ValueString(4, 1));
+  EXPECT_NE(binned->ValueString(0, 1), binned->ValueString(2, 1));
+  // Untouched columns survive verbatim.
+  EXPECT_EQ(binned->ValueString(0, 0), "alice");
+}
+
+TEST(BucketizeAttributesTest, MissingNumericCellStaysMissing) {
+  Table t = MixedTable();
+  auto binned =
+      BucketizeAttributes(t, {"salary"}, 2, BucketStrategy::kEquiWidth);
+  ASSERT_TRUE(binned.ok());
+  EXPECT_TRUE(IsNull(binned->value(4, 2)));  // erin's empty salary
+  EXPECT_EQ(binned->NullCount(2), 1);
+}
+
+TEST(BucketizeAttributesTest, EquiDepthBalancesCounts) {
+  // 100 skewed values: equi-depth must still split near the median.
+  auto b = TableBuilder::Create({"v"});
+  PCBL_CHECK(b.ok());
+  for (int i = 0; i < 100; ++i) {
+    PCBL_CHECK(b->AddRow({std::to_string(i < 90 ? i : i * 100)}).ok());
+  }
+  Table t = b->Build();
+  auto binned = BucketizeAttributes(t, {"v"}, 2, BucketStrategy::kEquiDepth);
+  ASSERT_TRUE(binned.ok());
+  ASSERT_EQ(binned->DomainSize(0), 2u);
+  // Both buckets hold close to half the rows.
+  int64_t first = 0;
+  for (int64_t r = 0; r < 100; ++r) {
+    if (binned->value(r, 0) == binned->value(0, 0)) ++first;
+  }
+  EXPECT_GE(first, 40);
+  EXPECT_LE(first, 60);
+}
+
+TEST(BucketizeAttributesTest, ValidatesInput) {
+  Table t = MixedTable();
+  EXPECT_FALSE(
+      BucketizeAttributes(t, {"nosuch"}, 2, BucketStrategy::kEquiWidth).ok());
+  EXPECT_FALSE(
+      BucketizeAttributes(t, {"age", "age"}, 2, BucketStrategy::kEquiWidth)
+          .ok());
+  EXPECT_FALSE(
+      BucketizeAttributes(t, {"name"}, 2, BucketStrategy::kEquiWidth).ok());
+  EXPECT_FALSE(
+      BucketizeAttributes(t, {"age"}, 0, BucketStrategy::kEquiWidth).ok());
+}
+
+TEST(BucketizeAttributesTest, RoundTripsThroughCsv) {
+  Table t = MixedTable();
+  auto binned = BucketizeAttributes(t, {"age", "salary"}, 3,
+                                    BucketStrategy::kEquiWidth);
+  ASSERT_TRUE(binned.ok());
+  auto back = ReadCsvString(WriteCsvString(*binned));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_rows(), binned->num_rows());
+  for (int64_t r = 0; r < back->num_rows(); ++r) {
+    for (int a = 0; a < back->num_attributes(); ++a) {
+      EXPECT_EQ(back->ValueString(r, a), binned->ValueString(r, a));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pcbl

@@ -1,0 +1,126 @@
+// Tests for AttrMask set operations and iteration.
+#include "util/attr_mask.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace pcbl {
+namespace {
+
+TEST(AttrMaskTest, DefaultIsEmpty) {
+  AttrMask m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.Count(), 0);
+  EXPECT_EQ(m.bits(), 0u);
+}
+
+TEST(AttrMaskTest, SetTestClear) {
+  AttrMask m;
+  m.Set(3);
+  m.Set(17);
+  EXPECT_TRUE(m.Test(3));
+  EXPECT_TRUE(m.Test(17));
+  EXPECT_FALSE(m.Test(4));
+  EXPECT_EQ(m.Count(), 2);
+  m.Clear(3);
+  EXPECT_FALSE(m.Test(3));
+  EXPECT_EQ(m.Count(), 1);
+}
+
+TEST(AttrMaskTest, AllOfN) {
+  EXPECT_EQ(AttrMask::All(0).Count(), 0);
+  EXPECT_EQ(AttrMask::All(5).Count(), 5);
+  EXPECT_EQ(AttrMask::All(5).bits(), 0b11111u);
+  EXPECT_EQ(AttrMask::All(64).Count(), 64);
+}
+
+TEST(AttrMaskTest, SingleAndWithWithout) {
+  AttrMask m = AttrMask::Single(7);
+  EXPECT_EQ(m.Count(), 1);
+  EXPECT_TRUE(m.Test(7));
+  AttrMask m2 = m.With(9);
+  EXPECT_TRUE(m2.Test(7));
+  EXPECT_TRUE(m2.Test(9));
+  EXPECT_EQ(m2.Without(7), AttrMask::Single(9));
+  // With/Without do not mutate the source.
+  EXPECT_EQ(m.Count(), 1);
+}
+
+TEST(AttrMaskTest, FromIndicesAndToIndices) {
+  AttrMask m = AttrMask::FromIndices({5, 1, 9});
+  std::vector<int> idx = m.ToIndices();
+  EXPECT_EQ(idx, (std::vector<int>{1, 5, 9}));
+}
+
+TEST(AttrMaskTest, SetAlgebra) {
+  AttrMask a = AttrMask::FromIndices({0, 1, 2});
+  AttrMask b = AttrMask::FromIndices({2, 3});
+  EXPECT_EQ(a.Union(b), AttrMask::FromIndices({0, 1, 2, 3}));
+  EXPECT_EQ(a.Intersect(b), AttrMask::Single(2));
+  EXPECT_EQ(a.Minus(b), AttrMask::FromIndices({0, 1}));
+  EXPECT_EQ(b.Minus(a), AttrMask::Single(3));
+}
+
+TEST(AttrMaskTest, SubsetRelations) {
+  AttrMask a = AttrMask::FromIndices({1, 3});
+  AttrMask b = AttrMask::FromIndices({1, 3, 5});
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_TRUE(a.IsSubsetOf(a));
+  EXPECT_TRUE(a.IsStrictSubsetOf(b));
+  EXPECT_FALSE(a.IsStrictSubsetOf(a));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_TRUE(AttrMask().IsSubsetOf(a));
+}
+
+TEST(AttrMaskTest, MinMaxIndex) {
+  AttrMask m = AttrMask::FromIndices({4, 11, 63});
+  EXPECT_EQ(m.MinIndex(), 4);
+  EXPECT_EQ(m.MaxIndex(), 63);
+  EXPECT_EQ(AttrMask::Single(0).MaxIndex(), 0);
+}
+
+TEST(AttrMaskTest, ToStringFormat) {
+  EXPECT_EQ(AttrMask().ToString(), "{}");
+  EXPECT_EQ(AttrMask::FromIndices({2, 0, 5}).ToString(), "{0,2,5}");
+}
+
+TEST(AttrMaskTest, BitsIterator) {
+  AttrMask m = AttrMask::FromIndices({0, 2, 63});
+  std::vector<int> seen;
+  for (int i : AttrMaskBits(m)) seen.push_back(i);
+  EXPECT_EQ(seen, (std::vector<int>{0, 2, 63}));
+}
+
+TEST(AttrMaskTest, BitsIteratorEmptyMask) {
+  int count = 0;
+  for (int i : AttrMaskBits(AttrMask())) {
+    (void)i;
+    ++count;
+  }
+  EXPECT_EQ(count, 0);
+}
+
+TEST(AttrMaskTest, OrderingIsTotalOnBits) {
+  std::set<AttrMask> masks;
+  masks.insert(AttrMask::FromIndices({0}));
+  masks.insert(AttrMask::FromIndices({1}));
+  masks.insert(AttrMask::FromIndices({0, 1}));
+  masks.insert(AttrMask::FromIndices({0}));  // duplicate
+  EXPECT_EQ(masks.size(), 3u);
+}
+
+// Property sweep: ToIndices round-trips through FromIndices for all
+// 2^10 subsets of a 10-attribute universe.
+TEST(AttrMaskPropertyTest, RoundTripAllSubsetsOf10) {
+  for (uint64_t bits = 0; bits < (1u << 10); ++bits) {
+    AttrMask m(bits);
+    AttrMask back = AttrMask::FromIndices(m.ToIndices());
+    EXPECT_EQ(m, back) << bits;
+    EXPECT_EQ(m.Count(), static_cast<int>(m.ToIndices().size()));
+  }
+}
+
+}  // namespace
+}  // namespace pcbl

@@ -1,0 +1,123 @@
+// Tests for the minimal JSON model, writer, and parser.
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+namespace pcbl {
+namespace {
+
+TEST(JsonWriteTest, Scalars) {
+  EXPECT_EQ(JsonValue::Null().Dump(), "null");
+  EXPECT_EQ(JsonValue::Bool(true).Dump(), "true");
+  EXPECT_EQ(JsonValue::Bool(false).Dump(), "false");
+  EXPECT_EQ(JsonValue::Int(-42).Dump(), "-42");
+  EXPECT_EQ(JsonValue::String("hi").Dump(), "\"hi\"");
+}
+
+TEST(JsonWriteTest, StringEscapes) {
+  EXPECT_EQ(JsonValue::String("a\"b").Dump(), "\"a\\\"b\"");
+  EXPECT_EQ(JsonValue::String("a\\b").Dump(), "\"a\\\\b\"");
+  EXPECT_EQ(JsonValue::String("a\nb").Dump(), "\"a\\nb\"");
+  EXPECT_EQ(JsonValue::String("a\tb").Dump(), "\"a\\tb\"");
+  EXPECT_EQ(JsonValue::String(std::string(1, '\x01')).Dump(), "\"\\u0001\"");
+}
+
+TEST(JsonWriteTest, ArrayAndObjectCompact) {
+  JsonValue arr = JsonValue::Array();
+  arr.Append(JsonValue::Int(1));
+  arr.Append(JsonValue::Int(2));
+  EXPECT_EQ(arr.Dump(), "[1,2]");
+
+  JsonValue obj = JsonValue::Object();
+  obj.Set("a", JsonValue::Int(1));
+  obj.Set("b", JsonValue::String("x"));
+  EXPECT_EQ(obj.Dump(), "{\"a\":1,\"b\":\"x\"}");
+}
+
+TEST(JsonWriteTest, SetOverwritesExistingKey) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("a", JsonValue::Int(1));
+  obj.Set("a", JsonValue::Int(2));
+  EXPECT_EQ(obj.Dump(), "{\"a\":2}");
+}
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(ParseJson("null")->is_null());
+  EXPECT_EQ(ParseJson("true")->GetBool().value(), true);
+  EXPECT_EQ(ParseJson("-17")->GetInt().value(), -17);
+  EXPECT_DOUBLE_EQ(ParseJson("2.5")->GetDouble().value(), 2.5);
+  EXPECT_DOUBLE_EQ(ParseJson("1e3")->GetDouble().value(), 1000.0);
+  EXPECT_EQ(ParseJson("\"abc\"")->GetString().value(), "abc");
+}
+
+TEST(JsonParseTest, IntVersusDouble) {
+  EXPECT_TRUE(ParseJson("42")->is_int());
+  EXPECT_TRUE(ParseJson("42.0")->is_double());
+  // A double that holds an integral value still reads as int.
+  EXPECT_EQ(ParseJson("42.0")->GetInt().value(), 42);
+}
+
+TEST(JsonParseTest, NestedStructure) {
+  auto v = ParseJson(R"({"a": [1, {"b": "x"}], "c": null})");
+  ASSERT_TRUE(v.ok()) << v.status();
+  auto a = v->Find("a");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE((*a)->is_array());
+  EXPECT_EQ((*a)->array_items().size(), 2u);
+  auto b = (*a)->array_items()[1].Find("b");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ((*b)->GetString().value(), "x");
+  EXPECT_TRUE(v->Find("c").value()->is_null());
+}
+
+TEST(JsonParseTest, WhitespaceTolerant) {
+  auto v = ParseJson("  {\n\t\"a\" :\r [ 1 , 2 ]  } \n");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->Find("a").value()->array_items().size(), 2u);
+}
+
+TEST(JsonParseTest, StringEscapesRoundTrip) {
+  auto v = ParseJson(R"("a\"b\\c\ndA")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->GetString().value(), "a\"b\\c\ndA");
+}
+
+TEST(JsonParseTest, UnicodeEscapeMultibyte) {
+  auto v = ParseJson("\"\\u00e9\"");  // é
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->GetString().value(), "\xc3\xa9");
+}
+
+TEST(JsonParseTest, Errors) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("{\"a\" 1}").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("tru").ok());
+  EXPECT_FALSE(ParseJson("1 2").ok());
+  EXPECT_FALSE(ParseJson("-").ok());
+}
+
+TEST(JsonParseTest, FindMissingKeyIsNotFound) {
+  auto v = ParseJson("{\"a\":1}");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->Find("b").status().code(), StatusCode::kNotFound);
+}
+
+TEST(JsonRoundTripTest, CompactAndPretty) {
+  const char* text = R"({"name":"x","vals":[1,2.5,"s",null,true]})";
+  auto v = ParseJson(text);
+  ASSERT_TRUE(v.ok());
+  // Compact dump re-parses to the same dump.
+  auto v2 = ParseJson(v->Dump());
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(v->Dump(), v2->Dump());
+  // Pretty dump also re-parses to the same compact dump.
+  auto v3 = ParseJson(v->Dump(2));
+  ASSERT_TRUE(v3.ok());
+  EXPECT_EQ(v->Dump(), v3->Dump());
+}
+
+}  // namespace
+}  // namespace pcbl

@@ -1,0 +1,185 @@
+// Tests for the PCG RNG and the discrete distributions.
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace pcbl {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next32(), b.Next32());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next32() == b.Next32()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    uint32_t v = rng.UniformInt(17);
+    EXPECT_LT(v, 17u);
+  }
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng rng(11);
+  std::set<uint32_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, UniformIntIsRoughlyUniform) {
+  Rng rng(13);
+  const int kBuckets = 10;
+  const int kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.UniformInt(kBuckets)];
+  for (int c : counts) {
+    EXPECT_GT(c, kDraws / kBuckets * 0.9);
+    EXPECT_LT(c, kDraws / kBuckets * 1.1);
+  }
+}
+
+TEST(RngTest, UniformRangeInclusiveBounds) {
+  Rng rng(17);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    if (v == -3) saw_lo = true;
+    if (v == 3) saw_hi = true;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(19);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(23);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(29);
+  double sum = 0;
+  double sum2 = 0;
+  const int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    double v = rng.Gaussian(2.0, 3.0);
+    sum += v;
+    sum2 += v * v;
+  }
+  double mean = sum / kN;
+  double var = sum2 / kN - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(31);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(37);
+  auto sample = rng.SampleWithoutReplacement(1000, 50);
+  EXPECT_EQ(sample.size(), 50u);
+  std::set<int64_t> s(sample.begin(), sample.end());
+  EXPECT_EQ(s.size(), 50u);
+  for (int64_t x : sample) {
+    EXPECT_GE(x, 0);
+    EXPECT_LT(x, 1000);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFullPopulation) {
+  Rng rng(41);
+  auto sample = rng.SampleWithoutReplacement(20, 20);
+  std::set<int64_t> s(sample.begin(), sample.end());
+  EXPECT_EQ(s.size(), 20u);
+}
+
+TEST(RngTest, SampleWithoutReplacementZero) {
+  Rng rng(43);
+  EXPECT_TRUE(rng.SampleWithoutReplacement(10, 0).empty());
+}
+
+TEST(DiscreteDistributionTest, ProbabilitiesNormalized) {
+  DiscreteDistribution d({2.0, 6.0, 2.0});
+  EXPECT_NEAR(d.Probability(0), 0.2, 1e-12);
+  EXPECT_NEAR(d.Probability(1), 0.6, 1e-12);
+  EXPECT_NEAR(d.Probability(2), 0.2, 1e-12);
+}
+
+TEST(DiscreteDistributionTest, SamplesFollowWeights) {
+  DiscreteDistribution d({1.0, 3.0});
+  Rng rng(47);
+  int ones = 0;
+  const int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    if (d.Sample(rng) == 1) ++ones;
+  }
+  EXPECT_NEAR(ones / static_cast<double>(kN), 0.75, 0.01);
+}
+
+TEST(DiscreteDistributionTest, ZeroWeightValueNeverSampled) {
+  DiscreteDistribution d({1.0, 0.0, 1.0});
+  Rng rng(53);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_NE(d.Sample(rng), 1);
+  }
+}
+
+TEST(ZipfDistributionTest, RanksAreMonotonicallyLessLikely) {
+  ZipfDistribution z(10, 1.0);
+  for (int k = 1; k < 10; ++k) {
+    EXPECT_GT(z.Probability(k - 1), z.Probability(k));
+  }
+}
+
+TEST(ZipfDistributionTest, SkewZeroIsUniform) {
+  ZipfDistribution z(4, 0.0);
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_NEAR(z.Probability(k), 0.25, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace pcbl

@@ -1,0 +1,112 @@
+// Tests for ThreadPool and ParallelFor.
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace pcbl {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIdleOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.WaitIdle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, DrainsQueueOnDestruction) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    // No WaitIdle: the destructor must still run everything.
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, ClampsThreadCountToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossWaves) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int wave = 0; wave < 5; ++wave) {
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.WaitIdle();
+    EXPECT_EQ(counter.load(), (wave + 1) * 20);
+  }
+}
+
+TEST(ParallelForTest, CoversEachIndexExactlyOnce) {
+  for (int threads : {1, 2, 4, 16}) {
+    std::vector<std::atomic<int>> hits(257);
+    for (auto& h : hits) h.store(0);
+    ParallelFor(257, threads, [&](int64_t i) {
+      hits[static_cast<size_t>(i)].fetch_add(1);
+    });
+    for (size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+TEST(ParallelForTest, ZeroAndNegativeCountsAreNoOps) {
+  int calls = 0;
+  ParallelFor(0, 4, [&](int64_t) { ++calls; });
+  ParallelFor(-5, 4, [&](int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelForTest, MoreThreadsThanItems) {
+  std::atomic<int64_t> sum{0};
+  ParallelFor(3, 64, [&](int64_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 0 + 1 + 2);
+}
+
+TEST(ParallelForTest, SerialPathRunsInOrder) {
+  std::vector<int64_t> order;
+  ParallelFor(10, 1, [&](int64_t i) { order.push_back(i); });
+  std::vector<int64_t> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ParallelForTest, AggregationMatchesSerial) {
+  const int64_t n = 10000;
+  std::atomic<int64_t> parallel_sum{0};
+  ParallelFor(n, 8, [&](int64_t i) { parallel_sum.fetch_add(i * i); });
+  int64_t serial_sum = 0;
+  for (int64_t i = 0; i < n; ++i) serial_sum += i * i;
+  EXPECT_EQ(parallel_sum.load(), serial_sum);
+}
+
+TEST(DefaultThreadCountTest, IsPositive) {
+  EXPECT_GE(DefaultThreadCount(), 1);
+}
+
+}  // namespace
+}  // namespace pcbl

@@ -1,0 +1,12 @@
+// The `pcbl` command-line tool. All logic lives in src/cli (testable
+// without a process boundary); this file only adapts main().
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return pcbl::cli::RunCli(args, std::cout, std::cerr);
+}
