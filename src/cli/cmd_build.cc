@@ -12,6 +12,7 @@
 #include "core/portable_label.h"
 #include "core/search.h"
 #include "util/str.h"
+#include "util/thread_pool.h"
 
 namespace pcbl {
 namespace cli {
@@ -30,6 +31,13 @@ constexpr char kUsage[] =
     "                     (e.g. sensitive) attributes instead of P_A\n"
     "                     (Definition 2.15's custom pattern set)\n"
     "  --time-limit SECS  cap candidate generation (0 = unlimited)\n"
+    "  --threads N        worker threads for candidate sizing/ranking\n"
+    "                     (0 = all hardware threads; results are\n"
+    "                     identical for any value)\n"
+    "  --no-engine        size candidates with serial per-subset scans\n"
+    "                     instead of the batched+memoized counting engine\n"
+    "  --cache-budget N   engine memoization budget in cached group\n"
+    "                     entries (0 disables memoization)\n"
     "  --out FILE         save the portable label (JSON; see --binary)\n"
     "  --binary           save in the compact binary format instead\n"
     "  --name NAME        dataset display name stored in the label\n";
@@ -45,9 +53,10 @@ int CmdBuild(const Args& args, std::ostream& out, std::ostream& err) {
     out << kUsage;
     return kExitOk;
   }
-  if (Status s =
-          args.CheckKnown({"help", "bound", "algo", "metric", "focus",
-                           "time-limit", "out", "binary", "name"});
+  if (Status s = args.CheckKnown({"help", "bound", "algo", "metric",
+                                  "focus", "time-limit", "threads",
+                                  "no-engine", "cache-budget", "out",
+                                  "binary", "name"});
       !s.ok()) {
     return FailWith(s, "build", err);
   }
@@ -59,6 +68,13 @@ int CmdBuild(const Args& args, std::ostream& out, std::ostream& err) {
   if (!bound.ok()) return FailWith(bound.status(), "build", err);
   auto time_limit = args.GetDouble("time-limit", 0.0);
   if (!time_limit.ok()) return FailWith(time_limit.status(), "build", err);
+  auto threads = args.GetInt("threads", 0);
+  if (!threads.ok()) return FailWith(threads.status(), "build", err);
+  auto cache_budget =
+      args.GetInt("cache-budget", SearchOptions().counting_cache_budget);
+  if (!cache_budget.ok()) {
+    return FailWith(cache_budget.status(), "build", err);
+  }
   auto metric = ParseMetric(args.GetString("metric", "max-abs"));
   if (!metric.ok()) return FailWith(metric.status(), "build", err);
   const std::string algo = ToLower(args.GetString("algo", "topdown"));
@@ -99,6 +115,10 @@ int CmdBuild(const Args& args, std::ostream& out, std::ostream& err) {
   options.size_bound = *bound;
   options.metric = *metric;
   options.time_limit_seconds = *time_limit;
+  options.num_threads = *threads > 0 ? static_cast<int>(*threads)
+                                     : DefaultThreadCount();
+  options.use_counting_engine = !args.GetBool("no-engine");
+  options.counting_cache_budget = *cache_budget;
   const SearchResult result =
       algo == "naive" ? search.Naive(options) : search.TopDown(options);
 
@@ -118,6 +138,12 @@ int CmdBuild(const Args& args, std::ostream& out, std::ostream& err) {
   out << "label size |PC|:   " << result.label.size() << "\n";
   out << "subsets examined:  " << result.stats.subsets_examined
       << (result.stats.timed_out ? " (time limit hit)" : "") << "\n";
+  if (options.use_counting_engine) {
+    out << "candidate sizing:  " << result.stats.counting.direct_scans
+        << " scans, " << result.stats.counting.rollups << " rollups, "
+        << result.stats.counting.cache_hits << " cache hits ("
+        << options.num_threads << " threads)\n";
+  }
   out << StrFormat("search time:       %.3f s\n", result.stats.total_seconds);
   out << "error over " << focus_desc << ":\n"
       << FormatErrorReport(result.error, table->num_rows());

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "util/logging.h"
 
@@ -9,12 +10,19 @@ namespace pcbl {
 
 Label Label::Build(const Table& table, AttrMask s,
                    std::shared_ptr<const ValueCounts> vc) {
+  // PC holds tuple restrictions of arity >= 2 (see counter.h); on
+  // NULL-free data this is exactly Definition 2.9's pattern set.
+  return BuildFromCounts(table, s, ComputePatternCounts(table, s),
+                         std::move(vc));
+}
+
+Label Label::BuildFromCounts(const Table& table, AttrMask s, GroupCounts pc,
+                             std::shared_ptr<const ValueCounts> vc) {
+  PCBL_DCHECK(pc.mask() == s);
   Label l;
   l.attrs_ = s;
   l.total_rows_ = table.num_rows();
-  // PC holds tuple restrictions of arity >= 2 (see counter.h); on
-  // NULL-free data this is exactly Definition 2.9's pattern set.
-  l.pc_ = ComputePatternCounts(table, s);
+  l.pc_ = std::move(pc);
   l.vc_ = vc != nullptr
               ? std::move(vc)
               : std::make_shared<const ValueCounts>(

@@ -36,6 +36,15 @@ class Label {
   static Label Build(const Table& table, AttrMask s,
                      std::shared_ptr<const ValueCounts> vc = nullptr);
 
+  /// Same, but reuses an already-computed PC set instead of rescanning the
+  /// table. `pc` must equal ComputePatternCounts(table, s) — the
+  /// CountingEngine cache provides exactly that, which lets the search's
+  /// ranking phase build candidate labels without recounting.
+  static Label BuildFromCounts(const Table& table, AttrMask s,
+                               GroupCounts pc,
+                               std::shared_ptr<const ValueCounts> vc =
+                                   nullptr);
+
   /// The attribute subset S.
   AttrMask attributes() const { return attrs_; }
 

@@ -314,6 +314,8 @@ class BinaryReader {
 
   bool AtEnd() const { return pos_ == bytes_.size(); }
 
+  size_t remaining() const { return bytes_.size() - pos_; }
+
  private:
   static Status TruncatedError() {
     return InvalidArgumentError("truncated binary label");
@@ -377,7 +379,10 @@ Result<PortableLabel> PortableLabelFromBinary(const std::string& bytes) {
   for (uint32_t a = 0; a < num_attrs; ++a) {
     PCBL_ASSIGN_OR_RETURN(uint32_t n, reader.ReadU32());
     std::vector<std::pair<std::string, int64_t>> entries;
-    entries.reserve(n);
+    // Clamp the pre-allocation by what the remaining bytes could possibly
+    // encode (each entry is >= 12 bytes): a corrupted count must fail with
+    // a truncation Status below, not a bad_alloc here.
+    entries.reserve(std::min<size_t>(n, reader.remaining() / 12));
     for (uint32_t i = 0; i < n; ++i) {
       PCBL_ASSIGN_OR_RETURN(std::string value, reader.ReadString());
       PCBL_ASSIGN_OR_RETURN(int64_t count, reader.ReadI64());

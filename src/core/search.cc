@@ -1,16 +1,35 @@
 #include "core/search.h"
 
 #include <algorithm>
-#include <deque>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "pattern/counter.h"
+#include "pattern/counting_engine.h"
 #include "pattern/lattice.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
 namespace pcbl {
+
+namespace {
+
+// Candidate masks are sized through the engine in batches of this many;
+// the time limit is checked between batches (the seed checked every 1024
+// serial sizings — same cadence).
+constexpr size_t kSizingChunk = 1024;
+
+CountingEngineOptions EngineOptions(const SearchOptions& options) {
+  CountingEngineOptions engine_options;
+  engine_options.enabled = options.use_counting_engine;
+  engine_options.num_threads = options.num_threads;
+  engine_options.cache_budget = options.counting_cache_budget;
+  return engine_options;
+}
+
+}  // namespace
 
 LabelSearch::LabelSearch(const Table& table)
     : table_(&table),
@@ -37,7 +56,8 @@ ErrorReport LabelSearch::Evaluate(const CardinalityEstimator& estimator,
 SearchResult LabelSearch::Finish(const std::vector<AttrMask>& cands,
                                  const SearchOptions& options,
                                  SearchStats stats,
-                                 double candidate_seconds) const {
+                                 double candidate_seconds,
+                                 const CountingEngine* engine) const {
   Stopwatch eval_watch;
   SearchResult result;
 
@@ -46,6 +66,21 @@ SearchResult LabelSearch::Finish(const std::vector<AttrMask>& cands,
   ErrorMode mode = options.metric == OptimizationMetric::kMaxAbsolute
                        ? options.candidate_error_mode
                        : ErrorMode::kExact;
+
+  // Every within-bound candidate was just counted by the generation
+  // phase; with the engine on, its PC set is still memoized and the label
+  // builds without touching the table again (CachedPatternCounts is a
+  // const probe — safe under the ParallelFor). Evicted or uncached
+  // candidates fall back to the direct recount.
+  auto build_label = [&](AttrMask s) {
+    if (engine != nullptr) {
+      std::shared_ptr<const GroupCounts> pc = engine->CachedPatternCounts(s);
+      if (pc != nullptr) {
+        return Label::BuildFromCounts(*table_, s, *pc, vc_);
+      }
+    }
+    return Label::Build(*table_, s, vc_);
+  };
 
   // Each candidate's evaluation is independent, read-only work over the
   // immutable table/VC/P_A, so the ranking loop runs under ParallelFor.
@@ -59,8 +94,7 @@ SearchResult LabelSearch::Finish(const std::vector<AttrMask>& cands,
   std::vector<Ranked> ranked(cands.size());
   ParallelFor(static_cast<int64_t>(cands.size()), options.num_threads,
               [&](int64_t i) {
-                Label label =
-                    Label::Build(*table_, cands[static_cast<size_t>(i)], vc_);
+                Label label = build_label(cands[static_cast<size_t>(i)]);
                 LabelEstimator estimator(std::move(label));
                 ErrorReport report = Evaluate(estimator, mode);
                 ranked[static_cast<size_t>(i)] =
@@ -102,10 +136,11 @@ SearchResult LabelSearch::Finish(const std::vector<AttrMask>& cands,
   }
 
   result.best_attrs = best_attrs;  // empty mask when no candidate fit
-  result.label = Label::Build(*table_, best_attrs, vc_);
+  result.label = build_label(best_attrs);
   stats.error_eval_seconds = eval_watch.ElapsedSeconds();
   stats.candidate_seconds = candidate_seconds;
   stats.total_seconds = candidate_seconds + stats.error_eval_seconds;
+  if (engine != nullptr) stats.counting = engine->stats();
   // The final label is always certified with an exact scan.
   LabelEstimator final_estimator(result.label);
   result.error = Evaluate(final_estimator, ErrorMode::kExact);
@@ -118,70 +153,116 @@ SearchResult LabelSearch::Naive(const SearchOptions& options) const {
   SearchStats stats;
   std::vector<AttrMask> cands;
   const int n = table_->num_attributes();
+  CountingEngine engine(*table_, EngineOptions(options));
 
   // Level-wise enumeration, starting with subsets of size 2 (Sec. III):
   // singleton labels carry no information beyond VC. A level with no
   // within-bound label terminates the scan: supersets only grow labels.
+  // Each level streams through the engine in sizing batches; the masks of
+  // a chunk are counted concurrently, then accounted serially in
+  // enumeration order, so the candidate set matches the serial algorithm
+  // exactly.
+  std::vector<AttrMask> chunk;
+  std::vector<int64_t> sizes;
   for (int level = 2; level <= n && !stats.timed_out; ++level) {
     bool any_within_bound = false;
-    ForEachSubsetOfSize(n, level, [&](AttrMask s) {
-      if (stats.timed_out) return;
-      ++stats.subsets_examined;
+    SubsetOfSizeEnumerator subsets(n, level);
+    bool exhausted = false;
+    while (!exhausted && !stats.timed_out) {
+      chunk.clear();
+      while (chunk.size() < kSizingChunk) {
+        AttrMask s;
+        if (!subsets.Next(&s)) {
+          exhausted = true;
+          break;
+        }
+        chunk.push_back(s);
+      }
+      if (chunk.empty()) break;
+      sizes = engine.CountPatternsBatch(chunk, options.size_bound);
+      for (size_t i = 0; i < chunk.size(); ++i) {
+        ++stats.subsets_examined;
+        if (sizes[i] <= options.size_bound) {
+          any_within_bound = true;
+          ++stats.within_bound;
+          cands.push_back(chunk[i]);
+        }
+      }
       if (options.time_limit_seconds > 0 &&
-          (stats.subsets_examined & 1023) == 0 &&
           watch.ElapsedSeconds() > options.time_limit_seconds) {
         stats.timed_out = true;
-        return;
       }
-      int64_t size = CountDistinctPatterns(*table_, s, options.size_bound);
-      if (size <= options.size_bound) {
-        any_within_bound = true;
-        ++stats.within_bound;
-        cands.push_back(s);
-      }
-    });
+    }
     stats.levels_completed = level - 1;  // levels beyond the start size
     if (!any_within_bound) break;
   }
-  return Finish(cands, options, stats, watch.ElapsedSeconds());
+  return Finish(cands, options, stats, watch.ElapsedSeconds(), &engine);
 }
 
 SearchResult LabelSearch::TopDown(const SearchOptions& options) const {
   Stopwatch watch;
   SearchStats stats;
   const int n = table_->num_attributes();
+  CountingEngine engine(*table_, EngineOptions(options));
 
-  // Algorithm 1. Q starts as gen({}) — the singletons; cands collects the
-  // within-budget subsets generated by gen(), with dominated parents
-  // removed (Proposition 3.2: a superset's label is at least as accurate).
-  std::deque<AttrMask> queue;
-  for (AttrMask s : Gen(AttrMask(), n)) queue.push_back(s);
+  // Algorithm 1, batched: the frontier holds the within-budget subsets of
+  // the current wave (the FIFO queue of the serial formulation processes
+  // them in exactly this order); their gen() children are sized in
+  // parallel chunks, then accounted serially in generation order. cands
+  // collects the within-budget subsets with dominated parents removed
+  // (Proposition 3.2: a superset's label is at least as accurate). Every
+  // child is generated exactly once (Proposition 3.8), so no dedup is
+  // needed before sizing.
+  std::vector<AttrMask> frontier;
+  for (AttrMask s : Gen(AttrMask(), n)) frontier.push_back(s);
 
   std::unordered_set<uint64_t> cand_set;
   std::vector<AttrMask> cand_order;  // insertion order, for determinism
 
-  while (!queue.empty() && !stats.timed_out) {
-    AttrMask curr = queue.front();
-    queue.pop_front();
-    for (AttrMask c : Gen(curr, n)) {
-      ++stats.subsets_examined;
+  std::vector<AttrMask> chunk;
+  std::vector<int64_t> sizes;
+  std::vector<AttrMask> next_frontier;
+  while (!frontier.empty() && !stats.timed_out) {
+    next_frontier.clear();
+    size_t f = 0;                   // frontier cursor
+    std::vector<AttrMask> gen;      // children of frontier[f], buffered
+    size_t g = 0;                   // cursor into gen
+    bool exhausted = false;
+    while (!exhausted && !stats.timed_out) {
+      chunk.clear();
+      while (chunk.size() < kSizingChunk) {
+        if (g == gen.size()) {
+          if (f == frontier.size()) {
+            exhausted = true;
+            break;
+          }
+          gen = Gen(frontier[f++], n);
+          g = 0;
+          continue;
+        }
+        chunk.push_back(gen[g++]);
+      }
+      if (chunk.empty()) break;
+      sizes = engine.CountPatternsBatch(chunk, options.size_bound);
+      for (size_t i = 0; i < chunk.size(); ++i) {
+        ++stats.subsets_examined;
+        if (sizes[i] > options.size_bound) continue;
+        const AttrMask c = chunk[i];
+        ++stats.within_bound;
+        next_frontier.push_back(c);
+        // removeParents(cands, c): drop every parent of c from cands.
+        for (AttrMask parent : Parents(c)) {
+          cand_set.erase(parent.bits());
+        }
+        cand_set.insert(c.bits());
+        cand_order.push_back(c);
+      }
       if (options.time_limit_seconds > 0 &&
-          (stats.subsets_examined & 1023) == 0 &&
           watch.ElapsedSeconds() > options.time_limit_seconds) {
         stats.timed_out = true;
-        break;
       }
-      int64_t size = CountDistinctPatterns(*table_, c, options.size_bound);
-      if (size > options.size_bound) continue;
-      ++stats.within_bound;
-      queue.push_back(c);
-      // removeParents(cands, c): drop every parent of c from cands.
-      for (AttrMask parent : Parents(c)) {
-        cand_set.erase(parent.bits());
-      }
-      cand_set.insert(c.bits());
-      cand_order.push_back(c);
     }
+    frontier.swap(next_frontier);
   }
 
   std::vector<AttrMask> cands;
@@ -192,7 +273,7 @@ SearchResult LabelSearch::TopDown(const SearchOptions& options) const {
       cand_set.erase(s.bits());  // deduplicate while preserving order
     }
   }
-  return Finish(cands, options, stats, watch.ElapsedSeconds());
+  return Finish(cands, options, stats, watch.ElapsedSeconds(), &engine);
 }
 
 }  // namespace pcbl

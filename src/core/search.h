@@ -26,6 +26,7 @@
 #include "core/error.h"
 #include "core/label.h"
 #include "core/pattern_set.h"
+#include "pattern/counting_engine.h"
 #include "pattern/full_pattern_index.h"
 #include "relation/stats.h"
 #include "relation/table.h"
@@ -52,11 +53,24 @@ struct SearchOptions {
   /// Record per-candidate sizes/errors in SearchResult::candidates.
   bool record_candidates = false;
 
-  /// Worker threads for the candidate-ranking phase (the error evaluation
-  /// of every surviving candidate — independent read-only work). 1 =
-  /// serial. The result is bit-identical for any thread count; only
-  /// wall-clock changes. See bench_ablation_parallel.
+  /// Worker threads for the candidate-sizing and candidate-ranking phases
+  /// (independent read-only work over the immutable table). 1 = serial.
+  /// The result is bit-identical for any thread count; only wall-clock
+  /// changes. See bench_ablation_parallel and
+  /// bench_micro_counting_engine.
   int num_threads = 1;
+
+  /// Candidate sizing goes through the CountingEngine: lattice levels are
+  /// sized in parallel batches, within-bound PC sets are memoized and
+  /// reused by the ranking phase (and rolled up where possible) instead
+  /// of rescanning the table per subset. Disabling reverts to the serial
+  /// one-shot counters; results are byte-identical either way.
+  bool use_counting_engine = true;
+
+  /// Memoization budget of the counting engine, in cached group entries
+  /// summed over all cached PC sets (0 disables memoization; batched
+  /// sizing still applies). See CountingEngineOptions::cache_budget.
+  int64_t counting_cache_budget = int64_t{1} << 20;
 
   /// Abort candidate generation after this many seconds (0 = unlimited)
   /// and fall through to ranking whatever was collected; SearchStats::
@@ -84,6 +98,8 @@ struct SearchStats {
   double error_eval_seconds = 0.0;
   /// True when candidate generation hit SearchOptions::time_limit_seconds.
   bool timed_out = false;
+  /// Counting-engine observability (cache hits, rollups, direct scans).
+  CountingEngineStats counting;
 };
 
 /// One surviving candidate (for ablation/debugging output).
@@ -141,10 +157,12 @@ class LabelSearch {
 
  private:
   // Ranks `cands` by (exactness-ordered) max error and assembles the
-  // SearchResult; shared tail of both algorithms.
+  // SearchResult; shared tail of both algorithms. `engine` (may be null)
+  // supplies memoized PC sets so candidate labels skip the recount.
   SearchResult Finish(const std::vector<AttrMask>& cands,
                       const SearchOptions& options, SearchStats stats,
-                      double candidate_seconds) const;
+                      double candidate_seconds,
+                      const CountingEngine* engine) const;
 
   // Evaluates one estimator against the active pattern set (P_A or the
   // user-supplied one).

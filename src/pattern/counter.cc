@@ -3,20 +3,16 @@
 #include <algorithm>
 #include <limits>
 #include <unordered_map>
-#include <unordered_set>
 
+#include "pattern/restriction_codec.h"
 #include "util/hash.h"
 #include "util/logging.h"
 
 namespace pcbl {
 
-// Build-time access to GroupCounts internals (implementation detail).
-struct GroupCountsAccess {
-  static std::vector<int>& attrs(GroupCounts& g) { return g.attrs_; }
-  static AttrMask& mask(GroupCounts& g) { return g.mask_; }
-  static std::vector<ValueId>& keys(GroupCounts& g) { return g.keys_; }
-  static std::vector<int64_t>& counts(GroupCounts& g) { return g.counts_; }
-};
+using counting::CodeCountMap;
+using counting::CodeSet;
+using counting::NullableRadixMultipliers;
 
 namespace {
 
@@ -240,59 +236,6 @@ GroupCounts ComputeGroupCounts(const Table& table, AttrMask mask,
 
 namespace {
 
-// Mixed-radix multipliers over domain size + 1 (the extra slot encodes
-// NULL), for restriction keys. Returns empty when the space overflows.
-std::vector<int64_t> NullableRadixMultipliers(const Table& table,
-                                              const std::vector<int>& attrs,
-                                              bool* ok) {
-  std::vector<int64_t> mult(attrs.size());
-  int64_t m = 1;
-  *ok = true;
-  for (size_t j = attrs.size(); j-- > 0;) {
-    mult[j] = m;
-    int64_t dom = static_cast<int64_t>(table.DomainSize(attrs[j])) + 1;
-    if (m > std::numeric_limits<int64_t>::max() / dom) {
-      *ok = false;
-      return mult;
-    }
-    m *= dom;
-  }
-  return mult;
-}
-
-// Encodes the restriction of `row` to `attrs`: NULL maps to the domain
-// size (the last slot). Returns the arity (bound attributes).
-inline int EncodeRestriction(const Table& table,
-                             const std::vector<int>& attrs,
-                             const std::vector<int64_t>& mult, int64_t row,
-                             int64_t* out) {
-  int64_t code = 0;
-  int arity = 0;
-  for (size_t j = 0; j < attrs.size(); ++j) {
-    ValueId v = table.value(row, attrs[j]);
-    int64_t slot;
-    if (IsNull(v)) {
-      slot = table.DomainSize(attrs[j]);
-    } else {
-      slot = static_cast<int64_t>(v);
-      ++arity;
-    }
-    code += slot * mult[j];
-  }
-  *out = code;
-  return arity;
-}
-
-void DecodeRestriction(int64_t code, const Table& table,
-                       const std::vector<int>& attrs,
-                       const std::vector<int64_t>& mult, ValueId* out) {
-  for (size_t j = 0; j < attrs.size(); ++j) {
-    int64_t dom = static_cast<int64_t>(table.DomainSize(attrs[j]));
-    int64_t slot = (code / mult[j]) % (dom + 1);
-    out[j] = slot == dom ? kNullValue : static_cast<ValueId>(slot);
-  }
-}
-
 // Sort-based fallback for restriction counting when the nullable key
 // space overflows 64 bits (does not occur in the paper's datasets).
 GroupCounts SortRestrictionCounts(const Table& table, AttrMask mask) {
@@ -342,80 +285,66 @@ GroupCounts SortRestrictionCounts(const Table& table, AttrMask mask) {
   return out;
 }
 
-}  // namespace
-
-namespace {
-
-// Open-addressing code -> count map for the restriction-counting hot
-// path (the search builds thousands of candidate labels per run).
-class CodeCountMap {
- public:
-  explicit CodeCountMap(size_t expected) {
-    size_t cap = 32;
-    while (cap < expected * 2) cap <<= 1;
-    codes_.assign(cap, kEmpty);
-    counts_.assign(cap, 0);
-    mask_ = cap - 1;
-  }
-
-  void Increment(int64_t code) {
-    if (size_ * 2 >= codes_.size()) Grow();
-    size_t i = static_cast<size_t>(Mix64(static_cast<uint64_t>(code))) &
-               mask_;
-    while (codes_[i] != kEmpty && codes_[i] != code) i = (i + 1) & mask_;
-    if (codes_[i] == kEmpty) {
-      codes_[i] = code;
-      ++size_;
+// Counting-only variant of SortRestrictionCounts with the same early-exit
+// budget contract as CountDistinctPatterns: the sort itself cannot be
+// skipped, but run counting stops (and no keys/counts are materialized)
+// once the distinct count exceeds `budget`.
+int64_t SortRestrictionCountsSize(const Table& table, AttrMask mask,
+                                  int64_t budget) {
+  std::vector<int> attrs = MaskAttrs(mask);
+  size_t width = attrs.size();
+  if (width < 2) return 0;
+  std::vector<ValueId> rows;
+  rows.reserve(static_cast<size_t>(table.num_rows()) * width);
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    int arity = 0;
+    size_t base = rows.size();
+    rows.resize(base + width);
+    for (size_t j = 0; j < width; ++j) {
+      ValueId v = table.value(r, attrs[j]);
+      rows[base + j] = v;
+      if (!IsNull(v)) ++arity;
     }
-    ++counts_[i];
+    if (arity < 2) rows.resize(base);  // drop low-arity restrictions
   }
-
-  std::vector<std::pair<int64_t, int64_t>> Items() const {
-    std::vector<std::pair<int64_t, int64_t>> items;
-    items.reserve(size_);
-    for (size_t i = 0; i < codes_.size(); ++i) {
-      if (codes_[i] != kEmpty) items.emplace_back(codes_[i], counts_[i]);
+  size_t n = rows.size() / width;
+  std::vector<int64_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = static_cast<int64_t>(i);
+  const ValueId* data = rows.data();
+  std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    const ValueId* ka = data + static_cast<size_t>(a) * width;
+    const ValueId* kb = data + static_cast<size_t>(b) * width;
+    return std::lexicographical_compare(ka, ka + width, kb, kb + width);
+  });
+  int64_t distinct = 0;
+  size_t i = 0;
+  while (i < n) {
+    const ValueId* ki = data + static_cast<size_t>(order[i]) * width;
+    size_t j = i + 1;
+    while (j < n) {
+      const ValueId* kj = data + static_cast<size_t>(order[j]) * width;
+      if (!std::equal(ki, ki + width, kj)) break;
+      ++j;
     }
-    return items;
+    ++distinct;
+    if (budget >= 0 && distinct > budget) return distinct;
+    i = j;
   }
-
- private:
-  static constexpr int64_t kEmpty = -1;  // codes are non-negative
-
-  void Grow() {
-    std::vector<int64_t> old_codes = std::move(codes_);
-    std::vector<int64_t> old_counts = std::move(counts_);
-    codes_.assign(old_codes.size() * 2, kEmpty);
-    counts_.assign(old_counts.size() * 2, 0);
-    mask_ = codes_.size() - 1;
-    for (size_t i = 0; i < old_codes.size(); ++i) {
-      if (old_codes[i] == kEmpty) continue;
-      size_t j = static_cast<size_t>(
-                     Mix64(static_cast<uint64_t>(old_codes[i]))) &
-                 mask_;
-      while (codes_[j] != kEmpty) j = (j + 1) & mask_;
-      codes_[j] = old_codes[i];
-      counts_[j] = old_counts[i];
-    }
-  }
-
-  std::vector<int64_t> codes_;
-  std::vector<int64_t> counts_;
-  size_t mask_ = 0;
-  size_t size_ = 0;
-};
+  return distinct;
+}
 
 }  // namespace
 
 GroupCounts ComputePatternCounts(const Table& table, AttrMask mask) {
-  GroupCounts out;
-  Access::mask(out) = mask;
-  std::vector<int>& attrs = Access::attrs(out);
-  std::vector<ValueId>& keys = Access::keys(out);
-  std::vector<int64_t>& group_counts = Access::counts(out);
-  attrs = MaskAttrs(mask);
+  std::vector<int> attrs = MaskAttrs(mask);
   size_t width = attrs.size();
-  if (width < 2) return out;  // arity-1 info lives in VC; nothing to store
+  if (width < 2) {
+    // Arity-1 info lives in VC; nothing to store beyond the layout.
+    GroupCounts out;
+    Access::mask(out) = mask;
+    Access::attrs(out) = std::move(attrs);
+    return out;
+  }
 
   bool encodable = false;
   std::vector<int64_t> mult =
@@ -447,71 +376,9 @@ GroupCounts ComputePatternCounts(const Table& table, AttrMask mask) {
     }
     if (arity >= 2) counts.Increment(code);
   }
-  std::vector<std::pair<int64_t, int64_t>> items = counts.Items();
-  std::sort(items.begin(), items.end());
-  for (const auto& [code, c] : items) {
-    size_t base = keys.size();
-    keys.resize(base + width);
-    DecodeRestriction(code, table, attrs, mult, keys.data() + base);
-    group_counts.push_back(c);
-  }
-  return out;
+  return counting::MaterializeFromCodes(table, mask, attrs, mult,
+                                        counts.Items());
 }
-
-namespace {
-
-// Open-addressing set of 64-bit codes for the sizing hot loop: the search
-// algorithms call CountDistinctPatterns millions of times, so the
-// std::unordered_set allocation/probing cost dominates without this.
-class CodeSet {
- public:
-  explicit CodeSet(size_t expected) {
-    size_t cap = 16;
-    while (cap < expected * 2) cap <<= 1;
-    slots_.assign(cap, kEmpty);
-    mask_ = cap - 1;
-  }
-
-  // Returns true when the code was newly inserted.
-  bool Insert(int64_t code) {
-    if (size_ * 2 >= slots_.size()) Grow();
-    size_t i = static_cast<size_t>(Mix64(static_cast<uint64_t>(code))) &
-               mask_;
-    while (slots_[i] != kEmpty) {
-      if (slots_[i] == code) return false;
-      i = (i + 1) & mask_;
-    }
-    slots_[i] = code;
-    ++size_;
-    return true;
-  }
-
-  int64_t size() const { return static_cast<int64_t>(size_); }
-
- private:
-  // An improbable sentinel; real codes are non-negative mixed-radix
-  // values, so kEmpty can never collide.
-  static constexpr int64_t kEmpty = -1;
-
-  void Grow() {
-    std::vector<int64_t> old = std::move(slots_);
-    slots_.assign(old.size() * 2, kEmpty);
-    mask_ = slots_.size() - 1;
-    for (int64_t code : old) {
-      if (code == kEmpty) continue;
-      size_t i = static_cast<size_t>(Mix64(static_cast<uint64_t>(code))) &
-                 mask_;
-      while (slots_[i] != kEmpty) i = (i + 1) & mask_;
-      slots_[i] = code;
-    }
-  }
-
-  std::vector<int64_t> slots_;
-  size_t mask_ = 0;
-  size_t size_ = 0;
-};
-
-}  // namespace
 
 int64_t CountDistinctPatterns(const Table& table, AttrMask mask,
                               int64_t budget) {
@@ -522,7 +389,7 @@ int64_t CountDistinctPatterns(const Table& table, AttrMask mask,
   std::vector<int64_t> mult =
       NullableRadixMultipliers(table, attrs, &encodable);
   if (!encodable) {
-    return SortRestrictionCounts(table, mask).num_groups();
+    return SortRestrictionCountsSize(table, mask, budget);
   }
   // Hoist per-attribute column pointers and NULL slots out of the row
   // loop; Table::value() would pay a double indirection per cell.
@@ -564,19 +431,18 @@ int64_t CountDistinctCombos(const Table& table, AttrMask mask,
   if (space.has_value()) {
     // When even the full key space cannot exceed the budget, the group
     // count certainly does not; but we still need the exact number, so only
-    // the scan below decides. Use a hash set with early exit.
+    // the scan below decides. Use an open-addressing set with early exit
+    // (same optimization as CountDistinctPatterns).
     std::vector<int64_t> mult = RadixMultipliers(table, attrs);
-    std::unordered_set<int64_t> seen;
-    seen.reserve(budget >= 0 ? static_cast<size_t>(budget) + 8 : 1024);
+    CodeSet seen(budget >= 0 ? static_cast<size_t>(budget) + 2 : 1024);
     for (int64_t r = 0; r < table.num_rows(); ++r) {
       int64_t code;
       if (!EncodeRow(table, attrs, mult, r, &code)) continue;
-      seen.insert(code);
-      if (budget >= 0 && static_cast<int64_t>(seen.size()) > budget) {
-        return static_cast<int64_t>(seen.size());
+      if (seen.Insert(code) && budget >= 0 && seen.size() > budget) {
+        return seen.size();
       }
     }
-    return static_cast<int64_t>(seen.size());
+    return seen.size();
   }
   // Key space overflows 64 bits: fall back to an exact sort-based count
   // (no early exit; this regime does not occur in the paper's datasets).

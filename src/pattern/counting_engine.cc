@@ -1,0 +1,409 @@
+#include "pattern/counting_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "pattern/restriction_codec.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace pcbl {
+
+using counting::CodeCountMap;
+using counting::CodeSet;
+using counting::MaterializeFromCodes;
+using counting::NullableRadixMultipliers;
+
+CountingEngine::CountingEngine(const Table& table,
+                               CountingEngineOptions options)
+    : table_(&table), options_(options) {}
+
+CountingEngine::Plan CountingEngine::MakePlan(AttrMask mask) const {
+  Plan plan;
+  auto it = cache_.find(mask.bits());
+  if (it != cache_.end()) {
+    plan.hit = it->second;
+    return plan;
+  }
+  // Best strict superset: fewest groups. Only the popcount buckets above
+  // the mask's level can hold supersets, so the small-to-large search
+  // traversal never scans anything here. Aggregating the ancestor's
+  // groups must beat a row scan, so anything with >= num_rows groups is
+  // not worth using. Ties are broken arbitrarily — every ancestor yields
+  // the same exact counts, so results do not depend on the choice.
+  int64_t best = table_->num_rows();
+  for (int level = mask.Count() + 1;
+       level <= table_->num_attributes() && level <= kMaxAttributes;
+       ++level) {
+    for (uint64_t bits : by_level_[static_cast<size_t>(level)]) {
+      if ((bits & mask.bits()) != mask.bits()) continue;
+      const auto& entry = cache_.find(bits)->second;
+      if (entry->num_groups() < best) {
+        best = entry->num_groups();
+        plan.ancestor = entry;
+      }
+    }
+  }
+  return plan;
+}
+
+CountingEngine::Sizing CountingEngine::DirectSizing(AttrMask mask,
+                                                    int64_t budget) const {
+  Sizing out;
+  out.path = Path::kDirect;
+  std::vector<int> attrs = mask.ToIndices();
+  const size_t width = attrs.size();
+  if (width < 2) {
+    // Arity-1 information lives in VC; the PC set is empty (but carries
+    // the attribute layout, matching ComputePatternCounts). No table
+    // work happens.
+    out.path = Path::kTrivial;
+    out.counts = std::make_shared<const GroupCounts>(
+        ComputePatternCounts(*table_, mask));
+    return out;
+  }
+  bool encodable = false;
+  std::vector<int64_t> mult =
+      NullableRadixMultipliers(*table_, attrs, &encodable);
+  if (!encodable) {
+    // Non-64-bit-encodable key space: delegate to the sort-based one-shot
+    // counters (corner regime; two passes when within budget).
+    out.size = CountDistinctPatterns(*table_, mask, budget);
+    if (budget >= 0 && out.size > budget) return out;
+    out.counts = std::make_shared<const GroupCounts>(
+        ComputePatternCounts(*table_, mask));
+    return out;
+  }
+  // One pass: count *and* materialize, aborting once the distinct count
+  // blows the budget (the common case for most examined subsets).
+  const ValueId* cols[kMaxAttributes];
+  int64_t null_slot[kMaxAttributes];
+  for (size_t j = 0; j < width; ++j) {
+    cols[j] = table_->column(attrs[j]).data();
+    null_slot[j] = static_cast<int64_t>(table_->DomainSize(attrs[j]));
+  }
+  CodeCountMap counts(budget >= 0 ? static_cast<size_t>(budget) + 2 : 1024);
+  const int64_t rows = table_->num_rows();
+  for (int64_t r = 0; r < rows; ++r) {
+    int64_t code = 0;
+    int arity = 0;
+    for (size_t j = 0; j < width; ++j) {
+      ValueId v = cols[j][r];
+      int64_t slot;
+      if (IsNull(v)) {
+        slot = null_slot[j];
+      } else {
+        slot = static_cast<int64_t>(v);
+        ++arity;
+      }
+      code += slot * mult[j];
+    }
+    if (arity < 2) continue;
+    counts.Increment(code);
+    if (budget >= 0 && counts.size() > budget) {
+      out.size = counts.size();
+      return out;
+    }
+  }
+  out.size = counts.size();
+  out.counts = std::make_shared<const GroupCounts>(
+      MaterializeFromCodes(*table_, mask, attrs, mult, counts.Items()));
+  return out;
+}
+
+CountingEngine::Sizing CountingEngine::RollupSizing(
+    const GroupCounts& ancestor, AttrMask mask, int64_t budget) const {
+  Sizing out;
+  out.path = Path::kRollup;
+  std::vector<int> attrs = mask.ToIndices();
+  const size_t width = attrs.size();
+  bool encodable = false;
+  std::vector<int64_t> mult =
+      NullableRadixMultipliers(*table_, attrs, &encodable);
+  PCBL_DCHECK(encodable);  // caller checked
+  // Position of each mask attribute inside the ancestor's (ascending)
+  // attribute list.
+  const std::vector<int>& anc_attrs = ancestor.attrs();
+  int pos[kMaxAttributes];
+  size_t a = 0;
+  for (size_t j = 0; j < width; ++j) {
+    while (a < anc_attrs.size() && anc_attrs[a] < attrs[j]) ++a;
+    PCBL_DCHECK(a < anc_attrs.size() && anc_attrs[a] == attrs[j]);
+    pos[j] = static_cast<int>(a);
+  }
+  int64_t null_slot[kMaxAttributes];
+  for (size_t j = 0; j < width; ++j) {
+    null_slot[j] = static_cast<int64_t>(table_->DomainSize(attrs[j]));
+  }
+  // Aggregate ancestor groups instead of table rows. Exact because every
+  // tuple's restriction to `mask` is the projection of its restriction to
+  // the ancestor set, and tuples absent from the ancestor's PC set (arity
+  // < 2 there) project to arity < 2 here as well.
+  CodeCountMap counts(budget >= 0 ? static_cast<size_t>(budget) + 2 : 1024);
+  const int64_t groups = ancestor.num_groups();
+  for (int64_t g = 0; g < groups; ++g) {
+    const ValueId* key = ancestor.key(g);
+    int64_t code = 0;
+    int arity = 0;
+    for (size_t j = 0; j < width; ++j) {
+      ValueId v = key[pos[j]];
+      int64_t slot;
+      if (IsNull(v)) {
+        slot = null_slot[j];
+      } else {
+        slot = static_cast<int64_t>(v);
+        ++arity;
+      }
+      code += slot * mult[j];
+    }
+    if (arity < 2) continue;
+    counts.Add(code, ancestor.count(g));
+    if (budget >= 0 && counts.size() > budget) {
+      out.size = counts.size();
+      return out;
+    }
+  }
+  out.size = counts.size();
+  out.counts = std::make_shared<const GroupCounts>(
+      MaterializeFromCodes(*table_, mask, attrs, mult, counts.Items()));
+  return out;
+}
+
+CountingEngine::Sizing CountingEngine::ExecutePlan(AttrMask mask,
+                                                   const Plan& plan,
+                                                   int64_t budget) const {
+  if (plan.hit != nullptr) {
+    Sizing out;
+    out.path = Path::kHit;
+    out.counts = plan.hit;
+    out.size = plan.hit->num_groups();
+    return out;
+  }
+  if (plan.ancestor != nullptr && mask.Count() >= 2) {
+    std::vector<int> attrs = mask.ToIndices();
+    bool encodable = false;
+    NullableRadixMultipliers(*table_, attrs, &encodable);
+    if (encodable) return RollupSizing(*plan.ancestor, mask, budget);
+  }
+  return DirectSizing(mask, budget);
+}
+
+void CountingEngine::Commit(AttrMask mask, const Sizing& sizing) {
+  ++stats_.sizings;
+  switch (sizing.path) {
+    case Path::kHit:
+      ++stats_.cache_hits;
+      return;  // already cached
+    case Path::kRollup:
+      ++stats_.rollups;
+      break;
+    case Path::kDirect:
+      ++stats_.direct_scans;
+      break;
+    case Path::kTrivial:
+      break;
+  }
+  if (sizing.counts != nullptr && mask.Count() >= 2) {
+    CacheInsert(mask, sizing.counts);
+  }
+}
+
+void CountingEngine::CacheInsert(AttrMask mask,
+                                 std::shared_ptr<const GroupCounts> counts,
+                                 bool pinned) {
+  if (!pinned && options_.cache_budget <= 0) return;
+  const int64_t cost = counts->num_groups() + 1;
+  if (!pinned && cost > options_.cache_budget) return;
+  if (cache_.contains(mask.bits())) return;
+  auto evict_from_level = [&](uint64_t bits) {
+    std::vector<uint64_t>& bucket =
+        by_level_[static_cast<size_t>(AttrMask(bits).Count())];
+    auto pos = std::find(bucket.begin(), bucket.end(), bits);
+    PCBL_DCHECK(pos != bucket.end());
+    bucket.erase(pos);
+  };
+  if (!pinned) {
+    while (stats_.cached_groups + cost > options_.cache_budget &&
+           !insertion_order_.empty()) {
+      uint64_t victim = insertion_order_.front();
+      insertion_order_.pop_front();
+      auto it = cache_.find(victim);
+      PCBL_DCHECK(it != cache_.end());
+      stats_.cached_groups -= it->second->num_groups() + 1;
+      cache_.erase(it);
+      evict_from_level(victim);
+      ++stats_.evictions;
+    }
+    insertion_order_.push_back(mask.bits());
+    stats_.cached_groups += cost;
+  }
+  cache_.emplace(mask.bits(), std::move(counts));
+  by_level_[static_cast<size_t>(mask.Count())].push_back(mask.bits());
+}
+
+int64_t CountingEngine::CountPatterns(AttrMask mask, int64_t budget) {
+  if (!options_.enabled) {
+    return CountDistinctPatterns(*table_, mask, budget);
+  }
+  Sizing sizing = ExecutePlan(mask, MakePlan(mask), budget);
+  Commit(mask, sizing);
+  return sizing.counts != nullptr ? sizing.counts->num_groups()
+                                  : sizing.size;
+}
+
+std::vector<int64_t> CountingEngine::CountPatternsBatch(
+    const std::vector<AttrMask>& masks, int64_t budget) {
+  std::vector<int64_t> sizes(masks.size(), 0);
+  if (!options_.enabled) {
+    for (size_t i = 0; i < masks.size(); ++i) {
+      sizes[i] = CountDistinctPatterns(*table_, masks[i], budget);
+    }
+    return sizes;
+  }
+  // Plans are decided serially against the current cache, executed in
+  // parallel (read-only work over the table and the planned entries), and
+  // committed serially in input order — cache contents and stats are
+  // therefore identical for any thread count.
+  std::vector<Plan> plans(masks.size());
+  for (size_t i = 0; i < masks.size(); ++i) plans[i] = MakePlan(masks[i]);
+  std::vector<Sizing> outcomes(masks.size());
+  ParallelFor(static_cast<int64_t>(masks.size()), options_.num_threads,
+              [&](int64_t i) {
+                const size_t s = static_cast<size_t>(i);
+                outcomes[s] = ExecutePlan(masks[s], plans[s], budget);
+              });
+  for (size_t i = 0; i < masks.size(); ++i) {
+    // A mask repeated within one batch commits once; later copies become
+    // plain hits against the entry the first copy inserted.
+    if (outcomes[i].path != Path::kHit &&
+        cache_.contains(masks[i].bits())) {
+      outcomes[i].path = Path::kHit;
+    }
+    Commit(masks[i], outcomes[i]);
+    sizes[i] = outcomes[i].counts != nullptr
+                   ? outcomes[i].counts->num_groups()
+                   : outcomes[i].size;
+  }
+  return sizes;
+}
+
+int64_t CountingEngine::CountCombos(AttrMask mask, int64_t budget) {
+  if (!options_.enabled || mask.Count() < 2) {
+    return CountDistinctCombos(*table_, mask, budget);
+  }
+  Plan plan = MakePlan(mask);
+  if (plan.hit != nullptr) {
+    // Full combos are exactly the fully-bound groups of the PC set (each
+    // a distinct key), since |mask| >= 2 restrictions are all stored.
+    ++stats_.cache_hits;
+    const GroupCounts& pc = *plan.hit;
+    const int width = pc.key_width();
+    int64_t combos = 0;
+    for (int64_t g = 0; g < pc.num_groups(); ++g) {
+      const ValueId* key = pc.key(g);
+      bool full = true;
+      for (int j = 0; j < width; ++j) {
+        if (IsNull(key[j])) {
+          full = false;
+          break;
+        }
+      }
+      if (!full) continue;
+      ++combos;
+      if (budget >= 0 && combos > budget) return combos;
+    }
+    return combos;
+  }
+  if (plan.ancestor != nullptr) {
+    std::optional<int64_t> space = DenseKeySpace(*table_, mask);
+    if (space.has_value()) {
+      ++stats_.rollups;
+      std::vector<int> attrs = mask.ToIndices();
+      const size_t width = attrs.size();
+      const std::vector<int>& anc_attrs = plan.ancestor->attrs();
+      int pos[kMaxAttributes];
+      size_t a = 0;
+      for (size_t j = 0; j < width; ++j) {
+        while (a < anc_attrs.size() && anc_attrs[a] < attrs[j]) ++a;
+        PCBL_DCHECK(a < anc_attrs.size() && anc_attrs[a] == attrs[j]);
+        pos[j] = static_cast<int>(a);
+      }
+      // Distinct fully-bound projections of the ancestor's groups. Exact:
+      // every tuple with a NULL-free mask combination has arity >= 2 in
+      // the ancestor set, so its group is present there.
+      std::vector<int64_t> mult(width);
+      int64_t m = 1;
+      for (size_t j = width; j-- > 0;) {
+        mult[j] = m;
+        m *= std::max<int64_t>(1, table_->DomainSize(attrs[j]));
+      }
+      CodeSet seen(budget >= 0 ? static_cast<size_t>(budget) + 2 : 256);
+      for (int64_t g = 0; g < plan.ancestor->num_groups(); ++g) {
+        const ValueId* key = plan.ancestor->key(g);
+        int64_t code = 0;
+        bool full = true;
+        for (size_t j = 0; j < width; ++j) {
+          ValueId v = key[pos[j]];
+          if (IsNull(v)) {
+            full = false;
+            break;
+          }
+          code += static_cast<int64_t>(v) * mult[j];
+        }
+        if (!full) continue;
+        if (seen.Insert(code) && budget >= 0 && seen.size() > budget) {
+          return seen.size();
+        }
+      }
+      return seen.size();
+    }
+  }
+  ++stats_.direct_scans;
+  return CountDistinctCombos(*table_, mask, budget);
+}
+
+std::shared_ptr<const GroupCounts> CountingEngine::PatternCounts(
+    AttrMask mask) {
+  if (!options_.enabled) {
+    return std::make_shared<const GroupCounts>(
+        ComputePatternCounts(*table_, mask));
+  }
+  Sizing sizing = ExecutePlan(mask, MakePlan(mask), /*budget=*/-1);
+  Commit(mask, sizing);
+  PCBL_CHECK(sizing.counts != nullptr);  // unbudgeted sizing materializes
+  return sizing.counts;
+}
+
+std::shared_ptr<const GroupCounts> CountingEngine::PinnedPatternCounts(
+    AttrMask mask) {
+  if (!options_.enabled) return PatternCounts(mask);
+  // Promote an existing evictable entry: pull it out of the FIFO and the
+  // budget so the sweep it anchors cannot cycle it out.
+  auto it = cache_.find(mask.bits());
+  if (it != cache_.end()) {
+    auto pos = std::find(insertion_order_.begin(), insertion_order_.end(),
+                         mask.bits());
+    if (pos != insertion_order_.end()) {
+      insertion_order_.erase(pos);
+      stats_.cached_groups -= it->second->num_groups() + 1;
+    }
+    return it->second;
+  }
+  Sizing sizing = ExecutePlan(mask, MakePlan(mask), /*budget=*/-1);
+  ++stats_.sizings;
+  if (sizing.path == Path::kRollup) ++stats_.rollups;
+  if (sizing.path == Path::kDirect) ++stats_.direct_scans;
+  PCBL_CHECK(sizing.counts != nullptr);
+  if (mask.Count() >= 2) {
+    CacheInsert(mask, sizing.counts, /*pinned=*/true);
+  }
+  return sizing.counts;
+}
+
+std::shared_ptr<const GroupCounts> CountingEngine::CachedPatternCounts(
+    AttrMask mask) const {
+  auto it = cache_.find(mask.bits());
+  return it == cache_.end() ? nullptr : it->second;
+}
+
+}  // namespace pcbl

@@ -1,0 +1,186 @@
+// CountingEngine: the memoized, parallel candidate-sizing subsystem of the
+// label search.
+//
+// The search algorithms (Sec. III / Algorithm 1) are dominated by sizing
+// candidate attribute subsets: every examined subset S needs |P_S|, and
+// every surviving candidate additionally needs its full PC set to build
+// the label. Calling the one-shot counters in counter.h performs a serial
+// full-table row scan per subset. This engine removes that bottleneck
+// along three axes, while keeping results *byte-identical* to the one-shot
+// counters for any thread count and cache budget:
+//
+//  1. Batching — a lattice level's candidate masks are sized together via
+//     CountPatternsBatch, spreading the independent scans over a
+//     ParallelFor.
+//  2. Memoization — sizing a subset within budget materializes its full
+//     PC set as a by-product (same pass, same cost regime), and the
+//     result is cached per AttrMask in a size-bounded cache with
+//     deterministic FIFO eviction. Label::BuildFromCounts then reuses the
+//     cached counts, so the ranking phase of the search never rescans the
+//     table for a candidate the generation phase already counted.
+//  3. Rollup — when a cached entry for a *superset* T ⊇ S exists, the
+//     PC set of S is derived by aggregating T's groups (projecting each
+//     group key onto S and re-grouping) instead of rescanning the table.
+//     Group counts are far smaller than row counts on the paper's skewed
+//     datasets, and exactness is preserved: a tuple's restriction to S is
+//     the projection of its restriction to T, and any restriction dropped
+//     from T's PC set (arity < 2 over T) projects to arity < 2 over S.
+//
+// Fallbacks keep the engine total: masks whose nullable key space
+// overflows 64 bits, or for which no useful cached ancestor exists, take
+// the direct scan path of counter.h.
+//
+// Thread-safety: the const probes (CachedPatternCounts, stats, table) are
+// safe to call concurrently with each other; the mutating calls
+// (CountPatterns*, CountCombos, PatternCounts) must be externally
+// serialized. CountPatternsBatch parallelizes internally and commits cache
+// updates in deterministic input order, so cache contents never depend on
+// thread scheduling.
+#ifndef PCBL_PATTERN_COUNTING_ENGINE_H_
+#define PCBL_PATTERN_COUNTING_ENGINE_H_
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "pattern/counter.h"
+#include "relation/table.h"
+#include "util/attr_mask.h"
+
+namespace pcbl {
+
+/// Tuning knobs of the counting engine.
+struct CountingEngineOptions {
+  /// Master switch: when false every call delegates to the one-shot
+  /// counters in counter.h (no batching, no cache) — the byte-identical
+  /// reference behaviour.
+  bool enabled = true;
+
+  /// Worker threads for CountPatternsBatch (1 = serial). Results are
+  /// identical for any value; only wall-clock changes.
+  int num_threads = 1;
+
+  /// Memoization budget in cached *group entries* summed over all cached
+  /// PC sets (each entry also costs one slot of overhead). 0 disables
+  /// caching entirely; sizing and counting still work, just without
+  /// reuse. Eviction is FIFO by insertion order — deterministic.
+  int64_t cache_budget = int64_t{1} << 20;
+};
+
+/// Observability counters (bench/debug output; not part of the exactness
+/// contract).
+struct CountingEngineStats {
+  int64_t sizings = 0;       ///< CountPatterns answers (incl. batched).
+  int64_t cache_hits = 0;    ///< answered from an exact cached entry
+  int64_t rollups = 0;       ///< derived by aggregating a cached superset
+  int64_t direct_scans = 0;  ///< full-table scans performed
+  int64_t evictions = 0;     ///< cache entries evicted
+  int64_t cached_groups = 0; ///< current cache load (group entries)
+};
+
+/// Owns all candidate sizing for one immutable table. Construct once per
+/// search; the cache keys assume the table never changes underneath.
+class CountingEngine {
+ public:
+  explicit CountingEngine(const Table& table,
+                          CountingEngineOptions options = {});
+
+  /// |P_S| of `mask` with the early-exit budget contract of
+  /// CountDistinctPatterns: exact when <= budget, otherwise any value >
+  /// budget (budget < 0 = exact). Within-budget results are cached with
+  /// their full PC set.
+  int64_t CountPatterns(AttrMask mask, int64_t budget = -1);
+
+  /// Sizes `masks` concurrently over options.num_threads; element i is
+  /// CountPatterns(masks[i], budget). Cache commits happen serially in
+  /// input order after the parallel section.
+  std::vector<int64_t> CountPatternsBatch(const std::vector<AttrMask>& masks,
+                                          int64_t budget);
+
+  /// Distinct non-NULL combinations over `mask`, same contract as
+  /// CountDistinctCombos. Served from the cache (exact entry or superset
+  /// rollup) when possible.
+  int64_t CountCombos(AttrMask mask, int64_t budget = -1);
+
+  /// The full PC set of `mask`, identical to ComputePatternCounts.
+  /// Served from the cache when possible; inserted into it otherwise.
+  std::shared_ptr<const GroupCounts> PatternCounts(AttrMask mask);
+
+  /// PatternCounts, but the entry is *pinned*: exempt from eviction and
+  /// from the cache budget. Use to prime a rollup ancestor (e.g. the
+  /// full attribute set) ahead of a subset sweep that would otherwise
+  /// cycle it out of a FIFO cache.
+  std::shared_ptr<const GroupCounts> PinnedPatternCounts(AttrMask mask);
+
+  /// Read-only cache probe: the PC set of exactly `mask` if currently
+  /// cached, nullptr otherwise. Safe to call concurrently (e.g. from the
+  /// ranking ParallelFor) as long as no mutating call runs.
+  std::shared_ptr<const GroupCounts> CachedPatternCounts(
+      AttrMask mask) const;
+
+  const CountingEngineStats& stats() const { return stats_; }
+  const CountingEngineOptions& options() const { return options_; }
+  const Table& table() const { return *table_; }
+
+ private:
+  // How a sizing was answered (for stats attribution). kTrivial covers
+  // |mask| < 2: the PC set is empty by definition, no table work happens.
+  enum class Path { kHit, kRollup, kDirect, kTrivial };
+
+  // Outcome of one sizing attempt: `counts` is engaged when the full PC
+  // set was materialized (always when `size` is within the budget);
+  // otherwise `size` is some value > budget.
+  struct Sizing {
+    std::shared_ptr<const GroupCounts> counts;
+    int64_t size = 0;
+    Path path = Path::kDirect;
+  };
+
+  // How a mask will be sized, decided serially against the cache.
+  struct Plan {
+    std::shared_ptr<const GroupCounts> hit;       // exact cache entry
+    std::shared_ptr<const GroupCounts> ancestor;  // strict-superset entry
+  };
+
+  Plan MakePlan(AttrMask mask) const;
+
+  // Executes a plan (thread-safe: touches only the table and the plan's
+  // shared entries).
+  Sizing ExecutePlan(AttrMask mask, const Plan& plan, int64_t budget) const;
+
+  // Full-scan sizing with budget abort; materializes counts on success.
+  Sizing DirectSizing(AttrMask mask, int64_t budget) const;
+
+  // Aggregates `ancestor` groups down to `mask`; exact. Aborts past
+  // `budget` like DirectSizing. `mask`'s key space must be encodable.
+  Sizing RollupSizing(const GroupCounts& ancestor, AttrMask mask,
+                      int64_t budget) const;
+
+  // Updates stats for one answered sizing and caches its counts.
+  void Commit(AttrMask mask, const Sizing& sizing);
+
+  // Inserts a materialized PC set into the cache (FIFO eviction; pinned
+  // entries bypass eviction and the budget).
+  void CacheInsert(AttrMask mask, std::shared_ptr<const GroupCounts> counts,
+                   bool pinned = false);
+
+  const Table* table_;
+  CountingEngineOptions options_;
+  CountingEngineStats stats_;
+
+  // mask bits -> cached PC set; insertion_order_ drives FIFO eviction
+  // (pinned entries are absent from it and from the budget). by_level_
+  // buckets cached masks by popcount so the ancestor lookup scans only
+  // strictly larger subsets — during the searches' small-to-large
+  // traversal those buckets are empty and planning is O(1).
+  std::unordered_map<uint64_t, std::shared_ptr<const GroupCounts>> cache_;
+  std::deque<uint64_t> insertion_order_;
+  std::array<std::vector<uint64_t>, kMaxAttributes + 1> by_level_;
+};
+
+}  // namespace pcbl
+
+#endif  // PCBL_PATTERN_COUNTING_ENGINE_H_

@@ -35,25 +35,42 @@ std::vector<AttrMask> Parents(AttrMask s) {
 
 void ForEachSubsetOfSize(int n, int k,
                          const std::function<void(AttrMask)>& fn) {
+  SubsetOfSizeEnumerator subsets(n, k);
+  AttrMask s;
+  while (subsets.Next(&s)) fn(s);
+}
+
+SubsetOfSizeEnumerator::SubsetOfSizeEnumerator(int n, int k) : n_(n) {
   PCBL_CHECK(n >= 0 && n <= kMaxAttributes);
   PCBL_CHECK(k >= 0);
-  if (k > n) return;
-  if (k == 0) {
-    fn(AttrMask());
-    return;
+  if (k > n) {
+    done_ = true;
+  } else if (k == 0) {
+    empty_set_pending_ = true;
+  } else {
+    v_ = (k == 64) ? ~0ULL : ((1ULL << k) - 1);
   }
-  uint64_t v = (k == 64) ? ~0ULL : ((1ULL << k) - 1);
-  uint64_t limit_bit = 1ULL << (n - 1);
-  (void)limit_bit;
-  while (true) {
-    fn(AttrMask(v));
-    // Gosper's hack: next bit permutation with the same popcount.
-    uint64_t c = v & (~v + 1);
-    uint64_t r = v + c;
-    if (r == 0) break;  // overflow: done
-    v = (((r ^ v) >> 2) / c) | r;
-    if (n < 64 && (v >> n) != 0) break;
+}
+
+bool SubsetOfSizeEnumerator::Next(AttrMask* out) {
+  if (done_) return false;
+  if (empty_set_pending_) {
+    empty_set_pending_ = false;
+    done_ = true;
+    *out = AttrMask();
+    return true;
   }
+  *out = AttrMask(v_);
+  // Gosper's hack: next bit permutation with the same popcount.
+  uint64_t c = v_ & (~v_ + 1);
+  uint64_t r = v_ + c;
+  if (r == 0) {
+    done_ = true;  // overflow: done
+  } else {
+    v_ = (((r ^ v_) >> 2) / c) | r;
+    if (n_ < 64 && (v_ >> n_) != 0) done_ = true;
+  }
+  return true;
 }
 
 void ForEachSubsetOf(AttrMask universe,

@@ -30,6 +30,23 @@ std::vector<AttrMask> Parents(AttrMask s);
 void ForEachSubsetOfSize(int n, int k,
                          const std::function<void(AttrMask)>& fn);
 
+/// Resumable version of ForEachSubsetOfSize, same order: lets callers
+/// consume a lattice level in bounded chunks (for batch sizing with
+/// time-limit checks) without materializing all C(n, k) masks up front.
+class SubsetOfSizeEnumerator {
+ public:
+  SubsetOfSizeEnumerator(int n, int k);
+
+  /// Writes the next subset into *out; returns false when exhausted.
+  bool Next(AttrMask* out);
+
+ private:
+  int n_ = 0;
+  uint64_t v_ = 0;
+  bool done_ = false;
+  bool empty_set_pending_ = false;
+};
+
 /// Invokes `fn` for every non-empty subset of `universe` (2^|universe|-1
 /// calls), in descending bitmask order, using O(1) space.
 void ForEachSubsetOf(AttrMask universe,

@@ -1,0 +1,227 @@
+// Shared internals of the pattern-counting layer: the nullable mixed-radix
+// restriction codec and the open-addressing code containers used by both
+// the one-shot counting functions (counter.cc) and the memoizing
+// CountingEngine. Not part of the public API surface — include only from
+// src/pattern.
+//
+// A *restriction code* encodes one tuple's non-NULL restriction to an
+// attribute subset S as a single int64: each attribute contributes
+// |Dom| + 1 slots, the last one marking NULL (unbound). Codes order
+// restrictions by ascending mixed-radix value with NULL sorting last per
+// attribute — the canonical PC-set emission order.
+#ifndef PCBL_PATTERN_RESTRICTION_CODEC_H_
+#define PCBL_PATTERN_RESTRICTION_CODEC_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "pattern/counter.h"
+#include "relation/table.h"
+#include "util/hash.h"
+
+namespace pcbl {
+
+/// Build-time access to GroupCounts internals, shared by the counting
+/// implementations (counter.cc, counting_engine.cc).
+struct GroupCountsAccess {
+  static std::vector<int>& attrs(GroupCounts& g) { return g.attrs_; }
+  static AttrMask& mask(GroupCounts& g) { return g.mask_; }
+  static std::vector<ValueId>& keys(GroupCounts& g) { return g.keys_; }
+  static std::vector<int64_t>& counts(GroupCounts& g) { return g.counts_; }
+};
+
+namespace counting {
+
+/// Mixed-radix multipliers over domain size + 1 (the extra slot encodes
+/// NULL), for restriction keys; attrs[0] is the most significant. Sets
+/// *ok to false (and returns a partial vector) when the key space
+/// overflows int64.
+inline std::vector<int64_t> NullableRadixMultipliers(
+    const Table& table, const std::vector<int>& attrs, bool* ok) {
+  std::vector<int64_t> mult(attrs.size());
+  int64_t m = 1;
+  *ok = true;
+  for (size_t j = attrs.size(); j-- > 0;) {
+    mult[j] = m;
+    int64_t dom = static_cast<int64_t>(table.DomainSize(attrs[j])) + 1;
+    if (m > std::numeric_limits<int64_t>::max() / dom) {
+      *ok = false;
+      return mult;
+    }
+    m *= dom;
+  }
+  return mult;
+}
+
+/// Decodes a restriction code back into per-attribute ValueIds (kNullValue
+/// for unbound positions), inverse of the encoding above.
+inline void DecodeRestriction(int64_t code, const Table& table,
+                              const std::vector<int>& attrs,
+                              const std::vector<int64_t>& mult,
+                              ValueId* out) {
+  for (size_t j = 0; j < attrs.size(); ++j) {
+    int64_t dom = static_cast<int64_t>(table.DomainSize(attrs[j]));
+    int64_t slot = (code / mult[j]) % (dom + 1);
+    out[j] = slot == dom ? kNullValue : static_cast<ValueId>(slot);
+  }
+}
+
+/// Materializes a (code, count) list as a GroupCounts over `attrs`:
+/// sorts by code — the canonical emission order (ascending mixed-radix,
+/// NULL last per attribute) — and decodes each key via the nullable
+/// codec. Both ComputePatternCounts and the CountingEngine emit through
+/// this, which is what keeps their outputs byte-identical.
+inline GroupCounts MaterializeFromCodes(
+    const Table& table, AttrMask mask, const std::vector<int>& attrs,
+    const std::vector<int64_t>& mult,
+    std::vector<std::pair<int64_t, int64_t>> items) {
+  std::sort(items.begin(), items.end());
+  GroupCounts out;
+  GroupCountsAccess::mask(out) = mask;
+  GroupCountsAccess::attrs(out) = attrs;
+  std::vector<ValueId>& keys = GroupCountsAccess::keys(out);
+  std::vector<int64_t>& counts = GroupCountsAccess::counts(out);
+  const size_t width = attrs.size();
+  keys.reserve(items.size() * width);
+  counts.reserve(items.size());
+  for (const auto& [code, c] : items) {
+    size_t base = keys.size();
+    keys.resize(base + width);
+    DecodeRestriction(code, table, attrs, mult, keys.data() + base);
+    counts.push_back(c);
+  }
+  return out;
+}
+
+/// Open-addressing set of 64-bit codes for the sizing hot loop: the search
+/// algorithms call the distinct counters millions of times, so the
+/// std::unordered_set allocation/probing cost dominates without this.
+class CodeSet {
+ public:
+  explicit CodeSet(size_t expected) {
+    size_t cap = 16;
+    while (cap < expected * 2) cap <<= 1;
+    slots_.assign(cap, kEmpty);
+    mask_ = cap - 1;
+  }
+
+  /// Returns true when the code was newly inserted.
+  bool Insert(int64_t code) {
+    if (size_ * 2 >= slots_.size()) Grow();
+    size_t i = static_cast<size_t>(Mix64(static_cast<uint64_t>(code))) &
+               mask_;
+    while (slots_[i] != kEmpty) {
+      if (slots_[i] == code) return false;
+      i = (i + 1) & mask_;
+    }
+    slots_[i] = code;
+    ++size_;
+    return true;
+  }
+
+  int64_t size() const { return static_cast<int64_t>(size_); }
+
+ private:
+  // An improbable sentinel; real codes are non-negative mixed-radix
+  // values, so kEmpty can never collide.
+  static constexpr int64_t kEmpty = -1;
+
+  void Grow() {
+    std::vector<int64_t> old = std::move(slots_);
+    slots_.assign(old.size() * 2, kEmpty);
+    mask_ = slots_.size() - 1;
+    for (int64_t code : old) {
+      if (code == kEmpty) continue;
+      size_t i = static_cast<size_t>(Mix64(static_cast<uint64_t>(code))) &
+                 mask_;
+      while (slots_[i] != kEmpty) i = (i + 1) & mask_;
+      slots_[i] = code;
+    }
+  }
+
+  std::vector<int64_t> slots_;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+};
+
+/// Open-addressing code -> count map for the counting hot paths (the
+/// search builds thousands of candidate labels per run). Code and count
+/// are stored interleaved so a probe touches one cache line — the
+/// increment costs the same memory traffic as a CodeSet insert.
+class CodeCountMap {
+ public:
+  explicit CodeCountMap(size_t expected) {
+    size_t cap = 32;
+    while (cap < expected * 2) cap <<= 1;
+    slots_.assign(cap, Slot{kEmpty, 0});
+    mask_ = cap - 1;
+  }
+
+  /// Adds `delta` to the count of `code`; returns true when the code was
+  /// newly inserted.
+  bool Add(int64_t code, int64_t delta) {
+    if (size_ * 2 >= slots_.size()) Grow();
+    size_t i = static_cast<size_t>(Mix64(static_cast<uint64_t>(code))) &
+               mask_;
+    while (slots_[i].code != kEmpty && slots_[i].code != code) {
+      i = (i + 1) & mask_;
+    }
+    bool fresh = slots_[i].code == kEmpty;
+    if (fresh) {
+      slots_[i].code = code;
+      ++size_;
+    }
+    slots_[i].count += delta;
+    return fresh;
+  }
+
+  void Increment(int64_t code) { Add(code, 1); }
+
+  /// Number of distinct codes inserted so far.
+  int64_t size() const { return static_cast<int64_t>(size_); }
+
+  /// The (code, count) pairs in table order (callers sort for
+  /// determinism).
+  std::vector<std::pair<int64_t, int64_t>> Items() const {
+    std::vector<std::pair<int64_t, int64_t>> items;
+    items.reserve(size_);
+    for (const Slot& s : slots_) {
+      if (s.code != kEmpty) items.emplace_back(s.code, s.count);
+    }
+    return items;
+  }
+
+ private:
+  static constexpr int64_t kEmpty = -1;  // codes are non-negative
+
+  struct Slot {
+    int64_t code;
+    int64_t count;
+  };
+
+  void Grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot{kEmpty, 0});
+    mask_ = slots_.size() - 1;
+    for (const Slot& s : old) {
+      if (s.code == kEmpty) continue;
+      size_t j = static_cast<size_t>(
+                     Mix64(static_cast<uint64_t>(s.code))) &
+                 mask_;
+      while (slots_[j].code != kEmpty) j = (j + 1) & mask_;
+      slots_[j] = s;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace counting
+}  // namespace pcbl
+
+#endif  // PCBL_PATTERN_RESTRICTION_CODEC_H_

@@ -38,6 +38,7 @@
 #include "core/search.h"              // IWYU pragma: export
 #include "core/warnings.h"            // IWYU pragma: export
 #include "pattern/counter.h"          // IWYU pragma: export
+#include "pattern/counting_engine.h"  // IWYU pragma: export
 #include "pattern/full_pattern_index.h"  // IWYU pragma: export
 #include "pattern/lattice.h"          // IWYU pragma: export
 #include "pattern/pattern.h"          // IWYU pragma: export

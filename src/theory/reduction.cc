@@ -4,6 +4,7 @@
 
 #include "core/label.h"
 #include "pattern/counter.h"
+#include "pattern/counting_engine.h"
 #include "pattern/lattice.h"
 #include "relation/stats.h"
 #include "util/logging.h"
@@ -121,12 +122,24 @@ bool ExistsZeroErrorLabel(const ReductionInstance& instance,
   auto vc =
       std::make_shared<const ValueCounts>(ValueCounts::Compute(table));
   const int total_attrs = table.num_attributes();
+  // The brute-force sweep sizes every attribute subset. The reduction
+  // database is massively duplicated (every BuildReduction tuple is added
+  // in >= |E| >= 2 copies, so distinct restrictions number at most half
+  // the rows); priming the engine with the full attribute set's PC set
+  // therefore always yields a usable rollup ancestor, and every subset is
+  // sized by aggregating those groups instead of rescanning the table —
+  // the sweep scales with distinct restrictions, not rows.
+  CountingEngine engine(table);
+  const AttrMask universe = AttrMask::All(total_attrs);
+  engine.PinnedPatternCounts(universe);  // pinned: the exponential sweep
+                                         // must not evict its ancestor
   bool found = false;
-  ForEachSubsetOf(AttrMask::All(total_attrs), [&](AttrMask s) {
+  ForEachSubsetOf(universe, [&](AttrMask s) {
     if (found) return;
-    int64_t size = CountDistinctPatterns(table, s, size_bound);
+    int64_t size = engine.CountPatterns(s, size_bound);
     if (size > size_bound) return;
-    Label label = Label::Build(table, s, vc);
+    Label label =
+        Label::BuildFromCounts(table, s, *engine.PatternCounts(s), vc);
     for (size_t i = 0; i < instance.patterns.size(); ++i) {
       double err = label.AbsoluteError(instance.patterns[i],
                                        instance.pattern_counts[i]);
