@@ -15,6 +15,7 @@
 #include "pattern/counter.h"
 #include "pattern/counting_engine.h"
 #include "pattern/lattice.h"
+#include "pattern/restriction_codec.h"
 #include "workload/datasets.h"
 
 namespace pcbl {
@@ -85,6 +86,9 @@ BENCHMARK(BM_LevelSizingEngineBatch)
 // The full top-down search, end to end; candidate sizing dominates at
 // this bound, and with the engine on the ranking phase additionally
 // reuses the memoized PC sets instead of recounting each candidate.
+// LabelSearch now keeps the dataset's CountingService warm across
+// searches, so the cold benchmarks drop the cache between iterations
+// (BM_TopDownSizingWarmService below measures the warm regime).
 void RunTopDown(benchmark::State& state, bool engine_on, int threads) {
   const Table& t = CreditTable();
   LabelSearch search(t);
@@ -93,6 +97,9 @@ void RunTopDown(benchmark::State& state, bool engine_on, int threads) {
   options.use_counting_engine = engine_on;
   options.num_threads = threads;
   for (auto _ : state) {
+    state.PauseTiming();
+    search.InvalidateCountingCache();
+    state.ResumeTiming();
     SearchResult result = search.TopDown(options);
     benchmark::DoNotOptimize(result.stats.subsets_examined);
   }
@@ -112,6 +119,44 @@ BENCHMARK(BM_TopDownSizingEngine)
     ->Arg(4)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond);
+
+// A repeated query over the dataset-scoped service: the first search
+// warms the PC-set cache, every later one sizes its candidates without a
+// single full-table scan (asserted in pattern_counting_service_test.cc).
+// This is the multi-query / bound-sweep serving regime the
+// CountingService exists for.
+void BM_TopDownSizingWarmService(benchmark::State& state) {
+  const Table& t = CreditTable();
+  LabelSearch search(t);
+  SearchOptions options;
+  options.size_bound = kBound;
+  search.TopDown(options);  // warm the service
+  for (auto _ : state) {
+    SearchResult result = search.TopDown(options);
+    benchmark::DoNotOptimize(result.stats.subsets_examined);
+  }
+}
+BENCHMARK(BM_TopDownSizingWarmService)->Unit(benchmark::kMillisecond);
+
+// Regression guard for the reservation satellite: a budgeted sizing pass
+// reserves its code containers from the budget hint and must never
+// grow-rehash mid-scan.
+void BM_BudgetedSizingReserveNoRehash(benchmark::State& state) {
+  const int64_t budget = 100;
+  for (auto _ : state) {
+    counting::CodeSet seen(counting::SizingReserve(budget, 1 << 20));
+    counting::CodeCountMap counts(counting::SizingReserve(budget, 1 << 20));
+    for (int64_t code = 0; code <= budget; ++code) {
+      seen.Insert(code * 977);
+      counts.Increment(code * 977);
+    }
+    PCBL_CHECK(seen.rehashes() == 0 && counts.rehashes() == 0)
+        << "budget-hinted reservation rehashed";
+    benchmark::DoNotOptimize(seen.size());
+    benchmark::DoNotOptimize(counts.size());
+  }
+}
+BENCHMARK(BM_BudgetedSizingReserveNoRehash);
 
 void BM_SubsetCountsColdRescan(benchmark::State& state) {
   const Table& t = DuplicatedTable();

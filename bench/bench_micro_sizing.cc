@@ -1,10 +1,17 @@
 // Ablation micro-benchmark (DESIGN.md §5.2): early-exit label sizing vs
-// exact counting. The early exit is what makes the naive search feasible:
-// over-budget subsets are detected within ~bound distinct groups instead
-// of scanning every row.
+// exact counting, and the bit-packed kernels vs the mixed-radix baseline.
+// The early exit is what makes the naive search feasible: over-budget
+// subsets are detected within ~bound distinct groups instead of scanning
+// every row. The packed kernels are what makes the remaining scans
+// bandwidth-bound: the BM_SizingArity{2,3}* pairs below measure the
+// ISSUE-2 acceptance criterion (>= 2x packed throughput over the PR 1
+// mixed-radix path on packed-eligible arity-2/3 subsets).
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "pattern/counter.h"
+#include "pattern/lattice.h"
 #include "workload/datasets.h"
 
 namespace pcbl {
@@ -27,6 +34,76 @@ AttrMask WideMask() { return AttrMask::FromIndices({0, 1, 2, 4, 11, 17}); }
 AttrMask CorrelatedMask() {
   return AttrMask::FromIndices({5, 6, 7, 8, 9, 10});
 }
+
+// Every arity-k subset of the first 14 credit-card attributes — the mix a
+// lattice level hands the sizing kernels.
+std::vector<AttrMask> AritySubsets(int k) {
+  std::vector<AttrMask> masks;
+  ForEachSubsetOfSize(14, k, [&](AttrMask s) { masks.push_back(s); });
+  return masks;
+}
+
+// Exact (unbudgeted) sizing of every arity-k subset under a forced
+// strategy: the kernel-vs-baseline comparison with identical work.
+void RunAritySizing(benchmark::State& state, int k,
+                    RestrictionStrategy strategy) {
+  const Table& t = CreditTable();
+  const std::vector<AttrMask> masks = AritySubsets(k);
+  int64_t checksum = 0;
+  for (auto _ : state) {
+    for (AttrMask s : masks) {
+      checksum += CountDistinctPatterns(t, s, -1, strategy);
+    }
+  }
+  benchmark::DoNotOptimize(checksum);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(masks.size()) *
+                          t.num_rows());
+}
+
+void BM_SizingArity2Packed(benchmark::State& state) {
+  RunAritySizing(state, 2, RestrictionStrategy::kPacked);
+}
+BENCHMARK(BM_SizingArity2Packed)->Unit(benchmark::kMillisecond);
+
+void BM_SizingArity2MixedRadix(benchmark::State& state) {
+  RunAritySizing(state, 2, RestrictionStrategy::kMixedRadix);
+}
+BENCHMARK(BM_SizingArity2MixedRadix)->Unit(benchmark::kMillisecond);
+
+void BM_SizingArity3Packed(benchmark::State& state) {
+  RunAritySizing(state, 3, RestrictionStrategy::kPacked);
+}
+BENCHMARK(BM_SizingArity3Packed)->Unit(benchmark::kMillisecond);
+
+void BM_SizingArity3MixedRadix(benchmark::State& state) {
+  RunAritySizing(state, 3, RestrictionStrategy::kMixedRadix);
+}
+BENCHMARK(BM_SizingArity3MixedRadix)->Unit(benchmark::kMillisecond);
+
+// Budgeted variant: the search's actual regime (most subsets early-exit).
+void RunAritySizingBudgeted(benchmark::State& state, int k,
+                            RestrictionStrategy strategy) {
+  const Table& t = CreditTable();
+  const std::vector<AttrMask> masks = AritySubsets(k);
+  int64_t checksum = 0;
+  for (auto _ : state) {
+    for (AttrMask s : masks) {
+      checksum += CountDistinctPatterns(t, s, 50, strategy);
+    }
+  }
+  benchmark::DoNotOptimize(checksum);
+}
+
+void BM_SizingArity2PackedBudget50(benchmark::State& state) {
+  RunAritySizingBudgeted(state, 2, RestrictionStrategy::kPacked);
+}
+BENCHMARK(BM_SizingArity2PackedBudget50)->Unit(benchmark::kMillisecond);
+
+void BM_SizingArity2MixedRadixBudget50(benchmark::State& state) {
+  RunAritySizingBudgeted(state, 2, RestrictionStrategy::kMixedRadix);
+}
+BENCHMARK(BM_SizingArity2MixedRadixBudget50)->Unit(benchmark::kMillisecond);
 
 void BM_SizingEarlyExitOverBudget(benchmark::State& state) {
   const Table& t = CreditTable();

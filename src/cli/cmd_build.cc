@@ -12,7 +12,6 @@
 #include "core/portable_label.h"
 #include "core/search.h"
 #include "util/str.h"
-#include "util/thread_pool.h"
 
 namespace pcbl {
 namespace cli {
@@ -68,13 +67,8 @@ int CmdBuild(const Args& args, std::ostream& out, std::ostream& err) {
   if (!bound.ok()) return FailWith(bound.status(), "build", err);
   auto time_limit = args.GetDouble("time-limit", 0.0);
   if (!time_limit.ok()) return FailWith(time_limit.status(), "build", err);
-  auto threads = args.GetInt("threads", 0);
-  if (!threads.ok()) return FailWith(threads.status(), "build", err);
-  auto cache_budget =
-      args.GetInt("cache-budget", SearchOptions().counting_cache_budget);
-  if (!cache_budget.ok()) {
-    return FailWith(cache_budget.status(), "build", err);
-  }
+  auto engine = ParseEngineOptions(args);
+  if (!engine.ok()) return FailWith(engine.status(), "build", err);
   auto metric = ParseMetric(args.GetString("metric", "max-abs"));
   if (!metric.ok()) return FailWith(metric.status(), "build", err);
   const std::string algo = ToLower(args.GetString("algo", "topdown"));
@@ -115,10 +109,9 @@ int CmdBuild(const Args& args, std::ostream& out, std::ostream& err) {
   options.size_bound = *bound;
   options.metric = *metric;
   options.time_limit_seconds = *time_limit;
-  options.num_threads = *threads > 0 ? static_cast<int>(*threads)
-                                     : DefaultThreadCount();
-  options.use_counting_engine = !args.GetBool("no-engine");
-  options.counting_cache_budget = *cache_budget;
+  options.num_threads = engine->num_threads;
+  options.use_counting_engine = engine->enabled;
+  options.counting_cache_budget = engine->cache_budget;
   const SearchResult result =
       algo == "naive" ? search.Naive(options) : search.TopDown(options);
 

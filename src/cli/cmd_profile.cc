@@ -1,11 +1,21 @@
 // `pcbl profile <data.csv>` — the data-profiling entry point: row count and
 // per-attribute distinct counts, nulls, entropy, and modal values. This is
 // the information an analyst inspects before choosing a label bound.
+//
+// `--pairs N` extends the profile with the pairwise label sizes |P_{i,j}|
+// of every attribute pair, sized through the dataset's CountingService in
+// one parallel batch — precisely the quantities that determine which
+// subsets fit a bound B_s (the smallest pairs are the seeds of every
+// within-bound label). `--threads`, `--cache-budget` and `--no-engine`
+// configure the service exactly as in `pcbl build`.
+#include <algorithm>
 #include <ostream>
+#include <vector>
 
 #include "cli/commands.h"
 #include "cli/common.h"
 #include "harness/tablefmt.h"
+#include "pattern/counting_service.h"
 #include "relation/stats.h"
 #include "util/str.h"
 
@@ -14,10 +24,22 @@ namespace cli {
 
 namespace {
 constexpr char kUsage[] =
-    "usage: pcbl profile <data.csv>\n"
+    "usage: pcbl profile <data.csv> [flags]\n"
     "\n"
     "Prints per-attribute statistics of a CSV dataset: distinct values,\n"
-    "null count, Shannon entropy, and the most common value.\n";
+    "null count, Shannon entropy, and the most common value.\n"
+    "\n"
+    "flags:\n"
+    "  --pairs N          also print the N smallest pairwise label sizes\n"
+    "                     |P_S| over all attribute pairs (0 = all pairs);\n"
+    "                     these are the candidate seeds of a bound-B_s\n"
+    "                     label search\n"
+    "  --threads N        worker threads for the pairwise sizing batch\n"
+    "                     (0 = all hardware threads)\n"
+    "  --no-engine        size pairs with serial one-shot scans instead\n"
+    "                     of the batched counting engine\n"
+    "  --cache-budget N   engine memoization budget in cached group\n"
+    "                     entries (0 disables memoization)\n";
 }  // namespace
 
 int CmdProfile(const Args& args, std::ostream& out, std::ostream& err) {
@@ -25,12 +47,28 @@ int CmdProfile(const Args& args, std::ostream& out, std::ostream& err) {
     out << kUsage;
     return kExitOk;
   }
-  if (Status s = args.CheckKnown({"help"}); !s.ok()) {
+  if (Status s = args.CheckKnown({"help", "pairs", "threads", "no-engine",
+                                  "cache-budget"});
+      !s.ok()) {
     return FailWith(s, "profile", err);
   }
   if (Status s = args.RequirePositional(1, "pcbl profile <data.csv>");
       !s.ok()) {
     return FailWith(s, "profile", err);
+  }
+  if (!args.Has("pairs") &&
+      (args.Has("threads") || args.Has("no-engine") ||
+       args.Has("cache-budget"))) {
+    return FailWith(
+        InvalidArgumentError(
+            "--threads/--no-engine/--cache-budget require --pairs"),
+        "profile", err);
+  }
+  auto pairs_limit = args.GetInt("pairs", 20);
+  if (!pairs_limit.ok()) return FailWith(pairs_limit.status(), "profile", err);
+  auto engine_options = ParseEngineOptions(args);
+  if (!engine_options.ok()) {
+    return FailWith(engine_options.status(), "profile", err);
   }
   auto table = LoadCsvTable(args.positional()[0]);
   if (!table.ok()) return FailWith(table.status(), "profile", err);
@@ -46,6 +84,47 @@ int CmdProfile(const Args& args, std::ostream& out, std::ostream& err) {
                       a.top_count);
   }
   out << grid.ToMarkdown();
+
+  if (!args.Has("pairs")) return kExitOk;
+
+  const CountingEngineOptions& options = *engine_options;
+  CountingService service(*table, options);
+
+  const int n = table->num_attributes();
+  std::vector<AttrMask> masks;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      masks.push_back(AttrMask::Single(i).Union(AttrMask::Single(j)));
+    }
+  }
+  std::vector<int64_t> sizes;
+  {
+    std::lock_guard<std::mutex> lock(service.mutex());
+    sizes = service.engine().CountPatternsBatch(masks, /*budget=*/-1);
+  }
+  std::vector<size_t> order(masks.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) { return sizes[a] < sizes[b]; });
+  const size_t limit = *pairs_limit > 0
+                           ? std::min<size_t>(order.size(),
+                                              static_cast<size_t>(*pairs_limit))
+                           : order.size();
+  out << "\npairwise label sizes (" << limit << " smallest of "
+      << masks.size() << " pairs, " << options.num_threads << " threads)\n";
+  harness::TextTable pair_grid({"pair", "|P_S|", "dense space"});
+  for (size_t i = 0; i < limit; ++i) {
+    const AttrMask m = masks[order[i]];
+    const std::vector<int> attrs = m.ToIndices();
+    const int64_t space =
+        static_cast<int64_t>(table->DomainSize(attrs[0])) *
+        static_cast<int64_t>(table->DomainSize(attrs[1]));
+    pair_grid.AddRowValues(
+        StrCat(table->schema().name(attrs[0]), " x ",
+               table->schema().name(attrs[1])),
+        sizes[order[i]], space);
+  }
+  out << pair_grid.ToMarkdown();
   return kExitOk;
 }
 

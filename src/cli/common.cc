@@ -4,6 +4,7 @@
 
 #include "relation/csv.h"
 #include "util/str.h"
+#include "util/thread_pool.h"
 
 namespace pcbl {
 namespace cli {
@@ -41,6 +42,19 @@ Result<std::vector<std::pair<std::string, std::string>>> ParseNamedPattern(
     return InvalidArgumentError("pattern has no attr=value terms");
   }
   return terms;
+}
+
+Result<CountingEngineOptions> ParseEngineOptions(const Args& args) {
+  CountingEngineOptions options;
+  PCBL_ASSIGN_OR_RETURN(int64_t threads, args.GetInt("threads", 0));
+  PCBL_ASSIGN_OR_RETURN(
+      int64_t cache_budget,
+      args.GetInt("cache-budget", options.cache_budget));
+  options.enabled = !args.GetBool("no-engine");
+  options.num_threads =
+      threads > 0 ? static_cast<int>(threads) : DefaultThreadCount();
+  options.cache_budget = cache_budget;
+  return options;
 }
 
 Result<OptimizationMetric> ParseMetric(const std::string& name) {

@@ -8,6 +8,7 @@
 #include "cli/args.h"
 #include "core/error.h"
 #include "core/portable_label.h"
+#include "pattern/counting_engine.h"
 #include "relation/table.h"
 #include "util/status.h"
 
@@ -39,6 +40,11 @@ Result<std::vector<std::pair<std::string, std::string>>> ParseNamedPattern(
 
 /// Parses an OptimizationMetric name (max-abs, mean-abs, max-q, mean-q).
 Result<OptimizationMetric> ParseMetric(const std::string& name);
+
+/// Parses the counting-engine flags shared by build/estimate/profile:
+/// `--threads N` (0 or absent = all hardware threads), `--no-engine`,
+/// and `--cache-budget N`. Parse errors propagate.
+Result<CountingEngineOptions> ParseEngineOptions(const Args& args);
 
 /// Renders an ErrorReport as aligned "key: value" lines.
 std::string FormatErrorReport(const ErrorReport& report, int64_t total_rows);

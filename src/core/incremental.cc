@@ -9,9 +9,9 @@
 
 namespace pcbl {
 
-Result<IncrementalLabel> IncrementalLabel::Create(const Table& base,
-                                                  AttrMask s,
-                                                  int64_t size_bound) {
+Result<IncrementalLabel> IncrementalLabel::Create(
+    const Table& base, AttrMask s, int64_t size_bound,
+    std::shared_ptr<CountingService> service) {
   const int n = base.num_attributes();
   if (n == 0) return InvalidArgumentError("table has no attributes");
   if (!s.IsSubsetOf(AttrMask::All(n))) {
@@ -38,7 +38,39 @@ Result<IncrementalLabel> IncrementalLabel::Create(const Table& base,
     label.totals_[static_cast<size_t>(a)] = vc.NonNullTotal(a);
   }
 
-  const GroupCounts pc = ComputePatternCounts(base, s);
+  if (service != nullptr) {
+    if (&service->table() != &base) {
+      return InvalidArgumentError(
+          "counting service describes a different table");
+    }
+    if (service->total_rows() != base.num_rows()) {
+      return InvalidArgumentError(
+          "counting service has already absorbed appended rows");
+    }
+  }
+
+  // The PC seed: through the dataset's service when available (a warm
+  // cache — e.g. after a label search that selected `s` — answers this
+  // without a table scan), else a one-shot count.
+  std::shared_ptr<const GroupCounts> shared_pc;
+  const GroupCounts* pc_ptr;
+  GroupCounts local_pc;
+  if (service != nullptr) {
+    std::lock_guard<std::mutex> lock(service->mutex());
+    if (!service->engine().options().enabled) {
+      // The append hook patches through the engine; attaching to a
+      // disabled one would only fail later, on the first AppendRow.
+      return InvalidArgumentError(
+          "counting service engine is disabled; appends could not be "
+          "patched");
+    }
+    shared_pc = service->engine().PatternCounts(s);
+    pc_ptr = shared_pc.get();
+  } else {
+    local_pc = ComputePatternCounts(base, s);
+    pc_ptr = &local_pc;
+  }
+  const GroupCounts& pc = *pc_ptr;
   for (int64_t g = 0; g < pc.num_groups(); ++g) {
     const ValueId* key = pc.key(g);
     label.pc_.emplace(std::vector<ValueId>(key, key + pc.key_width()),
@@ -47,6 +79,7 @@ Result<IncrementalLabel> IncrementalLabel::Create(const Table& base,
 
   label.base_rows_ = label.total_rows_;
   label.base_patterns_ = static_cast<int64_t>(label.pc_.size());
+  label.service_ = std::move(service);
   return label;
 }
 
@@ -85,6 +118,9 @@ Status IncrementalLabel::AppendRow(const std::vector<std::string>& values) {
                                         .Intern(v);
   }
   ApplyRow(codes);
+  // Invalidate-or-patch hook: single-row appends take the patch arm —
+  // the service folds the restriction into every cached PC set.
+  if (service_ != nullptr) service_->AppendRow(codes);
   return Status::Ok();
 }
 
@@ -112,6 +148,10 @@ Status IncrementalLabel::AppendTable(const Table& delta) {
     }
   }
   std::vector<ValueId> codes(static_cast<size_t>(width_));
+  std::vector<std::vector<ValueId>> notified;
+  if (service_ != nullptr) {
+    notified.reserve(static_cast<size_t>(delta.num_rows()));
+  }
   for (int64_t r = 0; r < delta.num_rows(); ++r) {
     for (int a = 0; a < width_; ++a) {
       const ValueId v = delta.value(r, a);
@@ -119,6 +159,13 @@ Status IncrementalLabel::AppendTable(const Table& delta) {
           IsNull(v) ? kNullValue : remap[static_cast<size_t>(a)][v];
     }
     ApplyRow(codes);
+    if (service_ != nullptr) notified.push_back(codes);
+  }
+  // Bulk appends go through the batched hook, which invalidates instead
+  // of patching when repairing every cached entry would cost more than
+  // the rescans it saves.
+  if (service_ != nullptr && !notified.empty()) {
+    service_->AppendRows(notified);
   }
   return Status::Ok();
 }

@@ -22,7 +22,10 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "core/estimator.h"
+#include "pattern/counting_service.h"
 #include "pattern/pattern.h"
 #include "relation/dictionary.h"
 #include "relation/table.h"
@@ -60,8 +63,17 @@ class IncrementalLabel : public CardinalityEstimator {
  public:
   /// Seeds the state from `base` with attribute set `s`. `size_bound` is
   /// the B_s the label was searched under (used only for drift tracking).
-  static Result<IncrementalLabel> Create(const Table& base, AttrMask s,
-                                         int64_t size_bound);
+  ///
+  /// When `service` (the dataset's CountingService) is supplied, the
+  /// initial PC set is read through its warm cache — after a label
+  /// search over the same table this costs zero table scans — and every
+  /// append is forwarded to the service's invalidate-or-patch hook, so
+  /// the cached PC sets of *other* subsets stay exact against the grown
+  /// data instead of going stale. Attach one appending label per service:
+  /// the service counts each notified row as one dataset append.
+  static Result<IncrementalLabel> Create(
+      const Table& base, AttrMask s, int64_t size_bound,
+      std::shared_ptr<CountingService> service = nullptr);
 
   /// Appends one row of string values (empty / "NULL" = missing), exactly
   /// like TableBuilder::AddRow. New values are interned; ids extend the
@@ -120,6 +132,10 @@ class IncrementalLabel : public CardinalityEstimator {
   // Creation-time snapshot for drift().
   int64_t base_rows_ = 0;
   int64_t base_patterns_ = 0;
+
+  // Optional dataset-scoped counting service notified of every appended
+  // row (invalidate-or-patch of its cached PC sets).
+  std::shared_ptr<CountingService> service_;
 };
 
 }  // namespace pcbl

@@ -35,12 +35,16 @@ LabelSearch::LabelSearch(const Table& table)
     : table_(&table),
       vc_(std::make_shared<const ValueCounts>(ValueCounts::Compute(table))),
       patterns_(std::make_shared<const FullPatternIndex>(
-          FullPatternIndex::Build(table))) {}
+          FullPatternIndex::Build(table))),
+      service_(std::make_shared<CountingService>(table)) {}
 
 LabelSearch::LabelSearch(const Table& table,
                          std::shared_ptr<const ValueCounts> vc,
                          std::shared_ptr<const FullPatternIndex> patterns)
-    : table_(&table), vc_(std::move(vc)), patterns_(std::move(patterns)) {
+    : table_(&table),
+      vc_(std::move(vc)),
+      patterns_(std::move(patterns)),
+      service_(std::make_shared<CountingService>(table)) {
   PCBL_CHECK(vc_ != nullptr);
   PCBL_CHECK(patterns_ != nullptr);
 }
@@ -153,7 +157,20 @@ SearchResult LabelSearch::Naive(const SearchOptions& options) const {
   SearchStats stats;
   std::vector<AttrMask> cands;
   const int n = table_->num_attributes();
-  CountingEngine engine(*table_, EngineOptions(options));
+  // The dataset's shared engine: candidates sized by an earlier search
+  // over this table are answered from the warm cache instead of a scan.
+  // The lock serializes whole searches; the ranking ParallelFor's cache
+  // probes are const and run under this same lock.
+  std::lock_guard<std::mutex> lock(service_->mutex());
+  // This LabelSearch's VC / P_A / error scans describe the base table;
+  // once rows were appended through the service the engine counts the
+  // extended data and mixing the two would certify an inconsistent
+  // label. Rebuild the LabelSearch on the extended table instead.
+  PCBL_CHECK(service_->engine().num_delta_rows() == 0)
+      << "searching after appends requires a LabelSearch rebuilt on the "
+         "extended table";
+  service_->Configure(EngineOptions(options));
+  CountingEngine& engine = service_->engine();
 
   // Level-wise enumeration, starting with subsets of size 2 (Sec. III):
   // singleton labels carry no information beyond VC. A level with no
@@ -203,7 +220,12 @@ SearchResult LabelSearch::TopDown(const SearchOptions& options) const {
   Stopwatch watch;
   SearchStats stats;
   const int n = table_->num_attributes();
-  CountingEngine engine(*table_, EngineOptions(options));
+  std::lock_guard<std::mutex> lock(service_->mutex());
+  PCBL_CHECK(service_->engine().num_delta_rows() == 0)
+      << "searching after appends requires a LabelSearch rebuilt on the "
+         "extended table";
+  service_->Configure(EngineOptions(options));
+  CountingEngine& engine = service_->engine();
 
   // Algorithm 1, batched: the frontier holds the within-budget subsets of
   // the current wave (the FIFO queue of the serial formulation processes

@@ -27,6 +27,7 @@
 #include "core/label.h"
 #include "core/pattern_set.h"
 #include "pattern/counting_engine.h"
+#include "pattern/counting_service.h"
 #include "pattern/full_pattern_index.h"
 #include "relation/stats.h"
 #include "relation/table.h"
@@ -126,8 +127,11 @@ struct SearchResult {
 };
 
 /// Shared context for running searches over one dataset: the table, its VC
-/// set, and the evaluation pattern set P_A. Construct once, search many
-/// times (the figure harness sweeps bounds this way).
+/// set, the evaluation pattern set P_A, and the dataset's CountingService.
+/// Construct once, search many times (the figure harness sweeps bounds
+/// this way) — the service keeps candidate PC sets warm across searches,
+/// so a repeated or refined query sizes its candidates from the cache
+/// instead of rescanning the table.
 class LabelSearch {
  public:
   /// Builds VC and P_A eagerly (one scan + one sort).
@@ -137,6 +141,20 @@ class LabelSearch {
   LabelSearch(const Table& table,
               std::shared_ptr<const ValueCounts> vc,
               std::shared_ptr<const FullPatternIndex> patterns);
+
+  /// The dataset-scoped counting service the searches size through.
+  /// Share it (SetCountingService) to keep one warm cache across several
+  /// LabelSearch instances over the same table.
+  std::shared_ptr<CountingService> counting_service() const {
+    return service_;
+  }
+  void SetCountingService(std::shared_ptr<CountingService> service) {
+    PCBL_CHECK(service != nullptr);
+    service_ = std::move(service);
+  }
+
+  /// Drops the warm cache (e.g. to benchmark cold searches).
+  void InvalidateCountingCache() const { service_->Invalidate(); }
 
   /// Ranks candidates against an explicit pattern set instead of P_A —
   /// Definition 2.15's "patterns that include only sensitive attributes"
@@ -173,6 +191,7 @@ class LabelSearch {
   std::shared_ptr<const ValueCounts> vc_;
   std::shared_ptr<const FullPatternIndex> patterns_;
   std::shared_ptr<const PatternSet> eval_patterns_;  // optional
+  std::shared_ptr<CountingService> service_;
 };
 
 }  // namespace pcbl

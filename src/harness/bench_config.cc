@@ -1,7 +1,10 @@
 #include "harness/bench_config.h"
 
 #include <cstdlib>
+#include <fstream>
+#include <utility>
 
+#include "util/json.h"
 #include "util/str.h"
 
 namespace pcbl {
@@ -34,6 +37,38 @@ std::string BenchConfig::ToString() const {
   return StrFormat("scale=%.6g%% seed=%llu time_limit=%.0fs", scale * 100.0,
                    static_cast<unsigned long long>(seed),
                    time_limit_seconds);
+}
+
+BenchJsonRecorder::BenchJsonRecorder(std::string figure)
+    : figure_(std::move(figure)) {}
+
+void BenchJsonRecorder::Add(const std::string& dataset,
+                            const std::string& metric, int64_t x,
+                            double value) {
+  samples_.push_back(Sample{dataset, metric, x, value});
+}
+
+bool BenchJsonRecorder::WriteIfRequested(const BenchConfig& config) const {
+  const char* path = std::getenv("PCBL_BENCH_JSON");
+  if (path == nullptr || path[0] == '\0') return true;
+  JsonValue doc = JsonValue::Object();
+  doc.Set("figure", JsonValue::String(figure_));
+  doc.Set("scale", JsonValue::Double(config.scale));
+  doc.Set("seed", JsonValue::Int(static_cast<int64_t>(config.seed)));
+  JsonValue samples = JsonValue::Array();
+  for (const Sample& s : samples_) {
+    JsonValue sample = JsonValue::Object();
+    sample.Set("dataset", JsonValue::String(s.dataset));
+    sample.Set("metric", JsonValue::String(s.metric));
+    sample.Set("x", JsonValue::Int(s.x));
+    sample.Set("value", JsonValue::Double(s.value));
+    samples.Append(std::move(sample));
+  }
+  doc.Set("samples", std::move(samples));
+  std::ofstream out(path);
+  if (!out) return false;
+  out << doc.Dump(2) << "\n";
+  return static_cast<bool>(out);
 }
 
 }  // namespace harness

@@ -3,11 +3,15 @@
 // PCBL_BENCH_SCALE (percent, default 100) scales dataset row counts so CI
 // can exercise every figure quickly; the recorded EXPERIMENTS.md numbers
 // use the full scale. PCBL_BENCH_SEED overrides the workload seed.
+// PCBL_BENCH_JSON names a file into which the figure benchmarks dump
+// their samples as JSON (BenchJsonRecorder below) so CI's perf-tracking
+// job can record the trajectory over time; unset = no output.
 #ifndef PCBL_HARNESS_BENCH_CONFIG_H_
 #define PCBL_HARNESS_BENCH_CONFIG_H_
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace pcbl {
 namespace harness {
@@ -29,6 +33,37 @@ struct BenchConfig {
 
   /// "scale=100% seed=2021" for banners.
   std::string ToString() const;
+};
+
+/// Collects one figure benchmark's samples and writes them as a JSON
+/// document when PCBL_BENCH_JSON is set (the CI perf-tracking job points
+/// it at BENCH_<figure>.json and archives the files). Figure benches are
+/// plain executables without google-benchmark's --benchmark_format, so
+/// this is their machine-readable output path.
+class BenchJsonRecorder {
+ public:
+  /// `figure` identifies the benchmark (e.g. "fig07").
+  explicit BenchJsonRecorder(std::string figure);
+
+  /// Records one sample: `metric` measured as `value` on `dataset` at
+  /// x-axis position `x` (rows, bound, attributes — the figure's sweep
+  /// variable).
+  void Add(const std::string& dataset, const std::string& metric, int64_t x,
+           double value);
+
+  /// Writes the document to $PCBL_BENCH_JSON (no-op when unset).
+  /// Returns false on I/O failure.
+  bool WriteIfRequested(const BenchConfig& config) const;
+
+ private:
+  struct Sample {
+    std::string dataset;
+    std::string metric;
+    int64_t x = 0;
+    double value = 0.0;
+  };
+  std::string figure_;
+  std::vector<Sample> samples_;
 };
 
 }  // namespace harness

@@ -4,6 +4,8 @@
 #include <limits>
 #include <unordered_map>
 
+#include "pattern/packed_codec.h"
+#include "pattern/packed_kernels.h"
 #include "pattern/restriction_codec.h"
 #include "util/hash.h"
 #include "util/logging.h"
@@ -335,7 +337,8 @@ int64_t SortRestrictionCountsSize(const Table& table, AttrMask mask,
 
 }  // namespace
 
-GroupCounts ComputePatternCounts(const Table& table, AttrMask mask) {
+GroupCounts ComputePatternCounts(const Table& table, AttrMask mask,
+                                 RestrictionStrategy strategy) {
   std::vector<int> attrs = MaskAttrs(mask);
   size_t width = attrs.size();
   if (width < 2) {
@@ -346,10 +349,31 @@ GroupCounts ComputePatternCounts(const Table& table, AttrMask mask) {
     return out;
   }
 
+  counting::PackedLayout layout = counting::MakePackedLayout(table, attrs);
+  if (strategy == RestrictionStrategy::kAuto && layout.ok) {
+    strategy = RestrictionStrategy::kPacked;
+  }
+  if (strategy == RestrictionStrategy::kPacked) {
+    PCBL_CHECK(layout.ok) << "subset is not packed-eligible";
+    counting::SubsetColumns view = counting::MakeSubsetColumns(table, attrs);
+    return counting::MaterializeFromPackedCodes(
+        mask, std::move(attrs), layout,
+        counting::PackedCountGroups(view, layout, /*groups_hint=*/-1));
+  }
+
   bool encodable = false;
   std::vector<int64_t> mult =
       NullableRadixMultipliers(table, attrs, &encodable);
-  if (!encodable) return SortRestrictionCounts(table, mask);
+  if (strategy == RestrictionStrategy::kAuto ||
+      strategy == RestrictionStrategy::kMixedRadix) {
+    if (!encodable) {
+      PCBL_CHECK(strategy == RestrictionStrategy::kAuto)
+          << "key space is not 64-bit-encodable";
+      return SortRestrictionCounts(table, mask);
+    }
+  } else {
+    return SortRestrictionCounts(table, mask);  // kSort forced
+  }
 
   // Hoist column pointers and NULL slots (see CountDistinctPatterns).
   const ValueId* cols[kMaxAttributes];
@@ -358,7 +382,7 @@ GroupCounts ComputePatternCounts(const Table& table, AttrMask mask) {
     cols[j] = table.column(attrs[j]).data();
     null_slot[j] = static_cast<int64_t>(table.DomainSize(attrs[j]));
   }
-  CodeCountMap counts(256);
+  CodeCountMap counts(counting::SizingReserve(-1, table.num_rows()));
   const int64_t rows = table.num_rows();
   for (int64_t r = 0; r < rows; ++r) {
     int64_t code = 0;
@@ -381,14 +405,28 @@ GroupCounts ComputePatternCounts(const Table& table, AttrMask mask) {
 }
 
 int64_t CountDistinctPatterns(const Table& table, AttrMask mask,
-                              int64_t budget) {
+                              int64_t budget,
+                              RestrictionStrategy strategy) {
   std::vector<int> attrs = MaskAttrs(mask);
   const size_t width = attrs.size();
   if (width < 2) return 0;
+
+  counting::PackedLayout layout = counting::MakePackedLayout(table, attrs);
+  if (strategy == RestrictionStrategy::kAuto && layout.ok) {
+    strategy = RestrictionStrategy::kPacked;
+  }
+  if (strategy == RestrictionStrategy::kPacked) {
+    PCBL_CHECK(layout.ok) << "subset is not packed-eligible";
+    counting::SubsetColumns view = counting::MakeSubsetColumns(table, attrs);
+    return counting::PackedCountDistinct(view, layout, budget);
+  }
+
   bool encodable = false;
   std::vector<int64_t> mult =
       NullableRadixMultipliers(table, attrs, &encodable);
-  if (!encodable) {
+  if (strategy == RestrictionStrategy::kSort || !encodable) {
+    PCBL_CHECK(strategy != RestrictionStrategy::kMixedRadix)
+        << "key space is not 64-bit-encodable";
     return SortRestrictionCountsSize(table, mask, budget);
   }
   // Hoist per-attribute column pointers and NULL slots out of the row
@@ -399,7 +437,7 @@ int64_t CountDistinctPatterns(const Table& table, AttrMask mask,
     cols[j] = table.column(attrs[j]).data();
     null_slot[j] = static_cast<int64_t>(table.DomainSize(attrs[j]));
   }
-  CodeSet seen(budget >= 0 ? static_cast<size_t>(budget) + 2 : 1024);
+  CodeSet seen(counting::SizingReserve(budget, table.num_rows()));
   const int64_t rows = table.num_rows();
   for (int64_t r = 0; r < rows; ++r) {
     int64_t code = 0;

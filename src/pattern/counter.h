@@ -88,6 +88,19 @@ int64_t CountDistinctCombos(const Table& table, AttrMask mask,
 /// the column still has rows — impossible in practice).
 std::optional<int64_t> DenseKeySpace(const Table& table, AttrMask mask);
 
+/// Which restriction-counting implementation to use. kAuto picks the
+/// bit-packed kernels (packed_kernels.h) whenever the subset's packed
+/// width fits in 63 bits, then the mixed-radix hash path when the
+/// nullable key space fits an int64, then the sort fallback. All three
+/// produce byte-identical GroupCounts / counts — the forced values exist
+/// for differential tests and the sizing micro-benchmarks.
+enum class RestrictionStrategy {
+  kAuto,
+  kPacked,
+  kMixedRadix,
+  kSort,
+};
+
 /// The PC set of L_S(D) under the missing-value semantics implied by the
 /// paper's appendix A: tuples are grouped by their *non-NULL restriction*
 /// to `mask`, and only restrictions binding at least two attributes are
@@ -99,14 +112,18 @@ std::optional<int64_t> DenseKeySpace(const Table& table, AttrMask mask);
 /// On NULL-free data this is identical to ComputeGroupCounts for
 /// |mask| >= 2, and empty for smaller masks. This is the semantics under
 /// which Lemma A.8's label sizes and the Theorem 2.17 reduction are sound;
-/// see DESIGN.md.
-GroupCounts ComputePatternCounts(const Table& table, AttrMask mask);
+/// see DESIGN.md §5a.
+GroupCounts ComputePatternCounts(const Table& table, AttrMask mask,
+                                 RestrictionStrategy strategy =
+                                     RestrictionStrategy::kAuto);
 
 /// |P_S| under the same semantics, with the same early-exit budget
 /// behaviour as CountDistinctCombos. This is the quantity the search
 /// algorithms bound by B_s.
 int64_t CountDistinctPatterns(const Table& table, AttrMask mask,
-                              int64_t budget = -1);
+                              int64_t budget = -1,
+                              RestrictionStrategy strategy =
+                                  RestrictionStrategy::kAuto);
 
 }  // namespace pcbl
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "pattern/packed_codec.h"
+#include "pattern/packed_kernels.h"
 #include "pattern/restriction_codec.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
@@ -11,8 +13,27 @@ namespace pcbl {
 
 using counting::CodeCountMap;
 using counting::CodeSet;
+using counting::MakePackedLayout;
+using counting::MakeSubsetColumns;
 using counting::MaterializeFromCodes;
+using counting::MaterializeFromPackedCodes;
 using counting::NullableRadixMultipliers;
+using counting::PackedCountDistinct;
+using counting::PackedCountGroups;
+using counting::PackedLayout;
+using counting::SizingReserve;
+using counting::SubsetColumns;
+
+namespace {
+
+// Canonical group order on raw keys: kNullValue is the numerically
+// largest ValueId, so plain lexicographic comparison sorts NULL last per
+// attribute — exactly the emission order of the codecs.
+inline bool KeyLess(const ValueId* a, const ValueId* b, int width) {
+  return std::lexicographical_compare(a, a + width, b, b + width);
+}
+
+}  // namespace
 
 CountingEngine::CountingEngine(const Table& table,
                                CountingEngineOptions options)
@@ -25,24 +46,17 @@ CountingEngine::Plan CountingEngine::MakePlan(AttrMask mask) const {
     plan.hit = it->second;
     return plan;
   }
-  // Best strict superset: fewest groups. Only the popcount buckets above
-  // the mask's level can hold supersets, so the small-to-large search
-  // traversal never scans anything here. Aggregating the ancestor's
-  // groups must beat a row scan, so anything with >= num_rows groups is
-  // not worth using. Ties are broken arbitrarily — every ancestor yields
-  // the same exact counts, so results do not depend on the choice.
-  int64_t best = table_->num_rows();
-  for (int level = mask.Count() + 1;
-       level <= table_->num_attributes() && level <= kMaxAttributes;
-       ++level) {
-    for (uint64_t bits : by_level_[static_cast<size_t>(level)]) {
-      if ((bits & mask.bits()) != mask.bits()) continue;
-      const auto& entry = cache_.find(bits)->second;
-      if (entry->num_groups() < best) {
-        best = entry->num_groups();
-        plan.ancestor = entry;
-      }
-    }
+  // Best strict superset: fewest groups, found through the subset trie in
+  // near-constant time. Aggregating the ancestor's groups must beat a row
+  // scan, so anything with >= total_rows groups is not worth using. Ties
+  // are broken deterministically by the trie's DFS order — and every
+  // ancestor yields the same exact counts, so results do not depend on
+  // the choice.
+  auto best = ancestors_.BestStrictSuperset(mask, total_rows());
+  if (best.has_value()) {
+    auto anc = cache_.find(best->mask.bits());
+    PCBL_DCHECK(anc != cache_.end());
+    plan.ancestor = anc->second;
   }
   return plan;
 }
@@ -62,52 +76,110 @@ CountingEngine::Sizing CountingEngine::DirectSizing(AttrMask mask,
         ComputePatternCounts(*table_, mask));
     return out;
   }
+  int64_t doms[kMaxAttributes];
+  for (size_t j = 0; j < width; ++j) doms[j] = DomSizeOf(attrs[j]);
+
+  SubsetColumns view = MakeSubsetColumns(*table_, attrs);
+  if (!delta_rows_.empty()) {
+    view.delta = delta_rows_.data();
+    view.delta_rows = num_delta_rows();
+    view.delta_stride = table_->num_attributes();
+    for (size_t j = 0; j < width; ++j) {
+      view.delta_attr[j] = attrs[j];
+    }
+  }
+
+  const PackedLayout layout =
+      MakePackedLayout(doms, static_cast<int>(width));
+  if (layout.ok) {
+    if (counting::PackedDenseCountEligible(layout, total_rows())) {
+      // Small key space: one direct-addressing pass counts and
+      // materializes together, and its ascending-code sweep is already
+      // the canonical emission order.
+      std::vector<std::pair<int64_t, int64_t>> items;
+      out.size =
+          counting::PackedCountGroupsDense(view, layout, budget, &items);
+      if (budget >= 0 && out.size > budget) return out;
+      out.counts = std::make_shared<const GroupCounts>(
+          MaterializeFromPackedCodes(mask, std::move(attrs), layout,
+                                     std::move(items)));
+      out.full_scan = true;
+      return out;
+    }
+    // Sizing pass over packed codes (dense bitmap or open addressing);
+    // over-budget subsets — the common case — stop here. Within-budget
+    // ones materialize in a second pass whose map is reserved at the now
+    // exact group count, so it never rehashes.
+    out.size = PackedCountDistinct(view, layout, budget);
+    if (budget >= 0 && out.size > budget) return out;
+    out.counts =
+        std::make_shared<const GroupCounts>(MaterializeFromPackedCodes(
+            mask, std::move(attrs), layout,
+            PackedCountGroups(view, layout, /*groups_hint=*/out.size)));
+    out.full_scan = true;
+    return out;
+  }
+
   bool encodable = false;
   std::vector<int64_t> mult =
-      NullableRadixMultipliers(*table_, attrs, &encodable);
+      NullableRadixMultipliers(doms, width, &encodable);
   if (!encodable) {
     // Non-64-bit-encodable key space: delegate to the sort-based one-shot
     // counters (corner regime; two passes when within budget).
+    PCBL_CHECK(delta_rows_.empty())
+        << "appended rows require a 64-bit-encodable key space";
     out.size = CountDistinctPatterns(*table_, mask, budget);
     if (budget >= 0 && out.size > budget) return out;
     out.counts = std::make_shared<const GroupCounts>(
         ComputePatternCounts(*table_, mask));
+    out.full_scan = true;
     return out;
   }
-  // One pass: count *and* materialize, aborting once the distinct count
-  // blows the budget (the common case for most examined subsets).
-  const ValueId* cols[kMaxAttributes];
-  int64_t null_slot[kMaxAttributes];
-  for (size_t j = 0; j < width; ++j) {
-    cols[j] = table_->column(attrs[j]).data();
-    null_slot[j] = static_cast<int64_t>(table_->DomainSize(attrs[j]));
-  }
-  CodeCountMap counts(budget >= 0 ? static_cast<size_t>(budget) + 2 : 1024);
-  const int64_t rows = table_->num_rows();
-  for (int64_t r = 0; r < rows; ++r) {
+  // Mixed-radix one-pass: count *and* materialize, aborting once the
+  // distinct count blows the budget.
+  CodeCountMap counts(SizingReserve(budget, total_rows()));
+  auto add_row = [&](auto value_at) -> bool {
     int64_t code = 0;
     int arity = 0;
     for (size_t j = 0; j < width; ++j) {
-      ValueId v = cols[j][r];
+      ValueId v = value_at(j);
       int64_t slot;
       if (IsNull(v)) {
-        slot = null_slot[j];
+        slot = doms[j];
       } else {
         slot = static_cast<int64_t>(v);
         ++arity;
       }
       code += slot * mult[j];
     }
-    if (arity < 2) continue;
+    if (arity < 2) return true;
     counts.Increment(code);
-    if (budget >= 0 && counts.size() > budget) {
+    return !(budget >= 0 && counts.size() > budget);
+  };
+  const ValueId* cols[kMaxAttributes];
+  for (size_t j = 0; j < width; ++j) {
+    cols[j] = table_->column(attrs[j]).data();
+  }
+  const int64_t rows = table_->num_rows();
+  for (int64_t r = 0; r < rows; ++r) {
+    if (!add_row([&](size_t j) { return cols[j][r]; })) {
+      out.size = counts.size();
+      return out;
+    }
+  }
+  const int64_t stride = table_->num_attributes();
+  const int64_t deltas = num_delta_rows();
+  for (int64_t r = 0; r < deltas; ++r) {
+    const ValueId* row = delta_rows_.data() + r * stride;
+    if (!add_row([&](size_t j) { return row[attrs[j]]; })) {
       out.size = counts.size();
       return out;
     }
   }
   out.size = counts.size();
   out.counts = std::make_shared<const GroupCounts>(
-      MaterializeFromCodes(*table_, mask, attrs, mult, counts.Items()));
+      MaterializeFromCodes(mask, attrs, doms, mult, counts.Items()));
+  out.full_scan = true;
   return out;
 }
 
@@ -117,9 +189,11 @@ CountingEngine::Sizing CountingEngine::RollupSizing(
   out.path = Path::kRollup;
   std::vector<int> attrs = mask.ToIndices();
   const size_t width = attrs.size();
+  int64_t doms[kMaxAttributes];
+  for (size_t j = 0; j < width; ++j) doms[j] = DomSizeOf(attrs[j]);
   bool encodable = false;
   std::vector<int64_t> mult =
-      NullableRadixMultipliers(*table_, attrs, &encodable);
+      NullableRadixMultipliers(doms, width, &encodable);
   PCBL_DCHECK(encodable);  // caller checked
   // Position of each mask attribute inside the ancestor's (ascending)
   // attribute list.
@@ -131,15 +205,11 @@ CountingEngine::Sizing CountingEngine::RollupSizing(
     PCBL_DCHECK(a < anc_attrs.size() && anc_attrs[a] == attrs[j]);
     pos[j] = static_cast<int>(a);
   }
-  int64_t null_slot[kMaxAttributes];
-  for (size_t j = 0; j < width; ++j) {
-    null_slot[j] = static_cast<int64_t>(table_->DomainSize(attrs[j]));
-  }
   // Aggregate ancestor groups instead of table rows. Exact because every
   // tuple's restriction to `mask` is the projection of its restriction to
   // the ancestor set, and tuples absent from the ancestor's PC set (arity
   // < 2 there) project to arity < 2 here as well.
-  CodeCountMap counts(budget >= 0 ? static_cast<size_t>(budget) + 2 : 1024);
+  CodeCountMap counts(SizingReserve(budget, ancestor.num_groups()));
   const int64_t groups = ancestor.num_groups();
   for (int64_t g = 0; g < groups; ++g) {
     const ValueId* key = ancestor.key(g);
@@ -149,7 +219,7 @@ CountingEngine::Sizing CountingEngine::RollupSizing(
       ValueId v = key[pos[j]];
       int64_t slot;
       if (IsNull(v)) {
-        slot = null_slot[j];
+        slot = doms[j];
       } else {
         slot = static_cast<int64_t>(v);
         ++arity;
@@ -165,7 +235,7 @@ CountingEngine::Sizing CountingEngine::RollupSizing(
   }
   out.size = counts.size();
   out.counts = std::make_shared<const GroupCounts>(
-      MaterializeFromCodes(*table_, mask, attrs, mult, counts.Items()));
+      MaterializeFromCodes(mask, attrs, doms, mult, counts.Items()));
   return out;
 }
 
@@ -181,8 +251,10 @@ CountingEngine::Sizing CountingEngine::ExecutePlan(AttrMask mask,
   }
   if (plan.ancestor != nullptr && mask.Count() >= 2) {
     std::vector<int> attrs = mask.ToIndices();
+    int64_t doms[kMaxAttributes];
+    for (size_t j = 0; j < attrs.size(); ++j) doms[j] = DomSizeOf(attrs[j]);
     bool encodable = false;
-    NullableRadixMultipliers(*table_, attrs, &encodable);
+    NullableRadixMultipliers(doms, attrs.size(), &encodable);
     if (encodable) return RollupSizing(*plan.ancestor, mask, budget);
   }
   return DirectSizing(mask, budget);
@@ -199,12 +271,27 @@ void CountingEngine::Commit(AttrMask mask, const Sizing& sizing) {
       break;
     case Path::kDirect:
       ++stats_.direct_scans;
+      if (sizing.full_scan) ++stats_.full_scans;
       break;
     case Path::kTrivial:
       break;
   }
   if (sizing.counts != nullptr && mask.Count() >= 2) {
     CacheInsert(mask, sizing.counts);
+  }
+}
+
+void CountingEngine::EvictToBudget() {
+  while (stats_.cached_groups > options_.cache_budget &&
+         !insertion_order_.empty()) {
+    uint64_t victim = insertion_order_.front();
+    insertion_order_.pop_front();
+    auto it = cache_.find(victim);
+    PCBL_DCHECK(it != cache_.end());
+    stats_.cached_groups -= it->second->num_groups() + 1;
+    cache_.erase(it);
+    ancestors_.Erase(AttrMask(victim));
+    ++stats_.evictions;
   }
 }
 
@@ -215,13 +302,6 @@ void CountingEngine::CacheInsert(AttrMask mask,
   const int64_t cost = counts->num_groups() + 1;
   if (!pinned && cost > options_.cache_budget) return;
   if (cache_.contains(mask.bits())) return;
-  auto evict_from_level = [&](uint64_t bits) {
-    std::vector<uint64_t>& bucket =
-        by_level_[static_cast<size_t>(AttrMask(bits).Count())];
-    auto pos = std::find(bucket.begin(), bucket.end(), bits);
-    PCBL_DCHECK(pos != bucket.end());
-    bucket.erase(pos);
-  };
   if (!pinned) {
     while (stats_.cached_groups + cost > options_.cache_budget &&
            !insertion_order_.empty()) {
@@ -231,14 +311,122 @@ void CountingEngine::CacheInsert(AttrMask mask,
       PCBL_DCHECK(it != cache_.end());
       stats_.cached_groups -= it->second->num_groups() + 1;
       cache_.erase(it);
-      evict_from_level(victim);
+      ancestors_.Erase(AttrMask(victim));
       ++stats_.evictions;
     }
     insertion_order_.push_back(mask.bits());
     stats_.cached_groups += cost;
+  } else {
+    pinned_.insert(mask.bits());
   }
+  ancestors_.Insert(mask, counts->num_groups());
   cache_.emplace(mask.bits(), std::move(counts));
-  by_level_[static_cast<size_t>(mask.Count())].push_back(mask.bits());
+}
+
+void CountingEngine::Reconfigure(const CountingEngineOptions& options) {
+  PCBL_CHECK(options.enabled || delta_rows_.empty())
+      << "the engine cannot be disabled once rows were appended";
+  options_ = options;
+  EvictToBudget();
+}
+
+void CountingEngine::InvalidateCache() {
+  cache_.clear();
+  insertion_order_.clear();
+  pinned_.clear();
+  ancestors_.Clear();
+  stats_.cached_groups = 0;
+  ++stats_.invalidations;
+}
+
+std::shared_ptr<const GroupCounts> CountingEngine::PatchedEntry(
+    const GroupCounts& entry,
+    const std::vector<std::vector<ValueId>>& rows) const {
+  const std::vector<int>& attrs = entry.attrs();
+  const int width = entry.key_width();
+  // Restrictions of arity >= 2 contributed by the new rows.
+  std::vector<ValueId> fresh;
+  for (const std::vector<ValueId>& row : rows) {
+    int arity = 0;
+    const size_t base = fresh.size();
+    fresh.resize(base + static_cast<size_t>(width));
+    for (int j = 0; j < width; ++j) {
+      const ValueId v = row[static_cast<size_t>(attrs[j])];
+      fresh[base + static_cast<size_t>(j)] = v;
+      arity += static_cast<int>(!IsNull(v));
+    }
+    if (arity < 2) fresh.resize(base);
+  }
+  if (fresh.empty()) return nullptr;
+
+  auto patched = std::make_shared<GroupCounts>(entry);
+  std::vector<ValueId>& keys = GroupCountsAccess::keys(*patched);
+  std::vector<int64_t>& counts = GroupCountsAccess::counts(*patched);
+  const size_t n_fresh = fresh.size() / static_cast<size_t>(width);
+  for (size_t i = 0; i < n_fresh; ++i) {
+    const ValueId* key = fresh.data() + i * static_cast<size_t>(width);
+    // Binary search for the canonical position of the key.
+    int64_t lo = 0;
+    int64_t hi = static_cast<int64_t>(counts.size());
+    while (lo < hi) {
+      const int64_t mid = (lo + hi) / 2;
+      if (KeyLess(keys.data() + mid * width, key, width)) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo < static_cast<int64_t>(counts.size()) &&
+        std::equal(key, key + width, keys.data() + lo * width)) {
+      ++counts[static_cast<size_t>(lo)];
+    } else {
+      keys.insert(keys.begin() + lo * width, key, key + width);
+      counts.insert(counts.begin() + lo, 1);
+    }
+  }
+  return patched;
+}
+
+void CountingEngine::ApplyAppend(
+    const std::vector<std::vector<ValueId>>& rows) {
+  PCBL_CHECK(options_.enabled)
+      << "appending rows requires the counting engine enabled";
+  if (rows.empty()) return;
+  const int n = table_->num_attributes();
+  if (eff_dom_.empty()) {
+    eff_dom_.resize(static_cast<size_t>(n));
+    for (int a = 0; a < n; ++a) {
+      eff_dom_[static_cast<size_t>(a)] =
+          static_cast<int64_t>(table_->DomainSize(a));
+    }
+  }
+  for (const std::vector<ValueId>& row : rows) {
+    PCBL_CHECK(static_cast<int>(row.size()) == n)
+        << "appended row width mismatches the schema";
+    for (int a = 0; a < n; ++a) {
+      const ValueId v = row[static_cast<size_t>(a)];
+      if (!IsNull(v) &&
+          static_cast<int64_t>(v) >= eff_dom_[static_cast<size_t>(a)]) {
+        eff_dom_[static_cast<size_t>(a)] = static_cast<int64_t>(v) + 1;
+      }
+    }
+    delta_rows_.insert(delta_rows_.end(), row.begin(), row.end());
+  }
+  if (cache_.empty()) return;
+  // Patch every cached entry in place (copy-on-write: probes may hold
+  // references to the old shared state).
+  for (auto& [bits, entry] : cache_) {
+    std::shared_ptr<const GroupCounts> patched = PatchedEntry(*entry, rows);
+    if (patched == nullptr) continue;
+    const int64_t grown = patched->num_groups() - entry->num_groups();
+    entry = std::move(patched);
+    ++stats_.patched_entries;
+    ancestors_.Insert(AttrMask(bits), entry->num_groups());
+    if (grown != 0 && !pinned_.contains(bits)) {
+      stats_.cached_groups += grown;
+    }
+  }
+  EvictToBudget();
 }
 
 int64_t CountingEngine::CountPatterns(AttrMask mask, int64_t budget) {
@@ -288,21 +476,29 @@ std::vector<int64_t> CountingEngine::CountPatternsBatch(
 }
 
 int64_t CountingEngine::CountCombos(AttrMask mask, int64_t budget) {
-  if (!options_.enabled || mask.Count() < 2) {
+  // Reference behaviour when there is nothing the one-shot counter cannot
+  // see; with appended rows every width goes through the delta-aware
+  // paths below (ApplyAppend guarantees options_.enabled).
+  if (delta_rows_.empty() && (!options_.enabled || mask.Count() < 2)) {
     return CountDistinctCombos(*table_, mask, budget);
   }
-  Plan plan = MakePlan(mask);
+  if (mask.empty()) return total_rows() > 0 ? 1 : 0;
+  std::vector<int> attrs = mask.ToIndices();
+  const size_t width = attrs.size();
+  int64_t doms[kMaxAttributes];
+  for (size_t j = 0; j < width; ++j) doms[j] = DomSizeOf(attrs[j]);
+  Plan plan = width >= 2 ? MakePlan(mask) : Plan{};
   if (plan.hit != nullptr) {
     // Full combos are exactly the fully-bound groups of the PC set (each
     // a distinct key), since |mask| >= 2 restrictions are all stored.
     ++stats_.cache_hits;
     const GroupCounts& pc = *plan.hit;
-    const int width = pc.key_width();
+    const int kw = pc.key_width();
     int64_t combos = 0;
     for (int64_t g = 0; g < pc.num_groups(); ++g) {
       const ValueId* key = pc.key(g);
       bool full = true;
-      for (int j = 0; j < width; ++j) {
+      for (int j = 0; j < kw; ++j) {
         if (IsNull(key[j])) {
           full = false;
           break;
@@ -314,52 +510,92 @@ int64_t CountingEngine::CountCombos(AttrMask mask, int64_t budget) {
     }
     return combos;
   }
-  if (plan.ancestor != nullptr) {
-    std::optional<int64_t> space = DenseKeySpace(*table_, mask);
-    if (space.has_value()) {
-      ++stats_.rollups;
-      std::vector<int> attrs = mask.ToIndices();
-      const size_t width = attrs.size();
-      const std::vector<int>& anc_attrs = plan.ancestor->attrs();
-      int pos[kMaxAttributes];
-      size_t a = 0;
+  // Non-null mixed-radix multipliers over the (effective) domains; the
+  // dense key space must fit an int64 for both the rollup and the
+  // delta-aware scan below.
+  bool encodable = true;
+  std::vector<int64_t> mult(width);
+  {
+    int64_t m = 1;
+    for (size_t j = width; j-- > 0;) {
+      mult[j] = m;
+      int64_t dom = std::max<int64_t>(1, doms[j]);
+      if (m > std::numeric_limits<int64_t>::max() / dom) {
+        encodable = false;
+        break;
+      }
+      m *= dom;
+    }
+  }
+  if (plan.ancestor != nullptr && encodable) {
+    ++stats_.rollups;
+    const std::vector<int>& anc_attrs = plan.ancestor->attrs();
+    int pos[kMaxAttributes];
+    size_t a = 0;
+    for (size_t j = 0; j < width; ++j) {
+      while (a < anc_attrs.size() && anc_attrs[a] < attrs[j]) ++a;
+      PCBL_DCHECK(a < anc_attrs.size() && anc_attrs[a] == attrs[j]);
+      pos[j] = static_cast<int>(a);
+    }
+    // Distinct fully-bound projections of the ancestor's groups. Exact:
+    // every tuple with a NULL-free mask combination has arity >= 2 in
+    // the ancestor set, so its group is present there.
+    CodeSet seen(SizingReserve(budget, plan.ancestor->num_groups()));
+    for (int64_t g = 0; g < plan.ancestor->num_groups(); ++g) {
+      const ValueId* key = plan.ancestor->key(g);
+      int64_t code = 0;
+      bool full = true;
       for (size_t j = 0; j < width; ++j) {
-        while (a < anc_attrs.size() && anc_attrs[a] < attrs[j]) ++a;
-        PCBL_DCHECK(a < anc_attrs.size() && anc_attrs[a] == attrs[j]);
-        pos[j] = static_cast<int>(a);
-      }
-      // Distinct fully-bound projections of the ancestor's groups. Exact:
-      // every tuple with a NULL-free mask combination has arity >= 2 in
-      // the ancestor set, so its group is present there.
-      std::vector<int64_t> mult(width);
-      int64_t m = 1;
-      for (size_t j = width; j-- > 0;) {
-        mult[j] = m;
-        m *= std::max<int64_t>(1, table_->DomainSize(attrs[j]));
-      }
-      CodeSet seen(budget >= 0 ? static_cast<size_t>(budget) + 2 : 256);
-      for (int64_t g = 0; g < plan.ancestor->num_groups(); ++g) {
-        const ValueId* key = plan.ancestor->key(g);
-        int64_t code = 0;
-        bool full = true;
-        for (size_t j = 0; j < width; ++j) {
-          ValueId v = key[pos[j]];
-          if (IsNull(v)) {
-            full = false;
-            break;
-          }
-          code += static_cast<int64_t>(v) * mult[j];
+        ValueId v = key[pos[j]];
+        if (IsNull(v)) {
+          full = false;
+          break;
         }
-        if (!full) continue;
-        if (seen.Insert(code) && budget >= 0 && seen.size() > budget) {
-          return seen.size();
-        }
+        code += static_cast<int64_t>(v) * mult[j];
       }
+      if (!full) continue;
+      if (seen.Insert(code) && budget >= 0 && seen.size() > budget) {
+        return seen.size();
+      }
+    }
+    return seen.size();
+  }
+  if (delta_rows_.empty()) {
+    ++stats_.direct_scans;
+    return CountDistinctCombos(*table_, mask, budget);
+  }
+  // Delta-aware combo scan (the one-shot counter cannot see the appended
+  // rows).
+  PCBL_CHECK(encodable)
+      << "appended rows require a 64-bit-encodable key space";
+  ++stats_.direct_scans;
+  const ValueId* cols[kMaxAttributes];
+  for (size_t j = 0; j < width; ++j) {
+    cols[j] = table_->column(attrs[j]).data();
+  }
+  CodeSet seen(SizingReserve(budget, total_rows()));
+  auto add_row = [&](auto value_at) -> bool {
+    int64_t code = 0;
+    for (size_t j = 0; j < width; ++j) {
+      ValueId v = value_at(j);
+      if (IsNull(v)) return true;
+      code += static_cast<int64_t>(v) * mult[j];
+    }
+    return !(seen.Insert(code) && budget >= 0 && seen.size() > budget);
+  };
+  const int64_t rows = table_->num_rows();
+  for (int64_t r = 0; r < rows; ++r) {
+    if (!add_row([&](size_t j) { return cols[j][r]; })) return seen.size();
+  }
+  const int64_t stride = table_->num_attributes();
+  const int64_t deltas = num_delta_rows();
+  for (int64_t r = 0; r < deltas; ++r) {
+    const ValueId* row = delta_rows_.data() + r * stride;
+    if (!add_row([&](size_t j) { return row[attrs[j]]; })) {
       return seen.size();
     }
   }
-  ++stats_.direct_scans;
-  return CountDistinctCombos(*table_, mask, budget);
+  return seen.size();
 }
 
 std::shared_ptr<const GroupCounts> CountingEngine::PatternCounts(
@@ -386,13 +622,17 @@ std::shared_ptr<const GroupCounts> CountingEngine::PinnedPatternCounts(
     if (pos != insertion_order_.end()) {
       insertion_order_.erase(pos);
       stats_.cached_groups -= it->second->num_groups() + 1;
+      pinned_.insert(mask.bits());
     }
     return it->second;
   }
   Sizing sizing = ExecutePlan(mask, MakePlan(mask), /*budget=*/-1);
   ++stats_.sizings;
   if (sizing.path == Path::kRollup) ++stats_.rollups;
-  if (sizing.path == Path::kDirect) ++stats_.direct_scans;
+  if (sizing.path == Path::kDirect) {
+    ++stats_.direct_scans;
+    if (sizing.full_scan) ++stats_.full_scans;
+  }
   PCBL_CHECK(sizing.counts != nullptr);
   if (mask.Count() >= 2) {
     CacheInsert(mask, sizing.counts, /*pinned=*/true);

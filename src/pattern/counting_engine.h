@@ -6,47 +6,62 @@
 // every surviving candidate additionally needs its full PC set to build
 // the label. Calling the one-shot counters in counter.h performs a serial
 // full-table row scan per subset. This engine removes that bottleneck
-// along three axes, while keeping results *byte-identical* to the one-shot
+// along four axes, while keeping results *byte-identical* to the one-shot
 // counters for any thread count and cache budget:
 //
 //  1. Batching — a lattice level's candidate masks are sized together via
 //     CountPatternsBatch, spreading the independent scans over a
 //     ParallelFor.
-//  2. Memoization — sizing a subset within budget materializes its full
+//  2. Kernels — packed-eligible subsets (packed_codec.h) are sized by the
+//     tiled bit-packed kernels of packed_kernels.h: shift/OR encoding,
+//     arity-2/3 specializations, dense-bitmap distinctness. Non-eligible
+//     subsets take the mixed-radix or sort paths of counter.h.
+//  3. Memoization — sizing a subset within budget materializes its full
 //     PC set as a by-product (same pass, same cost regime), and the
 //     result is cached per AttrMask in a size-bounded cache with
 //     deterministic FIFO eviction. Label::BuildFromCounts then reuses the
 //     cached counts, so the ranking phase of the search never rescans the
 //     table for a candidate the generation phase already counted.
-//  3. Rollup — when a cached entry for a *superset* T ⊇ S exists, the
+//  4. Rollup — when a cached entry for a *superset* T ⊇ S exists, the
 //     PC set of S is derived by aggregating T's groups (projecting each
 //     group key onto S and re-grouping) instead of rescanning the table.
-//     Group counts are far smaller than row counts on the paper's skewed
-//     datasets, and exactness is preserved: a tuple's restriction to S is
-//     the projection of its restriction to T, and any restriction dropped
-//     from T's PC set (arity < 2 over T) projects to arity < 2 over S.
+//     The best (fewest-groups) cached ancestor is found through a
+//     SubsetTrie in near-constant time. Group counts are far smaller than
+//     row counts on the paper's skewed datasets, and exactness is
+//     preserved: a tuple's restriction to S is the projection of its
+//     restriction to T, and any restriction dropped from T's PC set
+//     (arity < 2 over T) projects to arity < 2 over S.
 //
 // Fallbacks keep the engine total: masks whose nullable key space
 // overflows 64 bits, or for which no useful cached ancestor exists, take
 // the direct scan path of counter.h.
 //
+// The engine outlives a single search: CountingService (counting_service.h)
+// keeps one engine per dataset so that repeated queries hit warm PC sets,
+// and ApplyAppend lets a growing dataset patch the cached entries in
+// place instead of discarding them (appended rows are tracked as a
+// row-major delta block included by every scan, so answers stay exact
+// against the extended data).
+//
 // Thread-safety: the const probes (CachedPatternCounts, stats, table) are
 // safe to call concurrently with each other; the mutating calls
-// (CountPatterns*, CountCombos, PatternCounts) must be externally
-// serialized. CountPatternsBatch parallelizes internally and commits cache
-// updates in deterministic input order, so cache contents never depend on
-// thread scheduling.
+// (CountPatterns*, CountCombos, PatternCounts, ApplyAppend, Reconfigure)
+// must be externally serialized (CountingService provides the lock).
+// CountPatternsBatch parallelizes internally and commits cache updates in
+// deterministic input order, so cache contents never depend on thread
+// scheduling.
 #ifndef PCBL_PATTERN_COUNTING_ENGINE_H_
 #define PCBL_PATTERN_COUNTING_ENGINE_H_
 
-#include <array>
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "pattern/counter.h"
+#include "pattern/subset_trie.h"
 #include "relation/table.h"
 #include "util/attr_mask.h"
 
@@ -56,7 +71,8 @@ namespace pcbl {
 struct CountingEngineOptions {
   /// Master switch: when false every call delegates to the one-shot
   /// counters in counter.h (no batching, no cache) — the byte-identical
-  /// reference behaviour.
+  /// reference behaviour. May not be disabled once rows were appended
+  /// (the one-shot counters cannot see the delta block).
   bool enabled = true;
 
   /// Worker threads for CountPatternsBatch (1 = serial). Results are
@@ -76,13 +92,19 @@ struct CountingEngineStats {
   int64_t sizings = 0;       ///< CountPatterns answers (incl. batched).
   int64_t cache_hits = 0;    ///< answered from an exact cached entry
   int64_t rollups = 0;       ///< derived by aggregating a cached superset
-  int64_t direct_scans = 0;  ///< full-table scans performed
+  int64_t direct_scans = 0;  ///< table scans attempted (incl. aborted)
+  int64_t full_scans = 0;    ///< direct scans that ran to completion and
+                             ///< materialized a PC set (the expensive
+                             ///< regime a warm cache eliminates)
   int64_t evictions = 0;     ///< cache entries evicted
   int64_t cached_groups = 0; ///< current cache load (group entries)
+  int64_t patched_entries = 0;  ///< cached PC sets patched by appends
+  int64_t invalidations = 0;    ///< whole-cache invalidations
 };
 
-/// Owns all candidate sizing for one immutable table. Construct once per
-/// search; the cache keys assume the table never changes underneath.
+/// Owns all candidate sizing for one table (plus any rows appended through
+/// ApplyAppend). The cache keys assume the base table never changes
+/// underneath.
 class CountingEngine {
  public:
   explicit CountingEngine(const Table& table,
@@ -121,6 +143,35 @@ class CountingEngine {
   std::shared_ptr<const GroupCounts> CachedPatternCounts(
       AttrMask mask) const;
 
+  /// Applies new options in place without discarding warm cache entries.
+  /// Shrinking the budget evicts FIFO down to the new limit (a budget of
+  /// 0 clears every unpinned entry); pinned entries are untouched.
+  void Reconfigure(const CountingEngineOptions& options);
+
+  /// Drops every cached entry (pinned included) — the invalidate arm of
+  /// the append hook. Appended rows are data, not cache, and survive.
+  void InvalidateCache();
+
+  /// Extends the counted dataset by `rows` (row-major, one ValueId per
+  /// attribute in schema order; kNullValue for missing; codes beyond the
+  /// base table's domain denote freshly interned values — ids must extend
+  /// the base code space the way TableBuilder would). Every cached PC set
+  /// is *patched* with the new rows' restrictions, so warm entries stay
+  /// exact against the extended data; subsequent scans include the rows.
+  /// Requires options().enabled; subsets whose extended key space is not
+  /// 64-bit-encodable are not supported while deltas exist.
+  void ApplyAppend(const std::vector<std::vector<ValueId>>& rows);
+
+  /// Base-table rows plus appended rows.
+  int64_t total_rows() const {
+    return table_->num_rows() + num_delta_rows();
+  }
+  int64_t num_delta_rows() const {
+    const int n = table_->num_attributes();
+    return n == 0 ? 0
+                  : static_cast<int64_t>(delta_rows_.size()) / n;
+  }
+
   const CountingEngineStats& stats() const { return stats_; }
   const CountingEngineOptions& options() const { return options_; }
   const Table& table() const { return *table_; }
@@ -137,6 +188,7 @@ class CountingEngine {
     std::shared_ptr<const GroupCounts> counts;
     int64_t size = 0;
     Path path = Path::kDirect;
+    bool full_scan = false;  // a direct scan ran to completion
   };
 
   // How a mask will be sized, decided serially against the cache.
@@ -167,18 +219,42 @@ class CountingEngine {
   void CacheInsert(AttrMask mask, std::shared_ptr<const GroupCounts> counts,
                    bool pinned = false);
 
+  // Evicts FIFO until the unpinned load fits options_.cache_budget.
+  void EvictToBudget();
+
+  // Effective domain size of `attr`: the base table's, grown by appended
+  // rows' fresh codes. All codecs (packed, mixed-radix) run over these so
+  // delta codes encode/decode exactly as a rebuilt table would.
+  int64_t DomSizeOf(int attr) const {
+    return eff_dom_.empty()
+               ? static_cast<int64_t>(table_->DomainSize(attr))
+               : eff_dom_[static_cast<size_t>(attr)];
+  }
+
+  // Returns a new GroupCounts equal to `entry` with the delta rows in
+  // [first_row, end) applied, or nullptr when no row contributes.
+  std::shared_ptr<const GroupCounts> PatchedEntry(
+      const GroupCounts& entry,
+      const std::vector<std::vector<ValueId>>& rows) const;
+
   const Table* table_;
   CountingEngineOptions options_;
   CountingEngineStats stats_;
 
   // mask bits -> cached PC set; insertion_order_ drives FIFO eviction
-  // (pinned entries are absent from it and from the budget). by_level_
-  // buckets cached masks by popcount so the ancestor lookup scans only
-  // strictly larger subsets — during the searches' small-to-large
-  // traversal those buckets are empty and planning is O(1).
+  // (pinned entries are absent from it and from the budget). ancestors_
+  // indexes every cached mask for the rollup planner's best-superset
+  // query.
   std::unordered_map<uint64_t, std::shared_ptr<const GroupCounts>> cache_;
   std::deque<uint64_t> insertion_order_;
-  std::array<std::vector<uint64_t>, kMaxAttributes + 1> by_level_;
+  std::unordered_set<uint64_t> pinned_;
+  SubsetTrie ancestors_;
+
+  // Rows appended after construction (row-major, num_attributes stride)
+  // and the effective per-attribute domains they imply (empty until the
+  // first append).
+  std::vector<ValueId> delta_rows_;
+  std::vector<int64_t> eff_dom_;
 };
 
 }  // namespace pcbl

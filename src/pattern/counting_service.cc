@@ -1,0 +1,31 @@
+#include "pattern/counting_service.h"
+
+namespace pcbl {
+
+namespace {
+
+// Patch-vs-invalidate pivot: patching costs one binary search + insertion
+// per (row, cached entry) pair, a rescan costs O(rows) per future sizing.
+// Beyond this much patch work the cache is cheaper to rebuild than to
+// repair.
+constexpr int64_t kMaxPatchWork = int64_t{1} << 22;
+
+}  // namespace
+
+void CountingService::AppendRow(const std::vector<ValueId>& codes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  engine_.ApplyAppend({codes});
+}
+
+void CountingService::AppendRows(
+    const std::vector<std::vector<ValueId>>& rows) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t cached = engine_.stats().cached_groups;
+  const int64_t work = static_cast<int64_t>(rows.size()) * cached;
+  if (work > kMaxPatchWork) {
+    engine_.InvalidateCache();  // the invalidate arm
+  }
+  engine_.ApplyAppend(rows);
+}
+
+}  // namespace pcbl

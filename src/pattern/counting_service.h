@@ -1,0 +1,91 @@
+// CountingService: one CountingEngine per dataset, shared by every
+// consumer of that dataset's counts.
+//
+// PR 1's engine was constructed per LabelSearch call, so a second search
+// over the same table — a bound sweep, a multi-label partition, a CLI
+// re-run — rebuilt the PC-set cache from scratch. The service hoists the
+// engine to dataset/session scope: LabelSearch::Naive/TopDown, the
+// theory-reduction sweep, and the CLI all size candidates through the
+// same engine, so repeated queries hit warm PC sets (a warm second
+// search performs zero full-table scans for the candidates the first one
+// sized — asserted in pattern_counting_service_test.cc).
+//
+// The service also owns the append story for growing datasets
+// (invalidate-or-patch): AppendRow patches every cached PC set with the
+// new row's restrictions (cheap for the paper's occasional-append
+// regime), while AppendRows invalidates first when the batch is large
+// enough that per-entry patching would cost more than the rescans it
+// saves. Both arms stay exact — the engine tracks appended rows in a
+// delta block that every subsequent scan includes.
+//
+// Thread-safety: the engine's mutating calls must be serialized; mutex()
+// is the lock consumers hold for the duration of a search (const cache
+// probes from a search's internal ParallelFor are safe under the
+// caller's own lock, per the engine's contract).
+#ifndef PCBL_PATTERN_COUNTING_SERVICE_H_
+#define PCBL_PATTERN_COUNTING_SERVICE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "pattern/counting_engine.h"
+#include "relation/table.h"
+
+namespace pcbl {
+
+class CountingService {
+ public:
+  explicit CountingService(const Table& table,
+                           CountingEngineOptions options = {})
+      : engine_(table, options) {}
+
+  CountingService(const CountingService&) = delete;
+  CountingService& operator=(const CountingService&) = delete;
+
+  /// The shared engine. Hold mutex() around mutating calls when the
+  /// service is reachable from more than one thread.
+  CountingEngine& engine() { return engine_; }
+  const CountingEngine& engine() const { return engine_; }
+
+  std::mutex& mutex() const { return mu_; }
+
+  /// Applies per-search knobs (threads, enabled, cache budget) without
+  /// discarding warm entries; shrinking the budget evicts down to it.
+  void Configure(const CountingEngineOptions& options) {
+    engine_.Reconfigure(options);
+  }
+
+  /// Patch arm of the append hook: the row's restriction is folded into
+  /// every cached PC set and the row joins the engine's delta block.
+  /// `codes` is one row over the full schema (kNullValue = missing; fresh
+  /// values use ids extending the base code space in first-seen order,
+  /// exactly as TableBuilder would assign them).
+  void AppendRow(const std::vector<ValueId>& codes);
+
+  /// Appends a batch, choosing the arm by cost: small batches patch the
+  /// cache (one pass over the cached entries), large ones invalidate it
+  /// first — rebuilding from scans is then cheaper than per-entry
+  /// patching, and both arms are exact.
+  void AppendRows(const std::vector<std::vector<ValueId>>& rows);
+
+  /// Drops every cached entry; appended rows (data) survive. Self-locks
+  /// like the append hooks (Configure, by contrast, runs under the
+  /// caller's search lock).
+  void Invalidate() {
+    std::lock_guard<std::mutex> lock(mu_);
+    engine_.InvalidateCache();
+  }
+
+  const Table& table() const { return engine_.table(); }
+  int64_t total_rows() const { return engine_.total_rows(); }
+  const CountingEngineStats& stats() const { return engine_.stats(); }
+
+ private:
+  mutable std::mutex mu_;
+  CountingEngine engine_;
+};
+
+}  // namespace pcbl
+
+#endif  // PCBL_PATTERN_COUNTING_SERVICE_H_

@@ -1,0 +1,364 @@
+#include "pattern/packed_kernels.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "pattern/restriction_codec.h"
+#include "util/logging.h"
+
+namespace pcbl {
+namespace counting {
+
+namespace {
+
+// Generic-kernel tile: large enough to amortize the per-attribute loop
+// switch, small enough that codes + arity stay in L1 (~9 KiB).
+constexpr int64_t kTileRows = 1024;
+
+// Dense-bitmap ceiling: 2^26 bits = 8 MiB. The relative gate in
+// PackedDenseEligible keeps small tables from paying a memset larger
+// than their scan.
+constexpr int kDenseBitsLimit = 26;
+
+// Streams every arity>=2 restriction code of the view through `emit`
+// (bool emit(uint64_t): return false to abort the scan). Arity-2/3 get
+// specialized loops; wider subsets go through the tiled gather.
+template <typename Emit>
+void ForEachPackedCode(const SubsetColumns& view, const PackedLayout& layout,
+                       Emit&& emit) {
+  const int width = view.width;
+  PCBL_DCHECK(width >= 2 && layout.ok);
+  auto delta_value = [&](int64_t r, int j) -> ValueId {
+    return view.delta[r * view.delta_stride + view.delta_attr[j]];
+  };
+  if (width == 2) {
+    // Arity >= 2 over two attributes means both bound: NULL rows drop and
+    // the NULL slot never appears in the codes. NULL-free columns skip
+    // the per-row checks entirely.
+    const ValueId* c0 = view.cols[0];
+    const ValueId* c1 = view.cols[1];
+    const int s0 = layout.shift[0];
+    if (!view.nullable[0] && !view.nullable[1]) {
+      for (int64_t r = 0; r < view.rows; ++r) {
+        if (!emit((static_cast<uint64_t>(c0[r]) << s0) | c1[r])) return;
+      }
+    } else {
+      for (int64_t r = 0; r < view.rows; ++r) {
+        const ValueId v0 = c0[r];
+        const ValueId v1 = c1[r];
+        if (IsNull(v0) || IsNull(v1)) continue;
+        if (!emit((static_cast<uint64_t>(v0) << s0) | v1)) return;
+      }
+    }
+    for (int64_t r = 0; r < view.delta_rows; ++r) {
+      const ValueId v0 = delta_value(r, 0);
+      const ValueId v1 = delta_value(r, 1);
+      if (IsNull(v0) || IsNull(v1)) continue;
+      if (!emit((static_cast<uint64_t>(v0) << s0) | v1)) return;
+    }
+    return;
+  }
+  if (width == 3) {
+    const ValueId* c0 = view.cols[0];
+    const ValueId* c1 = view.cols[1];
+    const ValueId* c2 = view.cols[2];
+    const int s0 = layout.shift[0];
+    const int s1 = layout.shift[1];
+    const uint64_t n0 = layout.null_slot[0];
+    const uint64_t n1 = layout.null_slot[1];
+    const uint64_t n2 = layout.null_slot[2];
+    auto row = [&](ValueId v0, ValueId v1, ValueId v2) {
+      const bool m0 = IsNull(v0);
+      const bool m1 = IsNull(v1);
+      const bool m2 = IsNull(v2);
+      if (static_cast<int>(m0) + static_cast<int>(m1) +
+              static_cast<int>(m2) > 1) {
+        return true;  // arity < 2
+      }
+      const uint64_t code = ((m0 ? n0 : v0) << s0) | ((m1 ? n1 : v1) << s1) |
+                            (m2 ? n2 : v2);
+      return emit(code);
+    };
+    if (!view.nullable[0] && !view.nullable[1] && !view.nullable[2]) {
+      for (int64_t r = 0; r < view.rows; ++r) {
+        const uint64_t code = (static_cast<uint64_t>(c0[r]) << s0) |
+                              (static_cast<uint64_t>(c1[r]) << s1) | c2[r];
+        if (!emit(code)) return;
+      }
+    } else {
+      for (int64_t r = 0; r < view.rows; ++r) {
+        if (!row(c0[r], c1[r], c2[r])) return;
+      }
+    }
+    for (int64_t r = 0; r < view.delta_rows; ++r) {
+      if (!row(delta_value(r, 0), delta_value(r, 1), delta_value(r, 2))) {
+        return;
+      }
+    }
+    return;
+  }
+  // Generic width: gather in row tiles. Each attribute's column slice is
+  // streamed once per tile in a tight shift/OR loop (vectorizable, no
+  // cross-row dependencies); the tile's codes and arities stay in L1.
+  uint64_t codes[kTileRows];
+  uint8_t arity[kTileRows];
+  for (int64_t base = 0; base < view.rows; base += kTileRows) {
+    const int64_t n = std::min(kTileRows, view.rows - base);
+    std::memset(codes, 0, static_cast<size_t>(n) * sizeof(codes[0]));
+    std::memset(arity, 0, static_cast<size_t>(n) * sizeof(arity[0]));
+    for (int j = 0; j < width; ++j) {
+      const ValueId* col = view.cols[j] + base;
+      const int shift = layout.shift[j];
+      const uint64_t null_slot = layout.null_slot[j];
+      for (int64_t r = 0; r < n; ++r) {
+        const ValueId v = col[r];
+        const bool bound = !IsNull(v);
+        codes[r] |= (bound ? static_cast<uint64_t>(v) : null_slot) << shift;
+        arity[r] += static_cast<uint8_t>(bound);
+      }
+    }
+    for (int64_t r = 0; r < n; ++r) {
+      if (arity[r] < 2) continue;
+      if (!emit(codes[r])) return;
+    }
+  }
+  for (int64_t r = 0; r < view.delta_rows; ++r) {
+    uint64_t code = 0;
+    int bound = 0;
+    for (int j = 0; j < width; ++j) {
+      const ValueId v = delta_value(r, j);
+      const bool nn = !IsNull(v);
+      code |= (nn ? static_cast<uint64_t>(v) : layout.null_slot[j])
+              << layout.shift[j];
+      bound += static_cast<int>(nn);
+    }
+    if (bound < 2) continue;
+    if (!emit(code)) return;
+  }
+}
+
+}  // namespace
+
+SubsetColumns MakeSubsetColumns(const Table& table,
+                                const std::vector<int>& attrs) {
+  SubsetColumns view;
+  view.width = static_cast<int>(attrs.size());
+  view.rows = table.num_rows();
+  for (size_t j = 0; j < attrs.size(); ++j) {
+    view.cols[j] = table.column(attrs[j]).data();
+    view.nullable[j] = table.HasNulls(attrs[j]);
+  }
+  return view;
+}
+
+bool PackedDenseCountEligible(const PackedLayout& layout, int64_t rows) {
+  if (!layout.ok || layout.total_bits > 22) return false;
+  const int64_t space = int64_t{1} << layout.total_bits;
+  // The count array's clear + sweep must stay small next to the row scan
+  // (mirrors the dense group-by gate in counter.cc).
+  return space <= 2 * rows + 1024;
+}
+
+int64_t PackedCountGroupsDense(
+    const SubsetColumns& view, const PackedLayout& layout, int64_t budget,
+    std::vector<std::pair<int64_t, int64_t>>* items) {
+  PCBL_DCHECK(
+      PackedDenseCountEligible(layout, view.rows + view.delta_rows));
+  const size_t space = size_t{1} << layout.total_bits;
+  std::vector<uint32_t> counts(space, 0);
+  uint32_t* c = counts.data();
+  int64_t distinct = 0;
+  bool aborted = false;
+  ForEachPackedCode(view, layout, [&](uint64_t code) {
+    distinct += static_cast<int64_t>(c[code]++ == 0);
+    if (budget >= 0 && distinct > budget) {
+      aborted = true;
+      return false;
+    }
+    return true;
+  });
+  if (aborted) return distinct;
+  items->clear();
+  items->reserve(static_cast<size_t>(distinct));
+  for (size_t code = 0; code < space; ++code) {
+    if (c[code] != 0) {
+      items->emplace_back(static_cast<int64_t>(code),
+                          static_cast<int64_t>(c[code]));
+    }
+  }
+  return distinct;
+}
+
+bool PackedDenseEligible(const PackedLayout& layout, int64_t rows) {
+  if (!layout.ok || layout.total_bits > kDenseBitsLimit) return false;
+  const int64_t words = (int64_t{1} << layout.total_bits) / 64 + 1;
+  // The memset of `words` must stay small next to the row scan.
+  return words <= rows + 8192;
+}
+
+int64_t PackedCountDistinct(const SubsetColumns& view,
+                            const PackedLayout& layout, int64_t budget) {
+  const int64_t total_rows = view.rows + view.delta_rows;
+  if (PackedDenseEligible(layout, total_rows)) {
+    // One extra word holds the arity-2 kernel's NULL sentinel bit (code
+    // 2^total_bits), which lets its fill loop run branch-free.
+    const size_t words =
+        static_cast<size_t>((int64_t{1} << layout.total_bits) / 64 + 2);
+    std::vector<uint64_t> bitmap(words, 0);
+    uint64_t* bm = bitmap.data();
+    if (budget < 0) {
+      // Exact counting: fill without testing (a pure OR-store per row —
+      // no read-test dependency, no running counter), then popcount.
+      // Arity 2/3 get fully branch-free encoders — NULL/low-arity rows
+      // route to the sentinel bit via a select — writing into *two*
+      // interleaved accumulators: hot groups hammer the same word, and
+      // splitting even/odd rows across copies halves that
+      // read-modify-write dependency chain.
+      const uint64_t sentinel = uint64_t{1} << layout.total_bits;
+      auto fill_interleaved = [&](auto encode) {
+        std::vector<uint64_t> shadow(words * 3, 0);
+        uint64_t* bs1 = shadow.data();
+        uint64_t* bs2 = bs1 + words;
+        uint64_t* bs3 = bs2 + words;
+        int64_t r = 0;
+        for (; r + 3 < view.rows; r += 4) {
+          const uint64_t a = encode(r);
+          const uint64_t b = encode(r + 1);
+          const uint64_t c = encode(r + 2);
+          const uint64_t d = encode(r + 3);
+          bm[a >> 6] |= uint64_t{1} << (a & 63);
+          bs1[b >> 6] |= uint64_t{1} << (b & 63);
+          bs2[c >> 6] |= uint64_t{1} << (c & 63);
+          bs3[d >> 6] |= uint64_t{1} << (d & 63);
+        }
+        for (; r < view.rows; ++r) {
+          const uint64_t a = encode(r);
+          bm[a >> 6] |= uint64_t{1} << (a & 63);
+        }
+        for (size_t w = 0; w < words; ++w) {
+          bm[w] |= bs1[w] | bs2[w] | bs3[w];
+        }
+      };
+      if (view.width == 2) {
+        const int s0 = layout.shift[0];
+        const ValueId* c0 = view.cols[0];
+        const ValueId* c1 = view.cols[1];
+        if (!view.nullable[0] && !view.nullable[1]) {
+          // NULL-free columns (the paper's datasets): pure shift/OR.
+          fill_interleaved([&](int64_t r) -> uint64_t {
+            return (static_cast<uint64_t>(c0[r]) << s0) | c1[r];
+          });
+        } else {
+          fill_interleaved([&](int64_t r) -> uint64_t {
+            const ValueId v0 = c0[r];
+            const ValueId v1 = c1[r];
+            // Dense-eligible fields are < 2^26, so only NULL (0xFFFFFFFF)
+            // carries the top bit.
+            const bool ok = ((v0 | v1) >> 31) == 0;
+            const uint64_t packed = (static_cast<uint64_t>(v0) << s0) | v1;
+            return ok ? packed : sentinel;
+          });
+        }
+        for (int64_t r = 0; r < view.delta_rows; ++r) {
+          const ValueId* row = view.delta + r * view.delta_stride;
+          const ValueId v0 = row[view.delta_attr[0]];
+          const ValueId v1 = row[view.delta_attr[1]];
+          const bool ok = !IsNull(v0) && !IsNull(v1);
+          const uint64_t packed = (static_cast<uint64_t>(v0) << s0) | v1;
+          const uint64_t code = ok ? packed : sentinel;
+          bm[code >> 6] |= uint64_t{1} << (code & 63);
+        }
+      } else if (view.width == 3) {
+        // Branch-free: slot selection is a single unsigned min (NULL =
+        // 0xFFFFFFFF exceeds every dense-eligible null slot), low-arity
+        // rows route to the sentinel via a select.
+        const int s0 = layout.shift[0];
+        const int s1 = layout.shift[1];
+        const uint32_t n0 = static_cast<uint32_t>(layout.null_slot[0]);
+        const uint32_t n1 = static_cast<uint32_t>(layout.null_slot[1]);
+        const uint32_t n2 = static_cast<uint32_t>(layout.null_slot[2]);
+        const ValueId* c0 = view.cols[0];
+        const ValueId* c1 = view.cols[1];
+        const ValueId* c2 = view.cols[2];
+        if (!view.nullable[0] && !view.nullable[1] && !view.nullable[2]) {
+          fill_interleaved([&](int64_t r) -> uint64_t {
+            return (static_cast<uint64_t>(c0[r]) << s0) |
+                   (static_cast<uint64_t>(c1[r]) << s1) | c2[r];
+          });
+        } else {
+          fill_interleaved([&](int64_t r) -> uint64_t {
+            const uint32_t v0 = c0[r];
+            const uint32_t v1 = c1[r];
+            const uint32_t v2 = c2[r];
+            // Top bit set iff NULL: dense-eligible fields are < 2^26.
+            const uint32_t null_count =
+                (v0 >> 31) + (v1 >> 31) + (v2 >> 31);
+            const uint64_t code =
+                (static_cast<uint64_t>(std::min(v0, n0)) << s0) |
+                (static_cast<uint64_t>(std::min(v1, n1)) << s1) |
+                std::min(v2, n2);
+            return null_count <= 1 ? code : sentinel;
+          });
+        }
+        for (int64_t r = 0; r < view.delta_rows; ++r) {
+          const ValueId* row = view.delta + r * view.delta_stride;
+          const uint32_t v0 = row[view.delta_attr[0]];
+          const uint32_t v1 = row[view.delta_attr[1]];
+          const uint32_t v2 = row[view.delta_attr[2]];
+          const uint32_t null_count = static_cast<uint32_t>(IsNull(v0)) +
+                                      static_cast<uint32_t>(IsNull(v1)) +
+                                      static_cast<uint32_t>(IsNull(v2));
+          const uint64_t packed =
+              (static_cast<uint64_t>(std::min(v0, n0)) << s0) |
+              (static_cast<uint64_t>(std::min(v1, n1)) << s1) |
+              std::min(v2, n2);
+          const uint64_t code = null_count <= 1 ? packed : sentinel;
+          bm[code >> 6] |= uint64_t{1} << (code & 63);
+        }
+      } else {
+        ForEachPackedCode(view, layout, [&](uint64_t code) {
+          bm[code >> 6] |= uint64_t{1} << (code & 63);
+          return true;
+        });
+      }
+      bm[sentinel >> 6] &= ~(uint64_t{1} << (sentinel & 63));
+      int64_t distinct = 0;
+      for (uint64_t word : bitmap) distinct += std::popcount(word);
+      return distinct;
+    }
+    int64_t distinct = 0;
+    ForEachPackedCode(view, layout, [&](uint64_t code) {
+      const uint64_t bit = uint64_t{1} << (code & 63);
+      uint64_t& word = bm[code >> 6];
+      if ((word & bit) == 0) {
+        word |= bit;
+        if (++distinct > budget) return false;
+      }
+      return true;
+    });
+    return distinct;
+  }
+  CodeSet seen(SizingReserve(budget, total_rows));
+  ForEachPackedCode(view, layout, [&](uint64_t code) {
+    return !(seen.Insert(static_cast<int64_t>(code)) && budget >= 0 &&
+             seen.size() > budget);
+  });
+  return seen.size();
+}
+
+std::vector<std::pair<int64_t, int64_t>> PackedCountGroups(
+    const SubsetColumns& view, const PackedLayout& layout,
+    int64_t groups_hint) {
+  const int64_t total_rows = view.rows + view.delta_rows;
+  CodeCountMap counts(groups_hint >= 0
+                          ? static_cast<size_t>(groups_hint) + 1
+                          : SizingReserve(-1, total_rows));
+  ForEachPackedCode(view, layout, [&](uint64_t code) {
+    counts.Increment(static_cast<int64_t>(code));
+    return true;
+  });
+  return counts.Items();
+}
+
+}  // namespace counting
+}  // namespace pcbl

@@ -1,0 +1,100 @@
+// Tiled, bit-packed candidate-sizing kernels (see packed_codec.h for the
+// code layout and its order-isomorphism with the mixed-radix codec).
+//
+// These kernels are what makes sizing bandwidth-bound instead of
+// compute-bound on packed-eligible subsets:
+//
+//  * restrictions are encoded with shifts/ORs instead of per-attribute
+//    int64 multiplies,
+//  * arity-2 and arity-3 subsets (the bulk of every searched lattice
+//    wave) get branch-lean specializations with no inner attribute loop,
+//  * wider subsets gather columns in row tiles so each column's slice is
+//    streamed exactly once per tile while the tile's codes accumulate in
+//    L1,
+//  * distinctness checks use a dense bitmap over the packed key space
+//    when it is small enough (one load+OR per row, no hashing), falling
+//    back to the open-addressing CodeSet otherwise.
+//
+// Counts are byte-identical to the mixed-radix path for every input —
+// the differential suites in pattern_packed_kernels_test.cc and
+// pattern_counting_engine_test.cc enforce this.
+#ifndef PCBL_PATTERN_PACKED_KERNELS_H_
+#define PCBL_PATTERN_PACKED_KERNELS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "pattern/packed_codec.h"
+#include "relation/table.h"
+#include "util/attr_mask.h"
+
+namespace pcbl {
+namespace counting {
+
+/// Column-major view of one attribute subset, plus an optional block of
+/// appended rows (row-major, `delta_stride` ValueIds per row) that the
+/// CountingEngine maintains for datasets grown after construction.
+struct SubsetColumns {
+  const ValueId* cols[kMaxAttributes];
+  int width = 0;
+  int64_t rows = 0;
+  /// Whether position j can hold NULLs (from Table::NullCount, O(1));
+  /// all-false lets the kernels run their branch-free NULL-free loops —
+  /// the common case on the paper's datasets.
+  bool nullable[kMaxAttributes];
+  /// Appended rows; position j of the subset reads
+  /// delta[r * delta_stride + delta_attr[j]].
+  const ValueId* delta = nullptr;
+  int64_t delta_rows = 0;
+  int delta_stride = 0;
+  int delta_attr[kMaxAttributes];
+
+  bool any_nullable() const {
+    for (int j = 0; j < width; ++j) {
+      if (nullable[j]) return true;
+    }
+    return false;
+  }
+};
+
+/// View over `attrs` of `table` (no appended rows).
+SubsetColumns MakeSubsetColumns(const Table& table,
+                                const std::vector<int>& attrs);
+
+/// |P_S| with the early-exit budget contract of CountDistinctPatterns:
+/// exact when <= budget, otherwise any value > budget (budget < 0 =
+/// exact). `layout.ok` must hold.
+int64_t PackedCountDistinct(const SubsetColumns& view,
+                            const PackedLayout& layout, int64_t budget);
+
+/// The full (packed code, count) group list of the subset, unsorted.
+/// `groups_hint` pre-sizes the count map (pass the exact group count when
+/// known — e.g. from a preceding PackedCountDistinct — to make the pass
+/// rehash-free; pass a negative value when unknown).
+std::vector<std::pair<int64_t, int64_t>> PackedCountGroups(
+    const SubsetColumns& view, const PackedLayout& layout,
+    int64_t groups_hint);
+
+/// True when PackedCountDistinct would use the dense-bitmap path: the
+/// packed key space is small enough that a bitmap probe (one load+OR)
+/// beats hashing and its memset is amortized by the scan.
+bool PackedDenseEligible(const PackedLayout& layout, int64_t rows);
+
+/// True when PackedCountGroupsDense applies: the packed key space fits a
+/// direct-addressing count array whose memset is amortized by the scan.
+bool PackedDenseCountEligible(const PackedLayout& layout, int64_t rows);
+
+/// One-pass budgeted count-and-materialize over a dense count array
+/// (requires PackedDenseCountEligible). Returns the distinct count with
+/// the usual early-exit contract; when it is within the budget, *items
+/// receives the (packed code, count) groups in ascending code order —
+/// already the canonical emission order, no sort needed.
+int64_t PackedCountGroupsDense(const SubsetColumns& view,
+                               const PackedLayout& layout, int64_t budget,
+                               std::vector<std::pair<int64_t, int64_t>>* items);
+
+}  // namespace counting
+}  // namespace pcbl
+
+#endif  // PCBL_PATTERN_PACKED_KERNELS_H_

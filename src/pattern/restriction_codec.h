@@ -35,18 +35,30 @@ struct GroupCountsAccess {
 
 namespace counting {
 
+/// Reservation hint for the code containers of one sizing pass. When a
+/// budget early-exit hint is present the pass inserts at most budget + 1
+/// distinct codes before aborting, so reserving budget + 2 makes it
+/// rehash-free; without a budget the row count bounds the distinct count
+/// (clamped so near-unique subsets of huge tables do not pre-touch a
+/// gigantic empty map).
+inline size_t SizingReserve(int64_t budget, int64_t rows) {
+  if (budget >= 0) return static_cast<size_t>(budget) + 2;
+  return static_cast<size_t>(
+      std::clamp<int64_t>(rows, 256, int64_t{1} << 16));
+}
+
 /// Mixed-radix multipliers over domain size + 1 (the extra slot encodes
-/// NULL), for restriction keys; attrs[0] is the most significant. Sets
-/// *ok to false (and returns a partial vector) when the key space
-/// overflows int64.
+/// NULL), for restriction keys; dom_sizes[0] / attrs[0] is the most
+/// significant. Sets *ok to false (and returns a partial vector) when the
+/// key space overflows int64.
 inline std::vector<int64_t> NullableRadixMultipliers(
-    const Table& table, const std::vector<int>& attrs, bool* ok) {
-  std::vector<int64_t> mult(attrs.size());
+    const int64_t* dom_sizes, size_t width, bool* ok) {
+  std::vector<int64_t> mult(width);
   int64_t m = 1;
   *ok = true;
-  for (size_t j = attrs.size(); j-- > 0;) {
+  for (size_t j = width; j-- > 0;) {
     mult[j] = m;
-    int64_t dom = static_cast<int64_t>(table.DomainSize(attrs[j])) + 1;
+    int64_t dom = dom_sizes[j] + 1;
     if (m > std::numeric_limits<int64_t>::max() / dom) {
       *ok = false;
       return mult;
@@ -56,26 +68,48 @@ inline std::vector<int64_t> NullableRadixMultipliers(
   return mult;
 }
 
+inline std::vector<int64_t> NullableRadixMultipliers(
+    const Table& table, const std::vector<int>& attrs, bool* ok) {
+  int64_t doms[kMaxAttributes];
+  for (size_t j = 0; j < attrs.size(); ++j) {
+    doms[j] = static_cast<int64_t>(table.DomainSize(attrs[j]));
+  }
+  return NullableRadixMultipliers(doms, attrs.size(), ok);
+}
+
 /// Decodes a restriction code back into per-attribute ValueIds (kNullValue
 /// for unbound positions), inverse of the encoding above.
-inline void DecodeRestriction(int64_t code, const Table& table,
-                              const std::vector<int>& attrs,
+inline void DecodeRestriction(int64_t code, const int64_t* dom_sizes,
+                              size_t width,
                               const std::vector<int64_t>& mult,
                               ValueId* out) {
-  for (size_t j = 0; j < attrs.size(); ++j) {
-    int64_t dom = static_cast<int64_t>(table.DomainSize(attrs[j]));
+  for (size_t j = 0; j < width; ++j) {
+    int64_t dom = dom_sizes[j];
     int64_t slot = (code / mult[j]) % (dom + 1);
     out[j] = slot == dom ? kNullValue : static_cast<ValueId>(slot);
   }
 }
 
+inline void DecodeRestriction(int64_t code, const Table& table,
+                              const std::vector<int>& attrs,
+                              const std::vector<int64_t>& mult,
+                              ValueId* out) {
+  int64_t doms[kMaxAttributes];
+  for (size_t j = 0; j < attrs.size(); ++j) {
+    doms[j] = static_cast<int64_t>(table.DomainSize(attrs[j]));
+  }
+  DecodeRestriction(code, doms, attrs.size(), mult, out);
+}
+
 /// Materializes a (code, count) list as a GroupCounts over `attrs`:
 /// sorts by code — the canonical emission order (ascending mixed-radix,
 /// NULL last per attribute) — and decodes each key via the nullable
-/// codec. Both ComputePatternCounts and the CountingEngine emit through
-/// this, which is what keeps their outputs byte-identical.
+/// codec. ComputePatternCounts and the CountingEngine's mixed-radix path
+/// emit through this; the packed path emits through
+/// MaterializeFromPackedCodes, whose code order is isomorphic — which is
+/// what keeps every path's output byte-identical.
 inline GroupCounts MaterializeFromCodes(
-    const Table& table, AttrMask mask, const std::vector<int>& attrs,
+    AttrMask mask, const std::vector<int>& attrs, const int64_t* dom_sizes,
     const std::vector<int64_t>& mult,
     std::vector<std::pair<int64_t, int64_t>> items) {
   std::sort(items.begin(), items.end());
@@ -90,10 +124,21 @@ inline GroupCounts MaterializeFromCodes(
   for (const auto& [code, c] : items) {
     size_t base = keys.size();
     keys.resize(base + width);
-    DecodeRestriction(code, table, attrs, mult, keys.data() + base);
+    DecodeRestriction(code, dom_sizes, width, mult, keys.data() + base);
     counts.push_back(c);
   }
   return out;
+}
+
+inline GroupCounts MaterializeFromCodes(
+    const Table& table, AttrMask mask, const std::vector<int>& attrs,
+    const std::vector<int64_t>& mult,
+    std::vector<std::pair<int64_t, int64_t>> items) {
+  int64_t doms[kMaxAttributes];
+  for (size_t j = 0; j < attrs.size(); ++j) {
+    doms[j] = static_cast<int64_t>(table.DomainSize(attrs[j]));
+  }
+  return MaterializeFromCodes(mask, attrs, doms, mult, std::move(items));
 }
 
 /// Open-addressing set of 64-bit codes for the sizing hot loop: the search
@@ -124,12 +169,18 @@ class CodeSet {
 
   int64_t size() const { return static_cast<int64_t>(size_); }
 
+  /// Number of growth rehashes since construction. A correctly sized
+  /// reservation (SizingReserve) keeps this at 0 for budgeted passes —
+  /// asserted by a regression check in bench_micro_counting_engine.
+  int64_t rehashes() const { return rehashes_; }
+
  private:
   // An improbable sentinel; real codes are non-negative mixed-radix
   // values, so kEmpty can never collide.
   static constexpr int64_t kEmpty = -1;
 
   void Grow() {
+    ++rehashes_;
     std::vector<int64_t> old = std::move(slots_);
     slots_.assign(old.size() * 2, kEmpty);
     mask_ = slots_.size() - 1;
@@ -145,6 +196,7 @@ class CodeSet {
   std::vector<int64_t> slots_;
   size_t mask_ = 0;
   size_t size_ = 0;
+  int64_t rehashes_ = 0;
 };
 
 /// Open-addressing code -> count map for the counting hot paths (the
@@ -183,6 +235,9 @@ class CodeCountMap {
   /// Number of distinct codes inserted so far.
   int64_t size() const { return static_cast<int64_t>(size_); }
 
+  /// Number of growth rehashes since construction (see CodeSet).
+  int64_t rehashes() const { return rehashes_; }
+
   /// The (code, count) pairs in table order (callers sort for
   /// determinism).
   std::vector<std::pair<int64_t, int64_t>> Items() const {
@@ -203,6 +258,7 @@ class CodeCountMap {
   };
 
   void Grow() {
+    ++rehashes_;
     std::vector<Slot> old = std::move(slots_);
     slots_.assign(old.size() * 2, Slot{kEmpty, 0});
     mask_ = slots_.size() - 1;
@@ -219,6 +275,7 @@ class CodeCountMap {
   std::vector<Slot> slots_;
   size_t mask_ = 0;
   size_t size_ = 0;
+  int64_t rehashes_ = 0;
 };
 
 }  // namespace counting

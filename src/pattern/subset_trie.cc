@@ -1,0 +1,123 @@
+#include "pattern/subset_trie.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace pcbl {
+
+int SubsetTrie::ChildOf(int node, int attr) const {
+  const auto& children = nodes_[static_cast<size_t>(node)].children;
+  for (const auto& [a, idx] : children) {
+    if (a == attr) return idx;
+    if (a > attr) break;  // ascending
+  }
+  return -1;
+}
+
+int SubsetTrie::ChildOrCreate(int node, int attr) {
+  int existing = ChildOf(node, attr);
+  if (existing >= 0) return existing;
+  const int idx = static_cast<int>(nodes_.size());
+  Node child;
+  child.attr = attr;
+  child.parent = node;
+  nodes_.push_back(child);
+  auto& children = nodes_[static_cast<size_t>(node)].children;
+  children.insert(
+      std::upper_bound(children.begin(), children.end(),
+                       std::make_pair(attr, -1)),
+      {attr, idx});
+  return idx;
+}
+
+void SubsetTrie::PullUpMin(int node) {
+  while (node >= 0) {
+    Node& n = nodes_[static_cast<size_t>(node)];
+    int64_t m = n.entry_weight == kNoEntry ? kInf : n.entry_weight;
+    for (const auto& [a, idx] : n.children) {
+      m = std::min(m, nodes_[static_cast<size_t>(idx)].subtree_min);
+    }
+    if (n.subtree_min == m) break;  // ancestors already consistent
+    n.subtree_min = m;
+    node = n.parent;
+  }
+}
+
+void SubsetTrie::Insert(AttrMask mask, int64_t weight) {
+  PCBL_DCHECK(weight >= 0);
+  int node = 0;
+  for (int attr : AttrMaskBits(mask)) node = ChildOrCreate(node, attr);
+  Node& n = nodes_[static_cast<size_t>(node)];
+  if (n.entry_weight == kNoEntry) {
+    ++num_entries_;
+    const int level = mask.Count();
+    ++level_count_[level];
+    max_entry_level_ = std::max(max_entry_level_, level);
+  }
+  n.entry_weight = weight;
+  n.entry_bits = mask.bits();
+  PullUpMin(node);
+}
+
+void SubsetTrie::Erase(AttrMask mask) {
+  int node = 0;
+  for (int attr : AttrMaskBits(mask)) {
+    node = ChildOf(node, attr);
+    if (node < 0) return;
+  }
+  Node& n = nodes_[static_cast<size_t>(node)];
+  if (n.entry_weight == kNoEntry) return;
+  n.entry_weight = kNoEntry;
+  --num_entries_;
+  const int level = mask.Count();
+  if (--level_count_[level] == 0 && level == max_entry_level_) {
+    while (max_entry_level_ > 0 && level_count_[max_entry_level_] == 0) {
+      --max_entry_level_;
+    }
+  }
+  PullUpMin(node);
+}
+
+void SubsetTrie::Clear() {
+  nodes_.clear();
+  nodes_.push_back(Node{});
+  num_entries_ = 0;
+  std::fill(std::begin(level_count_), std::end(level_count_), 0);
+  max_entry_level_ = 0;
+}
+
+void SubsetTrie::FindBest(int node, uint64_t required, uint64_t query_bits,
+                          int64_t weight_limit,
+                          std::optional<Match>* best) const {
+  const Node& n = nodes_[static_cast<size_t>(node)];
+  const int64_t cutoff = best->has_value() ? (*best)->weight : weight_limit;
+  if (n.subtree_min >= cutoff) return;  // nothing better below
+  if (required == 0 && n.entry_weight != kNoEntry &&
+      n.entry_weight < cutoff && n.entry_bits != query_bits) {
+    *best = Match{AttrMask(n.entry_bits), n.entry_weight};
+  }
+  // q = smallest still-required attribute. A child edge c > q cannot lead
+  // to q (paths ascend), so the ascending child scan stops there.
+  const int q = required == 0 ? kMaxAttributes
+                              : std::countr_zero(required);
+  for (const auto& [attr, idx] : n.children) {
+    if (attr > q) break;
+    const uint64_t next_required =
+        attr == q ? required & (required - 1) : required;
+    FindBest(idx, next_required, query_bits, weight_limit, best);
+  }
+}
+
+std::optional<SubsetTrie::Match> SubsetTrie::BestStrictSuperset(
+    AttrMask mask, int64_t weight_limit) const {
+  // A strict superset has more attributes than the query; without any
+  // entry above the query's level the DFS cannot find one (the hot case
+  // during the searches' small-to-large traversal).
+  if (mask.Count() >= max_entry_level_) return std::nullopt;
+  std::optional<Match> best;
+  FindBest(0, mask.bits(), mask.bits(), weight_limit, &best);
+  return best;
+}
+
+}  // namespace pcbl

@@ -1,0 +1,93 @@
+// SubsetTrie: a set-trie over AttrMasks answering best-superset queries.
+//
+// The CountingEngine's rollup planner needs, for a queried subset S, the
+// cached entry T ⊃ S with the fewest groups (aggregating T's groups must
+// beat a row scan). PR 1 answered this by scanning every popcount bucket
+// above |S| — O(cached entries) per query, which an exponential subset
+// sweep with thousands of cached high-level entries pays on every mask.
+//
+// This structure stores each mask as a root-to-node path over its
+// attribute indices in increasing order (a set-trie in the sense of
+// Savnik's "Index data structure for fast subset and superset queries").
+// A superset query walks the trie keeping only children that can still
+// cover the remaining required attributes: a child edge with attribute c
+// is followable iff c <= q (q = smallest still-required attribute), since
+// paths are increasing — once c > q no descendant can contain q. Each
+// node carries the minimum entry weight of its subtree, so the search is
+// best-first-prunable and typically touches a handful of nodes.
+//
+// Weights are the entries' group counts; the query returns the
+// minimum-weight strict superset below a caller-supplied limit. Ties keep
+// the first candidate in DFS (child-ascending) order, which is
+// deterministic — and immaterial for the engine, since every ancestor
+// rolls up to identical counts.
+#ifndef PCBL_PATTERN_SUBSET_TRIE_H_
+#define PCBL_PATTERN_SUBSET_TRIE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/attr_mask.h"
+
+namespace pcbl {
+
+class SubsetTrie {
+ public:
+  /// Inserts `mask` with the given weight, or updates the weight when the
+  /// mask is already present.
+  void Insert(AttrMask mask, int64_t weight);
+
+  /// Removes `mask`; no-op when absent.
+  void Erase(AttrMask mask);
+
+  /// The minimum-weight *strict* superset of `mask` whose weight is below
+  /// `weight_limit`, or nullopt. O(nodes touched), pruned by subtree
+  /// minima.
+  struct Match {
+    AttrMask mask;
+    int64_t weight = 0;
+  };
+  std::optional<Match> BestStrictSuperset(AttrMask mask,
+                                          int64_t weight_limit) const;
+
+  /// Drops every entry (nodes are recycled).
+  void Clear();
+
+  int64_t num_entries() const { return num_entries_; }
+
+ private:
+  static constexpr int64_t kNoEntry = -1;
+  static constexpr int64_t kInf = INT64_MAX;
+
+  struct Node {
+    int attr = -1;    // edge label into this node (-1 for the root)
+    int parent = -1;  // node index of the parent (-1 for the root)
+    int64_t entry_weight = kNoEntry;
+    uint64_t entry_bits = 0;
+    int64_t subtree_min = kInf;
+    /// (attr, node index), ascending by attr. Subsets are tiny (<= 64
+    /// attrs) so linear probes beat any map.
+    std::vector<std::pair<int, int>> children;
+  };
+
+  int ChildOf(int node, int attr) const;
+  int ChildOrCreate(int node, int attr);
+  // Recomputes subtree_min from `node` up to the root.
+  void PullUpMin(int node);
+  void FindBest(int node, uint64_t required, uint64_t query_bits,
+                int64_t weight_limit, std::optional<Match>* best) const;
+
+  std::vector<Node> nodes_ = {Node{}};  // nodes_[0] is the root
+  int64_t num_entries_ = 0;
+  // Entries per popcount level. A query whose level is >= the highest
+  // occupied one cannot have a strict superset — the O(1) short-circuit
+  // that keeps the searches' small-to-large traversal from ever walking
+  // the trie (their cached masks are never above the queried level).
+  int level_count_[kMaxAttributes + 1] = {0};
+  int max_entry_level_ = 0;
+};
+
+}  // namespace pcbl
+
+#endif  // PCBL_PATTERN_SUBSET_TRIE_H_

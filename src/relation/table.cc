@@ -13,11 +13,6 @@ std::string Table::ValueString(int64_t row, int attr) const {
   return dictionary(attr).GetString(v);
 }
 
-int64_t Table::NullCount(int attr) const {
-  const auto& col = column(attr);
-  return static_cast<int64_t>(
-      std::count(col.begin(), col.end(), kNullValue));
-}
 
 Result<Table> Table::Project(AttrMask mask) const {
   std::vector<int> keep;
@@ -36,8 +31,11 @@ Result<Table> Table::Project(AttrMask mask) const {
   Table out;
   out.schema_ = std::move(schema);
   for (int i : keep) {
+    // Dictionaries are immutable once built: share the handle instead of
+    // deep-copying the string table per projection.
     out.dictionaries_.push_back(dictionaries_[static_cast<size_t>(i)]);
     out.columns_.push_back(columns_[static_cast<size_t>(i)]);
+    out.null_counts_.push_back(null_counts_[static_cast<size_t>(i)]);
   }
   return out;
 }
@@ -76,10 +74,13 @@ Result<TableBuilder> TableBuilder::Create(
                         Schema::Create(std::move(attribute_names)));
   TableBuilder b;
   b.table_.schema_ = std::move(schema);
-  b.table_.dictionaries_.resize(
-      static_cast<size_t>(b.table_.schema_.num_attributes()));
-  b.table_.columns_.resize(
-      static_cast<size_t>(b.table_.schema_.num_attributes()));
+  const size_t n = static_cast<size_t>(b.table_.schema_.num_attributes());
+  b.dicts_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    b.dicts_.push_back(std::make_shared<Dictionary>());
+  }
+  b.table_.columns_.resize(n);
+  b.table_.null_counts_.assign(n, 0);
   return b;
 }
 
@@ -94,8 +95,9 @@ Status TableBuilder::AddRow(const std::vector<std::string>& values) {
     ValueId id;
     if (v.empty() || v == "NULL") {
       id = kNullValue;
+      ++table_.null_counts_[static_cast<size_t>(a)];
     } else {
-      id = table_.dictionaries_[static_cast<size_t>(a)].Intern(v);
+      id = dicts_[static_cast<size_t>(a)]->Intern(v);
     }
     table_.columns_[static_cast<size_t>(a)].push_back(id);
   }
@@ -110,13 +112,14 @@ Status TableBuilder::AddRowCodes(const std::vector<ValueId>& codes) {
   }
   for (int a = 0; a < num_attributes(); ++a) {
     ValueId id = codes[static_cast<size_t>(a)];
-    if (!IsNull(id) &&
-        id >= table_.dictionaries_[static_cast<size_t>(a)].size()) {
+    if (!IsNull(id) && id >= dicts_[static_cast<size_t>(a)]->size()) {
       return InvalidArgumentError(
           StrCat("code ", id, " out of range for attribute ",
                  table_.schema_.name(a), " (domain size ",
-                 table_.dictionaries_[static_cast<size_t>(a)].size(), ")"));
+                 dicts_[static_cast<size_t>(a)]->size(), ")"));
     }
+    table_.null_counts_[static_cast<size_t>(a)] +=
+        static_cast<int64_t>(IsNull(id));
     table_.columns_[static_cast<size_t>(a)].push_back(id);
   }
   return Status::Ok();
@@ -124,10 +127,14 @@ Status TableBuilder::AddRowCodes(const std::vector<ValueId>& codes) {
 
 ValueId TableBuilder::InternValue(int attr, std::string_view value) {
   PCBL_CHECK(attr >= 0 && attr < num_attributes());
-  return table_.dictionaries_[static_cast<size_t>(attr)].Intern(value);
+  return dicts_[static_cast<size_t>(attr)]->Intern(value);
 }
 
 Table TableBuilder::Build() {
+  // Freeze: the table takes const handles and the builder drops its
+  // write access, so sharing them (Project, table copies) is safe.
+  table_.dictionaries_.assign(dicts_.begin(), dicts_.end());
+  dicts_.clear();
   Table out = std::move(table_);
   table_ = Table();
   return out;

@@ -36,6 +36,13 @@ class Table {
 
   /// Dictionary of attribute `attr`.
   const Dictionary& dictionary(int attr) const {
+    return *dictionaries_.at(static_cast<size_t>(attr));
+  }
+
+  /// The shared dictionary handle of `attr`. Tables are immutable once
+  /// built, so projections alias these instead of deep-copying (several
+  /// call sites project per candidate subset).
+  std::shared_ptr<const Dictionary> shared_dictionary(int attr) const {
     return dictionaries_.at(static_cast<size_t>(attr));
   }
 
@@ -56,8 +63,13 @@ class Table {
   /// String rendering of cell (row, attr); "NULL" when missing.
   std::string ValueString(int64_t row, int attr) const;
 
-  /// Number of NULL cells in attribute `attr`.
-  int64_t NullCount(int attr) const;
+  /// Number of NULL cells in attribute `attr`. O(1): tracked during
+  /// construction (the packed kernels pick branch-free NULL-free loops
+  /// from this).
+  int64_t NullCount(int attr) const {
+    return null_counts_.at(static_cast<size_t>(attr));
+  }
+  bool HasNulls(int attr) const { return NullCount(attr) > 0; }
 
   /// Returns a new table with only the attributes in `mask` (schema order
   /// preserved). Dictionaries are shared content-wise (copied).
@@ -73,8 +85,12 @@ class Table {
   friend class TableBuilder;
 
   Schema schema_;
-  std::vector<Dictionary> dictionaries_;
+  // Shared, not deep-copied, by Project/ProjectPrefix and table copies:
+  // a built table never mutates its dictionaries (only TableBuilder
+  // interns, and Build() severs its access).
+  std::vector<std::shared_ptr<const Dictionary>> dictionaries_;
   std::vector<std::vector<ValueId>> columns_;  // [attr][row]
+  std::vector<int64_t> null_counts_;           // per attr
 };
 
 /// Incrementally builds a Table from rows of strings or codes.
@@ -104,6 +120,9 @@ class TableBuilder {
   TableBuilder() = default;
 
   Table table_;
+  // Mutable dictionary handles; Build() freezes them into the table as
+  // shared const pointers and drops this write access.
+  std::vector<std::shared_ptr<Dictionary>> dicts_;
 };
 
 }  // namespace pcbl

@@ -5,6 +5,7 @@
 #include "core/label.h"
 #include "pattern/counter.h"
 #include "pattern/counting_engine.h"
+#include "pattern/counting_service.h"
 #include "pattern/lattice.h"
 #include "relation/stats.h"
 #include "util/logging.h"
@@ -128,8 +129,12 @@ bool ExistsZeroErrorLabel(const ReductionInstance& instance,
   // the rows); priming the engine with the full attribute set's PC set
   // therefore always yields a usable rollup ancestor, and every subset is
   // sized by aggregating those groups instead of rescanning the table —
-  // the sweep scales with distinct restrictions, not rows.
-  CountingEngine engine(table);
+  // the sweep scales with distinct restrictions, not rows. The service
+  // scopes the engine to this reduction database; with many cached
+  // high-level entries the exponential sweep leans on its subset trie for
+  // ancestor lookup.
+  CountingService service(table);
+  CountingEngine& engine = service.engine();
   const AttrMask universe = AttrMask::All(total_attrs);
   engine.PinnedPatternCounts(universe);  // pinned: the exponential sweep
                                          // must not evict its ancestor

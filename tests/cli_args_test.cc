@@ -101,6 +101,45 @@ TEST(ArgsTest, LastValueWinsOnRepeat) {
   EXPECT_EQ(*bound, 20);
 }
 
+TEST(ArgsTest, CountingEngineFlagsParse) {
+  // The engine knobs shared by build/estimate/profile: --threads N,
+  // --cache-budget N (both value flags) and --no-engine (bare boolean),
+  // in the mixed forms users type them.
+  auto args = Args::Parse({"data.csv", "--threads", "8", "--no-engine",
+                           "--cache-budget=1048576"});
+  ASSERT_TRUE(args.ok());
+  auto threads = args->GetInt("threads", 0);
+  ASSERT_TRUE(threads.ok());
+  EXPECT_EQ(*threads, 8);
+  EXPECT_TRUE(args->GetBool("no-engine"));
+  auto budget = args->GetInt("cache-budget", -1);
+  ASSERT_TRUE(budget.ok());
+  EXPECT_EQ(*budget, 1048576);
+  EXPECT_TRUE(args->CheckKnown({"threads", "no-engine", "cache-budget"})
+                  .ok());
+  ASSERT_EQ(args->positional().size(), 1u);
+}
+
+TEST(ArgsTest, CountingEngineFlagDefaultsAndErrors) {
+  auto args = Args::Parse({"--cache-budget", "0", "--threads", "many"});
+  ASSERT_TRUE(args.ok());
+  // Explicit 0 disables memoization and must parse as present-with-value.
+  EXPECT_TRUE(args->Has("cache-budget"));
+  auto budget = args->GetInt("cache-budget", 77);
+  ASSERT_TRUE(budget.ok());
+  EXPECT_EQ(*budget, 0);
+  // Malformed --threads propagates a parse error instead of defaulting.
+  EXPECT_FALSE(args->GetInt("threads", 1).ok());
+  // Absent flags keep their defaults.
+  auto absent = Args::Parse({});
+  ASSERT_TRUE(absent.ok());
+  EXPECT_FALSE(absent->Has("no-engine"));
+  EXPECT_FALSE(absent->GetBool("no-engine"));
+  auto fallback = absent->GetInt("threads", 4);
+  ASSERT_TRUE(fallback.ok());
+  EXPECT_EQ(*fallback, 4);
+}
+
 }  // namespace
 }  // namespace cli
 }  // namespace pcbl

@@ -184,6 +184,64 @@ TEST_F(CliPipelineTest, EstimateUnknownAttributeFails) {
   EXPECT_EQ(run.code, 1);
 }
 
+TEST_F(CliPipelineTest, EstimateWithDataReportsTrueCountAndError) {
+  // The counting-service-backed spot check: the label over {age group,
+  // marital status} answers Example 2.12's pattern with count 3, and the
+  // true count from the data agrees (the fragment label is exact there).
+  CliRun run = RunTool({"estimate", *label_path_, "--pattern",
+                    "gender=Female, age group=20-39, marital status=married",
+                    "--data", *csv_path_, "--threads", "2",
+                    "--cache-budget", "4096"});
+  ASSERT_EQ(run.code, 0) << run.err;
+  EXPECT_TRUE(Contains(run.out, "estimate:  3.00")) << run.out;
+  EXPECT_TRUE(Contains(run.out, "actual:    3")) << run.out;
+  EXPECT_TRUE(Contains(run.out, "abs error: 0.00")) << run.out;
+  // --no-engine takes the one-shot path and must agree.
+  CliRun serial = RunTool({"estimate", *label_path_, "--pattern",
+                       "gender=Female, age group=20-39,"
+                       " marital status=married",
+                       "--data", *csv_path_, "--no-engine"});
+  ASSERT_EQ(serial.code, 0) << serial.err;
+  EXPECT_TRUE(Contains(serial.out, "actual:    3")) << serial.out;
+}
+
+TEST_F(CliPipelineTest, EstimateEngineFlagsRequireData) {
+  EXPECT_EQ(RunTool({"estimate", *label_path_, "--pattern", "gender=Female",
+                 "--threads", "2"})
+                .code,
+            2);
+  EXPECT_EQ(RunTool({"estimate", *label_path_, "--pattern", "gender=Female",
+                 "--no-engine"})
+                .code,
+            2);
+  EXPECT_EQ(RunTool({"estimate", *label_path_, "--pattern", "gender=Female",
+                 "--cache-budget", "0"})
+                .code,
+            2);
+}
+
+TEST_F(CliPipelineTest, ProfilePairsListsPairwiseLabelSizes) {
+  CliRun run = RunTool({"profile", *csv_path_, "--pairs", "3", "--threads",
+                    "2", "--cache-budget", "1024"});
+  ASSERT_EQ(run.code, 0) << run.err;
+  EXPECT_TRUE(Contains(run.out, "pairwise label sizes")) << run.out;
+  // Fig. 2: the {age group, marital status} pair has the smallest |P_S|
+  // (3), which is why the paper's example label uses it.
+  EXPECT_TRUE(Contains(run.out, "age group x marital status")) << run.out;
+  // Engine off must agree on the listing.
+  CliRun serial =
+      RunTool({"profile", *csv_path_, "--pairs", "3", "--no-engine"});
+  ASSERT_EQ(serial.code, 0) << serial.err;
+  EXPECT_TRUE(Contains(serial.out, "age group x marital status"))
+      << serial.out;
+}
+
+TEST_F(CliPipelineTest, ProfileEngineFlagsRequirePairs) {
+  EXPECT_EQ(RunTool({"profile", *csv_path_, "--threads", "2"}).code, 2);
+  EXPECT_EQ(RunTool({"profile", *csv_path_, "--no-engine"}).code, 2);
+  EXPECT_EQ(RunTool({"profile", *csv_path_, "--cache-budget", "9"}).code, 2);
+}
+
 TEST_F(CliPipelineTest, ErrorEvaluatesLabelAgainstItsData) {
   CliRun run = RunTool({"error", *label_path_, *csv_path_});
   ASSERT_EQ(run.code, 0) << run.err;

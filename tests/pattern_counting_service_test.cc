@@ -1,0 +1,236 @@
+// Tests for the dataset-scoped CountingService: warm-cache reuse across
+// searches (the acceptance criterion: a second search performs zero
+// full-table scans for candidates the first one sized), the
+// invalidate-or-patch append hook, and reconfiguration semantics.
+#include "pattern/counting_service.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/incremental.h"
+#include "core/search.h"
+#include "pattern/counter.h"
+#include "pattern/lattice.h"
+#include "util/rng.h"
+#include "workload/datasets.h"
+
+namespace pcbl {
+namespace {
+
+void ExpectSameGroupCounts(const GroupCounts& got, const GroupCounts& want,
+                           AttrMask mask) {
+  ASSERT_EQ(got.num_groups(), want.num_groups()) << mask.ToString();
+  ASSERT_EQ(got.key_width(), want.key_width()) << mask.ToString();
+  EXPECT_EQ(got.attrs(), want.attrs()) << mask.ToString();
+  for (int64_t g = 0; g < got.num_groups(); ++g) {
+    EXPECT_EQ(got.count(g), want.count(g))
+        << mask.ToString() << " group " << g;
+    for (int j = 0; j < got.key_width(); ++j) {
+      EXPECT_EQ(got.key(g)[j], want.key(g)[j])
+          << mask.ToString() << " group " << g << " pos " << j;
+    }
+  }
+}
+
+// Random string rows for append-differential tests: the same rows feed
+// both the service hook and a reference TableBuilder rebuild.
+std::vector<std::vector<std::string>> RandomStringRows(uint64_t seed,
+                                                       int attrs,
+                                                       int64_t rows,
+                                                       int domain,
+                                                       int null_percent) {
+  Rng rng(seed);
+  std::vector<std::vector<std::string>> out;
+  for (int64_t r = 0; r < rows; ++r) {
+    std::vector<std::string> row;
+    for (int a = 0; a < attrs; ++a) {
+      if (rng.UniformInt(100) < static_cast<uint32_t>(null_percent)) {
+        row.push_back("");
+      } else {
+        row.push_back("v" + std::to_string(rng.UniformInt(
+                                static_cast<uint32_t>(domain))));
+      }
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+Table BuildFromRows(const std::vector<std::vector<std::string>>& rows,
+                    int attrs) {
+  std::vector<std::string> names;
+  for (int a = 0; a < attrs; ++a) names.push_back("a" + std::to_string(a));
+  auto b = TableBuilder::Create(names);
+  PCBL_CHECK(b.ok());
+  for (const auto& row : rows) PCBL_CHECK(b->AddRow(row).ok());
+  return b->Build();
+}
+
+TEST(CountingServiceTest, WarmSecondSearchPerformsZeroFullScans) {
+  Table t = workload::MakeCompas(3000, 9).value();
+  LabelSearch search(t);
+  SearchOptions options;
+  options.size_bound = 60;
+
+  const SearchResult first = search.TopDown(options);
+  const CountingEngineStats& stats = search.counting_service()->stats();
+  const int64_t full_scans_after_first = stats.full_scans;
+  const int64_t hits_after_first = stats.cache_hits;
+  EXPECT_GT(full_scans_after_first, 0);
+
+  const SearchResult second = search.TopDown(options);
+  // Every candidate the first search sized within budget is served from
+  // the warm cache: not a single full-table materializing scan repeats.
+  EXPECT_EQ(stats.full_scans, full_scans_after_first)
+      << "the warm second search rescanned the table";
+  EXPECT_GT(stats.cache_hits, hits_after_first);
+  EXPECT_EQ(second.best_attrs, first.best_attrs);
+  EXPECT_EQ(second.label.size(), first.label.size());
+  EXPECT_DOUBLE_EQ(second.error.max_abs, first.error.max_abs);
+
+  // The naive algorithm over the same service also rides the warm cache
+  // for every subset the top-down search already counted.
+  const SearchResult naive = search.Naive(options);
+  EXPECT_EQ(naive.best_attrs, first.best_attrs);
+}
+
+TEST(CountingServiceTest, SearchesShareOneServiceAcrossInstances) {
+  Table t = workload::MakeCompas(1500, 7).value();
+  LabelSearch a(t);
+  SearchOptions options;
+  options.size_bound = 50;
+  a.TopDown(options);
+  const int64_t full_scans = a.counting_service()->stats().full_scans;
+
+  LabelSearch b(t);
+  b.SetCountingService(a.counting_service());
+  b.TopDown(options);
+  EXPECT_EQ(a.counting_service()->stats().full_scans, full_scans)
+      << "a second LabelSearch over the shared service rescanned";
+}
+
+TEST(CountingServiceTest, AppendRowPatchesCachedEntriesExactly) {
+  const int kAttrs = 5;
+  auto base_rows = RandomStringRows(11, kAttrs, 250, 6, 15);
+  Table base = BuildFromRows(base_rows, kAttrs);
+  auto service = std::make_shared<CountingService>(base);
+
+  // Warm several PC sets, including the universe (a rollup ancestor).
+  const AttrMask universe = AttrMask::All(kAttrs);
+  {
+    std::lock_guard<std::mutex> lock(service->mutex());
+    service->engine().PatternCounts(universe);
+    ForEachSubsetOfSize(kAttrs, 2, [&](AttrMask s) {
+      service->engine().PatternCounts(s);
+    });
+  }
+
+  auto label =
+      IncrementalLabel::Create(base, AttrMask::FromIndices({0, 1}), 100,
+                               service);
+  ASSERT_TRUE(label.ok());
+
+  // Append rows one by one (the patch arm), some with fresh values the
+  // base dictionaries have never seen ("v7", "v8").
+  auto appended = RandomStringRows(77, kAttrs, 40, 9, 20);
+  for (const auto& row : appended) {
+    ASSERT_TRUE(label->AppendRow(row).ok());
+  }
+  EXPECT_GT(service->stats().patched_entries, 0);
+  EXPECT_EQ(service->total_rows(), base.num_rows() + 40);
+
+  // Reference: the extended table rebuilt from scratch. Every engine
+  // answer — patched cache, rollup from a patched ancestor, delta-aware
+  // scan — must be byte-identical to the one-shot counters on it.
+  auto all_rows = base_rows;
+  all_rows.insert(all_rows.end(), appended.begin(), appended.end());
+  Table extended = BuildFromRows(all_rows, kAttrs);
+
+  std::lock_guard<std::mutex> lock(service->mutex());
+  ForEachSubsetOf(universe, [&](AttrMask s) {
+    EXPECT_EQ(service->engine().CountPatterns(s),
+              CountDistinctPatterns(extended, s))
+        << s.ToString();
+    ExpectSameGroupCounts(*service->engine().PatternCounts(s),
+                          ComputePatternCounts(extended, s), s);
+    EXPECT_EQ(service->engine().CountCombos(s),
+              CountDistinctCombos(extended, s))
+        << s.ToString();
+  });
+}
+
+TEST(CountingServiceTest, BulkAppendStaysExactThroughEitherArm) {
+  const int kAttrs = 4;
+  auto base_rows = RandomStringRows(5, kAttrs, 300, 5, 10);
+  Table base = BuildFromRows(base_rows, kAttrs);
+
+  auto delta_rows = RandomStringRows(6, kAttrs, 120, 7, 10);
+  Table delta = BuildFromRows(delta_rows, kAttrs);
+
+  for (bool force_invalidate : {false, true}) {
+    auto service = std::make_shared<CountingService>(base);
+    {
+      std::lock_guard<std::mutex> lock(service->mutex());
+      service->engine().PatternCounts(AttrMask::All(kAttrs));
+    }
+    auto label = IncrementalLabel::Create(
+        base, AttrMask::FromIndices({0, 2}), 100, service);
+    ASSERT_TRUE(label.ok());
+    if (force_invalidate) service->Invalidate();
+    ASSERT_TRUE(label->AppendTable(delta).ok());
+
+    auto all_rows = base_rows;
+    all_rows.insert(all_rows.end(), delta_rows.begin(), delta_rows.end());
+    Table extended = BuildFromRows(all_rows, kAttrs);
+
+    std::lock_guard<std::mutex> lock(service->mutex());
+    ForEachSubsetOf(AttrMask::All(kAttrs), [&](AttrMask s) {
+      ExpectSameGroupCounts(*service->engine().PatternCounts(s),
+                            ComputePatternCounts(extended, s), s);
+    });
+  }
+}
+
+TEST(CountingServiceTest, IncrementalSeedReusesWarmCache) {
+  Table t = workload::MakeCompas(2000, 8).value();
+  LabelSearch search(t);
+  SearchOptions options;
+  options.size_bound = 60;
+  const SearchResult result = search.TopDown(options);
+  if (result.best_attrs.Count() < 2) GTEST_SKIP();
+
+  auto service = search.counting_service();
+  const int64_t full_scans = service->stats().full_scans;
+  auto label = IncrementalLabel::Create(t, result.best_attrs,
+                                        options.size_bound, service);
+  ASSERT_TRUE(label.ok());
+  // The winning candidate's PC set was cached by the search: seeding the
+  // incremental label costs zero additional table scans.
+  EXPECT_EQ(service->stats().full_scans, full_scans);
+  EXPECT_EQ(label->FootprintEntries(), result.label.size());
+}
+
+TEST(CountingServiceTest, ReconfigureShrinksToBudgetWithoutGoingStale) {
+  Table t = workload::MakeCompas(1000, 7).value();
+  CountingService service(t);
+  std::lock_guard<std::mutex> lock(service.mutex());
+  ForEachSubsetOfSize(7, 2, [&](AttrMask s) {
+    service.engine().PatternCounts(s);
+  });
+  EXPECT_GT(service.stats().cached_groups, 0);
+  CountingEngineOptions tight;
+  tight.cache_budget = 0;
+  service.Configure(tight);
+  EXPECT_EQ(service.stats().cached_groups, 0);
+  // Still exact after the purge.
+  ForEachSubsetOfSize(7, 2, [&](AttrMask s) {
+    EXPECT_EQ(service.engine().CountPatterns(s),
+              CountDistinctPatterns(t, s));
+  });
+}
+
+}  // namespace
+}  // namespace pcbl

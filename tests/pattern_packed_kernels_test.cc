@@ -1,0 +1,179 @@
+// Differential tests for the bit-packed sizing kernels, focused on the
+// packed <-> mixed-radix transcoding boundary: domain sizes at exactly
+// 2^k - 1 and 2^k (where the per-attribute field width steps), subsets
+// whose packed width lands on 63/64/65 bits (63 is the last eligible
+// width; 64/65 engage the fallback), and NULL-slot packing. Every
+// strategy must produce byte-identical GroupCounts and identical
+// (budgeted) distinct counts.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "pattern/counter.h"
+#include "pattern/counting_engine.h"
+#include "pattern/lattice.h"
+#include "pattern/packed_codec.h"
+#include "util/rng.h"
+
+namespace pcbl {
+namespace {
+
+void ExpectSameGroupCounts(const GroupCounts& got, const GroupCounts& want,
+                           AttrMask mask) {
+  ASSERT_EQ(got.num_groups(), want.num_groups()) << mask.ToString();
+  ASSERT_EQ(got.key_width(), want.key_width()) << mask.ToString();
+  EXPECT_EQ(got.attrs(), want.attrs()) << mask.ToString();
+  EXPECT_EQ(got.mask(), want.mask()) << mask.ToString();
+  for (int64_t g = 0; g < got.num_groups(); ++g) {
+    EXPECT_EQ(got.count(g), want.count(g))
+        << mask.ToString() << " group " << g;
+    for (int j = 0; j < got.key_width(); ++j) {
+      EXPECT_EQ(got.key(g)[j], want.key(g)[j])
+          << mask.ToString() << " group " << g << " pos " << j;
+    }
+  }
+}
+
+// A table whose attribute domains are exactly `dom_sizes` (pre-interned),
+// filled with `rows` random rows at the given NULL percentage.
+Table MakeDomainTable(const std::vector<ValueId>& dom_sizes, int64_t rows,
+                      int null_percent, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> names;
+  for (size_t a = 0; a < dom_sizes.size(); ++a) {
+    names.push_back("a" + std::to_string(a));
+  }
+  auto b = TableBuilder::Create(names);
+  PCBL_CHECK(b.ok());
+  for (size_t a = 0; a < dom_sizes.size(); ++a) {
+    for (ValueId v = 0; v < dom_sizes[a]; ++v) {
+      b->InternValue(static_cast<int>(a), "v" + std::to_string(v));
+    }
+  }
+  std::vector<ValueId> codes(dom_sizes.size());
+  for (int64_t r = 0; r < rows; ++r) {
+    for (size_t a = 0; a < dom_sizes.size(); ++a) {
+      // Skew low so groups repeat.
+      ValueId v = rng.UniformInt(dom_sizes[a]);
+      if (rng.UniformInt(2) == 0) v = rng.UniformInt(1 + dom_sizes[a] / 8);
+      if (null_percent > 0 &&
+          rng.UniformInt(100) < static_cast<uint32_t>(null_percent)) {
+        v = kNullValue;
+      }
+      codes[a] = v;
+    }
+    PCBL_CHECK(b->AddRowCodes(codes).ok());
+  }
+  return b->Build();
+}
+
+// Checks that every forced strategy agrees with every other on all
+// subsets of `t`, for both the PC sets and the budgeted sizes.
+void CheckStrategiesAgree(const Table& t) {
+  const AttrMask universe = AttrMask::All(t.num_attributes());
+  ForEachSubsetOf(universe, [&](AttrMask s) {
+    if (s.Count() < 2) return;
+    const GroupCounts sorted =
+        ComputePatternCounts(t, s, RestrictionStrategy::kSort);
+    const GroupCounts autod = ComputePatternCounts(t, s);
+    ExpectSameGroupCounts(autod, sorted, s);
+    if (counting::PackedEligible(t, s)) {
+      ExpectSameGroupCounts(
+          ComputePatternCounts(t, s, RestrictionStrategy::kPacked), sorted,
+          s);
+    }
+    const int64_t exact =
+        CountDistinctPatterns(t, s, -1, RestrictionStrategy::kSort);
+    EXPECT_EQ(CountDistinctPatterns(t, s), exact) << s.ToString();
+    for (int64_t budget : {int64_t{0}, int64_t{2}, exact - 1, exact,
+                           exact + 7}) {
+      const int64_t got = CountDistinctPatterns(t, s, budget);
+      if (exact <= budget) {
+        EXPECT_EQ(got, exact) << s.ToString() << " budget " << budget;
+      } else {
+        EXPECT_GT(got, budget) << s.ToString() << " budget " << budget;
+      }
+    }
+  });
+}
+
+TEST(PackedKernelsTest, PowerOfTwoBoundaryDomains) {
+  // |Dom| = 2^k - 1 packs into k bits (the NULL slot is 2^k - 1);
+  // |Dom| = 2^k needs k + 1. Both sides of the step, with NULLs.
+  for (uint64_t seed : {1u, 2u}) {
+    Table t = MakeDomainTable({7, 8, 15, 16, 3}, 400, 20, seed);
+    CheckStrategiesAgree(t);
+  }
+}
+
+TEST(PackedKernelsTest, NullSlotPacking) {
+  // NULL-heavy data: the NULL slot |Dom| must round-trip through the
+  // packed fields exactly like the mixed-radix codec's last slot.
+  Table t = MakeDomainTable({4, 4, 4, 4}, 300, 45, 99);
+  CheckStrategiesAgree(t);
+}
+
+TEST(PackedKernelsTest, SixtyThreeBitWidthIsEligible) {
+  // Nine attributes of 7 bits each (|Dom| = 64 -> slots 0..64): 63 bits,
+  // the widest packed-eligible subset.
+  std::vector<ValueId> doms(9, 64);
+  Table t = MakeDomainTable(doms, 500, 10, 7);
+  const AttrMask all = AttrMask::All(9);
+  std::vector<int> attrs = all.ToIndices();
+  const auto layout = counting::MakePackedLayout(t, attrs);
+  ASSERT_TRUE(layout.ok);
+  EXPECT_EQ(layout.total_bits, 63);
+  ExpectSameGroupCounts(
+      ComputePatternCounts(t, all, RestrictionStrategy::kPacked),
+      ComputePatternCounts(t, all, RestrictionStrategy::kSort), all);
+  EXPECT_EQ(CountDistinctPatterns(t, all, -1, RestrictionStrategy::kPacked),
+            CountDistinctPatterns(t, all, -1, RestrictionStrategy::kSort));
+}
+
+TEST(PackedKernelsTest, SixtyFourAndSixtyFiveBitWidthsFallBack) {
+  // One attribute widened to 8 bits (|Dom| = 128) -> 64 bits; two -> 65.
+  for (int wide : {1, 2}) {
+    std::vector<ValueId> doms(9, 64);
+    for (int i = 0; i < wide; ++i) doms[static_cast<size_t>(i)] = 128;
+    Table t = MakeDomainTable(doms, 400, 10, 31 + static_cast<uint64_t>(wide));
+    const AttrMask all = AttrMask::All(9);
+    std::vector<int> attrs = all.ToIndices();
+    const auto layout = counting::MakePackedLayout(t, attrs);
+    EXPECT_FALSE(layout.ok);
+    EXPECT_EQ(layout.total_bits, 63 + wide);
+    EXPECT_FALSE(counting::PackedEligible(t, all));
+    // kAuto engages the fallback and still agrees with the sort path.
+    ExpectSameGroupCounts(
+        ComputePatternCounts(t, all),
+        ComputePatternCounts(t, all, RestrictionStrategy::kSort), all);
+    EXPECT_EQ(CountDistinctPatterns(t, all),
+              CountDistinctPatterns(t, all, -1, RestrictionStrategy::kSort));
+    // The engine's direct path crosses the same boundary.
+    CountingEngine engine(t);
+    EXPECT_EQ(engine.CountPatterns(all),
+              CountDistinctPatterns(t, all, -1, RestrictionStrategy::kSort));
+  }
+}
+
+TEST(PackedKernelsTest, PackedOrderMatchesMixedRadixOrder) {
+  // The order-isomorphism claim behind the transcoding: sorting packed
+  // codes must yield the exact mixed-radix emission order, including NULL
+  // slots and boundary domains.
+  Table t = MakeDomainTable({3, 8, 7}, 250, 25, 17);
+  const AttrMask all = AttrMask::All(3);
+  ExpectSameGroupCounts(
+      ComputePatternCounts(t, all, RestrictionStrategy::kPacked),
+      ComputePatternCounts(t, all, RestrictionStrategy::kMixedRadix), all);
+}
+
+TEST(PackedKernelsTest, WideGenericKernelMatchesSpecializations) {
+  // Arity 2 and 3 take the specialized loops, arity >= 4 the tiled
+  // generic kernel; all must agree with the reference on the same table,
+  // including across tile boundaries (rows > 1024).
+  Table t = MakeDomainTable({5, 3, 6, 4, 7, 2}, 3000, 15, 23);
+  CheckStrategiesAgree(t);
+}
+
+}  // namespace
+}  // namespace pcbl

@@ -1,0 +1,119 @@
+// Unit and randomized-differential tests for the SubsetTrie behind the
+// CountingEngine's rollup ancestor lookup.
+#include "pattern/subset_trie.h"
+
+#include <map>
+#include <optional>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace pcbl {
+namespace {
+
+TEST(SubsetTrieTest, FindsStrictSupersetOnly) {
+  SubsetTrie trie;
+  const AttrMask s = AttrMask::FromIndices({1, 3});
+  trie.Insert(s, 5);
+  // The entry equal to the query never matches (strictness).
+  EXPECT_FALSE(trie.BestStrictSuperset(s, 1000).has_value());
+  trie.Insert(AttrMask::FromIndices({1, 3, 4}), 9);
+  auto match = trie.BestStrictSuperset(s, 1000);
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->mask, AttrMask::FromIndices({1, 3, 4}));
+  EXPECT_EQ(match->weight, 9);
+}
+
+TEST(SubsetTrieTest, PicksMinimumWeightAndHonoursLimit) {
+  SubsetTrie trie;
+  trie.Insert(AttrMask::FromIndices({0, 1, 2}), 40);
+  trie.Insert(AttrMask::FromIndices({0, 1, 3}), 25);
+  trie.Insert(AttrMask::FromIndices({0, 1, 2, 3}), 90);
+  auto match = trie.BestStrictSuperset(AttrMask::FromIndices({0, 1}), 1000);
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->weight, 25);
+  EXPECT_EQ(match->mask, AttrMask::FromIndices({0, 1, 3}));
+  // Limit excludes everything at or above it.
+  EXPECT_FALSE(
+      trie.BestStrictSuperset(AttrMask::FromIndices({0, 1}), 25).has_value());
+  auto capped =
+      trie.BestStrictSuperset(AttrMask::FromIndices({0, 1}), 26);
+  ASSERT_TRUE(capped.has_value());
+  EXPECT_EQ(capped->weight, 25);
+}
+
+TEST(SubsetTrieTest, EraseAndReweight) {
+  SubsetTrie trie;
+  const AttrMask a = AttrMask::FromIndices({0, 2, 5});
+  const AttrMask b = AttrMask::FromIndices({0, 2, 6});
+  trie.Insert(a, 10);
+  trie.Insert(b, 20);
+  EXPECT_EQ(trie.num_entries(), 2);
+  auto match = trie.BestStrictSuperset(AttrMask::FromIndices({0, 2}), 100);
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->mask, a);
+  trie.Erase(a);
+  EXPECT_EQ(trie.num_entries(), 1);
+  match = trie.BestStrictSuperset(AttrMask::FromIndices({0, 2}), 100);
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->mask, b);
+  // Insert on an existing mask updates the weight in place.
+  trie.Insert(b, 3);
+  EXPECT_EQ(trie.num_entries(), 1);
+  match = trie.BestStrictSuperset(AttrMask::FromIndices({0, 2}), 100);
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->weight, 3);
+  trie.Clear();
+  EXPECT_EQ(trie.num_entries(), 0);
+  EXPECT_FALSE(
+      trie.BestStrictSuperset(AttrMask::FromIndices({0, 2}), 100)
+          .has_value());
+}
+
+TEST(SubsetTrieTest, RandomizedAgainstLinearScan) {
+  Rng rng(2021);
+  constexpr int kAttrs = 12;
+  SubsetTrie trie;
+  std::map<uint64_t, int64_t> reference;
+  for (int step = 0; step < 4000; ++step) {
+    const uint64_t bits = rng.UniformInt(1u << kAttrs);
+    const AttrMask mask(bits);
+    const int op = static_cast<int>(rng.UniformInt(4));
+    if (op == 0 && !reference.empty() && rng.UniformInt(2) == 0) {
+      trie.Erase(mask);
+      reference.erase(bits);
+    } else if (op <= 1) {
+      const int64_t weight = static_cast<int64_t>(rng.UniformInt(500));
+      trie.Insert(mask, weight);
+      reference[bits] = weight;
+    } else {
+      const int64_t limit = static_cast<int64_t>(rng.UniformInt(600));
+      // Brute-force best strict superset below the limit.
+      std::optional<int64_t> best;
+      for (const auto& [rbits, w] : reference) {
+        if (rbits == bits) continue;
+        if ((rbits & bits) != bits) continue;
+        if (w >= limit) continue;
+        if (!best.has_value() || w < *best) best = w;
+      }
+      auto got = trie.BestStrictSuperset(mask, limit);
+      ASSERT_EQ(got.has_value(), best.has_value())
+          << "mask " << mask.ToString() << " limit " << limit;
+      if (best.has_value()) {
+        EXPECT_EQ(got->weight, *best) << mask.ToString();
+        // The returned mask must really be a cached strict superset of
+        // that weight.
+        EXPECT_TRUE(mask.IsStrictSubsetOf(got->mask));
+        auto it = reference.find(got->mask.bits());
+        ASSERT_NE(it, reference.end());
+        EXPECT_EQ(it->second, got->weight);
+      }
+    }
+    EXPECT_EQ(trie.num_entries(),
+              static_cast<int64_t>(reference.size()));
+  }
+}
+
+}  // namespace
+}  // namespace pcbl
