@@ -1,0 +1,115 @@
+// Micro-benchmark for the process-wide ServiceRegistry: the content
+// fingerprint (the per-acquire cost every consumer pays), hit-path
+// acquisition, and the end-to-end payoff — a second consumer's search
+// over content-equal data through the registry vs a private cold
+// service. Also measures the delta-append path against compaction, the
+// physical reorganization that keeps steady appends from accumulating a
+// per-scan row-major tax.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/search.h"
+#include "pattern/counting_service.h"
+#include "pattern/lattice.h"
+#include "pattern/service_registry.h"
+#include "workload/datasets.h"
+
+namespace pcbl {
+namespace {
+
+const Table& CompasTable() {
+  static const Table* table = [] {
+    auto t = workload::MakeCompas(30000, 7);
+    PCBL_CHECK(t.ok());
+    return new Table(std::move(t).value());
+  }();
+  return *table;
+}
+
+void BM_FingerprintTable(benchmark::State& state) {
+  const Table& t = CompasTable();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FingerprintTable(t));
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_FingerprintTable)->Unit(benchmark::kMillisecond);
+
+void BM_RegistryAcquireHit(benchmark::State& state) {
+  const Table& t = CompasTable();
+  ServiceRegistry registry;
+  auto anchor = registry.Acquire(t);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(registry.Acquire(t));
+  }
+}
+BENCHMARK(BM_RegistryAcquireHit)->Unit(benchmark::kMillisecond);
+
+// The payoff: a consumer with its own Table instance searches through a
+// cold private service vs through the registry behind a warm first
+// consumer.
+void BM_SecondConsumerSearchCold(benchmark::State& state) {
+  SearchOptions options;
+  options.size_bound = 60;
+  for (auto _ : state) {
+    LabelSearch search(CompasTable());  // private cold service
+    benchmark::DoNotOptimize(search.TopDown(options));
+  }
+}
+BENCHMARK(BM_SecondConsumerSearchCold)->Unit(benchmark::kMillisecond);
+
+void BM_SecondConsumerSearchViaRegistry(benchmark::State& state) {
+  SearchOptions options;
+  options.size_bound = 60;
+  ServiceRegistry registry;
+  {
+    // First consumer warms the shared service.
+    LabelSearch first(CompasTable(), registry.Acquire(CompasTable()));
+    first.TopDown(options);
+  }
+  for (auto _ : state) {
+    LabelSearch search(CompasTable(), registry.Acquire(CompasTable()));
+    benchmark::DoNotOptimize(search.TopDown(options));
+  }
+}
+BENCHMARK(BM_SecondConsumerSearchViaRegistry)->Unit(benchmark::kMillisecond);
+
+// Steady appends: sizing through an ever-growing delta block vs folding
+// it into the columnar base first.
+void BM_SizingAfterAppends(benchmark::State& state) {
+  const bool compact = state.range(0) != 0;
+  const Table& t = CompasTable();
+  const int n = t.num_attributes();
+  // 4096 appended rows copied from the table's own head (no fresh codes;
+  // the physical layout is what is being measured).
+  std::vector<std::vector<ValueId>> rows;
+  for (int64_t r = 0; r < 4096; ++r) {
+    std::vector<ValueId> row(static_cast<size_t>(n));
+    for (int a = 0; a < n; ++a) row[static_cast<size_t>(a)] = t.value(r, a);
+    rows.push_back(std::move(row));
+  }
+  CountingEngineOptions options;
+  options.delta_compact_threshold = 0;  // manual control below
+  CountingEngine engine(t, options);
+  engine.ApplyAppend(rows);
+  if (compact) engine.CompactDeltas();
+  std::vector<AttrMask> masks;
+  ForEachSubsetOfSize(std::min(n, 12), 2,
+                      [&](AttrMask s) { masks.push_back(s); });
+  for (auto _ : state) {
+    engine.InvalidateCache();
+    benchmark::DoNotOptimize(engine.CountPatternsBatch(masks, 50));
+  }
+}
+BENCHMARK(BM_SizingAfterAppends)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"compacted"})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace pcbl
+
+BENCHMARK_MAIN();

@@ -4,9 +4,13 @@
 // training set contain?" without access to the data).
 //
 // With `--data <csv>` the command additionally computes the *true* count
-// through the dataset's CountingService and reports the estimation error
-// — the producer-side spot check. `--threads`, `--cache-budget` and
-// `--no-engine` configure that service exactly as in `pcbl build`.
+// through the dataset's shared CountingService — acquired from the
+// process-wide ServiceRegistry, so repeated spot checks over the same
+// data reuse one warm cache — and reports the estimation error plus the
+// registry's hit/miss/resident-bytes counters. `--threads`,
+// `--cache-budget` and `--no-engine` configure the service exactly as in
+// `pcbl build`; `--service-budget` bounds the registry's process-wide
+// cache memory.
 #include <cmath>
 #include <memory>
 #include <ostream>
@@ -36,7 +40,10 @@ constexpr char kUsage[] =
     "  --no-engine        count with the serial one-shot scan instead of\n"
     "                     the memoized counting engine\n"
     "  --cache-budget N   engine memoization budget in cached group\n"
-    "                     entries (0 disables memoization)\n";
+    "                     entries (0 disables memoization)\n"
+    "  --service-budget N process-wide memory budget (bytes) on the\n"
+    "                     counting-service registry's caches\n"
+    "                     (0 = unbounded)\n";
 
 // The true count c_D(p): for patterns binding >= 2 attributes this is the
 // count of the fully-bound PC group over Attr(p) (every matching row's
@@ -72,7 +79,8 @@ int CmdEstimate(const Args& args, std::ostream& out, std::ostream& err) {
     return kExitOk;
   }
   if (Status s = args.CheckKnown({"help", "pattern", "data", "threads",
-                                  "no-engine", "cache-budget"});
+                                  "no-engine", "cache-budget",
+                                  "service-budget"});
       !s.ok()) {
     return FailWith(s, "estimate", err);
   }
@@ -89,10 +97,10 @@ int CmdEstimate(const Args& args, std::ostream& out, std::ostream& err) {
   const std::string data_path = args.GetString("data");
   if (data_path.empty() &&
       (args.Has("threads") || args.Has("no-engine") ||
-       args.Has("cache-budget"))) {
+       args.Has("cache-budget") || args.Has("service-budget"))) {
     return FailWith(
-        InvalidArgumentError(
-            "--threads/--no-engine/--cache-budget require --data"),
+        InvalidArgumentError("--threads/--no-engine/--cache-budget/"
+                             "--service-budget require --data"),
         "estimate", err);
   }
   auto engine_options = ParseEngineOptions(args);
@@ -118,12 +126,14 @@ int CmdEstimate(const Args& args, std::ostream& out, std::ostream& err) {
                    PercentString(share).c_str());
 
   if (!data_path.empty()) {
-    auto table = LoadCsvTable(data_path);
-    if (!table.ok()) return FailWith(table.status(), "estimate", err);
+    auto loaded = LoadCsvTable(data_path);
+    if (!loaded.ok()) return FailWith(loaded.status(), "estimate", err);
+    auto table = std::make_shared<const Table>(std::move(*loaded));
     auto pattern = Pattern::Parse(*table, *terms);
     if (!pattern.ok()) return FailWith(pattern.status(), "estimate", err);
-    CountingService service(*table, *engine_options);
-    const int64_t actual = TrueCount(service, *pattern);
+    auto service = AcquireRegistryService(args, table, *engine_options);
+    if (!service.ok()) return FailWith(service.status(), "estimate", err);
+    const int64_t actual = TrueCount(**service, *pattern);
     const double abs_err =
         std::abs(*estimate - static_cast<double>(actual));
     const double q_err =
@@ -135,6 +145,7 @@ int CmdEstimate(const Args& args, std::ostream& out, std::ostream& err) {
                      static_cast<long long>(actual), data_path.c_str());
     out << StrFormat("abs error: %.2f\n", abs_err);
     out << StrFormat("q-error:   %.2f\n", q_err);
+    out << FormatRegistryStats();
   }
   return kExitOk;
 }

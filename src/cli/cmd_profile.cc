@@ -3,12 +3,17 @@
 // the information an analyst inspects before choosing a label bound.
 //
 // `--pairs N` extends the profile with the pairwise label sizes |P_{i,j}|
-// of every attribute pair, sized through the dataset's CountingService in
-// one parallel batch — precisely the quantities that determine which
-// subsets fit a bound B_s (the smallest pairs are the seeds of every
-// within-bound label). `--threads`, `--cache-budget` and `--no-engine`
-// configure the service exactly as in `pcbl build`.
+// of every attribute pair, sized through the dataset's shared
+// CountingService in one parallel batch — precisely the quantities that
+// determine which subsets fit a bound B_s (the smallest pairs are the
+// seeds of every within-bound label). The service is acquired from the
+// process-wide ServiceRegistry (a re-profile of the same data sizes from
+// the warm cache) and the registry's hit/miss/resident-bytes counters
+// are reported with the pairs. `--threads`, `--cache-budget` and
+// `--no-engine` configure the service exactly as in `pcbl build`;
+// `--service-budget` bounds the registry's process-wide cache memory.
 #include <algorithm>
+#include <memory>
 #include <ostream>
 #include <vector>
 
@@ -39,7 +44,10 @@ constexpr char kUsage[] =
     "  --no-engine        size pairs with serial one-shot scans instead\n"
     "                     of the batched counting engine\n"
     "  --cache-budget N   engine memoization budget in cached group\n"
-    "                     entries (0 disables memoization)\n";
+    "                     entries (0 disables memoization)\n"
+    "  --service-budget N process-wide memory budget (bytes) on the\n"
+    "                     counting-service registry's caches\n"
+    "                     (0 = unbounded)\n";
 }  // namespace
 
 int CmdProfile(const Args& args, std::ostream& out, std::ostream& err) {
@@ -48,7 +56,7 @@ int CmdProfile(const Args& args, std::ostream& out, std::ostream& err) {
     return kExitOk;
   }
   if (Status s = args.CheckKnown({"help", "pairs", "threads", "no-engine",
-                                  "cache-budget"});
+                                  "cache-budget", "service-budget"});
       !s.ok()) {
     return FailWith(s, "profile", err);
   }
@@ -58,10 +66,10 @@ int CmdProfile(const Args& args, std::ostream& out, std::ostream& err) {
   }
   if (!args.Has("pairs") &&
       (args.Has("threads") || args.Has("no-engine") ||
-       args.Has("cache-budget"))) {
+       args.Has("cache-budget") || args.Has("service-budget"))) {
     return FailWith(
-        InvalidArgumentError(
-            "--threads/--no-engine/--cache-budget require --pairs"),
+        InvalidArgumentError("--threads/--no-engine/--cache-budget/"
+                             "--service-budget require --pairs"),
         "profile", err);
   }
   auto pairs_limit = args.GetInt("pairs", 20);
@@ -70,8 +78,9 @@ int CmdProfile(const Args& args, std::ostream& out, std::ostream& err) {
   if (!engine_options.ok()) {
     return FailWith(engine_options.status(), "profile", err);
   }
-  auto table = LoadCsvTable(args.positional()[0]);
-  if (!table.ok()) return FailWith(table.status(), "profile", err);
+  auto loaded = LoadCsvTable(args.positional()[0]);
+  if (!loaded.ok()) return FailWith(loaded.status(), "profile", err);
+  auto table = std::make_shared<const Table>(std::move(*loaded));
 
   out << args.positional()[0] << ": "
       << WithThousandsSeparators(table->num_rows()) << " rows, "
@@ -88,7 +97,8 @@ int CmdProfile(const Args& args, std::ostream& out, std::ostream& err) {
   if (!args.Has("pairs")) return kExitOk;
 
   const CountingEngineOptions& options = *engine_options;
-  CountingService service(*table, options);
+  auto service = AcquireRegistryService(args, table, options);
+  if (!service.ok()) return FailWith(service.status(), "profile", err);
 
   const int n = table->num_attributes();
   std::vector<AttrMask> masks;
@@ -99,8 +109,8 @@ int CmdProfile(const Args& args, std::ostream& out, std::ostream& err) {
   }
   std::vector<int64_t> sizes;
   {
-    std::lock_guard<std::mutex> lock(service.mutex());
-    sizes = service.engine().CountPatternsBatch(masks, /*budget=*/-1);
+    std::lock_guard<std::mutex> lock((*service)->mutex());
+    sizes = (*service)->engine().CountPatternsBatch(masks, /*budget=*/-1);
   }
   std::vector<size_t> order(masks.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
@@ -125,6 +135,7 @@ int CmdProfile(const Args& args, std::ostream& out, std::ostream& err) {
         sizes[order[i]], space);
   }
   out << pair_grid.ToMarkdown();
+  out << FormatRegistryStats();
   return kExitOk;
 }
 

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "pattern/service_registry.h"
 #include "relation/csv.h"
 #include "util/str.h"
 #include "util/thread_pool.h"
@@ -55,6 +56,40 @@ Result<CountingEngineOptions> ParseEngineOptions(const Args& args) {
       threads > 0 ? static_cast<int>(threads) : DefaultThreadCount();
   options.cache_budget = cache_budget;
   return options;
+}
+
+Result<std::shared_ptr<CountingService>> AcquireRegistryService(
+    const Args& args, std::shared_ptr<const Table> table,
+    const CountingEngineOptions& options) {
+  ServiceRegistry& registry = ServiceRegistry::Global();
+  if (args.Has("service-budget")) {
+    PCBL_ASSIGN_OR_RETURN(int64_t budget,
+                          args.GetInt("service-budget", 0));
+    if (budget < 0) {
+      return InvalidArgumentError("--service-budget must be >= 0");
+    }
+    registry.SetMemoryBudget(budget);
+  }
+  std::shared_ptr<CountingService> service =
+      registry.Acquire(std::move(table));
+  // A registry hit keeps the warm cache; the per-invocation knobs still
+  // apply (Configure preserves warm entries, like a search would).
+  std::lock_guard<std::mutex> lock(service->mutex());
+  service->Configure(options);
+  return service;
+}
+
+std::string FormatRegistryStats() {
+  const ServiceRegistryStats stats = ServiceRegistry::Global().stats();
+  return StrFormat(
+      "registry:  %lld hit%s, %lld miss%s, %lld service%s resident "
+      "(%lld bytes resident, %lld evicted)\n",
+      static_cast<long long>(stats.hits), stats.hits == 1 ? "" : "s",
+      static_cast<long long>(stats.misses), stats.misses == 1 ? "" : "es",
+      static_cast<long long>(stats.services),
+      stats.services == 1 ? "" : "s",
+      static_cast<long long>(stats.resident_bytes),
+      static_cast<long long>(stats.evictions));
 }
 
 Result<OptimizationMetric> ParseMetric(const std::string& name) {

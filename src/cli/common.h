@@ -9,6 +9,7 @@
 #include "core/error.h"
 #include "core/portable_label.h"
 #include "pattern/counting_engine.h"
+#include "pattern/counting_service.h"
 #include "relation/table.h"
 #include "util/status.h"
 
@@ -45,6 +46,20 @@ Result<OptimizationMetric> ParseMetric(const std::string& name);
 /// `--threads N` (0 or absent = all hardware threads), `--no-engine`,
 /// and `--cache-budget N`. Parse errors propagate.
 Result<CountingEngineOptions> ParseEngineOptions(const Args& args);
+
+/// Acquires the dataset's shared CountingService from the process-wide
+/// ServiceRegistry, honouring `--service-budget N` (registry memory
+/// budget in bytes; 0 = unbounded) and applying `options` to the service
+/// under its lock. Takes shared ownership of `table` so a registry miss
+/// costs no copy. Repeated invocations in one process (and concurrent
+/// sessions over content-equal data) share one warm cache.
+Result<std::shared_ptr<CountingService>> AcquireRegistryService(
+    const Args& args, std::shared_ptr<const Table> table,
+    const CountingEngineOptions& options);
+
+/// Renders the registry's hit/miss/eviction and resident-bytes counters
+/// as one "registry:" summary line.
+std::string FormatRegistryStats();
 
 /// Renders an ErrorReport as aligned "key: value" lines.
 std::string FormatErrorReport(const ErrorReport& report, int64_t total_rows);

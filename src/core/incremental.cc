@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "pattern/counter.h"
+#include "pattern/service_registry.h"
 #include "relation/stats.h"
 #include "util/logging.h"
 #include "util/str.h"
@@ -39,13 +40,16 @@ Result<IncrementalLabel> IncrementalLabel::Create(
   }
 
   if (service != nullptr) {
-    if (&service->table() != &base) {
+    // Pointer identity is the cheap common case (a LabelSearch's own
+    // service); a registry-acquired service wraps its own copy of the
+    // table, so fall back to content equality — equal fingerprints imply
+    // identical code spaces, which is all the append hook needs. (The
+    // appended-rows check happens below, under the service lock — other
+    // sessions may be appending concurrently.)
+    if (&service->table() != &base &&
+        FingerprintTable(service->table()) != FingerprintTable(base)) {
       return InvalidArgumentError(
           "counting service describes a different table");
-    }
-    if (service->total_rows() != base.num_rows()) {
-      return InvalidArgumentError(
-          "counting service has already absorbed appended rows");
     }
   }
 
@@ -56,13 +60,15 @@ Result<IncrementalLabel> IncrementalLabel::Create(
   const GroupCounts* pc_ptr;
   GroupCounts local_pc;
   if (service != nullptr) {
+    // A disabled engine is fine: the append hook still tracks the rows
+    // (the engine's delta-aware scans answer exactly), it just cannot
+    // serve the seed from a warm cache.
     std::lock_guard<std::mutex> lock(service->mutex());
-    if (!service->engine().options().enabled) {
-      // The append hook patches through the engine; attaching to a
-      // disabled one would only fail later, on the first AppendRow.
+    // Checked under the lock: a service another session already grew
+    // describes more data than `base`, and this label would seed stale.
+    if (service->engine().num_appended_rows() != 0) {
       return InvalidArgumentError(
-          "counting service engine is disabled; appends could not be "
-          "patched");
+          "counting service has already absorbed appended rows");
     }
     shared_pc = service->engine().PatternCounts(s);
     pc_ptr = shared_pc.get();

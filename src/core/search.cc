@@ -39,6 +39,16 @@ LabelSearch::LabelSearch(const Table& table)
       service_(std::make_shared<CountingService>(table)) {}
 
 LabelSearch::LabelSearch(const Table& table,
+                         std::shared_ptr<CountingService> service)
+    : table_(&table),
+      vc_(std::make_shared<const ValueCounts>(ValueCounts::Compute(table))),
+      patterns_(std::make_shared<const FullPatternIndex>(
+          FullPatternIndex::Build(table))),
+      service_(std::move(service)) {
+  PCBL_CHECK(service_ != nullptr);
+}
+
+LabelSearch::LabelSearch(const Table& table,
                          std::shared_ptr<const ValueCounts> vc,
                          std::shared_ptr<const FullPatternIndex> patterns)
     : table_(&table),
@@ -166,7 +176,7 @@ SearchResult LabelSearch::Naive(const SearchOptions& options) const {
   // once rows were appended through the service the engine counts the
   // extended data and mixing the two would certify an inconsistent
   // label. Rebuild the LabelSearch on the extended table instead.
-  PCBL_CHECK(service_->engine().num_delta_rows() == 0)
+  PCBL_CHECK(service_->engine().num_appended_rows() == 0)
       << "searching after appends requires a LabelSearch rebuilt on the "
          "extended table";
   service_->Configure(EngineOptions(options));
@@ -221,7 +231,7 @@ SearchResult LabelSearch::TopDown(const SearchOptions& options) const {
   SearchStats stats;
   const int n = table_->num_attributes();
   std::lock_guard<std::mutex> lock(service_->mutex());
-  PCBL_CHECK(service_->engine().num_delta_rows() == 0)
+  PCBL_CHECK(service_->engine().num_appended_rows() == 0)
       << "searching after appends requires a LabelSearch rebuilt on the "
          "extended table";
   service_->Configure(EngineOptions(options));

@@ -137,6 +137,13 @@ class LabelSearch {
   /// Builds VC and P_A eagerly (one scan + one sort).
   explicit LabelSearch(const Table& table);
 
+  /// Builds VC / P_A but sizes through `service` — e.g. the shared
+  /// service of ServiceRegistry::Global().Acquire(table), so concurrent
+  /// searches over content-equal tables share one warm cache. The
+  /// service must describe a table content-equal to `table` (equal
+  /// fingerprints imply interchangeable code spaces).
+  LabelSearch(const Table& table, std::shared_ptr<CountingService> service);
+
   /// Reuses precomputed VC / P_A (they must describe `table`).
   LabelSearch(const Table& table,
               std::shared_ptr<const ValueCounts> vc,

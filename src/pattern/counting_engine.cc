@@ -14,7 +14,6 @@ namespace pcbl {
 using counting::CodeCountMap;
 using counting::CodeSet;
 using counting::MakePackedLayout;
-using counting::MakeSubsetColumns;
 using counting::MaterializeFromCodes;
 using counting::MaterializeFromPackedCodes;
 using counting::NullableRadixMultipliers;
@@ -33,7 +32,65 @@ inline bool KeyLess(const ValueId* a, const ValueId* b, int width) {
   return std::lexicographical_compare(a, a + width, b, b + width);
 }
 
+// Fixed per-entry overhead charged by the memory accountant on top of
+// the key/count payload: map node, FIFO slot, trie node, shared_ptr
+// control block.
+constexpr int64_t kCacheEntryOverheadBytes = 64;
+
+// Streams every base row, then every delta row, of one attribute subset
+// through `fn`, which receives a value_at(j) accessor and returns false
+// to stop the scan early. The one row loop shared by the mixed-radix
+// and sort-fallback scan paths.
+template <typename Fn>
+void ForEachSubsetRow(const ValueId* const* cols, int64_t rows,
+                      const ValueId* delta, int64_t delta_rows,
+                      int64_t delta_stride, const int* attrs, Fn&& fn) {
+  for (int64_t r = 0; r < rows; ++r) {
+    if (!fn([&](size_t j) { return cols[j][r]; })) return;
+  }
+  for (int64_t r = 0; r < delta_rows; ++r) {
+    const ValueId* row = delta + r * delta_stride;
+    if (!fn([&](size_t j) { return row[attrs[j]]; })) return;
+  }
+}
+
+// Sorts row-major keys and emits (run start, run length) pairs in the
+// canonical lexicographic order; shared by the sort-fallback sizing and
+// combo paths.
+template <typename EmitRun>
+void ForEachSortedRun(std::vector<ValueId>& keys, size_t width,
+                      EmitRun&& emit) {
+  const size_t n = width == 0 ? 0 : keys.size() / width;
+  std::vector<int64_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = static_cast<int64_t>(i);
+  const ValueId* data = keys.data();
+  std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    const ValueId* ka = data + static_cast<size_t>(a) * width;
+    const ValueId* kb = data + static_cast<size_t>(b) * width;
+    return std::lexicographical_compare(ka, ka + width, kb, kb + width);
+  });
+  size_t i = 0;
+  while (i < n) {
+    const ValueId* ki = data + static_cast<size_t>(order[i]) * width;
+    size_t j = i + 1;
+    while (j < n) {
+      const ValueId* kj = data + static_cast<size_t>(order[j]) * width;
+      if (!std::equal(ki, ki + width, kj)) break;
+      ++j;
+    }
+    if (!emit(ki, static_cast<int64_t>(j - i))) return;
+    i = j;
+  }
+}
+
 }  // namespace
+
+int64_t CountingEngine::EntryBytes(const GroupCounts& counts) {
+  return counts.num_groups() *
+             (counts.key_width() * static_cast<int64_t>(sizeof(ValueId)) +
+              static_cast<int64_t>(sizeof(int64_t))) +
+         kCacheEntryOverheadBytes;
+}
 
 CountingEngine::CountingEngine(const Table& table,
                                CountingEngineOptions options)
@@ -62,7 +119,8 @@ CountingEngine::Plan CountingEngine::MakePlan(AttrMask mask) const {
 }
 
 CountingEngine::Sizing CountingEngine::DirectSizing(AttrMask mask,
-                                                    int64_t budget) const {
+                                                    int64_t budget,
+                                                    bool materialize) const {
   Sizing out;
   out.path = Path::kDirect;
   std::vector<int> attrs = mask.ToIndices();
@@ -79,7 +137,16 @@ CountingEngine::Sizing CountingEngine::DirectSizing(AttrMask mask,
   int64_t doms[kMaxAttributes];
   for (size_t j = 0; j < width; ++j) doms[j] = DomSizeOf(attrs[j]);
 
-  SubsetColumns view = MakeSubsetColumns(*table_, attrs);
+  // The scanned view streams the effective base columns (the table, or
+  // the compacted storage once deltas were folded) plus any uncompacted
+  // delta rows.
+  SubsetColumns view;
+  view.width = static_cast<int>(width);
+  view.rows = base_rows();
+  for (size_t j = 0; j < width; ++j) {
+    view.cols[j] = BaseColumn(attrs[j]);
+    view.nullable[j] = BaseHasNulls(attrs[j]);
+  }
   if (!delta_rows_.empty()) {
     view.delta = delta_rows_.data();
     view.delta_rows = num_delta_rows();
@@ -100,6 +167,7 @@ CountingEngine::Sizing CountingEngine::DirectSizing(AttrMask mask,
       out.size =
           counting::PackedCountGroupsDense(view, layout, budget, &items);
       if (budget >= 0 && out.size > budget) return out;
+      if (!materialize) return out;
       out.counts = std::make_shared<const GroupCounts>(
           MaterializeFromPackedCodes(mask, std::move(attrs), layout,
                                      std::move(items)));
@@ -111,7 +179,7 @@ CountingEngine::Sizing CountingEngine::DirectSizing(AttrMask mask,
     // ones materialize in a second pass whose map is reserved at the now
     // exact group count, so it never rehashes.
     out.size = PackedCountDistinct(view, layout, budget);
-    if (budget >= 0 && out.size > budget) return out;
+    if ((budget >= 0 && out.size > budget) || !materialize) return out;
     out.counts =
         std::make_shared<const GroupCounts>(MaterializeFromPackedCodes(
             mask, std::move(attrs), layout,
@@ -124,16 +192,18 @@ CountingEngine::Sizing CountingEngine::DirectSizing(AttrMask mask,
   std::vector<int64_t> mult =
       NullableRadixMultipliers(doms, width, &encodable);
   if (!encodable) {
-    // Non-64-bit-encodable key space: delegate to the sort-based one-shot
-    // counters (corner regime; two passes when within budget).
-    PCBL_CHECK(delta_rows_.empty())
-        << "appended rows require a 64-bit-encodable key space";
-    out.size = CountDistinctPatterns(*table_, mask, budget);
-    if (budget >= 0 && out.size > budget) return out;
-    out.counts = std::make_shared<const GroupCounts>(
-        ComputePatternCounts(*table_, mask));
-    out.full_scan = true;
-    return out;
+    // Non-64-bit-encodable key space (corner regime). Without appended
+    // state the sort-based one-shot counters are the reference; with it
+    // the engine's own delta-aware sort fallback keeps the path total.
+    if (!has_appended_state()) {
+      out.size = CountDistinctPatterns(*table_, mask, budget);
+      if ((budget >= 0 && out.size > budget) || !materialize) return out;
+      out.counts = std::make_shared<const GroupCounts>(
+          ComputePatternCounts(*table_, mask));
+      out.full_scan = true;
+      return out;
+    }
+    return SortFallbackSizing(mask, budget, materialize);
   }
   // Mixed-radix one-pass: count *and* materialize, aborting once the
   // distinct count blows the budget.
@@ -158,29 +228,109 @@ CountingEngine::Sizing CountingEngine::DirectSizing(AttrMask mask,
   };
   const ValueId* cols[kMaxAttributes];
   for (size_t j = 0; j < width; ++j) {
-    cols[j] = table_->column(attrs[j]).data();
+    cols[j] = BaseColumn(attrs[j]);
   }
-  const int64_t rows = table_->num_rows();
-  for (int64_t r = 0; r < rows; ++r) {
-    if (!add_row([&](size_t j) { return cols[j][r]; })) {
-      out.size = counts.size();
-      return out;
-    }
-  }
-  const int64_t stride = table_->num_attributes();
-  const int64_t deltas = num_delta_rows();
-  for (int64_t r = 0; r < deltas; ++r) {
-    const ValueId* row = delta_rows_.data() + r * stride;
-    if (!add_row([&](size_t j) { return row[attrs[j]]; })) {
-      out.size = counts.size();
-      return out;
-    }
-  }
+  ForEachSubsetRow(cols, base_rows(), delta_rows_.data(), num_delta_rows(),
+                   table_->num_attributes(), attrs.data(), add_row);
   out.size = counts.size();
+  if ((budget >= 0 && out.size > budget) || !materialize) return out;
   out.counts = std::make_shared<const GroupCounts>(
       MaterializeFromCodes(mask, attrs, doms, mult, counts.Items()));
   out.full_scan = true;
   return out;
+}
+
+CountingEngine::Sizing CountingEngine::SortFallbackSizing(
+    AttrMask mask, int64_t budget, bool materialize) const {
+  Sizing out;
+  out.path = Path::kDirect;
+  const std::vector<int> attrs = mask.ToIndices();
+  const size_t width = attrs.size();
+  PCBL_DCHECK(width >= 2);
+  // Row-major restriction keys of arity >= 2 over base + delta rows;
+  // raw ValueIds, so no code space is needed at all.
+  std::vector<ValueId> keys;
+  keys.reserve(static_cast<size_t>(total_rows()) * width);
+  auto add_row = [&](auto value_at) {
+    int arity = 0;
+    const size_t base = keys.size();
+    keys.resize(base + width);
+    for (size_t j = 0; j < width; ++j) {
+      const ValueId v = value_at(j);
+      keys[base + j] = v;
+      arity += static_cast<int>(!IsNull(v));
+    }
+    if (arity < 2) keys.resize(base);  // drop low-arity restrictions
+    return true;
+  };
+  const ValueId* cols[kMaxAttributes];
+  for (size_t j = 0; j < width; ++j) cols[j] = BaseColumn(attrs[j]);
+  ForEachSubsetRow(cols, base_rows(), delta_rows_.data(), num_delta_rows(),
+                   table_->num_attributes(), attrs.data(), add_row);
+  if (!materialize) {
+    int64_t distinct = 0;
+    ForEachSortedRun(keys, width, [&](const ValueId*, int64_t) {
+      ++distinct;
+      return !(budget >= 0 && distinct > budget);
+    });
+    out.size = distinct;
+    return out;
+  }
+  // One sort serves both the sizing and (within budget) the
+  // materialization: runs emit in canonical order already.
+  GroupCounts counts;
+  GroupCountsAccess::mask(counts) = mask;
+  GroupCountsAccess::attrs(counts) = attrs;
+  std::vector<ValueId>& out_keys = GroupCountsAccess::keys(counts);
+  std::vector<int64_t>& out_counts = GroupCountsAccess::counts(counts);
+  bool aborted = false;
+  ForEachSortedRun(keys, width, [&](const ValueId* key, int64_t run) {
+    out_keys.insert(out_keys.end(), key, key + width);
+    out_counts.push_back(run);
+    if (budget >= 0 &&
+        static_cast<int64_t>(out_counts.size()) > budget) {
+      aborted = true;
+      return false;
+    }
+    return true;
+  });
+  out.size = counts.num_groups();
+  if (aborted) return out;
+  out.counts = std::make_shared<const GroupCounts>(std::move(counts));
+  out.full_scan = true;
+  return out;
+}
+
+int64_t CountingEngine::SortFallbackCombos(AttrMask mask,
+                                           int64_t budget) const {
+  const std::vector<int> attrs = mask.ToIndices();
+  const size_t width = attrs.size();
+  // NULL-free combination keys over base + delta rows.
+  std::vector<ValueId> keys;
+  keys.reserve(static_cast<size_t>(total_rows()) * width);
+  auto add_row = [&](auto value_at) {
+    const size_t base = keys.size();
+    keys.resize(base + width);
+    for (size_t j = 0; j < width; ++j) {
+      const ValueId v = value_at(j);
+      if (IsNull(v)) {
+        keys.resize(base);
+        return true;
+      }
+      keys[base + j] = v;
+    }
+    return true;
+  };
+  const ValueId* cols[kMaxAttributes];
+  for (size_t j = 0; j < width; ++j) cols[j] = BaseColumn(attrs[j]);
+  ForEachSubsetRow(cols, base_rows(), delta_rows_.data(), num_delta_rows(),
+                   table_->num_attributes(), attrs.data(), add_row);
+  int64_t distinct = 0;
+  ForEachSortedRun(keys, width, [&](const ValueId*, int64_t) {
+    ++distinct;
+    return !(budget >= 0 && distinct > budget);
+  });
+  return distinct;
 }
 
 CountingEngine::Sizing CountingEngine::RollupSizing(
@@ -276,22 +426,27 @@ void CountingEngine::Commit(AttrMask mask, const Sizing& sizing) {
     case Path::kTrivial:
       break;
   }
-  if (sizing.counts != nullptr && mask.Count() >= 2) {
+  if (sizing.counts != nullptr && mask.Count() >= 2 && options_.enabled) {
     CacheInsert(mask, sizing.counts);
   }
+}
+
+void CountingEngine::EvictFront() {
+  uint64_t victim = insertion_order_.front();
+  insertion_order_.pop_front();
+  auto it = cache_.find(victim);
+  PCBL_DCHECK(it != cache_.end());
+  stats_.cached_groups -= it->second->num_groups() + 1;
+  AddResidentBytes(-EntryBytes(*it->second));
+  cache_.erase(it);
+  ancestors_.Erase(AttrMask(victim));
+  ++stats_.evictions;
 }
 
 void CountingEngine::EvictToBudget() {
   while (stats_.cached_groups > options_.cache_budget &&
          !insertion_order_.empty()) {
-    uint64_t victim = insertion_order_.front();
-    insertion_order_.pop_front();
-    auto it = cache_.find(victim);
-    PCBL_DCHECK(it != cache_.end());
-    stats_.cached_groups -= it->second->num_groups() + 1;
-    cache_.erase(it);
-    ancestors_.Erase(AttrMask(victim));
-    ++stats_.evictions;
+    EvictFront();
   }
 }
 
@@ -305,27 +460,19 @@ void CountingEngine::CacheInsert(AttrMask mask,
   if (!pinned) {
     while (stats_.cached_groups + cost > options_.cache_budget &&
            !insertion_order_.empty()) {
-      uint64_t victim = insertion_order_.front();
-      insertion_order_.pop_front();
-      auto it = cache_.find(victim);
-      PCBL_DCHECK(it != cache_.end());
-      stats_.cached_groups -= it->second->num_groups() + 1;
-      cache_.erase(it);
-      ancestors_.Erase(AttrMask(victim));
-      ++stats_.evictions;
+      EvictFront();
     }
     insertion_order_.push_back(mask.bits());
     stats_.cached_groups += cost;
   } else {
     pinned_.insert(mask.bits());
   }
+  AddResidentBytes(EntryBytes(*counts));
   ancestors_.Insert(mask, counts->num_groups());
   cache_.emplace(mask.bits(), std::move(counts));
 }
 
 void CountingEngine::Reconfigure(const CountingEngineOptions& options) {
-  PCBL_CHECK(options.enabled || delta_rows_.empty())
-      << "the engine cannot be disabled once rows were appended";
   options_ = options;
   EvictToBudget();
 }
@@ -336,6 +483,7 @@ void CountingEngine::InvalidateCache() {
   pinned_.clear();
   ancestors_.Clear();
   stats_.cached_groups = 0;
+  AddResidentBytes(-stats_.cached_bytes);
   ++stats_.invalidations;
 }
 
@@ -389,8 +537,6 @@ std::shared_ptr<const GroupCounts> CountingEngine::PatchedEntry(
 
 void CountingEngine::ApplyAppend(
     const std::vector<std::vector<ValueId>>& rows) {
-  PCBL_CHECK(options_.enabled)
-      << "appending rows requires the counting engine enabled";
   if (rows.empty()) return;
   const int n = table_->num_attributes();
   if (eff_dom_.empty()) {
@@ -412,13 +558,19 @@ void CountingEngine::ApplyAppend(
     }
     delta_rows_.insert(delta_rows_.end(), row.begin(), row.end());
   }
-  if (cache_.empty()) return;
+  appended_rows_relaxed_.store(num_appended_rows(),
+                               std::memory_order_relaxed);
+  appended_bytes_relaxed_.fetch_add(
+      static_cast<int64_t>(rows.size()) * n *
+          static_cast<int64_t>(sizeof(ValueId)),
+      std::memory_order_relaxed);
   // Patch every cached entry in place (copy-on-write: probes may hold
   // references to the old shared state).
   for (auto& [bits, entry] : cache_) {
     std::shared_ptr<const GroupCounts> patched = PatchedEntry(*entry, rows);
     if (patched == nullptr) continue;
     const int64_t grown = patched->num_groups() - entry->num_groups();
+    AddResidentBytes(EntryBytes(*patched) - EntryBytes(*entry));
     entry = std::move(patched);
     ++stats_.patched_entries;
     ancestors_.Insert(AttrMask(bits), entry->num_groups());
@@ -427,11 +579,64 @@ void CountingEngine::ApplyAppend(
     }
   }
   EvictToBudget();
+  if (options_.delta_compact_threshold > 0 &&
+      num_delta_rows() >= options_.delta_compact_threshold) {
+    CompactDeltas();
+  }
+}
+
+void CountingEngine::CompactDeltas() {
+  const int64_t deltas = num_delta_rows();
+  if (deltas == 0) return;
+  const int n = table_->num_attributes();
+  if (base_rows_ < 0) {
+    // First compaction: take a columnar copy of the table. From here on
+    // the engine owns the base storage and the table is only consulted
+    // for schema/domain metadata.
+    base_cols_.resize(static_cast<size_t>(n));
+    base_has_nulls_.resize(static_cast<size_t>(n));
+    for (int a = 0; a < n; ++a) {
+      base_cols_[static_cast<size_t>(a)] = table_->column(a);
+      base_has_nulls_[static_cast<size_t>(a)] = table_->HasNulls(a);
+    }
+    base_rows_ = table_->num_rows();
+    // The columnar copy of the table is new resident data; the folded
+    // delta bytes are already charged and merely change layout.
+    appended_bytes_relaxed_.fetch_add(
+        static_cast<int64_t>(n) * table_->num_rows() *
+            static_cast<int64_t>(sizeof(ValueId)),
+        std::memory_order_relaxed);
+  }
+  for (int a = 0; a < n; ++a) {
+    std::vector<ValueId>& col = base_cols_[static_cast<size_t>(a)];
+    col.reserve(col.size() + static_cast<size_t>(deltas));
+    bool nulls = base_has_nulls_[static_cast<size_t>(a)];
+    for (int64_t r = 0; r < deltas; ++r) {
+      const ValueId v = delta_rows_[static_cast<size_t>(r * n + a)];
+      col.push_back(v);
+      nulls = nulls || IsNull(v);
+    }
+    base_has_nulls_[static_cast<size_t>(a)] = nulls;
+  }
+  base_rows_ += deltas;
+  delta_rows_.clear();
+  delta_rows_.shrink_to_fit();
+  ++stats_.compactions;
 }
 
 int64_t CountingEngine::CountPatterns(AttrMask mask, int64_t budget) {
   if (!options_.enabled) {
-    return CountDistinctPatterns(*table_, mask, budget);
+    if (!has_appended_state()) {
+      return CountDistinctPatterns(*table_, mask, budget);
+    }
+    // Disabled engine over appended data: the one-shot counters cannot
+    // see it, so run the uncached direct scan. Size-only — nothing can
+    // cache the PC set while disabled, so materializing it (and the
+    // packed path's second scan) would be pure waste.
+    Sizing sizing = DirectSizing(mask, budget, /*materialize=*/false);
+    Commit(mask, sizing);
+    return sizing.counts != nullptr ? sizing.counts->num_groups()
+                                    : sizing.size;
   }
   Sizing sizing = ExecutePlan(mask, MakePlan(mask), budget);
   Commit(mask, sizing);
@@ -444,7 +649,7 @@ std::vector<int64_t> CountingEngine::CountPatternsBatch(
   std::vector<int64_t> sizes(masks.size(), 0);
   if (!options_.enabled) {
     for (size_t i = 0; i < masks.size(); ++i) {
-      sizes[i] = CountDistinctPatterns(*table_, masks[i], budget);
+      sizes[i] = CountPatterns(masks[i], budget);
     }
     return sizes;
   }
@@ -477,9 +682,9 @@ std::vector<int64_t> CountingEngine::CountPatternsBatch(
 
 int64_t CountingEngine::CountCombos(AttrMask mask, int64_t budget) {
   // Reference behaviour when there is nothing the one-shot counter cannot
-  // see; with appended rows every width goes through the delta-aware
-  // paths below (ApplyAppend guarantees options_.enabled).
-  if (delta_rows_.empty() && (!options_.enabled || mask.Count() < 2)) {
+  // see; with appended rows (delta block or compacted base) every width
+  // goes through the delta-aware paths below.
+  if (!has_appended_state() && (!options_.enabled || mask.Count() < 2)) {
     return CountDistinctCombos(*table_, mask, budget);
   }
   if (mask.empty()) return total_rows() > 0 ? 1 : 0;
@@ -487,7 +692,9 @@ int64_t CountingEngine::CountCombos(AttrMask mask, int64_t budget) {
   const size_t width = attrs.size();
   int64_t doms[kMaxAttributes];
   for (size_t j = 0; j < width; ++j) doms[j] = DomSizeOf(attrs[j]);
-  Plan plan = width >= 2 ? MakePlan(mask) : Plan{};
+  // Disabled engines must not serve memoized answers.
+  Plan plan =
+      (options_.enabled && width >= 2) ? MakePlan(mask) : Plan{};
   if (plan.hit != nullptr) {
     // Full combos are exactly the fully-bound groups of the PC set (each
     // a distinct key), since |mask| >= 2 restrictions are all stored.
@@ -560,18 +767,17 @@ int64_t CountingEngine::CountCombos(AttrMask mask, int64_t budget) {
     }
     return seen.size();
   }
-  if (delta_rows_.empty()) {
+  if (!has_appended_state()) {
     ++stats_.direct_scans;
     return CountDistinctCombos(*table_, mask, budget);
   }
   // Delta-aware combo scan (the one-shot counter cannot see the appended
-  // rows).
-  PCBL_CHECK(encodable)
-      << "appended rows require a 64-bit-encodable key space";
+  // rows); non-encodable key spaces take the sort fallback.
   ++stats_.direct_scans;
+  if (!encodable) return SortFallbackCombos(mask, budget);
   const ValueId* cols[kMaxAttributes];
   for (size_t j = 0; j < width; ++j) {
-    cols[j] = table_->column(attrs[j]).data();
+    cols[j] = BaseColumn(attrs[j]);
   }
   CodeSet seen(SizingReserve(budget, total_rows()));
   auto add_row = [&](auto value_at) -> bool {
@@ -583,26 +789,22 @@ int64_t CountingEngine::CountCombos(AttrMask mask, int64_t budget) {
     }
     return !(seen.Insert(code) && budget >= 0 && seen.size() > budget);
   };
-  const int64_t rows = table_->num_rows();
-  for (int64_t r = 0; r < rows; ++r) {
-    if (!add_row([&](size_t j) { return cols[j][r]; })) return seen.size();
-  }
-  const int64_t stride = table_->num_attributes();
-  const int64_t deltas = num_delta_rows();
-  for (int64_t r = 0; r < deltas; ++r) {
-    const ValueId* row = delta_rows_.data() + r * stride;
-    if (!add_row([&](size_t j) { return row[attrs[j]]; })) {
-      return seen.size();
-    }
-  }
+  ForEachSubsetRow(cols, base_rows(), delta_rows_.data(), num_delta_rows(),
+                   table_->num_attributes(), attrs.data(), add_row);
   return seen.size();
 }
 
 std::shared_ptr<const GroupCounts> CountingEngine::PatternCounts(
     AttrMask mask) {
   if (!options_.enabled) {
-    return std::make_shared<const GroupCounts>(
-        ComputePatternCounts(*table_, mask));
+    if (!has_appended_state()) {
+      return std::make_shared<const GroupCounts>(
+          ComputePatternCounts(*table_, mask));
+    }
+    Sizing sizing = DirectSizing(mask, /*budget=*/-1);
+    Commit(mask, sizing);
+    PCBL_CHECK(sizing.counts != nullptr);
+    return sizing.counts;
   }
   Sizing sizing = ExecutePlan(mask, MakePlan(mask), /*budget=*/-1);
   Commit(mask, sizing);

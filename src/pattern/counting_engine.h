@@ -34,14 +34,19 @@
 //
 // Fallbacks keep the engine total: masks whose nullable key space
 // overflows 64 bits, or for which no useful cached ancestor exists, take
-// the direct scan path of counter.h.
+// the direct scan path of counter.h (or the engine's own delta-aware sort
+// fallback once rows were appended).
 //
 // The engine outlives a single search: CountingService (counting_service.h)
 // keeps one engine per dataset so that repeated queries hit warm PC sets,
 // and ApplyAppend lets a growing dataset patch the cached entries in
 // place instead of discarding them (appended rows are tracked as a
 // row-major delta block included by every scan, so answers stay exact
-// against the extended data).
+// against the extended data). Once the delta block outgrows
+// options().delta_compact_threshold, CompactDeltas folds it into an
+// engine-owned columnar base (byte-exact vs. a from-scratch rebuild of
+// the extended table), so steady appends never degenerate into a
+// row-major scan tax.
 //
 // Thread-safety: the const probes (CachedPatternCounts, stats, table) are
 // safe to call concurrently with each other; the mutating calls
@@ -53,6 +58,7 @@
 #ifndef PCBL_PATTERN_COUNTING_ENGINE_H_
 #define PCBL_PATTERN_COUNTING_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -71,8 +77,10 @@ namespace pcbl {
 struct CountingEngineOptions {
   /// Master switch: when false every call delegates to the one-shot
   /// counters in counter.h (no batching, no cache) — the byte-identical
-  /// reference behaviour. May not be disabled once rows were appended
-  /// (the one-shot counters cannot see the delta block).
+  /// reference behaviour. A disabled engine still accepts appends: once
+  /// rows were appended (the one-shot counters cannot see them) the
+  /// delegate becomes the engine's own uncached delta-aware scan, which
+  /// stays byte-identical to the one-shot counters over a rebuilt table.
   bool enabled = true;
 
   /// Worker threads for CountPatternsBatch (1 = serial). Results are
@@ -84,6 +92,13 @@ struct CountingEngineOptions {
   /// caching entirely; sizing and counting still work, just without
   /// reuse. Eviction is FIFO by insertion order — deterministic.
   int64_t cache_budget = int64_t{1} << 20;
+
+  /// Appended-row count beyond which ApplyAppend folds the delta block
+  /// into the engine's columnar base storage (CompactDeltas). <= 0
+  /// disables the automatic trigger; CompactDeltas can still be called
+  /// explicitly. Results are byte-identical either way — compaction is a
+  /// physical reorganization, not a semantic one.
+  int64_t delta_compact_threshold = 4096;
 };
 
 /// Observability counters (bench/debug output; not part of the exactness
@@ -98,8 +113,10 @@ struct CountingEngineStats {
                              ///< regime a warm cache eliminates)
   int64_t evictions = 0;     ///< cache entries evicted
   int64_t cached_groups = 0; ///< current cache load (group entries)
+  int64_t cached_bytes = 0;  ///< resident cache bytes (pinned included)
   int64_t patched_entries = 0;  ///< cached PC sets patched by appends
   int64_t invalidations = 0;    ///< whole-cache invalidations
+  int64_t compactions = 0;      ///< delta blocks folded into the base
 };
 
 /// Owns all candidate sizing for one table (plus any rows appended through
@@ -146,6 +163,9 @@ class CountingEngine {
   /// Applies new options in place without discarding warm cache entries.
   /// Shrinking the budget evicts FIFO down to the new limit (a budget of
   /// 0 clears every unpinned entry); pinned entries are untouched.
+  /// Disabling the engine leaves cached entries in place for a later
+  /// re-enable (they stay exact: appends keep patching them), but no
+  /// call serves from or inserts into the cache while disabled.
   void Reconfigure(const CountingEngineOptions& options);
 
   /// Drops every cached entry (pinned included) — the invalidate arm of
@@ -158,18 +178,56 @@ class CountingEngine {
   /// the base code space the way TableBuilder would). Every cached PC set
   /// is *patched* with the new rows' restrictions, so warm entries stay
   /// exact against the extended data; subsequent scans include the rows.
-  /// Requires options().enabled; subsets whose extended key space is not
-  /// 64-bit-encodable are not supported while deltas exist.
+  /// Fully general: works with a disabled engine (scans then route
+  /// through the engine's uncached delta-aware paths) and with subsets
+  /// whose extended key space is not 64-bit-encodable (sort fallback).
+  /// Once the delta block exceeds options().delta_compact_threshold the
+  /// call finishes by folding it into the columnar base (CompactDeltas).
   void ApplyAppend(const std::vector<std::vector<ValueId>>& rows);
 
-  /// Base-table rows plus appended rows.
-  int64_t total_rows() const {
-    return table_->num_rows() + num_delta_rows();
+  /// Folds the row-major delta block into engine-owned columnar base
+  /// storage: subsequent scans stream columns exactly as over a table
+  /// rebuilt with the appended rows, and the per-scan delta tax is gone.
+  /// Byte-exact: effective domains, codecs, and cached entries are
+  /// unchanged — only the physical layout moves. No-op without deltas.
+  void CompactDeltas();
+
+  /// Base rows (table or compacted storage) plus uncompacted delta rows.
+  int64_t total_rows() const { return base_rows() + num_delta_rows(); }
+
+  /// Rows appended through ApplyAppend since construction, compacted or
+  /// not. Non-zero means the engine describes more data than table().
+  int64_t num_appended_rows() const {
+    return total_rows() - table_->num_rows();
   }
+
+  /// Appended rows still sitting in the row-major delta block.
   int64_t num_delta_rows() const {
     const int n = table_->num_attributes();
     return n == 0 ? 0
                   : static_cast<int64_t>(delta_rows_.size()) / n;
+  }
+
+  /// Resident cache bytes (keys + counts + per-entry overhead, pinned
+  /// included). Safe to read without external serialization — this is
+  /// one of the two engine observables the process-wide registry polls
+  /// while other threads hold the service lock (its memory accountant).
+  int64_t ResidentBytes() const {
+    return resident_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// num_appended_rows(), readable without external serialization (the
+  /// registry's divergence check on the acquire path).
+  int64_t AppendedRowsRelaxed() const {
+    return appended_rows_relaxed_.load(std::memory_order_relaxed);
+  }
+
+  /// Bytes of appended data resident in the engine — the row-major
+  /// delta block plus, once compacted, the engine-owned columnar copy
+  /// of the base table. Lock-free like ResidentBytes; the registry's
+  /// accountant charges these alongside the cache bytes.
+  int64_t AppendedBytesRelaxed() const {
+    return appended_bytes_relaxed_.load(std::memory_order_relaxed);
   }
 
   const CountingEngineStats& stats() const { return stats_; }
@@ -204,7 +262,22 @@ class CountingEngine {
   Sizing ExecutePlan(AttrMask mask, const Plan& plan, int64_t budget) const;
 
   // Full-scan sizing with budget abort; materializes counts on success.
-  Sizing DirectSizing(AttrMask mask, int64_t budget) const;
+  // `materialize = false` skips the PC-set materialization (and, on the
+  // packed path, its second scan) for callers that only need the size —
+  // the disabled-engine delegate, which cannot cache the counts anyway.
+  Sizing DirectSizing(AttrMask mask, int64_t budget,
+                      bool materialize = true) const;
+
+  // Sort-based sizing over base + delta rows for subsets whose nullable
+  // key space overflows 64 bits: materializes row-major restriction keys
+  // (arity >= 2), sorts lexicographically (the canonical order — see
+  // KeyLess), and run-counts. The general arm that keeps appends total.
+  Sizing SortFallbackSizing(AttrMask mask, int64_t budget,
+                            bool materialize) const;
+
+  // Sort-based distinct-combination count over base + delta rows (the
+  // non-encodable sibling of the delta-aware combo scan).
+  int64_t SortFallbackCombos(AttrMask mask, int64_t budget) const;
 
   // Aggregates `ancestor` groups down to `mask`; exact. Aborts past
   // `budget` like DirectSizing. `mask`'s key space must be encodable.
@@ -218,6 +291,9 @@ class CountingEngine {
   // entries bypass eviction and the budget).
   void CacheInsert(AttrMask mask, std::shared_ptr<const GroupCounts> counts,
                    bool pinned = false);
+
+  // Evicts the FIFO-oldest unpinned entry (insertion_order_ non-empty).
+  void EvictFront();
 
   // Evicts FIFO until the unpinned load fits options_.cache_budget.
   void EvictToBudget();
@@ -237,6 +313,34 @@ class CountingEngine {
       const GroupCounts& entry,
       const std::vector<std::vector<ValueId>>& rows) const;
 
+  // True once ApplyAppend extended the dataset beyond table() — the
+  // one-shot counters (which only see the table) are then out of play.
+  bool has_appended_state() const {
+    return base_rows_ >= 0 || !delta_rows_.empty();
+  }
+
+  // Columnar base the scans stream: the table until the first
+  // compaction, the engine-owned compacted columns afterwards.
+  int64_t base_rows() const {
+    return base_rows_ >= 0 ? base_rows_ : table_->num_rows();
+  }
+  const ValueId* BaseColumn(int attr) const {
+    return base_rows_ >= 0 ? base_cols_[static_cast<size_t>(attr)].data()
+                           : table_->column(attr).data();
+  }
+  bool BaseHasNulls(int attr) const {
+    return base_rows_ >= 0 ? base_has_nulls_[static_cast<size_t>(attr)]
+                           : table_->HasNulls(attr);
+  }
+
+  // Resident-bytes cost of one cached entry; tracked in stats_ and the
+  // lock-free resident_bytes_ mirror on every insert/evict/patch.
+  static int64_t EntryBytes(const GroupCounts& counts);
+  void AddResidentBytes(int64_t delta) {
+    stats_.cached_bytes += delta;
+    resident_bytes_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
   const Table* table_;
   CountingEngineOptions options_;
   CountingEngineStats stats_;
@@ -255,6 +359,20 @@ class CountingEngine {
   // first append).
   std::vector<ValueId> delta_rows_;
   std::vector<int64_t> eff_dom_;
+
+  // Compacted base storage: columnar copy of the table plus every delta
+  // folded so far. base_rows_ < 0 until the first compaction (scans then
+  // stream the table's own columns).
+  std::vector<std::vector<ValueId>> base_cols_;
+  std::vector<bool> base_has_nulls_;
+  int64_t base_rows_ = -1;
+
+  // Lock-free mirrors of stats_.cached_bytes, num_appended_rows(), and
+  // the appended-data footprint for the registry's accountant and
+  // divergence check.
+  std::atomic<int64_t> resident_bytes_{0};
+  std::atomic<int64_t> appended_rows_relaxed_{0};
+  std::atomic<int64_t> appended_bytes_relaxed_{0};
 };
 
 }  // namespace pcbl

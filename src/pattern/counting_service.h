@@ -16,7 +16,14 @@
 // regime), while AppendRows invalidates first when the batch is large
 // enough that per-entry patching would cost more than the rescans it
 // saves. Both arms stay exact — the engine tracks appended rows in a
-// delta block that every subsequent scan includes.
+// delta block that every subsequent scan includes, and folds the block
+// into columnar base storage once it crosses the compaction threshold
+// (see CountingEngine::CompactDeltas).
+//
+// Services are usually obtained from the process-wide ServiceRegistry
+// (service_registry.h), which shares one warm service per table
+// *content* across sessions and enforces a process memory budget over
+// all services' caches.
 //
 // Thread-safety: the engine's mutating calls must be serialized; mutex()
 // is the lock consumers hold for the duration of a search (const cache
@@ -26,6 +33,7 @@
 #define PCBL_PATTERN_COUNTING_SERVICE_H_
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -39,6 +47,13 @@ class CountingService {
   explicit CountingService(const Table& table,
                            CountingEngineOptions options = {})
       : engine_(table, options) {}
+
+  /// Owning variant: the service keeps `table` alive for its own
+  /// lifetime — the form the process-wide ServiceRegistry uses, so a
+  /// service handed to a consumer never outlives the data it scans.
+  explicit CountingService(std::shared_ptr<const Table> table,
+                           CountingEngineOptions options = {})
+      : owned_table_(std::move(table)), engine_(*owned_table_, options) {}
 
   CountingService(const CountingService&) = delete;
   CountingService& operator=(const CountingService&) = delete;
@@ -81,7 +96,25 @@ class CountingService {
   int64_t total_rows() const { return engine_.total_rows(); }
   const CountingEngineStats& stats() const { return engine_.stats(); }
 
+  /// Resident bytes of this service's engine: cache entries plus any
+  /// appended data (delta block / compacted base copy). Lock-free — the
+  /// process-wide ServiceRegistry's memory accountant polls this while
+  /// other threads may hold mutex() and mutate the engine.
+  int64_t resident_bytes() const {
+    return engine_.ResidentBytes() + engine_.AppendedBytesRelaxed();
+  }
+
+  /// True once appends flowed through this service: it then describes
+  /// more data than the table it was built on. Lock-free, for the
+  /// registry's divergence check on the acquire path.
+  bool has_absorbed_appends() const {
+    return engine_.AppendedRowsRelaxed() > 0;
+  }
+
  private:
+  // Declared before engine_: the engine scans this table when the
+  // owning constructor was used (destruction runs in reverse order).
+  std::shared_ptr<const Table> owned_table_;
   mutable std::mutex mu_;
   CountingEngine engine_;
 };

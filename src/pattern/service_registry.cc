@@ -1,0 +1,209 @@
+#include "pattern/service_registry.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace pcbl {
+
+namespace {
+
+// Two independently seeded accumulator lanes over the same byte stream
+// give the fingerprint its 128 bits; a single 64-bit lane would make
+// birthday collisions across a long-lived process merely improbable
+// instead of unrealistic.
+struct Lanes {
+  uint64_t lo = 0x243f6a8885a308d3ULL;  // pi digits
+  uint64_t hi = 0x13198a2e03707344ULL;
+
+  void Mix(uint64_t v) {
+    lo = HashCombine(lo, v);
+    hi = HashCombine(hi, v ^ 0xa4093822299f31d0ULL);
+  }
+  void MixString(const std::string& s) {
+    Mix(s.size());
+    for (char c : s) Mix(static_cast<uint64_t>(static_cast<uint8_t>(c)));
+  }
+};
+
+}  // namespace
+
+TableFingerprint FingerprintTable(const Table& table) {
+  Lanes lanes;
+  const int n = table.num_attributes();
+  lanes.Mix(static_cast<uint64_t>(n));
+  lanes.Mix(static_cast<uint64_t>(table.num_rows()));
+  for (int a = 0; a < n; ++a) {
+    lanes.MixString(table.schema().name(a));
+    const Dictionary& dict = table.dictionary(a);
+    lanes.Mix(static_cast<uint64_t>(dict.size()));
+    for (const std::string& value : dict.values()) {
+      lanes.MixString(value);
+    }
+  }
+  // Column data: hash each column's raw code buffer in 64-bit strides
+  // (NULL cells are the kNullValue code, so NULL positions are covered).
+  for (int a = 0; a < n; ++a) {
+    const std::vector<ValueId>& col = table.column(a);
+    uint64_t acc = 0x452821e638d01377ULL ^ static_cast<uint64_t>(a);
+    size_t i = 0;
+    for (; i + 1 < col.size(); i += 2) {
+      acc = HashCombine(acc, (static_cast<uint64_t>(col[i]) << 32) |
+                                 static_cast<uint64_t>(col[i + 1]));
+    }
+    if (i < col.size()) {
+      acc = HashCombine(acc, static_cast<uint64_t>(col[i]));
+    }
+    lanes.Mix(acc);
+  }
+  return TableFingerprint{lanes.lo, lanes.hi};
+}
+
+namespace {
+
+// Approximate footprint of one registry-owned table copy: column codes
+// plus dictionary strings and their index nodes. The accountant charges
+// this alongside the engine's cache bytes so distinct-content acquires
+// cannot grow process memory past the budget with empty caches.
+int64_t ApproxTableBytes(const Table& table) {
+  const int n = table.num_attributes();
+  int64_t bytes = 64;
+  bytes += static_cast<int64_t>(n) * table.num_rows() *
+           static_cast<int64_t>(sizeof(ValueId));
+  for (int a = 0; a < n; ++a) {
+    const Dictionary& dict = table.dictionary(a);
+    bytes += static_cast<int64_t>(dict.size()) * 48;  // string + index
+    for (const std::string& value : dict.values()) {
+      bytes += static_cast<int64_t>(value.size());
+    }
+  }
+  return bytes;
+}
+
+}  // namespace
+
+ServiceRegistry& ServiceRegistry::Global() {
+  static ServiceRegistry* registry = new ServiceRegistry();
+  return *registry;
+}
+
+std::shared_ptr<CountingService> ServiceRegistry::Acquire(
+    const Table& table, const CountingEngineOptions& options) {
+  const TableFingerprint fingerprint = FingerprintTable(table);
+  std::lock_guard<std::mutex> lock(mu_);
+  return AcquireLocked(
+      fingerprint,
+      [&table] { return std::make_shared<const Table>(table); }, options);
+}
+
+std::shared_ptr<CountingService> ServiceRegistry::Acquire(
+    std::shared_ptr<const Table> table,
+    const CountingEngineOptions& options) {
+  PCBL_CHECK(table != nullptr);
+  const TableFingerprint fingerprint = FingerprintTable(*table);
+  std::lock_guard<std::mutex> lock(mu_);
+  return AcquireLocked(
+      fingerprint, [&table] { return std::move(table); }, options);
+}
+
+std::shared_ptr<CountingService> ServiceRegistry::AcquireLocked(
+    const TableFingerprint& fingerprint,
+    const std::function<std::shared_ptr<const Table>()>& own_table,
+    const CountingEngineOptions& options) {
+  ++stats_.acquires;
+  auto it = services_.find(fingerprint);
+  if (it == services_.end()) {
+    Entry entry;
+    entry.table = own_table();
+    entry.table_bytes = ApproxTableBytes(*entry.table);
+    // The service owns the table handle: it stays valid for any holder
+    // even after the entry is evicted or the registry cleared.
+    entry.service =
+        std::make_shared<CountingService>(entry.table, options);
+    it = services_.emplace(fingerprint, std::move(entry)).first;
+    ++stats_.misses;
+  } else if (it->second.service->has_absorbed_appends()) {
+    // The cached service absorbed appends (an incremental session grew
+    // it) and no longer describes this fingerprint's content. Retire it
+    // — existing holders keep the grown service alive — and rebuild a
+    // fresh one from the entry's base-content table.
+    it->second.service =
+        std::make_shared<CountingService>(it->second.table, options);
+    ++stats_.misses;
+  } else {
+    ++stats_.hits;
+  }
+  it->second.last_acquired = ++clock_;
+  std::shared_ptr<CountingService> service = it->second.service;
+  TrimLocked();
+  return service;
+}
+
+void ServiceRegistry::SetMemoryBudget(int64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  options_.memory_budget_bytes = bytes;
+  TrimLocked();
+}
+
+void ServiceRegistry::Trim() {
+  std::lock_guard<std::mutex> lock(mu_);
+  TrimLocked();
+}
+
+int64_t ServiceRegistry::ResidentBytesLocked() const {
+  int64_t resident = 0;
+  for (const auto& [fp, entry] : services_) {
+    resident += entry.table_bytes + entry.service->resident_bytes();
+  }
+  return resident;
+}
+
+void ServiceRegistry::TrimLocked() {
+  if (options_.memory_budget_bytes <= 0) return;
+  auto entry_bytes = [](const Entry& entry) {
+    return entry.table_bytes + entry.service->resident_bytes();
+  };
+  int64_t resident = ResidentBytesLocked();
+  if (resident <= options_.memory_budget_bytes) return;
+  // Cold entries (no outside holder), least recently acquired first.
+  std::vector<const TableFingerprint*> cold;
+  for (const auto& [fp, entry] : services_) {
+    if (entry.service.use_count() == 1) cold.push_back(&fp);
+  }
+  std::sort(cold.begin(), cold.end(),
+            [&](const TableFingerprint* a, const TableFingerprint* b) {
+              return services_.at(*a).last_acquired <
+                     services_.at(*b).last_acquired;
+            });
+  for (const TableFingerprint* fp : cold) {
+    if (resident <= options_.memory_budget_bytes) break;
+    auto it = services_.find(*fp);
+    resident -= entry_bytes(it->second);
+    services_.erase(it);
+    ++stats_.evictions;
+  }
+}
+
+void ServiceRegistry::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  services_.clear();
+}
+
+int64_t ServiceRegistry::ResidentBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ResidentBytesLocked();
+}
+
+ServiceRegistryStats ServiceRegistry::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServiceRegistryStats stats = stats_;
+  stats.services = static_cast<int64_t>(services_.size());
+  stats.resident_bytes = ResidentBytesLocked();
+  return stats;
+}
+
+}  // namespace pcbl

@@ -1,0 +1,171 @@
+// ServiceRegistry: one warm CountingService per dataset, process-wide.
+//
+// PR 2's CountingService scoped the counting cache to a dataset *handle*:
+// every LabelSearch, CLI invocation, or incremental session that built its
+// own Table — even over byte-identical data — also built its own engine
+// and paid the full-table scans again. The registry closes that gap by
+// keying services on a *content fingerprint* of the table (schema +
+// dictionaries + column data): any consumer that acquires a service for
+// equal data gets the same shared service, so the second consumer's
+// candidates are answered from the first one's warm PC sets with zero
+// full-table scans (asserted via CountingEngineStats::full_scans in
+// service_registry_test.cc).
+//
+// Lifetime: each service *owns* the table it scans (the first
+// acquirer's table is copied into shared ownership unless it arrives as
+// a shared_ptr), so a handed-out service stays fully valid even after
+// its entry is evicted or the registry cleared. Fingerprinted equality
+// also makes code spaces interchangeable: dictionary ids are assigned
+// in first-seen order, so content-equal tables encode every value
+// identically and a caller may use its own codes against the shared
+// service.
+//
+// Divergence: a service that absorbed appends (an incremental session
+// grew it) no longer describes its fingerprint's content, so the next
+// acquire of that fingerprint retires the entry — holders keep the
+// grown service — and rebuilds a fresh service for the base content
+// (counted as a miss).
+//
+// Memory accounting: every engine tracks its resident cache bytes
+// (CountingEngineStats::cached_bytes, mirrored lock-free through
+// CountingService::resident_bytes); each entry additionally charges the
+// approximate footprint of its owned table copy. The registry sums both
+// and, when the total exceeds the configurable process budget, evicts
+// whole *cold* services — least-recently-acquired first, and only those
+// no consumer currently holds (use_count == 1). Hot services are never
+// torn down mid-search; an evicted service stays valid for any holder
+// that still references it, it just stops being findable.
+//
+// Thread-safety: every method is safe to call concurrently. The registry
+// lock is never held while engine work runs; consumers serialize engine
+// access through the service's own mutex(), exactly as with a
+// hand-constructed CountingService.
+#ifndef PCBL_PATTERN_SERVICE_REGISTRY_H_
+#define PCBL_PATTERN_SERVICE_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "pattern/counting_service.h"
+#include "relation/table.h"
+
+namespace pcbl {
+
+/// 128-bit content hash of a table: schema names, per-attribute
+/// dictionary contents, and column data (incl. NULL positions). Two
+/// tables with equal fingerprints have identical code spaces.
+struct TableFingerprint {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+
+  bool operator==(const TableFingerprint& other) const {
+    return lo == other.lo && hi == other.hi;
+  }
+  bool operator!=(const TableFingerprint& other) const {
+    return !(*this == other);
+  }
+};
+
+TableFingerprint FingerprintTable(const Table& table);
+
+/// Tuning knobs of the registry.
+struct ServiceRegistryOptions {
+  /// Process-wide budget on the summed resident bytes (engine caches +
+  /// owned table copies) of all registered services; crossing it evicts
+  /// cold services (LRU by last acquire). <= 0 means unbounded.
+  int64_t memory_budget_bytes = int64_t{256} << 20;
+};
+
+/// Observability counters of the registry (monotonic except residents).
+struct ServiceRegistryStats {
+  int64_t acquires = 0;       ///< Acquire calls
+  int64_t hits = 0;           ///< served an existing service
+  int64_t misses = 0;         ///< built a new service (engine constructed)
+  int64_t evictions = 0;      ///< cold services dropped by the accountant
+  int64_t services = 0;       ///< currently registered services
+  int64_t resident_bytes = 0; ///< summed cache + table bytes right now
+};
+
+class ServiceRegistry {
+ public:
+  explicit ServiceRegistry(ServiceRegistryOptions options = {})
+      : options_(options) {}
+
+  ServiceRegistry(const ServiceRegistry&) = delete;
+  ServiceRegistry& operator=(const ServiceRegistry&) = delete;
+
+  /// The process-wide instance shared by searches, the CLI, and the
+  /// theory sweeps.
+  static ServiceRegistry& Global();
+
+  /// Returns the shared service for `table`'s content, creating it on
+  /// first acquire (the table is copied into service ownership, so the
+  /// result outlives both the caller's instance and the registry
+  /// entry). On a hit, `options` are NOT applied — per-query knobs go
+  /// through CountingService::Configure under the consumer's lock,
+  /// exactly as LabelSearch does.
+  std::shared_ptr<CountingService> Acquire(
+      const Table& table, const CountingEngineOptions& options = {});
+
+  /// Same, but shares ownership of the caller's table instead of
+  /// copying it on a miss.
+  std::shared_ptr<CountingService> Acquire(
+      std::shared_ptr<const Table> table,
+      const CountingEngineOptions& options = {});
+
+  /// Adjusts the process budget and immediately enforces it.
+  void SetMemoryBudget(int64_t bytes);
+
+  /// Evicts cold services until the resident total fits the budget.
+  /// Called automatically by every Acquire.
+  void Trim();
+
+  /// Drops every entry regardless of temperature (outstanding
+  /// shared_ptrs keep their services — and the tables those own —
+  /// alive). Primarily for tests.
+  void Clear();
+
+  /// Summed resident bytes (engine caches + owned table copies) over
+  /// all registered services.
+  int64_t ResidentBytes() const;
+
+  ServiceRegistryStats stats() const;
+
+ private:
+  struct Entry {
+    // The base-content table. The service shares ownership; the entry's
+    // handle exists to rebuild a fresh service when the current one
+    // diverges (absorbed appends).
+    std::shared_ptr<const Table> table;
+    int64_t table_bytes = 0;  // accountant's charge for the copy
+    std::shared_ptr<CountingService> service;
+    uint64_t last_acquired = 0;  // registry clock ticks
+  };
+
+  struct FingerprintHash {
+    size_t operator()(const TableFingerprint& f) const {
+      return static_cast<size_t>(f.lo ^ (f.hi * 0x9e3779b97f4a7c15ULL));
+    }
+  };
+
+  // All called under mu_.
+  std::shared_ptr<CountingService> AcquireLocked(
+      const TableFingerprint& fingerprint,
+      const std::function<std::shared_ptr<const Table>()>& own_table,
+      const CountingEngineOptions& options);
+  void TrimLocked();
+  int64_t ResidentBytesLocked() const;
+
+  mutable std::mutex mu_;
+  ServiceRegistryOptions options_;
+  ServiceRegistryStats stats_;
+  uint64_t clock_ = 0;
+  std::unordered_map<TableFingerprint, Entry, FingerprintHash> services_;
+};
+
+}  // namespace pcbl
+
+#endif  // PCBL_PATTERN_SERVICE_REGISTRY_H_

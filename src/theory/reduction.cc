@@ -7,6 +7,7 @@
 #include "pattern/counting_engine.h"
 #include "pattern/counting_service.h"
 #include "pattern/lattice.h"
+#include "pattern/service_registry.h"
 #include "relation/stats.h"
 #include "util/logging.h"
 #include "util/str.h"
@@ -130,11 +131,14 @@ bool ExistsZeroErrorLabel(const ReductionInstance& instance,
   // therefore always yields a usable rollup ancestor, and every subset is
   // sized by aggregating those groups instead of rescanning the table —
   // the sweep scales with distinct restrictions, not rows. The service
-  // scopes the engine to this reduction database; with many cached
-  // high-level entries the exponential sweep leans on its subset trie for
-  // ancestor lookup.
-  CountingService service(table);
-  CountingEngine& engine = service.engine();
+  // comes from the process-wide registry: bound sweeps call this
+  // repeatedly on the same instance (and concurrent sessions may probe
+  // the same graph), so the primed universe PC set and every cached
+  // subset survive across calls instead of being rebuilt per bound.
+  std::shared_ptr<CountingService> service =
+      ServiceRegistry::Global().Acquire(table);
+  std::lock_guard<std::mutex> lock(service->mutex());
+  CountingEngine& engine = service->engine();
   const AttrMask universe = AttrMask::All(total_attrs);
   engine.PinnedPatternCounts(universe);  // pinned: the exponential sweep
                                          // must not evict its ancestor

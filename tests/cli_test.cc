@@ -240,6 +240,46 @@ TEST_F(CliPipelineTest, ProfileEngineFlagsRequirePairs) {
   EXPECT_EQ(RunTool({"profile", *csv_path_, "--threads", "2"}).code, 2);
   EXPECT_EQ(RunTool({"profile", *csv_path_, "--no-engine"}).code, 2);
   EXPECT_EQ(RunTool({"profile", *csv_path_, "--cache-budget", "9"}).code, 2);
+  EXPECT_EQ(
+      RunTool({"profile", *csv_path_, "--service-budget", "1000"}).code, 2);
+}
+
+TEST_F(CliPipelineTest, EstimateAndProfileReportRegistryStats) {
+  // Both data-backed commands acquire their service from the process-wide
+  // registry and surface its counters (the commands run in-process here,
+  // so absolute hit/miss counts accumulate across tests — assert shape,
+  // not totals).
+  CliRun est = RunTool({"estimate", *label_path_, "--pattern",
+                        "gender=Female, age group=20-39,"
+                        " marital status=married",
+                        "--data", *csv_path_});
+  ASSERT_EQ(est.code, 0) << est.err;
+  EXPECT_TRUE(Contains(est.out, "registry:")) << est.out;
+  EXPECT_TRUE(Contains(est.out, "bytes resident")) << est.out;
+
+  CliRun prof = RunTool({"profile", *csv_path_, "--pairs", "2",
+                         "--service-budget", "0"});
+  ASSERT_EQ(prof.code, 0) << prof.err;
+  EXPECT_TRUE(Contains(prof.out, "registry:")) << prof.out;
+  // A second profile over the same data rides the shared warm service;
+  // the listing itself must be unchanged.
+  CliRun again = RunTool({"profile", *csv_path_, "--pairs", "2"});
+  ASSERT_EQ(again.code, 0) << again.err;
+  EXPECT_TRUE(Contains(again.out, "age group x marital status"))
+      << again.out;
+}
+
+TEST_F(CliPipelineTest, ServiceBudgetFlagValidation) {
+  // Requires the data-backed mode of each command.
+  EXPECT_EQ(RunTool({"estimate", *label_path_, "--pattern", "gender=Female",
+                     "--service-budget", "1000"})
+                .code,
+            2);
+  EXPECT_EQ(RunTool({"estimate", *label_path_, "--pattern",
+                     "gender=Female", "--data", *csv_path_,
+                     "--service-budget", "-3"})
+                .code,
+            2);
 }
 
 TEST_F(CliPipelineTest, ErrorEvaluatesLabelAgainstItsData) {

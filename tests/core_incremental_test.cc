@@ -10,6 +10,7 @@
 #include "core/error.h"
 #include "core/label.h"
 #include "pattern/full_pattern_index.h"
+#include "tests/differential_harness.h"
 #include "util/rng.h"
 #include "workload/datasets.h"
 
@@ -211,6 +212,18 @@ TEST(IncrementalLabelTest, GrowthThresholdTriggersRebuild) {
   EXPECT_FALSE(drift.bound_exceeded);
   EXPECT_TRUE(drift.SuggestRebuild(0.2));   // 30% growth > 20%
   EXPECT_FALSE(drift.SuggestRebuild(0.5));  // but not > 50%
+}
+
+TEST(IncrementalLabelTest, ServiceBackedAppendsSurviveTheDifferentialGrid) {
+  // An incremental session attached to the dataset's counting service:
+  // the appends it forwards must leave the *service* byte-identical to a
+  // rebuilt table in every configuration — engine on/off, warm/cold
+  // cache, patch/invalidate arm, delta block or compacted base. The
+  // harness also cross-checks the label's own PC footprint per config.
+  testing::DifferentialHarness harness(testing::RandomWorkload(
+      /*seed=*/31, /*attrs=*/4, /*base_rows=*/180, /*append_rows=*/45,
+      /*domain=*/5, /*append_domain=*/7, /*null_percent=*/20));
+  harness.CheckAll();
 }
 
 TEST(IncrementalLabelTest, RandomizedDifferentialAgainstRebuild) {

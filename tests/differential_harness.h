@@ -1,0 +1,119 @@
+// DifferentialHarness: one workload, every configuration of the counting
+// stack, byte-identical answers — the reusable fixture behind the
+// counting-service, incremental, and append-path suites.
+//
+// The paper's labels are exact artifacts: the engine's packed, mixed-radix
+// and sort codecs, its memoized/rollup/batched paths, and the append
+// machinery (delta block, patched entries, compacted base) must all
+// produce *byte-identical* PC sets, |P_S| values and combo counts, or
+// labels silently drift from the data they describe (the CM-sketch
+// baselines show what silent divergence looks like). The harness drives
+// the same base+append workload through a grid of configurations —
+// engine on/off, warm/cold cache, patch/invalidate arm, row-at-a-time vs
+// bulk appends, delta block vs compacted base — and asserts every
+// answer against the one-shot counters over a from-scratch rebuild of
+// the extended table, across every forced RestrictionStrategy.
+#ifndef PCBL_TESTS_DIFFERENTIAL_HARNESS_H_
+#define PCBL_TESTS_DIFFERENTIAL_HARNESS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pattern/counter.h"
+#include "pattern/counting_service.h"
+#include "relation/table.h"
+#include "util/attr_mask.h"
+
+namespace pcbl {
+namespace testing {
+
+/// A counting workload: attribute names, base rows, appended rows.
+/// Values are strings ("" = NULL), interned exactly as TableBuilder /
+/// IncrementalLabel would.
+struct DifferentialWorkload {
+  std::vector<std::string> attribute_names;
+  std::vector<std::vector<std::string>> base_rows;
+  std::vector<std::vector<std::string>> append_rows;
+};
+
+/// Seeded random workload: `domain` distinct values per attribute in the
+/// base rows, `append_domain` (>= domain introduces fresh values) in the
+/// appended ones, `null_percent` NULL cells in both.
+DifferentialWorkload RandomWorkload(uint64_t seed, int attrs,
+                                    int64_t base_rows, int64_t append_rows,
+                                    int domain, int append_domain,
+                                    int null_percent);
+
+/// One configuration of the counting stack under test.
+struct DifferentialConfig {
+  std::string name;
+  bool engine_enabled = true;
+  int num_threads = 1;
+  int64_t cache_budget = int64_t{1} << 20;
+  /// Auto-compaction threshold while appending (<= 0 = never).
+  int64_t compact_threshold = 0;
+  /// Explicitly fold the delta block once every append landed.
+  bool compact_after_appends = false;
+  /// Drop the warm cache before appending (forces rebuild-from-scan).
+  bool invalidate_before_appends = false;
+  /// Prime every subset's PC set before the appends (exercises the
+  /// patch arm on a full cache; otherwise the cache starts cold).
+  bool warm_cache_first = false;
+  /// Append through one bulk AppendRows call instead of row-at-a-time
+  /// AppendRow calls (exercises the invalidate-or-patch cost pivot).
+  bool bulk_append = false;
+};
+
+/// The standard grid: engine on/off × warm/cold × delta/compacted ×
+/// single/bulk appends.
+std::vector<DifferentialConfig> StandardConfigs();
+
+/// Byte-identity assertion between two GroupCounts (attrs, group count,
+/// every key cell, every count). `context` prefixes failure messages.
+void ExpectSameGroupCounts(const GroupCounts& got, const GroupCounts& want,
+                           const std::string& context);
+
+class DifferentialHarness {
+ public:
+  explicit DifferentialHarness(DifferentialWorkload workload);
+
+  /// The base table (workload.base_rows only).
+  const Table& base() const { return base_; }
+
+  /// The reference: base + append rows rebuilt from scratch through one
+  /// TableBuilder — the ground truth every configuration must match.
+  const Table& reference() const { return reference_; }
+
+  /// Runs one configuration: builds a CountingService over base(),
+  /// optionally warms it, replays the appends through the service's
+  /// invalidate-or-patch hook, optionally compacts, then asserts that
+  /// every attribute subset's PC set, |P_S| (budgeted and exact) and
+  /// combo count are byte-identical to the one-shot counters over
+  /// reference() — which are themselves cross-checked across every
+  /// eligible RestrictionStrategy. Returns the service so callers can
+  /// assert configuration-specific stats on top.
+  std::shared_ptr<CountingService> Run(
+      const DifferentialConfig& config) const;
+
+  /// Run() over StandardConfigs().
+  void CheckAll() const;
+
+  /// Asserts every engine answer of `service` (whatever its history)
+  /// against the one-shot counters on `reference`. Usable standalone for
+  /// services the caller mutated in custom ways.
+  static void CheckServiceAgainst(CountingService& service,
+                                  const Table& reference,
+                                  const std::string& context);
+
+ private:
+  DifferentialWorkload workload_;
+  Table base_;
+  Table reference_;
+};
+
+}  // namespace testing
+}  // namespace pcbl
+
+#endif  // PCBL_TESTS_DIFFERENTIAL_HARNESS_H_

@@ -1,7 +1,8 @@
 // Tests for the dataset-scoped CountingService: warm-cache reuse across
 // searches (the acceptance criterion: a second search performs zero
 // full-table scans for candidates the first one sized), the
-// invalidate-or-patch append hook, and reconfiguration semantics.
+// invalidate-or-patch append hook (driven through the shared
+// differential harness), and reconfiguration semantics.
 #include "pattern/counting_service.h"
 
 #include <memory>
@@ -14,60 +15,15 @@
 #include "core/search.h"
 #include "pattern/counter.h"
 #include "pattern/lattice.h"
-#include "util/rng.h"
+#include "tests/differential_harness.h"
 #include "workload/datasets.h"
 
 namespace pcbl {
 namespace {
 
-void ExpectSameGroupCounts(const GroupCounts& got, const GroupCounts& want,
-                           AttrMask mask) {
-  ASSERT_EQ(got.num_groups(), want.num_groups()) << mask.ToString();
-  ASSERT_EQ(got.key_width(), want.key_width()) << mask.ToString();
-  EXPECT_EQ(got.attrs(), want.attrs()) << mask.ToString();
-  for (int64_t g = 0; g < got.num_groups(); ++g) {
-    EXPECT_EQ(got.count(g), want.count(g))
-        << mask.ToString() << " group " << g;
-    for (int j = 0; j < got.key_width(); ++j) {
-      EXPECT_EQ(got.key(g)[j], want.key(g)[j])
-          << mask.ToString() << " group " << g << " pos " << j;
-    }
-  }
-}
-
-// Random string rows for append-differential tests: the same rows feed
-// both the service hook and a reference TableBuilder rebuild.
-std::vector<std::vector<std::string>> RandomStringRows(uint64_t seed,
-                                                       int attrs,
-                                                       int64_t rows,
-                                                       int domain,
-                                                       int null_percent) {
-  Rng rng(seed);
-  std::vector<std::vector<std::string>> out;
-  for (int64_t r = 0; r < rows; ++r) {
-    std::vector<std::string> row;
-    for (int a = 0; a < attrs; ++a) {
-      if (rng.UniformInt(100) < static_cast<uint32_t>(null_percent)) {
-        row.push_back("");
-      } else {
-        row.push_back("v" + std::to_string(rng.UniformInt(
-                                static_cast<uint32_t>(domain))));
-      }
-    }
-    out.push_back(std::move(row));
-  }
-  return out;
-}
-
-Table BuildFromRows(const std::vector<std::vector<std::string>>& rows,
-                    int attrs) {
-  std::vector<std::string> names;
-  for (int a = 0; a < attrs; ++a) names.push_back("a" + std::to_string(a));
-  auto b = TableBuilder::Create(names);
-  PCBL_CHECK(b.ok());
-  for (const auto& row : rows) PCBL_CHECK(b->AddRow(row).ok());
-  return b->Build();
-}
+using testing::DifferentialConfig;
+using testing::DifferentialHarness;
+using testing::RandomWorkload;
 
 TEST(CountingServiceTest, WarmSecondSearchPerformsZeroFullScans) {
   Table t = workload::MakeCompas(3000, 9).value();
@@ -113,85 +69,49 @@ TEST(CountingServiceTest, SearchesShareOneServiceAcrossInstances) {
 }
 
 TEST(CountingServiceTest, AppendRowPatchesCachedEntriesExactly) {
-  const int kAttrs = 5;
-  auto base_rows = RandomStringRows(11, kAttrs, 250, 6, 15);
-  Table base = BuildFromRows(base_rows, kAttrs);
-  auto service = std::make_shared<CountingService>(base);
-
-  // Warm several PC sets, including the universe (a rollup ancestor).
-  const AttrMask universe = AttrMask::All(kAttrs);
-  {
-    std::lock_guard<std::mutex> lock(service->mutex());
-    service->engine().PatternCounts(universe);
-    ForEachSubsetOfSize(kAttrs, 2, [&](AttrMask s) {
-      service->engine().PatternCounts(s);
-    });
-  }
-
-  auto label =
-      IncrementalLabel::Create(base, AttrMask::FromIndices({0, 1}), 100,
-                               service);
-  ASSERT_TRUE(label.ok());
-
-  // Append rows one by one (the patch arm), some with fresh values the
-  // base dictionaries have never seen ("v7", "v8").
-  auto appended = RandomStringRows(77, kAttrs, 40, 9, 20);
-  for (const auto& row : appended) {
-    ASSERT_TRUE(label->AppendRow(row).ok());
-  }
+  // The harness's warm-patch config: every subset's PC set is primed,
+  // then rows — some with fresh values, some NULL-bearing — arrive one
+  // by one through the patch arm, and every engine answer (patched
+  // cache, rollup from a patched ancestor, delta-aware scan) must be
+  // byte-identical to the one-shot counters on a rebuilt table.
+  DifferentialHarness harness(
+      RandomWorkload(/*seed=*/11, /*attrs=*/5, /*base_rows=*/250,
+                     /*append_rows=*/40, /*domain=*/6, /*append_domain=*/9,
+                     /*null_percent=*/15));
+  DifferentialConfig config;
+  config.name = "warm-patch";
+  config.warm_cache_first = true;
+  auto service = harness.Run(config);
   EXPECT_GT(service->stats().patched_entries, 0);
-  EXPECT_EQ(service->total_rows(), base.num_rows() + 40);
-
-  // Reference: the extended table rebuilt from scratch. Every engine
-  // answer — patched cache, rollup from a patched ancestor, delta-aware
-  // scan — must be byte-identical to the one-shot counters on it.
-  auto all_rows = base_rows;
-  all_rows.insert(all_rows.end(), appended.begin(), appended.end());
-  Table extended = BuildFromRows(all_rows, kAttrs);
-
-  std::lock_guard<std::mutex> lock(service->mutex());
-  ForEachSubsetOf(universe, [&](AttrMask s) {
-    EXPECT_EQ(service->engine().CountPatterns(s),
-              CountDistinctPatterns(extended, s))
-        << s.ToString();
-    ExpectSameGroupCounts(*service->engine().PatternCounts(s),
-                          ComputePatternCounts(extended, s), s);
-    EXPECT_EQ(service->engine().CountCombos(s),
-              CountDistinctCombos(extended, s))
-        << s.ToString();
-  });
+  EXPECT_EQ(service->total_rows(), harness.reference().num_rows());
 }
 
 TEST(CountingServiceTest, BulkAppendStaysExactThroughEitherArm) {
-  const int kAttrs = 4;
-  auto base_rows = RandomStringRows(5, kAttrs, 300, 5, 10);
-  Table base = BuildFromRows(base_rows, kAttrs);
-
-  auto delta_rows = RandomStringRows(6, kAttrs, 120, 7, 10);
-  Table delta = BuildFromRows(delta_rows, kAttrs);
-
+  DifferentialHarness harness(
+      RandomWorkload(/*seed=*/5, /*attrs=*/4, /*base_rows=*/300,
+                     /*append_rows=*/120, /*domain=*/5, /*append_domain=*/7,
+                     /*null_percent=*/10));
   for (bool force_invalidate : {false, true}) {
-    auto service = std::make_shared<CountingService>(base);
-    {
-      std::lock_guard<std::mutex> lock(service->mutex());
-      service->engine().PatternCounts(AttrMask::All(kAttrs));
+    DifferentialConfig config;
+    config.name = force_invalidate ? "bulk-invalidate" : "bulk-patch";
+    config.warm_cache_first = true;
+    config.bulk_append = true;
+    config.invalidate_before_appends = force_invalidate;
+    auto service = harness.Run(config);
+    if (force_invalidate) {
+      EXPECT_GT(service->stats().invalidations, 0);
     }
-    auto label = IncrementalLabel::Create(
-        base, AttrMask::FromIndices({0, 2}), 100, service);
-    ASSERT_TRUE(label.ok());
-    if (force_invalidate) service->Invalidate();
-    ASSERT_TRUE(label->AppendTable(delta).ok());
-
-    auto all_rows = base_rows;
-    all_rows.insert(all_rows.end(), delta_rows.begin(), delta_rows.end());
-    Table extended = BuildFromRows(all_rows, kAttrs);
-
-    std::lock_guard<std::mutex> lock(service->mutex());
-    ForEachSubsetOf(AttrMask::All(kAttrs), [&](AttrMask s) {
-      ExpectSameGroupCounts(*service->engine().PatternCounts(s),
-                            ComputePatternCounts(extended, s), s);
-    });
   }
+}
+
+TEST(CountingServiceTest, StandardDifferentialGridHolds) {
+  // The full engine-on/off × warm/cold × delta/compacted grid on a
+  // mid-size NULL-bearing workload.
+  DifferentialHarness harness(
+      RandomWorkload(/*seed=*/21, /*attrs=*/5, /*base_rows=*/220,
+                     /*append_rows=*/35, /*domain=*/5, /*append_domain=*/8,
+                     /*null_percent=*/12));
+  harness.CheckAll();
 }
 
 TEST(CountingServiceTest, IncrementalSeedReusesWarmCache) {
