@@ -1,0 +1,165 @@
+// Micro-benchmark for the pcbl::api façade: submit latency of a search
+// query against a warm vs a cold dataset (the registry payoff surfaced
+// through the public API), the overhead of the async Submit/Get round
+// trip against the direct LabelSearch call, true-count spot checks over
+// a warm service, and the append-then-search path (incremental VC / P_A
+// maintenance + delta-aware ranking vs rebuilding the search state from
+// scratch).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/dataset.h"
+#include "api/query.h"
+#include "api/session.h"
+#include "core/search.h"
+#include "util/logging.h"
+#include "workload/datasets.h"
+
+namespace pcbl {
+namespace {
+
+constexpr int64_t kBound = 60;
+
+const Table& CompasTable() {
+  static const Table* table = [] {
+    auto t = workload::MakeCompas(30000, 7);
+    PCBL_CHECK(t.ok());
+    return new Table(std::move(t).value());
+  }();
+  return *table;
+}
+
+api::Dataset PrivateDataset(const Table& table) {
+  api::DatasetOptions options;
+  options.private_service = true;
+  auto dataset = api::Dataset::FromTable(table, options);
+  PCBL_CHECK(dataset.ok());
+  return *dataset;
+}
+
+// Cold path: every iteration opens a fresh session over a fresh private
+// service and pays the full scans.
+void BM_SessionSearchCold(benchmark::State& state) {
+  for (auto _ : state) {
+    auto session = api::Session::Open(PrivateDataset(CompasTable()));
+    PCBL_CHECK(session.ok());
+    api::QueryResult r =
+        (*session)->Run(api::QuerySpec::LabelSearch(kBound));
+    PCBL_CHECK(r.status.ok());
+    benchmark::DoNotOptimize(r.search.label.size());
+  }
+}
+BENCHMARK(BM_SessionSearchCold)->Unit(benchmark::kMillisecond);
+
+// Warm path: one session, repeated submits — the steady state of a label
+// service answering queries.
+void BM_SessionSearchWarm(benchmark::State& state) {
+  auto session = api::Session::Open(PrivateDataset(CompasTable()));
+  PCBL_CHECK(session.ok());
+  PCBL_CHECK(
+      (*session)->Run(api::QuerySpec::LabelSearch(kBound)).status.ok());
+  for (auto _ : state) {
+    api::QueryResult r =
+        (*session)->Run(api::QuerySpec::LabelSearch(kBound));
+    PCBL_CHECK(r.status.ok());
+    benchmark::DoNotOptimize(r.search.label.size());
+  }
+}
+BENCHMARK(BM_SessionSearchWarm)->Unit(benchmark::kMillisecond);
+
+// The same warm search through the low-level path — the façade's
+// submit/future overhead is the difference to BM_SessionSearchWarm.
+void BM_DirectSearchWarm(benchmark::State& state) {
+  LabelSearch search(CompasTable());
+  SearchOptions options;
+  options.size_bound = kBound;
+  search.TopDown(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(search.TopDown(options).label.size());
+  }
+}
+BENCHMARK(BM_DirectSearchWarm)->Unit(benchmark::kMillisecond);
+
+// True-count spot checks against a warm service (the `pcbl estimate
+// --data` consumer loop).
+void BM_SessionTrueCountWarm(benchmark::State& state) {
+  auto session = api::Session::Open(PrivateDataset(CompasTable()));
+  PCBL_CHECK(session.ok());
+  const Table& t = CompasTable();
+  const api::QuerySpec spec = api::QuerySpec::TrueCount(
+      {{t.schema().name(0), t.dictionary(0).GetString(0)},
+       {t.schema().name(1), t.dictionary(1).GetString(0)}});
+  PCBL_CHECK((*session)->Run(spec).status.ok());  // warm the PC set
+  for (auto _ : state) {
+    api::QueryResult r = (*session)->Run(spec);
+    PCBL_CHECK(r.status.ok());
+    benchmark::DoNotOptimize(r.true_count);
+  }
+}
+BENCHMARK(BM_SessionTrueCountWarm)->Unit(benchmark::kMillisecond);
+
+// Append a small batch, then search: the incremental VC / P_A
+// maintenance plus delta-aware ranking...
+void BM_SessionAppendThenSearch(benchmark::State& state) {
+  const Table& t = CompasTable();
+  const std::vector<std::string> row(
+      static_cast<size_t>(t.num_attributes()), "appended");
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto session = api::Session::Open(PrivateDataset(t));
+    PCBL_CHECK(session.ok());
+    PCBL_CHECK((*session)
+                   ->Run(api::QuerySpec::LabelSearch(kBound))
+                   .status.ok());  // warm base state
+    state.ResumeTiming();
+    for (int i = 0; i < 16; ++i) {
+      PCBL_CHECK((*session)->AppendRow(row).ok());
+    }
+    api::QueryResult r =
+        (*session)->Run(api::QuerySpec::LabelSearch(kBound));
+    PCBL_CHECK(r.status.ok());
+    benchmark::DoNotOptimize(r.search.label.size());
+  }
+}
+BENCHMARK(BM_SessionAppendThenSearch)->Unit(benchmark::kMillisecond);
+
+// ... versus paying a from-scratch LabelSearch rebuild of VC / P_A over
+// the extended table after the same appends.
+void BM_RebuildThenSearchAfterAppends(benchmark::State& state) {
+  const Table& t = CompasTable();
+  const std::vector<std::string> row(
+      static_cast<size_t>(t.num_attributes()), "appended");
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto builder = TableBuilder::Create(t.schema().names());
+    PCBL_CHECK(builder.ok());
+    for (int64_t r = 0; r < t.num_rows(); ++r) {
+      std::vector<std::string> values;
+      values.reserve(static_cast<size_t>(t.num_attributes()));
+      for (int a = 0; a < t.num_attributes(); ++a) {
+        const ValueId v = t.value(r, a);
+        values.push_back(IsNull(v) ? ""
+                                   : std::string(
+                                         t.dictionary(a).GetString(v)));
+      }
+      PCBL_CHECK(builder->AddRow(values).ok());
+    }
+    state.ResumeTiming();
+    for (int i = 0; i < 16; ++i) PCBL_CHECK(builder->AddRow(row).ok());
+    const Table extended = builder->Build();
+    LabelSearch search(extended);  // rebuilds VC / P_A with full scans
+    SearchOptions options;
+    options.size_bound = kBound;
+    benchmark::DoNotOptimize(search.TopDown(options).label.size());
+  }
+}
+BENCHMARK(BM_RebuildThenSearchAfterAppends)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace pcbl
+
+BENCHMARK_MAIN();

@@ -1,0 +1,28 @@
+#include "api/artifact.h"
+
+namespace pcbl {
+namespace api {
+
+Result<PortableLabel> LoadLabelArtifact(const std::string& path) {
+  return LoadLabel(path);
+}
+
+Result<double> EstimateFromLabel(
+    const PortableLabel& label,
+    const std::vector<std::pair<std::string, std::string>>& pattern) {
+  return label.EstimateCount(pattern);
+}
+
+Result<std::vector<FitnessWarning>> AuditLabelArtifact(
+    const PortableLabel& label, const std::vector<std::string>& attrs,
+    const AuditOptions& options) {
+  return AuditLabel(label, attrs, options);
+}
+
+LabelDiff DiffLabelArtifacts(const PortableLabel& old_label,
+                             const PortableLabel& new_label) {
+  return DiffLabels(old_label, new_label);
+}
+
+}  // namespace api
+}  // namespace pcbl

@@ -1,0 +1,49 @@
+// Label-artifact operations of the public API — the dataset-less half of
+// the façade.
+//
+// The paper's labels are shipped *metadata*: a consumer holding only a
+// saved label (no data access) estimates counts, audits fitness-for-use,
+// and diffs dataset releases. These wrappers are the blessed surface for
+// that side; the underlying core/ routines stay public as low-level
+// building blocks. The data-backed half lives in api/session.h.
+#ifndef PCBL_API_ARTIFACT_H_
+#define PCBL_API_ARTIFACT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/label_diff.h"
+#include "core/portable_label.h"
+#include "core/warnings.h"
+#include "util/status.h"
+
+namespace pcbl {
+namespace api {
+
+/// Loads a portable label from a JSON or binary file (format sniffed).
+Result<PortableLabel> LoadLabelArtifact(const std::string& path);
+
+/// Estimates the count of the (attribute name, value) pattern from the
+/// label alone (Definition 2.11, consumer side). Unknown attributes are
+/// an error; unknown values estimate as 0.
+Result<double> EstimateFromLabel(
+    const PortableLabel& label,
+    const std::vector<std::pair<std::string, std::string>>& pattern);
+
+/// Fitness-for-use audit over a label alone (Sec. I's motivating
+/// workflow): underrepresentation / skew / correlation warnings over the
+/// intersections of `attrs` (all attributes when empty).
+Result<std::vector<FitnessWarning>> AuditLabelArtifact(
+    const PortableLabel& label, const std::vector<std::string>& attrs,
+    const AuditOptions& options);
+
+/// What changed between two releases of a dataset, as seen through their
+/// labels alone.
+LabelDiff DiffLabelArtifacts(const PortableLabel& old_label,
+                             const PortableLabel& new_label);
+
+}  // namespace api
+}  // namespace pcbl
+
+#endif  // PCBL_API_ARTIFACT_H_

@@ -1,0 +1,48 @@
+#include "api/query.h"
+
+#include "util/str.h"
+
+namespace pcbl {
+namespace api {
+
+Status ValidateQuerySpec(const QuerySpec& spec) {
+  if (spec.size_bound < 0) {
+    return InvalidArgumentError(
+        StrCat("size_bound must be non-negative, got ", spec.size_bound));
+  }
+  if (spec.time_limit_seconds < 0) {
+    return InvalidArgumentError("time_limit_seconds must be non-negative");
+  }
+  if (spec.num_threads.has_value() && *spec.num_threads <= 0) {
+    return InvalidArgumentError(
+        StrCat("num_threads must be positive, got ", *spec.num_threads,
+               " (zero worker threads cannot run a query)"));
+  }
+  if (spec.counting_cache_budget.has_value() &&
+      *spec.counting_cache_budget < 0) {
+    return InvalidArgumentError("counting_cache_budget must be >= 0");
+  }
+  if (spec.use_counting_engine.has_value() && !*spec.use_counting_engine &&
+      spec.counting_cache_budget.has_value() &&
+      *spec.counting_cache_budget > 0) {
+    return InvalidArgumentError(
+        "conflicting engine flags: a disabled counting engine cannot "
+        "honour a positive cache budget");
+  }
+  if (spec.kind == QuerySpec::Kind::kTrueCount && spec.pattern.empty()) {
+    return InvalidArgumentError(
+        "a true-count query needs at least one attr=value term");
+  }
+  if (spec.kind != QuerySpec::Kind::kTrueCount && !spec.pattern.empty()) {
+    return InvalidArgumentError(
+        "pattern terms are only meaningful on a true-count query");
+  }
+  if (spec.kind != QuerySpec::Kind::kLabelSearch && !spec.focus.empty()) {
+    return InvalidArgumentError(
+        "focus attributes are only meaningful on a label-search query");
+  }
+  return Status::Ok();
+}
+
+}  // namespace api
+}  // namespace pcbl

@@ -1,0 +1,483 @@
+#include "api/session.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/pattern_set.h"
+#include "core/search.h"
+#include "util/logging.h"
+#include "util/str.h"
+
+namespace pcbl {
+namespace api {
+
+Result<std::unique_ptr<Session>> Session::Open(Dataset dataset,
+                                               SessionOptions options) {
+  if (options.num_threads < 0) {
+    return InvalidArgumentError(
+        StrCat("num_threads must be >= 0 (0 = all hardware threads), got ",
+               options.num_threads));
+  }
+  if (options.executor_threads <= 0) {
+    return InvalidArgumentError(
+        StrCat("executor_threads must be positive, got ",
+               options.executor_threads));
+  }
+  if (options.counting_cache_budget < -1) {
+    return InvalidArgumentError(
+        "counting_cache_budget must be >= 0 (or -1 for the engine "
+        "default)");
+  }
+  if (!options.use_counting_engine && options.counting_cache_budget > 0) {
+    return InvalidArgumentError(
+        "conflicting engine flags: a disabled counting engine cannot "
+        "honour a positive cache budget");
+  }
+  if (options.num_threads == 0) options.num_threads = DefaultThreadCount();
+  return std::unique_ptr<Session>(
+      new Session(std::move(dataset), options));
+}
+
+Session::Session(Dataset dataset, SessionOptions options)
+    : dataset_(std::move(dataset)),
+      options_(options),
+      executor_(options.executor_threads) {}
+
+Status Session::Validate(const QuerySpec& spec) const {
+  PCBL_RETURN_IF_ERROR(ValidateQuerySpec(spec));
+  // Engine-flag conflicts across the spec/session boundary: a query may
+  // inherit the disabled engine from the session while requesting a
+  // positive budget itself, or vice versa.
+  const bool engine_on =
+      spec.use_counting_engine.value_or(options_.use_counting_engine);
+  const int64_t budget = spec.counting_cache_budget.has_value()
+                             ? *spec.counting_cache_budget
+                             : options_.counting_cache_budget;
+  if (!engine_on && budget > 0) {
+    return InvalidArgumentError(
+        "conflicting engine flags: a disabled counting engine cannot "
+        "honour a positive cache budget");
+  }
+  if (!spec.focus.empty() &&
+      !spec.focus.IsSubsetOf(
+          AttrMask::All(dataset_.table().num_attributes()))) {
+    return InvalidArgumentError("focus attributes exceed the schema");
+  }
+  return Status::Ok();
+}
+
+SearchOptions Session::ToSearchOptions(const QuerySpec& spec) const {
+  SearchOptions options;
+  options.size_bound = spec.size_bound;
+  options.metric = spec.metric;
+  options.time_limit_seconds = spec.time_limit_seconds;
+  options.record_candidates = spec.record_candidates;
+  options.num_threads = spec.num_threads.value_or(options_.num_threads);
+  options.use_counting_engine =
+      spec.use_counting_engine.value_or(options_.use_counting_engine);
+  const int64_t budget = spec.counting_cache_budget.has_value()
+                             ? *spec.counting_cache_budget
+                             : options_.counting_cache_budget;
+  if (budget >= 0) options.counting_cache_budget = budget;
+  return options;
+}
+
+CountingEngineOptions Session::ToEngineOptions(const QuerySpec& spec) const {
+  const SearchOptions search = ToSearchOptions(spec);
+  CountingEngineOptions options;
+  options.enabled = search.use_counting_engine;
+  options.num_threads = search.num_threads;
+  options.cache_budget = search.counting_cache_budget;
+  return options;
+}
+
+Result<QueryFuture> Session::Submit(QuerySpec spec) {
+  PCBL_RETURN_IF_ERROR(Validate(spec));
+  // The packaged task lives in a shared_ptr so the executor's copyable
+  // std::function can carry it; the future shares its state.
+  auto task = std::make_shared<std::packaged_task<QueryResult()>>(
+      [this, spec = std::move(spec)]() { return Execute(spec); });
+  QueryFuture future(task->get_future().share());
+  executor_.Submit([task]() { (*task)(); });
+  return future;
+}
+
+QueryResult Session::Run(const QuerySpec& spec) {
+  Result<QueryFuture> future = Submit(spec);
+  if (!future.ok()) {
+    QueryResult result;
+    result.kind = spec.kind;
+    result.status = future.status();
+    return result;
+  }
+  return future->Get();
+}
+
+QueryResult Session::Execute(const QuerySpec& spec) {
+  switch (spec.kind) {
+    case QuerySpec::Kind::kLabelSearch:
+      return ExecuteSearch(spec);
+    case QuerySpec::Kind::kTrueCount:
+      return ExecuteTrueCount(spec);
+    case QuerySpec::Kind::kProfile:
+      return ExecuteProfile(spec);
+  }
+  QueryResult result;
+  result.status = InternalError("unknown query kind");
+  return result;
+}
+
+QueryResult Session::ExecuteSearch(const QuerySpec& spec) {
+  QueryResult result;
+  result.kind = spec.kind;
+  CountingService& service = *dataset_.service();
+  // The whole query runs under the service lock: the engine state is
+  // pinned to the VC / P_A snapshot validated below, and concurrent
+  // sessions' queries serialize into shared sizing waves over one warm
+  // cache.
+  std::lock_guard<std::mutex> lock(service.mutex());
+  const int64_t total = service.engine().total_rows();
+  result.total_rows = total;
+  const bool extended = total != dataset_.table().num_rows();
+  if (extended && !spec.focus.empty()) {
+    result.status = FailedPreconditionError(
+        "focus patterns describe the base table and have no incremental "
+        "maintenance path; a focus search cannot run after appends");
+    return result;
+  }
+  EnsureVcLocked();
+  EnsureFpiLocked();
+  LabelSearch search(dataset_.table(), vc_, fpi_, dataset_.service());
+  if (extended) search.SetExtendedState(vc_, fpi_, total);
+  if (!spec.focus.empty()) {
+    search.SetEvaluationPatterns(std::make_shared<const PatternSet>(
+        PatternSet::OverAttributes(dataset_.table(), spec.focus)));
+  }
+  const SearchOptions options = ToSearchOptions(spec);
+  result.search = spec.algorithm == QuerySpec::Algorithm::kNaive
+                      ? search.NaiveLocked(options)
+                      : search.TopDownLocked(options);
+  return result;
+}
+
+QueryResult Session::ExecuteTrueCount(const QuerySpec& spec) {
+  QueryResult result;
+  result.kind = spec.kind;
+  // The label-side estimate needs no data access at all (the paper's
+  // consumer-side story) — answer it before touching the service.
+  if (spec.label != nullptr) {
+    Result<double> estimate = spec.label->EstimateCount(spec.pattern);
+    if (!estimate.ok()) {
+      result.status = estimate.status();
+      return result;
+    }
+    result.estimate = *estimate;
+  }
+  CountingService& service = *dataset_.service();
+  std::lock_guard<std::mutex> lock(service.mutex());
+  CountingEngine& engine = service.engine();
+  service.Configure(ToEngineOptions(spec));
+  result.total_rows = engine.total_rows();
+  Result<std::vector<std::pair<int, ValueId>>> terms =
+      ResolvePatternLocked(spec.pattern);
+  if (!terms.ok()) {
+    result.status = terms.status();
+    return result;
+  }
+  if (terms->size() >= 2) {
+    // The fully-bound PC group over Attr(p) is exactly c_D(p); the
+    // engine answers it from a warm PC set or one (delta-aware) scan.
+    AttrMask mask;
+    for (const auto& [attr, value] : *terms) mask.Set(attr);
+    std::shared_ptr<const GroupCounts> pc = engine.PatternCounts(mask);
+    const int width = pc->key_width();
+    for (int64_t g = 0; g < pc->num_groups(); ++g) {
+      const ValueId* key = pc->key(g);
+      bool match = true;
+      for (int j = 0; j < width; ++j) {
+        if (key[j] != (*terms)[static_cast<size_t>(j)].second) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        result.true_count = pc->count(g);
+        break;
+      }
+    }
+  } else {
+    // Arity-1 counts are VC entries — maintained across appends.
+    EnsureVcLocked();
+    result.true_count =
+        vc_->Count((*terms)[0].first, (*terms)[0].second);
+  }
+  return result;
+}
+
+QueryResult Session::ExecuteProfile(const QuerySpec& spec) {
+  QueryResult result;
+  result.kind = spec.kind;
+  CountingService& service = *dataset_.service();
+  std::lock_guard<std::mutex> lock(service.mutex());
+  service.Configure(ToEngineOptions(spec));
+  result.total_rows = service.engine().total_rows();
+  const int n = dataset_.table().num_attributes();
+  std::vector<AttrMask> masks;
+  masks.reserve(static_cast<size_t>(n) * (n - 1) / 2);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      masks.push_back(AttrMask::Single(i).Union(AttrMask::Single(j)));
+    }
+  }
+  const std::vector<int64_t> sizes =
+      service.engine().CountPatternsBatch(masks, /*budget=*/-1);
+  result.pairs.reserve(masks.size());
+  size_t k = 0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j, ++k) {
+      result.pairs.push_back(PairwiseSize{i, j, sizes[k]});
+    }
+  }
+  return result;
+}
+
+Status Session::AppendRow(const std::vector<std::string>& values) {
+  const Table& table = dataset_.table();
+  const int n = table.num_attributes();
+  if (static_cast<int>(values.size()) != n) {
+    return InvalidArgumentError(
+        StrCat("row has ", values.size(), " values, schema has ", n));
+  }
+  CountingService& service = *dataset_.service();
+  std::lock_guard<std::mutex> lock(service.mutex());
+  if (service.engine().total_rows() !=
+      table.num_rows() + session_appended_) {
+    return FailedPreconditionError(
+        "another consumer grew this dataset's shared counting service; "
+        "only one appending session per service is supported — open a "
+        "new Session over a fresh Dataset (the registry hands out a "
+        "base-content service)");
+  }
+  EnsureDictionariesLocked();
+  std::vector<ValueId> codes(static_cast<size_t>(n), kNullValue);
+  for (int a = 0; a < n; ++a) {
+    const std::string& v = values[static_cast<size_t>(a)];
+    if (v.empty() || v == "NULL") continue;  // TableBuilder::AddRow rules
+    codes[static_cast<size_t>(a)] =
+        dictionaries_[static_cast<size_t>(a)].Intern(v);
+  }
+  return AppendCodesLocked({std::move(codes)});
+}
+
+Status Session::Append(const Table& delta) {
+  const Table& table = dataset_.table();
+  const int n = table.num_attributes();
+  if (delta.num_attributes() != n) {
+    return InvalidArgumentError("delta schema width differs");
+  }
+  for (int a = 0; a < n; ++a) {
+    if (delta.schema().name(a) != table.schema().name(a)) {
+      return InvalidArgumentError(
+          StrCat("delta attribute ", a, " is \"", delta.schema().name(a),
+                 "\", expected \"", table.schema().name(a), "\""));
+    }
+  }
+  CountingService& service = *dataset_.service();
+  std::lock_guard<std::mutex> lock(service.mutex());
+  if (service.engine().total_rows() !=
+      table.num_rows() + session_appended_) {
+    return FailedPreconditionError(
+        "another consumer grew this dataset's shared counting service; "
+        "only one appending session per service is supported — open a "
+        "new Session over a fresh Dataset (the registry hands out a "
+        "base-content service)");
+  }
+  EnsureDictionariesLocked();
+  // Remap delta codes to session codes, interning fresh values lazily —
+  // only values that actually appear in a delta row, in row-major
+  // first-seen order, exactly as a TableBuilder rebuild would. (Interning
+  // the delta's whole dictionary up front would also intern values the
+  // delta's rows never use — e.g. a delta produced by FilterRows keeps
+  // its parent's full dictionary — shifting fresh ids versus the rebuilt
+  // extended table and silently breaking byte-identity.)
+  std::vector<std::vector<ValueId>> remap(static_cast<size_t>(n));
+  for (int a = 0; a < n; ++a) {
+    remap[static_cast<size_t>(a)].assign(delta.dictionary(a).size(),
+                                         kNullValue);  // = not yet mapped
+  }
+  std::vector<std::vector<ValueId>> rows;
+  rows.reserve(static_cast<size_t>(delta.num_rows()));
+  for (int64_t r = 0; r < delta.num_rows(); ++r) {
+    std::vector<ValueId> codes(static_cast<size_t>(n));
+    for (int a = 0; a < n; ++a) {
+      const ValueId v = delta.value(r, a);
+      if (IsNull(v)) {
+        codes[static_cast<size_t>(a)] = kNullValue;
+        continue;
+      }
+      ValueId& mapped = remap[static_cast<size_t>(a)][v];
+      if (IsNull(mapped)) {
+        mapped = dictionaries_[static_cast<size_t>(a)].Intern(
+            delta.dictionary(a).GetString(v));
+      }
+      codes[static_cast<size_t>(a)] = mapped;
+    }
+    rows.push_back(std::move(codes));
+  }
+  return AppendCodesLocked(rows);
+}
+
+Status Session::AppendCodesLocked(
+    const std::vector<std::vector<ValueId>>& rows) {
+  if (rows.empty()) return Status::Ok();
+  CountingService& service = *dataset_.service();
+  const int64_t total_after =
+      service.engine().total_rows() + static_cast<int64_t>(rows.size());
+  // Maintain whatever state is materialized; lazily-built state catches
+  // up from the engine later (EnsureVcLocked / EnsureFpiLocked).
+  std::shared_ptr<const ValueCounts> next_vc;
+  if (vc_ != nullptr) {
+    auto vc = std::make_shared<ValueCounts>(*vc_);
+    const int n = dataset_.table().num_attributes();
+    for (const auto& row : rows) vc->ApplyRow(row.data(), n);
+    next_vc = std::move(vc);
+  }
+  std::shared_ptr<const FullPatternIndex> next_fpi;
+  if (fpi_ != nullptr) {
+    auto fpi = std::make_shared<FullPatternIndex>(*fpi_);
+    fpi->ApplyAppend(rows);
+    next_fpi = std::move(fpi);
+  }
+  // Engine last: if PCBL_CHECKs inside the hook ever fired, the session
+  // state would still describe the engine's (un-grown) data.
+  if (rows.size() == 1) {
+    service.AppendRowLocked(rows[0]);  // single rows always patch
+  } else {
+    service.AppendRowsLocked(rows);    // invalidate-or-patch by cost
+  }
+  std::lock_guard<std::mutex> slock(state_mu_);
+  if (next_vc != nullptr) {
+    vc_ = std::move(next_vc);
+    vc_rows_ = total_after;
+  }
+  if (next_fpi != nullptr) {
+    fpi_ = std::move(next_fpi);
+    fpi_rows_ = total_after;
+  }
+  session_appended_ += static_cast<int64_t>(rows.size());
+  return Status::Ok();
+}
+
+void Session::EnsureDictionariesLocked() {
+  if (have_dictionaries_) return;
+  const Table& table = dataset_.table();
+  std::vector<Dictionary> dictionaries;
+  dictionaries.reserve(static_cast<size_t>(table.num_attributes()));
+  for (int a = 0; a < table.num_attributes(); ++a) {
+    dictionaries.push_back(table.dictionary(a));  // copy, will grow
+  }
+  std::lock_guard<std::mutex> slock(state_mu_);
+  dictionaries_ = std::move(dictionaries);
+  have_dictionaries_ = true;
+}
+
+std::vector<std::vector<ValueId>> Session::EngineRowsLocked(
+    int64_t from, int64_t to) const {
+  const CountingEngine& engine = dataset_.service()->engine();
+  const int64_t base = dataset_.table().num_rows();
+  const int n = dataset_.table().num_attributes();
+  std::vector<std::vector<ValueId>> rows;
+  rows.reserve(static_cast<size_t>(to - from));
+  for (int64_t r = from; r < to; ++r) {
+    std::vector<ValueId> row(static_cast<size_t>(n));
+    engine.CopyAppendedRow(r - base, row.data());
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void Session::EnsureVcLocked() {
+  const CountingEngine& engine = dataset_.service()->engine();
+  const int64_t total = engine.total_rows();
+  if (vc_ != nullptr && vc_rows_ == total) return;
+  std::shared_ptr<ValueCounts> next;
+  int64_t have;
+  if (vc_ == nullptr) {
+    next = std::make_shared<ValueCounts>(
+        ValueCounts::Compute(dataset_.table()));
+    have = dataset_.table().num_rows();
+  } else {
+    next = std::make_shared<ValueCounts>(*vc_);
+    have = vc_rows_;
+  }
+  const int n = dataset_.table().num_attributes();
+  for (const auto& row : EngineRowsLocked(have, total)) {
+    next->ApplyRow(row.data(), n);
+  }
+  std::lock_guard<std::mutex> slock(state_mu_);
+  vc_ = std::move(next);
+  vc_rows_ = total;
+}
+
+void Session::EnsureFpiLocked() {
+  const CountingEngine& engine = dataset_.service()->engine();
+  const int64_t total = engine.total_rows();
+  if (fpi_ != nullptr && fpi_rows_ == total) return;
+  std::shared_ptr<FullPatternIndex> next;
+  int64_t have;
+  if (fpi_ == nullptr) {
+    next = std::make_shared<FullPatternIndex>(
+        FullPatternIndex::Build(dataset_.table()));
+    have = dataset_.table().num_rows();
+  } else {
+    next = std::make_shared<FullPatternIndex>(*fpi_);
+    have = fpi_rows_;
+  }
+  if (have < total) next->ApplyAppend(EngineRowsLocked(have, total));
+  std::lock_guard<std::mutex> slock(state_mu_);
+  fpi_ = std::move(next);
+  fpi_rows_ = total;
+}
+
+Result<std::vector<std::pair<int, ValueId>>> Session::ResolvePatternLocked(
+    const std::vector<std::pair<std::string, std::string>>& terms) const {
+  const Table& table = dataset_.table();
+  std::vector<std::pair<int, ValueId>> out;
+  out.reserve(terms.size());
+  AttrMask seen;
+  for (const auto& [name, value] : terms) {
+    PCBL_ASSIGN_OR_RETURN(int attr, table.schema().FindAttribute(name));
+    // The session's grown dictionaries resolve values appended after the
+    // base table was built; wording mirrors Pattern::Parse.
+    const ValueId v = have_dictionaries_
+                          ? dictionaries_[static_cast<size_t>(attr)]
+                                .Lookup(value)
+                          : table.dictionary(attr).Lookup(value);
+    if (IsNull(v)) {
+      return NotFoundError(StrCat("value '", value,
+                                  "' does not appear in attribute '",
+                                  name, "'"));
+    }
+    if (seen.Test(attr)) {
+      return InvalidArgumentError(
+          StrCat("duplicate attribute ", attr, " in pattern"));
+    }
+    seen.Set(attr);
+    out.emplace_back(attr, v);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+int64_t Session::total_rows() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return dataset_.table().num_rows() + session_appended_;
+}
+
+int64_t Session::appended_rows() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return session_appended_;
+}
+
+}  // namespace api
+}  // namespace pcbl

@@ -1,0 +1,197 @@
+// pcbl::api::Session — the mutable unit of the public API.
+//
+// A Session is opened over a Dataset and is the one blessed way to query
+// and grow it:
+//
+//   auto dataset = pcbl::api::Dataset::FromCsvFile("data.csv");
+//   auto session = pcbl::api::Session::Open(*dataset);
+//   auto future  = (*session)->Submit(
+//       pcbl::api::QuerySpec::LabelSearch(/*size_bound=*/100));
+//   const pcbl::api::QueryResult& result = future->Get();
+//
+// Queries (QuerySpec: label search / true count / profile) are validated
+// centrally at Submit — nonsense inputs come back as Status instead of
+// being clamped — and execute asynchronously on the session's ThreadPool
+// executor; Submit returns a QueryFuture immediately. N concurrent
+// queries against content-equal datasets ride one warm registry-shared
+// CountingService (they serialize on its mutex and batch their sizing
+// waves through its cache), so two sessions over equal data perform
+// exactly one set of full-table scans between them — asserted by the API
+// conformance suite.
+//
+// Appends. Session::Append / AppendRow define the append semantics of
+// the whole stack in one place: under the service lock the session
+// (1) interns the new rows into its growing dictionaries (ids extend the
+// base code space exactly as TableBuilder would), (2) patches its
+// incrementally maintained VC (ValueCounts::ApplyRow) and full-pattern
+// index P_A (FullPatternIndex::ApplyAppend), and (3) feeds the rows to
+// the engine's invalidate-or-patch hook. A search submitted afterwards
+// runs append-aware (LabelSearch::SetExtendedState): it certifies its
+// label against the extended data byte-exactly versus a from-scratch
+// rebuild — the refusal to search after appends is gone, not papered
+// over per call site.
+//
+// Sharing and growth: one *appending* session per shared service (string
+// interning cannot be reconciled across concurrent appenders); Append
+// fails with FailedPrecondition if another consumer grew the service
+// first. Read-only sibling sessions keep serving searches and profiles —
+// before each query they catch their VC / P_A up to the engine's rows
+// (code-level sync via CountingEngine::CopyAppendedRow). The sync is
+// code-level only: a sibling cannot learn the *strings* the appender
+// interned, so its true-count queries resolve values against the base
+// dictionaries and report appender-added values as NotFound even though
+// the appended rows are counted everywhere else (a shared interning
+// surface is a ROADMAP item). A *new* Dataset over the base content
+// acquires a fresh base-content service (the registry retires diverged
+// services), so appends never leak between datasets.
+#ifndef PCBL_API_SESSION_H_
+#define PCBL_API_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "api/dataset.h"
+#include "api/query.h"
+#include "pattern/counting_engine.h"
+#include "pattern/full_pattern_index.h"
+#include "relation/dictionary.h"
+#include "relation/stats.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace pcbl {
+namespace api {
+
+/// Session-level defaults; per-query overrides live on QuerySpec.
+struct SessionOptions {
+  /// Worker threads for candidate sizing/ranking. 0 = all hardware
+  /// threads (resolved at Open); negative is rejected. Results are
+  /// byte-identical for any value.
+  int num_threads = 0;
+
+  /// Candidate sizing through the batched+memoized counting engine;
+  /// disabling reverts to serial one-shot scans (byte-identical).
+  bool use_counting_engine = true;
+
+  /// Engine memoization budget in cached group entries; -1 = the
+  /// engine's default, 0 disables memoization. A positive budget
+  /// combined with a disabled engine is rejected as conflicting.
+  int64_t counting_cache_budget = -1;
+
+  /// Threads of the session's async query executor (Submit). Queries
+  /// over one service serialize on its mutex regardless; more executor
+  /// threads only help overlap pre-/post-processing.
+  int executor_threads = 1;
+};
+
+class Session {
+ public:
+  /// Validates `options` (Status on nonsense — negative threads, a
+  /// positive cache budget on a disabled engine, a non-positive
+  /// executor) and opens the session.
+  static Result<std::unique_ptr<Session>> Open(Dataset dataset,
+                                               SessionOptions options = {});
+
+  /// Drains in-flight queries, then closes.
+  ~Session() = default;
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Validates `spec` (spec shape, engine-flag conflicts, schema checks)
+  /// and enqueues it on the executor. The returned future is shared;
+  /// execution-time failures surface as QueryResult::status.
+  Result<QueryFuture> Submit(QuerySpec spec);
+
+  /// Submit + Get: the synchronous convenience form. Validation errors
+  /// come back in QueryResult::status.
+  QueryResult Run(const QuerySpec& spec);
+
+  /// Appends one row of string values (empty / "NULL" = missing),
+  /// exactly like TableBuilder::AddRow. Fails (FailedPrecondition) when
+  /// another consumer already grew the shared service.
+  Status AppendRow(const std::vector<std::string>& values);
+
+  /// Appends every row of `delta` (same attribute names in the same
+  /// order; values remapped by string, so `delta` may use its own
+  /// dictionaries).
+  Status Append(const Table& delta);
+
+  const Dataset& dataset() const { return dataset_; }
+  const SessionOptions& options() const { return options_; }
+
+  /// |D| as grown through this session (base rows + appended_rows()).
+  /// A sibling session appending through the same shared service may put
+  /// the engine ahead of this; queries always sync first, and report the
+  /// authoritative count in QueryResult::total_rows.
+  int64_t total_rows() const;
+
+  /// Rows appended through *this* session.
+  int64_t appended_rows() const;
+
+ private:
+  Session(Dataset dataset, SessionOptions options);
+
+  // Full validation chain for one spec (ValidateQuerySpec + session
+  // options interplay + schema-dependent checks).
+  Status Validate(const QuerySpec& spec) const;
+
+  // Executor-side entry: runs the query under the service lock.
+  QueryResult Execute(const QuerySpec& spec);
+  QueryResult ExecuteSearch(const QuerySpec& spec);
+  QueryResult ExecuteTrueCount(const QuerySpec& spec);
+  QueryResult ExecuteProfile(const QuerySpec& spec);
+
+  // Effective per-query knobs (spec overrides over session defaults).
+  SearchOptions ToSearchOptions(const QuerySpec& spec) const;
+  CountingEngineOptions ToEngineOptions(const QuerySpec& spec) const;
+
+  // --- maintenance state (see locking note below) ----------------------
+  // Lazily materializes VC / P_A and catches them up to every row the
+  // engine holds (CopyAppendedRow), so searches can run append-aware.
+  // Callers hold the service mutex.
+  void EnsureVcLocked();
+  void EnsureFpiLocked();
+  // The engine's appended rows in [from, to), row-major.
+  std::vector<std::vector<ValueId>> EngineRowsLocked(int64_t from,
+                                                     int64_t to) const;
+  // Copies the base table's dictionaries on first use (append interning).
+  void EnsureDictionariesLocked();
+  // Shared tail of AppendRow/Append: rows already encoded in the
+  // session's (grown) code space.
+  Status AppendCodesLocked(const std::vector<std::vector<ValueId>>& rows);
+
+  // Resolves (attribute name, value string) terms against the session's
+  // grown dictionaries (falling back to the base table's), mirroring
+  // Pattern::Parse including its error wording.
+  Result<std::vector<std::pair<int, ValueId>>> ResolvePatternLocked(
+      const std::vector<std::pair<std::string, std::string>>& terms) const;
+
+  Dataset dataset_;
+  SessionOptions options_;
+
+  // Locking: writes to the fields below happen while holding BOTH the
+  // service mutex and state_mu_ (service first); the query path reads
+  // them under the service mutex alone, the public accessors under
+  // state_mu_ alone. Either lock therefore suffices for readers.
+  mutable std::mutex state_mu_;
+  std::vector<Dictionary> dictionaries_;  // grown; empty until 1st append
+  bool have_dictionaries_ = false;
+  std::shared_ptr<const ValueCounts> vc_;          // null until needed
+  int64_t vc_rows_ = 0;                            // rows vc_ describes
+  std::shared_ptr<const FullPatternIndex> fpi_;    // null until needed
+  int64_t fpi_rows_ = 0;                           // rows fpi_ describes
+  int64_t session_appended_ = 0;  // rows appended through this session
+
+  // Declared last: destroyed first, draining queries while every member
+  // they touch is still alive.
+  ThreadPool executor_;
+};
+
+}  // namespace api
+}  // namespace pcbl
+
+#endif  // PCBL_API_SESSION_H_

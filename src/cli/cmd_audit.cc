@@ -1,9 +1,11 @@
 // `pcbl audit <label>` — fitness-for-use warnings from a label alone: the
 // paper's motivating workflow (Sec. I) of turning count metadata into
 // "inadequate representation" / "dangerous intersected combination"
-// warnings without touching the data.
+// warnings without touching the data. Routed through the pcbl::api
+// artifact facade, the blessed label-only surface.
 #include <ostream>
 
+#include "api/artifact.h"
 #include "cli/commands.h"
 #include "cli/common.h"
 #include "core/warnings.h"
@@ -55,7 +57,7 @@ int CmdAudit(const Args& args, std::ostream& out, std::ostream& err) {
   auto limit = args.GetInt("limit", 20);
   if (!limit.ok()) return FailWith(limit.status(), "audit", err);
 
-  auto label = LoadLabelFile(args.positional()[0]);
+  auto label = api::LoadLabelArtifact(args.positional()[0]);
   if (!label.ok()) return FailWith(label.status(), "audit", err);
 
   std::vector<std::string> attrs;
@@ -67,7 +69,7 @@ int CmdAudit(const Args& args, std::ostream& out, std::ostream& err) {
     }
   }
 
-  auto warnings = AuditLabel(*label, attrs, options);
+  auto warnings = api::AuditLabelArtifact(*label, attrs, options);
   if (!warnings.ok()) return FailWith(warnings.status(), "audit", err);
 
   out << "label:    " << args.positional()[0] << " ("

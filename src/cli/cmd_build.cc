@@ -1,16 +1,19 @@
 // `pcbl build <data.csv>` — runs the optimal-label search (Algorithm 1 by
 // default, the naive enumeration on request) and optionally writes the
-// resulting portable label to disk.
+// resulting portable label to disk. Wired through the pcbl::api façade:
+// the dataset's counting service comes from the process-wide registry,
+// so repeated builds (and concurrent sessions) over content-equal data
+// share one warm cache.
+#include <memory>
 #include <ostream>
 #include <string>
 
-#include <memory>
-
+#include "api/dataset.h"
+#include "api/query.h"
+#include "api/session.h"
 #include "cli/commands.h"
 #include "cli/common.h"
-#include "core/pattern_set.h"
 #include "core/portable_label.h"
-#include "core/search.h"
 #include "util/str.h"
 
 namespace pcbl {
@@ -37,6 +40,9 @@ constexpr char kUsage[] =
     "                     instead of the batched+memoized counting engine\n"
     "  --cache-budget N   engine memoization budget in cached group\n"
     "                     entries (0 disables memoization)\n"
+    "  --service-budget N process-wide memory budget (bytes) on the\n"
+    "                     counting-service registry's caches\n"
+    "                     (0 = unbounded)\n"
     "  --out FILE         save the portable label (JSON; see --binary)\n"
     "  --binary           save in the compact binary format instead\n"
     "  --name NAME        dataset display name stored in the label\n";
@@ -54,8 +60,9 @@ int CmdBuild(const Args& args, std::ostream& out, std::ostream& err) {
   }
   if (Status s = args.CheckKnown({"help", "bound", "algo", "metric",
                                   "focus", "time-limit", "threads",
-                                  "no-engine", "cache-budget", "out",
-                                  "binary", "name"});
+                                  "no-engine", "cache-budget",
+                                  "service-budget", "out", "binary",
+                                  "name"});
       !s.ok()) {
     return FailWith(s, "build", err);
   }
@@ -67,8 +74,8 @@ int CmdBuild(const Args& args, std::ostream& out, std::ostream& err) {
   if (!bound.ok()) return FailWith(bound.status(), "build", err);
   auto time_limit = args.GetDouble("time-limit", 0.0);
   if (!time_limit.ok()) return FailWith(time_limit.status(), "build", err);
-  auto engine = ParseEngineOptions(args);
-  if (!engine.ok()) return FailWith(engine.status(), "build", err);
+  auto flags = ParseServiceFlags(args);
+  if (!flags.ok()) return FailWith(flags.status(), "build", err);
   auto metric = ParseMetric(args.GetString("metric", "max-abs"));
   if (!metric.ok()) return FailWith(metric.status(), "build", err);
   const std::string algo = ToLower(args.GetString("algo", "topdown"));
@@ -78,52 +85,54 @@ int CmdBuild(const Args& args, std::ostream& out, std::ostream& err) {
         err);
   }
 
-  auto table = LoadCsvTable(args.positional()[0]);
-  if (!table.ok()) return FailWith(table.status(), "build", err);
+  auto dataset =
+      api::Dataset::FromCsvFile(args.positional()[0],
+                                flags->ToDatasetOptions());
+  if (!dataset.ok()) return FailWith(dataset.status(), "build", err);
+  const Table& table = dataset->table();
 
-  LabelSearch search(*table);
+  api::QuerySpec spec = api::QuerySpec::LabelSearch(
+      *bound, algo == "naive" ? api::QuerySpec::Algorithm::kNaive
+                              : api::QuerySpec::Algorithm::kTopDown);
+  spec.metric = *metric;
+  spec.time_limit_seconds = *time_limit;
+
   // Definition 2.15's flexible pattern set: rank against the combinations
   // of the named (e.g. sensitive) attributes instead of P_A.
   std::string focus_desc = "P_A (all full patterns)";
   const std::string focus_flag = args.GetString("focus");
   if (!focus_flag.empty()) {
-    AttrMask focus;
     std::vector<std::string> names;
     for (const std::string& raw : Split(focus_flag, ',')) {
       const std::string name(Trim(raw));
       if (name.empty()) continue;
-      auto idx = table->schema().FindAttribute(name);
+      auto idx = table.schema().FindAttribute(name);
       if (!idx.ok()) return FailWith(idx.status(), "build", err);
-      focus.Set(*idx);
+      spec.focus.Set(*idx);
       names.push_back(name);
     }
-    if (focus.empty()) {
+    if (spec.focus.empty()) {
       return FailWith(InvalidArgumentError("--focus names no attributes"),
                       "build", err);
     }
-    search.SetEvaluationPatterns(std::make_shared<const PatternSet>(
-        PatternSet::OverAttributes(*table, focus)));
     focus_desc = "patterns over {" + Join(names, ", ") + "}";
   }
-  SearchOptions options;
-  options.size_bound = *bound;
-  options.metric = *metric;
-  options.time_limit_seconds = *time_limit;
-  options.num_threads = engine->num_threads;
-  options.use_counting_engine = engine->enabled;
-  options.counting_cache_budget = engine->cache_budget;
-  const SearchResult result =
-      algo == "naive" ? search.Naive(options) : search.TopDown(options);
+
+  auto session = api::Session::Open(*dataset, flags->ToSessionOptions());
+  if (!session.ok()) return FailWith(session.status(), "build", err);
+  const api::QueryResult query = (*session)->Run(spec);
+  if (!query.status.ok()) return FailWith(query.status, "build", err);
+  const SearchResult& result = query.search;
 
   out << "dataset:           " << args.positional()[0] << " ("
-      << WithThousandsSeparators(table->num_rows()) << " rows, "
-      << table->num_attributes() << " attributes)\n";
+      << WithThousandsSeparators(table.num_rows()) << " rows, "
+      << table.num_attributes() << " attributes)\n";
   out << "algorithm:         " << (algo == "naive" ? "naive" : "top-down")
-      << " (bound " << *bound << ", metric "
-      << MetricName(options.metric) << ")\n";
+      << " (bound " << *bound << ", metric " << MetricName(spec.metric)
+      << ")\n";
   std::vector<std::string> attr_names;
   for (int a : result.best_attrs.ToIndices()) {
-    attr_names.push_back(table->schema().name(a));
+    attr_names.push_back(table.schema().name(a));
   }
   out << "label attributes:  "
       << (attr_names.empty() ? "(none within bound)" : Join(attr_names, ", "))
@@ -131,22 +140,23 @@ int CmdBuild(const Args& args, std::ostream& out, std::ostream& err) {
   out << "label size |PC|:   " << result.label.size() << "\n";
   out << "subsets examined:  " << result.stats.subsets_examined
       << (result.stats.timed_out ? " (time limit hit)" : "") << "\n";
-  if (options.use_counting_engine) {
+  if ((*session)->options().use_counting_engine) {
     out << "candidate sizing:  " << result.stats.counting.direct_scans
         << " scans, " << result.stats.counting.rollups << " rollups, "
         << result.stats.counting.cache_hits << " cache hits ("
-        << options.num_threads << " threads)\n";
+        << (*session)->options().num_threads << " threads)\n";
   }
   out << StrFormat("search time:       %.3f s\n", result.stats.total_seconds);
   out << "error over " << focus_desc << ":\n"
-      << FormatErrorReport(result.error, table->num_rows());
+      << FormatErrorReport(result.error, table.num_rows());
+  out << FormatRegistryStats();
 
   const std::string out_path = args.GetString("out");
   if (!out_path.empty()) {
     std::string name = args.GetString("name");
     if (name.empty()) name = BaseName(args.positional()[0]);
     const PortableLabel portable =
-        MakePortable(result.label, *table, name);
+        MakePortable(result.label, table, name);
     if (Status s = SaveLabel(portable, out_path, args.GetBool("binary"));
         !s.ok()) {
       return FailWith(s, "build", err);

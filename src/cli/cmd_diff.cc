@@ -1,8 +1,11 @@
 // `pcbl diff <old-label> <new-label>` — what changed between two releases
 // of a dataset, as seen through their labels alone: marginal shifts, new
 // or vanished values, and pattern-count churn over the shared S.
+// Routed through the pcbl::api artifact facade, the blessed label-only
+// surface.
 #include <ostream>
 
+#include "api/artifact.h"
 #include "cli/commands.h"
 #include "cli/common.h"
 #include "core/label_diff.h"
@@ -34,12 +37,12 @@ int CmdDiff(const Args& args, std::ostream& out, std::ostream& err) {
   }
   auto limit = args.GetInt("limit", 20);
   if (!limit.ok()) return FailWith(limit.status(), "diff", err);
-  auto old_label = LoadLabelFile(args.positional()[0]);
+  auto old_label = api::LoadLabelArtifact(args.positional()[0]);
   if (!old_label.ok()) return FailWith(old_label.status(), "diff", err);
-  auto new_label = LoadLabelFile(args.positional()[1]);
+  auto new_label = api::LoadLabelArtifact(args.positional()[1]);
   if (!new_label.ok()) return FailWith(new_label.status(), "diff", err);
 
-  const LabelDiff diff = DiffLabels(*old_label, *new_label);
+  const LabelDiff diff = api::DiffLabelArtifacts(*old_label, *new_label);
   out << args.positional()[0] << " -> " << args.positional()[1] << "\n";
   out << RenderLabelDiff(diff, static_cast<int>(*limit));
   return kExitOk;

@@ -1,24 +1,28 @@
 // `pcbl estimate <label> --pattern "attr=value,..."` — answers a pattern
 // count query from a saved label alone, exactly the consumer-side use the
 // paper envisages (a judge asking "how many Hispanic women does this
-// training set contain?" without access to the data).
+// training set contain?" without access to the data). Routed through the
+// pcbl::api façade: the label side via api/artifact.h, the data side via
+// a Dataset/Session true-count query.
 //
 // With `--data <csv>` the command additionally computes the *true* count
-// through the dataset's shared CountingService — acquired from the
-// process-wide ServiceRegistry, so repeated spot checks over the same
-// data reuse one warm cache — and reports the estimation error plus the
-// registry's hit/miss/resident-bytes counters. `--threads`,
-// `--cache-budget` and `--no-engine` configure the service exactly as in
+// through the dataset's shared counting service — the Dataset acquires
+// it from the process-wide registry, so repeated spot checks over the
+// same data reuse one warm cache — and reports the estimation error plus
+// the registry's hit/miss/resident-bytes counters. `--threads`,
+// `--cache-budget` and `--no-engine` configure the session exactly as in
 // `pcbl build`; `--service-budget` bounds the registry's process-wide
 // cache memory.
 #include <cmath>
 #include <memory>
 #include <ostream>
 
+#include "api/artifact.h"
+#include "api/dataset.h"
+#include "api/query.h"
+#include "api/session.h"
 #include "cli/commands.h"
 #include "cli/common.h"
-#include "pattern/counting_service.h"
-#include "pattern/pattern.h"
 #include "util/str.h"
 
 namespace pcbl {
@@ -44,33 +48,6 @@ constexpr char kUsage[] =
     "  --service-budget N process-wide memory budget (bytes) on the\n"
     "                     counting-service registry's caches\n"
     "                     (0 = unbounded)\n";
-
-// The true count c_D(p): for patterns binding >= 2 attributes this is the
-// count of the fully-bound PC group over Attr(p) (every matching row's
-// restriction is exactly the pattern's key), which the engine answers
-// from a warm PC set or one scan. Arity-1 patterns scan the one column.
-int64_t TrueCount(CountingService& service, const Pattern& p) {
-  const Table& table = service.table();
-  if (p.size() < 2) return CountMatches(table, p);
-  AttrMask mask = p.attributes();
-  std::lock_guard<std::mutex> lock(service.mutex());
-  std::shared_ptr<const GroupCounts> pc =
-      service.engine().PatternCounts(mask);
-  const int width = pc->key_width();
-  for (int64_t g = 0; g < pc->num_groups(); ++g) {
-    const ValueId* key = pc->key(g);
-    bool match = true;
-    for (int j = 0; j < width; ++j) {
-      if (key[j] != p.terms()[static_cast<size_t>(j)].value) {
-        match = false;
-        break;
-      }
-    }
-    if (match) return pc->count(g);
-  }
-  return 0;
-}
-
 }  // namespace
 
 int CmdEstimate(const Args& args, std::ostream& out, std::ostream& err) {
@@ -94,25 +71,21 @@ int CmdEstimate(const Args& args, std::ostream& out, std::ostream& err) {
     return FailWith(InvalidArgumentError("--pattern is required"), "estimate",
                     err);
   }
+  auto flags = ParseServiceFlags(args);
+  if (!flags.ok()) return FailWith(flags.status(), "estimate", err);
   const std::string data_path = args.GetString("data");
-  if (data_path.empty() &&
-      (args.Has("threads") || args.Has("no-engine") ||
-       args.Has("cache-budget") || args.Has("service-budget"))) {
+  if (data_path.empty() && flags->any) {
     return FailWith(
         InvalidArgumentError("--threads/--no-engine/--cache-budget/"
                              "--service-budget require --data"),
         "estimate", err);
   }
-  auto engine_options = ParseEngineOptions(args);
-  if (!engine_options.ok()) {
-    return FailWith(engine_options.status(), "estimate", err);
-  }
   auto terms = ParseNamedPattern(pattern_text);
   if (!terms.ok()) return FailWith(terms.status(), "estimate", err);
-  auto label = LoadLabelFile(args.positional()[0]);
+  auto label = api::LoadLabelArtifact(args.positional()[0]);
   if (!label.ok()) return FailWith(label.status(), "estimate", err);
 
-  auto estimate = label->EstimateCount(*terms);
+  auto estimate = api::EstimateFromLabel(*label, *terms);
   if (!estimate.ok()) return FailWith(estimate.status(), "estimate", err);
 
   const double share =
@@ -126,14 +99,16 @@ int CmdEstimate(const Args& args, std::ostream& out, std::ostream& err) {
                    PercentString(share).c_str());
 
   if (!data_path.empty()) {
-    auto loaded = LoadCsvTable(data_path);
-    if (!loaded.ok()) return FailWith(loaded.status(), "estimate", err);
-    auto table = std::make_shared<const Table>(std::move(*loaded));
-    auto pattern = Pattern::Parse(*table, *terms);
-    if (!pattern.ok()) return FailWith(pattern.status(), "estimate", err);
-    auto service = AcquireRegistryService(args, table, *engine_options);
-    if (!service.ok()) return FailWith(service.status(), "estimate", err);
-    const int64_t actual = TrueCount(**service, *pattern);
+    auto dataset =
+        api::Dataset::FromCsvFile(data_path, flags->ToDatasetOptions());
+    if (!dataset.ok()) return FailWith(dataset.status(), "estimate", err);
+    auto session =
+        api::Session::Open(*dataset, flags->ToSessionOptions());
+    if (!session.ok()) return FailWith(session.status(), "estimate", err);
+    const api::QueryResult query =
+        (*session)->Run(api::QuerySpec::TrueCount(*terms));
+    if (!query.status.ok()) return FailWith(query.status, "estimate", err);
+    const int64_t actual = query.true_count;
     const double abs_err =
         std::abs(*estimate - static_cast<double>(actual));
     const double q_err =

@@ -3,24 +3,27 @@
 // the information an analyst inspects before choosing a label bound.
 //
 // `--pairs N` extends the profile with the pairwise label sizes |P_{i,j}|
-// of every attribute pair, sized through the dataset's shared
-// CountingService in one parallel batch — precisely the quantities that
-// determine which subsets fit a bound B_s (the smallest pairs are the
-// seeds of every within-bound label). The service is acquired from the
-// process-wide ServiceRegistry (a re-profile of the same data sizes from
-// the warm cache) and the registry's hit/miss/resident-bytes counters
-// are reported with the pairs. `--threads`, `--cache-budget` and
-// `--no-engine` configure the service exactly as in `pcbl build`;
-// `--service-budget` bounds the registry's process-wide cache memory.
+// of every attribute pair, answered by a pcbl::api Session profile query
+// (one parallel sizing batch through the dataset's shared counting
+// service) — precisely the quantities that determine which subsets fit a
+// bound B_s (the smallest pairs are the seeds of every within-bound
+// label). The Dataset acquires its service from the process-wide
+// registry (a re-profile of the same data sizes from the warm cache) and
+// the registry's hit/miss/resident-bytes counters are reported with the
+// pairs. `--threads`, `--cache-budget` and `--no-engine` configure the
+// session exactly as in `pcbl build`; `--service-budget` bounds the
+// registry's process-wide cache memory.
 #include <algorithm>
 #include <memory>
 #include <ostream>
 #include <vector>
 
+#include "api/dataset.h"
+#include "api/query.h"
+#include "api/session.h"
 #include "cli/commands.h"
 #include "cli/common.h"
 #include "harness/tablefmt.h"
-#include "pattern/counting_service.h"
 #include "relation/stats.h"
 #include "util/str.h"
 
@@ -64,9 +67,9 @@ int CmdProfile(const Args& args, std::ostream& out, std::ostream& err) {
       !s.ok()) {
     return FailWith(s, "profile", err);
   }
-  if (!args.Has("pairs") &&
-      (args.Has("threads") || args.Has("no-engine") ||
-       args.Has("cache-budget") || args.Has("service-budget"))) {
+  auto flags = ParseServiceFlags(args);
+  if (!flags.ok()) return FailWith(flags.status(), "profile", err);
+  if (!args.Has("pairs") && flags->any) {
     return FailWith(
         InvalidArgumentError("--threads/--no-engine/--cache-budget/"
                              "--service-budget require --pairs"),
@@ -74,20 +77,19 @@ int CmdProfile(const Args& args, std::ostream& out, std::ostream& err) {
   }
   auto pairs_limit = args.GetInt("pairs", 20);
   if (!pairs_limit.ok()) return FailWith(pairs_limit.status(), "profile", err);
-  auto engine_options = ParseEngineOptions(args);
-  if (!engine_options.ok()) {
-    return FailWith(engine_options.status(), "profile", err);
-  }
-  auto loaded = LoadCsvTable(args.positional()[0]);
-  if (!loaded.ok()) return FailWith(loaded.status(), "profile", err);
-  auto table = std::make_shared<const Table>(std::move(*loaded));
+
+  auto dataset =
+      api::Dataset::FromCsvFile(args.positional()[0],
+                                flags->ToDatasetOptions());
+  if (!dataset.ok()) return FailWith(dataset.status(), "profile", err);
+  const Table& table = dataset->table();
 
   out << args.positional()[0] << ": "
-      << WithThousandsSeparators(table->num_rows()) << " rows, "
-      << table->num_attributes() << " attributes\n\n";
+      << WithThousandsSeparators(table.num_rows()) << " rows, "
+      << table.num_attributes() << " attributes\n\n";
   harness::TextTable grid(
       {"attribute", "distinct", "nulls", "entropy", "top value", "top count"});
-  for (const AttributeSummary& a : SummarizeAttributes(*table)) {
+  for (const AttributeSummary& a : SummarizeAttributes(table)) {
     grid.AddRowValues(a.name, a.distinct_values, a.null_count,
                       StrFormat("%.2f", a.entropy_bits), a.top_value,
                       a.top_count);
@@ -96,43 +98,33 @@ int CmdProfile(const Args& args, std::ostream& out, std::ostream& err) {
 
   if (!args.Has("pairs")) return kExitOk;
 
-  const CountingEngineOptions& options = *engine_options;
-  auto service = AcquireRegistryService(args, table, options);
-  if (!service.ok()) return FailWith(service.status(), "profile", err);
+  auto session = api::Session::Open(*dataset, flags->ToSessionOptions());
+  if (!session.ok()) return FailWith(session.status(), "profile", err);
+  const api::QueryResult query = (*session)->Run(api::QuerySpec::Profile());
+  if (!query.status.ok()) return FailWith(query.status, "profile", err);
 
-  const int n = table->num_attributes();
-  std::vector<AttrMask> masks;
-  for (int i = 0; i < n; ++i) {
-    for (int j = i + 1; j < n; ++j) {
-      masks.push_back(AttrMask::Single(i).Union(AttrMask::Single(j)));
-    }
-  }
-  std::vector<int64_t> sizes;
-  {
-    std::lock_guard<std::mutex> lock((*service)->mutex());
-    sizes = (*service)->engine().CountPatternsBatch(masks, /*budget=*/-1);
-  }
-  std::vector<size_t> order(masks.size());
+  std::vector<size_t> order(query.pairs.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::stable_sort(order.begin(), order.end(),
-                   [&](size_t a, size_t b) { return sizes[a] < sizes[b]; });
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return query.pairs[a].size < query.pairs[b].size;
+  });
   const size_t limit = *pairs_limit > 0
                            ? std::min<size_t>(order.size(),
                                               static_cast<size_t>(*pairs_limit))
                            : order.size();
   out << "\npairwise label sizes (" << limit << " smallest of "
-      << masks.size() << " pairs, " << options.num_threads << " threads)\n";
+      << query.pairs.size() << " pairs, "
+      << (*session)->options().num_threads << " threads)\n";
   harness::TextTable pair_grid({"pair", "|P_S|", "dense space"});
   for (size_t i = 0; i < limit; ++i) {
-    const AttrMask m = masks[order[i]];
-    const std::vector<int> attrs = m.ToIndices();
+    const api::PairwiseSize& p = query.pairs[order[i]];
     const int64_t space =
-        static_cast<int64_t>(table->DomainSize(attrs[0])) *
-        static_cast<int64_t>(table->DomainSize(attrs[1]));
+        static_cast<int64_t>(table.DomainSize(p.attr_a)) *
+        static_cast<int64_t>(table.DomainSize(p.attr_b));
     pair_grid.AddRowValues(
-        StrCat(table->schema().name(attrs[0]), " x ",
-               table->schema().name(attrs[1])),
-        sizes[order[i]], space);
+        StrCat(table.schema().name(p.attr_a), " x ",
+               table.schema().name(p.attr_b)),
+        p.size, space);
   }
   out << pair_grid.ToMarkdown();
   out << FormatRegistryStats();

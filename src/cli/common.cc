@@ -5,7 +5,6 @@
 #include "pattern/service_registry.h"
 #include "relation/csv.h"
 #include "util/str.h"
-#include "util/thread_pool.h"
 
 namespace pcbl {
 namespace cli {
@@ -45,38 +44,39 @@ Result<std::vector<std::pair<std::string, std::string>>> ParseNamedPattern(
   return terms;
 }
 
-Result<CountingEngineOptions> ParseEngineOptions(const Args& args) {
-  CountingEngineOptions options;
-  PCBL_ASSIGN_OR_RETURN(int64_t threads, args.GetInt("threads", 0));
-  PCBL_ASSIGN_OR_RETURN(
-      int64_t cache_budget,
-      args.GetInt("cache-budget", options.cache_budget));
-  options.enabled = !args.GetBool("no-engine");
-  options.num_threads =
-      threads > 0 ? static_cast<int>(threads) : DefaultThreadCount();
-  options.cache_budget = cache_budget;
+api::SessionOptions ServiceFlags::ToSessionOptions() const {
+  api::SessionOptions options;
+  options.num_threads = static_cast<int>(threads);  // 0 = auto, as here
+  options.use_counting_engine = !no_engine;
+  options.counting_cache_budget = has_cache_budget ? cache_budget : -1;
   return options;
 }
 
-Result<std::shared_ptr<CountingService>> AcquireRegistryService(
-    const Args& args, std::shared_ptr<const Table> table,
-    const CountingEngineOptions& options) {
-  ServiceRegistry& registry = ServiceRegistry::Global();
+api::DatasetOptions ServiceFlags::ToDatasetOptions() const {
+  api::DatasetOptions options;
+  options.service_memory_budget = service_budget;  // -1 = leave unchanged
+  return options;
+}
+
+Result<ServiceFlags> ParseServiceFlags(const Args& args) {
+  ServiceFlags flags;
+  PCBL_ASSIGN_OR_RETURN(flags.threads, args.GetInt("threads", 0));
+  flags.no_engine = args.GetBool("no-engine");
+  flags.has_cache_budget = args.Has("cache-budget");
+  if (flags.has_cache_budget) {
+    PCBL_ASSIGN_OR_RETURN(flags.cache_budget,
+                          args.GetInt("cache-budget", -1));
+  }
   if (args.Has("service-budget")) {
-    PCBL_ASSIGN_OR_RETURN(int64_t budget,
+    PCBL_ASSIGN_OR_RETURN(flags.service_budget,
                           args.GetInt("service-budget", 0));
-    if (budget < 0) {
+    if (flags.service_budget < 0) {
       return InvalidArgumentError("--service-budget must be >= 0");
     }
-    registry.SetMemoryBudget(budget);
   }
-  std::shared_ptr<CountingService> service =
-      registry.Acquire(std::move(table));
-  // A registry hit keeps the warm cache; the per-invocation knobs still
-  // apply (Configure preserves warm entries, like a search would).
-  std::lock_guard<std::mutex> lock(service->mutex());
-  service->Configure(options);
-  return service;
+  flags.any = args.Has("threads") || args.Has("no-engine") ||
+              args.Has("cache-budget") || args.Has("service-budget");
+  return flags;
 }
 
 std::string FormatRegistryStats() {

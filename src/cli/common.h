@@ -5,11 +5,11 @@
 #include <ostream>
 #include <string>
 
+#include "api/dataset.h"
+#include "api/session.h"
 #include "cli/args.h"
 #include "core/error.h"
 #include "core/portable_label.h"
-#include "pattern/counting_engine.h"
-#include "pattern/counting_service.h"
 #include "relation/table.h"
 #include "util/status.h"
 
@@ -42,20 +42,30 @@ Result<std::vector<std::pair<std::string, std::string>>> ParseNamedPattern(
 /// Parses an OptimizationMetric name (max-abs, mean-abs, max-q, mean-q).
 Result<OptimizationMetric> ParseMetric(const std::string& name);
 
-/// Parses the counting-engine flags shared by build/estimate/profile:
+/// The engine/service flag set shared by the data-backed commands —
 /// `--threads N` (0 or absent = all hardware threads), `--no-engine`,
-/// and `--cache-budget N`. Parse errors propagate.
-Result<CountingEngineOptions> ParseEngineOptions(const Args& args);
+/// `--cache-budget N`, `--service-budget N` — parsed once here instead
+/// of per command, and converted into the façade's option structs.
+/// Value validation (negative threads, conflicting engine flags) is the
+/// façade's job: Session::Open / Submit return Status on nonsense.
+struct ServiceFlags {
+  int64_t threads = 0;          ///< 0 = all hardware threads
+  bool no_engine = false;
+  int64_t cache_budget = -1;    ///< meaningful iff has_cache_budget
+  bool has_cache_budget = false;
+  int64_t service_budget = -1;  ///< registry budget; -1 = flag absent
+  bool any = false;             ///< any of the four flags was present
 
-/// Acquires the dataset's shared CountingService from the process-wide
-/// ServiceRegistry, honouring `--service-budget N` (registry memory
-/// budget in bytes; 0 = unbounded) and applying `options` to the service
-/// under its lock. Takes shared ownership of `table` so a registry miss
-/// costs no copy. Repeated invocations in one process (and concurrent
-/// sessions over content-equal data) share one warm cache.
-Result<std::shared_ptr<CountingService>> AcquireRegistryService(
-    const Args& args, std::shared_ptr<const Table> table,
-    const CountingEngineOptions& options);
+  /// Session defaults carrying the per-invocation knobs.
+  api::SessionOptions ToSessionOptions() const;
+  /// Dataset options carrying the registry budget.
+  api::DatasetOptions ToDatasetOptions() const;
+};
+
+/// Parses the shared flag set. Parse errors and a negative
+/// `--service-budget` propagate; everything else is validated by the
+/// façade when the options are used.
+Result<ServiceFlags> ParseServiceFlags(const Args& args);
 
 /// Renders the registry's hit/miss/eviction and resident-bytes counters
 /// as one "registry:" summary line.

@@ -142,16 +142,15 @@ Status IncrementalLabel::AppendTable(const Table& delta) {
                  "\""));
     }
   }
-  // Remap per-attribute codes once (delta code -> our code).
+  // Remap delta codes to our codes, interning fresh values lazily —
+  // only values a delta row actually uses, in row-major first-seen
+  // order, exactly as a TableBuilder rebuild would assign them (a
+  // delta's dictionary may carry values its rows never use, e.g. after
+  // FilterRows; interning those would shift fresh ids vs. the rebuild).
   std::vector<std::vector<ValueId>> remap(static_cast<size_t>(width_));
   for (int a = 0; a < width_; ++a) {
-    const Dictionary& theirs = delta.dictionary(a);
-    auto& m = remap[static_cast<size_t>(a)];
-    m.resize(theirs.size());
-    for (ValueId v = 0; v < theirs.size(); ++v) {
-      m[v] = dictionaries_[static_cast<size_t>(a)].Intern(
-          theirs.GetString(v));
-    }
+    remap[static_cast<size_t>(a)].assign(delta.dictionary(a).size(),
+                                         kNullValue);  // = not yet mapped
   }
   std::vector<ValueId> codes(static_cast<size_t>(width_));
   std::vector<std::vector<ValueId>> notified;
@@ -161,8 +160,16 @@ Status IncrementalLabel::AppendTable(const Table& delta) {
   for (int64_t r = 0; r < delta.num_rows(); ++r) {
     for (int a = 0; a < width_; ++a) {
       const ValueId v = delta.value(r, a);
-      codes[static_cast<size_t>(a)] =
-          IsNull(v) ? kNullValue : remap[static_cast<size_t>(a)][v];
+      if (IsNull(v)) {
+        codes[static_cast<size_t>(a)] = kNullValue;
+        continue;
+      }
+      ValueId& mapped = remap[static_cast<size_t>(a)][v];
+      if (IsNull(mapped)) {
+        mapped = dictionaries_[static_cast<size_t>(a)].Intern(
+            delta.dictionary(a).GetString(v));
+      }
+      codes[static_cast<size_t>(a)] = mapped;
     }
     ApplyRow(codes);
     if (service_ != nullptr) notified.push_back(codes);

@@ -14,6 +14,13 @@
 // outgrow the size bound the label was searched under; drift() reports
 // that, plus how much the dataset has shifted, so callers know when to
 // re-run the optimal-label search rather than keep patching.
+//
+// This is a *low-level engine* for maintaining one label artifact. For
+// growing a dataset and re-searching it, prefer pcbl::api::Session
+// (api/session.h): it owns the append semantics of the whole stack —
+// dictionaries, VC, the full-pattern index P_A and the counting service
+// move in one critical section, so a post-append search stays
+// byte-exact against a from-scratch rebuild.
 #ifndef PCBL_CORE_INCREMENTAL_H_
 #define PCBL_CORE_INCREMENTAL_H_
 

@@ -18,15 +18,30 @@ Label Label::Build(const Table& table, AttrMask s,
 
 Label Label::BuildFromCounts(const Table& table, AttrMask s, GroupCounts pc,
                              std::shared_ptr<const ValueCounts> vc) {
+  std::vector<int64_t> domain_sizes(
+      static_cast<size_t>(table.num_attributes()));
+  for (int a = 0; a < table.num_attributes(); ++a) {
+    domain_sizes[static_cast<size_t>(a)] =
+        static_cast<int64_t>(table.DomainSize(a));
+  }
+  if (vc == nullptr) {
+    vc = std::make_shared<const ValueCounts>(ValueCounts::Compute(table));
+  }
+  return BuildFromCountsExtended(table, s, std::move(pc), std::move(vc),
+                                 table.num_rows(), domain_sizes);
+}
+
+Label Label::BuildFromCountsExtended(
+    const Table& table, AttrMask s, GroupCounts pc,
+    std::shared_ptr<const ValueCounts> vc, int64_t total_rows,
+    const std::vector<int64_t>& domain_sizes) {
   PCBL_DCHECK(pc.mask() == s);
+  PCBL_CHECK(vc != nullptr);
   Label l;
   l.attrs_ = s;
-  l.total_rows_ = table.num_rows();
+  l.total_rows_ = total_rows;
   l.pc_ = std::move(pc);
-  l.vc_ = vc != nullptr
-              ? std::move(vc)
-              : std::make_shared<const ValueCounts>(
-                    ValueCounts::Compute(table));
+  l.vc_ = std::move(vc);
 
   int n = table.num_attributes();
   l.inv_totals_.assign(static_cast<size_t>(n), 0.0);
@@ -50,7 +65,7 @@ Label Label::BuildFromCounts(const Table& table, AttrMask s, GroupCounts pc,
   int64_t m = 1;
   for (size_t j = attrs.size(); j-- > 0;) {
     l.radix_mult_[j] = m;
-    int64_t dom = static_cast<int64_t>(table.DomainSize(attrs[j])) + 1;
+    int64_t dom = domain_sizes[static_cast<size_t>(attrs[j])] + 1;
     if (m > std::numeric_limits<int64_t>::max() / dom) {
       l.encodable_ = false;
       break;
@@ -60,7 +75,8 @@ Label Label::BuildFromCounts(const Table& table, AttrMask s, GroupCounts pc,
   if (l.encodable_) {
     l.domain_sizes_.resize(attrs.size());
     for (size_t j = 0; j < attrs.size(); ++j) {
-      l.domain_sizes_[j] = table.DomainSize(attrs[j]);
+      l.domain_sizes_[j] = static_cast<ValueId>(
+          domain_sizes[static_cast<size_t>(attrs[j])]);
     }
     l.pc_codes_.reserve(static_cast<size_t>(l.pc_.num_groups()));
     for (int64_t g = 0; g < l.pc_.num_groups(); ++g) {

@@ -45,6 +45,20 @@ class Label {
                                std::shared_ptr<const ValueCounts> vc =
                                    nullptr);
 
+  /// BuildFromCounts for a dataset extended beyond `table` by appended
+  /// rows: `total_rows` is the extended |D| and `domain_sizes[a]` the
+  /// effective domain of every attribute (the counting engine's
+  /// EffectiveDomainSize — what a rebuilt extended table would report).
+  /// `pc` and `vc` must describe the extended data too; `vc` is
+  /// required, since it cannot be recomputed from the base table. The
+  /// resulting label is byte-identical to Build over the rebuilt
+  /// extended table — the append-aware search path of LabelSearch /
+  /// api::Session builds every candidate through this.
+  static Label BuildFromCountsExtended(
+      const Table& table, AttrMask s, GroupCounts pc,
+      std::shared_ptr<const ValueCounts> vc, int64_t total_rows,
+      const std::vector<int64_t>& domain_sizes);
+
   /// The attribute subset S.
   AttrMask attributes() const { return attrs_; }
 

@@ -36,7 +36,8 @@ LabelSearch::LabelSearch(const Table& table)
       vc_(std::make_shared<const ValueCounts>(ValueCounts::Compute(table))),
       patterns_(std::make_shared<const FullPatternIndex>(
           FullPatternIndex::Build(table))),
-      service_(std::make_shared<CountingService>(table)) {}
+      service_(std::make_shared<CountingService>(table)),
+      described_rows_(table.num_rows()) {}
 
 LabelSearch::LabelSearch(const Table& table,
                          std::shared_ptr<CountingService> service)
@@ -44,19 +45,52 @@ LabelSearch::LabelSearch(const Table& table,
       vc_(std::make_shared<const ValueCounts>(ValueCounts::Compute(table))),
       patterns_(std::make_shared<const FullPatternIndex>(
           FullPatternIndex::Build(table))),
-      service_(std::move(service)) {
+      service_(std::move(service)),
+      described_rows_(table.num_rows()) {
   PCBL_CHECK(service_ != nullptr);
 }
 
 LabelSearch::LabelSearch(const Table& table,
                          std::shared_ptr<const ValueCounts> vc,
-                         std::shared_ptr<const FullPatternIndex> patterns)
+                         std::shared_ptr<const FullPatternIndex> patterns,
+                         std::shared_ptr<CountingService> service)
     : table_(&table),
       vc_(std::move(vc)),
       patterns_(std::move(patterns)),
-      service_(std::make_shared<CountingService>(table)) {
+      service_(service != nullptr
+                   ? std::move(service)
+                   : std::make_shared<CountingService>(table)),
+      described_rows_(table.num_rows()) {
   PCBL_CHECK(vc_ != nullptr);
   PCBL_CHECK(patterns_ != nullptr);
+}
+
+void LabelSearch::SetExtendedState(
+    std::shared_ptr<const ValueCounts> vc,
+    std::shared_ptr<const FullPatternIndex> patterns,
+    int64_t described_rows) {
+  PCBL_CHECK(vc != nullptr);
+  PCBL_CHECK(patterns != nullptr);
+  PCBL_CHECK(described_rows >= table_->num_rows());
+  vc_ = std::move(vc);
+  patterns_ = std::move(patterns);
+  described_rows_ = described_rows;
+}
+
+void LabelSearch::CheckDescribedRows() const {
+  PCBL_CHECK(service_->engine().total_rows() == described_rows_)
+      << "VC / P_A describe " << described_rows_
+      << " rows but the counting service holds "
+      << service_->engine().total_rows()
+      << "; searching after appends requires extended VC / P_A "
+         "(SetExtendedState — api::Session maintains them incrementally) "
+         "or a LabelSearch rebuilt on the extended table";
+  // A user-supplied pattern set was computed over the base table; it has
+  // no incremental maintenance path (yet), so it cannot rank an
+  // extended-data search.
+  PCBL_CHECK(!extended() || eval_patterns_ == nullptr)
+      << "custom evaluation patterns describe the base table; they cannot "
+         "rank a search over appended data";
 }
 
 ErrorReport LabelSearch::Evaluate(const CardinalityEstimator& estimator,
@@ -71,7 +105,7 @@ SearchResult LabelSearch::Finish(const std::vector<AttrMask>& cands,
                                  const SearchOptions& options,
                                  SearchStats stats,
                                  double candidate_seconds,
-                                 const CountingEngine* engine) const {
+                                 CountingEngine* engine) const {
   Stopwatch eval_watch;
   SearchResult result;
 
@@ -81,12 +115,35 @@ SearchResult LabelSearch::Finish(const std::vector<AttrMask>& cands,
                        ? options.candidate_error_mode
                        : ErrorMode::kExact;
 
+  // Append-aware mode: the base table alone can no longer build a
+  // candidate label (Label::Build would miss the appended rows), so every
+  // candidate's PC set is materialized up front through the delta-aware
+  // engine — mutating calls, done before the read-only ranking loop —
+  // and labels carry the extended row count / effective domains.
+  std::vector<std::shared_ptr<const GroupCounts>> extended_pcs;
+  std::vector<int64_t> extended_domains;
+  if (extended()) {
+    PCBL_CHECK(engine != nullptr);
+    extended_pcs = engine->PatternCountsBatch(cands);
+    extended_domains.resize(static_cast<size_t>(table_->num_attributes()));
+    for (int a = 0; a < table_->num_attributes(); ++a) {
+      extended_domains[static_cast<size_t>(a)] =
+          engine->EffectiveDomainSize(a);
+    }
+  }
+
   // Every within-bound candidate was just counted by the generation
   // phase; with the engine on, its PC set is still memoized and the label
   // builds without touching the table again (CachedPatternCounts is a
   // const probe — safe under the ParallelFor). Evicted or uncached
   // candidates fall back to the direct recount.
-  auto build_label = [&](AttrMask s) {
+  auto build_label = [&](AttrMask s, const GroupCounts* extended_pc) {
+    if (extended()) {
+      PCBL_CHECK(extended_pc != nullptr);
+      return Label::BuildFromCountsExtended(*table_, s, *extended_pc, vc_,
+                                            described_rows_,
+                                            extended_domains);
+    }
     if (engine != nullptr) {
       std::shared_ptr<const GroupCounts> pc = engine->CachedPatternCounts(s);
       if (pc != nullptr) {
@@ -108,7 +165,10 @@ SearchResult LabelSearch::Finish(const std::vector<AttrMask>& cands,
   std::vector<Ranked> ranked(cands.size());
   ParallelFor(static_cast<int64_t>(cands.size()), options.num_threads,
               [&](int64_t i) {
-                Label label = build_label(cands[static_cast<size_t>(i)]);
+                const size_t s = static_cast<size_t>(i);
+                Label label = build_label(
+                    cands[s],
+                    extended_pcs.empty() ? nullptr : extended_pcs[s].get());
                 LabelEstimator estimator(std::move(label));
                 ErrorReport report = Evaluate(estimator, mode);
                 ranked[static_cast<size_t>(i)] =
@@ -150,7 +210,12 @@ SearchResult LabelSearch::Finish(const std::vector<AttrMask>& cands,
   }
 
   result.best_attrs = best_attrs;  // empty mask when no candidate fit
-  result.label = build_label(best_attrs);
+  // In append-aware mode the best mask's PC set is re-fetched through the
+  // engine (a cache hit when it survived the batch above; the empty
+  // no-candidate mask yields the trivial empty set).
+  std::shared_ptr<const GroupCounts> best_pc;
+  if (extended()) best_pc = engine->PatternCounts(best_attrs);
+  result.label = build_label(best_attrs, best_pc.get());
   stats.error_eval_seconds = eval_watch.ElapsedSeconds();
   stats.candidate_seconds = candidate_seconds;
   stats.total_seconds = candidate_seconds + stats.error_eval_seconds;
@@ -163,22 +228,24 @@ SearchResult LabelSearch::Finish(const std::vector<AttrMask>& cands,
 }
 
 SearchResult LabelSearch::Naive(const SearchOptions& options) const {
-  Stopwatch watch;
-  SearchStats stats;
-  std::vector<AttrMask> cands;
-  const int n = table_->num_attributes();
   // The dataset's shared engine: candidates sized by an earlier search
   // over this table are answered from the warm cache instead of a scan.
   // The lock serializes whole searches; the ranking ParallelFor's cache
   // probes are const and run under this same lock.
   std::lock_guard<std::mutex> lock(service_->mutex());
-  // This LabelSearch's VC / P_A / error scans describe the base table;
-  // once rows were appended through the service the engine counts the
-  // extended data and mixing the two would certify an inconsistent
-  // label. Rebuild the LabelSearch on the extended table instead.
-  PCBL_CHECK(service_->engine().num_appended_rows() == 0)
-      << "searching after appends requires a LabelSearch rebuilt on the "
-         "extended table";
+  return NaiveLocked(options);
+}
+
+SearchResult LabelSearch::NaiveLocked(const SearchOptions& options) const {
+  Stopwatch watch;
+  SearchStats stats;
+  std::vector<AttrMask> cands;
+  const int n = table_->num_attributes();
+  // VC / P_A / the error scans must describe exactly the data the engine
+  // counts; after appends that means the extended state maintained by
+  // api::Session (SetExtendedState) — mixing base-table artifacts with
+  // an extended engine would certify an inconsistent label.
+  CheckDescribedRows();
   service_->Configure(EngineOptions(options));
   CountingEngine& engine = service_->engine();
 
@@ -227,13 +294,15 @@ SearchResult LabelSearch::Naive(const SearchOptions& options) const {
 }
 
 SearchResult LabelSearch::TopDown(const SearchOptions& options) const {
+  std::lock_guard<std::mutex> lock(service_->mutex());
+  return TopDownLocked(options);
+}
+
+SearchResult LabelSearch::TopDownLocked(const SearchOptions& options) const {
   Stopwatch watch;
   SearchStats stats;
   const int n = table_->num_attributes();
-  std::lock_guard<std::mutex> lock(service_->mutex());
-  PCBL_CHECK(service_->engine().num_appended_rows() == 0)
-      << "searching after appends requires a LabelSearch rebuilt on the "
-         "extended table";
+  CheckDescribedRows();
   service_->Configure(EngineOptions(options));
   CountingEngine& engine = service_->engine();
 

@@ -132,6 +132,12 @@ struct SearchResult {
 /// this way) — the service keeps candidate PC sets warm across searches,
 /// so a repeated or refined query sizes its candidates from the cache
 /// instead of rescanning the table.
+///
+/// This is the *low-level engine* behind the public API: pcbl::api's
+/// Dataset/Session (api/session.h) wire the registry-shared service,
+/// the async executor, central option validation, and the append-aware
+/// VC / P_A maintenance for you — prefer them in new code and reach for
+/// LabelSearch directly only when you need this exact control surface.
 class LabelSearch {
  public:
   /// Builds VC and P_A eagerly (one scan + one sort).
@@ -144,10 +150,28 @@ class LabelSearch {
   /// fingerprints imply interchangeable code spaces).
   LabelSearch(const Table& table, std::shared_ptr<CountingService> service);
 
-  /// Reuses precomputed VC / P_A (they must describe `table`).
+  /// Reuses precomputed VC / P_A (they must describe `table`). When
+  /// `service` is supplied it is adopted as-is (the registry-shared
+  /// form); otherwise a private service is built over `table`.
   LabelSearch(const Table& table,
               std::shared_ptr<const ValueCounts> vc,
-              std::shared_ptr<const FullPatternIndex> patterns);
+              std::shared_ptr<const FullPatternIndex> patterns,
+              std::shared_ptr<CountingService> service = nullptr);
+
+  /// Append-aware mode: replaces VC / P_A with instances maintained over
+  /// the service's *extended* dataset (base table + rows appended
+  /// through the service hook) and records the row count they describe.
+  /// Searches then run against the extended data instead of refusing:
+  /// Naive/TopDown check that the engine holds exactly `described_rows`
+  /// rows, and the ranking phase materializes every candidate PC set
+  /// through the delta-aware engine instead of rescanning the base
+  /// table, so the certified label is byte-identical to a from-scratch
+  /// search over the rebuilt extended table (asserted by the API
+  /// conformance suite). api::Session maintains this state
+  /// incrementally — prefer it over calling this directly.
+  void SetExtendedState(std::shared_ptr<const ValueCounts> vc,
+                        std::shared_ptr<const FullPatternIndex> patterns,
+                        int64_t described_rows);
 
   /// The dataset-scoped counting service the searches size through.
   /// Share it (SetCountingService) to keep one warm cache across several
@@ -176,6 +200,15 @@ class LabelSearch {
   /// Algorithm 1, the optimized top-down heuristic.
   SearchResult TopDown(const SearchOptions& options) const;
 
+  /// Low-level variants that assume the caller already holds
+  /// service->mutex() for the whole search — api::Session's query
+  /// executor does, so the engine state it validated against its VC /
+  /// P_A snapshot cannot shift between validation and the search.
+  /// Everything else is identical to Naive/TopDown (which are
+  /// lock-then-delegate wrappers).
+  SearchResult NaiveLocked(const SearchOptions& options) const;
+  SearchResult TopDownLocked(const SearchOptions& options) const;
+
   const Table& table() const { return *table_; }
   const ValueCounts& value_counts() const { return *vc_; }
   const FullPatternIndex& full_patterns() const { return *patterns_; }
@@ -183,11 +216,20 @@ class LabelSearch {
  private:
   // Ranks `cands` by (exactness-ordered) max error and assembles the
   // SearchResult; shared tail of both algorithms. `engine` (may be null)
-  // supplies memoized PC sets so candidate labels skip the recount.
+  // supplies memoized PC sets so candidate labels skip the recount; in
+  // append-aware mode (described_rows_ beyond the base table) it
+  // additionally materializes every candidate against the extended data.
   SearchResult Finish(const std::vector<AttrMask>& cands,
                       const SearchOptions& options, SearchStats stats,
                       double candidate_seconds,
-                      const CountingEngine* engine) const;
+                      CountingEngine* engine) const;
+
+  // Entry checks shared by NaiveLocked/TopDownLocked: the engine must
+  // hold exactly the rows vc_/patterns_ describe.
+  void CheckDescribedRows() const;
+
+  // True when vc_/patterns_ describe data beyond the base table.
+  bool extended() const { return described_rows_ != table_->num_rows(); }
 
   // Evaluates one estimator against the active pattern set (P_A or the
   // user-supplied one).
@@ -199,6 +241,8 @@ class LabelSearch {
   std::shared_ptr<const FullPatternIndex> patterns_;
   std::shared_ptr<const PatternSet> eval_patterns_;  // optional
   std::shared_ptr<CountingService> service_;
+  // Rows vc_/patterns_ describe: the base table's until SetExtendedState.
+  int64_t described_rows_ = 0;
 };
 
 }  // namespace pcbl

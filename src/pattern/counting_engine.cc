@@ -812,6 +812,56 @@ std::shared_ptr<const GroupCounts> CountingEngine::PatternCounts(
   return sizing.counts;
 }
 
+std::vector<std::shared_ptr<const GroupCounts>>
+CountingEngine::PatternCountsBatch(const std::vector<AttrMask>& masks) {
+  std::vector<std::shared_ptr<const GroupCounts>> out(masks.size());
+  if (!options_.enabled) {
+    for (size_t i = 0; i < masks.size(); ++i) {
+      out[i] = PatternCounts(masks[i]);
+    }
+    return out;
+  }
+  // Same discipline as CountPatternsBatch: serial plans, parallel
+  // execution, serial input-order commits.
+  std::vector<Plan> plans(masks.size());
+  for (size_t i = 0; i < masks.size(); ++i) plans[i] = MakePlan(masks[i]);
+  std::vector<Sizing> outcomes(masks.size());
+  ParallelFor(static_cast<int64_t>(masks.size()), options_.num_threads,
+              [&](int64_t i) {
+                const size_t s = static_cast<size_t>(i);
+                outcomes[s] =
+                    ExecutePlan(masks[s], plans[s], /*budget=*/-1);
+              });
+  for (size_t i = 0; i < masks.size(); ++i) {
+    if (outcomes[i].path != Path::kHit &&
+        cache_.contains(masks[i].bits())) {
+      outcomes[i].path = Path::kHit;  // a duplicate already committed
+    }
+    Commit(masks[i], outcomes[i]);
+    PCBL_CHECK(outcomes[i].counts != nullptr);
+    out[i] = outcomes[i].counts;
+  }
+  return out;
+}
+
+void CountingEngine::CopyAppendedRow(int64_t i, ValueId* out) const {
+  PCBL_DCHECK(i >= 0 && i < num_appended_rows());
+  const int n = table_->num_attributes();
+  const int64_t global = table_->num_rows() + i;
+  if (base_rows_ >= 0 && global < base_rows_) {
+    // Compacted into the engine-owned columnar base.
+    for (int a = 0; a < n; ++a) {
+      out[a] = base_cols_[static_cast<size_t>(a)]
+                         [static_cast<size_t>(global)];
+    }
+    return;
+  }
+  const int64_t d = global - base_rows();  // index into the delta block
+  for (int a = 0; a < n; ++a) {
+    out[a] = delta_rows_[static_cast<size_t>(d * n + a)];
+  }
+}
+
 std::shared_ptr<const GroupCounts> CountingEngine::PinnedPatternCounts(
     AttrMask mask) {
   if (!options_.enabled) return PatternCounts(mask);

@@ -148,6 +148,17 @@ class CountingEngine {
   /// Served from the cache when possible; inserted into it otherwise.
   std::shared_ptr<const GroupCounts> PatternCounts(AttrMask mask);
 
+  /// PatternCounts over a batch: element i is the PC set of masks[i],
+  /// planned serially against the cache, executed in parallel over
+  /// options.num_threads, and committed serially in input order (cache
+  /// contents and stats are identical for any thread count, like
+  /// CountPatternsBatch). The append-aware ranking phase of LabelSearch
+  /// materializes every candidate through this — with appended rows the
+  /// one-shot counters are out of play, so each returned set reflects
+  /// base + delta exactly.
+  std::vector<std::shared_ptr<const GroupCounts>> PatternCountsBatch(
+      const std::vector<AttrMask>& masks);
+
   /// PatternCounts, but the entry is *pinned*: exempt from eviction and
   /// from the cache budget. Use to prime a rollup ancestor (e.g. the
   /// full attribute set) ahead of a subset sweep that would otherwise
@@ -207,6 +218,19 @@ class CountingEngine {
     return n == 0 ? 0
                   : static_cast<int64_t>(delta_rows_.size()) / n;
   }
+
+  /// Effective domain size of `attr`: the base table's, grown by fresh
+  /// codes interned through appended rows — the domains every codec (and
+  /// a rebuilt extended table) would use. Equals Table::DomainSize until
+  /// the first append.
+  int64_t EffectiveDomainSize(int attr) const { return DomSizeOf(attr); }
+
+  /// Copies appended row `i` (0-based over the num_appended_rows() rows,
+  /// in append order) into `out[0 .. num_attributes)`. Valid before and
+  /// after compaction — this is how a consumer that missed the append
+  /// notifications (e.g. a sibling api::Session over the same shared
+  /// service) catches its VC / P_A maintenance up to the engine's data.
+  void CopyAppendedRow(int64_t i, ValueId* out) const;
 
   /// Resident cache bytes (keys + counts + per-entry overhead, pinned
   /// included). Safe to read without external serialization — this is

@@ -14,12 +14,17 @@ constexpr int64_t kMaxPatchWork = int64_t{1} << 22;
 
 void CountingService::AppendRow(const std::vector<ValueId>& codes) {
   std::lock_guard<std::mutex> lock(mu_);
-  engine_.ApplyAppend({codes});
+  AppendRowLocked(codes);
 }
 
 void CountingService::AppendRows(
     const std::vector<std::vector<ValueId>>& rows) {
   std::lock_guard<std::mutex> lock(mu_);
+  AppendRowsLocked(rows);
+}
+
+void CountingService::AppendRowsLocked(
+    const std::vector<std::vector<ValueId>>& rows) {
   const int64_t cached = engine_.stats().cached_groups;
   const int64_t work = static_cast<int64_t>(rows.size()) * cached;
   if (work > kMaxPatchWork) {

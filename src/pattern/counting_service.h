@@ -84,6 +84,16 @@ class CountingService {
   /// patching, and both arms are exact.
   void AppendRows(const std::vector<std::vector<ValueId>>& rows);
 
+  /// The append hooks for callers that already hold mutex() — e.g. an
+  /// api::Session, whose append must mutate the engine *and* its own
+  /// VC / P_A maintenance state under one critical section so a
+  /// concurrent search never observes half an append. Same
+  /// invalidate-or-patch semantics as the self-locking forms.
+  void AppendRowLocked(const std::vector<ValueId>& codes) {
+    engine_.ApplyAppend({codes});
+  }
+  void AppendRowsLocked(const std::vector<std::vector<ValueId>>& rows);
+
   /// Drops every cached entry; appended rows (data) survive. Self-locks
   /// like the append hooks (Configure, by contrast, runs under the
   /// caller's search lock).

@@ -77,6 +77,78 @@ FullPatternIndex FullPatternIndex::Build(const Table& table) {
   return idx;
 }
 
+void FullPatternIndex::ApplyAppend(
+    const std::vector<std::vector<ValueId>>& rows) {
+  const size_t width = static_cast<size_t>(width_);
+  // NULL-free appended rows, flat row-major (NULL rows are skipped like
+  // in Build).
+  std::vector<ValueId> fresh;
+  for (const auto& row : rows) {
+    PCBL_CHECK(row.size() == width);
+    bool ok = true;
+    for (ValueId v : row) {
+      if (IsNull(v)) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) {
+      ++rows_skipped_;
+      continue;
+    }
+    fresh.insert(fresh.end(), row.begin(), row.end());
+    ++rows_indexed_;
+  }
+  if (width == 0 || fresh.empty()) return;
+
+  // Merge the existing groups with the fresh rows: lex-sort all (key,
+  // count) pairs, sum equal keys, then restore Build's canonical order —
+  // a stable count-descending sort over the lex order.
+  struct Entry {
+    const ValueId* key;
+    int64_t count;
+  };
+  const size_t fresh_rows = fresh.size() / width;
+  std::vector<Entry> entries;
+  entries.reserve(counts_.size() + fresh_rows);
+  for (int64_t g = 0; g < num_patterns(); ++g) {
+    entries.push_back(Entry{codes(g), counts_[static_cast<size_t>(g)]});
+  }
+  for (size_t r = 0; r < fresh_rows; ++r) {
+    entries.push_back(Entry{fresh.data() + r * width, 1});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [width](const Entry& a, const Entry& b) {
+              return std::lexicographical_compare(a.key, a.key + width,
+                                                  b.key, b.key + width);
+            });
+  std::vector<Entry> merged;
+  merged.reserve(entries.size());
+  for (const Entry& e : entries) {
+    if (!merged.empty() &&
+        std::equal(merged.back().key, merged.back().key + width, e.key)) {
+      merged.back().count += e.count;
+    } else {
+      merged.push_back(e);
+    }
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const Entry& a, const Entry& b) {
+                     return a.count > b.count;
+                   });
+
+  std::vector<ValueId> codes;
+  std::vector<int64_t> counts;
+  codes.reserve(merged.size() * width);
+  counts.reserve(merged.size());
+  for (const Entry& e : merged) {
+    codes.insert(codes.end(), e.key, e.key + width);
+    counts.push_back(e.count);
+  }
+  codes_ = std::move(codes);
+  counts_ = std::move(counts);
+}
+
 Pattern FullPatternIndex::ToPattern(int64_t i) const {
   PCBL_CHECK(i >= 0 && i < num_patterns());
   std::vector<PatternTerm> terms;

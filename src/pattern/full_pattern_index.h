@@ -25,6 +25,15 @@ class FullPatternIndex {
   /// Builds the index with one scan + sort.
   static FullPatternIndex Build(const Table& table);
 
+  /// Extends the index by appended rows (row-major codes over the full
+  /// schema, kNullValue = missing; rows with a NULL produce no full
+  /// pattern, exactly as in Build). The result is byte-identical to
+  /// Build over the table extended by `rows` — the canonical order
+  /// (count descending, ties by lexicographic key) is restored with one
+  /// merge + sort over the group set, no table rescan. This is the P_A
+  /// maintenance arm of the append-aware search path (api/session.h).
+  void ApplyAppend(const std::vector<std::vector<ValueId>>& rows);
+
   /// Number of distinct full patterns |P_A|.
   int64_t num_patterns() const {
     return static_cast<int64_t>(counts_.size());

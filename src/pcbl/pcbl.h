@@ -1,24 +1,46 @@
 // Umbrella header for the pcbl library — Patterns Count-Based Labels for
 // Datasets (Moskovitch & Jagadish, ICDE 2021).
 //
-// Typical usage:
+// The blessed entry point is the handle-based API in pcbl::api — a
+// Dataset (immutable handle: one Table plus its registry-shared counting
+// service) queried and grown through a Session:
 //
 //   #include "pcbl/pcbl.h"
 //
-//   pcbl::Result<pcbl::Table> table = pcbl::ReadCsvFile("data.csv");
-//   pcbl::LabelSearch search(*table);
-//   pcbl::SearchOptions options;
-//   options.size_bound = 100;
-//   pcbl::SearchResult result = search.TopDown(options);
+//   auto dataset = pcbl::api::Dataset::FromCsvFile("data.csv");
+//   auto session = pcbl::api::Session::Open(*dataset);
+//   pcbl::api::QueryFuture future = *(*session)->Submit(
+//       pcbl::api::QuerySpec::LabelSearch(/*size_bound=*/100));
+//   const pcbl::api::QueryResult& result = future.Get();
 //
-//   pcbl::PortableLabel portable =
-//       pcbl::MakePortable(result.label, *table, "my-dataset");
-//   std::cout << pcbl::RenderNutritionLabel(portable, &result.error);
+//   pcbl::PortableLabel portable = pcbl::MakePortable(
+//       result.search.label, dataset->table(), "my-dataset");
+//   std::cout << pcbl::RenderNutritionLabel(portable,
+//                                           &result.search.error);
+//
+// Sessions accept appends (Session::Append / AppendRow) and keep every
+// search exact against the grown data; label-only consumers use
+// api/artifact.h (estimate / audit / diff from a saved label alone).
+//
+// Migrating from the old LabelSearch-first usage: `pcbl::LabelSearch
+// search(table); search.TopDown(options)` still works and is kept public
+// as the low-level engine, but it builds VC / P_A eagerly per instance,
+// refuses to run after appends unless you maintain the extended state
+// yourself (LabelSearch::SetExtendedState), and only shares the warm
+// counting cache when you wire ServiceRegistry::Acquire by hand —
+// exactly the plumbing Dataset/Session does for you. New code should
+// construct a Dataset and Submit QuerySpecs; IncrementalLabel likewise
+// remains public for label-artifact maintenance, while Session owns
+// dataset growth.
 //
 // See README.md for the guided tour and DESIGN.md for the architecture.
 #ifndef PCBL_PCBL_H_
 #define PCBL_PCBL_H_
 
+#include "api/artifact.h"             // IWYU pragma: export
+#include "api/dataset.h"              // IWYU pragma: export
+#include "api/query.h"                // IWYU pragma: export
+#include "api/session.h"              // IWYU pragma: export
 #include "baselines/cm_sketch.h"      // IWYU pragma: export
 #include "baselines/independence.h"   // IWYU pragma: export
 #include "baselines/pairwise_histogram.h"  // IWYU pragma: export

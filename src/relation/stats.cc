@@ -30,6 +30,17 @@ ValueCounts ValueCounts::Compute(const Table& table) {
   return vc;
 }
 
+void ValueCounts::ApplyRow(const ValueId* codes, int num_attributes) {
+  for (int a = 0; a < num_attributes; ++a) {
+    const ValueId v = codes[a];
+    if (IsNull(v)) continue;
+    auto& counts = counts_[static_cast<size_t>(a)];
+    if (v >= counts.size()) counts.resize(v + 1, 0);
+    if (++counts[v] == 1) ++distinct_[static_cast<size_t>(a)];
+    ++totals_[static_cast<size_t>(a)];
+  }
+}
+
 int64_t ValueCounts::TotalEntries() const {
   int64_t total = 0;
   for (const auto& c : counts_) {

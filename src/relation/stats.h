@@ -21,6 +21,13 @@ class ValueCounts {
   /// Scans the table once and tallies every value of every attribute.
   static ValueCounts Compute(const Table& table);
 
+  /// Applies one appended row (`codes[a]` for every attribute,
+  /// kNullValue = missing; fresh values use ids extending the base code
+  /// space). After applying every appended row this instance answers
+  /// exactly like Compute over the extended table — the maintenance arm
+  /// of the append-aware search path (see api/session.h).
+  void ApplyRow(const ValueId* codes, int num_attributes);
+
   /// Count of tuples with value `v` in attribute `attr` (0 for kNullValue).
   int64_t Count(int attr, ValueId v) const {
     if (IsNull(v)) return 0;
