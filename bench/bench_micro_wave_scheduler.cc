@@ -1,0 +1,161 @@
+// Micro-benchmark for the cross-query wave scheduler: N concurrent
+// identical searches over one shared CountingService, scheduled (merged
+// in-flight sizing waves) vs serialized (whole searches queue on the
+// service mutex — the pre-PR-5 discipline, still available as the
+// differential reference arm).
+//
+// The headline pair runs in the *constrained-cache* regime
+// (cache_budget = 0, memoization off): there the warm cache cannot help
+// a second search at all, so the serialized baseline pays the full
+// sizing scans once per search while the scheduler's merged waves dedup
+// them across all in-flight queries — the acceptance criterion is >= 2x
+// aggregate throughput for 4 concurrent identical searches, and the
+// saving is pure work elimination, visible even on a single core. The
+// default-budget pair shows the steady-state regime (one cold set of
+// scans either way; the scheduler's extra win there is ranking overlap,
+// which needs spare cores). Solo search pairs bound the scheduler's
+// overhead: with one admitted query the admission window is skipped
+// entirely.
+//
+// Byte-identity of the two disciplines is not asserted here — that is
+// the differential harness' job (wave_scheduler_test.cc).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "api/dataset.h"
+#include "api/query.h"
+#include "api/session.h"
+#include "util/logging.h"
+#include "workload/datasets.h"
+
+namespace pcbl {
+namespace {
+
+constexpr int64_t kBound = 60;
+constexpr int kConcurrent = 4;
+
+const Table& CompasTable() {
+  static const Table* table = [] {
+    auto t = workload::MakeCompas(8000, 17);
+    PCBL_CHECK(t.ok());
+    return new Table(std::move(t).value());
+  }();
+  return *table;
+}
+
+api::Dataset PrivateDataset(const Table& table) {
+  api::DatasetOptions options;
+  options.private_service = true;
+  auto dataset = api::Dataset::FromTable(table, options);
+  PCBL_CHECK(dataset.ok());
+  return *dataset;
+}
+
+api::SessionOptions MakeOptions(bool scheduler_on, int64_t cache_budget) {
+  api::SessionOptions options;
+  options.num_threads = 1;
+  options.use_wave_scheduler = scheduler_on;
+  options.counting_cache_budget = cache_budget;
+  return options;
+}
+
+// One iteration: a cold shared service, kConcurrent sessions each
+// running the same search concurrently, joined. Reports the engine's
+// full-scan count and the masks the scheduler deduped away.
+void RunConcurrentSearches(benchmark::State& state, bool scheduler_on,
+                           int64_t cache_budget) {
+  int64_t full_scans = 0;
+  int64_t saved_masks = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    api::Dataset dataset = PrivateDataset(CompasTable());
+    std::vector<std::unique_ptr<api::Session>> sessions;
+    for (int i = 0; i < kConcurrent; ++i) {
+      auto session = api::Session::Open(
+          dataset, MakeOptions(scheduler_on, cache_budget));
+      PCBL_CHECK(session.ok());
+      sessions.push_back(std::move(*session));
+    }
+    state.ResumeTiming();
+    std::vector<std::thread> threads;
+    threads.reserve(sessions.size());
+    for (auto& session : sessions) {
+      threads.emplace_back([&session] {
+        api::QueryResult r =
+            session->Run(api::QuerySpec::LabelSearch(kBound));
+        PCBL_CHECK(r.status.ok()) << r.status;
+        benchmark::DoNotOptimize(r.search.label.size());
+      });
+    }
+    for (auto& t : threads) t.join();
+    state.PauseTiming();
+    full_scans = dataset.service()->StatsSnapshot().full_scans;
+    const WaveSchedulerStats waves = dataset.service()->wave_stats();
+    saved_masks = waves.request_masks - waves.executed_masks;
+    sessions.clear();
+    state.ResumeTiming();
+  }
+  state.counters["full_scans"] = static_cast<double>(full_scans);
+  state.counters["saved_masks"] = static_cast<double>(saved_masks);
+  state.counters["searches_per_iter"] = kConcurrent;
+}
+
+// The acceptance pair: constrained cache (no memoization), where only
+// in-flight merging can eliminate scans. scheduled >= 2x serialized.
+void BM_FourSearchesSerializedNoCache(benchmark::State& state) {
+  RunConcurrentSearches(state, /*scheduler_on=*/false, /*cache_budget=*/0);
+}
+BENCHMARK(BM_FourSearchesSerializedNoCache)->Unit(benchmark::kMillisecond);
+
+void BM_FourSearchesScheduledNoCache(benchmark::State& state) {
+  RunConcurrentSearches(state, /*scheduler_on=*/true, /*cache_budget=*/0);
+}
+BENCHMARK(BM_FourSearchesScheduledNoCache)->Unit(benchmark::kMillisecond);
+
+// Steady-state regime: default memoization budget. Both disciplines do
+// ~one cold set of scans; the scheduler additionally overlaps the
+// per-query ranking phases (a wall-clock win wherever cores are spare).
+void BM_FourSearchesSerializedWarm(benchmark::State& state) {
+  RunConcurrentSearches(state, /*scheduler_on=*/false, /*cache_budget=*/-1);
+}
+BENCHMARK(BM_FourSearchesSerializedWarm)->Unit(benchmark::kMillisecond);
+
+void BM_FourSearchesScheduledWarm(benchmark::State& state) {
+  RunConcurrentSearches(state, /*scheduler_on=*/true, /*cache_budget=*/-1);
+}
+BENCHMARK(BM_FourSearchesScheduledWarm)->Unit(benchmark::kMillisecond);
+
+// Solo overhead bound: one admitted query skips the admission window,
+// so the scheduled path must track the serialized one.
+void RunSoloSearch(benchmark::State& state, bool scheduler_on) {
+  api::Dataset dataset = PrivateDataset(CompasTable());
+  auto session =
+      api::Session::Open(dataset, MakeOptions(scheduler_on, -1));
+  PCBL_CHECK(session.ok());
+  PCBL_CHECK(
+      (*session)->Run(api::QuerySpec::LabelSearch(kBound)).status.ok());
+  for (auto _ : state) {
+    api::QueryResult r =
+        (*session)->Run(api::QuerySpec::LabelSearch(kBound));
+    PCBL_CHECK(r.status.ok());
+    benchmark::DoNotOptimize(r.search.label.size());
+  }
+}
+
+void BM_SoloSearchSerialized(benchmark::State& state) {
+  RunSoloSearch(state, /*scheduler_on=*/false);
+}
+BENCHMARK(BM_SoloSearchSerialized)->Unit(benchmark::kMillisecond);
+
+void BM_SoloSearchScheduled(benchmark::State& state) {
+  RunSoloSearch(state, /*scheduler_on=*/true);
+}
+BENCHMARK(BM_SoloSearchScheduled)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace pcbl
+
+BENCHMARK_MAIN();

@@ -67,6 +67,10 @@ struct QuerySpec {
   std::optional<int> num_threads;
   std::optional<bool> use_counting_engine;
   std::optional<int64_t> counting_cache_budget;
+  /// Ride the service's wave scheduler (concurrent queries merge their
+  /// in-flight sizing batches) vs. the serialized whole-search lock.
+  /// Byte-identical results either way; see docs/CONCURRENCY.md.
+  std::optional<bool> use_wave_scheduler;
 
   /// Convenience factories for the common shapes.
   static QuerySpec LabelSearch(int64_t size_bound,

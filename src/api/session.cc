@@ -1,15 +1,57 @@
 #include "api/session.h"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
 
 #include "core/pattern_set.h"
 #include "core/search.h"
+#include "pattern/service_registry.h"
 #include "util/logging.h"
 #include "util/str.h"
 
 namespace pcbl {
 namespace api {
+
+namespace {
+
+// The retryable refusal for a query whose shared service lost the race
+// with registry eviction; every refusal is logged in the registry stats.
+Status EvictedServiceStatus() {
+  ServiceRegistry::Global().NoteEvictedRejection();
+  return UnavailableError(
+      "this dataset's shared counting service was evicted from the "
+      "process-wide registry; re-open the Dataset (a fresh shared "
+      "service is acquired) and retry the query");
+}
+
+// Holds one query's admission for its whole execution: a shared gate
+// admission (scheduled) or the whole-query service lock (serialized).
+struct QueryAdmissionGuard {
+  std::optional<CountingService::QueryAdmission> admission;
+  std::unique_lock<std::mutex> lock;
+};
+
+// The one admission protocol of every query kind. Serialized queries
+// that want the engine configured up front pass `config` (the
+// scheduled path carries its config per wave instead). After admission
+// the evicted flag is re-checked: an eviction that raced the fast path
+// in Session::Execute either drained this query (it was admitted
+// first) or is visible here — the registry marks before it quiesces.
+Status AdmitQuery(CountingService& service, bool scheduled,
+                  const CountingEngineOptions* config,
+                  QueryAdmissionGuard* guard) {
+  if (scheduled) {
+    guard->admission.emplace(service);
+  } else {
+    guard->lock = std::unique_lock<std::mutex>(service.mutex());
+    if (config != nullptr) service.Configure(*config);
+  }
+  if (service.evicted()) return EvictedServiceStatus();
+  return Status::Ok();
+}
+
+}  // namespace
 
 Result<std::unique_ptr<Session>> Session::Open(Dataset dataset,
                                                SessionOptions options) {
@@ -72,6 +114,7 @@ SearchOptions Session::ToSearchOptions(const QuerySpec& spec) const {
   options.metric = spec.metric;
   options.time_limit_seconds = spec.time_limit_seconds;
   options.record_candidates = spec.record_candidates;
+  options.use_wave_scheduler = UseScheduler(spec);
   options.num_threads = spec.num_threads.value_or(options_.num_threads);
   options.use_counting_engine =
       spec.use_counting_engine.value_or(options_.use_counting_engine);
@@ -114,6 +157,19 @@ QueryResult Session::Run(const QuerySpec& spec) {
 }
 
 QueryResult Session::Execute(const QuerySpec& spec) {
+  // A service the registry evicted (memory pressure or Clear) still
+  // computes exactly for existing holders, but it is detached: no other
+  // consumer can find it, so its cache warms nobody and nobody warms it.
+  // Refuse retryably instead of silently degrading — re-opening the
+  // Dataset acquires a fresh, findable shared service. This is the
+  // cheap pre-admission fast path; the admitted bodies re-check, since
+  // a Clear may mark-and-quiesce between this probe and the admission.
+  if (dataset_.service()->evicted()) {
+    QueryResult result;
+    result.kind = spec.kind;
+    result.status = EvictedServiceStatus();
+    return result;
+  }
   switch (spec.kind) {
     case QuerySpec::Kind::kLabelSearch:
       return ExecuteSearch(spec);
@@ -128,14 +184,30 @@ QueryResult Session::Execute(const QuerySpec& spec) {
 }
 
 QueryResult Session::ExecuteSearch(const QuerySpec& spec) {
+  CountingService& service = *dataset_.service();
+  const bool scheduled = UseScheduler(spec);
+  // Scheduled: a shared admission pins the engine's data (appends are
+  // excluded) for the whole query while sizing waves merge with
+  // concurrent queries'. Serialized: the whole query runs under the
+  // service lock. The search configures the engine itself, so no
+  // up-front config is passed.
+  QueryAdmissionGuard guard;
+  Status admitted =
+      AdmitQuery(service, scheduled, /*config=*/nullptr, &guard);
+  if (!admitted.ok()) {
+    QueryResult result;
+    result.kind = spec.kind;
+    result.status = admitted;
+    return result;
+  }
+  return ExecuteSearchAdmitted(spec, scheduled);
+}
+
+QueryResult Session::ExecuteSearchAdmitted(const QuerySpec& spec,
+                                           bool scheduled) {
   QueryResult result;
   result.kind = spec.kind;
   CountingService& service = *dataset_.service();
-  // The whole query runs under the service lock: the engine state is
-  // pinned to the VC / P_A snapshot validated below, and concurrent
-  // sessions' queries serialize into shared sizing waves over one warm
-  // cache.
-  std::lock_guard<std::mutex> lock(service.mutex());
   const int64_t total = service.engine().total_rows();
   result.total_rows = total;
   const bool extended = total != dataset_.table().num_rows();
@@ -145,18 +217,21 @@ QueryResult Session::ExecuteSearch(const QuerySpec& spec) {
         "maintenance path; a focus search cannot run after appends");
     return result;
   }
-  EnsureVcLocked();
-  EnsureFpiLocked();
-  LabelSearch search(dataset_.table(), vc_, fpi_, dataset_.service());
-  if (extended) search.SetExtendedState(vc_, fpi_, total);
+  std::shared_ptr<const ValueCounts> vc = SyncedVc();
+  std::shared_ptr<const FullPatternIndex> fpi = SyncedFpi();
+  LabelSearch search(dataset_.table(), vc, fpi, dataset_.service());
+  if (extended) search.SetExtendedState(vc, fpi, total);
   if (!spec.focus.empty()) {
     search.SetEvaluationPatterns(std::make_shared<const PatternSet>(
         PatternSet::OverAttributes(dataset_.table(), spec.focus)));
   }
   const SearchOptions options = ToSearchOptions(spec);
-  result.search = spec.algorithm == QuerySpec::Algorithm::kNaive
-                      ? search.NaiveLocked(options)
-                      : search.TopDownLocked(options);
+  const bool naive = spec.algorithm == QuerySpec::Algorithm::kNaive;
+  result.search =
+      scheduled ? (naive ? search.NaiveScheduled(options)
+                         : search.TopDownScheduled(options))
+                : (naive ? search.NaiveLocked(options)
+                         : search.TopDownLocked(options));
   return result;
 }
 
@@ -174,10 +249,25 @@ QueryResult Session::ExecuteTrueCount(const QuerySpec& spec) {
     result.estimate = *estimate;
   }
   CountingService& service = *dataset_.service();
-  std::lock_guard<std::mutex> lock(service.mutex());
-  CountingEngine& engine = service.engine();
-  service.Configure(ToEngineOptions(spec));
-  result.total_rows = engine.total_rows();
+  const bool scheduled = UseScheduler(spec);
+  const CountingEngineOptions config = ToEngineOptions(spec);
+  QueryAdmissionGuard guard;
+  Status admitted = AdmitQuery(service, scheduled, &config, &guard);
+  if (!admitted.ok()) {
+    result.status = admitted;
+    return result;
+  }
+  QueryResult counted = ExecuteTrueCountAdmitted(spec, scheduled);
+  counted.estimate = result.estimate;  // computed service-free above
+  return counted;
+}
+
+QueryResult Session::ExecuteTrueCountAdmitted(const QuerySpec& spec,
+                                              bool scheduled) {
+  QueryResult result;
+  result.kind = spec.kind;
+  CountingService& service = *dataset_.service();
+  result.total_rows = service.engine().total_rows();
   Result<std::vector<std::pair<int, ValueId>>> terms =
       ResolvePatternLocked(spec.pattern);
   if (!terms.ok()) {
@@ -189,7 +279,10 @@ QueryResult Session::ExecuteTrueCount(const QuerySpec& spec) {
     // engine answers it from a warm PC set or one (delta-aware) scan.
     AttrMask mask;
     for (const auto& [attr, value] : *terms) mask.Set(attr);
-    std::shared_ptr<const GroupCounts> pc = engine.PatternCounts(mask);
+    std::shared_ptr<const GroupCounts> pc =
+        scheduled
+            ? service.WavePatternCounts({mask}, ToEngineOptions(spec))[0]
+            : service.engine().PatternCounts(mask);
     const int width = pc->key_width();
     for (int64_t g = 0; g < pc->num_groups(); ++g) {
       const ValueId* key = pc->key(g);
@@ -207,9 +300,9 @@ QueryResult Session::ExecuteTrueCount(const QuerySpec& spec) {
     }
   } else {
     // Arity-1 counts are VC entries — maintained across appends.
-    EnsureVcLocked();
+    std::shared_ptr<const ValueCounts> vc = SyncedVc();
     result.true_count =
-        vc_->Count((*terms)[0].first, (*terms)[0].second);
+        vc->Count((*terms)[0].first, (*terms)[0].second);
   }
   return result;
 }
@@ -218,8 +311,16 @@ QueryResult Session::ExecuteProfile(const QuerySpec& spec) {
   QueryResult result;
   result.kind = spec.kind;
   CountingService& service = *dataset_.service();
-  std::lock_guard<std::mutex> lock(service.mutex());
-  service.Configure(ToEngineOptions(spec));
+  const bool scheduled = UseScheduler(spec);
+  // The profile is one wave: admit shared and let it merge, or take the
+  // serialized lock.
+  const CountingEngineOptions config = ToEngineOptions(spec);
+  QueryAdmissionGuard guard;
+  Status admitted = AdmitQuery(service, scheduled, &config, &guard);
+  if (!admitted.ok()) {
+    result.status = admitted;
+    return result;
+  }
   result.total_rows = service.engine().total_rows();
   const int n = dataset_.table().num_attributes();
   std::vector<AttrMask> masks;
@@ -230,7 +331,9 @@ QueryResult Session::ExecuteProfile(const QuerySpec& spec) {
     }
   }
   const std::vector<int64_t> sizes =
-      service.engine().CountPatternsBatch(masks, /*budget=*/-1);
+      scheduled ? service.WaveCountPatterns(masks, /*budget=*/-1,
+                                            ToEngineOptions(spec))
+                : service.engine().CountPatternsBatch(masks, /*budget=*/-1);
   result.pairs.reserve(masks.size());
   size_t k = 0;
   for (int i = 0; i < n; ++i) {
@@ -249,7 +352,10 @@ Status Session::AppendRow(const std::vector<std::string>& values) {
         StrCat("row has ", values.size(), " values, schema has ", n));
   }
   CountingService& service = *dataset_.service();
-  std::lock_guard<std::mutex> lock(service.mutex());
+  // Exclusive admission: every in-flight query drains first (a search
+  // must never observe half an append), and the service mutex is held
+  // for the engine + session-state critical section.
+  CountingService::AppendAdmission admission(service);
   if (service.engine().total_rows() !=
       table.num_rows() + session_appended_) {
     return FailedPreconditionError(
@@ -283,7 +389,7 @@ Status Session::Append(const Table& delta) {
     }
   }
   CountingService& service = *dataset_.service();
-  std::lock_guard<std::mutex> lock(service.mutex());
+  CountingService::AppendAdmission admission(service);
   if (service.engine().total_rows() !=
       table.num_rows() + session_appended_) {
     return FailedPreconditionError(
@@ -334,17 +440,26 @@ Status Session::AppendCodesLocked(
   const int64_t total_after =
       service.engine().total_rows() + static_cast<int64_t>(rows.size());
   // Maintain whatever state is materialized; lazily-built state catches
-  // up from the engine later (EnsureVcLocked / EnsureFpiLocked).
+  // up from the engine later (SyncedVc / SyncedFpi). Snapshots read
+  // under state_mu_; no query runs concurrently (exclusive admission),
+  // but the members themselves are only ever touched under that lock.
+  std::shared_ptr<const ValueCounts> cur_vc;
+  std::shared_ptr<const FullPatternIndex> cur_fpi;
+  {
+    std::lock_guard<std::mutex> slock(state_mu_);
+    cur_vc = vc_;
+    cur_fpi = fpi_;
+  }
   std::shared_ptr<const ValueCounts> next_vc;
-  if (vc_ != nullptr) {
-    auto vc = std::make_shared<ValueCounts>(*vc_);
+  if (cur_vc != nullptr) {
+    auto vc = std::make_shared<ValueCounts>(*cur_vc);
     const int n = dataset_.table().num_attributes();
     for (const auto& row : rows) vc->ApplyRow(row.data(), n);
     next_vc = std::move(vc);
   }
   std::shared_ptr<const FullPatternIndex> next_fpi;
-  if (fpi_ != nullptr) {
-    auto fpi = std::make_shared<FullPatternIndex>(*fpi_);
+  if (cur_fpi != nullptr) {
+    auto fpi = std::make_shared<FullPatternIndex>(*cur_fpi);
     fpi->ApplyAppend(rows);
     next_fpi = std::move(fpi);
   }
@@ -381,7 +496,7 @@ void Session::EnsureDictionariesLocked() {
   have_dictionaries_ = true;
 }
 
-std::vector<std::vector<ValueId>> Session::EngineRowsLocked(
+std::vector<std::vector<ValueId>> Session::EngineRows(
     int64_t from, int64_t to) const {
   const CountingEngine& engine = dataset_.service()->engine();
   const int64_t base = dataset_.table().num_rows();
@@ -396,10 +511,17 @@ std::vector<std::vector<ValueId>> Session::EngineRowsLocked(
   return rows;
 }
 
-void Session::EnsureVcLocked() {
+std::shared_ptr<const ValueCounts> Session::SyncedVc() {
   const CountingEngine& engine = dataset_.service()->engine();
+  // Stable under the caller's admission: appenders are excluded.
   const int64_t total = engine.total_rows();
-  if (vc_ != nullptr && vc_rows_ == total) return;
+  // The whole check-compute-publish runs under state_mu_: two of this
+  // session's queries may race here (shared admissions), and both must
+  // observe a consistent (vc_, vc_rows_) pair. The catch-up itself is
+  // per-session work — holding the lock across it serializes only
+  // siblings of this session, never the service.
+  std::lock_guard<std::mutex> slock(state_mu_);
+  if (vc_ != nullptr && vc_rows_ == total) return vc_;
   std::shared_ptr<ValueCounts> next;
   int64_t have;
   if (vc_ == nullptr) {
@@ -411,18 +533,19 @@ void Session::EnsureVcLocked() {
     have = vc_rows_;
   }
   const int n = dataset_.table().num_attributes();
-  for (const auto& row : EngineRowsLocked(have, total)) {
+  for (const auto& row : EngineRows(have, total)) {
     next->ApplyRow(row.data(), n);
   }
-  std::lock_guard<std::mutex> slock(state_mu_);
   vc_ = std::move(next);
   vc_rows_ = total;
+  return vc_;
 }
 
-void Session::EnsureFpiLocked() {
+std::shared_ptr<const FullPatternIndex> Session::SyncedFpi() {
   const CountingEngine& engine = dataset_.service()->engine();
   const int64_t total = engine.total_rows();
-  if (fpi_ != nullptr && fpi_rows_ == total) return;
+  std::lock_guard<std::mutex> slock(state_mu_);
+  if (fpi_ != nullptr && fpi_rows_ == total) return fpi_;
   std::shared_ptr<FullPatternIndex> next;
   int64_t have;
   if (fpi_ == nullptr) {
@@ -433,10 +556,10 @@ void Session::EnsureFpiLocked() {
     next = std::make_shared<FullPatternIndex>(*fpi_);
     have = fpi_rows_;
   }
-  if (have < total) next->ApplyAppend(EngineRowsLocked(have, total));
-  std::lock_guard<std::mutex> slock(state_mu_);
+  if (have < total) next->ApplyAppend(EngineRows(have, total));
   fpi_ = std::move(next);
   fpi_rows_ = total;
+  return fpi_;
 }
 
 Result<std::vector<std::pair<int, ValueId>>> Session::ResolvePatternLocked(

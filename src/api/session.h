@@ -14,10 +14,17 @@
 // being clamped — and execute asynchronously on the session's ThreadPool
 // executor; Submit returns a QueryFuture immediately. N concurrent
 // queries against content-equal datasets ride one warm registry-shared
-// CountingService (they serialize on its mutex and batch their sizing
-// waves through its cache), so two sessions over equal data perform
-// exactly one set of full-table scans between them — asserted by the API
-// conformance suite.
+// CountingService: each is admitted through the service's gate in
+// shared mode and submits its sizing waves to the *wave scheduler*,
+// which merges all in-flight queries' batches into single deduped
+// engine calls — so concurrent sessions over equal data perform at most
+// one set of full-table scans between them and their ranking phases
+// overlap instead of queueing (docs/CONCURRENCY.md has the full model;
+// SessionOptions::use_wave_scheduler = false restores the serialized
+// whole-search lock, byte-identical). A query whose shared service was
+// evicted by the registry (memory pressure / Clear) is refused with a
+// retryable kUnavailable instead of silently computing on a detached
+// service — re-open the Dataset and retry.
 //
 // Appends. Session::Append / AppendRow define the append semantics of
 // the whole stack in one place: under the service lock the session
@@ -81,10 +88,22 @@ struct SessionOptions {
   /// combined with a disabled engine is rejected as conflicting.
   int64_t counting_cache_budget = -1;
 
-  /// Threads of the session's async query executor (Submit). Queries
-  /// over one service serialize on its mutex regardless; more executor
-  /// threads only help overlap pre-/post-processing.
+  /// Threads of the session's async query executor (Submit). With the
+  /// wave scheduler (the default), queries admitted concurrently merge
+  /// their sizing waves and rank in parallel, so more executor threads
+  /// buy real overlap; on the serialized path they only overlap pre-/
+  /// post-processing around the service mutex.
   int executor_threads = 1;
+
+  /// Queries enter the service through the admission gate and submit
+  /// their sizing waves to the shared wave scheduler: concurrent
+  /// queries — this session's and any sibling's over the same service —
+  /// merge in-flight waves into single deduped engine batches instead
+  /// of serializing whole searches on the service mutex. Disabling
+  /// reverts to the serialized whole-search lock (byte-identical
+  /// results; the differential harness' reference arm). See
+  /// docs/CONCURRENCY.md.
+  bool use_wave_scheduler = true;
 };
 
 class Session {
@@ -139,44 +158,62 @@ class Session {
   // options interplay + schema-dependent checks).
   Status Validate(const QuerySpec& spec) const;
 
-  // Executor-side entry: runs the query under the service lock.
+  // Executor-side entry: refuses evicted services (retryable
+  // kUnavailable), then runs the query under the session's admission
+  // discipline — a shared QueryAdmission plus scheduler waves (the
+  // default) or the whole-query service lock (use_wave_scheduler off).
   QueryResult Execute(const QuerySpec& spec);
   QueryResult ExecuteSearch(const QuerySpec& spec);
   QueryResult ExecuteTrueCount(const QuerySpec& spec);
   QueryResult ExecuteProfile(const QuerySpec& spec);
+  // Shared bodies; `scheduled` picks waves vs direct engine calls. The
+  // caller holds the matching admission (gate-shared vs mutex).
+  QueryResult ExecuteSearchAdmitted(const QuerySpec& spec, bool scheduled);
+  QueryResult ExecuteTrueCountAdmitted(const QuerySpec& spec,
+                                       bool scheduled);
 
   // Effective per-query knobs (spec overrides over session defaults).
   SearchOptions ToSearchOptions(const QuerySpec& spec) const;
   CountingEngineOptions ToEngineOptions(const QuerySpec& spec) const;
+  bool UseScheduler(const QuerySpec& spec) const {
+    return spec.use_wave_scheduler.value_or(options_.use_wave_scheduler);
+  }
 
   // --- maintenance state (see locking note below) ----------------------
-  // Lazily materializes VC / P_A and catches them up to every row the
-  // engine holds (CopyAppendedRow), so searches can run append-aware.
-  // Callers hold the service mutex.
-  void EnsureVcLocked();
-  void EnsureFpiLocked();
+  // Lazily materializes VC / P_A, catches them up to every row the
+  // engine holds (CopyAppendedRow), and returns the snapshot the caller
+  // should use (reading the members again outside state_mu_ would race
+  // a sibling query's catch-up). Callers hold a query admission (gate
+  // shared or the service mutex), so the engine's data is stable.
+  std::shared_ptr<const ValueCounts> SyncedVc();
+  std::shared_ptr<const FullPatternIndex> SyncedFpi();
   // The engine's appended rows in [from, to), row-major.
-  std::vector<std::vector<ValueId>> EngineRowsLocked(int64_t from,
-                                                     int64_t to) const;
-  // Copies the base table's dictionaries on first use (append interning).
+  std::vector<std::vector<ValueId>> EngineRows(int64_t from,
+                                               int64_t to) const;
+  // Copies the base table's dictionaries on first use (append
+  // interning). Caller holds an AppendAdmission.
   void EnsureDictionariesLocked();
   // Shared tail of AppendRow/Append: rows already encoded in the
-  // session's (grown) code space.
+  // session's (grown) code space. Caller holds an AppendAdmission.
   Status AppendCodesLocked(const std::vector<std::vector<ValueId>>& rows);
 
   // Resolves (attribute name, value string) terms against the session's
   // grown dictionaries (falling back to the base table's), mirroring
-  // Pattern::Parse including its error wording.
+  // Pattern::Parse including its error wording. Caller holds a query
+  // admission (the dictionaries only grow under an AppendAdmission).
   Result<std::vector<std::pair<int, ValueId>>> ResolvePatternLocked(
       const std::vector<std::pair<std::string, std::string>>& terms) const;
 
   Dataset dataset_;
   SessionOptions options_;
 
-  // Locking: writes to the fields below happen while holding BOTH the
-  // service mutex and state_mu_ (service first); the query path reads
-  // them under the service mutex alone, the public accessors under
-  // state_mu_ alone. Either lock therefore suffices for readers.
+  // Locking: writes to the fields below happen under state_mu_ while
+  // the writer additionally holds an admission that excludes concurrent
+  // writers of the same data — an AppendAdmission (appends, dictionary
+  // copies) or a query admission (VC / P_A catch-up, which is
+  // idempotent). All reads take state_mu_ (or receive a snapshot from a
+  // Synced* call); the admission pins the engine rows the state is
+  // synced against.
   mutable std::mutex state_mu_;
   std::vector<Dictionary> dictionaries_;  // grown; empty until 1st append
   bool have_dictionaries_ = false;

@@ -81,15 +81,24 @@ Result<ServiceFlags> ParseServiceFlags(const Args& args) {
 
 std::string FormatRegistryStats() {
   const ServiceRegistryStats stats = ServiceRegistry::Global().stats();
-  return StrFormat(
+  std::string line = StrFormat(
       "registry:  %lld hit%s, %lld miss%s, %lld service%s resident "
-      "(%lld bytes resident, %lld evicted)\n",
+      "(%lld bytes resident, %lld evicted)",
       static_cast<long long>(stats.hits), stats.hits == 1 ? "" : "s",
       static_cast<long long>(stats.misses), stats.misses == 1 ? "" : "es",
       static_cast<long long>(stats.services),
       stats.services == 1 ? "" : "s",
       static_cast<long long>(stats.resident_bytes),
       static_cast<long long>(stats.evictions));
+  // Queries that lost the race with eviction and were refused retryably:
+  // only worth a word when it actually happened.
+  if (stats.evicted_rejections > 0) {
+    line += StrFormat(", %lld evicted-service rejection%s",
+                      static_cast<long long>(stats.evicted_rejections),
+                      stats.evicted_rejections == 1 ? "" : "s");
+  }
+  line += "\n";
+  return line;
 }
 
 Result<OptimizationMetric> ParseMetric(const std::string& name) {

@@ -1,6 +1,7 @@
 #include "core/search.h"
 
 #include <algorithm>
+#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 #include <vector>
@@ -28,6 +29,129 @@ CountingEngineOptions EngineOptions(const SearchOptions& options) {
   engine_options.cache_budget = options.counting_cache_budget;
   return engine_options;
 }
+
+}  // namespace
+
+// How the algorithm bodies reach the counting layer. Both backends keep
+// a memo of every materialized PC-set handle their waves return: the
+// ranking phase then builds candidate labels from the search's own
+// snapshot, which stays valid (shared_ptr) even if the shared cache
+// evicts the entry or — under the wave scheduler — concurrent queries
+// mutate it mid-ranking.
+class LabelSearch::Backend {
+ public:
+  virtual ~Backend() = default;
+
+  /// Sizes one wave (CountPatterns semantics per mask) and memoizes the
+  /// materialized PC sets of within-budget masks.
+  virtual std::vector<int64_t> SizeWave(const std::vector<AttrMask>& masks,
+                                        int64_t budget) = 0;
+
+  /// Exact, materialized PC sets for `masks` (the append-aware ranking
+  /// phase and the final label); memoized too.
+  virtual std::vector<std::shared_ptr<const GroupCounts>> CountsFor(
+      const std::vector<AttrMask>& masks) = 0;
+
+  /// The memoized PC set of `mask`, nullptr when this search never
+  /// materialized it. Thread-safe once sizing is done (the memo is
+  /// read-only during ranking).
+  std::shared_ptr<const GroupCounts> Lookup(AttrMask mask) const {
+    auto it = memo_.find(mask.bits());
+    return it == memo_.end() ? nullptr : it->second;
+  }
+
+  virtual int64_t EffectiveDomainSize(int attr) const = 0;
+  virtual CountingEngineStats Stats() const = 0;
+
+ protected:
+  void Memoize(const std::vector<AttrMask>& masks,
+               const std::vector<std::shared_ptr<const GroupCounts>>& counts) {
+    for (size_t i = 0; i < masks.size(); ++i) {
+      if (counts[i] != nullptr) {
+        memo_.emplace(masks[i].bits(), counts[i]);
+      }
+    }
+  }
+
+ private:
+  std::unordered_map<uint64_t, std::shared_ptr<const GroupCounts>> memo_;
+};
+
+namespace {
+
+// Serialized discipline: the caller holds service->mutex() for the whole
+// search, so the engine is called directly. The memo doubles as a probe
+// shortcut; misses during ranking may still consult the cache (const
+// probes are safe under the holder's lock).
+class SerializedBackend final : public LabelSearch::Backend {
+ public:
+  explicit SerializedBackend(CountingEngine& engine) : engine_(engine) {}
+
+  std::vector<int64_t> SizeWave(const std::vector<AttrMask>& masks,
+                                int64_t budget) override {
+    std::vector<std::shared_ptr<const GroupCounts>> counts;
+    std::vector<int64_t> sizes =
+        engine_.CountPatternsBatchCollect(masks, budget, &counts);
+    Memoize(masks, counts);
+    return sizes;
+  }
+
+  std::vector<std::shared_ptr<const GroupCounts>> CountsFor(
+      const std::vector<AttrMask>& masks) override {
+    std::vector<std::shared_ptr<const GroupCounts>> counts =
+        engine_.PatternCountsBatch(masks);
+    Memoize(masks, counts);
+    return counts;
+  }
+
+  int64_t EffectiveDomainSize(int attr) const override {
+    return engine_.EffectiveDomainSize(attr);
+  }
+  CountingEngineStats Stats() const override { return engine_.stats(); }
+
+ private:
+  CountingEngine& engine_;
+};
+
+// Wave-scheduled discipline: the caller holds a shared QueryAdmission
+// (no mutex), every batch goes through the service's scheduler and may
+// merge with concurrent queries' waves. The engine's *data* observables
+// (effective domains, row counts) are stable under the gate; its cache
+// is never touched directly.
+class ScheduledBackend final : public LabelSearch::Backend {
+ public:
+  ScheduledBackend(CountingService& service,
+                   const CountingEngineOptions& config)
+      : service_(service), config_(config) {}
+
+  std::vector<int64_t> SizeWave(const std::vector<AttrMask>& masks,
+                                int64_t budget) override {
+    std::vector<std::shared_ptr<const GroupCounts>> counts;
+    std::vector<int64_t> sizes =
+        service_.WaveCountPatterns(masks, budget, config_, &counts);
+    Memoize(masks, counts);
+    return sizes;
+  }
+
+  std::vector<std::shared_ptr<const GroupCounts>> CountsFor(
+      const std::vector<AttrMask>& masks) override {
+    std::vector<std::shared_ptr<const GroupCounts>> counts =
+        service_.WavePatternCounts(masks, config_);
+    Memoize(masks, counts);
+    return counts;
+  }
+
+  int64_t EffectiveDomainSize(int attr) const override {
+    return service_.engine().EffectiveDomainSize(attr);
+  }
+  CountingEngineStats Stats() const override {
+    return service_.StatsSnapshot();
+  }
+
+ private:
+  CountingService& service_;
+  CountingEngineOptions config_;
+};
 
 }  // namespace
 
@@ -105,7 +229,7 @@ SearchResult LabelSearch::Finish(const std::vector<AttrMask>& cands,
                                  const SearchOptions& options,
                                  SearchStats stats,
                                  double candidate_seconds,
-                                 CountingEngine* engine) const {
+                                 Backend& backend) const {
   Stopwatch eval_watch;
   SearchResult result;
 
@@ -118,25 +242,42 @@ SearchResult LabelSearch::Finish(const std::vector<AttrMask>& cands,
   // Append-aware mode: the base table alone can no longer build a
   // candidate label (Label::Build would miss the appended rows), so every
   // candidate's PC set is materialized up front through the delta-aware
-  // engine — mutating calls, done before the read-only ranking loop —
-  // and labels carry the extended row count / effective domains.
+  // engine — the sizing waves' memo already holds most of them; the rest
+  // are fetched in one batch before the read-only ranking loop — and
+  // labels carry the extended row count / effective domains.
   std::vector<std::shared_ptr<const GroupCounts>> extended_pcs;
   std::vector<int64_t> extended_domains;
   if (extended()) {
-    PCBL_CHECK(engine != nullptr);
-    extended_pcs = engine->PatternCountsBatch(cands);
+    extended_pcs.resize(cands.size());
+    std::vector<AttrMask> missing;
+    std::vector<size_t> missing_at;
+    for (size_t i = 0; i < cands.size(); ++i) {
+      extended_pcs[i] = backend.Lookup(cands[i]);
+      if (extended_pcs[i] == nullptr) {
+        missing.push_back(cands[i]);
+        missing_at.push_back(i);
+      }
+    }
+    if (!missing.empty()) {
+      std::vector<std::shared_ptr<const GroupCounts>> fetched =
+          backend.CountsFor(missing);
+      for (size_t i = 0; i < missing.size(); ++i) {
+        extended_pcs[missing_at[i]] = fetched[i];
+      }
+    }
     extended_domains.resize(static_cast<size_t>(table_->num_attributes()));
     for (int a = 0; a < table_->num_attributes(); ++a) {
       extended_domains[static_cast<size_t>(a)] =
-          engine->EffectiveDomainSize(a);
+          backend.EffectiveDomainSize(a);
     }
   }
 
   // Every within-bound candidate was just counted by the generation
-  // phase; with the engine on, its PC set is still memoized and the label
-  // builds without touching the table again (CachedPatternCounts is a
-  // const probe — safe under the ParallelFor). Evicted or uncached
-  // candidates fall back to the direct recount.
+  // phase; with the engine on, its PC set rides the search's memo view
+  // and the label builds without touching the table again (the memo is
+  // read-only here — safe under the ParallelFor even while concurrent
+  // queries mutate the shared cache). Unmemoized candidates (a disabled
+  // engine materializes nothing) fall back to the direct recount.
   auto build_label = [&](AttrMask s, const GroupCounts* extended_pc) {
     if (extended()) {
       PCBL_CHECK(extended_pc != nullptr);
@@ -144,11 +285,9 @@ SearchResult LabelSearch::Finish(const std::vector<AttrMask>& cands,
                                             described_rows_,
                                             extended_domains);
     }
-    if (engine != nullptr) {
-      std::shared_ptr<const GroupCounts> pc = engine->CachedPatternCounts(s);
-      if (pc != nullptr) {
-        return Label::BuildFromCounts(*table_, s, *pc, vc_);
-      }
+    std::shared_ptr<const GroupCounts> pc = backend.Lookup(s);
+    if (pc != nullptr) {
+      return Label::BuildFromCounts(*table_, s, *pc, vc_);
     }
     return Label::Build(*table_, s, vc_);
   };
@@ -210,16 +349,19 @@ SearchResult LabelSearch::Finish(const std::vector<AttrMask>& cands,
   }
 
   result.best_attrs = best_attrs;  // empty mask when no candidate fit
-  // In append-aware mode the best mask's PC set is re-fetched through the
-  // engine (a cache hit when it survived the batch above; the empty
-  // no-candidate mask yields the trivial empty set).
+  // In append-aware mode the best mask's PC set comes from the memo (it
+  // was materialized for the ranking above; the empty no-candidate mask
+  // yields the trivial empty set, fetched here).
   std::shared_ptr<const GroupCounts> best_pc;
-  if (extended()) best_pc = engine->PatternCounts(best_attrs);
+  if (extended()) {
+    best_pc = backend.Lookup(best_attrs);
+    if (best_pc == nullptr) best_pc = backend.CountsFor({best_attrs})[0];
+  }
   result.label = build_label(best_attrs, best_pc.get());
   stats.error_eval_seconds = eval_watch.ElapsedSeconds();
   stats.candidate_seconds = candidate_seconds;
   stats.total_seconds = candidate_seconds + stats.error_eval_seconds;
-  if (engine != nullptr) stats.counting = engine->stats();
+  stats.counting = backend.Stats();
   // The final label is always certified with an exact scan.
   LabelEstimator final_estimator(result.label);
   result.error = Evaluate(final_estimator, ErrorMode::kExact);
@@ -230,24 +372,38 @@ SearchResult LabelSearch::Finish(const std::vector<AttrMask>& cands,
 SearchResult LabelSearch::Naive(const SearchOptions& options) const {
   // The dataset's shared engine: candidates sized by an earlier search
   // over this table are answered from the warm cache instead of a scan.
-  // The lock serializes whole searches; the ranking ParallelFor's cache
-  // probes are const and run under this same lock.
+  if (options.use_wave_scheduler) {
+    // Shared admission: concurrent searches' waves merge through the
+    // service's scheduler; appends are excluded until we leave.
+    CountingService::QueryAdmission admission(*service_);
+    return NaiveScheduled(options);
+  }
+  // Serialized reference arm: the lock serializes whole searches; the
+  // ranking ParallelFor's memo reads run under this same lock.
   std::lock_guard<std::mutex> lock(service_->mutex());
   return NaiveLocked(options);
 }
 
 SearchResult LabelSearch::NaiveLocked(const SearchOptions& options) const {
+  CheckDescribedRows();
+  service_->Configure(EngineOptions(options));
+  SerializedBackend backend(service_->engine());
+  return NaiveImpl(options, backend);
+}
+
+SearchResult LabelSearch::NaiveScheduled(
+    const SearchOptions& options) const {
+  CheckDescribedRows();
+  ScheduledBackend backend(*service_, EngineOptions(options));
+  return NaiveImpl(options, backend);
+}
+
+SearchResult LabelSearch::NaiveImpl(const SearchOptions& options,
+                                    Backend& backend) const {
   Stopwatch watch;
   SearchStats stats;
   std::vector<AttrMask> cands;
   const int n = table_->num_attributes();
-  // VC / P_A / the error scans must describe exactly the data the engine
-  // counts; after appends that means the extended state maintained by
-  // api::Session (SetExtendedState) — mixing base-table artifacts with
-  // an extended engine would certify an inconsistent label.
-  CheckDescribedRows();
-  service_->Configure(EngineOptions(options));
-  CountingEngine& engine = service_->engine();
 
   // Level-wise enumeration, starting with subsets of size 2 (Sec. III):
   // singleton labels carry no information beyond VC. A level with no
@@ -273,7 +429,7 @@ SearchResult LabelSearch::NaiveLocked(const SearchOptions& options) const {
         chunk.push_back(s);
       }
       if (chunk.empty()) break;
-      sizes = engine.CountPatternsBatch(chunk, options.size_bound);
+      sizes = backend.SizeWave(chunk, options.size_bound);
       for (size_t i = 0; i < chunk.size(); ++i) {
         ++stats.subsets_examined;
         if (sizes[i] <= options.size_bound) {
@@ -290,21 +446,37 @@ SearchResult LabelSearch::NaiveLocked(const SearchOptions& options) const {
     stats.levels_completed = level - 1;  // levels beyond the start size
     if (!any_within_bound) break;
   }
-  return Finish(cands, options, stats, watch.ElapsedSeconds(), &engine);
+  return Finish(cands, options, stats, watch.ElapsedSeconds(), backend);
 }
 
 SearchResult LabelSearch::TopDown(const SearchOptions& options) const {
+  if (options.use_wave_scheduler) {
+    CountingService::QueryAdmission admission(*service_);
+    return TopDownScheduled(options);
+  }
   std::lock_guard<std::mutex> lock(service_->mutex());
   return TopDownLocked(options);
 }
 
 SearchResult LabelSearch::TopDownLocked(const SearchOptions& options) const {
+  CheckDescribedRows();
+  service_->Configure(EngineOptions(options));
+  SerializedBackend backend(service_->engine());
+  return TopDownImpl(options, backend);
+}
+
+SearchResult LabelSearch::TopDownScheduled(
+    const SearchOptions& options) const {
+  CheckDescribedRows();
+  ScheduledBackend backend(*service_, EngineOptions(options));
+  return TopDownImpl(options, backend);
+}
+
+SearchResult LabelSearch::TopDownImpl(const SearchOptions& options,
+                                      Backend& backend) const {
   Stopwatch watch;
   SearchStats stats;
   const int n = table_->num_attributes();
-  CheckDescribedRows();
-  service_->Configure(EngineOptions(options));
-  CountingEngine& engine = service_->engine();
 
   // Algorithm 1, batched: the frontier holds the within-budget subsets of
   // the current wave (the FIFO queue of the serial formulation processes
@@ -344,7 +516,7 @@ SearchResult LabelSearch::TopDownLocked(const SearchOptions& options) const {
         chunk.push_back(gen[g++]);
       }
       if (chunk.empty()) break;
-      sizes = engine.CountPatternsBatch(chunk, options.size_bound);
+      sizes = backend.SizeWave(chunk, options.size_bound);
       for (size_t i = 0; i < chunk.size(); ++i) {
         ++stats.subsets_examined;
         if (sizes[i] > options.size_bound) continue;
@@ -374,7 +546,7 @@ SearchResult LabelSearch::TopDownLocked(const SearchOptions& options) const {
       cand_set.erase(s.bits());  // deduplicate while preserving order
     }
   }
-  return Finish(cands, options, stats, watch.ElapsedSeconds(), &engine);
+  return Finish(cands, options, stats, watch.ElapsedSeconds(), backend);
 }
 
 }  // namespace pcbl

@@ -646,7 +646,16 @@ int64_t CountingEngine::CountPatterns(AttrMask mask, int64_t budget) {
 
 std::vector<int64_t> CountingEngine::CountPatternsBatch(
     const std::vector<AttrMask>& masks, int64_t budget) {
+  return CountPatternsBatchCollect(masks, budget, /*counts_out=*/nullptr);
+}
+
+std::vector<int64_t> CountingEngine::CountPatternsBatchCollect(
+    const std::vector<AttrMask>& masks, int64_t budget,
+    std::vector<std::shared_ptr<const GroupCounts>>* counts_out) {
   std::vector<int64_t> sizes(masks.size(), 0);
+  if (counts_out != nullptr) {
+    counts_out->assign(masks.size(), nullptr);
+  }
   if (!options_.enabled) {
     for (size_t i = 0; i < masks.size(); ++i) {
       sizes[i] = CountPatterns(masks[i], budget);
@@ -676,6 +685,9 @@ std::vector<int64_t> CountingEngine::CountPatternsBatch(
     sizes[i] = outcomes[i].counts != nullptr
                    ? outcomes[i].counts->num_groups()
                    : outcomes[i].size;
+    if (counts_out != nullptr) {
+      (*counts_out)[i] = outcomes[i].counts;
+    }
   }
   return sizes;
 }

@@ -139,6 +139,19 @@ class CountingEngine {
   std::vector<int64_t> CountPatternsBatch(const std::vector<AttrMask>& masks,
                                           int64_t budget);
 
+  /// CountPatternsBatch that additionally hands back each mask's
+  /// materialized PC set: counts_out->at(i) is non-null exactly when the
+  /// sizing materialized one (always when sizes[i] <= budget and the
+  /// engine is enabled; never while disabled — nothing materializes
+  /// there). This is the merged-batch entry point of the service's wave
+  /// scheduler: each waiting query keeps the handles as its own memo
+  /// view, so its ranking phase never has to re-probe a cache that other
+  /// queries keep mutating. Sizes, cache contents and stats are
+  /// byte-identical to CountPatternsBatch.
+  std::vector<int64_t> CountPatternsBatchCollect(
+      const std::vector<AttrMask>& masks, int64_t budget,
+      std::vector<std::shared_ptr<const GroupCounts>>* counts_out);
+
   /// Distinct non-NULL combinations over `mask`, same contract as
   /// CountDistinctCombos. Served from the cache (exact entry or superset
   /// rollup) when possible.

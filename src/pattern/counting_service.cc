@@ -1,5 +1,9 @@
 #include "pattern/counting_service.h"
 
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
 namespace pcbl {
 
 namespace {
@@ -10,16 +14,341 @@ namespace {
 // repair.
 constexpr int64_t kMaxPatchWork = int64_t{1} << 22;
 
+// Folds one request's engine config into the merged wave config: the
+// most capable of the waiting queries wins. Every engine answer is exact
+// under any config, so the fold changes cost attribution, never results
+// (a disabled-engine request merged with an enabled one simply gets its
+// exact values from the warmer path).
+void FoldConfig(const CountingEngineOptions& request,
+                CountingEngineOptions* merged, bool first) {
+  if (first) {
+    *merged = request;
+    return;
+  }
+  merged->enabled = merged->enabled || request.enabled;
+  merged->num_threads = std::max(merged->num_threads, request.num_threads);
+  merged->cache_budget =
+      std::max(merged->cache_budget, request.cache_budget);
+  merged->delta_compact_threshold = std::max(
+      merged->delta_compact_threshold, request.delta_compact_threshold);
+}
+
 }  // namespace
 
+// --- admission gate --------------------------------------------------------
+
+void CountingService::BeginQuery() {
+  std::unique_lock<std::mutex> lock(gate_mu_);
+  // Writer preference: a waiting appender blocks new queries, so a
+  // steady query stream cannot starve appends.
+  gate_cv_.wait(lock, [this] {
+    return !appender_active_ && appenders_waiting_ == 0;
+  });
+  ++gate_queries_;
+  active_queries_relaxed_.store(gate_queries_, std::memory_order_relaxed);
+}
+
+void CountingService::EndQuery() {
+  {
+    std::lock_guard<std::mutex> lock(gate_mu_);
+    --gate_queries_;
+    active_queries_relaxed_.store(gate_queries_,
+                                  std::memory_order_relaxed);
+    if (gate_queries_ == 0) gate_cv_.notify_all();
+  }
+  // A coordinator idling in its admission window waits for the queue to
+  // cover every admitted query; this query leaving shrinks that target,
+  // so wake the coordinator to re-check instead of letting it burn the
+  // window to the deadline.
+  wave_cv_.notify_all();
+}
+
+void CountingService::BeginAppend() {
+  std::unique_lock<std::mutex> lock(gate_mu_);
+  ++appenders_waiting_;
+  gate_cv_.wait(lock, [this] {
+    return !appender_active_ && gate_queries_ == 0;
+  });
+  --appenders_waiting_;
+  appender_active_ = true;
+}
+
+void CountingService::EndAppend() {
+  std::lock_guard<std::mutex> lock(gate_mu_);
+  appender_active_ = false;
+  gate_cv_.notify_all();
+}
+
+int64_t CountingService::in_flight() const {
+  int64_t n;
+  {
+    std::lock_guard<std::mutex> lock(gate_mu_);
+    n = gate_queries_ + (appender_active_ ? 1 : 0);
+  }
+  {
+    std::lock_guard<std::mutex> lock(wave_mu_);
+    n += static_cast<int64_t>(wave_queue_.size());
+    n += coordinator_active_ ? 1 : 0;
+  }
+  return n;
+}
+
+void CountingService::Quiesce() {
+  // Two condition systems (gate, waves) drained in sequence, then
+  // re-checked: a wave only exists inside an admitted query, so once the
+  // gate reads empty twice around an empty wave queue, nothing was in
+  // flight in between.
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(gate_mu_);
+      gate_cv_.wait(lock, [this] {
+        return gate_queries_ == 0 && !appender_active_;
+      });
+    }
+    {
+      std::unique_lock<std::mutex> lock(wave_mu_);
+      wave_cv_.wait(lock, [this] {
+        return wave_queue_.empty() && !coordinator_active_;
+      });
+    }
+    std::lock_guard<std::mutex> lock(gate_mu_);
+    if (gate_queries_ == 0 && !appender_active_) return;
+  }
+}
+
+// --- wave scheduler --------------------------------------------------------
+
+std::vector<int64_t> CountingService::WaveCountPatterns(
+    const std::vector<AttrMask>& masks, int64_t budget,
+    const CountingEngineOptions& config,
+    std::vector<std::shared_ptr<const GroupCounts>>* counts_out) {
+  WaveRequest req;
+  req.masks = &masks;
+  req.budget = budget;
+  req.want_counts = false;
+  req.collect = counts_out != nullptr;
+  req.config = config;
+  SubmitWave(req);
+  if (counts_out != nullptr) *counts_out = std::move(req.counts);
+  return std::move(req.sizes);
+}
+
+std::vector<std::shared_ptr<const GroupCounts>>
+CountingService::WavePatternCounts(const std::vector<AttrMask>& masks,
+                                   const CountingEngineOptions& config) {
+  WaveRequest req;
+  req.masks = &masks;
+  req.want_counts = true;
+  req.config = config;
+  SubmitWave(req);
+  return std::move(req.counts);
+}
+
+void CountingService::SubmitWave(WaveRequest& req) {
+  std::unique_lock<std::mutex> lock(wave_mu_);
+  wave_queue_.push_back(&req);
+  wave_stats_.requests += 1;
+  wave_stats_.request_masks += static_cast<int64_t>(req.masks->size());
+  // Wake a coordinator idling in its admission window — this request may
+  // complete its batch.
+  wave_cv_.notify_all();
+  while (!req.done) {
+    if (!coordinator_active_) {
+      coordinator_active_ = true;
+      // The stint must step down on every path — a throw that left
+      // coordinator_active_ set would wedge the scheduler for good
+      // (every later request would wait for a coordinator that no
+      // longer exists). RunCoordinator already converts wave failures
+      // into per-request `error`s; this guards the residual throws
+      // (e.g. allocation inside the drain loop itself).
+      try {
+        RunCoordinator(lock);
+      } catch (...) {
+        coordinator_active_ = false;
+        wave_cv_.notify_all();
+        throw;
+      }
+      coordinator_active_ = false;
+      wave_cv_.notify_all();
+      // The coordinator stint drained the whole queue — our own request
+      // included — so the loop exits on the next check.
+      continue;
+    }
+    wave_cv_.wait(lock);
+  }
+  // A failed merged wave fails every rider the same way the serialized
+  // engine call would have failed its single caller.
+  if (req.error != nullptr) std::rethrow_exception(req.error);
+}
+
+void CountingService::RunCoordinator(std::unique_lock<std::mutex>& lock) {
+  while (!wave_queue_.empty()) {
+    // Admission window: when other queries are admitted but have not
+    // enqueued their next wave yet, hold the batch open briefly so
+    // near-simultaneous waves merge instead of executing twice. The wait
+    // ends the moment every admitted query has a request queued (the
+    // common case for phase-locked identical searches — microseconds),
+    // and is skipped entirely for a solo query.
+    if (admission_window_.count() > 0) {
+      const auto deadline =
+          std::chrono::steady_clock::now() + admission_window_;
+      while (static_cast<int64_t>(wave_queue_.size()) <
+                 active_queries_relaxed_.load(std::memory_order_relaxed) &&
+             wave_cv_.wait_until(lock, deadline) !=
+                 std::cv_status::timeout) {
+      }
+    }
+    std::vector<WaveRequest*> batch(wave_queue_.begin(), wave_queue_.end());
+    wave_queue_.clear();
+    wave_stats_.waves += 1;
+    if (batch.size() > 1) wave_stats_.merged_waves += 1;
+    lock.unlock();
+    std::exception_ptr error;
+    try {
+      ExecuteWave(batch);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    lock.lock();
+    for (WaveRequest* req : batch) {
+      req->error = error;
+      req->done = true;
+    }
+    wave_cv_.notify_all();
+    // Later-queued requests get a fresh attempt: a transient failure
+    // (allocation pressure) must not poison the whole queue.
+  }
+}
+
+void CountingService::ExecuteWave(const std::vector<WaveRequest*>& batch) {
+  // Merge the batch: one deduped mask list per engine entry point.
+  // `counts` requests subsume sizing requests for the same mask — a full
+  // PC set answers a sizing exactly (its group count is within any
+  // budget contract).
+  CountingEngineOptions merged;
+  std::unordered_map<uint64_t, size_t> count_slot;  // mask -> counts index
+  std::unordered_map<uint64_t, size_t> size_slot;   // mask -> sizing index
+  std::vector<AttrMask> count_masks;
+  std::vector<AttrMask> size_masks;
+  int64_t size_budget = 0;
+  bool any_sizing = false;
+  bool any_collect = false;
+  bool first = true;
+  for (const WaveRequest* req : batch) {
+    FoldConfig(req->config, &merged, first);
+    first = false;
+    for (const AttrMask mask : *req->masks) {
+      if (req->want_counts) {
+        if (!count_slot.contains(mask.bits())) {
+          count_slot.emplace(mask.bits(), count_masks.size());
+          count_masks.push_back(mask);
+        }
+      } else {
+        if (!any_sizing) {
+          size_budget = req->budget;
+        } else if (size_budget >= 0) {
+          // The most generous budget wins: -1 (exact) absorbs all.
+          size_budget = req->budget < 0
+                            ? -1
+                            : std::max(size_budget, req->budget);
+        }
+        any_sizing = true;
+        any_collect = any_collect || req->collect;
+        if (!size_slot.contains(mask.bits())) {
+          size_slot.emplace(mask.bits(), size_masks.size());
+          size_masks.push_back(mask);
+        }
+      }
+    }
+  }
+  // Sizing masks also requested as full counts are served from the
+  // counts call alone.
+  if (!count_slot.empty() && !size_masks.empty()) {
+    std::vector<AttrMask> kept;
+    kept.reserve(size_masks.size());
+    std::unordered_map<uint64_t, size_t> kept_slot;
+    for (const AttrMask mask : size_masks) {
+      if (count_slot.contains(mask.bits())) continue;
+      kept_slot.emplace(mask.bits(), kept.size());
+      kept.push_back(mask);
+    }
+    size_masks.swap(kept);
+    size_slot.swap(kept_slot);
+  }
+
+  std::vector<std::shared_ptr<const GroupCounts>> count_results;
+  std::vector<int64_t> size_results;
+  std::vector<std::shared_ptr<const GroupCounts>> size_counts;
+  {
+    std::lock_guard<std::mutex> engine_lock(mu_);
+    // The most-capable fold extends across waves: while other queries
+    // are admitted, a wave must not shrink the cache budget below what
+    // the engine already runs with — otherwise a low-budget query's
+    // solo waves would evict the shared warm entries once per wave
+    // (the serialized path paid that eviction once per search). A truly
+    // solo query applies its config verbatim, exactly like Configure on
+    // the serialized path.
+    if (active_queries() > 1) {
+      merged.cache_budget =
+          std::max(merged.cache_budget, engine_.options().cache_budget);
+    }
+    engine_.Reconfigure(merged);
+    if (!count_masks.empty()) {
+      count_results = engine_.PatternCountsBatch(count_masks);
+    }
+    if (!size_masks.empty()) {
+      size_results = engine_.CountPatternsBatchCollect(
+          size_masks, size_budget, any_collect ? &size_counts : nullptr);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(wave_mu_);
+    wave_stats_.executed_masks +=
+        static_cast<int64_t>(count_masks.size() + size_masks.size());
+  }
+
+  // Route every mask's answers back to its requesters.
+  for (WaveRequest* req : batch) {
+    const size_t n = req->masks->size();
+    if (req->want_counts) {
+      req->counts.resize(n);
+    } else {
+      req->sizes.resize(n);
+      if (req->collect) req->counts.resize(n);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t bits = (*req->masks)[i].bits();
+      if (req->want_counts) {
+        req->counts[i] = count_results[count_slot.at(bits)];
+        continue;
+      }
+      auto from_counts = count_slot.find(bits);
+      if (from_counts != count_slot.end()) {
+        const std::shared_ptr<const GroupCounts>& pc =
+            count_results[from_counts->second];
+        req->sizes[i] = pc->num_groups();
+        if (req->collect) req->counts[i] = pc;
+        continue;
+      }
+      const size_t slot = size_slot.at(bits);
+      req->sizes[i] = size_results[slot];
+      if (req->collect && !size_counts.empty()) {
+        req->counts[i] = size_counts[slot];
+      }
+    }
+  }
+}
+
+// --- appends ---------------------------------------------------------------
+
 void CountingService::AppendRow(const std::vector<ValueId>& codes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  AppendAdmission admission(*this);
   AppendRowLocked(codes);
 }
 
 void CountingService::AppendRows(
     const std::vector<std::vector<ValueId>>& rows) {
-  std::lock_guard<std::mutex> lock(mu_);
+  AppendAdmission admission(*this);
   AppendRowsLocked(rows);
 }
 

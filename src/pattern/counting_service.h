@@ -1,14 +1,61 @@
 // CountingService: one CountingEngine per dataset, shared by every
-// consumer of that dataset's counts.
+// consumer of that dataset's counts — plus the wave scheduler that lets
+// concurrent consumers share not just the warm cache but the *in-flight*
+// sizing work.
 //
 // PR 1's engine was constructed per LabelSearch call, so a second search
 // over the same table — a bound sweep, a multi-label partition, a CLI
 // re-run — rebuilt the PC-set cache from scratch. The service hoists the
-// engine to dataset/session scope: LabelSearch::Naive/TopDown, the
-// theory-reduction sweep, and the CLI all size candidates through the
-// same engine, so repeated queries hit warm PC sets (a warm second
-// search performs zero full-table scans for the candidates the first one
-// sized — asserted in pattern_counting_service_test.cc).
+// engine to dataset/session scope: LabelSearch, the theory-reduction
+// sweep, and the CLI all size candidates through the same engine, so
+// repeated queries hit warm PC sets (a warm second search performs zero
+// full-table scans for the candidates the first one sized — asserted in
+// pattern_counting_service_test.cc).
+//
+// Concurrency (PR 5 — the full model lives in docs/CONCURRENCY.md):
+//
+//  * The wave scheduler. Before PR 5, concurrent searches serialized
+//    *whole searches* on mutex(). Now a search enters the service
+//    through the admission gate in shared mode (QueryAdmission) and
+//    submits its per-wave sizing batches to WaveCountPatterns /
+//    WavePatternCounts. A coordinator — the first waiting thread, no
+//    dedicated thread exists — drains the shared wave queue, merges all
+//    waiting requests into single CountPatternsBatchCollect /
+//    PatternCountsBatch engine calls (masks deduped, budgets folded to
+//    the most generous), and routes each mask's size and materialized
+//    PC-set handle back to every requester: the per-waiter memo view a
+//    search ranks from without ever re-probing the shared cache. N
+//    concurrent identical searches therefore perform ~one set of scans
+//    — even with memoization off, where the cache cannot help — and
+//    their ranking phases overlap instead of queueing
+//    (bench_micro_wave_scheduler). Results are byte-identical to the
+//    serialized path: every engine answer is exact regardless of cache
+//    state, and a request folded into a larger budget still satisfies
+//    the early-exit contract ("any value > budget" may simply be the
+//    exact one). The admission window (set_wave_admission_window) gives
+//    near-simultaneous waves a brief chance to land in one batch; it is
+//    skipped entirely when no other query is admitted, so solo searches
+//    pay zero added latency.
+//
+//  * The admission gate. Queries are admitted shared; appenders
+//    (AppendAdmission, which also takes mutex()) are exclusive. That
+//    pins the engine's *data* (row count, delta block, effective
+//    domains) for a query's whole lifetime — a search validated against
+//    its VC / P_A snapshot can never observe half an append — while
+//    engine *cache* mutations (the coordinator's merged waves, under
+//    mutex()) proceed freely: they are physical, not semantic.
+//
+//  * The serialized path survives. mutex() still serializes whole
+//    searches for legacy consumers (theory sweeps, IncrementalLabel,
+//    SearchOptions::use_wave_scheduler = false — the differential
+//    harness' reference arm): the coordinator takes mutex() per merged
+//    wave, so both disciplines interleave safely. Lock order is always
+//    gate -> mutex(); nothing acquires the gate while holding mutex().
+//
+//  * Registry eviction drains. MarkEvicted flips queries to a retryable
+//    refusal (api::Session surfaces kUnavailable), Quiesce waits for
+//    in-flight admissions and waves — ServiceRegistry::Clear runs both
+//    before dropping an entry, so eviction never races a live wave.
 //
 // The service also owns the append story for growing datasets
 // (invalidate-or-patch): AppendRow patches every cached PC set with the
@@ -18,21 +65,23 @@
 // saves. Both arms stay exact — the engine tracks appended rows in a
 // delta block that every subsequent scan includes, and folds the block
 // into columnar base storage once it crosses the compaction threshold
-// (see CountingEngine::CompactDeltas).
+// (see CountingEngine::CompactDeltas). The self-locking append hooks
+// acquire the gate exclusively, so they also exclude wave-scheduled
+// queries.
 //
 // Services are usually obtained from the process-wide ServiceRegistry
 // (service_registry.h), which shares one warm service per table
 // *content* across sessions and enforces a process memory budget over
 // all services' caches.
-//
-// Thread-safety: the engine's mutating calls must be serialized; mutex()
-// is the lock consumers hold for the duration of a search (const cache
-// probes from a search's internal ParallelFor are safe under the
-// caller's own lock, per the engine's contract).
 #ifndef PCBL_PATTERN_COUNTING_SERVICE_H_
 #define PCBL_PATTERN_COUNTING_SERVICE_H_
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <exception>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -41,6 +90,18 @@
 #include "relation/table.h"
 
 namespace pcbl {
+
+/// Observability counters of the wave scheduler (not part of the
+/// exactness contract).
+struct WaveSchedulerStats {
+  int64_t waves = 0;           ///< merged engine batches executed
+  int64_t merged_waves = 0;    ///< waves that covered > 1 request
+  int64_t requests = 0;        ///< wave requests admitted
+  int64_t request_masks = 0;   ///< masks summed over all requests
+  int64_t executed_masks = 0;  ///< deduped masks the engine actually ran
+                               ///< (request_masks - executed_masks =
+                               ///<  scans saved by in-flight merging)
+};
 
 class CountingService {
  public:
@@ -71,11 +132,134 @@ class CountingService {
     engine_.Reconfigure(options);
   }
 
+  // --- admission gate ----------------------------------------------------
+
+  /// Admits a query in shared mode for the guard's lifetime: any number
+  /// of queries run concurrently, appenders are excluded, so the
+  /// engine's *data* cannot change under the query. Do not nest (the
+  /// gate is writer-preferring; re-entry can deadlock behind a waiting
+  /// appender) and do not acquire while holding mutex().
+  class QueryAdmission {
+   public:
+    explicit QueryAdmission(CountingService& service) : service_(service) {
+      service_.BeginQuery();
+    }
+    ~QueryAdmission() { service_.EndQuery(); }
+    QueryAdmission(const QueryAdmission&) = delete;
+    QueryAdmission& operator=(const QueryAdmission&) = delete;
+
+   private:
+    CountingService& service_;
+  };
+
+  /// Admits an appender exclusively *and* locks mutex(): no query is in
+  /// flight, no wave is executing, and legacy mutex() consumers are
+  /// excluded — the one critical section in which engine data (and an
+  /// api::Session's VC / P_A maintenance state) may grow.
+  class AppendAdmission {
+   public:
+    explicit AppendAdmission(CountingService& service) : service_(service) {
+      service_.BeginAppend();
+      lock_ = std::unique_lock<std::mutex>(service_.mu_);
+    }
+    ~AppendAdmission() {
+      lock_.unlock();
+      service_.EndAppend();
+    }
+    AppendAdmission(const AppendAdmission&) = delete;
+    AppendAdmission& operator=(const AppendAdmission&) = delete;
+
+   private:
+    CountingService& service_;
+    std::unique_lock<std::mutex> lock_;
+  };
+
+  /// Queries currently admitted (shared holders of the gate).
+  int64_t active_queries() const {
+    return active_queries_relaxed_.load(std::memory_order_relaxed);
+  }
+
+  /// Admitted queries plus queued-but-unserved wave requests — the
+  /// registry's "is anything running here" probe.
+  int64_t in_flight() const;
+
+  /// Blocks until nothing is in flight: no admitted query, no appender,
+  /// no queued or executing wave. The registry quiesces an evicted
+  /// service before dropping its entry, so eviction never races a live
+  /// wave. Callers must not hold mutex() or the gate.
+  void Quiesce();
+
+  /// Marks the service as evicted from the process-wide registry. The
+  /// service stays fully functional for existing holders (exactness is
+  /// untouched), but api::Session refuses new queries on it with a
+  /// retryable kUnavailable so callers re-acquire a shared, findable
+  /// service instead of silently computing on a detached one. Sessions
+  /// check once before admission (cheap fast path) and once after: the
+  /// registry marks before it quiesces, and the gate/mutex acquisition
+  /// orders the mark ahead of any admission Quiesce could have missed,
+  /// so a query either drains under Quiesce or observes the mark.
+  void MarkEvicted() { evicted_.store(true); }
+  bool evicted() const { return evicted_.load(); }
+
+  // --- wave scheduler ----------------------------------------------------
+
+  /// Submits one sizing wave (the per-level / per-frontier batch of a
+  /// search) to the scheduler and blocks until a coordinator has
+  /// executed it, merged with whatever other requests were in flight.
+  /// Element i of the result is CountPatterns(masks[i], budget) — with
+  /// the early-exit caveat that an over-budget value may be the exact
+  /// size when a merged sibling asked with a larger budget (still
+  /// "> budget", so consumers' within-bound tests are unaffected).
+  /// When `counts_out` is non-null it receives each mask's materialized
+  /// PC-set handle (non-null whenever sizes[i] <= budget and the merged
+  /// wave ran with the engine enabled): the caller's memo view for its
+  /// ranking phase. `config` carries the query's engine knobs; a merged
+  /// wave runs under the most capable fold of its requests' configs
+  /// (enabled if any asks, max threads, max cache budget) — every
+  /// answer is exact under any config, so the fold affects cost only.
+  /// Callers hold the gate in shared mode (QueryAdmission), never
+  /// mutex().
+  std::vector<int64_t> WaveCountPatterns(
+      const std::vector<AttrMask>& masks, int64_t budget,
+      const CountingEngineOptions& config,
+      std::vector<std::shared_ptr<const GroupCounts>>* counts_out = nullptr);
+
+  /// PatternCountsBatch through the scheduler: element i is the full PC
+  /// set of masks[i], exact and materialized regardless of size. Same
+  /// admission rules as WaveCountPatterns.
+  std::vector<std::shared_ptr<const GroupCounts>> WavePatternCounts(
+      const std::vector<AttrMask>& masks,
+      const CountingEngineOptions& config);
+
+  /// How long a coordinator holds a wave open for near-simultaneous
+  /// requests to join (it stops waiting the moment every admitted query
+  /// has a request queued, and never waits when this service has a
+  /// single admitted query). Zero disables the window.
+  void set_wave_admission_window(std::chrono::microseconds window) {
+    std::lock_guard<std::mutex> lock(wave_mu_);
+    admission_window_ = window;
+  }
+
+  WaveSchedulerStats wave_stats() const {
+    std::lock_guard<std::mutex> lock(wave_mu_);
+    return wave_stats_;
+  }
+
+  /// Engine stats snapshot under mutex() — the only race-free way to
+  /// read them while wave-scheduled queries are in flight.
+  CountingEngineStats StatsSnapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return engine_.stats();
+  }
+
+  // --- appends -----------------------------------------------------------
+
   /// Patch arm of the append hook: the row's restriction is folded into
   /// every cached PC set and the row joins the engine's delta block.
   /// `codes` is one row over the full schema (kNullValue = missing; fresh
   /// values use ids extending the base code space in first-seen order,
-  /// exactly as TableBuilder would assign them).
+  /// exactly as TableBuilder would assign them). Self-admitting: takes
+  /// the gate exclusively (queries drain first) plus mutex().
   void AppendRow(const std::vector<ValueId>& codes);
 
   /// Appends a batch, choosing the arm by cost: small batches patch the
@@ -84,19 +268,19 @@ class CountingService {
   /// patching, and both arms are exact.
   void AppendRows(const std::vector<std::vector<ValueId>>& rows);
 
-  /// The append hooks for callers that already hold mutex() — e.g. an
-  /// api::Session, whose append must mutate the engine *and* its own
-  /// VC / P_A maintenance state under one critical section so a
+  /// The append hooks for callers that already hold an AppendAdmission
+  /// — e.g. an api::Session, whose append must mutate the engine *and*
+  /// its own VC / P_A maintenance state under one critical section so a
   /// concurrent search never observes half an append. Same
-  /// invalidate-or-patch semantics as the self-locking forms.
+  /// invalidate-or-patch semantics as the self-admitting forms.
   void AppendRowLocked(const std::vector<ValueId>& codes) {
     engine_.ApplyAppend({codes});
   }
   void AppendRowsLocked(const std::vector<std::vector<ValueId>>& rows);
 
   /// Drops every cached entry; appended rows (data) survive. Self-locks
-  /// like the append hooks (Configure, by contrast, runs under the
-  /// caller's search lock).
+  /// mutex() (Configure, by contrast, runs under the caller's search
+  /// lock). Exactness is cache-independent, so this is safe mid-wave.
   void Invalidate() {
     std::lock_guard<std::mutex> lock(mu_);
     engine_.InvalidateCache();
@@ -122,11 +306,67 @@ class CountingService {
   }
 
  private:
+  // One queued wave request; outputs (or `error`) are written by the
+  // coordinator before `done` flips under wave_mu_ (the mutex publishes
+  // them). A wave that threw — e.g. bad_alloc while materializing —
+  // fails every merged request: each waiter rethrows `error` from
+  // SubmitWave, exactly as the serialized path would have thrown from
+  // the engine call, and the scheduler itself stays unwedged.
+  struct WaveRequest {
+    const std::vector<AttrMask>* masks = nullptr;
+    int64_t budget = -1;
+    bool want_counts = false;  // PatternCounts semantics (exact sets)
+    bool collect = false;      // sizing: also return materialized sets
+    CountingEngineOptions config;
+    std::vector<int64_t> sizes;
+    std::vector<std::shared_ptr<const GroupCounts>> counts;
+    std::exception_ptr error;
+    bool done = false;
+  };
+
+  // Gate primitives (QueryAdmission / AppendAdmission wrap these).
+  void BeginQuery();
+  void EndQuery();
+  void BeginAppend();
+  void EndAppend();
+
+  // Blocks until `req` is done; the calling thread volunteers as
+  // coordinator whenever none is active.
+  void SubmitWave(WaveRequest& req);
+
+  // Drains the wave queue, one merged batch at a time, until it is
+  // empty; entered and left holding `lock` (wave_mu_).
+  void RunCoordinator(std::unique_lock<std::mutex>& lock);
+
+  // Executes one merged batch against the engine (takes mutex()); fills
+  // every request's outputs. Runs without wave_mu_ held.
+  void ExecuteWave(const std::vector<WaveRequest*>& batch);
+
   // Declared before engine_: the engine scans this table when the
   // owning constructor was used (destruction runs in reverse order).
   std::shared_ptr<const Table> owned_table_;
   mutable std::mutex mu_;
   CountingEngine engine_;
+
+  // Admission gate: queries shared, appenders exclusive with writer
+  // preference (a waiting appender blocks new queries, so a steady query
+  // stream cannot starve appends).
+  mutable std::mutex gate_mu_;
+  std::condition_variable gate_cv_;
+  int64_t gate_queries_ = 0;       // admitted queries
+  int64_t appenders_waiting_ = 0;  // appenders blocked on admission
+  bool appender_active_ = false;
+  std::atomic<int64_t> active_queries_relaxed_{0};
+  std::atomic<bool> evicted_{false};
+
+  // Wave scheduler state. Lock order: wave_mu_ -> (released) -> mu_;
+  // wave_mu_ is never held across engine work.
+  mutable std::mutex wave_mu_;
+  std::condition_variable wave_cv_;
+  std::deque<WaveRequest*> wave_queue_;
+  bool coordinator_active_ = false;
+  std::chrono::microseconds admission_window_{500};
+  WaveSchedulerStats wave_stats_;
 };
 
 }  // namespace pcbl

@@ -182,6 +182,12 @@ void ServiceRegistry::TrimLocked() {
   for (const TableFingerprint* fp : cold) {
     if (resident <= options_.memory_budget_bytes) break;
     auto it = services_.find(*fp);
+    // A cold entry (no outside holder) has no admitted queries or
+    // in-flight waves by construction; the probe is belt-and-braces
+    // against future acquire paths that might hand out references
+    // without bumping use_count.
+    if (it->second.service->in_flight() > 0) continue;
+    it->second.service->MarkEvicted();
     resident -= entry_bytes(it->second);
     services_.erase(it);
     ++stats_.evictions;
@@ -189,8 +195,21 @@ void ServiceRegistry::TrimLocked() {
 }
 
 void ServiceRegistry::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  services_.clear();
+  // Detach the entries under the lock, then drain outside it: a query
+  // refused on an evicted service reports back to the registry
+  // (NoteEvictedRejection), and quiescing with mu_ held would also stall
+  // every concurrent Acquire behind the slowest in-flight search.
+  std::unordered_map<TableFingerprint, Entry, FingerprintHash> dropped;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    dropped.swap(services_);
+  }
+  for (auto& [fp, entry] : dropped) {
+    // Mark first so api::Session stops admitting new queries, then wait
+    // out whatever is still running — eviction never races a live wave.
+    entry.service->MarkEvicted();
+    entry.service->Quiesce();
+  }
 }
 
 int64_t ServiceRegistry::ResidentBytes() const {
@@ -203,6 +222,8 @@ ServiceRegistryStats ServiceRegistry::stats() const {
   ServiceRegistryStats stats = stats_;
   stats.services = static_cast<int64_t>(services_.size());
   stats.resident_bytes = ResidentBytesLocked();
+  stats.evicted_rejections =
+      evicted_rejections_.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -43,6 +43,7 @@
 #ifndef PCBL_PATTERN_SERVICE_REGISTRY_H_
 #define PCBL_PATTERN_SERVICE_REGISTRY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -87,6 +88,10 @@ struct ServiceRegistryStats {
   int64_t evictions = 0;      ///< cold services dropped by the accountant
   int64_t services = 0;       ///< currently registered services
   int64_t resident_bytes = 0; ///< summed cache + table bytes right now
+  /// Queries refused (retryable kUnavailable) because their session's
+  /// service had been evicted — the "lost the race with eviction" count
+  /// an operator watches to size the memory budget.
+  int64_t evicted_rejections = 0;
 };
 
 class ServiceRegistry {
@@ -125,8 +130,18 @@ class ServiceRegistry {
 
   /// Drops every entry regardless of temperature (outstanding
   /// shared_ptrs keep their services — and the tables those own —
-  /// alive). Primarily for tests.
+  /// alive). Each dropped service is marked evicted (api::Session then
+  /// refuses new queries on it with a retryable kUnavailable) and its
+  /// in-flight admissions and waves are drained before the entry goes —
+  /// eviction never races a live wave. Primarily for tests.
   void Clear();
+
+  /// Records one query refused because its service was evicted; called
+  /// by api::Session, surfaced through stats().evicted_rejections (and
+  /// the CLI's registry line).
+  void NoteEvictedRejection() {
+    evicted_rejections_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   /// Summed resident bytes (engine caches + owned table copies) over
   /// all registered services.
@@ -164,6 +179,9 @@ class ServiceRegistry {
   ServiceRegistryStats stats_;
   uint64_t clock_ = 0;
   std::unordered_map<TableFingerprint, Entry, FingerprintHash> services_;
+  // Outside mu_: bumped on the query path (api::Session) while Clear may
+  // be quiescing services under mu_ — an atomic avoids the lock cycle.
+  std::atomic<int64_t> evicted_rejections_{0};
 };
 
 }  // namespace pcbl

@@ -24,6 +24,9 @@ enum class StatusCode {
   kUnimplemented = 6,
   kInternal = 7,
   kIOError = 8,
+  /// Transient resource loss (e.g. a registry-evicted counting service);
+  /// retrying against a freshly acquired resource is expected to succeed.
+  kUnavailable = 9,
 };
 
 /// Human-readable name of a status code (e.g. "InvalidArgument").
@@ -74,6 +77,7 @@ Status AlreadyExistsError(std::string message);
 Status UnimplementedError(std::string message);
 Status InternalError(std::string message);
 Status IOError(std::string message);
+Status UnavailableError(std::string message);
 
 /// A value-or-error result, modeled on absl::StatusOr<T>.
 ///

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Validate relative links and anchors in the repo's Markdown files.
+
+Walks every ``*.md`` under the repository root (skipping build trees and
+VCS metadata), extracts inline Markdown links/images, and checks that
+
+* relative link targets exist on disk, and
+* ``#anchor`` fragments (same-file or into another ``.md``) match a
+  heading in the target file, using GitHub's slugification rules
+  (lowercase, punctuation stripped, spaces to hyphens, ``-N`` suffixes
+  for repeated headings).
+
+External schemes (http/https/mailto) are ignored — this is a structure
+check, not a crawler. Exits non-zero listing every broken link, so CI
+fails loudly when docs are reorganized without fixing cross-references.
+"""
+
+import os
+import re
+import sys
+
+SKIP_DIRS = {".git", "node_modules", "__pycache__"}
+SKIP_PREFIXES = ("build",)  # build/, build-tsan/, build-review/, ...
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^()\s]+(?:\([^()]*\)[^()\s]*)*)\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*)$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def find_markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d
+            for d in dirnames
+            if d not in SKIP_DIRS and not d.startswith(SKIP_PREFIXES)
+        ]
+        for name in filenames:
+            if name.lower().endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def github_slug(heading, seen):
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_~]", "", slug)  # inline formatting
+    slug = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", slug)  # links -> text
+    slug = re.sub(r"[^\w\- ]", "", slug, flags=re.UNICODE)
+    slug = slug.replace(" ", "-")
+    n = seen.get(slug, 0)
+    seen[slug] = n + 1
+    return slug if n == 0 else f"{slug}-{n}"
+
+
+def heading_slugs(path):
+    slugs = set()
+    seen = {}
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING_RE.match(line)
+            if m:
+                slugs.add(github_slug(m.group(2), seen))
+    return slugs
+
+
+def extract_links(path):
+    links = []
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for m in LINK_RE.finditer(line):
+                links.append((lineno, m.group(1)))
+    return links
+
+
+def main():
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    slug_cache = {}
+
+    def slugs_for(path):
+        if path not in slug_cache:
+            slug_cache[path] = heading_slugs(path)
+        return slug_cache[path]
+
+    errors = []
+    checked = 0
+    for md in sorted(find_markdown_files(root)):
+        rel_md = os.path.relpath(md, root)
+        for lineno, target in extract_links(md):
+            if re.match(r"^[a-zA-Z][a-zA-Z0-9+.-]*:", target):
+                continue  # http:, https:, mailto:, ...
+            checked += 1
+            target = target.split("?", 1)[0]
+            path_part, _, anchor = target.partition("#")
+            if path_part:
+                resolved = os.path.normpath(
+                    os.path.join(os.path.dirname(md), path_part)
+                )
+                if not os.path.exists(resolved):
+                    errors.append(
+                        f"{rel_md}:{lineno}: broken link target "
+                        f"'{target}' (no such file)"
+                    )
+                    continue
+            else:
+                resolved = md  # same-file anchor
+            if anchor:
+                if not resolved.lower().endswith(".md") or os.path.isdir(
+                    resolved
+                ):
+                    continue  # anchors into non-markdown: not checked
+                if anchor.lower() not in slugs_for(resolved):
+                    errors.append(
+                        f"{rel_md}:{lineno}: broken anchor '#{anchor}' "
+                        f"(no matching heading in "
+                        f"{os.path.relpath(resolved, root)})"
+                    )
+
+    if errors:
+        print(f"docs-link check FAILED ({len(errors)} broken):")
+        for e in errors:
+            print(f"  {e}")
+        return 1
+    print(f"docs-link check OK ({checked} relative links validated)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
