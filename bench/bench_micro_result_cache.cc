@@ -1,0 +1,192 @@
+// Micro-benchmark for the two-level query-result tier (DESIGN.md §5.7):
+//
+//  * cold vs warm — the same search answered by a full execution vs a
+//    completed-cache hit; the acceptance criterion is warm >= 10x cold
+//    (a hit is one key derivation + one LRU lookup, no engine work);
+//  * in-flight dedup — K = 4 concurrent identical queries must cost at
+//    most ~1.3x the *engine work* of one solo execution (the full_scans
+//    counter is reported: with the tier it stays at the solo count, the
+//    cache-off arm multiplies it);
+//  * miss-path overhead — a stream of all-distinct queries with the tier
+//    on vs off; the delta is the pure bookkeeping cost (one hash + one
+//    map insert/erase per query) and must be negligible against any real
+//    query.
+//
+// Byte-identity of the cached and uncached arms is not asserted here —
+// that is the differential suite's job (result_cache_test.cc).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "api/dataset.h"
+#include "api/query.h"
+#include "api/session.h"
+#include "util/logging.h"
+#include "workload/datasets.h"
+
+namespace pcbl {
+namespace {
+
+constexpr int64_t kBound = 60;
+constexpr int kConcurrent = 4;
+
+const Table& CompasTable() {
+  static const Table* table = [] {
+    auto t = workload::MakeCompas(8000, 19);
+    PCBL_CHECK(t.ok());
+    return new Table(std::move(t).value());
+  }();
+  return *table;
+}
+
+api::Dataset PrivateDataset(const Table& table) {
+  api::DatasetOptions options;
+  options.private_service = true;
+  auto dataset = api::Dataset::FromTable(table, options);
+  PCBL_CHECK(dataset.ok());
+  return *dataset;
+}
+
+api::SessionOptions MakeOptions(bool cache_on) {
+  api::SessionOptions options;
+  options.num_threads = 1;
+  options.use_result_cache = cache_on;
+  return options;
+}
+
+// The acceptance pair: one identical search, cold (fresh service, full
+// execution) vs warm (answered from the completed-result cache).
+void BM_IdenticalSearchCold(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    api::Dataset dataset = PrivateDataset(CompasTable());
+    auto session = api::Session::Open(dataset, MakeOptions(true));
+    PCBL_CHECK(session.ok());
+    state.ResumeTiming();
+    api::QueryResult r =
+        (*session)->Run(api::QuerySpec::LabelSearch(kBound));
+    PCBL_CHECK(r.status.ok()) << r.status;
+    benchmark::DoNotOptimize(r.search.label.size());
+    state.PauseTiming();
+    (*session).reset();
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_IdenticalSearchCold)->Unit(benchmark::kMillisecond);
+
+void BM_IdenticalSearchWarm(benchmark::State& state) {
+  api::Dataset dataset = PrivateDataset(CompasTable());
+  auto session = api::Session::Open(dataset, MakeOptions(true));
+  PCBL_CHECK(session.ok());
+  // Populate the cache once; every timed iteration is a pure hit.
+  PCBL_CHECK(
+      (*session)->Run(api::QuerySpec::LabelSearch(kBound)).status.ok());
+  for (auto _ : state) {
+    api::QueryResult r =
+        (*session)->Run(api::QuerySpec::LabelSearch(kBound));
+    PCBL_CHECK(r.status.ok());
+    benchmark::DoNotOptimize(r.search.label.size());
+  }
+  state.counters["hits"] = static_cast<double>(
+      dataset.service()->result_tier_stats().hits);
+}
+BENCHMARK(BM_IdenticalSearchWarm)->Unit(benchmark::kMillisecond);
+
+// K concurrent identical queries over a cold service: with the tier the
+// whole batch performs one execution's engine work (full_scans equals
+// the solo count; later arrivals park on the leader); without it each
+// query sizes for itself wherever memoization cannot help.
+void RunConcurrentIdentical(benchmark::State& state, bool cache_on) {
+  int64_t full_scans = 0;
+  int64_t joins = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    api::Dataset dataset = PrivateDataset(CompasTable());
+    std::vector<std::unique_ptr<api::Session>> sessions;
+    for (int i = 0; i < kConcurrent; ++i) {
+      auto session = api::Session::Open(dataset, MakeOptions(cache_on));
+      PCBL_CHECK(session.ok());
+      sessions.push_back(std::move(*session));
+    }
+    state.ResumeTiming();
+    std::vector<std::thread> threads;
+    threads.reserve(sessions.size());
+    for (auto& session : sessions) {
+      threads.emplace_back([&session] {
+        api::QueryResult r =
+            session->Run(api::QuerySpec::LabelSearch(kBound));
+        PCBL_CHECK(r.status.ok()) << r.status;
+        benchmark::DoNotOptimize(r.search.label.size());
+      });
+    }
+    for (auto& t : threads) t.join();
+    state.PauseTiming();
+    full_scans = dataset.service()->StatsSnapshot().full_scans;
+    joins = dataset.service()->result_tier_stats().inflight_joins;
+    sessions.clear();
+    state.ResumeTiming();
+  }
+  state.counters["full_scans"] = static_cast<double>(full_scans);
+  state.counters["inflight_joins"] = static_cast<double>(joins);
+  state.counters["queries_per_iter"] = kConcurrent;
+}
+
+void BM_FourIdenticalQueriesTierOn(benchmark::State& state) {
+  RunConcurrentIdentical(state, /*cache_on=*/true);
+}
+BENCHMARK(BM_FourIdenticalQueriesTierOn)->Unit(benchmark::kMillisecond);
+
+void BM_FourIdenticalQueriesTierOff(benchmark::State& state) {
+  RunConcurrentIdentical(state, /*cache_on=*/false);
+}
+BENCHMARK(BM_FourIdenticalQueriesTierOff)->Unit(benchmark::kMillisecond);
+
+// Miss-path overhead: a stream of true counts with the tier in
+// dedup-only mode (budget 0: every query keys, misses, registers and
+// retires an in-flight entry, stores nothing) vs the tier off entirely.
+// The delta is the pure per-query bookkeeping cost.
+void RunMissPathStream(benchmark::State& state, bool tier_on) {
+  const Table& table = CompasTable();
+  api::Dataset dataset = PrivateDataset(table);
+  api::SessionOptions options = MakeOptions(tier_on);
+  if (tier_on) options.result_cache_budget = 0;  // force the miss path
+  auto session = api::Session::Open(dataset, options);
+  PCBL_CHECK(session.ok());
+  const std::string attr = table.schema().name(0);
+  const Dictionary& dict = table.dictionary(0);
+  // Warm the engine so both arms measure tier bookkeeping around an
+  // already-cheap query, not the first scan.
+  for (ValueId v = 0; v < dict.size(); ++v) {
+    PCBL_CHECK((*session)
+                   ->Run(api::QuerySpec::TrueCount(
+                       {{attr, dict.GetString(v)}}))
+                   .status.ok());
+  }
+  ValueId v = 0;
+  for (auto _ : state) {
+    api::QueryResult r = (*session)->Run(
+        api::QuerySpec::TrueCount({{attr, dict.GetString(v)}}));
+    PCBL_CHECK(r.status.ok());
+    benchmark::DoNotOptimize(r.true_count);
+    v = static_cast<ValueId>((v + 1) % dict.size());
+  }
+  state.counters["tier_hits"] = static_cast<double>(
+      dataset.service()->result_tier_stats().hits);
+}
+
+void BM_TrueCountStreamMissPath(benchmark::State& state) {
+  RunMissPathStream(state, /*tier_on=*/true);
+}
+BENCHMARK(BM_TrueCountStreamMissPath)->Unit(benchmark::kMicrosecond);
+
+void BM_TrueCountStreamTierOff(benchmark::State& state) {
+  RunMissPathStream(state, /*tier_on=*/false);
+}
+BENCHMARK(BM_TrueCountStreamTierOff)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace pcbl
+
+BENCHMARK_MAIN();

@@ -1,7 +1,134 @@
 #include "api/artifact.h"
 
+#include <algorithm>
+
+#include "util/str.h"
+
 namespace pcbl {
 namespace api {
+
+LabelArtifact::LabelArtifact(PortableLabel label) : label_(std::move(label)) {
+  const size_t n = label_.attribute_names.size();
+  attr_index_.reserve(n);
+  for (size_t a = 0; a < n; ++a) {
+    // emplace keeps the first occurrence, matching the label's
+    // first-match name resolution.
+    attr_index_.emplace(label_.attribute_names[a], static_cast<int>(a));
+  }
+
+  s_position_.assign(n, -1);
+  for (size_t j = 0; j < label_.label_attributes.size(); ++j) {
+    const int a = label_.label_attributes[j];
+    if (a >= 0 && static_cast<size_t>(a) < n && s_position_[a] < 0) {
+      s_position_[static_cast<size_t>(a)] = static_cast<int>(j);
+    }
+  }
+
+  vc_.resize(n);
+  vc_totals_.assign(n, 0);
+  for (size_t a = 0; a < label_.value_counts.size() && a < n; ++a) {
+    const auto& per_attr = label_.value_counts[a];
+    vc_[a].reserve(per_attr.size());
+    for (const auto& [value, count] : per_attr) {
+      vc_[a].emplace(value, count);  // first occurrence wins
+      // The total sums every raw entry (duplicates included), exactly as
+      // the label's linear vc_total does.
+      vc_totals_[a] += count;
+    }
+  }
+
+  postings_.resize(label_.label_attributes.size());
+  for (size_t g = 0; g < label_.pattern_counts.size(); ++g) {
+    const auto& values = label_.pattern_counts[g].first;
+    for (size_t j = 0; j < postings_.size() && j < values.size(); ++j) {
+      // An empty stored value means the PC entry does not bind this
+      // attribute; it can never match a queried term, so it gets no
+      // posting.
+      if (!values[j].empty()) postings_[j][values[j]].push_back(g);
+    }
+  }
+}
+
+Result<double> LabelArtifact::EstimateCount(
+    const std::vector<std::pair<std::string, std::string>>& pattern) const {
+  // Resolve names to attribute indices — same error order and wording as
+  // PortableLabel::EstimateCount.
+  std::vector<std::pair<int, const std::string*>> terms;
+  terms.reserve(pattern.size());
+  for (const auto& [name, value] : pattern) {
+    const auto it = attr_index_.find(name);
+    if (it == attr_index_.end()) {
+      return NotFoundError(StrCat("unknown attribute '", name, "'"));
+    }
+    for (const auto& [prev, unused] : terms) {
+      (void)unused;
+      if (prev == it->second) {
+        return InvalidArgumentError(
+            StrCat("attribute '", name, "' bound twice"));
+      }
+    }
+    terms.emplace_back(it->second, &value);
+  }
+
+  // Base: c(p|S) — marginal over PC entries matching the bound S-attrs.
+  // The sum is exact int64 arithmetic, so answering it from posting-list
+  // intersection instead of a full PC scan changes nothing.
+  std::vector<std::pair<size_t, const std::string*>> bound;  // (pos in S, v)
+  for (const auto& [attr, value] : terms) {
+    const int pos = s_position_[static_cast<size_t>(attr)];
+    if (pos >= 0) bound.emplace_back(static_cast<size_t>(pos), value);
+  }
+  double est;
+  if (bound.empty()) {
+    est = static_cast<double>(label_.total_rows);
+  } else {
+    // Drive the scan from the shortest posting list among the bound
+    // terms; a term whose value has no postings zeroes the base outright.
+    const std::vector<size_t>* drive = nullptr;
+    bool impossible = false;
+    for (const auto& [pos, v] : bound) {
+      const auto it = postings_[pos].find(*v);
+      if (it == postings_[pos].end()) {
+        impossible = true;
+        break;
+      }
+      if (drive == nullptr || it->second.size() < drive->size()) {
+        drive = &it->second;
+      }
+    }
+    int64_t base = 0;
+    if (!impossible) {
+      for (const size_t g : *drive) {
+        const auto& values = label_.pattern_counts[g].first;
+        bool match = true;
+        for (const auto& [pos, v] : bound) {
+          const std::string& stored = values[pos];
+          if (stored.empty() || stored != *v) {
+            match = false;
+            break;
+          }
+        }
+        if (match) base += label_.pattern_counts[g].second;
+      }
+    }
+    est = static_cast<double>(base);
+  }
+
+  // Independence factors for the attributes outside S, multiplied in
+  // term order (floating-point multiplication order matters for
+  // byte-identity with the label's own estimate).
+  for (const auto& [attr, value] : terms) {
+    if (s_position_[static_cast<size_t>(attr)] >= 0) continue;
+    const int64_t total = vc_totals_[static_cast<size_t>(attr)];
+    if (total == 0) return 0.0;
+    const auto it = vc_[static_cast<size_t>(attr)].find(*value);
+    const int64_t count = it == vc_[static_cast<size_t>(attr)].end()
+                              ? 0
+                              : it->second;
+    est *= static_cast<double>(count) / static_cast<double>(total);
+  }
+  return est;
+}
 
 Result<PortableLabel> LoadLabelArtifact(const std::string& path) {
   return LoadLabel(path);
@@ -13,15 +140,37 @@ Result<double> EstimateFromLabel(
   return label.EstimateCount(pattern);
 }
 
+Result<double> EstimateFromLabel(
+    const LabelArtifact& artifact,
+    const std::vector<std::pair<std::string, std::string>>& pattern) {
+  return artifact.EstimateCount(pattern);
+}
+
 Result<std::vector<FitnessWarning>> AuditLabelArtifact(
     const PortableLabel& label, const std::vector<std::string>& attrs,
     const AuditOptions& options) {
   return AuditLabel(label, attrs, options);
 }
 
+Result<std::vector<FitnessWarning>> AuditLabelArtifact(
+    const LabelArtifact& artifact, const std::vector<std::string>& attrs,
+    const AuditOptions& options) {
+  return AuditLabel(
+      artifact.label(), attrs, options,
+      [&artifact](
+          const std::vector<std::pair<std::string, std::string>>& group) {
+        return artifact.EstimateCount(group);
+      });
+}
+
 LabelDiff DiffLabelArtifacts(const PortableLabel& old_label,
                              const PortableLabel& new_label) {
   return DiffLabels(old_label, new_label);
+}
+
+LabelDiff DiffLabelArtifacts(const LabelArtifact& old_artifact,
+                             const LabelArtifact& new_artifact) {
+  return DiffLabels(old_artifact.label(), new_artifact.label());
 }
 
 }  // namespace api

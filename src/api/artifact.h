@@ -9,7 +9,9 @@
 #ifndef PCBL_API_ARTIFACT_H_
 #define PCBL_API_ARTIFACT_H_
 
+#include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -21,6 +23,59 @@
 namespace pcbl {
 namespace api {
 
+/// A PortableLabel indexed for repeated consumer-side queries.
+///
+/// PortableLabel::EstimateCount resolves attribute names, VC values, and
+/// matching PC entries by linear scan — fine for one estimate, quadratic
+/// pain for an audit that estimates every value intersection. A
+/// LabelArtifact builds the lookup structures once (name→index map,
+/// per-attribute value→count maps and marginal totals, and per-S-position
+/// postings from value to the PC entries binding it) and then answers
+/// each estimate from them. Estimates are numerically identical to the
+/// wrapped label's own — same error conditions and wording, same
+/// int64 base summation, same independence-factor multiplication order —
+/// so an artifact can stand in for its label anywhere, including as the
+/// estimator of an audit.
+///
+/// Immutable after construction; safe to share across threads.
+class LabelArtifact {
+ public:
+  /// Takes ownership of the label (typically fresh from
+  /// LoadLabelArtifact or a cached query result's MakePortable output).
+  explicit LabelArtifact(PortableLabel label);
+
+  /// The wrapped label.
+  const PortableLabel& label() const { return label_; }
+
+  /// |D| of the labeled dataset.
+  int64_t total_rows() const { return label_.total_rows; }
+
+  /// |PC| — the label size.
+  int64_t size() const { return label_.size(); }
+
+  /// Index-accelerated Definition 2.11 estimate; byte-identical to
+  /// PortableLabel::EstimateCount on the wrapped label.
+  Result<double> EstimateCount(
+      const std::vector<std::pair<std::string, std::string>>& pattern) const;
+
+ private:
+  PortableLabel label_;
+  /// Attribute name → index; on (pathological) duplicate names the first
+  /// occurrence wins, matching the label's first-match linear scan.
+  std::unordered_map<std::string, int> attr_index_;
+  /// Attribute index → its position in S, or -1 when outside S.
+  std::vector<int> s_position_;
+  /// Per attribute: value → VC count (first occurrence wins).
+  std::vector<std::unordered_map<std::string, int64_t>> vc_;
+  /// Per attribute: sum of all VC counts (the independence denominator).
+  std::vector<int64_t> vc_totals_;
+  /// Per S position: value → indices of PC entries binding that value at
+  /// that position. Empty stored values (the entry does not bind the
+  /// attribute) are excluded — they can never match a queried term.
+  std::vector<std::unordered_map<std::string, std::vector<size_t>>>
+      postings_;
+};
+
 /// Loads a portable label from a JSON or binary file (format sniffed).
 Result<PortableLabel> LoadLabelArtifact(const std::string& path);
 
@@ -31,6 +86,11 @@ Result<double> EstimateFromLabel(
     const PortableLabel& label,
     const std::vector<std::pair<std::string, std::string>>& pattern);
 
+/// As above, answered from an already-built artifact's indexes.
+Result<double> EstimateFromLabel(
+    const LabelArtifact& artifact,
+    const std::vector<std::pair<std::string, std::string>>& pattern);
+
 /// Fitness-for-use audit over a label alone (Sec. I's motivating
 /// workflow): underrepresentation / skew / correlation warnings over the
 /// intersections of `attrs` (all attributes when empty).
@@ -38,10 +98,21 @@ Result<std::vector<FitnessWarning>> AuditLabelArtifact(
     const PortableLabel& label, const std::vector<std::string>& attrs,
     const AuditOptions& options);
 
+/// As above, but every per-intersection estimate is answered by the
+/// artifact's indexes instead of the label's linear scans — the same
+/// warnings, materially faster on wide audits.
+Result<std::vector<FitnessWarning>> AuditLabelArtifact(
+    const LabelArtifact& artifact, const std::vector<std::string>& attrs,
+    const AuditOptions& options);
+
 /// What changed between two releases of a dataset, as seen through their
 /// labels alone.
 LabelDiff DiffLabelArtifacts(const PortableLabel& old_label,
                              const PortableLabel& new_label);
+
+/// As above for already-built artifacts.
+LabelDiff DiffLabelArtifacts(const LabelArtifact& old_artifact,
+                             const LabelArtifact& new_artifact);
 
 }  // namespace api
 }  // namespace pcbl

@@ -29,6 +29,7 @@
 #include "core/error.h"
 #include "core/portable_label.h"
 #include "core/search.h"
+#include "pattern/service_registry.h"
 #include "util/attr_mask.h"
 #include "util/status.h"
 
@@ -71,6 +72,16 @@ struct QuerySpec {
   /// in-flight sizing batches) vs. the serialized whole-search lock.
   /// Byte-identical results either way; see docs/CONCURRENCY.md.
   std::optional<bool> use_wave_scheduler;
+  /// Route the query through the service's result tier: identical
+  /// in-flight queries collapse onto one execution, identical repeats
+  /// answer from the bounded completed-result cache. Byte-identical
+  /// results either way (the key covers every result-affecting field).
+  /// See DESIGN.md §5.7.
+  std::optional<bool> use_result_cache;
+  /// Byte budget of the service's completed-result cache (last writer
+  /// wins on the shared service; 0 keeps in-flight dedup but caches no
+  /// completed results). Unset = session default.
+  std::optional<int64_t> result_cache_budget;
 
   /// Convenience factories for the common shapes.
   static QuerySpec LabelSearch(int64_t size_bound,
@@ -155,6 +166,30 @@ class QueryFuture {
 /// Session::Submit runs this plus the schema- and option-dependent
 /// checks; exposed so callers can pre-validate a spec they assemble.
 Status ValidateQuerySpec(const QuerySpec& spec);
+
+/// True when `spec`'s result is a pure function of (table content,
+/// canonicalized spec) — the precondition for riding the result tier.
+/// Wall-clock-limited searches are excluded: where their candidate
+/// generation is cut off depends on elapsed time, not on content.
+bool QuerySpecCacheable(const QuerySpec& spec);
+
+/// Canonical, stable 128-bit key of (table content, result-affecting
+/// spec fields). Attribute sets are order-insensitive — true-count
+/// terms are sorted by (name, value), the focus set hashes by mask
+/// bits — and a default left implicit keys identically to the same
+/// value spelled out. Knobs that cannot change result bytes (threads,
+/// engine/memoization flags, scheduler, the result-cache flags
+/// themselves) and kTrueCount's consumer-side `label` (the data-backed
+/// count is label-independent; the estimate is merged per caller) are
+/// excluded. Deterministic across processes: no pointers, no
+/// container-iteration order. Precondition: QuerySpecCacheable(spec).
+QueryResultKey CanonicalQueryKey(const QuerySpec& spec,
+                                 const TableFingerprint& fingerprint);
+
+/// Approximate heap footprint of one QueryResult, for the result
+/// cache's byte accounting (the shared VC set is excluded — labels of
+/// one dataset share it, so the engine side already pays for it).
+int64_t ApproxQueryResultBytes(const QueryResult& result);
 
 }  // namespace api
 }  // namespace pcbl

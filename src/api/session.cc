@@ -75,6 +75,16 @@ Result<std::unique_ptr<Session>> Session::Open(Dataset dataset,
         "conflicting engine flags: a disabled counting engine cannot "
         "honour a positive cache budget");
   }
+  if (options.result_cache_budget < -1) {
+    return InvalidArgumentError(
+        "result_cache_budget must be >= 0 (or -1 for the service "
+        "default)");
+  }
+  if (!options.use_result_cache && options.result_cache_budget > 0) {
+    return InvalidArgumentError(
+        "conflicting result-cache flags: a disabled result cache cannot "
+        "honour a positive byte budget");
+  }
   if (options.num_threads == 0) options.num_threads = DefaultThreadCount();
   return std::unique_ptr<Session>(
       new Session(std::move(dataset), options));
@@ -99,6 +109,19 @@ Status Session::Validate(const QuerySpec& spec) const {
     return InvalidArgumentError(
         "conflicting engine flags: a disabled counting engine cannot "
         "honour a positive cache budget");
+  }
+  // Same cross-boundary check for the result tier: a spec may inherit
+  // the disabled cache from the session while asking for a budget
+  // itself, or vice versa.
+  const bool result_cache_on =
+      spec.use_result_cache.value_or(options_.use_result_cache);
+  const int64_t result_budget = spec.result_cache_budget.has_value()
+                                    ? *spec.result_cache_budget
+                                    : options_.result_cache_budget;
+  if (!result_cache_on && result_budget > 0) {
+    return InvalidArgumentError(
+        "conflicting result-cache flags: a disabled result cache cannot "
+        "honour a positive byte budget");
   }
   if (!spec.focus.empty() &&
       !spec.focus.IsSubsetOf(
@@ -183,6 +206,60 @@ QueryResult Session::Execute(const QuerySpec& spec) {
   return result;
 }
 
+QueryResult Session::ExecuteViaResultTier(
+    const QuerySpec& spec, bool scheduled,
+    const std::function<QueryResult()>& body) {
+  CountingService& service = *dataset_.service();
+  const bool cache_on =
+      spec.use_result_cache.value_or(options_.use_result_cache);
+  // Stable for the whole call: the caller's admission excludes appends.
+  const int64_t rows = service.engine().total_rows();
+  // A true count resolves value strings against *session* dictionaries,
+  // which diverge across sessions once an appender interned fresh values
+  // (a sibling reports NotFound where the appender counts) — only over
+  // un-appended data is it a pure function of (content, spec).
+  const bool session_dependent =
+      spec.kind == QuerySpec::Kind::kTrueCount &&
+      rows != dataset_.table().num_rows();
+  if (!cache_on || session_dependent || !QuerySpecCacheable(spec)) {
+    return body();
+  }
+  const QueryResultKey key =
+      CanonicalQueryKey(spec, dataset_.fingerprint());
+  const int64_t budget = spec.result_cache_budget.has_value()
+                             ? *spec.result_cache_budget
+                             : options_.result_cache_budget;
+  // Only a gate-admitted (scheduled) query may park on a leader: the
+  // serialized discipline holds mutex(), which the leader's waves need.
+  ResultProbe probe =
+      service.ResultLookupOrBegin(key, rows, /*may_join=*/scheduled, budget);
+  if (probe.hit) {
+    return *std::static_pointer_cast<const QueryResult>(probe.value);
+  }
+  if (probe.leader) {
+    QueryResult result;
+    try {
+      result = body();
+    } catch (...) {
+      // Joiners rethrow from their future, exactly as executing the
+      // query themselves would have thrown.
+      service.ResultAbort(key, std::current_exception());
+      throw;
+    }
+    auto shared = std::make_shared<const QueryResult>(std::move(result));
+    // Error results still resolve the parked joiners (the error is
+    // deterministic for an identical spec) but are not retained.
+    service.ResultPublish(key, shared, ApproxQueryResultBytes(*shared),
+                          /*cache=*/shared->status.ok());
+    return *shared;
+  }
+  if (probe.join.valid()) {
+    return *std::static_pointer_cast<const QueryResult>(probe.join.get());
+  }
+  // In flight but this caller may not park: execute without publishing.
+  return body();
+}
+
 QueryResult Session::ExecuteSearch(const QuerySpec& spec) {
   CountingService& service = *dataset_.service();
   const bool scheduled = UseScheduler(spec);
@@ -200,7 +277,9 @@ QueryResult Session::ExecuteSearch(const QuerySpec& spec) {
     result.status = admitted;
     return result;
   }
-  return ExecuteSearchAdmitted(spec, scheduled);
+  return ExecuteViaResultTier(spec, scheduled, [&] {
+    return ExecuteSearchAdmitted(spec, scheduled);
+  });
 }
 
 QueryResult Session::ExecuteSearchAdmitted(const QuerySpec& spec,
@@ -257,7 +336,13 @@ QueryResult Session::ExecuteTrueCount(const QuerySpec& spec) {
     result.status = admitted;
     return result;
   }
-  QueryResult counted = ExecuteTrueCountAdmitted(spec, scheduled);
+  // The tier caches the counted half only (ExecuteTrueCountAdmitted
+  // never sets `estimate`): the data-backed count is label-independent,
+  // so specs differing only in `label` share one cache entry and each
+  // caller merges its own estimate below.
+  QueryResult counted = ExecuteViaResultTier(spec, scheduled, [&] {
+    return ExecuteTrueCountAdmitted(spec, scheduled);
+  });
   counted.estimate = result.estimate;  // computed service-free above
   return counted;
 }
@@ -321,6 +406,16 @@ QueryResult Session::ExecuteProfile(const QuerySpec& spec) {
     result.status = admitted;
     return result;
   }
+  return ExecuteViaResultTier(spec, scheduled, [&] {
+    return ExecuteProfileAdmitted(spec, scheduled);
+  });
+}
+
+QueryResult Session::ExecuteProfileAdmitted(const QuerySpec& spec,
+                                            bool scheduled) {
+  QueryResult result;
+  result.kind = spec.kind;
+  CountingService& service = *dataset_.service();
   result.total_rows = service.engine().total_rows();
   const int n = dataset_.table().num_attributes();
   std::vector<AttrMask> masks;

@@ -55,6 +55,7 @@
 #define PCBL_API_SESSION_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -104,6 +105,23 @@ struct SessionOptions {
   /// results; the differential harness' reference arm). See
   /// docs/CONCURRENCY.md.
   bool use_wave_scheduler = true;
+
+  /// Route queries through the service's two-level result tier:
+  /// identical in-flight queries collapse onto one execution (later
+  /// arrivals park on the leader's shared future), identical repeats
+  /// answer from a bounded per-service cache of completed results.
+  /// Byte-identical results either way — the key covers every
+  /// result-affecting field; disabling is the differential harness'
+  /// reference arm. See DESIGN.md §5.7 and docs/CONCURRENCY.md.
+  bool use_result_cache = true;
+
+  /// Byte budget of the shared service's completed-result cache; -1 =
+  /// the service default (CountingService::kDefaultResultCacheBudget),
+  /// 0 = in-flight dedup only. Applied on this session's queries (last
+  /// writer wins across sessions sharing the service); the cached bytes
+  /// are accounted in the process-wide registry budget alongside the
+  /// engine's PC sets.
+  int64_t result_cache_budget = -1;
 };
 
 class Session {
@@ -171,6 +189,17 @@ class Session {
   QueryResult ExecuteSearchAdmitted(const QuerySpec& spec, bool scheduled);
   QueryResult ExecuteTrueCountAdmitted(const QuerySpec& spec,
                                        bool scheduled);
+  QueryResult ExecuteProfileAdmitted(const QuerySpec& spec, bool scheduled);
+
+  // Routes one admitted query through the service's result tier (cache
+  // hit / park on an identical in-flight leader / execute `body` and
+  // publish). Falls through to `body` when the tier is off, the spec is
+  // not cacheable, or the result would be session-dependent (a true
+  // count after appends resolves values against session dictionaries).
+  // The caller holds the admission matching `scheduled` for the whole
+  // call, which pins the engine rows the cache entries are tagged with.
+  QueryResult ExecuteViaResultTier(const QuerySpec& spec, bool scheduled,
+                                   const std::function<QueryResult()>& body);
 
   // Effective per-query knobs (spec overrides over session defaults).
   SearchOptions ToSearchOptions(const QuerySpec& spec) const;

@@ -4,6 +4,7 @@
 // warnings without touching the data. Routed through the pcbl::api
 // artifact facade, the blessed label-only surface.
 #include <ostream>
+#include <utility>
 
 #include "api/artifact.h"
 #include "cli/commands.h"
@@ -59,6 +60,8 @@ int CmdAudit(const Args& args, std::ostream& out, std::ostream& err) {
 
   auto label = api::LoadLabelArtifact(args.positional()[0]);
   if (!label.ok()) return FailWith(label.status(), "audit", err);
+  // Index once; the audit estimates every enumerated intersection.
+  const api::LabelArtifact artifact(std::move(*label));
 
   std::vector<std::string> attrs;
   const std::string attrs_flag = args.GetString("attrs");
@@ -69,11 +72,11 @@ int CmdAudit(const Args& args, std::ostream& out, std::ostream& err) {
     }
   }
 
-  auto warnings = api::AuditLabelArtifact(*label, attrs, options);
+  auto warnings = api::AuditLabelArtifact(artifact, attrs, options);
   if (!warnings.ok()) return FailWith(warnings.status(), "audit", err);
 
   out << "label:    " << args.positional()[0] << " ("
-      << WithThousandsSeparators(label->total_rows) << " rows)\n";
+      << WithThousandsSeparators(artifact.total_rows()) << " rows)\n";
   out << "warnings: " << warnings->size() << " (min-count "
       << options.min_group_count << ", max-share "
       << PercentString(options.max_group_share, 0) << ", corr-factor "

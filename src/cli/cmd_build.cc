@@ -43,6 +43,13 @@ constexpr char kUsage[] =
     "  --service-budget N process-wide memory budget (bytes) on the\n"
     "                     counting-service registry's caches\n"
     "                     (0 = unbounded)\n"
+    "  --no-result-cache  bypass the whole-query result tier (identical\n"
+    "                     in-flight queries dedup, identical repeats\n"
+    "                     answer from cache; results are identical\n"
+    "                     either way)\n"
+    "  --result-cache-budget N\n"
+    "                     byte budget of the per-service result cache\n"
+    "                     (0 = dedup only, cache nothing)\n"
     "  --out FILE         save the portable label (JSON; see --binary)\n"
     "  --binary           save in the compact binary format instead\n"
     "  --name NAME        dataset display name stored in the label\n";
@@ -61,7 +68,8 @@ int CmdBuild(const Args& args, std::ostream& out, std::ostream& err) {
   if (Status s = args.CheckKnown({"help", "bound", "algo", "metric",
                                   "focus", "time-limit", "threads",
                                   "no-engine", "cache-budget",
-                                  "service-budget", "out", "binary",
+                                  "service-budget", "no-result-cache",
+                                  "result-cache-budget", "out", "binary",
                                   "name"});
       !s.ok()) {
     return FailWith(s, "build", err);

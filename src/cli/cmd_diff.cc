@@ -4,6 +4,7 @@
 // Routed through the pcbl::api artifact facade, the blessed label-only
 // surface.
 #include <ostream>
+#include <utility>
 
 #include "api/artifact.h"
 #include "cli/commands.h"
@@ -42,7 +43,9 @@ int CmdDiff(const Args& args, std::ostream& out, std::ostream& err) {
   auto new_label = api::LoadLabelArtifact(args.positional()[1]);
   if (!new_label.ok()) return FailWith(new_label.status(), "diff", err);
 
-  const LabelDiff diff = api::DiffLabelArtifacts(*old_label, *new_label);
+  const api::LabelArtifact old_artifact(std::move(*old_label));
+  const api::LabelArtifact new_artifact(std::move(*new_label));
+  const LabelDiff diff = api::DiffLabelArtifacts(old_artifact, new_artifact);
   out << args.positional()[0] << " -> " << args.positional()[1] << "\n";
   out << RenderLabelDiff(diff, static_cast<int>(*limit));
   return kExitOk;

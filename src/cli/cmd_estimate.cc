@@ -16,6 +16,7 @@
 #include <cmath>
 #include <memory>
 #include <ostream>
+#include <utility>
 
 #include "api/artifact.h"
 #include "api/dataset.h"
@@ -47,7 +48,12 @@ constexpr char kUsage[] =
     "                     entries (0 disables memoization)\n"
     "  --service-budget N process-wide memory budget (bytes) on the\n"
     "                     counting-service registry's caches\n"
-    "                     (0 = unbounded)\n";
+    "                     (0 = unbounded)\n"
+    "  --no-result-cache  bypass the whole-query result tier for the\n"
+    "                     true count (results are identical either way)\n"
+    "  --result-cache-budget N\n"
+    "                     byte budget of the per-service result cache\n"
+    "                     (0 = dedup only, cache nothing)\n";
 }  // namespace
 
 int CmdEstimate(const Args& args, std::ostream& out, std::ostream& err) {
@@ -57,7 +63,8 @@ int CmdEstimate(const Args& args, std::ostream& out, std::ostream& err) {
   }
   if (Status s = args.CheckKnown({"help", "pattern", "data", "threads",
                                   "no-engine", "cache-budget",
-                                  "service-budget"});
+                                  "service-budget", "no-result-cache",
+                                  "result-cache-budget"});
       !s.ok()) {
     return FailWith(s, "estimate", err);
   }
@@ -77,25 +84,27 @@ int CmdEstimate(const Args& args, std::ostream& out, std::ostream& err) {
   if (data_path.empty() && flags->any) {
     return FailWith(
         InvalidArgumentError("--threads/--no-engine/--cache-budget/"
-                             "--service-budget require --data"),
+                             "--service-budget/--no-result-cache/"
+                             "--result-cache-budget require --data"),
         "estimate", err);
   }
   auto terms = ParseNamedPattern(pattern_text);
   if (!terms.ok()) return FailWith(terms.status(), "estimate", err);
   auto label = api::LoadLabelArtifact(args.positional()[0]);
   if (!label.ok()) return FailWith(label.status(), "estimate", err);
+  const api::LabelArtifact artifact(std::move(*label));
 
-  auto estimate = api::EstimateFromLabel(*label, *terms);
+  auto estimate = api::EstimateFromLabel(artifact, *terms);
   if (!estimate.ok()) return FailWith(estimate.status(), "estimate", err);
 
   const double share =
-      label->total_rows > 0
-          ? *estimate / static_cast<double>(label->total_rows)
+      artifact.total_rows() > 0
+          ? *estimate / static_cast<double>(artifact.total_rows())
           : 0.0;
   out << "pattern:   " << pattern_text << "\n";
   out << StrFormat("estimate:  %.2f (~%lld of %lld rows, %s)\n", *estimate,
                    static_cast<long long>(std::llround(*estimate)),
-                   static_cast<long long>(label->total_rows),
+                   static_cast<long long>(artifact.total_rows()),
                    PercentString(share).c_str());
 
   if (!data_path.empty()) {

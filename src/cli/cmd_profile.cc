@@ -50,7 +50,13 @@ constexpr char kUsage[] =
     "                     entries (0 disables memoization)\n"
     "  --service-budget N process-wide memory budget (bytes) on the\n"
     "                     counting-service registry's caches\n"
-    "                     (0 = unbounded)\n";
+    "                     (0 = unbounded)\n"
+    "  --no-result-cache  bypass the whole-query result tier for the\n"
+    "                     pairwise sizing (results are identical either\n"
+    "                     way)\n"
+    "  --result-cache-budget N\n"
+    "                     byte budget of the per-service result cache\n"
+    "                     (0 = dedup only, cache nothing)\n";
 }  // namespace
 
 int CmdProfile(const Args& args, std::ostream& out, std::ostream& err) {
@@ -59,7 +65,9 @@ int CmdProfile(const Args& args, std::ostream& out, std::ostream& err) {
     return kExitOk;
   }
   if (Status s = args.CheckKnown({"help", "pairs", "threads", "no-engine",
-                                  "cache-budget", "service-budget"});
+                                  "cache-budget", "service-budget",
+                                  "no-result-cache",
+                                  "result-cache-budget"});
       !s.ok()) {
     return FailWith(s, "profile", err);
   }
@@ -72,7 +80,8 @@ int CmdProfile(const Args& args, std::ostream& out, std::ostream& err) {
   if (!args.Has("pairs") && flags->any) {
     return FailWith(
         InvalidArgumentError("--threads/--no-engine/--cache-budget/"
-                             "--service-budget require --pairs"),
+                             "--service-budget/--no-result-cache/"
+                             "--result-cache-budget require --pairs"),
         "profile", err);
   }
   auto pairs_limit = args.GetInt("pairs", 20);

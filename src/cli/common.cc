@@ -49,6 +49,9 @@ api::SessionOptions ServiceFlags::ToSessionOptions() const {
   options.num_threads = static_cast<int>(threads);  // 0 = auto, as here
   options.use_counting_engine = !no_engine;
   options.counting_cache_budget = has_cache_budget ? cache_budget : -1;
+  options.use_result_cache = !no_result_cache;
+  options.result_cache_budget =
+      has_result_cache_budget ? result_cache_budget : -1;
   return options;
 }
 
@@ -74,8 +77,15 @@ Result<ServiceFlags> ParseServiceFlags(const Args& args) {
       return InvalidArgumentError("--service-budget must be >= 0");
     }
   }
+  flags.no_result_cache = args.GetBool("no-result-cache");
+  flags.has_result_cache_budget = args.Has("result-cache-budget");
+  if (flags.has_result_cache_budget) {
+    PCBL_ASSIGN_OR_RETURN(flags.result_cache_budget,
+                          args.GetInt("result-cache-budget", -1));
+  }
   flags.any = args.Has("threads") || args.Has("no-engine") ||
-              args.Has("cache-budget") || args.Has("service-budget");
+              args.Has("cache-budget") || args.Has("service-budget") ||
+              args.Has("no-result-cache") || args.Has("result-cache-budget");
   return flags;
 }
 
@@ -96,6 +106,22 @@ std::string FormatRegistryStats() {
     line += StrFormat(", %lld evicted-service rejection%s",
                       static_cast<long long>(stats.evicted_rejections),
                       stats.evicted_rejections == 1 ? "" : "s");
+  }
+  // The whole-query result tier, once it saw any traffic.
+  if (stats.result_hits + stats.result_misses +
+          stats.result_inflight_joins >
+      0) {
+    line += StrFormat(
+        "; results: %lld hit%s, %lld miss%s, %lld join%s "
+        "(%lld cached, %lld bytes)",
+        static_cast<long long>(stats.result_hits),
+        stats.result_hits == 1 ? "" : "s",
+        static_cast<long long>(stats.result_misses),
+        stats.result_misses == 1 ? "" : "es",
+        static_cast<long long>(stats.result_inflight_joins),
+        stats.result_inflight_joins == 1 ? "" : "s",
+        static_cast<long long>(stats.result_entries),
+        static_cast<long long>(stats.result_bytes));
   }
   line += "\n";
   return line;

@@ -44,9 +44,10 @@ Result<OptimizationMetric> ParseMetric(const std::string& name);
 
 /// The engine/service flag set shared by the data-backed commands —
 /// `--threads N` (0 or absent = all hardware threads), `--no-engine`,
-/// `--cache-budget N`, `--service-budget N` — parsed once here instead
-/// of per command, and converted into the façade's option structs.
-/// Value validation (negative threads, conflicting engine flags) is the
+/// `--cache-budget N`, `--service-budget N`, `--no-result-cache`,
+/// `--result-cache-budget N` — parsed once here instead of per command,
+/// and converted into the façade's option structs. Value validation
+/// (negative threads, conflicting engine or result-cache flags) is the
 /// façade's job: Session::Open / Submit return Status on nonsense.
 struct ServiceFlags {
   int64_t threads = 0;          ///< 0 = all hardware threads
@@ -54,7 +55,10 @@ struct ServiceFlags {
   int64_t cache_budget = -1;    ///< meaningful iff has_cache_budget
   bool has_cache_budget = false;
   int64_t service_budget = -1;  ///< registry budget; -1 = flag absent
-  bool any = false;             ///< any of the four flags was present
+  bool no_result_cache = false;
+  int64_t result_cache_budget = -1;  ///< iff has_result_cache_budget
+  bool has_result_cache_budget = false;
+  bool any = false;             ///< any of the six flags was present
 
   /// Session defaults carrying the per-invocation knobs.
   api::SessionOptions ToSessionOptions() const;

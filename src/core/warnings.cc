@@ -43,7 +43,7 @@ std::string FitnessWarning::GroupString() const {
 
 Result<std::vector<FitnessWarning>> AuditLabel(
     const PortableLabel& label, std::vector<std::string> attributes,
-    const AuditOptions& options) {
+    const AuditOptions& options, const PatternEstimator& estimator) {
   if (options.max_arity < 1) {
     return InvalidArgumentError("max_arity must be at least 1");
   }
@@ -107,6 +107,17 @@ Result<std::vector<FitnessWarning>> AuditLabel(
     }
     if (skip) continue;
 
+    // The per-attribute marginal totals are loop-invariant across the
+    // value odometer below; compute them once per combination.
+    std::vector<int64_t> attr_totals(combo.size(), 0);
+    for (size_t j = 0; j < combo.size(); ++j) {
+      const auto& vc = label.value_counts[static_cast<size_t>(combo[j])];
+      for (const auto& [v, c] : vc) {
+        (void)v;
+        attr_totals[j] += c;
+      }
+    }
+
     // Odometer over the value combinations.
     std::vector<size_t> pos(combo.size(), 0);
     for (;;) {
@@ -119,13 +130,12 @@ Result<std::vector<FitnessWarning>> AuditLabel(
         const auto& [value, count] = vc[pos[j]];
         group.emplace_back(label.attribute_names[static_cast<size_t>(a)],
                            value);
-        int64_t attr_total = 0;
-        for (const auto& [v, c] : vc) attr_total += c;
-        independence *= attr_total > 0 ? static_cast<double>(count) /
-                                             static_cast<double>(attr_total)
-                                       : 0.0;
+        independence *= attr_totals[j] > 0
+                            ? static_cast<double>(count) /
+                                  static_cast<double>(attr_totals[j])
+                            : 0.0;
       }
-      auto est = label.EstimateCount(group);
+      auto est = estimator ? estimator(group) : label.EstimateCount(group);
       if (!est.ok()) return est.status();
 
       if (*est < static_cast<double>(options.min_group_count)) {

@@ -23,6 +23,7 @@
 #define PCBL_CORE_WARNINGS_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -74,14 +75,26 @@ struct AuditOptions {
   int64_t max_groups_per_combination = 200000;
 };
 
+/// Estimates the count of a pattern given as (attribute, value) terms —
+/// the signature of PortableLabel::EstimateCount. An audit evaluates one
+/// estimate per enumerated intersection, so a caller holding an indexed
+/// form of the label (api::LabelArtifact) can supply its accelerated
+/// estimator here; results must be identical to the label's own.
+using PatternEstimator = std::function<Result<double>(
+    const std::vector<std::pair<std::string, std::string>>&)>;
+
 /// Audits the intersections of the named attributes (every non-empty
 /// subset up to max_arity, every value combination from the label's VC).
 /// When `attributes` is empty, all attributes of the label are used.
 /// Warnings are ordered: underrepresented (ascending estimate), then
 /// skewed (descending estimate), then correlated (descending deviation).
+/// `estimator` replaces label.EstimateCount for the per-intersection
+/// estimates when non-null; it must be numerically identical (the audit's
+/// thresholds compare raw doubles).
 Result<std::vector<FitnessWarning>> AuditLabel(
     const PortableLabel& label, std::vector<std::string> attributes,
-    const AuditOptions& options = {});
+    const AuditOptions& options = {},
+    const PatternEstimator& estimator = nullptr);
 
 }  // namespace pcbl
 

@@ -4,6 +4,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "util/logging.h"
+
 namespace pcbl {
 
 namespace {
@@ -114,6 +116,130 @@ void CountingService::Quiesce() {
     std::lock_guard<std::mutex> lock(gate_mu_);
     if (gate_queries_ == 0 && !appender_active_) return;
   }
+}
+
+void CountingService::MarkEvicted() {
+  evicted_.store(true);
+  // A detached service serves no future queries; free its cached results
+  // now instead of when the last holder drops the service.
+  InvalidateResults();
+}
+
+// --- result tier -----------------------------------------------------------
+
+ResultProbe CountingService::ResultLookupOrBegin(const QueryResultKey& key,
+                                                 int64_t rows, bool may_join,
+                                                 int64_t budget_bytes) {
+  ResultProbe probe;
+  std::lock_guard<std::mutex> lock(results_mu_);
+  if (budget_bytes >= 0 && budget_bytes != result_budget_) {
+    result_budget_ = budget_bytes;
+    EvictResultsLocked();
+  }
+  auto cached = result_map_.find(key);
+  if (cached != result_map_.end()) {
+    if (cached->second->rows == rows) {
+      result_lru_.splice(result_lru_.begin(), result_lru_, cached->second);
+      ++result_stats_.hits;
+      probe.hit = true;
+      probe.value = cached->second->value;
+      return probe;
+    }
+    // Stale row count. Unreachable while every append arm clears the
+    // cache eagerly under its exclusive admission; dropped defensively
+    // so a future append path that forgets to invalidate degrades to a
+    // miss instead of a wrong answer.
+    result_bytes_ -= cached->second->bytes;
+    result_lru_.erase(cached->second);
+    result_map_.erase(cached);
+    result_bytes_relaxed_.store(result_bytes_, std::memory_order_relaxed);
+  }
+  auto in_flight = result_inflight_.find(key);
+  if (in_flight != result_inflight_.end()) {
+    if (may_join) {
+      ++result_stats_.inflight_joins;
+      probe.join = in_flight->second->future;
+    } else {
+      ++result_stats_.bypasses;
+    }
+    return probe;
+  }
+  auto entry = std::make_shared<InFlightResult>();
+  entry->future = entry->promise.get_future().share();
+  entry->rows = rows;
+  result_inflight_.emplace(key, std::move(entry));
+  ++result_stats_.misses;
+  probe.leader = true;
+  return probe;
+}
+
+void CountingService::ResultPublish(const QueryResultKey& key,
+                                    QueryResultHandle value, int64_t bytes,
+                                    bool cache) {
+  std::shared_ptr<InFlightResult> leader;
+  {
+    std::lock_guard<std::mutex> lock(results_mu_);
+    auto in_flight = result_inflight_.find(key);
+    PCBL_CHECK(in_flight != result_inflight_.end());
+    leader = in_flight->second;
+    result_inflight_.erase(in_flight);
+    if (cache && result_budget_ > 0 && bytes <= result_budget_) {
+      result_lru_.push_front(
+          ResultEntry{key, value, bytes, leader->rows});
+      result_map_[key] = result_lru_.begin();
+      result_bytes_ += bytes;
+      ++result_stats_.insertions;
+      EvictResultsLocked();
+    }
+  }
+  // Outside results_mu_: set_value wakes every parked joiner.
+  leader->promise.set_value(std::move(value));
+}
+
+void CountingService::ResultAbort(const QueryResultKey& key,
+                                  std::exception_ptr error) {
+  std::shared_ptr<InFlightResult> leader;
+  {
+    std::lock_guard<std::mutex> lock(results_mu_);
+    auto in_flight = result_inflight_.find(key);
+    PCBL_CHECK(in_flight != result_inflight_.end());
+    leader = in_flight->second;
+    result_inflight_.erase(in_flight);
+  }
+  leader->promise.set_exception(std::move(error));
+}
+
+void CountingService::InvalidateResults() {
+  // Entry destruction (the cached results themselves) happens outside
+  // the lock.
+  std::list<ResultEntry> dropped;
+  {
+    std::lock_guard<std::mutex> lock(results_mu_);
+    dropped.swap(result_lru_);
+    result_map_.clear();
+    result_bytes_ = 0;
+    result_bytes_relaxed_.store(0, std::memory_order_relaxed);
+    ++result_stats_.invalidations;
+  }
+}
+
+void CountingService::EvictResultsLocked() {
+  while (result_bytes_ > result_budget_ && !result_lru_.empty()) {
+    const ResultEntry& tail = result_lru_.back();
+    result_bytes_ -= tail.bytes;
+    result_map_.erase(tail.key);
+    result_lru_.pop_back();
+    ++result_stats_.evictions;
+  }
+  result_bytes_relaxed_.store(result_bytes_, std::memory_order_relaxed);
+}
+
+ResultTierStats CountingService::result_tier_stats() const {
+  std::lock_guard<std::mutex> lock(results_mu_);
+  ResultTierStats stats = result_stats_;
+  stats.entries = static_cast<int64_t>(result_lru_.size());
+  stats.bytes = result_bytes_;
+  return stats;
 }
 
 // --- wave scheduler --------------------------------------------------------
@@ -352,8 +478,18 @@ void CountingService::AppendRows(
   AppendRowsLocked(rows);
 }
 
+void CountingService::AppendRowLocked(const std::vector<ValueId>& codes) {
+  // Results describe the pre-append rows; clear before the data grows
+  // (the exclusive admission excludes every lookup and publish, so the
+  // order matters only for crash hygiene — an interrupted append leaves
+  // an empty cache, never a stale one).
+  InvalidateResults();
+  engine_.ApplyAppend({codes});
+}
+
 void CountingService::AppendRowsLocked(
     const std::vector<std::vector<ValueId>>& rows) {
+  InvalidateResults();
   const int64_t cached = engine_.stats().cached_groups;
   const int64_t work = static_cast<int64_t>(rows.size()) * cached;
   if (work > kMaxPatchWork) {

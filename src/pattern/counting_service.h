@@ -82,8 +82,11 @@
 #include <cstdint>
 #include <deque>
 #include <exception>
+#include <future>
+#include <list>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "pattern/counting_engine.h"
@@ -103,8 +106,64 @@ struct WaveSchedulerStats {
                                ///<  scans saved by in-flight merging)
 };
 
+/// Key of one whole-query result in the service's result tier: the
+/// table's 128-bit content fingerprint mixed with the canonicalized
+/// result-affecting fields of the query spec (api::CanonicalQueryKey).
+/// Deterministic across processes — no pointers, no iteration order.
+struct QueryResultKey {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+
+  bool operator==(const QueryResultKey& other) const {
+    return lo == other.lo && hi == other.hi;
+  }
+  bool operator!=(const QueryResultKey& other) const {
+    return !(*this == other);
+  }
+};
+
+/// Observability counters of the result tier. `entries` / `bytes` are
+/// the completed-result cache's current occupancy; everything else is
+/// monotonic. Not part of the exactness contract.
+struct ResultTierStats {
+  int64_t hits = 0;            ///< completed-result cache hits
+  int64_t misses = 0;          ///< lookups that became leaders (executed)
+  int64_t inflight_joins = 0;  ///< queries parked on a leader's future
+  int64_t bypasses = 0;        ///< in-flight key, caller could not park
+                               ///< (serialized discipline; executed solo)
+  int64_t insertions = 0;      ///< results published into the cache
+  int64_t evictions = 0;       ///< entries dropped by the byte budget
+  int64_t invalidations = 0;   ///< whole-cache clears (append, eviction)
+  int64_t entries = 0;         ///< cached results right now
+  int64_t bytes = 0;           ///< cached bytes right now
+};
+
+/// A cached whole-query result, type-erased: pattern/ cannot depend on
+/// api/, so api::Session stores a shared_ptr<const api::QueryResult>
+/// here and casts it back on the way out.
+using QueryResultHandle = std::shared_ptr<const void>;
+
+/// Outcome of CountingService::ResultLookupOrBegin — exactly one of the
+/// three shapes, checked in this order by the caller:
+///   hit    — `value` holds the cached result; done.
+///   leader — this caller owns the key: execute, then ResultPublish
+///            (or ResultAbort if the execution threw).
+///   join   — `join.valid()`: park on it; get() returns the leader's
+///            result (or rethrows its abort exception).
+/// All three false/invalid: the key is in flight but the caller may not
+/// park (may_join was false) — execute solo, publish nothing.
+struct ResultProbe {
+  bool hit = false;
+  QueryResultHandle value;
+  bool leader = false;
+  std::shared_future<QueryResultHandle> join;
+};
+
 class CountingService {
  public:
+  /// Default byte budget of the completed-result cache.
+  static constexpr int64_t kDefaultResultCacheBudget = int64_t{64} << 20;
+
   explicit CountingService(const Table& table,
                            CountingEngineOptions options = {})
       : engine_(table, options) {}
@@ -197,9 +256,58 @@ class CountingService {
   /// check once before admission (cheap fast path) and once after: the
   /// registry marks before it quiesces, and the gate/mutex acquisition
   /// orders the mark ahead of any admission Quiesce could have missed,
-  /// so a query either drains under Quiesce or observes the mark.
-  void MarkEvicted() { evicted_.store(true); }
+  /// so a query either drains under Quiesce or observes the mark. Also
+  /// clears the result cache: a detached service answers no future
+  /// queries, so holding its cached results would waste the bytes.
+  void MarkEvicted();
   bool evicted() const { return evicted_.load(); }
+
+  // --- result tier -------------------------------------------------------
+  //
+  // A two-level cache of whole-query results in front of the engine,
+  // keyed by (content fingerprint, canonical spec) — see DESIGN.md §5.7.
+  // Level 1 (in-flight table): the first arrival for a key becomes the
+  // *leader* and executes; identical concurrent queries park on a shared
+  // future and receive the leader's result. Level 2 (completed cache): a
+  // bounded LRU of published results, so identical repeats are O(1).
+  // All calls run under a query admission (gate-shared or mutex()), so
+  // `rows` — the engine's total_rows() at lookup — is pinned for the
+  // leader's whole execution and tags each entry against staleness;
+  // belt-and-braces, since every append arm clears the cache eagerly
+  // while holding the gate exclusively (no query, hence no lookup or
+  // publish, is concurrent with an append). results_mu_ is a leaf lock:
+  // nothing is acquired under it, so it may be taken while holding
+  // mutex() (the serialized discipline) or the gate (the scheduled one).
+
+  /// Probes both levels for `key` and registers this caller as leader on
+  /// a miss. `may_join` must be false for callers holding mutex(): the
+  /// leader's waves need mutex(), so parking such a caller on the
+  /// leader's future would deadlock — they get the execute-solo shape
+  /// instead. `budget_bytes` >= 0 re-budgets the completed cache
+  /// (last writer wins, evicting down immediately); -1 leaves it alone.
+  ResultProbe ResultLookupOrBegin(const QueryResultKey& key, int64_t rows,
+                                  bool may_join, int64_t budget_bytes = -1);
+
+  /// Resolves the leader's key: wakes every parked joiner with `value`
+  /// and, when `cache` is set (callers pass status-ok only — a
+  /// deterministic error is still routed to joiners but not retained),
+  /// inserts it into the completed cache at `bytes`, evicting LRU
+  /// entries over budget.
+  void ResultPublish(const QueryResultKey& key, QueryResultHandle value,
+                     int64_t bytes, bool cache);
+
+  /// Resolves the leader's key with an exception: parked joiners rethrow
+  /// `error` from their future, exactly as executing the query
+  /// themselves would have thrown. Nothing is cached.
+  void ResultAbort(const QueryResultKey& key, std::exception_ptr error);
+
+  /// Drops every completed result (the in-flight table is untouched —
+  /// it is provably empty when the append arms call this, and a live
+  /// leader resolves its joiners regardless). Called by every append arm
+  /// and by MarkEvicted.
+  void InvalidateResults();
+
+  ResultTierStats result_tier_stats() const;
 
   // --- wave scheduler ----------------------------------------------------
 
@@ -273,9 +381,7 @@ class CountingService {
   /// its own VC / P_A maintenance state under one critical section so a
   /// concurrent search never observes half an append. Same
   /// invalidate-or-patch semantics as the self-admitting forms.
-  void AppendRowLocked(const std::vector<ValueId>& codes) {
-    engine_.ApplyAppend({codes});
-  }
+  void AppendRowLocked(const std::vector<ValueId>& codes);
   void AppendRowsLocked(const std::vector<std::vector<ValueId>>& rows);
 
   /// Drops every cached entry; appended rows (data) survive. Self-locks
@@ -290,12 +396,15 @@ class CountingService {
   int64_t total_rows() const { return engine_.total_rows(); }
   const CountingEngineStats& stats() const { return engine_.stats(); }
 
-  /// Resident bytes of this service's engine: cache entries plus any
-  /// appended data (delta block / compacted base copy). Lock-free — the
-  /// process-wide ServiceRegistry's memory accountant polls this while
-  /// other threads may hold mutex() and mutate the engine.
+  /// Resident bytes of this service: engine cache entries, any appended
+  /// data (delta block / compacted base copy), and the completed-result
+  /// cache — so the registry's process budget covers cached results
+  /// alongside PC sets. Lock-free — the process-wide ServiceRegistry's
+  /// memory accountant polls this while other threads may hold mutex()
+  /// and mutate the engine.
   int64_t resident_bytes() const {
-    return engine_.ResidentBytes() + engine_.AppendedBytesRelaxed();
+    return engine_.ResidentBytes() + engine_.AppendedBytesRelaxed() +
+           result_bytes_relaxed_.load(std::memory_order_relaxed);
   }
 
   /// True once appends flowed through this service: it then describes
@@ -367,6 +476,44 @@ class CountingService {
   bool coordinator_active_ = false;
   std::chrono::microseconds admission_window_{500};
   WaveSchedulerStats wave_stats_;
+
+  // Result tier state, all under results_mu_ — a leaf lock (taken after
+  // gate / mutex() / wave_mu_, never holding anything else under it).
+  // Promise resolution happens outside it so a waking joiner never
+  // contends with the publisher.
+  struct QueryResultKeyHash {
+    size_t operator()(const QueryResultKey& key) const {
+      return static_cast<size_t>(key.lo ^
+                                 (key.hi * 0x9e3779b97f4a7c15ULL));
+    }
+  };
+  struct ResultEntry {
+    QueryResultKey key;
+    QueryResultHandle value;
+    int64_t bytes = 0;
+    int64_t rows = 0;  // engine rows the result describes
+  };
+  struct InFlightResult {
+    std::promise<QueryResultHandle> promise;
+    std::shared_future<QueryResultHandle> future;
+    int64_t rows = 0;
+  };
+  // Drops LRU-tail entries until the cached bytes fit the budget and
+  // refreshes the accountant's lock-free mirror.
+  void EvictResultsLocked();
+
+  mutable std::mutex results_mu_;
+  std::list<ResultEntry> result_lru_;  // front = most recently used
+  std::unordered_map<QueryResultKey, std::list<ResultEntry>::iterator,
+                     QueryResultKeyHash>
+      result_map_;
+  std::unordered_map<QueryResultKey, std::shared_ptr<InFlightResult>,
+                     QueryResultKeyHash>
+      result_inflight_;
+  int64_t result_budget_ = kDefaultResultCacheBudget;
+  int64_t result_bytes_ = 0;
+  ResultTierStats result_stats_;
+  std::atomic<int64_t> result_bytes_relaxed_{0};
 };
 
 }  // namespace pcbl

@@ -224,6 +224,15 @@ ServiceRegistryStats ServiceRegistry::stats() const {
   stats.resident_bytes = ResidentBytesLocked();
   stats.evicted_rejections =
       evicted_rejections_.load(std::memory_order_relaxed);
+  for (const auto& [fp, entry] : services_) {
+    // results_mu_ is a leaf lock, safe to take under mu_.
+    const ResultTierStats tier = entry.service->result_tier_stats();
+    stats.result_hits += tier.hits;
+    stats.result_misses += tier.misses;
+    stats.result_inflight_joins += tier.inflight_joins;
+    stats.result_entries += tier.entries;
+    stats.result_bytes += tier.bytes;
+  }
   return stats;
 }
 

@@ -92,6 +92,17 @@ struct ServiceRegistryStats {
   /// service had been evicted — the "lost the race with eviction" count
   /// an operator watches to size the memory budget.
   int64_t evicted_rejections = 0;
+  /// Result-tier counters summed over the currently resident services
+  /// (an evicted service takes its counts with it): whole-query
+  /// completed-cache hits, leader executions, queries that parked on an
+  /// identical in-flight query, and the cache's current occupancy. The
+  /// cached bytes are already part of resident_bytes — this breaks them
+  /// out for the operator. See CountingService::result_tier_stats().
+  int64_t result_hits = 0;
+  int64_t result_misses = 0;
+  int64_t result_inflight_joins = 0;
+  int64_t result_entries = 0;
+  int64_t result_bytes = 0;
 };
 
 class ServiceRegistry {

@@ -1,0 +1,145 @@
+// Tests for the indexed label artifact (api/artifact.h): a
+// LabelArtifact must be a drop-in for its PortableLabel — identical
+// estimates (bit-for-bit doubles), identical error conditions and
+// wording, identical audit warnings — while answering from prebuilt
+// indexes instead of linear scans.
+#include "api/artifact.h"
+
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/label.h"
+#include "core/portable_label.h"
+#include "core/warnings.h"
+#include "util/attr_mask.h"
+#include "util/rng.h"
+#include "workload/datasets.h"
+
+namespace pcbl {
+namespace {
+
+using api::AuditLabelArtifact;
+using api::EstimateFromLabel;
+using api::LabelArtifact;
+
+PortableLabel LabelFor(const Table& t, AttrMask s) {
+  return MakePortable(Label::Build(t, s), t, "test");
+}
+
+// Every pattern shape — inside S, outside S, mixed, unknown values,
+// missing-value cells — estimates bit-identically through the artifact.
+TEST(LabelArtifactTest, EstimatesMatchThePortableLabelBitForBit) {
+  Table table = workload::MakeCompas(600, 131).value();
+  const int n = table.num_attributes();
+  ASSERT_GE(n, 3);
+  PortableLabel label = LabelFor(table, AttrMask::FromIndices({0, 1}));
+  const LabelArtifact artifact{PortableLabel(label)};
+
+  Rng rng(17);
+  for (int trial = 0; trial < 300; ++trial) {
+    // 1..3 random distinct attributes, values drawn from the dictionary
+    // (or an unknown string every few trials).
+    std::vector<std::pair<std::string, std::string>> pattern;
+    AttrMask used;
+    const int terms = 1 + static_cast<int>(rng.Next64() % 3);
+    for (int t = 0; t < terms; ++t) {
+      const int a = static_cast<int>(rng.Next64() % static_cast<uint64_t>(n));
+      if (used.Test(a)) continue;
+      used.Set(a);
+      std::string value;
+      if (rng.Next64() % 5 == 0) {
+        value = "no-such-value";
+      } else {
+        const Dictionary& dict = table.dictionary(a);
+        value = dict.GetString(
+            static_cast<ValueId>(rng.Next64() % dict.size()));
+      }
+      pattern.emplace_back(table.schema().name(a), value);
+    }
+
+    const auto want = label.EstimateCount(pattern);
+    const auto got = artifact.EstimateCount(pattern);
+    ASSERT_EQ(got.ok(), want.ok()) << "trial " << trial;
+    if (want.ok()) {
+      // Bit-for-bit, not approximately: the artifact preserves the
+      // label's summation and multiplication order.
+      EXPECT_EQ(*got, *want) << "trial " << trial;
+    }
+  }
+}
+
+TEST(LabelArtifactTest, ErrorsMatchTheLabelsWordingExactly) {
+  Table table = workload::MakeCompas(200, 137).value();
+  PortableLabel label = LabelFor(table, AttrMask::FromIndices({0}));
+  const LabelArtifact artifact{PortableLabel(label)};
+
+  const std::vector<std::pair<std::string, std::string>> unknown = {
+      {"no_such_attribute", "x"}};
+  const auto label_unknown = label.EstimateCount(unknown);
+  const auto artifact_unknown = artifact.EstimateCount(unknown);
+  ASSERT_FALSE(label_unknown.ok());
+  ASSERT_FALSE(artifact_unknown.ok());
+  EXPECT_EQ(artifact_unknown.status().code(), label_unknown.status().code());
+  EXPECT_EQ(artifact_unknown.status().message(),
+            label_unknown.status().message());
+
+  const std::string attr = table.schema().name(0);
+  const std::vector<std::pair<std::string, std::string>> twice = {
+      {attr, "a"}, {attr, "b"}};
+  const auto label_twice = label.EstimateCount(twice);
+  const auto artifact_twice = artifact.EstimateCount(twice);
+  ASSERT_FALSE(label_twice.ok());
+  ASSERT_FALSE(artifact_twice.ok());
+  EXPECT_EQ(artifact_twice.status().code(), label_twice.status().code());
+  EXPECT_EQ(artifact_twice.status().message(),
+            label_twice.status().message());
+}
+
+// The artifact-backed audit is the label-backed audit, warning for
+// warning: same kinds, groups, estimates, references, order.
+TEST(LabelArtifactTest, ArtifactAuditMatchesLabelAudit) {
+  Table table = workload::MakeCompas(500, 139).value();
+  PortableLabel label = LabelFor(table, AttrMask::FromIndices({0, 2}));
+  const LabelArtifact artifact{PortableLabel(label)};
+
+  AuditOptions options;
+  options.min_group_count = 40;
+  options.max_group_share = 0.3;
+  options.correlation_factor = 1.5;
+
+  const auto want = AuditLabelArtifact(label, {}, options);
+  const auto got = AuditLabelArtifact(artifact, {}, options);
+  ASSERT_TRUE(want.ok()) << want.status();
+  ASSERT_TRUE(got.ok()) << got.status();
+  ASSERT_FALSE(want->empty());  // thresholds chosen to fire
+  ASSERT_EQ(got->size(), want->size());
+  for (size_t i = 0; i < want->size(); ++i) {
+    EXPECT_EQ((*got)[i].kind, (*want)[i].kind) << i;
+    EXPECT_EQ((*got)[i].group, (*want)[i].group) << i;
+    EXPECT_EQ((*got)[i].estimated, (*want)[i].estimated) << i;
+    EXPECT_EQ((*got)[i].reference, (*want)[i].reference) << i;
+  }
+}
+
+TEST(LabelArtifactTest, EstimateFromLabelOverloadsAgree) {
+  Table table = workload::MakeCompas(300, 149).value();
+  PortableLabel label = LabelFor(table, AttrMask::FromIndices({1}));
+  const LabelArtifact artifact{PortableLabel(label)};
+  const std::vector<std::pair<std::string, std::string>> pattern = {
+      {table.schema().name(1), table.dictionary(1).GetString(0)},
+      {table.schema().name(0), table.dictionary(0).GetString(0)}};
+  const auto via_label = EstimateFromLabel(label, pattern);
+  const auto via_artifact = EstimateFromLabel(artifact, pattern);
+  ASSERT_TRUE(via_label.ok());
+  ASSERT_TRUE(via_artifact.ok());
+  EXPECT_EQ(*via_artifact, *via_label);
+  EXPECT_EQ(artifact.total_rows(), label.total_rows);
+  EXPECT_EQ(artifact.size(), label.size());
+}
+
+}  // namespace
+}  // namespace pcbl
