@@ -6,12 +6,23 @@
 // bandwidth-bound: the BM_SizingArity{2,3}* pairs below measure the
 // ISSUE-2 acceptance criterion (>= 2x packed throughput over the PR 1
 // mixed-radix path on packed-eligible arity-2/3 subsets).
+// The BM_Kernel* family (registered in main for each ISA the host can
+// run) measures the ISSUE-7 criterion: the runtime-dispatched SIMD
+// encode kernels vs the scalar reference, per path (arity-2, arity-3,
+// generic gather, dense count array), in rows/s and GB/s of column data;
+// BM_MorselScanThreads measures intra-subset morsel scaling.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "pattern/counter.h"
+#include "pattern/kernel_dispatch.h"
 #include "pattern/lattice.h"
+#include "pattern/packed_codec.h"
+#include "pattern/packed_kernels.h"
+#include "util/rng.h"
 #include "workload/datasets.h"
 
 namespace pcbl {
@@ -132,7 +143,154 @@ void BM_SizingEarlyExitWithinBudget(benchmark::State& state) {
 }
 BENCHMARK(BM_SizingEarlyExitWithinBudget);
 
+// ---------------------------------------------------------------------------
+// Per-ISA kernel paths. Synthetic column data (no Table) so the timing
+// isolates the encode+count loops the dispatch table accelerates. Domains
+// are sized so the arity-2/3 views take the dense-bitmap path (the dense
+// fill the acceptance criterion names) and the 6-wide view the tiled
+// generic gather.
+
+struct KernelBenchData {
+  std::vector<std::vector<ValueId>> cols;
+  counting::SubsetColumns view2, view3, view6;
+  counting::PackedLayout layout2, layout3, layout6;
+};
+
+const KernelBenchData& BenchData() {
+  static const KernelBenchData* data = [] {
+    auto* d = new KernelBenchData;
+    Rng rng(2024);
+    const int64_t rows = int64_t{1} << 20;
+    // 50x40 -> a 12-bit arity-2 space and 50x40x7 -> a 15-bit arity-3
+    // space: both L1-resident dense bitmaps, the shape the fused
+    // dense-fill kernels are tuned for.
+    const int64_t doms[6] = {50, 40, 7, 9, 7, 5};
+    d->cols.resize(6);
+    for (int j = 0; j < 6; ++j) {
+      d->cols[static_cast<size_t>(j)].resize(static_cast<size_t>(rows));
+      for (auto& v : d->cols[static_cast<size_t>(j)]) {
+        v = rng.UniformInt(static_cast<uint32_t>(doms[j]));
+      }
+    }
+    auto make_view = [&](counting::SubsetColumns* view, int width) {
+      view->width = width;
+      view->rows = rows;
+      for (int j = 0; j < width; ++j) {
+        view->cols[j] = d->cols[static_cast<size_t>(j)].data();
+        view->nullable[j] = false;
+      }
+    };
+    make_view(&d->view2, 2);
+    make_view(&d->view3, 3);
+    make_view(&d->view6, 6);
+    d->layout2 = counting::MakePackedLayout(doms, 2);
+    d->layout3 = counting::MakePackedLayout(doms, 3);
+    d->layout6 = counting::MakePackedLayout(doms, 6);
+    PCBL_CHECK(d->layout2.ok && d->layout3.ok && d->layout6.ok);
+    PCBL_CHECK(counting::PackedDenseEligible(d->layout2, rows));
+    PCBL_CHECK(counting::PackedDenseEligible(d->layout3, rows));
+    PCBL_CHECK(counting::PackedDenseCountEligible(d->layout2, rows));
+    return d;
+  }();
+  return *data;
+}
+
+void ReportRows(benchmark::State& state, const counting::SubsetColumns& view) {
+  state.SetItemsProcessed(state.iterations() * view.rows);
+  state.SetBytesProcessed(state.iterations() * view.rows * view.width *
+                          static_cast<int64_t>(sizeof(ValueId)));
+}
+
+// Exact distinct count (dense-bitmap fill for the arity-2/3 views, the
+// generic gather + hash for the 6-wide one) under a forced ISA.
+void RunKernelDistinct(benchmark::State& state, counting::KernelIsa isa,
+                       const counting::SubsetColumns& view,
+                       const counting::PackedLayout& layout) {
+  PCBL_CHECK(counting::SetKernelIsa(isa).ok());
+  int64_t checksum = 0;
+  for (auto _ : state) {
+    checksum += counting::PackedCountDistinct(view, layout, -1);
+  }
+  benchmark::DoNotOptimize(checksum);
+  ReportRows(state, view);
+  PCBL_CHECK(counting::SetKernelIsaByName("auto").ok());
+}
+
+// One-pass dense count-and-materialize under a forced ISA.
+void RunKernelDenseGroups(benchmark::State& state, counting::KernelIsa isa) {
+  const KernelBenchData& d = BenchData();
+  PCBL_CHECK(counting::SetKernelIsa(isa).ok());
+  std::vector<std::pair<int64_t, int64_t>> items;
+  for (auto _ : state) {
+    items.clear();
+    benchmark::DoNotOptimize(
+        counting::PackedCountGroupsDense(d.view2, d.layout2, -1, &items));
+  }
+  ReportRows(state, d.view2);
+  PCBL_CHECK(counting::SetKernelIsaByName("auto").ok());
+}
+
+// Morsel scaling on one exact arity-3 scan: the intra-subset parallelism
+// a solo query (or a merged wave with spare threads) gets. rows/s should
+// scale near-linearly with threads on a multicore host.
+void BM_MorselScanThreads(benchmark::State& state) {
+  const KernelBenchData& d = BenchData();
+  const counting::MorselConfig morsel{static_cast<int>(state.range(0)),
+                                      4096};
+  int64_t checksum = 0;
+  for (auto _ : state) {
+    checksum += counting::PackedCountDistinct(d.view3, d.layout3, -1, morsel);
+  }
+  benchmark::DoNotOptimize(checksum);
+  ReportRows(state, d.view3);
+}
+BENCHMARK(BM_MorselScanThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
+
+// Registers the per-ISA kernel-path benchmarks for every ISA this host
+// can actually run (a forced-unavailable ISA would abort, and reporting
+// zeros for it would read as a regression).
+void RegisterKernelPathBenchmarks() {
+  namespace bm = benchmark;
+  for (counting::KernelIsa isa :
+       {counting::KernelIsa::kScalar, counting::KernelIsa::kAvx2,
+        counting::KernelIsa::kNeon}) {
+    if (!counting::KernelIsaAvailable(isa)) continue;
+    const std::string name = counting::KernelIsaName(isa);
+    bm::RegisterBenchmark(
+        ("BM_KernelArity2DenseFill/" + name).c_str(),
+        [isa](bm::State& s) { RunKernelDistinct(s, isa, BenchData().view2,
+                                                BenchData().layout2); })
+        ->Unit(bm::kMillisecond);
+    bm::RegisterBenchmark(
+        ("BM_KernelArity3DenseFill/" + name).c_str(),
+        [isa](bm::State& s) { RunKernelDistinct(s, isa, BenchData().view3,
+                                                BenchData().layout3); })
+        ->Unit(bm::kMillisecond);
+    bm::RegisterBenchmark(
+        ("BM_KernelGenericGather/" + name).c_str(),
+        [isa](bm::State& s) { RunKernelDistinct(s, isa, BenchData().view6,
+                                                BenchData().layout6); })
+        ->Unit(bm::kMillisecond);
+    bm::RegisterBenchmark(
+        ("BM_KernelDenseGroups/" + name).c_str(),
+        [isa](bm::State& s) { RunKernelDenseGroups(s, isa); })
+        ->Unit(bm::kMillisecond);
+  }
+}
+
 }  // namespace pcbl
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  pcbl::RegisterKernelPathBenchmarks();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -25,6 +25,12 @@ Status ValidateQuerySpec(const QuerySpec& spec) {
       *spec.counting_cache_budget < 0) {
     return InvalidArgumentError("counting_cache_budget must be >= 0");
   }
+  if (spec.min_rows_per_morsel.has_value() &&
+      *spec.min_rows_per_morsel < 0) {
+    return InvalidArgumentError(
+        "min_rows_per_morsel must be >= 0 (0 disables intra-subset "
+        "parallelism)");
+  }
   if (spec.use_counting_engine.has_value() && !*spec.use_counting_engine &&
       spec.counting_cache_budget.has_value() &&
       *spec.counting_cache_budget > 0) {

@@ -68,6 +68,10 @@ struct QuerySpec {
   std::optional<int> num_threads;
   std::optional<bool> use_counting_engine;
   std::optional<int64_t> counting_cache_budget;
+  /// Minimum rows per morsel for morsel-parallel exact sizing scans
+  /// (0 disables intra-subset parallelism). Result-neutral — excluded
+  /// from the result-cache key like num_threads.
+  std::optional<int64_t> min_rows_per_morsel;
   /// Ride the service's wave scheduler (concurrent queries merge their
   /// in-flight sizing batches) vs. the serialized whole-search lock.
   /// Byte-identical results either way; see docs/CONCURRENCY.md.

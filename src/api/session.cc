@@ -80,6 +80,11 @@ Result<std::unique_ptr<Session>> Session::Open(Dataset dataset,
         "result_cache_budget must be >= 0 (or -1 for the service "
         "default)");
   }
+  if (options.min_rows_per_morsel < -1) {
+    return InvalidArgumentError(
+        "min_rows_per_morsel must be >= 0 (0 disables intra-subset "
+        "parallelism; -1 for the engine default)");
+  }
   if (!options.use_result_cache && options.result_cache_budget > 0) {
     return InvalidArgumentError(
         "conflicting result-cache flags: a disabled result cache cannot "
@@ -145,6 +150,10 @@ SearchOptions Session::ToSearchOptions(const QuerySpec& spec) const {
                              ? *spec.counting_cache_budget
                              : options_.counting_cache_budget;
   if (budget >= 0) options.counting_cache_budget = budget;
+  const int64_t morsel_rows = spec.min_rows_per_morsel.has_value()
+                                  ? *spec.min_rows_per_morsel
+                                  : options_.min_rows_per_morsel;
+  if (morsel_rows >= 0) options.min_rows_per_morsel = morsel_rows;
   return options;
 }
 
@@ -154,6 +163,7 @@ CountingEngineOptions Session::ToEngineOptions(const QuerySpec& spec) const {
   options.enabled = search.use_counting_engine;
   options.num_threads = search.num_threads;
   options.cache_budget = search.counting_cache_budget;
+  options.min_rows_per_morsel = search.min_rows_per_morsel;
   return options;
 }
 

@@ -89,6 +89,12 @@ struct SessionOptions {
   /// combined with a disabled engine is rejected as conflicting.
   int64_t counting_cache_budget = -1;
 
+  /// Minimum rows per morsel for morsel-parallel exact sizing scans;
+  /// -1 = the engine default, 0 disables intra-subset parallelism.
+  /// Result-neutral: only wall-clock changes. See
+  /// CountingEngineOptions::min_rows_per_morsel.
+  int64_t min_rows_per_morsel = -1;
+
   /// Threads of the session's async query executor (Submit). With the
   /// wave scheduler (the default), queries admitted concurrently merge
   /// their sizing waves and rank in parallel, so more executor threads

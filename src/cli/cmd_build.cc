@@ -50,6 +50,13 @@ constexpr char kUsage[] =
     "  --result-cache-budget N\n"
     "                     byte budget of the per-service result cache\n"
     "                     (0 = dedup only, cache nothing)\n"
+    "  --kernel K         SIMD sizing-kernel ISA: scalar, avx2, neon, or\n"
+    "                     auto (default: best available for this host;\n"
+    "                     results are identical for any choice)\n"
+    "  --min-rows-per-morsel N\n"
+    "                     minimum rows per morsel when one subset scan\n"
+    "                     splits across threads (0 disables intra-subset\n"
+    "                     parallelism; results are identical)\n"
     "  --out FILE         save the portable label (JSON; see --binary)\n"
     "  --binary           save in the compact binary format instead\n"
     "  --name NAME        dataset display name stored in the label\n";
@@ -69,7 +76,8 @@ int CmdBuild(const Args& args, std::ostream& out, std::ostream& err) {
                                   "focus", "time-limit", "threads",
                                   "no-engine", "cache-budget",
                                   "service-budget", "no-result-cache",
-                                  "result-cache-budget", "out", "binary",
+                                  "result-cache-budget", "kernel",
+                                  "min-rows-per-morsel", "out", "binary",
                                   "name"});
       !s.ok()) {
     return FailWith(s, "build", err);
@@ -157,6 +165,7 @@ int CmdBuild(const Args& args, std::ostream& out, std::ostream& err) {
   out << StrFormat("search time:       %.3f s\n", result.stats.total_seconds);
   out << "error over " << focus_desc << ":\n"
       << FormatErrorReport(result.error, table.num_rows());
+  out << FormatSizingConfig(*flags);
   out << FormatRegistryStats();
 
   const std::string out_path = args.GetString("out");

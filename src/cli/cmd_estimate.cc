@@ -53,7 +53,12 @@ constexpr char kUsage[] =
     "                     true count (results are identical either way)\n"
     "  --result-cache-budget N\n"
     "                     byte budget of the per-service result cache\n"
-    "                     (0 = dedup only, cache nothing)\n";
+    "                     (0 = dedup only, cache nothing)\n"
+    "  --kernel K         SIMD sizing-kernel ISA for the true count:\n"
+    "                     scalar, avx2, neon, or auto (default)\n"
+    "  --min-rows-per-morsel N\n"
+    "                     minimum rows per morsel for intra-subset\n"
+    "                     parallel scans (0 disables)\n";
 }  // namespace
 
 int CmdEstimate(const Args& args, std::ostream& out, std::ostream& err) {
@@ -64,7 +69,8 @@ int CmdEstimate(const Args& args, std::ostream& out, std::ostream& err) {
   if (Status s = args.CheckKnown({"help", "pattern", "data", "threads",
                                   "no-engine", "cache-budget",
                                   "service-budget", "no-result-cache",
-                                  "result-cache-budget"});
+                                  "result-cache-budget", "kernel",
+                                  "min-rows-per-morsel"});
       !s.ok()) {
     return FailWith(s, "estimate", err);
   }
@@ -85,7 +91,8 @@ int CmdEstimate(const Args& args, std::ostream& out, std::ostream& err) {
     return FailWith(
         InvalidArgumentError("--threads/--no-engine/--cache-budget/"
                              "--service-budget/--no-result-cache/"
-                             "--result-cache-budget require --data"),
+                             "--result-cache-budget/--kernel/"
+                             "--min-rows-per-morsel require --data"),
         "estimate", err);
   }
   auto terms = ParseNamedPattern(pattern_text);
@@ -129,6 +136,7 @@ int CmdEstimate(const Args& args, std::ostream& out, std::ostream& err) {
                      static_cast<long long>(actual), data_path.c_str());
     out << StrFormat("abs error: %.2f\n", abs_err);
     out << StrFormat("q-error:   %.2f\n", q_err);
+    out << FormatSizingConfig(*flags);
     out << FormatRegistryStats();
   }
   return kExitOk;

@@ -56,7 +56,12 @@ constexpr char kUsage[] =
     "                     way)\n"
     "  --result-cache-budget N\n"
     "                     byte budget of the per-service result cache\n"
-    "                     (0 = dedup only, cache nothing)\n";
+    "                     (0 = dedup only, cache nothing)\n"
+    "  --kernel K         SIMD sizing-kernel ISA for the pairwise sizing:\n"
+    "                     scalar, avx2, neon, or auto (default)\n"
+    "  --min-rows-per-morsel N\n"
+    "                     minimum rows per morsel for intra-subset\n"
+    "                     parallel scans (0 disables)\n";
 }  // namespace
 
 int CmdProfile(const Args& args, std::ostream& out, std::ostream& err) {
@@ -66,8 +71,8 @@ int CmdProfile(const Args& args, std::ostream& out, std::ostream& err) {
   }
   if (Status s = args.CheckKnown({"help", "pairs", "threads", "no-engine",
                                   "cache-budget", "service-budget",
-                                  "no-result-cache",
-                                  "result-cache-budget"});
+                                  "no-result-cache", "result-cache-budget",
+                                  "kernel", "min-rows-per-morsel"});
       !s.ok()) {
     return FailWith(s, "profile", err);
   }
@@ -81,7 +86,8 @@ int CmdProfile(const Args& args, std::ostream& out, std::ostream& err) {
     return FailWith(
         InvalidArgumentError("--threads/--no-engine/--cache-budget/"
                              "--service-budget/--no-result-cache/"
-                             "--result-cache-budget require --pairs"),
+                             "--result-cache-budget/--kernel/"
+                             "--min-rows-per-morsel require --pairs"),
         "profile", err);
   }
   auto pairs_limit = args.GetInt("pairs", 20);
@@ -136,6 +142,7 @@ int CmdProfile(const Args& args, std::ostream& out, std::ostream& err) {
         p.size, space);
   }
   out << pair_grid.ToMarkdown();
+  out << FormatSizingConfig(*flags);
   out << FormatRegistryStats();
   return kExitOk;
 }

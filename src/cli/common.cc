@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "pattern/counting_engine.h"
+#include "pattern/kernel_dispatch.h"
 #include "pattern/service_registry.h"
 #include "relation/csv.h"
 #include "util/str.h"
@@ -52,6 +54,7 @@ api::SessionOptions ServiceFlags::ToSessionOptions() const {
   options.use_result_cache = !no_result_cache;
   options.result_cache_budget =
       has_result_cache_budget ? result_cache_budget : -1;
+  options.min_rows_per_morsel = min_rows_per_morsel;
   return options;
 }
 
@@ -83,9 +86,28 @@ Result<ServiceFlags> ParseServiceFlags(const Args& args) {
     PCBL_ASSIGN_OR_RETURN(flags.result_cache_budget,
                           args.GetInt("result-cache-budget", -1));
   }
+  if (args.Has("min-rows-per-morsel")) {
+    PCBL_ASSIGN_OR_RETURN(flags.min_rows_per_morsel,
+                          args.GetInt("min-rows-per-morsel", -1));
+    if (flags.min_rows_per_morsel < 0) {
+      return InvalidArgumentError(
+          "--min-rows-per-morsel must be >= 0 (0 disables intra-subset "
+          "parallelism)");
+    }
+  }
+  if (args.Has("kernel")) {
+    // Applied process-globally right here: the kernel table is a
+    // dispatch concern, not a per-session option, and
+    // SetKernelIsaByName is the central validation point (unknown
+    // names and host-unavailable ISAs fail before any data is read).
+    PCBL_RETURN_IF_ERROR(
+        counting::SetKernelIsaByName(args.GetString("kernel", "auto")));
+  }
   flags.any = args.Has("threads") || args.Has("no-engine") ||
               args.Has("cache-budget") || args.Has("service-budget") ||
-              args.Has("no-result-cache") || args.Has("result-cache-budget");
+              args.Has("no-result-cache") ||
+              args.Has("result-cache-budget") || args.Has("kernel") ||
+              args.Has("min-rows-per-morsel");
   return flags;
 }
 
@@ -125,6 +147,23 @@ std::string FormatRegistryStats() {
   }
   line += "\n";
   return line;
+}
+
+std::string FormatSizingConfig(const ServiceFlags& flags) {
+  std::string morsels;
+  if (flags.min_rows_per_morsel == 0) {
+    morsels = "morsels off";
+  } else if (flags.min_rows_per_morsel > 0) {
+    morsels = StrFormat(
+        "morsels >= %lld rows",
+        static_cast<long long>(flags.min_rows_per_morsel));
+  } else {
+    morsels = StrFormat(
+        "morsels >= %lld rows (default)",
+        static_cast<long long>(CountingEngineOptions{}.min_rows_per_morsel));
+  }
+  return StrCat("sizing:    kernel ", counting::KernelDispatchDescription(),
+                "; ", morsels, "\n");
 }
 
 Result<OptimizationMetric> ParseMetric(const std::string& name) {

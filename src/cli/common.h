@@ -45,10 +45,14 @@ Result<OptimizationMetric> ParseMetric(const std::string& name);
 /// The engine/service flag set shared by the data-backed commands —
 /// `--threads N` (0 or absent = all hardware threads), `--no-engine`,
 /// `--cache-budget N`, `--service-budget N`, `--no-result-cache`,
-/// `--result-cache-budget N` — parsed once here instead of per command,
-/// and converted into the façade's option structs. Value validation
-/// (negative threads, conflicting engine or result-cache flags) is the
-/// façade's job: Session::Open / Submit return Status on nonsense.
+/// `--result-cache-budget N`, `--kernel NAME`
+/// (scalar|avx2|neon|auto — forces the SIMD sizing-kernel ISA,
+/// validated centrally by counting::SetKernelIsaByName),
+/// `--min-rows-per-morsel N` (0 disables intra-subset parallel scans) —
+/// parsed once here instead of per command, and converted into the
+/// façade's option structs. Value validation (negative threads,
+/// conflicting engine or result-cache flags) is the façade's job:
+/// Session::Open / Submit return Status on nonsense.
 struct ServiceFlags {
   int64_t threads = 0;          ///< 0 = all hardware threads
   bool no_engine = false;
@@ -58,7 +62,8 @@ struct ServiceFlags {
   bool no_result_cache = false;
   int64_t result_cache_budget = -1;  ///< iff has_result_cache_budget
   bool has_result_cache_budget = false;
-  bool any = false;             ///< any of the six flags was present
+  int64_t min_rows_per_morsel = -1;  ///< -1 = engine default
+  bool any = false;             ///< any of the flags was present
 
   /// Session defaults carrying the per-invocation knobs.
   api::SessionOptions ToSessionOptions() const;
@@ -74,6 +79,10 @@ Result<ServiceFlags> ParseServiceFlags(const Args& args);
 /// Renders the registry's hit/miss/eviction and resident-bytes counters
 /// as one "registry:" summary line.
 std::string FormatRegistryStats();
+
+/// Renders the active sizing configuration — kernel ISA dispatch plus
+/// the morsel threshold these flags selected — as one "sizing:" line.
+std::string FormatSizingConfig(const ServiceFlags& flags);
 
 /// Renders an ErrorReport as aligned "key: value" lines.
 std::string FormatErrorReport(const ErrorReport& report, int64_t total_rows);

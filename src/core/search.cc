@@ -27,6 +27,7 @@ CountingEngineOptions EngineOptions(const SearchOptions& options) {
   engine_options.enabled = options.use_counting_engine;
   engine_options.num_threads = options.num_threads;
   engine_options.cache_budget = options.counting_cache_budget;
+  engine_options.min_rows_per_morsel = options.min_rows_per_morsel;
   return engine_options;
 }
 

@@ -83,6 +83,12 @@ struct SearchOptions {
   /// sizing still applies). See CountingEngineOptions::cache_budget.
   int64_t counting_cache_budget = int64_t{1} << 20;
 
+  /// Minimum rows per morsel when an exact packed scan splits one subset
+  /// across threads (<= 0 disables intra-subset parallelism). Results are
+  /// byte-identical for any value. See
+  /// CountingEngineOptions::min_rows_per_morsel.
+  int64_t min_rows_per_morsel = 32768;
+
   /// Abort candidate generation after this many seconds (0 = unlimited)
   /// and fall through to ranking whatever was collected; SearchStats::
   /// timed_out is set. Mirrors the paper's 30-minute cap on the naive

@@ -118,11 +118,16 @@ CountingEngine::Plan CountingEngine::MakePlan(AttrMask mask) const {
   return plan;
 }
 
-CountingEngine::Sizing CountingEngine::DirectSizing(AttrMask mask,
-                                                    int64_t budget,
-                                                    bool materialize) const {
+CountingEngine::Sizing CountingEngine::DirectSizing(
+    AttrMask mask, int64_t budget, bool materialize,
+    int morsel_threads) const {
   Sizing out;
   out.path = Path::kDirect;
+  // Exact packed passes may split this one subset across threads
+  // (packed_kernels.h); budgeted passes ignore the config, so the
+  // early-exit contract is untouched.
+  const counting::MorselConfig morsel{morsel_threads,
+                                      options_.min_rows_per_morsel};
   std::vector<int> attrs = mask.ToIndices();
   const size_t width = attrs.size();
   if (width < 2) {
@@ -164,8 +169,8 @@ CountingEngine::Sizing CountingEngine::DirectSizing(AttrMask mask,
       // materializes together, and its ascending-code sweep is already
       // the canonical emission order.
       std::vector<std::pair<int64_t, int64_t>> items;
-      out.size =
-          counting::PackedCountGroupsDense(view, layout, budget, &items);
+      out.size = counting::PackedCountGroupsDense(view, layout, budget,
+                                                  &items, morsel);
       if (budget >= 0 && out.size > budget) return out;
       if (!materialize) return out;
       out.counts = std::make_shared<const GroupCounts>(
@@ -178,12 +183,13 @@ CountingEngine::Sizing CountingEngine::DirectSizing(AttrMask mask,
     // over-budget subsets — the common case — stop here. Within-budget
     // ones materialize in a second pass whose map is reserved at the now
     // exact group count, so it never rehashes.
-    out.size = PackedCountDistinct(view, layout, budget);
+    out.size = PackedCountDistinct(view, layout, budget, morsel);
     if ((budget >= 0 && out.size > budget) || !materialize) return out;
     out.counts =
         std::make_shared<const GroupCounts>(MaterializeFromPackedCodes(
             mask, std::move(attrs), layout,
-            PackedCountGroups(view, layout, /*groups_hint=*/out.size)));
+            PackedCountGroups(view, layout, /*groups_hint=*/out.size,
+                              morsel)));
     out.full_scan = true;
     return out;
   }
@@ -391,7 +397,8 @@ CountingEngine::Sizing CountingEngine::RollupSizing(
 
 CountingEngine::Sizing CountingEngine::ExecutePlan(AttrMask mask,
                                                    const Plan& plan,
-                                                   int64_t budget) const {
+                                                   int64_t budget,
+                                                   int morsel_threads) const {
   if (plan.hit != nullptr) {
     Sizing out;
     out.path = Path::kHit;
@@ -407,8 +414,23 @@ CountingEngine::Sizing CountingEngine::ExecutePlan(AttrMask mask,
     NullableRadixMultipliers(doms, attrs.size(), &encodable);
     if (encodable) return RollupSizing(*plan.ancestor, mask, budget);
   }
-  return DirectSizing(mask, budget);
+  return DirectSizing(mask, budget, /*materialize=*/true, morsel_threads);
 }
+
+namespace {
+
+// Per-mask morsel-thread share of one batch: the batch ParallelFor
+// spreads `masks` over num_threads workers, so each concurrently
+// executing scan may spend the leftover factor on intra-subset morsels.
+// A solo-mask batch (the wave scheduler's degenerate case) gets the
+// whole thread budget; a batch saturating the workers gets 1.
+int BatchMorselThreads(size_t masks, int num_threads) {
+  const int concurrent =
+      std::max(1, std::min(static_cast<int>(masks), num_threads));
+  return std::max(1, num_threads / concurrent);
+}
+
+}  // namespace
 
 void CountingEngine::Commit(AttrMask mask, const Sizing& sizing) {
   ++stats_.sizings;
@@ -633,12 +655,14 @@ int64_t CountingEngine::CountPatterns(AttrMask mask, int64_t budget) {
     // see it, so run the uncached direct scan. Size-only — nothing can
     // cache the PC set while disabled, so materializing it (and the
     // packed path's second scan) would be pure waste.
-    Sizing sizing = DirectSizing(mask, budget, /*materialize=*/false);
+    Sizing sizing = DirectSizing(mask, budget, /*materialize=*/false,
+                                 options_.num_threads);
     Commit(mask, sizing);
     return sizing.counts != nullptr ? sizing.counts->num_groups()
                                     : sizing.size;
   }
-  Sizing sizing = ExecutePlan(mask, MakePlan(mask), budget);
+  Sizing sizing =
+      ExecutePlan(mask, MakePlan(mask), budget, options_.num_threads);
   Commit(mask, sizing);
   return sizing.counts != nullptr ? sizing.counts->num_groups()
                                   : sizing.size;
@@ -669,10 +693,13 @@ std::vector<int64_t> CountingEngine::CountPatternsBatchCollect(
   std::vector<Plan> plans(masks.size());
   for (size_t i = 0; i < masks.size(); ++i) plans[i] = MakePlan(masks[i]);
   std::vector<Sizing> outcomes(masks.size());
+  const int morsel_threads =
+      BatchMorselThreads(masks.size(), options_.num_threads);
   ParallelFor(static_cast<int64_t>(masks.size()), options_.num_threads,
               [&](int64_t i) {
                 const size_t s = static_cast<size_t>(i);
-                outcomes[s] = ExecutePlan(masks[s], plans[s], budget);
+                outcomes[s] =
+                    ExecutePlan(masks[s], plans[s], budget, morsel_threads);
               });
   for (size_t i = 0; i < masks.size(); ++i) {
     // A mask repeated within one batch commits once; later copies become
@@ -813,12 +840,14 @@ std::shared_ptr<const GroupCounts> CountingEngine::PatternCounts(
       return std::make_shared<const GroupCounts>(
           ComputePatternCounts(*table_, mask));
     }
-    Sizing sizing = DirectSizing(mask, /*budget=*/-1);
+    Sizing sizing = DirectSizing(mask, /*budget=*/-1, /*materialize=*/true,
+                                 options_.num_threads);
     Commit(mask, sizing);
     PCBL_CHECK(sizing.counts != nullptr);
     return sizing.counts;
   }
-  Sizing sizing = ExecutePlan(mask, MakePlan(mask), /*budget=*/-1);
+  Sizing sizing = ExecutePlan(mask, MakePlan(mask), /*budget=*/-1,
+                              options_.num_threads);
   Commit(mask, sizing);
   PCBL_CHECK(sizing.counts != nullptr);  // unbudgeted sizing materializes
   return sizing.counts;
@@ -838,11 +867,13 @@ CountingEngine::PatternCountsBatch(const std::vector<AttrMask>& masks) {
   std::vector<Plan> plans(masks.size());
   for (size_t i = 0; i < masks.size(); ++i) plans[i] = MakePlan(masks[i]);
   std::vector<Sizing> outcomes(masks.size());
+  const int morsel_threads =
+      BatchMorselThreads(masks.size(), options_.num_threads);
   ParallelFor(static_cast<int64_t>(masks.size()), options_.num_threads,
               [&](int64_t i) {
                 const size_t s = static_cast<size_t>(i);
-                outcomes[s] =
-                    ExecutePlan(masks[s], plans[s], /*budget=*/-1);
+                outcomes[s] = ExecutePlan(masks[s], plans[s],
+                                          /*budget=*/-1, morsel_threads);
               });
   for (size_t i = 0; i < masks.size(); ++i) {
     if (outcomes[i].path != Path::kHit &&
@@ -890,7 +921,8 @@ std::shared_ptr<const GroupCounts> CountingEngine::PinnedPatternCounts(
     }
     return it->second;
   }
-  Sizing sizing = ExecutePlan(mask, MakePlan(mask), /*budget=*/-1);
+  Sizing sizing = ExecutePlan(mask, MakePlan(mask), /*budget=*/-1,
+                              options_.num_threads);
   ++stats_.sizings;
   if (sizing.path == Path::kRollup) ++stats_.rollups;
   if (sizing.path == Path::kDirect) {

@@ -87,6 +87,15 @@ struct CountingEngineOptions {
   /// identical for any value; only wall-clock changes.
   int num_threads = 1;
 
+  /// Minimum rows per morsel for morsel-parallel exact scans
+  /// (packed_kernels.h): a single subset's row range splits across
+  /// threads only when every piece keeps at least this many rows, so
+  /// small subsets never pay thread-spawn overhead. <= 0 disables
+  /// intra-subset parallelism. Like num_threads, results are identical
+  /// for any value — the per-morsel partials merge with order-insensitive
+  /// operations and every materialization sorts.
+  int64_t min_rows_per_morsel = 32768;
+
   /// Memoization budget in cached *group entries* summed over all cached
   /// PC sets (each entry also costs one slot of overhead). 0 disables
   /// caching entirely; sizing and counting still work, just without
@@ -295,15 +304,21 @@ class CountingEngine {
   Plan MakePlan(AttrMask mask) const;
 
   // Executes a plan (thread-safe: touches only the table and the plan's
-  // shared entries).
-  Sizing ExecutePlan(AttrMask mask, const Plan& plan, int64_t budget) const;
+  // shared entries). `morsel_threads` is the thread budget a direct
+  // scan's exact packed passes may spend on intra-subset morsels: solo
+  // entry points pass options_.num_threads, batch entry points pass the
+  // per-mask share left over after spreading masks across the batch
+  // ParallelFor.
+  Sizing ExecutePlan(AttrMask mask, const Plan& plan, int64_t budget,
+                     int morsel_threads = 1) const;
 
   // Full-scan sizing with budget abort; materializes counts on success.
   // `materialize = false` skips the PC-set materialization (and, on the
   // packed path, its second scan) for callers that only need the size —
   // the disabled-engine delegate, which cannot cache the counts anyway.
   Sizing DirectSizing(AttrMask mask, int64_t budget,
-                      bool materialize = true) const;
+                      bool materialize = true,
+                      int morsel_threads = 1) const;
 
   // Sort-based sizing over base + delta rows for subsets whose nullable
   // key space overflows 64 bits: materializes row-major restriction keys

@@ -33,6 +33,13 @@ void FoldConfig(const CountingEngineOptions& request,
       std::max(merged->cache_budget, request.cache_budget);
   merged->delta_compact_threshold = std::max(
       merged->delta_compact_threshold, request.delta_compact_threshold);
+  // Smallest positive threshold wins (finer morsels = more intra-subset
+  // parallelism); only if every waiting query disabled it stays off.
+  if (request.min_rows_per_morsel > 0 &&
+      (merged->min_rows_per_morsel <= 0 ||
+       request.min_rows_per_morsel < merged->min_rows_per_morsel)) {
+    merged->min_rows_per_morsel = request.min_rows_per_morsel;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,278 @@
+#include "pattern/kernel_dispatch.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "relation/table.h"
+#include "util/str.h"
+
+namespace pcbl {
+namespace counting {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Portable reference kernels. These loops are written so the compiler can
+// auto-vectorize them at the binary's baseline ISA, but their real job is
+// to define the exact semantics every SIMD table must reproduce.
+// ---------------------------------------------------------------------------
+
+void ScalarEncodeA2(const uint32_t* c0, const uint32_t* c1, int s0,
+                    int64_t n, uint64_t* out) {
+  for (int64_t i = 0; i < n; ++i) {
+    out[i] = (static_cast<uint64_t>(c0[i]) << s0) | c1[i];
+  }
+}
+
+void ScalarEncodeA2Nullable(const uint32_t* c0, const uint32_t* c1, int s0,
+                            uint64_t sentinel, int64_t n, uint64_t* out) {
+  for (int64_t i = 0; i < n; ++i) {
+    const uint32_t v0 = c0[i];
+    const uint32_t v1 = c1[i];
+    const bool ok = v0 != kNullValue && v1 != kNullValue;
+    const uint64_t packed = (static_cast<uint64_t>(v0) << s0) | v1;
+    out[i] = ok ? packed : sentinel;
+  }
+}
+
+void ScalarEncodeA3(const uint32_t* c0, const uint32_t* c1,
+                    const uint32_t* c2, int s0, int s1, int64_t n,
+                    uint64_t* out) {
+  for (int64_t i = 0; i < n; ++i) {
+    out[i] = (static_cast<uint64_t>(c0[i]) << s0) |
+             (static_cast<uint64_t>(c1[i]) << s1) | c2[i];
+  }
+}
+
+void ScalarEncodeA3Nullable(const uint32_t* c0, const uint32_t* c1,
+                            const uint32_t* c2, int s0, int s1, uint64_t n0,
+                            uint64_t n1, uint64_t n2, uint64_t sentinel,
+                            int64_t n, uint64_t* out) {
+  for (int64_t i = 0; i < n; ++i) {
+    const uint32_t v0 = c0[i];
+    const uint32_t v1 = c1[i];
+    const uint32_t v2 = c2[i];
+    const int nulls = static_cast<int>(v0 == kNullValue) +
+                      static_cast<int>(v1 == kNullValue) +
+                      static_cast<int>(v2 == kNullValue);
+    const uint64_t code = ((v0 == kNullValue ? n0 : v0) << s0) |
+                          ((v1 == kNullValue ? n1 : v1) << s1) |
+                          (v2 == kNullValue ? n2 : v2);
+    out[i] = nulls <= 1 ? code : sentinel;
+  }
+}
+
+void ScalarGatherAccum(const uint32_t* col, int shift, uint64_t null_slot,
+                       int64_t n, uint64_t* codes, uint8_t* arity) {
+  for (int64_t i = 0; i < n; ++i) {
+    const uint32_t v = col[i];
+    const bool bound = v != kNullValue;
+    codes[i] |= (bound ? static_cast<uint64_t>(v) : null_slot) << shift;
+    arity[i] += static_cast<uint8_t>(bound);
+  }
+}
+
+// The fused dense fills keep the straightforward bitmap load-OR-store:
+// scalar cost is dominated by the encode, and the 8x-smaller bitmap
+// scratch stays cache-resident at the largest eligible code spaces.
+void ScalarDenseFillA2(const uint32_t* c0, const uint32_t* c1, int s0,
+                       int total_bits, int64_t n, uint64_t* bm) {
+  (void)total_bits;
+  for (int64_t i = 0; i < n; ++i) {
+    const uint64_t code = (static_cast<uint64_t>(c0[i]) << s0) | c1[i];
+    bm[code >> 6] |= uint64_t{1} << (code & 63);
+  }
+}
+
+void ScalarDenseFillA3(const uint32_t* c0, const uint32_t* c1,
+                       const uint32_t* c2, int s0, int s1, int total_bits,
+                       int64_t n, uint64_t* bm) {
+  (void)total_bits;
+  for (int64_t i = 0; i < n; ++i) {
+    const uint64_t code = (static_cast<uint64_t>(c0[i]) << s0) |
+                          (static_cast<uint64_t>(c1[i]) << s1) | c2[i];
+    bm[code >> 6] |= uint64_t{1} << (code & 63);
+  }
+}
+
+constexpr SizingKernels kScalarKernels = {
+    &ScalarEncodeA2,        &ScalarEncodeA2Nullable, &ScalarEncodeA3,
+    &ScalarEncodeA3Nullable, &ScalarGatherAccum,     &ScalarDenseFillA2,
+    &ScalarDenseFillA3,
+};
+
+// ---------------------------------------------------------------------------
+// Resolution. The active table is one relaxed atomic pointer; resolution
+// runs once (function-local static) and may be overridden afterwards by
+// SetKernelIsa (tests, CLI flag).
+// ---------------------------------------------------------------------------
+
+const SizingKernels* TableFor(KernelIsa isa) {
+  switch (isa) {
+    case KernelIsa::kScalar:
+      return &kScalarKernels;
+    case KernelIsa::kAvx2:
+      return GetAvx2Kernels();
+    case KernelIsa::kNeon:
+      return GetNeonKernels();
+  }
+  return nullptr;
+}
+
+bool HostSupports(KernelIsa isa) {
+  switch (isa) {
+    case KernelIsa::kScalar:
+      return true;
+    case KernelIsa::kAvx2:
+#if defined(__x86_64__) && defined(__GNUC__)
+      // The AVX2 TU is also built with -mbmi2 (every AVX2-era core has
+      // BMI2), so a forced avx2 table must verify both feature bits.
+      return __builtin_cpu_supports("avx2") != 0 &&
+             __builtin_cpu_supports("bmi2") != 0;
+#else
+      return false;
+#endif
+    case KernelIsa::kNeon:
+#if defined(__aarch64__)
+      return true;  // Advanced SIMD is baseline on arm64
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+struct DispatchState {
+  std::atomic<const SizingKernels*> table{&kScalarKernels};
+  std::atomic<KernelIsa> isa{KernelIsa::kScalar};
+  std::atomic<bool> forced{false};
+};
+
+DispatchState& State() {
+  static DispatchState state;
+  // Resolution order: PCBL_FORCE_KERNEL when set and usable (a warning on
+  // stderr when it is not — an env override must never turn into a
+  // SIGILL), BestKernelIsa() otherwise. Thread-safe: function-local
+  // static initialization runs exactly once.
+  static const bool initialized = [] {
+    KernelIsa isa = BestKernelIsa();
+    bool forced = false;
+    if (const char* env = std::getenv("PCBL_FORCE_KERNEL");
+        env != nullptr && env[0] != '\0') {
+      const std::string name = ToLower(env);
+      if (name == "auto") {
+        // explicit auto: same as unset
+      } else if (name == "scalar" && KernelIsaAvailable(KernelIsa::kScalar)) {
+        isa = KernelIsa::kScalar;
+        forced = true;
+      } else if (name == "avx2" && KernelIsaAvailable(KernelIsa::kAvx2)) {
+        isa = KernelIsa::kAvx2;
+        forced = true;
+      } else if (name == "neon" && KernelIsaAvailable(KernelIsa::kNeon)) {
+        isa = KernelIsa::kNeon;
+        forced = true;
+      } else {
+        std::fprintf(stderr,
+                     "pcbl: PCBL_FORCE_KERNEL=%s is not available on this "
+                     "host; using %s\n",
+                     env, KernelIsaName(isa));
+      }
+    }
+    state.table.store(TableFor(isa), std::memory_order_relaxed);
+    state.isa.store(isa, std::memory_order_relaxed);
+    state.forced.store(forced, std::memory_order_relaxed);
+    return true;
+  }();
+  (void)initialized;
+  return state;
+}
+
+}  // namespace
+
+const char* KernelIsaName(KernelIsa isa) {
+  switch (isa) {
+    case KernelIsa::kScalar:
+      return "scalar";
+    case KernelIsa::kAvx2:
+      return "avx2";
+    case KernelIsa::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+const SizingKernels& ScalarKernels() { return kScalarKernels; }
+
+bool KernelIsaAvailable(KernelIsa isa) {
+  return TableFor(isa) != nullptr && HostSupports(isa);
+}
+
+KernelIsa BestKernelIsa() {
+  if (KernelIsaAvailable(KernelIsa::kAvx2)) return KernelIsa::kAvx2;
+  if (KernelIsaAvailable(KernelIsa::kNeon)) return KernelIsa::kNeon;
+  return KernelIsa::kScalar;
+}
+
+KernelIsa ActiveKernelIsa() {
+  return State().isa.load(std::memory_order_relaxed);
+}
+
+bool KernelIsaForced() {
+  return State().forced.load(std::memory_order_relaxed);
+}
+
+const SizingKernels& ActiveKernels() {
+  return *State().table.load(std::memory_order_relaxed);
+}
+
+Status SetKernelIsa(KernelIsa isa) {
+  if (!KernelIsaAvailable(isa)) {
+    return InvalidArgumentError(
+        StrCat("kernel ISA \"", KernelIsaName(isa),
+               "\" is not available on this host"));
+  }
+  DispatchState& s = State();
+  s.table.store(TableFor(isa), std::memory_order_relaxed);
+  s.isa.store(isa, std::memory_order_relaxed);
+  s.forced.store(true, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status SetKernelIsaByName(const std::string& name) {
+  const std::string n = ToLower(name);
+  if (n == "auto") {
+    DispatchState& s = State();
+    const KernelIsa best = BestKernelIsa();
+    s.table.store(TableFor(best), std::memory_order_relaxed);
+    s.isa.store(best, std::memory_order_relaxed);
+    s.forced.store(false, std::memory_order_relaxed);
+    return Status::Ok();
+  }
+  KernelIsa isa;
+  if (n == "scalar") {
+    isa = KernelIsa::kScalar;
+  } else if (n == "avx2") {
+    isa = KernelIsa::kAvx2;
+  } else if (n == "neon") {
+    isa = KernelIsa::kNeon;
+  } else {
+    return InvalidArgumentError(
+        StrCat("unknown kernel \"", name,
+               "\" (expected scalar, avx2, neon, or auto)"));
+  }
+  return SetKernelIsa(isa);
+}
+
+std::string KernelDispatchDescription() {
+  std::string available = "scalar";
+  if (KernelIsaAvailable(KernelIsa::kAvx2)) available += ",avx2";
+  if (KernelIsaAvailable(KernelIsa::kNeon)) available += ",neon";
+  return StrCat(KernelIsaName(ActiveKernelIsa()),
+                KernelIsaForced() ? " (forced; available: "
+                                  : " (auto-detected; available: ",
+                available, ")");
+}
+
+}  // namespace counting
+}  // namespace pcbl

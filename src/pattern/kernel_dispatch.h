@@ -1,0 +1,158 @@
+// Runtime-dispatched SIMD sizing kernels.
+//
+// The packed sizing kernels (packed_kernels.cc) spend their cycles in a
+// handful of tight per-row loops: the arity-2/3 shift/OR encoders and the
+// generic per-column gather step. Those loops are data-parallel with no
+// cross-row dependencies, so they vectorize cleanly — but only if the
+// compiler may emit the wider ISA, and `-mavx2` on the whole binary would
+// make it crash on older x86-64. This header solves both problems with a
+// classic dispatch table:
+//
+//  * SizingKernels is a table of function pointers over raw column
+//    slices. Each entry has identical, exactly-specified semantics (see
+//    the per-field comments) — every implementation must produce
+//    bit-identical output for every input, which the differential grid in
+//    pattern_packed_kernels_test.cc enforces per available ISA.
+//  * Implementations live in per-ISA translation units compiled with
+//    per-file ISA flags (kernels_avx2.cc with -mavx2, kernels_neon.cc on
+//    aarch64 where NEON is baseline), so the rest of the binary stays
+//    portable. A TU whose ISA is not targeted compiles to nothing and
+//    its Get*Kernels() accessor returns nullptr.
+//  * The active table is resolved once at first use from a cpuid probe
+//    (__builtin_cpu_supports on x86-64; NEON is mandatory on aarch64),
+//    overridable by the PCBL_FORCE_KERNEL environment variable or the
+//    CLI's --kernel flag (SetKernelIsaByName — the central validation
+//    point). Forcing an ISA the host cannot run is an error, not a
+//    crash.
+//
+// NULL semantics are exact: a slot is NULL iff its ValueId equals
+// kNullValue (0xFFFFFFFF), tested with a full compare — the kernels make
+// no dense-regime top-bit assumptions, so one table serves the bitmap,
+// count-array, and hash paths alike.
+#ifndef PCBL_PATTERN_KERNEL_DISPATCH_H_
+#define PCBL_PATTERN_KERNEL_DISPATCH_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace pcbl {
+namespace counting {
+
+/// The instruction sets a sizing-kernel table can be built for.
+enum class KernelIsa {
+  kScalar = 0,  ///< portable C++ (always available; the reference)
+  kAvx2 = 1,    ///< x86-64 AVX2, compiled in per-file with -mavx2
+  kNeon = 2,    ///< aarch64 Advanced SIMD (baseline on arm64)
+};
+
+/// "scalar", "avx2", "neon".
+const char* KernelIsaName(KernelIsa isa);
+
+/// The vectorizable inner loops of the packed sizing kernels, as function
+/// pointers over raw column slices. All row counts are in rows (not
+/// bytes); all implementations must tolerate n == 0 and unaligned
+/// pointers.
+struct SizingKernels {
+  /// NULL-free arity-2 encode: out[i] = (uint64(c0[i]) << s0) | c1[i].
+  void (*encode_a2)(const uint32_t* c0, const uint32_t* c1, int s0,
+                    int64_t n, uint64_t* out);
+
+  /// NULL-aware arity-2 encode: rows where either slot is kNullValue have
+  /// arity < 2 and route to `sentinel`; others encode as encode_a2.
+  void (*encode_a2_nullable)(const uint32_t* c0, const uint32_t* c1,
+                             int s0, uint64_t sentinel, int64_t n,
+                             uint64_t* out);
+
+  /// NULL-free arity-3 encode:
+  /// out[i] = (uint64(c0[i]) << s0) | (uint64(c1[i]) << s1) | c2[i].
+  void (*encode_a3)(const uint32_t* c0, const uint32_t* c1,
+                    const uint32_t* c2, int s0, int s1, int64_t n,
+                    uint64_t* out);
+
+  /// NULL-aware arity-3 encode: each NULL slot contributes its layout
+  /// null slot (n0/n1/n2); rows with more than one NULL have arity < 2
+  /// and route to `sentinel`.
+  void (*encode_a3_nullable)(const uint32_t* c0, const uint32_t* c1,
+                             const uint32_t* c2, int s0, int s1,
+                             uint64_t n0, uint64_t n1, uint64_t n2,
+                             uint64_t sentinel, int64_t n, uint64_t* out);
+
+  /// One column's contribution to a generic-width gather tile:
+  /// codes[i] |= (col[i] != kNullValue ? col[i] : null_slot) << shift;
+  /// arity[i] += (col[i] != kNullValue).
+  void (*gather_accum)(const uint32_t* col, int shift, uint64_t null_slot,
+                       int64_t n, uint64_t* codes, uint8_t* arity);
+
+  /// Fused NULL-free arity-2 dense fill: ORs bit code(i) into `bm` for
+  /// every row, where code(i) = (uint64(c0[i]) << s0) | c1[i] and all
+  /// codes are < (1 << total_bits). `bm` holds at least
+  /// (1 << total_bits) + 1 bits and may already have bits set.
+  /// Fusing matters: the encode alone is a quarter of the fill's cost,
+  /// so a vector encode only pays off when the same kernel also owns the
+  /// probe — implementations may use any internal presence
+  /// representation (e.g. an L1-resident byte table whose plain byte
+  /// stores replace the bitmap's load-OR-store chain) as long as the
+  /// resulting bitmap is exact.
+  void (*dense_fill_a2)(const uint32_t* c0, const uint32_t* c1, int s0,
+                        int total_bits, int64_t n, uint64_t* bm);
+
+  /// Arity-3 counterpart:
+  /// code(i) = (c0[i] << s0) | (c1[i] << s1) | c2[i].
+  void (*dense_fill_a3)(const uint32_t* c0, const uint32_t* c1,
+                        const uint32_t* c2, int s0, int s1, int total_bits,
+                        int64_t n, uint64_t* bm);
+};
+
+/// The portable reference table (always available).
+const SizingKernels& ScalarKernels();
+
+/// The AVX2 table, or nullptr when the binary was built without the AVX2
+/// translation unit (non-x86-64 targets).
+const SizingKernels* GetAvx2Kernels();
+
+/// The NEON table, or nullptr when the binary was built without the NEON
+/// translation unit (non-aarch64 targets).
+const SizingKernels* GetNeonKernels();
+
+/// True when `isa` is both compiled into this binary and runnable on this
+/// host (cpuid probe on x86-64).
+bool KernelIsaAvailable(KernelIsa isa);
+
+/// The best available ISA for this host: avx2 > neon > scalar.
+KernelIsa BestKernelIsa();
+
+/// The ISA of the table ActiveKernels() currently returns. Resolved on
+/// first use: PCBL_FORCE_KERNEL (scalar|avx2|neon|auto) when set and
+/// available, BestKernelIsa() otherwise.
+KernelIsa ActiveKernelIsa();
+
+/// True when the active ISA was forced (PCBL_FORCE_KERNEL or a
+/// SetKernelIsa* call) rather than auto-detected.
+bool KernelIsaForced();
+
+/// The active kernel table. Cheap (one relaxed atomic load) — but hoist
+/// out of per-row loops anyway.
+const SizingKernels& ActiveKernels();
+
+/// Forces the active table to `isa`. Fails with InvalidArgument when the
+/// ISA is not available on this host; the active table is unchanged on
+/// error. Process-global; not meant to be raced against in-flight scans
+/// (tests and CLI startup call it, the hot path only reads).
+Status SetKernelIsa(KernelIsa isa);
+
+/// Central validation for the CLI's --kernel flag and PCBL_FORCE_KERNEL:
+/// parses scalar|avx2|neon|auto (case-insensitive), then applies it
+/// ("auto" re-resolves to BestKernelIsa() and clears the forced bit).
+/// Unknown names and unavailable ISAs fail with InvalidArgument.
+Status SetKernelIsaByName(const std::string& name);
+
+/// One-line human description for CLI stats output, e.g.
+/// "avx2 (auto-detected; available: scalar,avx2)".
+std::string KernelDispatchDescription();
+
+}  // namespace counting
+}  // namespace pcbl
+
+#endif  // PCBL_PATTERN_KERNEL_DISPATCH_H_

@@ -1,0 +1,364 @@
+// AVX2 implementations of the sizing-kernel table (kernel_dispatch.h).
+//
+// This translation unit is compiled with -mavx2 (see CMakeLists.txt); no
+// other TU may include AVX2 code, and nothing here may be inlined into
+// portable code — all definitions are internal-linkage and only the table
+// accessor escapes. On non-x86-64 targets the TU compiles to a stub
+// returning nullptr.
+//
+// Every kernel must be bit-identical to its scalar reference in
+// kernel_dispatch.cc for every input (differential-tested per ISA in
+// pattern_packed_kernels_test.cc). NULL tests are exact 32-bit compares
+// against kNullValue widened into the 64-bit lanes — no dense-regime
+// top-bit shortcuts.
+#include "pattern/kernel_dispatch.h"
+
+#if defined(__x86_64__) && defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+#include "relation/value.h"
+
+namespace pcbl {
+namespace counting {
+namespace {
+
+// All lanes hold zero-extended uint32 values, so a 64-bit lane equals
+// kNullValue (0xFFFFFFFF) exactly when the source slot was NULL.
+inline __m256i NullLanes() { return _mm256_set1_epi64x(0xFFFFFFFFll); }
+
+// Zero-extends 4 uint32 loads into one vector of 4 uint64 lanes.
+inline __m256i Widen4(const uint32_t* p) {
+  return _mm256_cvtepu32_epi64(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)));
+}
+
+inline __m256i ShiftLeft(__m256i v, int s) {
+  return _mm256_sll_epi64(v, _mm_cvtsi32_si128(s));
+}
+
+void EncodeA2Avx2(const uint32_t* c0, const uint32_t* c1, int s0,
+                  int64_t n, uint64_t* out) {
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v0 = Widen4(c0 + i);
+    const __m256i v1 = Widen4(c1 + i);
+    const __m256i code = _mm256_or_si256(ShiftLeft(v0, s0), v1);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), code);
+  }
+  for (; i < n; ++i) {
+    out[i] = (static_cast<uint64_t>(c0[i]) << s0) | c1[i];
+  }
+}
+
+void EncodeA2NullableAvx2(const uint32_t* c0, const uint32_t* c1, int s0,
+                          uint64_t sentinel, int64_t n, uint64_t* out) {
+  const __m256i null_v = NullLanes();
+  const __m256i sent_v = _mm256_set1_epi64x(static_cast<long long>(sentinel));
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v0 = Widen4(c0 + i);
+    const __m256i v1 = Widen4(c1 + i);
+    const __m256i code = _mm256_or_si256(ShiftLeft(v0, s0), v1);
+    const __m256i bad = _mm256_or_si256(_mm256_cmpeq_epi64(v0, null_v),
+                                        _mm256_cmpeq_epi64(v1, null_v));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_blendv_epi8(code, sent_v, bad));
+  }
+  for (; i < n; ++i) {
+    const uint32_t v0 = c0[i];
+    const uint32_t v1 = c1[i];
+    const bool ok = v0 != kNullValue && v1 != kNullValue;
+    out[i] = ok ? (static_cast<uint64_t>(v0) << s0) | v1 : sentinel;
+  }
+}
+
+void EncodeA3Avx2(const uint32_t* c0, const uint32_t* c1,
+                  const uint32_t* c2, int s0, int s1, int64_t n,
+                  uint64_t* out) {
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v0 = Widen4(c0 + i);
+    const __m256i v1 = Widen4(c1 + i);
+    const __m256i v2 = Widen4(c2 + i);
+    const __m256i code = _mm256_or_si256(
+        _mm256_or_si256(ShiftLeft(v0, s0), ShiftLeft(v1, s1)), v2);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), code);
+  }
+  for (; i < n; ++i) {
+    out[i] = (static_cast<uint64_t>(c0[i]) << s0) |
+             (static_cast<uint64_t>(c1[i]) << s1) | c2[i];
+  }
+}
+
+void EncodeA3NullableAvx2(const uint32_t* c0, const uint32_t* c1,
+                          const uint32_t* c2, int s0, int s1, uint64_t n0,
+                          uint64_t n1, uint64_t n2, uint64_t sentinel,
+                          int64_t n, uint64_t* out) {
+  const __m256i null_v = NullLanes();
+  const __m256i sent_v = _mm256_set1_epi64x(static_cast<long long>(sentinel));
+  const __m256i slot0 = _mm256_set1_epi64x(static_cast<long long>(n0));
+  const __m256i slot1 = _mm256_set1_epi64x(static_cast<long long>(n1));
+  const __m256i slot2 = _mm256_set1_epi64x(static_cast<long long>(n2));
+  // cmpeq yields -1 per NULL lane; a lane sum <= -2 means >= 2 NULLs
+  // (arity < 2), routing the row to the sentinel.
+  const __m256i minus_one = _mm256_set1_epi64x(-1);
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v0 = Widen4(c0 + i);
+    const __m256i v1 = Widen4(c1 + i);
+    const __m256i v2 = Widen4(c2 + i);
+    const __m256i m0 = _mm256_cmpeq_epi64(v0, null_v);
+    const __m256i m1 = _mm256_cmpeq_epi64(v1, null_v);
+    const __m256i m2 = _mm256_cmpeq_epi64(v2, null_v);
+    const __m256i f0 = _mm256_blendv_epi8(v0, slot0, m0);
+    const __m256i f1 = _mm256_blendv_epi8(v1, slot1, m1);
+    const __m256i f2 = _mm256_blendv_epi8(v2, slot2, m2);
+    const __m256i code = _mm256_or_si256(
+        _mm256_or_si256(ShiftLeft(f0, s0), ShiftLeft(f1, s1)), f2);
+    const __m256i null_sum =
+        _mm256_add_epi64(_mm256_add_epi64(m0, m1), m2);
+    const __m256i bad = _mm256_cmpgt_epi64(minus_one, null_sum);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_blendv_epi8(code, sent_v, bad));
+  }
+  for (; i < n; ++i) {
+    const uint32_t v0 = c0[i];
+    const uint32_t v1 = c1[i];
+    const uint32_t v2 = c2[i];
+    const int nulls = static_cast<int>(v0 == kNullValue) +
+                      static_cast<int>(v1 == kNullValue) +
+                      static_cast<int>(v2 == kNullValue);
+    const uint64_t code = ((v0 == kNullValue ? n0 : v0) << s0) |
+                          ((v1 == kNullValue ? n1 : v1) << s1) |
+                          (v2 == kNullValue ? n2 : v2);
+    out[i] = nulls <= 1 ? code : sentinel;
+  }
+}
+
+void GatherAccumAvx2(const uint32_t* col, int shift, uint64_t null_slot,
+                     int64_t n, uint64_t* codes, uint8_t* arity) {
+  const __m256i null_v = NullLanes();
+  const __m256i slot_v =
+      _mm256_set1_epi64x(static_cast<long long>(null_slot));
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v = Widen4(col + i);
+    const __m256i is_null = _mm256_cmpeq_epi64(v, null_v);
+    const __m256i slot = _mm256_blendv_epi8(v, slot_v, is_null);
+    const __m256i acc = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(codes + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(codes + i),
+                        _mm256_or_si256(acc, ShiftLeft(slot, shift)));
+    // 4 bound/NULL flags as the lanes' sign bits; the per-row uint8 arity
+    // bump stays scalar (a 4-wide byte scatter is not worth the shuffle).
+    const int null_mask =
+        _mm256_movemask_pd(_mm256_castsi256_pd(is_null));
+    arity[i + 0] += static_cast<uint8_t>(!(null_mask & 1));
+    arity[i + 1] += static_cast<uint8_t>(!(null_mask & 2));
+    arity[i + 2] += static_cast<uint8_t>(!(null_mask & 4));
+    arity[i + 3] += static_cast<uint8_t>(!(null_mask & 8));
+  }
+  for (; i < n; ++i) {
+    const uint32_t v = col[i];
+    const bool bound = v != kNullValue;
+    codes[i] |= (bound ? static_cast<uint64_t>(v) : null_slot) << shift;
+    arity[i] += static_cast<uint8_t>(bound);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Fused dense fills. The vector encode alone is only ~a quarter of the
+// fill's cost; the wall is the presence update, which as a bitmap is a
+// load-OR-store chain through one store port. For code spaces that fit in
+// L1/L2 we therefore probe into a byte table instead — presence[code] = 1
+// is a plain store with no read-modify-write — and sweep the bytes back
+// into the caller's bitmap with one compare+movemask per 32 codes.
+// Beyond that the byte table would thrash the cache, and the fused
+// vector-encode + bitmap-scatter still beats the scalar loop on encode
+// throughput alone.
+// --------------------------------------------------------------------------
+
+// Largest code space probed through the stack byte table: 2^17 bytes =
+// 128 KiB, L2-resident and far below any worker-thread stack budget.
+// Up to 2^15 (32 KiB, cache-hot) the byte table always wins; beyond
+// that its clear + sweep must be amortized over enough rows, else the
+// plain bitmap scatter is cheaper.
+constexpr int kBytePresenceBits = 17;
+
+inline bool UseBytePresence(int total_bits, int64_t n) {
+  if (total_bits > kBytePresenceBits) return false;
+  if (total_bits <= 15) return true;
+  return n >= (int64_t{1} << total_bits) / 8;
+}
+
+inline void ScatterBitmap4(__m256i codes, uint64_t* bm) {
+  const __m128i lo = _mm256_castsi256_si128(codes);
+  const __m128i hi = _mm256_extracti128_si256(codes, 1);
+  uint64_t c;
+  c = static_cast<uint64_t>(_mm_cvtsi128_si64(lo));
+  bm[c >> 6] |= uint64_t{1} << (c & 63);
+  c = static_cast<uint64_t>(_mm_extract_epi64(lo, 1));
+  bm[c >> 6] |= uint64_t{1} << (c & 63);
+  c = static_cast<uint64_t>(_mm_cvtsi128_si64(hi));
+  bm[c >> 6] |= uint64_t{1} << (c & 63);
+  c = static_cast<uint64_t>(_mm_extract_epi64(hi, 1));
+  bm[c >> 6] |= uint64_t{1} << (c & 63);
+}
+
+// ORs the 0/1 byte table into the bitmap, 64 codes per iteration: two
+// 32-byte compares against zero collapse to sign masks that are exactly
+// the bitmap word.
+inline void OrPresenceIntoBitmap(const uint8_t* presence, int64_t space,
+                                 uint64_t* bm) {
+  const __m256i zero = _mm256_setzero_si256();
+  int64_t b = 0;
+  for (; b + 64 <= space; b += 64) {
+    const __m256i lo = _mm256_load_si256(
+        reinterpret_cast<const __m256i*>(presence + b));
+    const __m256i hi = _mm256_load_si256(
+        reinterpret_cast<const __m256i*>(presence + b + 32));
+    const uint32_t mlo = static_cast<uint32_t>(
+        _mm256_movemask_epi8(_mm256_cmpgt_epi8(lo, zero)));
+    const uint32_t mhi = static_cast<uint32_t>(
+        _mm256_movemask_epi8(_mm256_cmpgt_epi8(hi, zero)));
+    const uint64_t word = (static_cast<uint64_t>(mhi) << 32) | mlo;
+    if (word != 0) bm[b >> 6] |= word;
+  }
+  for (; b < space; ++b) {
+    if (presence[b] != 0) bm[b >> 6] |= uint64_t{1} << (b & 63);
+  }
+}
+
+void DenseFillA2Avx2(const uint32_t* c0, const uint32_t* c1, int s0,
+                     int total_bits, int64_t n, uint64_t* bm) {
+  if (UseBytePresence(total_bits, n)) {
+    // Byte-table codes fit 32-bit lanes (total_bits <= 17), so the
+    // encode runs 8 rows per vector and spills through a stack buffer
+    // for the byte stores.
+    alignas(32) uint8_t presence[int64_t{1} << kBytePresenceBits];
+    const int64_t space = int64_t{1} << total_bits;
+    std::memset(presence, 0, static_cast<size_t>(space));
+    // Two spill buffers per iteration so the byte stores of one vector
+    // overlap the next vector's store-forward instead of serializing.
+    alignas(32) uint32_t buf[16];
+    const __m128i sh0 = _mm_cvtsi32_si128(s0);
+    int64_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+      const __m256i a0 = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(c0 + i));
+      const __m256i a1 = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(c1 + i));
+      const __m256i b0 = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(c0 + i + 8));
+      const __m256i b1 = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(c1 + i + 8));
+      _mm256_store_si256(reinterpret_cast<__m256i*>(buf),
+                         _mm256_or_si256(_mm256_sll_epi32(a0, sh0), a1));
+      _mm256_store_si256(reinterpret_cast<__m256i*>(buf + 8),
+                         _mm256_or_si256(_mm256_sll_epi32(b0, sh0), b1));
+      for (int r = 0; r < 16; ++r) presence[buf[r]] = 1;
+    }
+    for (; i < n; ++i) {
+      presence[(static_cast<uint64_t>(c0[i]) << s0) | c1[i]] = 1;
+    }
+    OrPresenceIntoBitmap(presence, space, bm);
+    return;
+  }
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    ScatterBitmap4(
+        _mm256_or_si256(ShiftLeft(Widen4(c0 + i), s0), Widen4(c1 + i)), bm);
+  }
+  for (; i < n; ++i) {
+    const uint64_t code = (static_cast<uint64_t>(c0[i]) << s0) | c1[i];
+    bm[code >> 6] |= uint64_t{1} << (code & 63);
+  }
+}
+
+void DenseFillA3Avx2(const uint32_t* c0, const uint32_t* c1,
+                     const uint32_t* c2, int s0, int s1, int total_bits,
+                     int64_t n, uint64_t* bm) {
+  if (UseBytePresence(total_bits, n)) {
+    alignas(32) uint8_t presence[int64_t{1} << kBytePresenceBits];
+    const int64_t space = int64_t{1} << total_bits;
+    std::memset(presence, 0, static_cast<size_t>(space));
+    // Two spill buffers per iteration so the byte stores of one vector
+    // overlap the next vector's store-forward instead of serializing.
+    alignas(32) uint32_t buf[16];
+    const __m128i sh0 = _mm_cvtsi32_si128(s0);
+    const __m128i sh1 = _mm_cvtsi32_si128(s1);
+    int64_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+      const __m256i a0 = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(c0 + i));
+      const __m256i a1 = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(c1 + i));
+      const __m256i a2 = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(c2 + i));
+      const __m256i b0 = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(c0 + i + 8));
+      const __m256i b1 = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(c1 + i + 8));
+      const __m256i b2 = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(c2 + i + 8));
+      _mm256_store_si256(
+          reinterpret_cast<__m256i*>(buf),
+          _mm256_or_si256(_mm256_or_si256(_mm256_sll_epi32(a0, sh0),
+                                          _mm256_sll_epi32(a1, sh1)),
+                          a2));
+      _mm256_store_si256(
+          reinterpret_cast<__m256i*>(buf + 8),
+          _mm256_or_si256(_mm256_or_si256(_mm256_sll_epi32(b0, sh0),
+                                          _mm256_sll_epi32(b1, sh1)),
+                          b2));
+      for (int r = 0; r < 16; ++r) presence[buf[r]] = 1;
+    }
+    for (; i < n; ++i) {
+      presence[(static_cast<uint64_t>(c0[i]) << s0) |
+               (static_cast<uint64_t>(c1[i]) << s1) | c2[i]] = 1;
+    }
+    OrPresenceIntoBitmap(presence, space, bm);
+    return;
+  }
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    ScatterBitmap4(
+        _mm256_or_si256(_mm256_or_si256(ShiftLeft(Widen4(c0 + i), s0),
+                                        ShiftLeft(Widen4(c1 + i), s1)),
+                        Widen4(c2 + i)),
+        bm);
+  }
+  for (; i < n; ++i) {
+    const uint64_t code = (static_cast<uint64_t>(c0[i]) << s0) |
+                          (static_cast<uint64_t>(c1[i]) << s1) | c2[i];
+    bm[code >> 6] |= uint64_t{1} << (code & 63);
+  }
+}
+
+constexpr SizingKernels kAvx2Kernels = {
+    &EncodeA2Avx2,         &EncodeA2NullableAvx2, &EncodeA3Avx2,
+    &EncodeA3NullableAvx2, &GatherAccumAvx2,      &DenseFillA2Avx2,
+    &DenseFillA3Avx2,
+};
+
+}  // namespace
+
+const SizingKernels* GetAvx2Kernels() { return &kAvx2Kernels; }
+
+}  // namespace counting
+}  // namespace pcbl
+
+#else  // !(x86-64 with AVX2 enabled for this TU)
+
+namespace pcbl {
+namespace counting {
+
+const SizingKernels* GetAvx2Kernels() { return nullptr; }
+
+}  // namespace counting
+}  // namespace pcbl
+
+#endif

@@ -1,0 +1,219 @@
+// NEON (aarch64 Advanced SIMD) implementations of the sizing-kernel
+// table (kernel_dispatch.h). Advanced SIMD is baseline on arm64, so this
+// TU needs no special flags — it simply compiles to a stub on other
+// targets. Semantics are bit-identical to the scalar reference in
+// kernel_dispatch.cc (differential-tested per ISA where the host can run
+// it).
+#include "pattern/kernel_dispatch.h"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include "relation/value.h"
+
+namespace pcbl {
+namespace counting {
+namespace {
+
+// Zero-extends 2 uint32 loads into one vector of 2 uint64 lanes.
+inline uint64x2_t Widen2(const uint32_t* p) {
+  return vmovl_u32(vld1_u32(p));
+}
+
+inline uint64x2_t ShiftLeft(uint64x2_t v, int s) {
+  return vshlq_u64(v, vdupq_n_s64(s));
+}
+
+// All-ones per 64-bit lane holding a widened NULL slot.
+inline uint64x2_t IsNullLanes(uint64x2_t v) {
+  return vceqq_u64(v, vdupq_n_u64(0xFFFFFFFFull));
+}
+
+void EncodeA2Neon(const uint32_t* c0, const uint32_t* c1, int s0,
+                  int64_t n, uint64_t* out) {
+  int64_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t v0 = Widen2(c0 + i);
+    const uint64x2_t v1 = Widen2(c1 + i);
+    vst1q_u64(out + i, vorrq_u64(ShiftLeft(v0, s0), v1));
+  }
+  for (; i < n; ++i) {
+    out[i] = (static_cast<uint64_t>(c0[i]) << s0) | c1[i];
+  }
+}
+
+void EncodeA2NullableNeon(const uint32_t* c0, const uint32_t* c1, int s0,
+                          uint64_t sentinel, int64_t n, uint64_t* out) {
+  const uint64x2_t sent_v = vdupq_n_u64(sentinel);
+  int64_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t v0 = Widen2(c0 + i);
+    const uint64x2_t v1 = Widen2(c1 + i);
+    const uint64x2_t code = vorrq_u64(ShiftLeft(v0, s0), v1);
+    const uint64x2_t bad = vorrq_u64(IsNullLanes(v0), IsNullLanes(v1));
+    vst1q_u64(out + i, vbslq_u64(bad, sent_v, code));
+  }
+  for (; i < n; ++i) {
+    const uint32_t v0 = c0[i];
+    const uint32_t v1 = c1[i];
+    const bool ok = v0 != kNullValue && v1 != kNullValue;
+    out[i] = ok ? (static_cast<uint64_t>(v0) << s0) | v1 : sentinel;
+  }
+}
+
+void EncodeA3Neon(const uint32_t* c0, const uint32_t* c1,
+                  const uint32_t* c2, int s0, int s1, int64_t n,
+                  uint64_t* out) {
+  int64_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t v0 = Widen2(c0 + i);
+    const uint64x2_t v1 = Widen2(c1 + i);
+    const uint64x2_t v2 = Widen2(c2 + i);
+    vst1q_u64(out + i, vorrq_u64(vorrq_u64(ShiftLeft(v0, s0),
+                                           ShiftLeft(v1, s1)),
+                                 v2));
+  }
+  for (; i < n; ++i) {
+    out[i] = (static_cast<uint64_t>(c0[i]) << s0) |
+             (static_cast<uint64_t>(c1[i]) << s1) | c2[i];
+  }
+}
+
+void EncodeA3NullableNeon(const uint32_t* c0, const uint32_t* c1,
+                          const uint32_t* c2, int s0, int s1, uint64_t n0,
+                          uint64_t n1, uint64_t n2, uint64_t sentinel,
+                          int64_t n, uint64_t* out) {
+  const uint64x2_t sent_v = vdupq_n_u64(sentinel);
+  const uint64x2_t slot0 = vdupq_n_u64(n0);
+  const uint64x2_t slot1 = vdupq_n_u64(n1);
+  const uint64x2_t slot2 = vdupq_n_u64(n2);
+  // NULL masks are -1 per lane as int64; a lane sum <= -2 means >= 2
+  // NULLs (arity < 2), routing the row to the sentinel.
+  const int64x2_t minus_one = vdupq_n_s64(-1);
+  int64_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t v0 = Widen2(c0 + i);
+    const uint64x2_t v1 = Widen2(c1 + i);
+    const uint64x2_t v2 = Widen2(c2 + i);
+    const uint64x2_t m0 = IsNullLanes(v0);
+    const uint64x2_t m1 = IsNullLanes(v1);
+    const uint64x2_t m2 = IsNullLanes(v2);
+    const uint64x2_t f0 = vbslq_u64(m0, slot0, v0);
+    const uint64x2_t f1 = vbslq_u64(m1, slot1, v1);
+    const uint64x2_t f2 = vbslq_u64(m2, slot2, v2);
+    const uint64x2_t code = vorrq_u64(
+        vorrq_u64(ShiftLeft(f0, s0), ShiftLeft(f1, s1)), f2);
+    const int64x2_t null_sum =
+        vaddq_s64(vaddq_s64(vreinterpretq_s64_u64(m0),
+                            vreinterpretq_s64_u64(m1)),
+                  vreinterpretq_s64_u64(m2));
+    const uint64x2_t bad = vcgtq_s64(minus_one, null_sum);
+    vst1q_u64(out + i, vbslq_u64(bad, sent_v, code));
+  }
+  for (; i < n; ++i) {
+    const uint32_t v0 = c0[i];
+    const uint32_t v1 = c1[i];
+    const uint32_t v2 = c2[i];
+    const int nulls = static_cast<int>(v0 == kNullValue) +
+                      static_cast<int>(v1 == kNullValue) +
+                      static_cast<int>(v2 == kNullValue);
+    const uint64_t code = ((v0 == kNullValue ? n0 : v0) << s0) |
+                          ((v1 == kNullValue ? n1 : v1) << s1) |
+                          (v2 == kNullValue ? n2 : v2);
+    out[i] = nulls <= 1 ? code : sentinel;
+  }
+}
+
+void GatherAccumNeon(const uint32_t* col, int shift, uint64_t null_slot,
+                     int64_t n, uint64_t* codes, uint8_t* arity) {
+  const uint64x2_t slot_v = vdupq_n_u64(null_slot);
+  int64_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t v = Widen2(col + i);
+    const uint64x2_t is_null = IsNullLanes(v);
+    const uint64x2_t slot = vbslq_u64(is_null, slot_v, v);
+    const uint64x2_t acc = vld1q_u64(codes + i);
+    vst1q_u64(codes + i, vorrq_u64(acc, ShiftLeft(slot, shift)));
+    arity[i + 0] +=
+        static_cast<uint8_t>(vgetq_lane_u64(is_null, 0) == 0);
+    arity[i + 1] +=
+        static_cast<uint8_t>(vgetq_lane_u64(is_null, 1) == 0);
+  }
+  for (; i < n; ++i) {
+    const uint32_t v = col[i];
+    const bool bound = v != kNullValue;
+    codes[i] |= (bound ? static_cast<uint64_t>(v) : null_slot) << shift;
+    arity[i] += static_cast<uint8_t>(bound);
+  }
+}
+
+// Fused dense fills: NEON encodes two rows per iteration and keeps the
+// straightforward bitmap scatter — arm64 cores have enough store
+// bandwidth that the byte-table detour the AVX2 TU takes has not been
+// shown to pay here, and the simple form is easiest to keep
+// bit-identical.
+void DenseFillA2Neon(const uint32_t* c0, const uint32_t* c1, int s0,
+                     int total_bits, int64_t n, uint64_t* bm) {
+  (void)total_bits;
+  int64_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t code =
+        vorrq_u64(ShiftLeft(Widen2(c0 + i), s0), Widen2(c1 + i));
+    const uint64_t a = vgetq_lane_u64(code, 0);
+    const uint64_t b = vgetq_lane_u64(code, 1);
+    bm[a >> 6] |= uint64_t{1} << (a & 63);
+    bm[b >> 6] |= uint64_t{1} << (b & 63);
+  }
+  for (; i < n; ++i) {
+    const uint64_t code = (static_cast<uint64_t>(c0[i]) << s0) | c1[i];
+    bm[code >> 6] |= uint64_t{1} << (code & 63);
+  }
+}
+
+void DenseFillA3Neon(const uint32_t* c0, const uint32_t* c1,
+                     const uint32_t* c2, int s0, int s1, int total_bits,
+                     int64_t n, uint64_t* bm) {
+  (void)total_bits;
+  int64_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t code = vorrq_u64(
+        vorrq_u64(ShiftLeft(Widen2(c0 + i), s0),
+                  ShiftLeft(Widen2(c1 + i), s1)),
+        Widen2(c2 + i));
+    const uint64_t a = vgetq_lane_u64(code, 0);
+    const uint64_t b = vgetq_lane_u64(code, 1);
+    bm[a >> 6] |= uint64_t{1} << (a & 63);
+    bm[b >> 6] |= uint64_t{1} << (b & 63);
+  }
+  for (; i < n; ++i) {
+    const uint64_t code = (static_cast<uint64_t>(c0[i]) << s0) |
+                          (static_cast<uint64_t>(c1[i]) << s1) | c2[i];
+    bm[code >> 6] |= uint64_t{1} << (code & 63);
+  }
+}
+
+constexpr SizingKernels kNeonKernels = {
+    &EncodeA2Neon,         &EncodeA2NullableNeon, &EncodeA3Neon,
+    &EncodeA3NullableNeon, &GatherAccumNeon,      &DenseFillA2Neon,
+    &DenseFillA3Neon,
+};
+
+}  // namespace
+
+const SizingKernels* GetNeonKernels() { return &kNeonKernels; }
+
+}  // namespace counting
+}  // namespace pcbl
+
+#else  // !aarch64
+
+namespace pcbl {
+namespace counting {
+
+const SizingKernels* GetNeonKernels() { return nullptr; }
+
+}  // namespace counting
+}  // namespace pcbl
+
+#endif

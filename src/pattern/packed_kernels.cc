@@ -2,17 +2,20 @@
 
 #include <algorithm>
 #include <cstring>
+#include <memory>
 
+#include "pattern/kernel_dispatch.h"
 #include "pattern/restriction_codec.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace pcbl {
 namespace counting {
 
 namespace {
 
-// Generic-kernel tile: large enough to amortize the per-attribute loop
-// switch, small enough that codes + arity stay in L1 (~9 KiB).
+// Encode tile: large enough to amortize the per-tile setup, small enough
+// that codes + arity stay in L1 (~9 KiB).
 constexpr int64_t kTileRows = 1024;
 
 // Dense-bitmap ceiling: 2^26 bits = 8 MiB. The relative gate in
@@ -20,86 +23,105 @@ constexpr int64_t kTileRows = 1024;
 // than their scan.
 constexpr int kDenseBitsLimit = 26;
 
+// Dropped rows (NULL / arity < 2) encode to this code, one past the top
+// of the packed key space, so the SIMD encoders can run branch-free and
+// downstream consumers either skip it (emit loops) or give it a bit that
+// is cleared before counting (dense bitmap).
+inline uint64_t SentinelCode(const PackedLayout& layout) {
+  return uint64_t{1} << layout.total_bits;
+}
+
+// Encodes base rows [base, base + n) of an arity-2 view through the
+// active kernel table. NULL-free columns take the pure shift/OR kernel.
+inline void EncodeBaseTileA2(const SubsetColumns& view,
+                             const PackedLayout& layout,
+                             const SizingKernels& k, uint64_t sentinel,
+                             int64_t base, int64_t n, uint64_t* out) {
+  const ValueId* c0 = view.cols[0] + base;
+  const ValueId* c1 = view.cols[1] + base;
+  if (!view.nullable[0] && !view.nullable[1]) {
+    k.encode_a2(c0, c1, layout.shift[0], n, out);
+  } else {
+    k.encode_a2_nullable(c0, c1, layout.shift[0], sentinel, n, out);
+  }
+}
+
+// Arity-3 equivalent; the nullable kernel substitutes layout null slots
+// for single-NULL rows and routes >1-NULL rows to the sentinel.
+inline void EncodeBaseTileA3(const SubsetColumns& view,
+                             const PackedLayout& layout,
+                             const SizingKernels& k, uint64_t sentinel,
+                             int64_t base, int64_t n, uint64_t* out) {
+  const ValueId* c0 = view.cols[0] + base;
+  const ValueId* c1 = view.cols[1] + base;
+  const ValueId* c2 = view.cols[2] + base;
+  if (!view.nullable[0] && !view.nullable[1] && !view.nullable[2]) {
+    k.encode_a3(c0, c1, c2, layout.shift[0], layout.shift[1], n, out);
+  } else {
+    k.encode_a3_nullable(c0, c1, c2, layout.shift[0], layout.shift[1],
+                         layout.null_slot[0], layout.null_slot[1],
+                         layout.null_slot[2], sentinel, n, out);
+  }
+}
+
+// Delta rows are row-major and few (the engine compacts them into the
+// base columns past a threshold), so they encode scalar, any width.
+inline uint64_t EncodeDeltaRow(const SubsetColumns& view,
+                               const PackedLayout& layout,
+                               uint64_t sentinel, int64_t r) {
+  const ValueId* row = view.delta + r * view.delta_stride;
+  uint64_t code = 0;
+  int bound = 0;
+  for (int j = 0; j < view.width; ++j) {
+    const ValueId v = row[view.delta_attr[j]];
+    const bool nn = !IsNull(v);
+    code |= (nn ? static_cast<uint64_t>(v) : layout.null_slot[j])
+            << layout.shift[j];
+    bound += static_cast<int>(nn);
+  }
+  return bound >= 2 ? code : sentinel;
+}
+
 // Streams every arity>=2 restriction code of the view through `emit`
-// (bool emit(uint64_t): return false to abort the scan). Arity-2/3 get
-// specialized loops; wider subsets go through the tiled gather.
+// (bool emit(uint64_t): return false to abort the scan). Arity-2/3
+// tiles encode through the dispatched SIMD kernels with dropped rows
+// routed to the sentinel (skipped here, so emission order and the
+// budget early-exit contract are unchanged — an abort merely wastes the
+// rest of one already-encoded tile); wider subsets go through the tiled
+// per-column gather.
 template <typename Emit>
 void ForEachPackedCode(const SubsetColumns& view, const PackedLayout& layout,
                        Emit&& emit) {
   const int width = view.width;
   PCBL_DCHECK(width >= 2 && layout.ok);
-  auto delta_value = [&](int64_t r, int j) -> ValueId {
-    return view.delta[r * view.delta_stride + view.delta_attr[j]];
-  };
-  if (width == 2) {
-    // Arity >= 2 over two attributes means both bound: NULL rows drop and
-    // the NULL slot never appears in the codes. NULL-free columns skip
-    // the per-row checks entirely.
-    const ValueId* c0 = view.cols[0];
-    const ValueId* c1 = view.cols[1];
-    const int s0 = layout.shift[0];
-    if (!view.nullable[0] && !view.nullable[1]) {
-      for (int64_t r = 0; r < view.rows; ++r) {
-        if (!emit((static_cast<uint64_t>(c0[r]) << s0) | c1[r])) return;
+  const SizingKernels& k = ActiveKernels();
+  const uint64_t sentinel = SentinelCode(layout);
+  if (width == 2 || width == 3) {
+    uint64_t codes[kTileRows];
+    for (int64_t base = 0; base < view.rows; base += kTileRows) {
+      const int64_t n = std::min(kTileRows, view.rows - base);
+      if (width == 2) {
+        EncodeBaseTileA2(view, layout, k, sentinel, base, n, codes);
+      } else {
+        EncodeBaseTileA3(view, layout, k, sentinel, base, n, codes);
       }
-    } else {
-      for (int64_t r = 0; r < view.rows; ++r) {
-        const ValueId v0 = c0[r];
-        const ValueId v1 = c1[r];
-        if (IsNull(v0) || IsNull(v1)) continue;
-        if (!emit((static_cast<uint64_t>(v0) << s0) | v1)) return;
-      }
-    }
-    for (int64_t r = 0; r < view.delta_rows; ++r) {
-      const ValueId v0 = delta_value(r, 0);
-      const ValueId v1 = delta_value(r, 1);
-      if (IsNull(v0) || IsNull(v1)) continue;
-      if (!emit((static_cast<uint64_t>(v0) << s0) | v1)) return;
-    }
-    return;
-  }
-  if (width == 3) {
-    const ValueId* c0 = view.cols[0];
-    const ValueId* c1 = view.cols[1];
-    const ValueId* c2 = view.cols[2];
-    const int s0 = layout.shift[0];
-    const int s1 = layout.shift[1];
-    const uint64_t n0 = layout.null_slot[0];
-    const uint64_t n1 = layout.null_slot[1];
-    const uint64_t n2 = layout.null_slot[2];
-    auto row = [&](ValueId v0, ValueId v1, ValueId v2) {
-      const bool m0 = IsNull(v0);
-      const bool m1 = IsNull(v1);
-      const bool m2 = IsNull(v2);
-      if (static_cast<int>(m0) + static_cast<int>(m1) +
-              static_cast<int>(m2) > 1) {
-        return true;  // arity < 2
-      }
-      const uint64_t code = ((m0 ? n0 : v0) << s0) | ((m1 ? n1 : v1) << s1) |
-                            (m2 ? n2 : v2);
-      return emit(code);
-    };
-    if (!view.nullable[0] && !view.nullable[1] && !view.nullable[2]) {
-      for (int64_t r = 0; r < view.rows; ++r) {
-        const uint64_t code = (static_cast<uint64_t>(c0[r]) << s0) |
-                              (static_cast<uint64_t>(c1[r]) << s1) | c2[r];
+      for (int64_t r = 0; r < n; ++r) {
+        const uint64_t code = codes[r];
+        if (code == sentinel) continue;
         if (!emit(code)) return;
       }
-    } else {
-      for (int64_t r = 0; r < view.rows; ++r) {
-        if (!row(c0[r], c1[r], c2[r])) return;
-      }
     }
     for (int64_t r = 0; r < view.delta_rows; ++r) {
-      if (!row(delta_value(r, 0), delta_value(r, 1), delta_value(r, 2))) {
-        return;
-      }
+      const uint64_t code = EncodeDeltaRow(view, layout, sentinel, r);
+      if (code == sentinel) continue;
+      if (!emit(code)) return;
     }
     return;
   }
   // Generic width: gather in row tiles. Each attribute's column slice is
-  // streamed once per tile in a tight shift/OR loop (vectorizable, no
-  // cross-row dependencies); the tile's codes and arities stay in L1.
+  // streamed once per tile through the dispatched gather kernel (a tight
+  // shift/OR loop with no cross-row dependencies); the tile's codes and
+  // arities stay in L1.
   uint64_t codes[kTileRows];
   uint8_t arity[kTileRows];
   for (int64_t base = 0; base < view.rows; base += kTileRows) {
@@ -107,15 +129,8 @@ void ForEachPackedCode(const SubsetColumns& view, const PackedLayout& layout,
     std::memset(codes, 0, static_cast<size_t>(n) * sizeof(codes[0]));
     std::memset(arity, 0, static_cast<size_t>(n) * sizeof(arity[0]));
     for (int j = 0; j < width; ++j) {
-      const ValueId* col = view.cols[j] + base;
-      const int shift = layout.shift[j];
-      const uint64_t null_slot = layout.null_slot[j];
-      for (int64_t r = 0; r < n; ++r) {
-        const ValueId v = col[r];
-        const bool bound = !IsNull(v);
-        codes[r] |= (bound ? static_cast<uint64_t>(v) : null_slot) << shift;
-        arity[r] += static_cast<uint8_t>(bound);
-      }
+      k.gather_accum(view.cols[j] + base, layout.shift[j],
+                     layout.null_slot[j], n, codes, arity);
     }
     for (int64_t r = 0; r < n; ++r) {
       if (arity[r] < 2) continue;
@@ -123,18 +138,110 @@ void ForEachPackedCode(const SubsetColumns& view, const PackedLayout& layout,
     }
   }
   for (int64_t r = 0; r < view.delta_rows; ++r) {
-    uint64_t code = 0;
-    int bound = 0;
-    for (int j = 0; j < width; ++j) {
-      const ValueId v = delta_value(r, j);
-      const bool nn = !IsNull(v);
-      code |= (nn ? static_cast<uint64_t>(v) : layout.null_slot[j])
-              << layout.shift[j];
-      bound += static_cast<int>(nn);
-    }
-    if (bound < 2) continue;
+    const uint64_t code = EncodeDeltaRow(view, layout, sentinel, r);
+    if (code == sentinel) continue;
     if (!emit(code)) return;
   }
+}
+
+// The [lo, hi) slice of the view's concatenated row range (base rows
+// first, then delta rows) as another SubsetColumns — what one morsel
+// scans. Slicing is pure pointer arithmetic; column/attr metadata is
+// shared with the parent view.
+SubsetColumns MorselSlice(const SubsetColumns& view, int64_t lo,
+                          int64_t hi) {
+  SubsetColumns s = view;
+  const int64_t blo = std::min(lo, view.rows);
+  const int64_t bhi = std::min(hi, view.rows);
+  for (int j = 0; j < view.width; ++j) s.cols[j] = view.cols[j] + blo;
+  s.rows = bhi - blo;
+  const int64_t dlo = std::max<int64_t>(0, lo - view.rows);
+  const int64_t dhi = std::max<int64_t>(0, hi - view.rows);
+  s.delta = view.delta == nullptr ? nullptr
+                                  : view.delta + dlo * view.delta_stride;
+  s.delta_rows = dhi - dlo;
+  return s;
+}
+
+// Equal contiguous ranges; morsel m of nm covers
+// [total * m / nm, total * (m + 1) / nm).
+inline int64_t MorselBound(int64_t total_rows, int64_t nm, int64_t m) {
+  return total_rows * m / nm;
+}
+
+// OR-fills `bm` (words incl. the sentinel word) with one bit per
+// distinct arity>=2 code of the view — plus the sentinel bit when any
+// row dropped, which the caller clears before counting. NULL-free
+// arity-2/3 base rows take the fused dense_fill kernels (the dominant
+// shape: every implementation owns both the encode and the presence
+// update, see kernel_dispatch.h). Nullable views encode through tiles
+// and scatter into four interleaved accumulators: hot groups hammer the
+// same word, and spreading consecutive rows across copies breaks that
+// read-modify-write dependency chain.
+void FillDenseBitmap(const SubsetColumns& view, const PackedLayout& layout,
+                     uint64_t* bm, size_t words) {
+  const uint64_t sentinel = SentinelCode(layout);
+  if (view.width == 2 || view.width == 3) {
+    const SizingKernels& k = ActiveKernels();
+    const bool null_free =
+        !view.nullable[0] && !view.nullable[1] &&
+        (view.width == 2 || !view.nullable[2]);
+    if (null_free) {
+      if (view.width == 2) {
+        k.dense_fill_a2(view.cols[0], view.cols[1], layout.shift[0],
+                        layout.total_bits, view.rows, bm);
+      } else {
+        k.dense_fill_a3(view.cols[0], view.cols[1], view.cols[2],
+                        layout.shift[0], layout.shift[1], layout.total_bits,
+                        view.rows, bm);
+      }
+      for (int64_t r = 0; r < view.delta_rows; ++r) {
+        const uint64_t code = EncodeDeltaRow(view, layout, sentinel, r);
+        bm[code >> 6] |= uint64_t{1} << (code & 63);
+      }
+      return;
+    }
+    std::vector<uint64_t> shadow(words * 3, 0);
+    uint64_t* bs1 = shadow.data();
+    uint64_t* bs2 = bs1 + words;
+    uint64_t* bs3 = bs2 + words;
+    uint64_t codes[kTileRows];
+    for (int64_t base = 0; base < view.rows; base += kTileRows) {
+      const int64_t n = std::min(kTileRows, view.rows - base);
+      if (view.width == 2) {
+        EncodeBaseTileA2(view, layout, k, sentinel, base, n, codes);
+      } else {
+        EncodeBaseTileA3(view, layout, k, sentinel, base, n, codes);
+      }
+      int64_t r = 0;
+      for (; r + 3 < n; r += 4) {
+        const uint64_t a = codes[r];
+        const uint64_t b = codes[r + 1];
+        const uint64_t c = codes[r + 2];
+        const uint64_t d = codes[r + 3];
+        bm[a >> 6] |= uint64_t{1} << (a & 63);
+        bs1[b >> 6] |= uint64_t{1} << (b & 63);
+        bs2[c >> 6] |= uint64_t{1} << (c & 63);
+        bs3[d >> 6] |= uint64_t{1} << (d & 63);
+      }
+      for (; r < n; ++r) {
+        const uint64_t a = codes[r];
+        bm[a >> 6] |= uint64_t{1} << (a & 63);
+      }
+    }
+    for (size_t w = 0; w < words; ++w) {
+      bm[w] |= bs1[w] | bs2[w] | bs3[w];
+    }
+    for (int64_t r = 0; r < view.delta_rows; ++r) {
+      const uint64_t code = EncodeDeltaRow(view, layout, sentinel, r);
+      bm[code >> 6] |= uint64_t{1} << (code & 63);
+    }
+    return;
+  }
+  ForEachPackedCode(view, layout, [&](uint64_t code) {
+    bm[code >> 6] |= uint64_t{1} << (code & 63);
+    return true;
+  });
 }
 
 }  // namespace
@@ -151,6 +258,13 @@ SubsetColumns MakeSubsetColumns(const Table& table,
   return view;
 }
 
+int64_t MorselCount(int64_t total_rows, const MorselConfig& morsel) {
+  if (morsel.threads <= 1 || morsel.min_rows_per_morsel <= 0) return 1;
+  const int64_t by_rows = total_rows / morsel.min_rows_per_morsel;
+  return std::max<int64_t>(
+      1, std::min<int64_t>(morsel.threads, by_rows));
+}
+
 bool PackedDenseCountEligible(const PackedLayout& layout, int64_t rows) {
   if (!layout.ok || layout.total_bits > 22) return false;
   const int64_t space = int64_t{1} << layout.total_bits;
@@ -161,12 +275,50 @@ bool PackedDenseCountEligible(const PackedLayout& layout, int64_t rows) {
 
 int64_t PackedCountGroupsDense(
     const SubsetColumns& view, const PackedLayout& layout, int64_t budget,
-    std::vector<std::pair<int64_t, int64_t>>* items) {
+    std::vector<std::pair<int64_t, int64_t>>* items,
+    const MorselConfig& morsel) {
   PCBL_DCHECK(
       PackedDenseCountEligible(layout, view.rows + view.delta_rows));
   const size_t space = size_t{1} << layout.total_bits;
+  const int64_t total_rows = view.rows + view.delta_rows;
+  const int64_t nm = budget < 0 ? MorselCount(total_rows, morsel) : 1;
   std::vector<uint32_t> counts(space, 0);
   uint32_t* c = counts.data();
+  if (nm > 1) {
+    // Exact scan: each morsel counts into its own direct-addressing
+    // array, merged by elementwise addition — commutative, so the merged
+    // array (and the ascending sweep below) is identical for every
+    // morsel split.
+    std::vector<std::vector<uint32_t>> parts(static_cast<size_t>(nm - 1));
+    ParallelFor(nm, static_cast<int>(nm), [&](int64_t m) {
+      const SubsetColumns slice =
+          MorselSlice(view, MorselBound(total_rows, nm, m),
+                      MorselBound(total_rows, nm, m + 1));
+      uint32_t* part = c;
+      if (m > 0) {
+        parts[static_cast<size_t>(m - 1)].assign(space, 0);
+        part = parts[static_cast<size_t>(m - 1)].data();
+      }
+      ForEachPackedCode(slice, layout, [&](uint64_t code) {
+        ++part[code];
+        return true;
+      });
+    });
+    for (const std::vector<uint32_t>& part : parts) {
+      const uint32_t* p = part.data();
+      for (size_t w = 0; w < space; ++w) c[w] += p[w];
+    }
+    int64_t distinct = 0;
+    items->clear();
+    for (size_t code = 0; code < space; ++code) {
+      if (c[code] != 0) {
+        ++distinct;
+        items->emplace_back(static_cast<int64_t>(code),
+                            static_cast<int64_t>(c[code]));
+      }
+    }
+    return distinct;
+  }
   int64_t distinct = 0;
   bool aborted = false;
   ForEachPackedCode(view, layout, [&](uint64_t code) {
@@ -197,135 +349,52 @@ bool PackedDenseEligible(const PackedLayout& layout, int64_t rows) {
 }
 
 int64_t PackedCountDistinct(const SubsetColumns& view,
-                            const PackedLayout& layout, int64_t budget) {
+                            const PackedLayout& layout, int64_t budget,
+                            const MorselConfig& morsel) {
   const int64_t total_rows = view.rows + view.delta_rows;
+  const int64_t nm = budget < 0 ? MorselCount(total_rows, morsel) : 1;
   if (PackedDenseEligible(layout, total_rows)) {
-    // One extra word holds the arity-2 kernel's NULL sentinel bit (code
-    // 2^total_bits), which lets its fill loop run branch-free.
+    // One extra word holds the encoders' NULL sentinel bit (code
+    // 2^total_bits), which lets the fill loops run branch-free.
     const size_t words =
         static_cast<size_t>((int64_t{1} << layout.total_bits) / 64 + 2);
-    std::vector<uint64_t> bitmap(words, 0);
-    uint64_t* bm = bitmap.data();
+    const uint64_t sentinel = SentinelCode(layout);
     if (budget < 0) {
       // Exact counting: fill without testing (a pure OR-store per row —
       // no read-test dependency, no running counter), then popcount.
-      // Arity 2/3 get fully branch-free encoders — NULL/low-arity rows
-      // route to the sentinel bit via a select — writing into *two*
-      // interleaved accumulators: hot groups hammer the same word, and
-      // splitting even/odd rows across copies halves that
-      // read-modify-write dependency chain.
-      const uint64_t sentinel = uint64_t{1} << layout.total_bits;
-      auto fill_interleaved = [&](auto encode) {
-        std::vector<uint64_t> shadow(words * 3, 0);
-        uint64_t* bs1 = shadow.data();
-        uint64_t* bs2 = bs1 + words;
-        uint64_t* bs3 = bs2 + words;
-        int64_t r = 0;
-        for (; r + 3 < view.rows; r += 4) {
-          const uint64_t a = encode(r);
-          const uint64_t b = encode(r + 1);
-          const uint64_t c = encode(r + 2);
-          const uint64_t d = encode(r + 3);
-          bm[a >> 6] |= uint64_t{1} << (a & 63);
-          bs1[b >> 6] |= uint64_t{1} << (b & 63);
-          bs2[c >> 6] |= uint64_t{1} << (c & 63);
-          bs3[d >> 6] |= uint64_t{1} << (d & 63);
-        }
-        for (; r < view.rows; ++r) {
-          const uint64_t a = encode(r);
-          bm[a >> 6] |= uint64_t{1} << (a & 63);
-        }
-        for (size_t w = 0; w < words; ++w) {
-          bm[w] |= bs1[w] | bs2[w] | bs3[w];
-        }
-      };
-      if (view.width == 2) {
-        const int s0 = layout.shift[0];
-        const ValueId* c0 = view.cols[0];
-        const ValueId* c1 = view.cols[1];
-        if (!view.nullable[0] && !view.nullable[1]) {
-          // NULL-free columns (the paper's datasets): pure shift/OR.
-          fill_interleaved([&](int64_t r) -> uint64_t {
-            return (static_cast<uint64_t>(c0[r]) << s0) | c1[r];
-          });
-        } else {
-          fill_interleaved([&](int64_t r) -> uint64_t {
-            const ValueId v0 = c0[r];
-            const ValueId v1 = c1[r];
-            // Dense-eligible fields are < 2^26, so only NULL (0xFFFFFFFF)
-            // carries the top bit.
-            const bool ok = ((v0 | v1) >> 31) == 0;
-            const uint64_t packed = (static_cast<uint64_t>(v0) << s0) | v1;
-            return ok ? packed : sentinel;
-          });
-        }
-        for (int64_t r = 0; r < view.delta_rows; ++r) {
-          const ValueId* row = view.delta + r * view.delta_stride;
-          const ValueId v0 = row[view.delta_attr[0]];
-          const ValueId v1 = row[view.delta_attr[1]];
-          const bool ok = !IsNull(v0) && !IsNull(v1);
-          const uint64_t packed = (static_cast<uint64_t>(v0) << s0) | v1;
-          const uint64_t code = ok ? packed : sentinel;
-          bm[code >> 6] |= uint64_t{1} << (code & 63);
-        }
-      } else if (view.width == 3) {
-        // Branch-free: slot selection is a single unsigned min (NULL =
-        // 0xFFFFFFFF exceeds every dense-eligible null slot), low-arity
-        // rows route to the sentinel via a select.
-        const int s0 = layout.shift[0];
-        const int s1 = layout.shift[1];
-        const uint32_t n0 = static_cast<uint32_t>(layout.null_slot[0]);
-        const uint32_t n1 = static_cast<uint32_t>(layout.null_slot[1]);
-        const uint32_t n2 = static_cast<uint32_t>(layout.null_slot[2]);
-        const ValueId* c0 = view.cols[0];
-        const ValueId* c1 = view.cols[1];
-        const ValueId* c2 = view.cols[2];
-        if (!view.nullable[0] && !view.nullable[1] && !view.nullable[2]) {
-          fill_interleaved([&](int64_t r) -> uint64_t {
-            return (static_cast<uint64_t>(c0[r]) << s0) |
-                   (static_cast<uint64_t>(c1[r]) << s1) | c2[r];
-          });
-        } else {
-          fill_interleaved([&](int64_t r) -> uint64_t {
-            const uint32_t v0 = c0[r];
-            const uint32_t v1 = c1[r];
-            const uint32_t v2 = c2[r];
-            // Top bit set iff NULL: dense-eligible fields are < 2^26.
-            const uint32_t null_count =
-                (v0 >> 31) + (v1 >> 31) + (v2 >> 31);
-            const uint64_t code =
-                (static_cast<uint64_t>(std::min(v0, n0)) << s0) |
-                (static_cast<uint64_t>(std::min(v1, n1)) << s1) |
-                std::min(v2, n2);
-            return null_count <= 1 ? code : sentinel;
-          });
-        }
-        for (int64_t r = 0; r < view.delta_rows; ++r) {
-          const ValueId* row = view.delta + r * view.delta_stride;
-          const uint32_t v0 = row[view.delta_attr[0]];
-          const uint32_t v1 = row[view.delta_attr[1]];
-          const uint32_t v2 = row[view.delta_attr[2]];
-          const uint32_t null_count = static_cast<uint32_t>(IsNull(v0)) +
-                                      static_cast<uint32_t>(IsNull(v1)) +
-                                      static_cast<uint32_t>(IsNull(v2));
-          const uint64_t packed =
-              (static_cast<uint64_t>(std::min(v0, n0)) << s0) |
-              (static_cast<uint64_t>(std::min(v1, n1)) << s1) |
-              std::min(v2, n2);
-          const uint64_t code = null_count <= 1 ? packed : sentinel;
-          bm[code >> 6] |= uint64_t{1} << (code & 63);
+      // With morsels, each thread fills a private bitmap over its row
+      // range; OR is commutative, so the merged bitmap is split-
+      // independent.
+      std::vector<uint64_t> bitmap(words, 0);
+      uint64_t* bm = bitmap.data();
+      if (nm > 1) {
+        std::vector<std::vector<uint64_t>> parts(
+            static_cast<size_t>(nm - 1));
+        ParallelFor(nm, static_cast<int>(nm), [&](int64_t m) {
+          const SubsetColumns slice =
+              MorselSlice(view, MorselBound(total_rows, nm, m),
+                          MorselBound(total_rows, nm, m + 1));
+          uint64_t* part = bm;
+          if (m > 0) {
+            parts[static_cast<size_t>(m - 1)].assign(words, 0);
+            part = parts[static_cast<size_t>(m - 1)].data();
+          }
+          FillDenseBitmap(slice, layout, part, words);
+        });
+        for (const std::vector<uint64_t>& part : parts) {
+          const uint64_t* p = part.data();
+          for (size_t w = 0; w < words; ++w) bm[w] |= p[w];
         }
       } else {
-        ForEachPackedCode(view, layout, [&](uint64_t code) {
-          bm[code >> 6] |= uint64_t{1} << (code & 63);
-          return true;
-        });
+        FillDenseBitmap(view, layout, bm, words);
       }
       bm[sentinel >> 6] &= ~(uint64_t{1} << (sentinel & 63));
       int64_t distinct = 0;
       for (uint64_t word : bitmap) distinct += std::popcount(word);
       return distinct;
     }
+    std::vector<uint64_t> bitmap(words, 0);
+    uint64_t* bm = bitmap.data();
     int64_t distinct = 0;
     ForEachPackedCode(view, layout, [&](uint64_t code) {
       const uint64_t bit = uint64_t{1} << (code & 63);
@@ -338,6 +407,29 @@ int64_t PackedCountDistinct(const SubsetColumns& view,
     });
     return distinct;
   }
+  if (nm > 1) {
+    // Exact hash path: per-morsel CodeSets merged pairwise into the
+    // first. The union's size is split-independent, and each partial
+    // reserves for its own row count so the merge stays cheap.
+    std::vector<std::unique_ptr<CodeSet>> parts(static_cast<size_t>(nm));
+    ParallelFor(nm, static_cast<int>(nm), [&](int64_t m) {
+      const SubsetColumns slice =
+          MorselSlice(view, MorselBound(total_rows, nm, m),
+                      MorselBound(total_rows, nm, m + 1));
+      auto seen = std::make_unique<CodeSet>(
+          SizingReserve(-1, slice.rows + slice.delta_rows));
+      ForEachPackedCode(slice, layout, [&](uint64_t code) {
+        seen->Insert(static_cast<int64_t>(code));
+        return true;
+      });
+      parts[static_cast<size_t>(m)] = std::move(seen);
+    });
+    CodeSet& merged = *parts[0];
+    for (size_t m = 1; m < parts.size(); ++m) {
+      parts[m]->ForEach([&](int64_t code) { merged.Insert(code); });
+    }
+    return merged.size();
+  }
   CodeSet seen(SizingReserve(budget, total_rows));
   ForEachPackedCode(view, layout, [&](uint64_t code) {
     return !(seen.Insert(static_cast<int64_t>(code)) && budget >= 0 &&
@@ -348,15 +440,45 @@ int64_t PackedCountDistinct(const SubsetColumns& view,
 
 std::vector<std::pair<int64_t, int64_t>> PackedCountGroups(
     const SubsetColumns& view, const PackedLayout& layout,
-    int64_t groups_hint) {
+    int64_t groups_hint, const MorselConfig& morsel) {
   const int64_t total_rows = view.rows + view.delta_rows;
-  CodeCountMap counts(groups_hint >= 0
-                          ? static_cast<size_t>(groups_hint) + 1
-                          : SizingReserve(-1, total_rows));
+  // A morsel's distinct-group count is bounded by the subset's, so the
+  // hint pre-sizes each partial (and the merge target) the same way —
+  // every hinted pass is rehash-free, asserted below.
+  auto reserve = [&](int64_t rows) {
+    return groups_hint >= 0 ? static_cast<size_t>(groups_hint) + 1
+                            : SizingReserve(-1, rows);
+  };
+  const int64_t nm = MorselCount(total_rows, morsel);
+  if (nm > 1) {
+    std::vector<std::unique_ptr<CodeCountMap>> parts(
+        static_cast<size_t>(nm));
+    ParallelFor(nm, static_cast<int>(nm), [&](int64_t m) {
+      const SubsetColumns slice =
+          MorselSlice(view, MorselBound(total_rows, nm, m),
+                      MorselBound(total_rows, nm, m + 1));
+      auto counts = std::make_unique<CodeCountMap>(
+          reserve(slice.rows + slice.delta_rows));
+      ForEachPackedCode(slice, layout, [&](uint64_t code) {
+        counts->Increment(static_cast<int64_t>(code));
+        return true;
+      });
+      parts[static_cast<size_t>(m)] = std::move(counts);
+    });
+    CodeCountMap& merged = *parts[0];
+    for (size_t m = 1; m < parts.size(); ++m) {
+      parts[m]->ForEach(
+          [&](int64_t code, int64_t count) { merged.Add(code, count); });
+    }
+    PCBL_DCHECK(groups_hint < 0 || merged.rehashes() == 0);
+    return merged.Items();
+  }
+  CodeCountMap counts(reserve(total_rows));
   ForEachPackedCode(view, layout, [&](uint64_t code) {
     counts.Increment(static_cast<int64_t>(code));
     return true;
   });
+  PCBL_DCHECK(groups_hint < 0 || counts.rehashes() == 0);
   return counts.Items();
 }
 

@@ -15,6 +15,26 @@
 //    when it is small enough (one load+OR per row, no hashing), falling
 //    back to the open-addressing CodeSet otherwise.
 //
+// Two further accelerations sit behind the same entry points:
+//
+//  * the inner encode loops run through the runtime-dispatched SIMD
+//    kernel table (kernel_dispatch.h) — AVX2 on capable x86-64 hosts,
+//    NEON on arm64, the portable scalar reference otherwise,
+//  * exact (unbudgeted) scans can be split into cache-sized morsels
+//    executed on several threads (MorselConfig): each morsel sizes its
+//    contiguous row range into a thread-local partial (bitmap, count
+//    array, CodeSet, or CodeCountMap), and the partials merge with
+//    order-insensitive operations (OR / elementwise add / hash-merge).
+//    Because every downstream materialization sorts by packed code, the
+//    merged result is byte-identical to the serial scan for every
+//    thread count — enforced by the differential grid in
+//    pattern_packed_kernels_test.cc.
+//
+// Budgeted scans (budget >= 0) always run serially: the early-exit
+// contract ("stop as soon as the count exceeds the budget") is a
+// sequential property, and splitting it would change how much work an
+// over-budget subset performs.
+//
 // Counts are byte-identical to the mixed-radix path for every input —
 // the differential suites in pattern_packed_kernels_test.cc and
 // pattern_counting_engine_test.cc enforce this.
@@ -62,19 +82,36 @@ struct SubsetColumns {
 SubsetColumns MakeSubsetColumns(const Table& table,
                                 const std::vector<int>& attrs);
 
+/// Morsel-parallelism knobs for one exact subset scan. The row range
+/// (base rows followed by appended delta rows) is split into up to
+/// `threads` contiguous morsels of at least `min_rows_per_morsel` rows
+/// each; a subset too small to yield two such morsels scans serially.
+/// `threads <= 1` or `min_rows_per_morsel <= 0` disables splitting.
+/// Budgeted scans ignore the config entirely (see the header comment).
+struct MorselConfig {
+  int threads = 1;
+  int64_t min_rows_per_morsel = 32768;
+};
+
+/// Number of morsels an exact scan over `total_rows` rows would use:
+/// min(threads, total_rows / min_rows_per_morsel), at least 1.
+int64_t MorselCount(int64_t total_rows, const MorselConfig& morsel);
+
 /// |P_S| with the early-exit budget contract of CountDistinctPatterns:
 /// exact when <= budget, otherwise any value > budget (budget < 0 =
 /// exact). `layout.ok` must hold.
 int64_t PackedCountDistinct(const SubsetColumns& view,
-                            const PackedLayout& layout, int64_t budget);
+                            const PackedLayout& layout, int64_t budget,
+                            const MorselConfig& morsel = {});
 
 /// The full (packed code, count) group list of the subset, unsorted.
 /// `groups_hint` pre-sizes the count map (pass the exact group count when
 /// known — e.g. from a preceding PackedCountDistinct — to make the pass
-/// rehash-free; pass a negative value when unknown).
+/// rehash-free on every path, including each morsel-local partial; pass a
+/// negative value when unknown).
 std::vector<std::pair<int64_t, int64_t>> PackedCountGroups(
     const SubsetColumns& view, const PackedLayout& layout,
-    int64_t groups_hint);
+    int64_t groups_hint, const MorselConfig& morsel = {});
 
 /// True when PackedCountDistinct would use the dense-bitmap path: the
 /// packed key space is small enough that a bitmap probe (one load+OR)
@@ -92,7 +129,8 @@ bool PackedDenseCountEligible(const PackedLayout& layout, int64_t rows);
 /// already the canonical emission order, no sort needed.
 int64_t PackedCountGroupsDense(const SubsetColumns& view,
                                const PackedLayout& layout, int64_t budget,
-                               std::vector<std::pair<int64_t, int64_t>>* items);
+                               std::vector<std::pair<int64_t, int64_t>>* items,
+                               const MorselConfig& morsel = {});
 
 }  // namespace counting
 }  // namespace pcbl

@@ -169,6 +169,17 @@ class CodeSet {
 
   int64_t size() const { return static_cast<int64_t>(size_); }
 
+  /// Visits every inserted code, in table order (capacity-dependent —
+  /// callers needing a deterministic order must sort downstream, which
+  /// every materialization path already does). Used by the morsel-merge
+  /// in packed_kernels.cc to fold thread-local partials together.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (int64_t code : slots_) {
+      if (code != kEmpty) fn(code);
+    }
+  }
+
   /// Number of growth rehashes since construction. A correctly sized
   /// reservation (SizingReserve) keeps this at 0 for budgeted passes —
   /// asserted by a regression check in bench_micro_counting_engine.
@@ -237,6 +248,15 @@ class CodeCountMap {
 
   /// Number of growth rehashes since construction (see CodeSet).
   int64_t rehashes() const { return rehashes_; }
+
+  /// Visits every (code, count) pair, in table order (see
+  /// CodeSet::ForEach for the ordering caveat).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Slot& s : slots_) {
+      if (s.code != kEmpty) fn(s.code, s.count);
+    }
+  }
 
   /// The (code, count) pairs in table order (callers sort for
   /// determinism).
