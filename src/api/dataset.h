@@ -8,7 +8,10 @@
 // one's cache with zero full-table scans. The handle itself is cheap to
 // copy (shared ownership of the table and service) and immutable:
 // growth happens through a Session (api/session.h), never through the
-// Dataset.
+// Dataset. Any number of sessions over this handle may append
+// concurrently — the service owns a shared interner and group-commits
+// their rows (see pattern/counting_service.h); the base Table never
+// changes, only the service's delta grows.
 //
 // This is the blessed entry point of the library together with Session;
 // LabelSearch / IncrementalLabel remain public as low-level engines.

@@ -52,9 +52,10 @@ struct QuerySpec {
   double time_limit_seconds = 0.0;
   bool record_candidates = false;
   /// Rank against the patterns over these attributes instead of P_A
-  /// (Definition 2.15's custom pattern set). Empty = P_A. Only valid on
-  /// un-appended data: a custom PatternSet has no incremental
-  /// maintenance path, so a focus search after Session::Append fails.
+  /// (Definition 2.15's custom pattern set). Empty = P_A. Works on
+  /// appended data too: the session derives the focus pattern set from
+  /// the engine's PC sets over the extended rows, byte-identical to a
+  /// from-scratch rebuild.
   AttrMask focus;
 
   // --- kTrueCount --------------------------------------------------------
@@ -118,7 +119,7 @@ struct PairwiseSize {
 };
 
 /// Outcome of one query. `status` carries execution-time failures (an
-/// unknown attribute name, a focus search over appended data);
+/// unknown attribute name, a pattern value no session ever interned);
 /// spec-shape problems are rejected earlier, by Session::Submit.
 struct QueryResult {
   Status status = Status::Ok();

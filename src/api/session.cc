@@ -223,15 +223,12 @@ QueryResult Session::ExecuteViaResultTier(
   const bool cache_on =
       spec.use_result_cache.value_or(options_.use_result_cache);
   // Stable for the whole call: the caller's admission excludes appends.
+  // Every cacheable result is a pure function of (content, spec): value
+  // strings resolve through the service's shared interner, so appends
+  // grow every session's view identically — and each append arm clears
+  // this cache eagerly, so no entry outlives the rows it describes.
   const int64_t rows = service.engine().total_rows();
-  // A true count resolves value strings against *session* dictionaries,
-  // which diverge across sessions once an appender interned fresh values
-  // (a sibling reports NotFound where the appender counts) — only over
-  // un-appended data is it a pure function of (content, spec).
-  const bool session_dependent =
-      spec.kind == QuerySpec::Kind::kTrueCount &&
-      rows != dataset_.table().num_rows();
-  if (!cache_on || session_dependent || !QuerySpecCacheable(spec)) {
+  if (!cache_on || !QuerySpecCacheable(spec)) {
     return body();
   }
   const QueryResultKey key =
@@ -300,19 +297,28 @@ QueryResult Session::ExecuteSearchAdmitted(const QuerySpec& spec,
   const int64_t total = service.engine().total_rows();
   result.total_rows = total;
   const bool extended = total != dataset_.table().num_rows();
-  if (extended && !spec.focus.empty()) {
-    result.status = FailedPreconditionError(
-        "focus patterns describe the base table and have no incremental "
-        "maintenance path; a focus search cannot run after appends");
-    return result;
-  }
   std::shared_ptr<const ValueCounts> vc = SyncedVc();
   std::shared_ptr<const FullPatternIndex> fpi = SyncedFpi();
   LabelSearch search(dataset_.table(), vc, fpi, dataset_.service());
   if (extended) search.SetExtendedState(vc, fpi, total);
   if (!spec.focus.empty()) {
-    search.SetEvaluationPatterns(std::make_shared<const PatternSet>(
-        PatternSet::OverAttributes(dataset_.table(), spec.focus)));
+    if (!extended) {
+      search.SetEvaluationPatterns(std::make_shared<const PatternSet>(
+          PatternSet::OverAttributes(dataset_.table(), spec.focus)));
+    } else {
+      // OverAttributes scans the base table; after appends the focus
+      // set is derived from the engine's delta-aware state instead, so
+      // a focus search keeps working — byte-identical to a rebuild.
+      Result<PatternSet> focus_set =
+          ExtendedFocusPatterns(spec, scheduled, *vc);
+      if (!focus_set.ok()) {
+        result.status = focus_set.status();
+        return result;
+      }
+      search.SetEvaluationPatterns(
+          std::make_shared<const PatternSet>(std::move(*focus_set)),
+          total);
+    }
   }
   const SearchOptions options = ToSearchOptions(spec);
   const bool naive = spec.algorithm == QuerySpec::Algorithm::kNaive;
@@ -322,6 +328,60 @@ QueryResult Session::ExecuteSearchAdmitted(const QuerySpec& spec,
                 : (naive ? search.NaiveLocked(options)
                          : search.TopDownLocked(options));
   return result;
+}
+
+Result<PatternSet> Session::ExtendedFocusPatterns(const QuerySpec& spec,
+                                                  bool scheduled,
+                                                  const ValueCounts& vc) {
+  CountingService& service = *dataset_.service();
+  std::vector<Pattern> patterns;
+  std::vector<int64_t> counts;
+  if (spec.focus.Count() >= 2) {
+    // The fully-bound groups of the PC set over the focus mask are
+    // exactly the distinct non-NULL combinations with their counts —
+    // what OverAttributes computes — emitted in the same canonical
+    // ascending key order (partially-bound groups carry kNullValue for
+    // unbound attributes and are skipped).
+    std::shared_ptr<const GroupCounts> pc =
+        scheduled
+            ? service.WavePatternCounts({spec.focus},
+                                        ToEngineOptions(spec))[0]
+            : service.engine().PatternCounts(spec.focus);
+    const int width = pc->key_width();
+    for (int64_t g = 0; g < pc->num_groups(); ++g) {
+      const ValueId* key = pc->key(g);
+      bool full = true;
+      for (int j = 0; j < width; ++j) {
+        if (IsNull(key[j])) {
+          full = false;
+          break;
+        }
+      }
+      if (!full) continue;
+      patterns.push_back(pc->ToPattern(g));
+      counts.push_back(pc->count(g));
+    }
+  } else {
+    // Arity 1: PC sets hold no single-attribute patterns; the synced VC
+    // is the maintained ground truth, and ascending ValueId order is
+    // OverAttributes' group order over the rebuilt table.
+    const int attr = spec.focus.ToIndices()[0];
+    const std::vector<int64_t>& per_value = vc.CountsFor(attr);
+    for (size_t v = 0; v < per_value.size(); ++v) {
+      if (per_value[v] == 0) continue;
+      PCBL_ASSIGN_OR_RETURN(
+          Pattern p,
+          Pattern::Create({PatternTerm{attr, static_cast<ValueId>(v)}}));
+      patterns.push_back(std::move(p));
+      counts.push_back(per_value[v]);
+    }
+  }
+  // The same stable count-descending sort OverAttributes applies — with
+  // identical insertion order, ties land identically, so the search's
+  // ErrorReport (evaluated / early-terminated counts included) matches
+  // a from-scratch rebuild byte for byte.
+  return PatternSet::FromPatternsAndCounts(std::move(patterns),
+                                           std::move(counts));
 }
 
 QueryResult Session::ExecuteTrueCount(const QuerySpec& spec) {
@@ -450,39 +510,39 @@ QueryResult Session::ExecuteProfileAdmitted(const QuerySpec& spec,
 }
 
 Status Session::AppendRow(const std::vector<std::string>& values) {
-  const Table& table = dataset_.table();
-  const int n = table.num_attributes();
+  const int n = dataset_.table().num_attributes();
   if (static_cast<int>(values.size()) != n) {
     return InvalidArgumentError(
         StrCat("row has ", values.size(), " values, schema has ", n));
   }
-  CountingService& service = *dataset_.service();
-  // Exclusive admission: every in-flight query drains first (a search
-  // must never observe half an append), and the service mutex is held
-  // for the engine + session-state critical section.
-  CountingService::AppendAdmission admission(service);
-  if (service.engine().total_rows() !=
-      table.num_rows() + session_appended_) {
-    return FailedPreconditionError(
-        "another consumer grew this dataset's shared counting service; "
-        "only one appending session per service is supported — open a "
-        "new Session over a fresh Dataset (the registry hands out a "
-        "base-content service)");
-  }
-  EnsureDictionariesLocked();
-  std::vector<ValueId> codes(static_cast<size_t>(n), kNullValue);
-  for (int a = 0; a < n; ++a) {
-    const std::string& v = values[static_cast<size_t>(a)];
-    if (v.empty() || v == "NULL") continue;  // TableBuilder::AddRow rules
-    codes[static_cast<size_t>(a)] =
-        dictionaries_[static_cast<size_t>(a)].Intern(v);
-  }
-  return AppendCodesLocked({std::move(codes)});
+  // The service owns the whole append: central interning, group commit
+  // with concurrent appenders, one engine hook per merged batch. VC /
+  // P_A are not patched here — queries lazily catch up from the
+  // engine's rows, the same path a sibling session's appends take.
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back(values);
+  PCBL_RETURN_IF_ERROR(dataset_.service()->AppendStrings(rows));
+  std::lock_guard<std::mutex> slock(state_mu_);
+  session_appended_ += 1;
+  return Status::Ok();
+}
+
+Status Session::AppendRows(
+    const std::vector<std::vector<std::string>>& rows) {
+  // Width validation happens transactionally inside the group commit: a
+  // bad row fails the whole ticket and nothing of it becomes visible.
+  PCBL_RETURN_IF_ERROR(dataset_.service()->AppendStrings(rows));
+  std::lock_guard<std::mutex> slock(state_mu_);
+  session_appended_ += static_cast<int64_t>(rows.size());
+  return Status::Ok();
 }
 
 Status Session::Append(const Table& delta) {
   const Table& table = dataset_.table();
   const int n = table.num_attributes();
+  // Fast-fail schema checks before queueing behind the admission; the
+  // service re-validates inside the commit (same wording) for callers
+  // that reach it directly.
   if (delta.num_attributes() != n) {
     return InvalidArgumentError("delta schema width differs");
   }
@@ -493,126 +553,18 @@ Status Session::Append(const Table& delta) {
                  "\", expected \"", table.schema().name(a), "\""));
     }
   }
-  CountingService& service = *dataset_.service();
-  CountingService::AppendAdmission admission(service);
-  if (service.engine().total_rows() !=
-      table.num_rows() + session_appended_) {
-    return FailedPreconditionError(
-        "another consumer grew this dataset's shared counting service; "
-        "only one appending session per service is supported — open a "
-        "new Session over a fresh Dataset (the registry hands out a "
-        "base-content service)");
-  }
-  EnsureDictionariesLocked();
-  // Remap delta codes to session codes, interning fresh values lazily —
-  // only values that actually appear in a delta row, in row-major
-  // first-seen order, exactly as a TableBuilder rebuild would. (Interning
-  // the delta's whole dictionary up front would also intern values the
-  // delta's rows never use — e.g. a delta produced by FilterRows keeps
-  // its parent's full dictionary — shifting fresh ids versus the rebuilt
-  // extended table and silently breaking byte-identity.)
-  std::vector<std::vector<ValueId>> remap(static_cast<size_t>(n));
-  for (int a = 0; a < n; ++a) {
-    remap[static_cast<size_t>(a)].assign(delta.dictionary(a).size(),
-                                         kNullValue);  // = not yet mapped
-  }
-  std::vector<std::vector<ValueId>> rows;
-  rows.reserve(static_cast<size_t>(delta.num_rows()));
-  for (int64_t r = 0; r < delta.num_rows(); ++r) {
-    std::vector<ValueId> codes(static_cast<size_t>(n));
-    for (int a = 0; a < n; ++a) {
-      const ValueId v = delta.value(r, a);
-      if (IsNull(v)) {
-        codes[static_cast<size_t>(a)] = kNullValue;
-        continue;
-      }
-      ValueId& mapped = remap[static_cast<size_t>(a)][v];
-      if (IsNull(mapped)) {
-        mapped = dictionaries_[static_cast<size_t>(a)].Intern(
-            delta.dictionary(a).GetString(v));
-      }
-      codes[static_cast<size_t>(a)] = mapped;
-    }
-    rows.push_back(std::move(codes));
-  }
-  return AppendCodesLocked(rows);
-}
-
-Status Session::AppendCodesLocked(
-    const std::vector<std::vector<ValueId>>& rows) {
-  if (rows.empty()) return Status::Ok();
-  CountingService& service = *dataset_.service();
-  const int64_t total_after =
-      service.engine().total_rows() + static_cast<int64_t>(rows.size());
-  // Maintain whatever state is materialized; lazily-built state catches
-  // up from the engine later (SyncedVc / SyncedFpi). Snapshots read
-  // under state_mu_; no query runs concurrently (exclusive admission),
-  // but the members themselves are only ever touched under that lock.
-  std::shared_ptr<const ValueCounts> cur_vc;
-  std::shared_ptr<const FullPatternIndex> cur_fpi;
-  {
-    std::lock_guard<std::mutex> slock(state_mu_);
-    cur_vc = vc_;
-    cur_fpi = fpi_;
-  }
-  std::shared_ptr<const ValueCounts> next_vc;
-  if (cur_vc != nullptr) {
-    auto vc = std::make_shared<ValueCounts>(*cur_vc);
-    const int n = dataset_.table().num_attributes();
-    for (const auto& row : rows) vc->ApplyRow(row.data(), n);
-    next_vc = std::move(vc);
-  }
-  std::shared_ptr<const FullPatternIndex> next_fpi;
-  if (cur_fpi != nullptr) {
-    auto fpi = std::make_shared<FullPatternIndex>(*cur_fpi);
-    fpi->ApplyAppend(rows);
-    next_fpi = std::move(fpi);
-  }
-  // Engine last: if PCBL_CHECKs inside the hook ever fired, the session
-  // state would still describe the engine's (un-grown) data.
-  if (rows.size() == 1) {
-    service.AppendRowLocked(rows[0]);  // single rows always patch
-  } else {
-    service.AppendRowsLocked(rows);    // invalidate-or-patch by cost
-  }
+  PCBL_RETURN_IF_ERROR(dataset_.service()->AppendTable(delta));
   std::lock_guard<std::mutex> slock(state_mu_);
-  if (next_vc != nullptr) {
-    vc_ = std::move(next_vc);
-    vc_rows_ = total_after;
-  }
-  if (next_fpi != nullptr) {
-    fpi_ = std::move(next_fpi);
-    fpi_rows_ = total_after;
-  }
-  session_appended_ += static_cast<int64_t>(rows.size());
+  session_appended_ += delta.num_rows();
   return Status::Ok();
 }
 
-void Session::EnsureDictionariesLocked() {
-  if (have_dictionaries_) return;
-  const Table& table = dataset_.table();
-  std::vector<Dictionary> dictionaries;
-  dictionaries.reserve(static_cast<size_t>(table.num_attributes()));
-  for (int a = 0; a < table.num_attributes(); ++a) {
-    dictionaries.push_back(table.dictionary(a));  // copy, will grow
-  }
-  std::lock_guard<std::mutex> slock(state_mu_);
-  dictionaries_ = std::move(dictionaries);
-  have_dictionaries_ = true;
-}
-
-std::vector<std::vector<ValueId>> Session::EngineRows(
-    int64_t from, int64_t to) const {
+std::vector<ValueId> Session::EngineRows(int64_t from, int64_t to) const {
   const CountingEngine& engine = dataset_.service()->engine();
   const int64_t base = dataset_.table().num_rows();
   const int n = dataset_.table().num_attributes();
-  std::vector<std::vector<ValueId>> rows;
-  rows.reserve(static_cast<size_t>(to - from));
-  for (int64_t r = from; r < to; ++r) {
-    std::vector<ValueId> row(static_cast<size_t>(n));
-    engine.CopyAppendedRow(r - base, row.data());
-    rows.push_back(std::move(row));
-  }
+  std::vector<ValueId> rows(static_cast<size_t>((to - from) * n));
+  if (to > from) engine.CopyAppendedRows(from - base, to - from, rows.data());
   return rows;
 }
 
@@ -638,8 +590,9 @@ std::shared_ptr<const ValueCounts> Session::SyncedVc() {
     have = vc_rows_;
   }
   const int n = dataset_.table().num_attributes();
-  for (const auto& row : EngineRows(have, total)) {
-    next->ApplyRow(row.data(), n);
+  const std::vector<ValueId> flat = EngineRows(have, total);
+  for (int64_t r = 0; r < total - have; ++r) {
+    next->ApplyRow(flat.data() + r * n, n);
   }
   vc_ = std::move(next);
   vc_rows_ = total;
@@ -661,7 +614,10 @@ std::shared_ptr<const FullPatternIndex> Session::SyncedFpi() {
     next = std::make_shared<FullPatternIndex>(*fpi_);
     have = fpi_rows_;
   }
-  if (have < total) next->ApplyAppend(EngineRows(have, total));
+  if (have < total) {
+    const std::vector<ValueId> flat = EngineRows(have, total);
+    next->ApplyAppend(flat.data(), total - have);
+  }
   fpi_ = std::move(next);
   fpi_rows_ = total;
   return fpi_;
@@ -675,12 +631,10 @@ Result<std::vector<std::pair<int, ValueId>>> Session::ResolvePatternLocked(
   AttrMask seen;
   for (const auto& [name, value] : terms) {
     PCBL_ASSIGN_OR_RETURN(int attr, table.schema().FindAttribute(name));
-    // The session's grown dictionaries resolve values appended after the
-    // base table was built; wording mirrors Pattern::Parse.
-    const ValueId v = have_dictionaries_
-                          ? dictionaries_[static_cast<size_t>(attr)]
-                                .Lookup(value)
-                          : table.dictionary(attr).Lookup(value);
+    // The shared interner resolves values appended after the base table
+    // was built — by this session or any sibling; wording mirrors
+    // Pattern::Parse.
+    const ValueId v = dataset_.service()->interner().Lookup(attr, value);
     if (IsNull(v)) {
       return NotFoundError(StrCat("value '", value,
                                   "' does not appear in attribute '",
@@ -698,8 +652,10 @@ Result<std::vector<std::pair<int, ValueId>>> Session::ResolvePatternLocked(
 }
 
 int64_t Session::total_rows() const {
-  std::lock_guard<std::mutex> lock(state_mu_);
-  return dataset_.table().num_rows() + session_appended_;
+  // Lock-free snapshot of the shared service's growth: counts rows
+  // appended by every session on this service, not just this one.
+  return dataset_.table().num_rows() +
+         dataset_.service()->engine().AppendedRowsRelaxed();
 }
 
 int64_t Session::appended_rows() const {

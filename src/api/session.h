@@ -26,31 +26,29 @@
 // retryable kUnavailable instead of silently computing on a detached
 // service — re-open the Dataset and retry.
 //
-// Appends. Session::Append / AppendRow define the append semantics of
-// the whole stack in one place: under the service lock the session
-// (1) interns the new rows into its growing dictionaries (ids extend the
-// base code space exactly as TableBuilder would), (2) patches its
-// incrementally maintained VC (ValueCounts::ApplyRow) and full-pattern
-// index P_A (FullPatternIndex::ApplyAppend), and (3) feeds the rows to
-// the engine's invalidate-or-patch hook. A search submitted afterwards
-// runs append-aware (LabelSearch::SetExtendedState): it certifies its
+// Appends. Session::Append / AppendRow / AppendRows route through the
+// shared service's string-level append surface
+// (CountingService::AppendStrings / AppendTable): values are interned
+// centrally in the service's SharedInterner (ids extend the base code
+// space in committed first-seen order, exactly as TableBuilder would
+// assign them), concurrent appends — from this session or any sibling —
+// group-commit into one critical section behind the exclusive append
+// admission, and the rows join the engine's invalidate-or-patch delta
+// block. Each append is transactional: on a non-ok status none of its
+// rows or values is visible anywhere. A query submitted afterwards runs
+// append-aware: it lazily catches the session's VC / P_A up to the
+// engine's rows (CountingEngine::CopyAppendedRows) and certifies its
 // label against the extended data byte-exactly versus a from-scratch
-// rebuild — the refusal to search after appends is gone, not papered
-// over per call site.
+// rebuild — including focus (custom PatternSet) searches, whose pattern
+// set is derived from the engine's delta-aware PC sets.
 //
-// Sharing and growth: one *appending* session per shared service (string
-// interning cannot be reconciled across concurrent appenders); Append
-// fails with FailedPrecondition if another consumer grew the service
-// first. Read-only sibling sessions keep serving searches and profiles —
-// before each query they catch their VC / P_A up to the engine's rows
-// (code-level sync via CountingEngine::CopyAppendedRow). The sync is
-// code-level only: a sibling cannot learn the *strings* the appender
-// interned, so its true-count queries resolve values against the base
-// dictionaries and report appender-added values as NotFound even though
-// the appended rows are counted everywhere else (a shared interning
-// surface is a ROADMAP item). A *new* Dataset over the base content
-// acquires a fresh base-content service (the registry retires diverged
-// services), so appends never leak between datasets.
+// Sharing and growth: any number of sessions append to one shared
+// service concurrently, and the central interner means every sibling
+// resolves appended *strings* too — a true-count query on a value only
+// ever seen in a sibling's appended rows answers exactly. A *new*
+// Dataset over the base content acquires a fresh base-content service
+// (the registry retires diverged services), so appends never leak
+// between datasets.
 #ifndef PCBL_API_SESSION_H_
 #define PCBL_API_SESSION_H_
 
@@ -63,9 +61,9 @@
 
 #include "api/dataset.h"
 #include "api/query.h"
+#include "core/pattern_set.h"
 #include "pattern/counting_engine.h"
 #include "pattern/full_pattern_index.h"
-#include "relation/dictionary.h"
 #include "relation/stats.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -154,9 +152,16 @@ class Session {
   QueryResult Run(const QuerySpec& spec);
 
   /// Appends one row of string values (empty / "NULL" = missing),
-  /// exactly like TableBuilder::AddRow. Fails (FailedPrecondition) when
-  /// another consumer already grew the shared service.
+  /// exactly like TableBuilder::AddRow. Any number of sessions may
+  /// append concurrently: the shared service interns values centrally
+  /// and group-commits concurrent appends into one critical section.
   Status AppendRow(const std::vector<std::string>& values);
+
+  /// Appends a batch of string rows in order — one group-commit ticket,
+  /// so high-rate ingest pays the admission once per batch instead of
+  /// once per row. Transactional: on a non-ok status (e.g. one row with
+  /// the wrong width) none of the batch's rows or values is visible.
+  Status AppendRows(const std::vector<std::vector<std::string>>& rows);
 
   /// Appends every row of `delta` (same attribute names in the same
   /// order; values remapped by string, so `delta` may use its own
@@ -166,10 +171,10 @@ class Session {
   const Dataset& dataset() const { return dataset_; }
   const SessionOptions& options() const { return options_; }
 
-  /// |D| as grown through this session (base rows + appended_rows()).
-  /// A sibling session appending through the same shared service may put
-  /// the engine ahead of this; queries always sync first, and report the
-  /// authoritative count in QueryResult::total_rows.
+  /// |D| of the shared dataset right now: base rows plus every row
+  /// appended through the shared service — by this session or any
+  /// sibling. Lock-free snapshot; a query's QueryResult::total_rows is
+  /// the admission-pinned authoritative count.
   int64_t total_rows() const;
 
   /// Rows appended through *this* session.
@@ -199,11 +204,12 @@ class Session {
 
   // Routes one admitted query through the service's result tier (cache
   // hit / park on an identical in-flight leader / execute `body` and
-  // publish). Falls through to `body` when the tier is off, the spec is
-  // not cacheable, or the result would be session-dependent (a true
-  // count after appends resolves values against session dictionaries).
-  // The caller holds the admission matching `scheduled` for the whole
-  // call, which pins the engine rows the cache entries are tagged with.
+  // publish). Falls through to `body` when the tier is off or the spec
+  // is not cacheable. Every cacheable result is content-pure — string
+  // resolution goes through the service's shared interner, so appends
+  // never make a result session-dependent. The caller holds the
+  // admission matching `scheduled` for the whole call, which pins the
+  // engine rows the cache entries are tagged with.
   QueryResult ExecuteViaResultTier(const QuerySpec& spec, bool scheduled,
                                    const std::function<QueryResult()>& body);
 
@@ -216,26 +222,32 @@ class Session {
 
   // --- maintenance state (see locking note below) ----------------------
   // Lazily materializes VC / P_A, catches them up to every row the
-  // engine holds (CopyAppendedRow), and returns the snapshot the caller
-  // should use (reading the members again outside state_mu_ would race
-  // a sibling query's catch-up). Callers hold a query admission (gate
-  // shared or the service mutex), so the engine's data is stable.
+  // engine holds (CopyAppendedRows), and returns the snapshot the
+  // caller should use (reading the members again outside state_mu_
+  // would race a sibling query's catch-up). Callers hold a query
+  // admission (gate shared or the service mutex), so the engine's data
+  // is stable.
   std::shared_ptr<const ValueCounts> SyncedVc();
   std::shared_ptr<const FullPatternIndex> SyncedFpi();
-  // The engine's appended rows in [from, to), row-major.
-  std::vector<std::vector<ValueId>> EngineRows(int64_t from,
-                                               int64_t to) const;
-  // Copies the base table's dictionaries on first use (append
-  // interning). Caller holds an AppendAdmission.
-  void EnsureDictionariesLocked();
-  // Shared tail of AppendRow/Append: rows already encoded in the
-  // session's (grown) code space. Caller holds an AppendAdmission.
-  Status AppendCodesLocked(const std::vector<std::vector<ValueId>>& rows);
+  // The engine's appended rows in [from, to), flat row-major.
+  std::vector<ValueId> EngineRows(int64_t from, int64_t to) const;
 
-  // Resolves (attribute name, value string) terms against the session's
-  // grown dictionaries (falling back to the base table's), mirroring
+  // Rebuilds the focus pattern set over the *extended* data:
+  // OverAttributes scans the base table, so after appends the set is
+  // derived from delta-aware state instead — the engine's PC set over
+  // the focus mask (arity >= 2) or the synced VC (arity 1). Order
+  // matches what OverAttributes would produce over the rebuilt table,
+  // so the ErrorReport stays byte-identical. Caller holds the admission
+  // matching `scheduled`.
+  Result<PatternSet> ExtendedFocusPatterns(const QuerySpec& spec,
+                                           bool scheduled,
+                                           const ValueCounts& vc);
+
+  // Resolves (attribute name, value string) terms against the service's
+  // shared interner (base dictionaries plus the committed dictionary-
+  // delta log — values appended by *any* session resolve), mirroring
   // Pattern::Parse including its error wording. Caller holds a query
-  // admission (the dictionaries only grow under an AppendAdmission).
+  // admission (the interner only grows under an AppendAdmission).
   Result<std::vector<std::pair<int, ValueId>>> ResolvePatternLocked(
       const std::vector<std::pair<std::string, std::string>>& terms) const;
 
@@ -243,15 +255,12 @@ class Session {
   SessionOptions options_;
 
   // Locking: writes to the fields below happen under state_mu_ while
-  // the writer additionally holds an admission that excludes concurrent
-  // writers of the same data — an AppendAdmission (appends, dictionary
-  // copies) or a query admission (VC / P_A catch-up, which is
-  // idempotent). All reads take state_mu_ (or receive a snapshot from a
-  // Synced* call); the admission pins the engine rows the state is
-  // synced against.
+  // the writer additionally holds a query admission (VC / P_A catch-up,
+  // which is idempotent — the admission pins the engine rows the state
+  // is synced against). All reads take state_mu_ or receive a snapshot
+  // from a Synced* call. Dictionaries live in the service's shared
+  // interner, not here: a session holds no private string state.
   mutable std::mutex state_mu_;
-  std::vector<Dictionary> dictionaries_;  // grown; empty until 1st append
-  bool have_dictionaries_ = false;
   std::shared_ptr<const ValueCounts> vc_;          // null until needed
   int64_t vc_rows_ = 0;                            // rows vc_ describes
   std::shared_ptr<const FullPatternIndex> fpi_;    // null until needed

@@ -145,6 +145,18 @@ std::string FormatRegistryStats() {
         static_cast<long long>(stats.result_entries),
         static_cast<long long>(stats.result_bytes));
   }
+  // The append path, once any session grew a resident service.
+  if (stats.append_requests > 0) {
+    line += StrFormat(
+        "; appends: %lld request%s in %lld group commit%s "
+        "(%lld value%s interned)",
+        static_cast<long long>(stats.append_requests),
+        stats.append_requests == 1 ? "" : "s",
+        static_cast<long long>(stats.append_batches),
+        stats.append_batches == 1 ? "" : "s",
+        static_cast<long long>(stats.interned_values),
+        stats.interned_values == 1 ? "" : "s");
+  }
   line += "\n";
   return line;
 }

@@ -210,12 +210,20 @@ void LabelSearch::CheckDescribedRows() const {
       << "; searching after appends requires extended VC / P_A "
          "(SetExtendedState — api::Session maintains them incrementally) "
          "or a LabelSearch rebuilt on the extended table";
-  // A user-supplied pattern set was computed over the base table; it has
-  // no incremental maintenance path (yet), so it cannot rank an
-  // extended-data search.
-  PCBL_CHECK(!extended() || eval_patterns_ == nullptr)
-      << "custom evaluation patterns describe the base table; they cannot "
-         "rank a search over appended data";
+  // A user-supplied pattern set carries counts over a specific row
+  // count (the base table's unless the caller said otherwise); ranking
+  // a search over different data with it would certify the label
+  // against the wrong ground truth.
+  if (eval_patterns_ != nullptr) {
+    const int64_t eval_rows = eval_patterns_rows_ < 0
+                                  ? table_->num_rows()
+                                  : eval_patterns_rows_;
+    PCBL_CHECK(eval_rows == described_rows_)
+        << "custom evaluation patterns describe " << eval_rows
+        << " rows but this search runs over " << described_rows_
+        << "; rebuild the pattern set over the extended data "
+           "(api::Session derives it from the engine's PC sets)";
+  }
 }
 
 ErrorReport LabelSearch::Evaluate(const CardinalityEstimator& estimator,

@@ -209,8 +209,14 @@ class LabelSearch {
   /// Ranks candidates against an explicit pattern set instead of P_A —
   /// Definition 2.15's "patterns that include only sensitive attributes"
   /// use case. The final ErrorReport is then over `patterns` too.
-  void SetEvaluationPatterns(std::shared_ptr<const PatternSet> patterns) {
+  /// `described_rows` is the row count the set's counts describe (-1 =
+  /// the base table's): a set built for extended data must match
+  /// SetExtendedState's described_rows — checked at search entry, so a
+  /// base-table set can never silently rank an extended-data search.
+  void SetEvaluationPatterns(std::shared_ptr<const PatternSet> patterns,
+                             int64_t described_rows = -1) {
     eval_patterns_ = std::move(patterns);
+    eval_patterns_rows_ = described_rows;
   }
 
   /// The naive level-wise algorithm (Sec. III). Self-admitting: enters
@@ -288,6 +294,8 @@ class LabelSearch {
   std::shared_ptr<const ValueCounts> vc_;
   std::shared_ptr<const FullPatternIndex> patterns_;
   std::shared_ptr<const PatternSet> eval_patterns_;  // optional
+  // Rows eval_patterns_'s counts describe; -1 = the base table's.
+  int64_t eval_patterns_rows_ = -1;
   std::shared_ptr<CountingService> service_;
   // Rows vc_/patterns_ describe: the base table's until SetExtendedState.
   int64_t described_rows_ = 0;

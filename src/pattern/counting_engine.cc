@@ -905,6 +905,29 @@ void CountingEngine::CopyAppendedRow(int64_t i, ValueId* out) const {
   }
 }
 
+void CountingEngine::CopyAppendedRows(int64_t first, int64_t count,
+                                      ValueId* out) const {
+  PCBL_DCHECK(first >= 0 && count >= 0 &&
+              first + count <= num_appended_rows());
+  const int n = table_->num_attributes();
+  int64_t global = table_->num_rows() + first;
+  const int64_t end = global + count;
+  // Prefix compacted into the engine-owned columnar base: gather
+  // column-wise values back into rows.
+  while (global < end && base_rows_ >= 0 && global < base_rows_) {
+    for (int a = 0; a < n; ++a) {
+      *out++ = base_cols_[static_cast<size_t>(a)]
+                         [static_cast<size_t>(global)];
+    }
+    ++global;
+  }
+  if (global >= end) return;
+  // Delta-block suffix: already row-major — one contiguous copy.
+  const int64_t d = global - base_rows();
+  std::copy_n(delta_rows_.data() + static_cast<size_t>(d * n),
+              static_cast<size_t>((end - global) * n), out);
+}
+
 std::shared_ptr<const GroupCounts> CountingEngine::PinnedPatternCounts(
     AttrMask mask) {
   if (!options_.enabled) return PatternCounts(mask);

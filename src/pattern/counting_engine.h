@@ -254,6 +254,12 @@ class CountingEngine {
   /// service) catches its VC / P_A maintenance up to the engine's data.
   void CopyAppendedRow(int64_t i, ValueId* out) const;
 
+  /// Batched CopyAppendedRow: copies appended rows [first, first+count)
+  /// row-major into `out[0 .. count * num_attributes)`. The delta-block
+  /// suffix is one contiguous copy, so a sibling session syncing a large
+  /// backlog avoids the per-row call and per-row allocation entirely.
+  void CopyAppendedRows(int64_t first, int64_t count, ValueId* out) const;
+
   /// Resident cache bytes (keys + counts + per-entry overhead, pinned
   /// included). Safe to read without external serialization — this is
   /// one of the two engine observables the process-wide registry polls

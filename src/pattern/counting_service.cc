@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "util/logging.h"
+#include "util/str.h"
 
 namespace pcbl {
 
@@ -503,6 +504,246 @@ void CountingService::AppendRowsLocked(
     engine_.InvalidateCache();  // the invalidate arm
   }
   engine_.ApplyAppend(rows);
+}
+
+// --- string-level appends (shared interning + group commit) ----------------
+
+Status CountingService::AppendStrings(
+    const std::vector<std::vector<std::string>>& rows) {
+  if (rows.empty()) return Status::Ok();
+  AppendTicket ticket;
+  ticket.rows = &rows;
+  return SubmitAppend(ticket);
+}
+
+Status CountingService::AppendTable(const Table& delta) {
+  AppendTicket ticket;
+  ticket.delta = &delta;
+  return SubmitAppend(ticket);
+}
+
+int64_t CountingService::TicketRows(const AppendTicket& ticket) {
+  if (ticket.rows != nullptr) {
+    return static_cast<int64_t>(ticket.rows->size());
+  }
+  return ticket.delta->num_rows();
+}
+
+Status CountingService::SubmitAppend(AppendTicket& ticket) {
+  if (!append_group_commit_.load(std::memory_order_relaxed)) {
+    // Solo arm: this request is its own batch (the bench's baseline).
+    {
+      std::lock_guard<std::mutex> lock(append_mu_);
+      append_stats_.requests += 1;
+      append_stats_.request_rows += TicketRows(ticket);
+    }
+    AppendAdmission admission(*this);
+    CommitAppendBatch({&ticket});
+    return ticket.status;
+  }
+  std::unique_lock<std::mutex> lock(append_mu_);
+  append_queue_.push_back(&ticket);
+  append_stats_.requests += 1;
+  append_stats_.request_rows += TicketRows(ticket);
+  while (!ticket.done) {
+    if (!append_leader_active_) {
+      append_leader_active_ = true;
+      lock.unlock();
+      // The stint must step down on every path — a throw that left the
+      // flag set would wedge every later append behind a leader that no
+      // longer exists (the wave coordinator has the same guard).
+      try {
+        RunAppendLeader();
+      } catch (...) {
+        lock.lock();
+        append_leader_active_ = false;
+        append_cv_.notify_all();
+        throw;
+      }
+      lock.lock();
+      append_leader_active_ = false;
+      append_cv_.notify_all();
+      // The stint committed the batch our own ticket was in — the loop
+      // exits on the next check.
+      continue;
+    }
+    append_cv_.wait(lock);
+  }
+  return ticket.status;
+}
+
+void CountingService::RunAppendLeader() {
+  // The admission wait *is* the merge window: while this leader waits
+  // for in-flight queries to drain, every concurrent append enqueues its
+  // ticket and joins this batch. No timer needed — the window is exactly
+  // as long as the gate is busy, and zero for a solo append on an idle
+  // service.
+  AppendAdmission admission(*this);
+  std::vector<AppendTicket*> batch;
+  {
+    std::lock_guard<std::mutex> lock(append_mu_);
+    batch.assign(append_queue_.begin(), append_queue_.end());
+    append_queue_.clear();
+  }
+  // Non-empty by construction: the leader's own ticket was enqueued
+  // before it volunteered and only a leader dequeues.
+  PCBL_CHECK(!batch.empty());
+  try {
+    CommitAppendBatch(batch);
+  } catch (...) {
+    // Fail the whole batch rather than leave siblings parked forever;
+    // the statuses are best-effort (the exception itself propagates to
+    // this leader's caller, exactly as the serialized engine hook would
+    // have thrown).
+    std::lock_guard<std::mutex> lock(append_mu_);
+    for (AppendTicket* t : batch) {
+      if (!t->status.ok() || t->done) continue;
+      t->status = InternalError("append group commit threw");
+    }
+    for (AppendTicket* t : batch) t->done = true;
+    append_cv_.notify_all();
+    throw;
+  }
+  std::lock_guard<std::mutex> lock(append_mu_);
+  for (AppendTicket* t : batch) t->done = true;
+  append_cv_.notify_all();
+}
+
+void CountingService::CommitAppendBatch(
+    const std::vector<AppendTicket*>& batch) {
+  const Table& base = engine_.table();
+  const int n = base.num_attributes();
+  // Interning guard: a code-level consumer (AppendRow/AppendRows — e.g.
+  // IncrementalLabel) may have grown the code space without the
+  // interner. String-level appends could then assign codes that collide
+  // with the anonymous ones, so they are refused instead.
+  for (int a = 0; a < n; ++a) {
+    if (engine_.EffectiveDomainSize(a) == interner_.NextCode(a)) continue;
+    const Status refused = FailedPreconditionError(
+        "this service's code space was grown by a code-level append "
+        "(CountingService::AppendRow/AppendRows) that bypassed the "
+        "shared interner; string-level appends can no longer assign "
+        "consistent codes — open a fresh Dataset over the base content");
+    for (AppendTicket* t : batch) t->status = refused;
+    return;
+  }
+  SharedInterner::Batch stage(interner_);
+  std::vector<std::vector<ValueId>> rows;
+  int64_t merged = 0;
+  int64_t failed = 0;
+  for (AppendTicket* t : batch) {
+    ++merged;
+    const SharedInterner::Batch::Savepoint save = stage.Save();
+    const size_t rows_before = rows.size();
+    Status s = EncodeTicket(*t, &stage, &rows);
+    if (s.ok() && append_fault_hook_ != nullptr) {
+      s = append_fault_hook_(TicketRows(*t));
+    }
+    if (!s.ok()) {
+      // Transactional per ticket: drop exactly this ticket's rows and
+      // staged values; later tickets re-intern from the savepoint, so
+      // their codes match a rebuild that never saw the failed rows.
+      stage.RollbackTo(save);
+      rows.resize(rows_before);
+      t->status = std::move(s);
+      ++failed;
+      continue;
+    }
+    t->status = Status::Ok();
+  }
+  if (!rows.empty()) {
+    // One critical-section body for the whole batch: one result-cache
+    // invalidation, one invalidate-or-patch engine hook. The interner
+    // publishes last — if the engine hook ever threw, no phantom
+    // dictionary entries would survive it.
+    if (rows.size() == 1) {
+      AppendRowLocked(rows[0]);
+    } else {
+      AppendRowsLocked(rows);
+    }
+    interner_.Commit(std::move(stage));
+  }
+  std::lock_guard<std::mutex> lock(append_mu_);
+  append_stats_.batches += 1;
+  if (merged > 1) append_stats_.merged_batches += 1;
+  append_stats_.committed_rows += static_cast<int64_t>(rows.size());
+  append_stats_.failed_requests += failed;
+}
+
+Status CountingService::EncodeTicket(
+    const AppendTicket& ticket, SharedInterner::Batch* stage,
+    std::vector<std::vector<ValueId>>* rows) const {
+  const Table& base = engine_.table();
+  const int n = base.num_attributes();
+  if (ticket.rows != nullptr) {
+    rows->reserve(rows->size() + ticket.rows->size());
+    for (const std::vector<std::string>& row : *ticket.rows) {
+      if (static_cast<int>(row.size()) != n) {
+        return InvalidArgumentError(
+            StrCat("row has ", row.size(), " values, schema has ", n));
+      }
+      std::vector<ValueId> codes(static_cast<size_t>(n), kNullValue);
+      for (int a = 0; a < n; ++a) {
+        const std::string& v = row[static_cast<size_t>(a)];
+        if (v.empty() || v == "NULL") continue;  // TableBuilder rules
+        codes[static_cast<size_t>(a)] = stage->Intern(a, v);
+      }
+      rows->push_back(std::move(codes));
+    }
+    return Status::Ok();
+  }
+  const Table& delta = *ticket.delta;
+  if (delta.num_attributes() != n) {
+    return InvalidArgumentError("delta schema width differs");
+  }
+  for (int a = 0; a < n; ++a) {
+    if (delta.schema().name(a) != base.schema().name(a)) {
+      return InvalidArgumentError(
+          StrCat("delta attribute ", a, " is \"", delta.schema().name(a),
+                 "\", expected \"", base.schema().name(a), "\""));
+    }
+  }
+  // Remap delta codes, interning fresh values lazily — only values that
+  // actually appear in a delta row, in row-major first-seen order,
+  // exactly as a TableBuilder rebuild would. (Interning the delta's
+  // whole dictionary up front would also intern values its rows never
+  // use — e.g. a delta produced by FilterRows keeps its parent's full
+  // dictionary — shifting fresh ids versus the rebuilt extended table
+  // and silently breaking byte-identity.)
+  std::vector<std::vector<ValueId>> remap(static_cast<size_t>(n));
+  for (int a = 0; a < n; ++a) {
+    remap[static_cast<size_t>(a)].assign(delta.dictionary(a).size(),
+                                         kNullValue);  // = not yet mapped
+  }
+  rows->reserve(rows->size() + static_cast<size_t>(delta.num_rows()));
+  for (int64_t r = 0; r < delta.num_rows(); ++r) {
+    std::vector<ValueId> codes(static_cast<size_t>(n));
+    for (int a = 0; a < n; ++a) {
+      const ValueId v = delta.value(r, a);
+      if (IsNull(v)) {
+        codes[static_cast<size_t>(a)] = kNullValue;
+        continue;
+      }
+      ValueId& mapped = remap[static_cast<size_t>(a)][v];
+      if (IsNull(mapped)) {
+        mapped = stage->Intern(a, delta.dictionary(a).GetString(v));
+      }
+      codes[static_cast<size_t>(a)] = mapped;
+    }
+    rows->push_back(std::move(codes));
+  }
+  return Status::Ok();
+}
+
+AppendBatchStats CountingService::append_stats() const {
+  AppendBatchStats stats;
+  {
+    std::lock_guard<std::mutex> lock(append_mu_);
+    stats = append_stats_;
+    stats.pending = static_cast<int64_t>(append_queue_.size());
+  }
+  stats.interned_values = interner_.AddedValuesRelaxed();
+  return stats;
 }
 
 }  // namespace pcbl

@@ -69,6 +69,26 @@
 // acquire the gate exclusively, so they also exclude wave-scheduled
 // queries.
 //
+//  * Multi-appender group commit (PR 8). String-level appends
+//    (AppendStrings / AppendTable — what api::Session routes through)
+//    intern values centrally in the service's SharedInterner, so *any*
+//    number of sessions may append concurrently and every sibling
+//    resolves the appended strings on its next admission. Concurrent
+//    appends group-commit: requests queue behind a leader (elected
+//    exactly like the wave coordinator), the leader's wait for the
+//    exclusive AppendAdmission is the merge window in which later
+//    arrivals join its batch, and the whole batch commits in one
+//    critical section — one result-cache invalidation, one engine hook,
+//    one interner publication. Each request stays transactional inside
+//    the batch: encoding runs against a staged interning transaction
+//    with per-request savepoints, so a failed request (schema mismatch,
+//    injected fault) rolls back exactly its staged values and rows and
+//    the surviving requests commit with the codes a rebuild that never
+//    saw the failed rows would assign. Reads are snapshot-isolated by
+//    the gate: a query admitted at row count R runs entirely against R
+//    rows even while a commit is waiting — the commit cannot enter
+//    until the query leaves.
+//
 // Services are usually obtained from the process-wide ServiceRegistry
 // (service_registry.h), which shares one warm service per table
 // *content* across sessions and enforces a process memory budget over
@@ -82,15 +102,19 @@
 #include <cstdint>
 #include <deque>
 #include <exception>
+#include <functional>
 #include <future>
 #include <list>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "pattern/counting_engine.h"
+#include "pattern/interning.h"
 #include "relation/table.h"
+#include "util/status.h"
 
 namespace pcbl {
 
@@ -104,6 +128,20 @@ struct WaveSchedulerStats {
   int64_t executed_masks = 0;  ///< deduped masks the engine actually ran
                                ///< (request_masks - executed_masks =
                                ///<  scans saved by in-flight merging)
+};
+
+/// Observability counters of the group-commit append path. `pending` is
+/// the current queue depth; everything else is monotonic. Not part of
+/// the exactness contract.
+struct AppendBatchStats {
+  int64_t batches = 0;          ///< group commits executed
+  int64_t merged_batches = 0;   ///< commits that carried > 1 request
+  int64_t requests = 0;         ///< string-level append requests
+  int64_t request_rows = 0;     ///< rows summed over all requests
+  int64_t committed_rows = 0;   ///< rows actually appended
+  int64_t failed_requests = 0;  ///< requests refused transactionally
+  int64_t pending = 0;          ///< queued-but-uncommitted requests now
+  int64_t interned_values = 0;  ///< dictionary-delta log length
 };
 
 /// Key of one whole-query result in the service's result tier: the
@@ -166,14 +204,16 @@ class CountingService {
 
   explicit CountingService(const Table& table,
                            CountingEngineOptions options = {})
-      : engine_(table, options) {}
+      : engine_(table, options), interner_(table) {}
 
   /// Owning variant: the service keeps `table` alive for its own
   /// lifetime — the form the process-wide ServiceRegistry uses, so a
   /// service handed to a consumer never outlives the data it scans.
   explicit CountingService(std::shared_ptr<const Table> table,
                            CountingEngineOptions options = {})
-      : owned_table_(std::move(table)), engine_(*owned_table_, options) {}
+      : owned_table_(std::move(table)),
+        engine_(*owned_table_, options),
+        interner_(*owned_table_) {}
 
   CountingService(const CountingService&) = delete;
   CountingService& operator=(const CountingService&) = delete;
@@ -384,6 +424,52 @@ class CountingService {
   void AppendRowLocked(const std::vector<ValueId>& codes);
   void AppendRowsLocked(const std::vector<std::vector<ValueId>>& rows);
 
+  // --- string-level appends (shared interning + group commit) ------------
+  //
+  // The multi-appender surface api::Session routes through. Values are
+  // interned centrally in the service's SharedInterner (codes extend the
+  // base code space in committed first-seen order, exactly as a
+  // TableBuilder rebuild would assign them), so any number of sessions
+  // append concurrently and every sibling resolves the appended strings.
+  // Concurrent calls group-commit: a leader's wait for the exclusive
+  // AppendAdmission is the merge window, and the merged batch pays one
+  // result-cache invalidation + one engine hook + one interner
+  // publication. Each call is transactional — on a non-ok status nothing
+  // of that call's rows or values is visible anywhere.
+
+  /// Appends rows of string values over the full schema (empty / "NULL"
+  /// = missing, exactly like TableBuilder::AddRow). Blocks until this
+  /// request's group commit completes; the status is this request's
+  /// alone (a sibling's failure in the same batch does not affect it).
+  Status AppendStrings(const std::vector<std::vector<std::string>>& rows);
+
+  /// Appends every row of `delta` (same attribute names in the same
+  /// order; values remapped by string, so `delta` may use its own
+  /// dictionaries). Same group-commit semantics as AppendStrings.
+  Status AppendTable(const Table& delta);
+
+  /// The shared interning surface. Reads require a query admission
+  /// (gate-shared or mutex()) — the gate orders commits before them.
+  const SharedInterner& interner() const { return interner_; }
+
+  /// Disables (or re-enables) group commit: each request then takes its
+  /// own AppendAdmission and commits solo. The bench's baseline arm;
+  /// results are identical either way.
+  void set_append_group_commit(bool on) {
+    append_group_commit_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Test-only fault injection: invoked once per request after its rows
+  /// encoded, before anything becomes visible; a non-ok status fails
+  /// that request transactionally. `rows` is the request's row count —
+  /// enough to discriminate requests inside a merged batch.
+  void SetAppendFaultHookForTest(std::function<Status(int64_t rows)> hook) {
+    std::lock_guard<std::mutex> lock(mu_);
+    append_fault_hook_ = std::move(hook);
+  }
+
+  AppendBatchStats append_stats() const;
+
   /// Drops every cached entry; appended rows (data) survive. Self-locks
   /// mutex() (Configure, by contrast, runs under the caller's search
   /// lock). Exactness is cache-independent, so this is safe mid-wave.
@@ -433,11 +519,41 @@ class CountingService {
     bool done = false;
   };
 
+  // One queued string-level append request. `status` and `done` are
+  // written by the committing leader under append_mu_ (the mutex
+  // publishes them); the payload pointers are caller-owned and outlive
+  // the request (the caller blocks in SubmitAppend until done).
+  struct AppendTicket {
+    const std::vector<std::vector<std::string>>* rows = nullptr;  // xor
+    const Table* delta = nullptr;                                 // xor
+    Status status;
+    bool done = false;
+  };
+
   // Gate primitives (QueryAdmission / AppendAdmission wrap these).
   void BeginQuery();
   void EndQuery();
   void BeginAppend();
   void EndAppend();
+
+  // Blocks until `ticket` committed (or failed); the calling thread
+  // volunteers as append leader whenever none is active — mirroring
+  // SubmitWave. With group commit off, commits the ticket solo under
+  // its own AppendAdmission.
+  Status SubmitAppend(AppendTicket& ticket);
+  // One leader stint: acquire the exclusive admission (the merge
+  // window), snapshot the queue, commit the batch, publish statuses.
+  void RunAppendLeader();
+  // Commits one batch inside the caller's AppendAdmission: interning
+  // guard, per-ticket encode + savepoint rollback, one engine hook, one
+  // interner publication.
+  void CommitAppendBatch(const std::vector<AppendTicket*>& batch);
+  // Validates + encodes one ticket's rows through the staged interning
+  // transaction. Appends to `rows`; on error the caller rolls both back.
+  Status EncodeTicket(const AppendTicket& ticket,
+                      SharedInterner::Batch* stage,
+                      std::vector<std::vector<ValueId>>* rows) const;
+  static int64_t TicketRows(const AppendTicket& ticket);
 
   // Blocks until `req` is done; the calling thread volunteers as
   // coordinator whenever none is active.
@@ -456,6 +572,11 @@ class CountingService {
   std::shared_ptr<const Table> owned_table_;
   mutable std::mutex mu_;
   CountingEngine engine_;
+  // Mutated only inside a group commit (exclusive gate + mu_); read
+  // under any query admission. The test-only fault hook is guarded by
+  // mu_ (set before threads start, read inside the commit section).
+  SharedInterner interner_;
+  std::function<Status(int64_t)> append_fault_hook_;
 
   // Admission gate: queries shared, appenders exclusive with writer
   // preference (a waiting appender blocks new queries, so a steady query
@@ -467,6 +588,18 @@ class CountingService {
   bool appender_active_ = false;
   std::atomic<int64_t> active_queries_relaxed_{0};
   std::atomic<bool> evicted_{false};
+
+  // Group-commit append state. append_mu_ guards the queue, the leader
+  // flag, and the stats; it is never held while acquiring the gate (a
+  // leader releases it before its AppendAdmission and re-locks it only
+  // to snapshot / publish), so the order is gate -> mu_ -> append_mu_
+  // with append_mu_ a leaf on that path.
+  std::atomic<bool> append_group_commit_{true};
+  mutable std::mutex append_mu_;
+  std::condition_variable append_cv_;
+  std::deque<AppendTicket*> append_queue_;
+  bool append_leader_active_ = false;
+  AppendBatchStats append_stats_;
 
   // Wave scheduler state. Lock order: wave_mu_ -> (released) -> mu_;
   // wave_mu_ is never held across engine work.

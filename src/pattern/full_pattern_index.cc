@@ -80,14 +80,25 @@ FullPatternIndex FullPatternIndex::Build(const Table& table) {
 void FullPatternIndex::ApplyAppend(
     const std::vector<std::vector<ValueId>>& rows) {
   const size_t width = static_cast<size_t>(width_);
+  std::vector<ValueId> flat;
+  flat.reserve(rows.size() * width);
+  for (const auto& row : rows) {
+    PCBL_CHECK(row.size() == width);
+    flat.insert(flat.end(), row.begin(), row.end());
+  }
+  ApplyAppend(flat.data(), static_cast<int64_t>(rows.size()));
+}
+
+void FullPatternIndex::ApplyAppend(const ValueId* rows, int64_t num_rows) {
+  const size_t width = static_cast<size_t>(width_);
   // NULL-free appended rows, flat row-major (NULL rows are skipped like
   // in Build).
   std::vector<ValueId> fresh;
-  for (const auto& row : rows) {
-    PCBL_CHECK(row.size() == width);
+  for (int64_t r = 0; r < num_rows; ++r) {
+    const ValueId* row = rows + static_cast<size_t>(r) * width;
     bool ok = true;
-    for (ValueId v : row) {
-      if (IsNull(v)) {
+    for (size_t a = 0; a < width; ++a) {
+      if (IsNull(row[a])) {
         ok = false;
         break;
       }
@@ -96,7 +107,7 @@ void FullPatternIndex::ApplyAppend(
       ++rows_skipped_;
       continue;
     }
-    fresh.insert(fresh.end(), row.begin(), row.end());
+    fresh.insert(fresh.end(), row, row + width);
     ++rows_indexed_;
   }
   if (width == 0 || fresh.empty()) return;

@@ -34,6 +34,12 @@ class FullPatternIndex {
   /// maintenance arm of the append-aware search path (api/session.h).
   void ApplyAppend(const std::vector<std::vector<ValueId>>& rows);
 
+  /// Flat variant: `rows` is num_rows * num_attributes() codes,
+  /// row-major — the layout CountingEngine::CopyAppendedRows produces,
+  /// so a session's P_A catch-up avoids a per-row vector per appended
+  /// row. Identical semantics to the nested form.
+  void ApplyAppend(const ValueId* rows, int64_t num_rows);
+
   /// Number of distinct full patterns |P_A|.
   int64_t num_patterns() const {
     return static_cast<int64_t>(counts_.size());

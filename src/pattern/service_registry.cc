@@ -232,6 +232,10 @@ ServiceRegistryStats ServiceRegistry::stats() const {
     stats.result_inflight_joins += tier.inflight_joins;
     stats.result_entries += tier.entries;
     stats.result_bytes += tier.bytes;
+    const AppendBatchStats appends = entry.service->append_stats();
+    stats.append_batches += appends.batches;
+    stats.append_requests += appends.requests;
+    stats.interned_values += appends.interned_values;
   }
   return stats;
 }

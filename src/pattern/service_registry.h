@@ -103,6 +103,14 @@ struct ServiceRegistryStats {
   int64_t result_inflight_joins = 0;
   int64_t result_entries = 0;
   int64_t result_bytes = 0;
+  /// Append-path counters summed over the currently resident services:
+  /// group commits executed, string-level append requests served, and
+  /// values interned beyond the base dictionaries. The batches/requests
+  /// ratio is the group-commit merge factor an operator watches under
+  /// concurrent ingest. See CountingService::append_stats().
+  int64_t append_batches = 0;
+  int64_t append_requests = 0;
+  int64_t interned_values = 0;
 };
 
 class ServiceRegistry {

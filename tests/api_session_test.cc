@@ -30,6 +30,7 @@
 #include "pattern/pattern.h"
 #include "pattern/service_registry.h"
 #include "tests/differential_harness.h"
+#include "util/str.h"
 #include "workload/datasets.h"
 
 namespace pcbl {
@@ -507,41 +508,118 @@ TEST(ApiSessionTest, ValidationRejectsNonsenseCentrally) {
   EXPECT_NE(unknown.status.code(), StatusCode::kInvalidArgument);
 }
 
-TEST(ApiSessionTest, FocusSearchAfterAppendFails) {
-  Table table = workload::MakeCompas(300, 43).value();
-  auto session = OpenSession(PrivateDataset(table));
-  ASSERT_TRUE(session
-                  ->AppendRow(std::vector<std::string>(
-                      static_cast<size_t>(table.num_attributes()), "v"))
-                  .ok());
-  QuerySpec spec = QuerySpec::LabelSearch(40);
-  spec.focus = AttrMask::FromIndices({0, 1});
-  QueryResult got = session->Run(spec);
-  EXPECT_EQ(got.status.code(), StatusCode::kFailedPrecondition);
+// Build the reference extended table from the same string rows the
+// session consumes — byte-identity requires matching code assignment,
+// so both sides must intern in row-major first-seen order.
+Table RebuildExtended(const DifferentialWorkload& workload,
+                      const std::vector<std::vector<std::string>>& extra) {
+  auto builder = TableBuilder::Create(workload.attribute_names);
+  PCBL_CHECK(builder.ok()) << builder.status();
+  for (const auto& row : workload.base_rows) {
+    PCBL_CHECK(builder->AddRow(row).ok());
+  }
+  for (const auto& row : workload.append_rows) {
+    PCBL_CHECK(builder->AddRow(row).ok());
+  }
+  for (const auto& row : extra) {
+    PCBL_CHECK(builder->AddRow(row).ok());
+  }
+  return builder->Build();
 }
 
-TEST(ApiSessionTest, SecondAppenderOnSharedServiceFails) {
-  Table table = workload::MakeCompas(400, 47).value();
+Table BaseTable(const DifferentialWorkload& workload) {
+  auto builder = TableBuilder::Create(workload.attribute_names);
+  PCBL_CHECK(builder.ok()) << builder.status();
+  for (const auto& row : workload.base_rows) {
+    PCBL_CHECK(builder->AddRow(row).ok());
+  }
+  return builder->Build();
+}
+
+// Carried-over bug, fixed by this PR: a focus (custom-PatternSet)
+// search after Session::Append used to refuse with FailedPrecondition
+// because PatternSet::OverAttributes only sees the base table. The
+// session now derives the focus pattern set from the engine's PC sets
+// over the extended data — byte-identical to a from-scratch rebuild.
+TEST(ApiSessionTest, FocusSearchAfterAppendMatchesRebuild) {
+  DifferentialWorkload workload = RandomWorkload(
+      /*seed=*/431, /*attrs=*/4, /*base_rows=*/300, /*append_rows=*/60,
+      /*domain=*/5, /*append_domain=*/8, /*null_percent=*/10);
+  auto session = OpenSession(PrivateDataset(BaseTable(workload)));
+  for (const auto& row : workload.append_rows) {
+    ASSERT_TRUE(session->AppendRow(row).ok());
+  }
+
+  const Table extended = RebuildExtended(workload, {});
+  for (const auto& indices :
+       {std::vector<int>{0}, std::vector<int>{0, 1},
+        std::vector<int>{1, 2, 3}}) {
+    const AttrMask focus = AttrMask::FromIndices(indices);
+    LabelSearch rebuilt(extended);
+    rebuilt.SetEvaluationPatterns(std::make_shared<const PatternSet>(
+        PatternSet::OverAttributes(extended, focus)));
+    SearchOptions reference_options;
+    reference_options.size_bound = 40;
+    const SearchResult want = rebuilt.TopDown(reference_options);
+
+    QuerySpec spec = QuerySpec::LabelSearch(40);
+    spec.focus = focus;
+    QueryResult got = session->Run(spec);
+    ASSERT_TRUE(got.status.ok()) << got.status;
+    ExpectSameSearchResult(got.search, want,
+                           StrCat("focus arity ", indices.size()));
+  }
+}
+
+// The one-appender rule is lifted: sibling sessions on one shared
+// service may all append, codes are interned centrally, and everyone's
+// queries (including string predicates naming appended-only values)
+// agree with a from-scratch rebuild of the extended table.
+TEST(ApiSessionTest, SiblingAppendersOnSharedService) {
+  DifferentialWorkload workload = RandomWorkload(
+      /*seed=*/433, /*attrs=*/4, /*base_rows=*/400, /*append_rows=*/0,
+      /*domain=*/6, /*append_domain=*/6, /*null_percent=*/10);
+  Table table = BaseTable(workload);
   Dataset dataset = PrivateDataset(table);
   auto appender = OpenSession(dataset);
   auto sibling = OpenSession(dataset);
-  const std::vector<std::string> row(
+  const std::vector<std::string> row_a(
       static_cast<size_t>(table.num_attributes()), "fresh");
-  ASSERT_TRUE(appender->AppendRow(row).ok());
-  // The sibling shares the grown service: it may read (and syncs its
-  // maintenance state), but a second appender is rejected.
-  EXPECT_EQ(sibling->AppendRow(row).code(),
-            StatusCode::kFailedPrecondition);
+  const std::vector<std::string> row_b(
+      static_cast<size_t>(table.num_attributes()), "fresher");
+  ASSERT_TRUE(appender->AppendRow(row_a).ok());
+  ASSERT_TRUE(sibling->AppendRow(row_b).ok());
+  EXPECT_EQ(appender->appended_rows(), 1);
+  EXPECT_EQ(sibling->appended_rows(), 1);
+  EXPECT_EQ(appender->total_rows(), table.num_rows() + 2);
+  EXPECT_EQ(sibling->total_rows(), table.num_rows() + 2);
 
-  // The sibling's search still runs — and agrees with the appender's.
-  QueryResult from_appender =
-      appender->Run(QuerySpec::LabelSearch(50));
-  ASSERT_TRUE(from_appender.status.ok());
+  // Both sessions' searches match the rebuilt extended table.
+  const Table extended = RebuildExtended(workload, {row_a, row_b});
+  LabelSearch rebuilt(extended);
+  SearchOptions reference_options;
+  reference_options.size_bound = 50;
+  const SearchResult want = rebuilt.TopDown(reference_options);
+  QueryResult from_appender = appender->Run(QuerySpec::LabelSearch(50));
+  ASSERT_TRUE(from_appender.status.ok()) << from_appender.status;
+  ExpectSameSearchResult(from_appender.search, want, "appender");
   QueryResult from_sibling = sibling->Run(QuerySpec::LabelSearch(50));
   ASSERT_TRUE(from_sibling.status.ok()) << from_sibling.status;
-  ExpectSameSearchResult(from_sibling.search, from_appender.search,
-                         "sibling sync");
-  EXPECT_EQ(from_sibling.total_rows, table.num_rows() + 1);
+  ExpectSameSearchResult(from_sibling.search, want, "sibling");
+  EXPECT_EQ(from_sibling.total_rows, table.num_rows() + 2);
+
+  // Carried-over bug, fixed by this PR: each session can resolve string
+  // predicates over values only the *other* session appended — codes
+  // live in the shared interner, not per-session dictionaries.
+  const std::string attr0 = table.schema().name(0);
+  QueryResult count_b = appender->Run(
+      QuerySpec::TrueCount({{attr0, "fresher"}}));
+  ASSERT_TRUE(count_b.status.ok()) << count_b.status;
+  EXPECT_EQ(count_b.true_count, 1);
+  QueryResult count_a = sibling->Run(
+      QuerySpec::TrueCount({{attr0, "fresh"}}));
+  ASSERT_TRUE(count_a.status.ok()) << count_a.status;
+  EXPECT_EQ(count_a.true_count, 1);
 }
 
 // Acceptance criterion: two concurrent sessions over content-equal data
