@@ -1,0 +1,255 @@
+// Load benchmark for `pcbl serve` (docs/SERVING.md): closed-loop
+// throughput and latency percentiles of the socket path at increasing
+// client counts, then a deliberate overload run measuring the shed rate
+// and the tail latency of shed replies (a refused request must come
+// back in bounded time — shedding that queues is not shedding).
+//
+// Emits BENCH_serve_load.json via BenchJsonRecorder when
+// PCBL_BENCH_JSON is set, so the perf-tracking CI job archives the
+// trajectory alongside the figure benches.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/dataset.h"
+#include "api/query.h"
+#include "harness/bench_config.h"
+#include "harness/tablefmt.h"
+#include "server/catalog.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "util/str.h"
+#include "workload/datasets.h"
+
+namespace pcbl {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Percentile(std::vector<double>* sorted_us, double p) {
+  if (sorted_us->empty()) return 0.0;
+  std::sort(sorted_us->begin(), sorted_us->end());
+  const double rank = p * (sorted_us->size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted_us->size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return (*sorted_us)[lo] * (1.0 - frac) + (*sorted_us)[hi] * frac;
+}
+
+struct LoadResult {
+  int64_t ok = 0;
+  int64_t shed = 0;
+  int64_t failed = 0;
+  double elapsed_seconds = 0.0;
+  std::vector<double> ok_latencies_us;
+  std::vector<double> shed_latencies_us;
+};
+
+// Closed loop: `clients` threads, each its own connection, each issuing
+// `per_client` queries back to back. Returns merged latencies.
+LoadResult RunClosedLoop(const std::string& address, int clients,
+                         int per_client, const api::QuerySpec& spec) {
+  LoadResult result;
+  std::mutex mu;
+  std::vector<std::thread> threads;
+  const auto start = Clock::now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = server::Client::Connect(address);
+      if (!client.ok()) return;
+      const std::string tenant = StrCat("tenant-", c);
+      LoadResult local;
+      for (int i = 0; i < per_client; ++i) {
+        const auto begin = Clock::now();
+        auto reply = client->Query(tenant, "compas", spec);
+        const double us =
+            std::chrono::duration<double, std::micro>(Clock::now() - begin)
+                .count();
+        if (reply.ok() && reply->status.ok()) {
+          ++local.ok;
+          local.ok_latencies_us.push_back(us);
+        } else if (reply.status().code() == StatusCode::kResourceExhausted) {
+          ++local.shed;
+          local.shed_latencies_us.push_back(us);
+        } else {
+          ++local.failed;
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      result.ok += local.ok;
+      result.shed += local.shed;
+      result.failed += local.failed;
+      result.ok_latencies_us.insert(result.ok_latencies_us.end(),
+                                    local.ok_latencies_us.begin(),
+                                    local.ok_latencies_us.end());
+      result.shed_latencies_us.insert(result.shed_latencies_us.end(),
+                                      local.shed_latencies_us.begin(),
+                                      local.shed_latencies_us.end());
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  result.elapsed_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  return result;
+}
+
+int Run() {
+  harness::BenchConfig config = harness::BenchConfig::FromEnv();
+  harness::PrintFigureHeader(
+      "serve_load", "pcbl serve: throughput, tail latency, overload shed",
+      "closed-loop clients over loopback TCP; the shed run saturates a "
+      "deliberately small per-tenant quota");
+  harness::BenchJsonRecorder recorder("serve_load");
+
+  const int64_t rows =
+      std::max<int64_t>(2000, static_cast<int64_t>(20000 * config.scale));
+  auto table = workload::MakeCompas(rows, config.seed);
+  if (!table.ok()) {
+    std::fprintf(stderr, "%s\n", table.status().ToString().c_str());
+    return 1;
+  }
+  server::Catalog catalog{api::DatasetOptions{}};
+  auto dataset = api::Dataset::FromTable(std::move(*table));
+  if (!dataset.ok() || !catalog.Add("compas", *dataset).ok()) {
+    std::fprintf(stderr, "catalog setup failed\n");
+    return 1;
+  }
+
+  const int per_client =
+      std::max(20, static_cast<int>(200 * std::min(1.0, config.scale)));
+  const api::QuerySpec search = api::QuerySpec::LabelSearch(40);
+  const api::QuerySpec count =
+      api::QuerySpec::TrueCount({{"SexOffender", "No"}});
+
+  // --- throughput / latency at increasing concurrency -------------------
+  {
+    server::ServerOptions options;
+    options.max_inflight = 256;
+    options.tenant_max_inflight = 256;
+    server::Server server(&catalog, options);
+    if (Status s = server.Start(); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    // Warm the service once so the steady state measures the serving
+    // layer (framing, admission, session pools), not the first scans.
+    (void)RunClosedLoop(server.bound_address(), 1, 1, search);
+
+    harness::TextTable out({"query", "clients", "qps", "p50 us", "p95 us",
+                            "p99 us"});
+    for (const auto& [name, spec] :
+         std::vector<std::pair<std::string, api::QuerySpec>>{
+             {"search", search}, {"true-count", count}}) {
+      for (int clients : {1, 4, 8}) {
+        LoadResult load =
+            RunClosedLoop(server.bound_address(), clients, per_client, spec);
+        const double qps =
+            load.elapsed_seconds > 0 ? load.ok / load.elapsed_seconds : 0;
+        const double p50 = Percentile(&load.ok_latencies_us, 0.50);
+        const double p95 = Percentile(&load.ok_latencies_us, 0.95);
+        const double p99 = Percentile(&load.ok_latencies_us, 0.99);
+        out.AddRowValues(name, clients, StrFormat("%.0f", qps),
+                         StrFormat("%.0f", p50), StrFormat("%.0f", p95),
+                         StrFormat("%.0f", p99));
+        recorder.Add(name, "qps", clients, qps);
+        recorder.Add(name, "p50_us", clients, p50);
+        recorder.Add(name, "p95_us", clients, p95);
+        recorder.Add(name, "p99_us", clients, p99);
+        if (load.failed > 0) {
+          std::fprintf(stderr, "  (%lld unexpected failures)\n",
+                       static_cast<long long>(load.failed));
+        }
+      }
+    }
+    std::printf("%s", out.ToMarkdown().c_str());
+    server.Stop();
+  }
+
+  // --- overload: shed rate and shed-reply tail --------------------------
+  {
+    server::ServerOptions options;
+    options.tenant_max_inflight = 2;
+    options.max_inflight = 2;
+    options.retry_after_ms = 5;
+    server::Server server(&catalog, options);
+    if (Status s = server.Start(); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    // All clients share one tenant so the quota of 2 is the bottleneck.
+    const int clients = 8;
+    std::mutex mu;
+    LoadResult load;
+    std::vector<std::thread> threads;
+    const auto start = Clock::now();
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&] {
+        auto client = server::Client::Connect(server.bound_address());
+        if (!client.ok()) return;
+        LoadResult local;
+        for (int i = 0; i < per_client; ++i) {
+          const auto begin = Clock::now();
+          auto reply = client->Query("overload", "compas", search);
+          const double us =
+              std::chrono::duration<double, std::micro>(Clock::now() - begin)
+                  .count();
+          if (reply.ok() && reply->status.ok()) {
+            ++local.ok;
+            local.ok_latencies_us.push_back(us);
+          } else if (reply.status().code() ==
+                     StatusCode::kResourceExhausted) {
+            ++local.shed;
+            local.shed_latencies_us.push_back(us);
+          } else {
+            ++local.failed;
+          }
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        load.ok += local.ok;
+        load.shed += local.shed;
+        load.failed += local.failed;
+        load.ok_latencies_us.insert(load.ok_latencies_us.end(),
+                                    local.ok_latencies_us.begin(),
+                                    local.ok_latencies_us.end());
+        load.shed_latencies_us.insert(load.shed_latencies_us.end(),
+                                      local.shed_latencies_us.begin(),
+                                      local.shed_latencies_us.end());
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    load.elapsed_seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+
+    const int64_t total = load.ok + load.shed + load.failed;
+    const double shed_pct = total > 0 ? 100.0 * load.shed / total : 0.0;
+    const double shed_p99 = Percentile(&load.shed_latencies_us, 0.99);
+    harness::TextTable out({"clients", "quota", "requests", "ok", "shed",
+                            "shed %", "shed p99 us"});
+    out.AddRowValues(clients, 2, total, load.ok, load.shed,
+                     StrFormat("%.1f", shed_pct),
+                     StrFormat("%.0f", shed_p99));
+    std::printf("%s", out.ToMarkdown().c_str());
+    recorder.Add("overload", "shed_rate_pct", clients, shed_pct);
+    recorder.Add("overload", "shed_p99_us", clients, shed_p99);
+    recorder.Add("overload", "ok_qps", clients,
+                 load.elapsed_seconds > 0 ? load.ok / load.elapsed_seconds
+                                          : 0);
+    server.Stop();
+  }
+
+  if (!recorder.WriteIfRequested(config)) {
+    std::fprintf(stderr, "failed to write PCBL_BENCH_JSON\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace pcbl
+
+int main() { return pcbl::Run(); }

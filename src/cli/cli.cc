@@ -29,6 +29,8 @@ const std::map<std::string, CommandEntry>& CommandTable() {
       {"error", {&CmdError, "evaluate a label against a CSV dataset"}},
       {"synth", {&CmdSynth, "generate one of the paper's datasets"}},
       {"inspect", {&CmdInspect, "show label metadata"}},
+      {"serve", {&CmdServe, "run the multi-tenant label server"}},
+      {"query", {&CmdQuery, "query a running pcbl serve instance"}},
   };
   return *table;
 }

@@ -1,0 +1,181 @@
+// `pcbl query --connect ADDR` — the client side of `pcbl serve`:
+// run a label search, true count, or profile on a remote server's named
+// dataset, or fetch the server's per-tenant stats. Results are the same
+// bytes an in-process session would produce (the server differential
+// test asserts it); this command just renders them.
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "api/query.h"
+#include "cli/commands.h"
+#include "cli/common.h"
+#include "server/client.h"
+#include "util/str.h"
+
+namespace pcbl {
+namespace cli {
+
+namespace {
+constexpr char kUsage[] =
+    "usage: pcbl query --connect ADDR --dataset NAME [flags]\n"
+    "\n"
+    "Runs one query against a running `pcbl serve` instance. The default\n"
+    "query is a label search; --pattern switches to a true count and\n"
+    "--profile to the pairwise label-size profile. A server at its\n"
+    "in-flight quota refuses with ResourceExhausted and a retry-after\n"
+    "hint instead of queueing.\n"
+    "\n"
+    "flags:\n"
+    "  --connect ADDR     server address (host:port or unix:/path)\n"
+    "  --dataset NAME     catalog dataset to query\n"
+    "  --tenant T         tenant identity (default \"default\")\n"
+    "  --bound N          label-search size bound B_s (default 100)\n"
+    "  --algo A           topdown (default) or naive\n"
+    "  --metric M         max-abs (default), mean-abs, max-q, mean-q\n"
+    "  --pattern \"a=x,b=y\"  true count of this pattern instead\n"
+    "  --profile          pairwise |P_S| profile instead\n"
+    "  --stats            print the server's per-tenant stats and exit\n"
+    "  --shutdown         ask the server to drain and exit\n";
+
+int RenderSearch(const server::wire::WireQueryResult& result,
+                 std::ostream& out) {
+  const PortableLabel& label = result.search.label;
+  std::vector<std::string> attrs;
+  for (int a : label.label_attributes) {
+    attrs.push_back(a < static_cast<int>(label.attribute_names.size())
+                        ? label.attribute_names[a]
+                        : StrCat("#", a));
+  }
+  out << "rows:      " << WithThousandsSeparators(result.total_rows) << "\n";
+  out << "attrs:     " << (attrs.empty() ? "(none)" : Join(attrs, ", "))
+      << "\n";
+  out << "size:      " << label.size() << " patterns\n";
+  out << FormatErrorReport(result.search.error, result.total_rows);
+  out << StrFormat("examined:  %lld subsets, %lld within bound\n",
+                   static_cast<long long>(result.search.stats.subsets_examined),
+                   static_cast<long long>(result.search.stats.within_bound));
+  return kExitOk;
+}
+
+}  // namespace
+
+int CmdQuery(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.GetBool("help")) {
+    out << kUsage;
+    return kExitOk;
+  }
+  if (Status s = args.CheckKnown({"help", "connect", "dataset", "tenant",
+                                  "bound", "algo", "metric", "pattern",
+                                  "profile", "stats", "shutdown"});
+      !s.ok()) {
+    return FailWith(s, "query", err);
+  }
+  const std::string address = args.GetString("connect");
+  if (address.empty()) {
+    return FailWith(InvalidArgumentError("--connect is required"), "query",
+                    err);
+  }
+  auto client = server::Client::Connect(address);
+  if (!client.ok()) return FailWith(client.status(), "query", err);
+  const std::string tenant = args.GetString("tenant");
+
+  if (args.GetBool("shutdown")) {
+    if (Status s = client->Shutdown(); !s.ok()) {
+      return FailWith(s, "query", err);
+    }
+    out << "server at " << address << " draining\n";
+    return kExitOk;
+  }
+
+  if (args.GetBool("stats")) {
+    auto stats = client->Stats(tenant);
+    if (!stats.ok()) return FailWith(stats.status(), "query", err);
+    for (const auto& row : stats->tenants) {
+      out << StrFormat(
+          "tenant %s: queries=%lld shed=%lld errors=%lld inflight=%lld "
+          "sessions=%lld result-hits=%lld\n",
+          row.tenant.c_str(), static_cast<long long>(row.queries),
+          static_cast<long long>(row.shed),
+          static_cast<long long>(row.errors),
+          static_cast<long long>(row.inflight),
+          static_cast<long long>(row.sessions),
+          static_cast<long long>(row.service.result_hits));
+    }
+    out << StrFormat(
+        "registry: services=%lld hits=%lld misses=%lld resident=%lld\n",
+        static_cast<long long>(stats->registry.services),
+        static_cast<long long>(stats->registry.hits),
+        static_cast<long long>(stats->registry.misses),
+        static_cast<long long>(stats->registry.resident_bytes));
+    return kExitOk;
+  }
+
+  const std::string dataset = args.GetString("dataset");
+  if (dataset.empty()) {
+    return FailWith(InvalidArgumentError("--dataset is required"), "query",
+                    err);
+  }
+
+  api::QuerySpec spec;
+  const std::string pattern_text = args.GetString("pattern");
+  if (args.GetBool("profile")) {
+    spec = api::QuerySpec::Profile();
+  } else if (!pattern_text.empty()) {
+    auto terms = ParseNamedPattern(pattern_text);
+    if (!terms.ok()) return FailWith(terms.status(), "query", err);
+    spec = api::QuerySpec::TrueCount(std::move(*terms));
+  } else {
+    auto bound = args.GetInt("bound", 100);
+    if (!bound.ok()) return FailWith(bound.status(), "query", err);
+    const std::string algo = args.GetString("algo", "topdown");
+    if (algo != "topdown" && algo != "naive") {
+      return FailWith(
+          InvalidArgumentError(StrCat("unknown --algo '", algo, "'")),
+          "query", err);
+    }
+    spec = api::QuerySpec::LabelSearch(
+        *bound, algo == "naive" ? api::QuerySpec::Algorithm::kNaive
+                                : api::QuerySpec::Algorithm::kTopDown);
+    auto metric = ParseMetric(args.GetString("metric", "max-abs"));
+    if (!metric.ok()) return FailWith(metric.status(), "query", err);
+    spec.metric = *metric;
+  }
+
+  auto result = client->Query(tenant, dataset, spec);
+  if (!result.ok()) {
+    if (result.status().code() == StatusCode::kResourceExhausted) {
+      err << StrFormat("pcbl query: shed by the server, retry after %lldms\n",
+                       static_cast<long long>(client->last_retry_after_ms()));
+      return kExitError;
+    }
+    return FailWith(result.status(), "query", err);
+  }
+  if (!result->status.ok()) return FailWith(result->status, "query", err);
+
+  switch (result->kind) {
+    case api::QuerySpec::Kind::kLabelSearch:
+      return RenderSearch(*result, out);
+    case api::QuerySpec::Kind::kTrueCount:
+      out << "pattern:   " << pattern_text << "\n";
+      out << "count:     " << WithThousandsSeparators(result->true_count)
+          << " of " << WithThousandsSeparators(result->total_rows)
+          << " rows\n";
+      if (result->estimate.has_value()) {
+        out << StrFormat("estimate:  %.2f\n", *result->estimate);
+      }
+      return kExitOk;
+    case api::QuerySpec::Kind::kProfile:
+      out << "rows:      " << WithThousandsSeparators(result->total_rows)
+          << "\n";
+      for (const auto& pair : result->pairs) {
+        out << StrFormat("  (%d, %d): %lld\n", pair.attr_a, pair.attr_b,
+                         static_cast<long long>(pair.size));
+      }
+      return kExitOk;
+  }
+  return kExitError;
+}
+
+}  // namespace cli
+}  // namespace pcbl

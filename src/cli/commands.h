@@ -57,6 +57,17 @@ int CmdBucketize(const Args& args, std::ostream& out, std::ostream& err);
 /// successive dataset versions (marginal shifts, pattern churn).
 int CmdDiff(const Args& args, std::ostream& out, std::ostream& err);
 
+/// `pcbl serve --listen ADDR --catalog name=file.csv,...
+///  [--max-inflight N] [--tenant-max-inflight N] [--retry-after-ms N]
+///  [--service-budget N] [--cache-budget N] [--result-cache-budget N]` —
+/// the out-of-process, multi-tenant label server (docs/SERVING.md).
+int CmdServe(const Args& args, std::ostream& out, std::ostream& err);
+
+/// `pcbl query --connect ADDR --dataset NAME [--tenant T] [--bound N |
+///  --pattern "a=x" | --profile | --stats | --shutdown]` — query a
+/// running `pcbl serve` instance.
+int CmdQuery(const Args& args, std::ostream& out, std::ostream& err);
+
 }  // namespace cli
 }  // namespace pcbl
 

@@ -226,18 +226,23 @@ ServiceRegistryStats ServiceRegistry::stats() const {
       evicted_rejections_.load(std::memory_order_relaxed);
   for (const auto& [fp, entry] : services_) {
     // results_mu_ is a leaf lock, safe to take under mu_.
-    const ResultTierStats tier = entry.service->result_tier_stats();
-    stats.result_hits += tier.hits;
-    stats.result_misses += tier.misses;
-    stats.result_inflight_joins += tier.inflight_joins;
-    stats.result_entries += tier.entries;
-    stats.result_bytes += tier.bytes;
-    const AppendBatchStats appends = entry.service->append_stats();
-    stats.append_batches += appends.batches;
-    stats.append_requests += appends.requests;
-    stats.interned_values += appends.interned_values;
+    AccumulateServiceStats(*entry.service, &stats);
   }
   return stats;
+}
+
+void AccumulateServiceStats(const CountingService& service,
+                            ServiceRegistryStats* stats) {
+  const ResultTierStats tier = service.result_tier_stats();
+  stats->result_hits += tier.hits;
+  stats->result_misses += tier.misses;
+  stats->result_inflight_joins += tier.inflight_joins;
+  stats->result_entries += tier.entries;
+  stats->result_bytes += tier.bytes;
+  const AppendBatchStats appends = service.append_stats();
+  stats->append_batches += appends.batches;
+  stats->append_requests += appends.requests;
+  stats->interned_values += appends.interned_values;
 }
 
 }  // namespace pcbl

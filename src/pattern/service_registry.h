@@ -113,6 +113,13 @@ struct ServiceRegistryStats {
   int64_t interned_values = 0;
 };
 
+/// Folds one service's result-tier and append-path counters into
+/// `stats` (the result_* / append_* / interned_values fields only).
+/// Shared by ServiceRegistry::stats() and `pcbl serve`'s per-tenant
+/// stats rows, so both views sum the same counters the same way.
+void AccumulateServiceStats(const CountingService& service,
+                            ServiceRegistryStats* stats);
+
 class ServiceRegistry {
  public:
   explicit ServiceRegistry(ServiceRegistryOptions options = {})

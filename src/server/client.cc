@@ -1,0 +1,133 @@
+#include "server/client.h"
+
+#include <utility>
+
+#include "server/socket_io.h"
+
+namespace pcbl {
+namespace server {
+
+Result<Client> Client::Connect(const std::string& address,
+                               ClientOptions options) {
+  Client client;
+  PCBL_ASSIGN_OR_RETURN(client.fd_, ConnectTo(address));
+  client.max_frame_bytes_ = options.max_frame_bytes;
+  return client;
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_),
+      max_frame_bytes_(other.max_frame_bytes_),
+      last_retry_after_ms_(other.last_retry_after_ms_) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    CloseSocket(fd_);
+    fd_ = other.fd_;
+    max_frame_bytes_ = other.max_frame_bytes_;
+    last_retry_after_ms_ = other.last_retry_after_ms_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Client::~Client() { CloseSocket(fd_); }
+
+Result<wire::Reader> Client::RoundTrip(wire::MessageType type,
+                                       std::string_view payload,
+                                       std::string* storage) {
+  if (fd_ < 0) return FailedPreconditionError("client is not connected");
+  PCBL_RETURN_IF_ERROR(WriteFrame(fd_, type, payload));
+  wire::FrameHeader header;
+  PCBL_ASSIGN_OR_RETURN(
+      const bool got, ReadFrame(fd_, max_frame_bytes_, &header, storage));
+  if (!got) return IOError("server closed the connection");
+  if (header.type != wire::MessageType::kReply) {
+    return InvalidArgumentError("server sent a non-reply frame");
+  }
+  wire::Reader in(*storage);
+  PCBL_ASSIGN_OR_RETURN(const wire::ReplyHeader reply,
+                        wire::DecodeReplyHeader(in));
+  if (!reply.status.ok()) {
+    if (reply.status.code() == StatusCode::kResourceExhausted) {
+      last_retry_after_ms_ = reply.retry_after_ms;
+    }
+    return reply.status;
+  }
+  return in;
+}
+
+Result<wire::HelloReply> Client::Hello(const std::string& tenant) {
+  wire::Writer out;
+  wire::EncodeHelloRequest(wire::HelloRequest{tenant}, &out);
+  std::string storage;
+  PCBL_ASSIGN_OR_RETURN(
+      wire::Reader in,
+      RoundTrip(wire::MessageType::kHello, out.bytes(), &storage));
+  PCBL_ASSIGN_OR_RETURN(wire::HelloReply reply, wire::DecodeHelloReply(in));
+  PCBL_RETURN_IF_ERROR(in.Finish());
+  return reply;
+}
+
+Result<wire::WireQueryResult> Client::Query(const std::string& tenant,
+                                            const std::string& dataset,
+                                            const api::QuerySpec& spec) {
+  wire::Writer out;
+  wire::QueryRequest request;
+  request.tenant = tenant;
+  request.dataset = dataset;
+  request.spec = spec;
+  wire::EncodeQueryRequest(request, &out);
+  std::string storage;
+  PCBL_ASSIGN_OR_RETURN(
+      wire::Reader in,
+      RoundTrip(wire::MessageType::kQuery, out.bytes(), &storage));
+  PCBL_ASSIGN_OR_RETURN(wire::WireQueryResult result,
+                        wire::DecodeQueryResult(in));
+  PCBL_RETURN_IF_ERROR(in.Finish());
+  return result;
+}
+
+Result<wire::RegisterReply> Client::Register(const std::string& tenant,
+                                             const std::string& dataset,
+                                             const std::string& csv_text) {
+  wire::Writer out;
+  wire::RegisterRequest request;
+  request.tenant = tenant;
+  request.dataset = dataset;
+  request.csv_text = csv_text;
+  wire::EncodeRegisterRequest(request, &out);
+  std::string storage;
+  PCBL_ASSIGN_OR_RETURN(
+      wire::Reader in,
+      RoundTrip(wire::MessageType::kRegister, out.bytes(), &storage));
+  PCBL_ASSIGN_OR_RETURN(wire::RegisterReply reply,
+                        wire::DecodeRegisterReply(in));
+  PCBL_RETURN_IF_ERROR(in.Finish());
+  return reply;
+}
+
+Result<wire::StatsReply> Client::Stats(const std::string& tenant) {
+  wire::Writer out;
+  wire::EncodeStatsRequest(wire::StatsRequest{tenant}, &out);
+  std::string storage;
+  PCBL_ASSIGN_OR_RETURN(
+      wire::Reader in,
+      RoundTrip(wire::MessageType::kStats, out.bytes(), &storage));
+  PCBL_ASSIGN_OR_RETURN(wire::StatsReply reply, wire::DecodeStatsReply(in));
+  PCBL_RETURN_IF_ERROR(in.Finish());
+  return reply;
+}
+
+Status Client::Shutdown() {
+  std::string storage;
+  PCBL_ASSIGN_OR_RETURN(
+      wire::Reader in,
+      RoundTrip(wire::MessageType::kShutdown, std::string_view(), &storage));
+  return in.Finish();
+}
+
+}  // namespace server
+}  // namespace pcbl

@@ -1,0 +1,80 @@
+// Client of the `pcbl serve` wire protocol — used by `pcbl query
+// --connect`, the server tests, and bench/bench_serve_load.cc.
+//
+// One Client is one connection issuing strictly sequential
+// request/response pairs; it is movable but not thread-safe (open one
+// client per concurrent caller, exactly like the server's handlers
+// expect). Admission-level refusals — an unknown dataset, a shed with
+// kResourceExhausted — come back as the call's error Status;
+// last_retry_after_ms() then holds the server's backoff hint.
+#ifndef PCBL_SERVER_CLIENT_H_
+#define PCBL_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "api/query.h"
+#include "server/wire.h"
+#include "util/status.h"
+
+namespace pcbl {
+namespace server {
+
+struct ClientOptions {
+  int64_t max_frame_bytes = wire::kDefaultMaxFrameBytes;
+};
+
+class Client {
+ public:
+  static Result<Client> Connect(const std::string& address,
+                                ClientOptions options = {});
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  Result<wire::HelloReply> Hello(const std::string& tenant);
+
+  /// Executes one spec against a catalog dataset. The returned result
+  /// carries the query-level status inside (exactly like
+  /// api::Session::Run); transport/admission failures are the call's
+  /// error Status instead.
+  Result<wire::WireQueryResult> Query(const std::string& tenant,
+                                      const std::string& dataset,
+                                      const api::QuerySpec& spec);
+
+  Result<wire::RegisterReply> Register(const std::string& tenant,
+                                       const std::string& dataset,
+                                       const std::string& csv_text);
+
+  /// Empty tenant = all tenants.
+  Result<wire::StatsReply> Stats(const std::string& tenant = "");
+
+  /// Asks the server to stop (its owner still calls Server::Stop()).
+  Status Shutdown();
+
+  /// The backoff hint of the most recent kResourceExhausted refusal.
+  int64_t last_retry_after_ms() const { return last_retry_after_ms_; }
+
+ private:
+  Client() = default;
+
+  /// Sends one frame, reads the reply, and decodes the ReplyHeader. A
+  /// non-ok header becomes the error Status (after recording the retry
+  /// hint); on OK the returned Reader is positioned at the body. The
+  /// reply payload lives in `*storage`.
+  Result<wire::Reader> RoundTrip(wire::MessageType type,
+                                 std::string_view payload,
+                                 std::string* storage);
+
+  int fd_ = -1;
+  int64_t max_frame_bytes_ = wire::kDefaultMaxFrameBytes;
+  int64_t last_retry_after_ms_ = 0;
+};
+
+}  // namespace server
+}  // namespace pcbl
+
+#endif  // PCBL_SERVER_CLIENT_H_

@@ -1,0 +1,233 @@
+#include "server/socket_io.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/str.h"
+
+namespace pcbl {
+namespace server {
+
+namespace {
+
+constexpr std::string_view kUnixPrefix = "unix:";
+
+Status ErrnoError(const char* what) {
+  return IOError(StrCat(what, ": ", std::strerror(errno)));
+}
+
+struct ParsedTcp {
+  std::string host;
+  uint16_t port = 0;
+};
+
+Result<ParsedTcp> ParseTcpAddress(const std::string& address) {
+  const size_t colon = address.rfind(':');
+  if (colon == std::string::npos) {
+    return InvalidArgumentError(
+        StrCat("address '", address,
+               "' is neither 'unix:<path>' nor '<host>:<port>'"));
+  }
+  ParsedTcp parsed;
+  parsed.host = address.substr(0, colon);
+  if (parsed.host.empty() || parsed.host == "localhost") {
+    parsed.host = "127.0.0.1";
+  }
+  PCBL_ASSIGN_OR_RETURN(const int64_t port,
+                        ParseInt64(address.substr(colon + 1)));
+  if (port < 0 || port > 65535) {
+    return InvalidArgumentError(StrCat("port out of range: ", port));
+  }
+  parsed.port = static_cast<uint16_t>(port);
+  return parsed;
+}
+
+Result<int> MakeTcpSockaddr(const std::string& address, sockaddr_in* out) {
+  PCBL_ASSIGN_OR_RETURN(const ParsedTcp parsed, ParseTcpAddress(address));
+  std::memset(out, 0, sizeof(*out));
+  out->sin_family = AF_INET;
+  out->sin_port = htons(parsed.port);
+  if (inet_pton(AF_INET, parsed.host.c_str(), &out->sin_addr) != 1) {
+    return InvalidArgumentError(
+        StrCat("cannot parse IPv4 host '", parsed.host, "'"));
+  }
+  return 0;
+}
+
+Result<int> MakeUnixSockaddr(const std::string& address, sockaddr_un* out) {
+  const std::string path(address.substr(kUnixPrefix.size()));
+  std::memset(out, 0, sizeof(*out));
+  out->sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(out->sun_path)) {
+    return InvalidArgumentError(
+        StrCat("unix socket path empty or too long: '", path, "'"));
+  }
+  std::memcpy(out->sun_path, path.data(), path.size());
+  return 0;
+}
+
+}  // namespace
+
+Result<int> ListenOn(const std::string& address) {
+  const bool is_unix = address.rfind(kUnixPrefix, 0) == 0;
+  const int fd = socket(is_unix ? AF_UNIX : AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoError("socket");
+  Status status = Status::Ok();
+  if (is_unix) {
+    sockaddr_un addr;
+    Result<int> made = MakeUnixSockaddr(address, &addr);
+    if (!made.ok()) {
+      close(fd);
+      return made.status();
+    }
+    // A stale socket file from a dead server would fail the bind.
+    unlink(addr.sun_path);
+    if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      status = ErrnoError("bind");
+    }
+  } else {
+    sockaddr_in addr;
+    Result<int> made = MakeTcpSockaddr(address, &addr);
+    if (!made.ok()) {
+      close(fd);
+      return made.status();
+    }
+    const int one = 1;
+    setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      status = ErrnoError("bind");
+    }
+  }
+  if (status.ok() && listen(fd, SOMAXCONN) != 0) {
+    status = ErrnoError("listen");
+  }
+  if (!status.ok()) {
+    close(fd);
+    return status;
+  }
+  return fd;
+}
+
+Result<std::string> BoundAddress(int fd) {
+  sockaddr_storage storage;
+  socklen_t len = sizeof(storage);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&storage), &len) != 0) {
+    return ErrnoError("getsockname");
+  }
+  if (storage.ss_family == AF_UNIX) {
+    const auto* addr = reinterpret_cast<const sockaddr_un*>(&storage);
+    return StrCat("unix:", addr->sun_path);
+  }
+  if (storage.ss_family == AF_INET) {
+    const auto* addr = reinterpret_cast<const sockaddr_in*>(&storage);
+    char host[INET_ADDRSTRLEN] = {0};
+    inet_ntop(AF_INET, &addr->sin_addr, host, sizeof(host));
+    return StrCat(host, ":", ntohs(addr->sin_port));
+  }
+  return InternalError("unexpected socket family");
+}
+
+Result<int> ConnectTo(const std::string& address) {
+  const bool is_unix = address.rfind(kUnixPrefix, 0) == 0;
+  const int fd = socket(is_unix ? AF_UNIX : AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoError("socket");
+  int rc;
+  if (is_unix) {
+    sockaddr_un addr;
+    Result<int> made = MakeUnixSockaddr(address, &addr);
+    if (!made.ok()) {
+      close(fd);
+      return made.status();
+    }
+    rc = connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } else {
+    sockaddr_in addr;
+    Result<int> made = MakeTcpSockaddr(address, &addr);
+    if (!made.ok()) {
+      close(fd);
+      return made.status();
+    }
+    rc = connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  }
+  if (rc != 0) {
+    Status status = ErrnoError(StrCat("connect to ", address).c_str());
+    close(fd);
+    return status;
+  }
+  return fd;
+}
+
+void CloseSocket(int fd) {
+  if (fd >= 0) close(fd);
+}
+
+namespace {
+
+Status WriteAll(int fd, const char* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoError("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+/// Returns 1 on a full read, 0 on clean EOF before the first byte, and
+/// an error status on a mid-buffer disconnect.
+Result<int> ReadAll(int fd, char* data, size_t size) {
+  size_t got = 0;
+  while (got < size) {
+    const ssize_t n = recv(fd, data + got, size - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoError("recv");
+    }
+    if (n == 0) {
+      if (got == 0) return 0;
+      return Status(StatusCode::kIOError,
+                    "connection closed mid-frame");
+    }
+    got += static_cast<size_t>(n);
+  }
+  return 1;
+}
+
+}  // namespace
+
+Status WriteFrame(int fd, wire::MessageType type, std::string_view payload) {
+  const std::string frame = wire::EncodeFrame(type, payload);
+  return WriteAll(fd, frame.data(), frame.size());
+}
+
+Result<bool> ReadFrame(int fd, int64_t max_frame_bytes,
+                       wire::FrameHeader* header, std::string* payload) {
+  char raw[wire::kFrameHeaderBytes];
+  PCBL_ASSIGN_OR_RETURN(const int got, ReadAll(fd, raw, sizeof(raw)));
+  if (got == 0) return false;
+  // Validates magic/version/length *before* the payload allocation.
+  PCBL_ASSIGN_OR_RETURN(*header,
+                        wire::DecodeFrameHeader(raw, max_frame_bytes));
+  payload->resize(static_cast<size_t>(header->payload_bytes));
+  if (header->payload_bytes > 0) {
+    PCBL_ASSIGN_OR_RETURN(
+        const int body, ReadAll(fd, payload->data(), payload->size()));
+    if (body == 0) {
+      return IOError("connection closed between header and payload");
+    }
+  }
+  return true;
+}
+
+}  // namespace server
+}  // namespace pcbl

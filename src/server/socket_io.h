@@ -1,0 +1,55 @@
+// Blocking socket plumbing of `pcbl serve`: listen/connect on TCP or
+// Unix-domain addresses and move whole wire frames (server/wire.h)
+// across a connection.
+//
+// Address forms:
+//   "unix:/path/to.sock"  — Unix-domain stream socket
+//   "host:port"           — IPv4; "localhost" resolves to 127.0.0.1 and
+//                           port 0 binds an ephemeral port (recover the
+//                           actual one with BoundAddress, the tests'
+//                           parallel-safe idiom)
+//
+// All calls are blocking; frame reads honour the bounded-length contract
+// of wire::DecodeFrameHeader — a hostile length field is rejected before
+// any allocation.
+#ifndef PCBL_SERVER_SOCKET_IO_H_
+#define PCBL_SERVER_SOCKET_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "server/wire.h"
+#include "util/status.h"
+
+namespace pcbl {
+namespace server {
+
+/// Creates, binds, and listens. Returns the listening fd.
+Result<int> ListenOn(const std::string& address);
+
+/// The address a listening fd actually bound ("127.0.0.1:41873" after
+/// listening on port 0, or the "unix:..." form it was given).
+Result<std::string> BoundAddress(int fd);
+
+/// Connects to a server. Returns the connected fd.
+Result<int> ConnectTo(const std::string& address);
+
+/// Closes an fd from ListenOn/ConnectTo/accept (idempotent on -1).
+void CloseSocket(int fd);
+
+/// Writes one whole frame (header + payload). IOError on a broken peer;
+/// never raises SIGPIPE.
+Status WriteFrame(int fd, wire::MessageType type, std::string_view payload);
+
+/// Reads one whole frame. Returns false on clean EOF at a frame
+/// boundary (the peer hung up between requests); kInvalidArgument on a
+/// corrupt or oversized header (per wire::DecodeFrameHeader), IOError on
+/// a mid-frame disconnect.
+Result<bool> ReadFrame(int fd, int64_t max_frame_bytes,
+                       wire::FrameHeader* header, std::string* payload);
+
+}  // namespace server
+}  // namespace pcbl
+
+#endif  // PCBL_SERVER_SOCKET_IO_H_

@@ -27,6 +27,10 @@ enum class StatusCode {
   /// Transient resource loss (e.g. a registry-evicted counting service);
   /// retrying against a freshly acquired resource is expected to succeed.
   kUnavailable = 9,
+  /// A quota or budget is saturated right now (e.g. `pcbl serve` shedding
+  /// a request because the tenant's in-flight quota is full); retrying
+  /// after backing off is expected to succeed.
+  kResourceExhausted = 10,
 };
 
 /// Human-readable name of a status code (e.g. "InvalidArgument").
@@ -78,6 +82,7 @@ Status UnimplementedError(std::string message);
 Status InternalError(std::string message);
 Status IOError(std::string message);
 Status UnavailableError(std::string message);
+Status ResourceExhaustedError(std::string message);
 
 /// A value-or-error result, modeled on absl::StatusOr<T>.
 ///
