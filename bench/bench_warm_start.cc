@@ -1,0 +1,138 @@
+// Warm-start benchmark (docs/PERSISTENCE.md): what does a restart cost
+// with and without a spill directory? Three arms, same table, same
+// first query:
+//
+//   cold    — fresh registry, no spill files: the first search pays the
+//             full-table scans that build the PC-set cache;
+//   restore — fresh registry over a populated spill directory: the
+//             acquire replays the spilled warm state off disk;
+//   warm    — the restored service answering the first search (the
+//             acceptance path: zero full scans).
+//
+// Emits BENCH_warm_start.json via BenchJsonRecorder when PCBL_BENCH_JSON
+// is set; the serve-load bench records the matching in-situ cold
+// first-query latency under figure serve_load.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/search.h"
+#include "harness/bench_config.h"
+#include "harness/tablefmt.h"
+#include "pattern/service_registry.h"
+#include "util/str.h"
+#include "workload/datasets.h"
+
+namespace pcbl {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MedianMs(std::vector<double> samples) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+int Run() {
+  harness::BenchConfig config = harness::BenchConfig::FromEnv();
+  harness::PrintFigureHeader(
+      "warm_start", "warm-start spill store: cold vs restored first query",
+      "first label search over a fresh registry, without spill files "
+      "(cold) and restoring a spilled warm state (restore + warm query)");
+  harness::BenchJsonRecorder recorder("warm_start");
+
+  const int64_t rows =
+      std::max<int64_t>(2000, static_cast<int64_t>(20000 * config.scale));
+  auto table = workload::MakeCompas(rows, config.seed);
+  if (!table.ok()) {
+    std::fprintf(stderr, "%s\n", table.status().ToString().c_str());
+    return 1;
+  }
+  const std::string dir =
+      std::filesystem::temp_directory_path() / "pcbl_bench_warm_start";
+  std::filesystem::remove_all(dir);
+
+  SearchOptions options;
+  options.size_bound = 60;
+
+  const int iters = std::max(3, static_cast<int>(5 * config.scale));
+  std::vector<double> cold_ms, restore_ms, warm_ms;
+  int64_t spilled_bytes = 0;
+  for (int i = 0; i < iters; ++i) {
+    // Cold arm: no spill files, the first query builds the cache.
+    {
+      ServiceRegistry registry;
+      auto service = registry.Acquire(*table);
+      LabelSearch search(*table, service);
+      const auto begin = Clock::now();
+      (void)search.TopDown(options);
+      cold_ms.push_back(
+          std::chrono::duration<double, std::milli>(Clock::now() - begin)
+              .count());
+      // Populate the spill directory for the restore arm from exactly
+      // this warm state (what an orderly `pcbl serve` shutdown writes).
+      registry.SetSpillDirectory(dir);
+      if (registry.SpillResident() != 1) {
+        std::fprintf(stderr, "spill failed\n");
+        return 1;
+      }
+      spilled_bytes = registry.stats().spilled_bytes;
+    }
+    // Restore arm: the acquire replays the warm state off disk...
+    ServiceRegistry registry;
+    registry.SetSpillDirectory(dir);
+    const auto restore_begin = Clock::now();
+    auto service = registry.Acquire(*table);
+    restore_ms.push_back(std::chrono::duration<double, std::milli>(
+                             Clock::now() - restore_begin)
+                             .count());
+    if (registry.stats().spill_hits != 1) {
+      std::fprintf(stderr, "restore missed the spill\n");
+      return 1;
+    }
+    // ...and the warm arm answers the same first query from it.
+    LabelSearch search(*table, service);
+    const auto warm_begin = Clock::now();
+    (void)search.TopDown(options);
+    warm_ms.push_back(
+        std::chrono::duration<double, std::milli>(Clock::now() - warm_begin)
+            .count());
+    if (service->stats().full_scans != 0) {
+      std::fprintf(stderr, "warm first query paid full scans\n");
+      return 1;
+    }
+    std::filesystem::remove_all(dir);
+  }
+
+  const double cold = MedianMs(cold_ms);
+  const double restore = MedianMs(restore_ms);
+  const double warm = MedianMs(warm_ms);
+  const double speedup = (restore + warm) > 0 ? cold / (restore + warm) : 0;
+  harness::TextTable out({"rows", "cold ms", "restore ms", "warm ms",
+                          "first-query speedup", "spill bytes"});
+  out.AddRowValues(rows, StrFormat("%.2f", cold), StrFormat("%.2f", restore),
+                   StrFormat("%.2f", warm), StrFormat("%.1fx", speedup),
+                   spilled_bytes);
+  std::printf("%s", out.ToMarkdown().c_str());
+
+  recorder.Add("first_query", "cold_ms", rows, cold);
+  recorder.Add("first_query", "restore_ms", rows, restore);
+  recorder.Add("first_query", "warm_ms", rows, warm);
+  recorder.Add("first_query", "speedup", rows, speedup);
+  recorder.Add("first_query", "spill_bytes", rows,
+               static_cast<double>(spilled_bytes));
+  if (!recorder.WriteIfRequested(config)) {
+    std::fprintf(stderr, "failed to write PCBL_BENCH_JSON\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace pcbl
+
+int main() { return pcbl::Run(); }

@@ -34,6 +34,9 @@ Result<Dataset> Dataset::FromTable(std::shared_ptr<const Table> table,
     if (options.service_memory_budget >= 0) {
       registry.SetMemoryBudget(options.service_memory_budget);
     }
+    if (!options.spill_directory.empty()) {
+      registry.SetSpillDirectory(options.spill_directory);
+    }
     dataset.service_ = registry.Acquire(dataset.table_);
   }
   return dataset;

@@ -42,6 +42,14 @@ struct DatasetOptions {
   /// one from ServiceRegistry::Global() — isolation for tests and
   /// benchmarks that must not observe (or warm) process-wide state.
   bool private_service = false;
+
+  /// When non-empty: applied as the process-wide registry's spill
+  /// directory (warm-start persistence, docs/PERSISTENCE.md) before
+  /// acquiring — the `--spill-dir` semantics of the CLI. The acquire
+  /// then restores the service from a spilled warm state when a valid
+  /// record for this content exists. Empty = leave the registry's spill
+  /// configuration unchanged. Ignored with private_service.
+  std::string spill_directory;
 };
 
 class Dataset {

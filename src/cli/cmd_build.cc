@@ -14,6 +14,8 @@
 #include "cli/commands.h"
 #include "cli/common.h"
 #include "core/portable_label.h"
+#include "pattern/service_registry.h"
+#include "persist/spill_store.h"
 #include "util/str.h"
 
 namespace pcbl {
@@ -57,6 +59,11 @@ constexpr char kUsage[] =
     "                     minimum rows per morsel when one subset scan\n"
     "                     splits across threads (0 disables intra-subset\n"
     "                     parallelism; results are identical)\n"
+    "  --spill-dir DIR    warm-start spill directory: restores the\n"
+    "                     counting service's cached PC sets before the\n"
+    "                     search, answers an identical repeat build from\n"
+    "                     the spilled label artifact, and spills both\n"
+    "                     back before exit\n"
     "  --out FILE         save the portable label (JSON; see --binary)\n"
     "  --binary           save in the compact binary format instead\n"
     "  --name NAME        dataset display name stored in the label\n";
@@ -77,8 +84,8 @@ int CmdBuild(const Args& args, std::ostream& out, std::ostream& err) {
                                   "no-engine", "cache-budget",
                                   "service-budget", "no-result-cache",
                                   "result-cache-budget", "kernel",
-                                  "min-rows-per-morsel", "out", "binary",
-                                  "name"});
+                                  "min-rows-per-morsel", "spill-dir",
+                                  "out", "binary", "name"});
       !s.ok()) {
     return FailWith(s, "build", err);
   }
@@ -134,6 +141,56 @@ int CmdBuild(const Args& args, std::ostream& out, std::ostream& err) {
     focus_desc = "patterns over {" + Join(names, ", ") + "}";
   }
 
+  std::string label_name = args.GetString("name");
+  if (label_name.empty()) label_name = BaseName(args.positional()[0]);
+  const std::string out_path = args.GetString("out");
+
+  // Warm-start artifact fast path (docs/PERSISTENCE.md): with
+  // --spill-dir, a completed label for this exact (content, query) pair
+  // may already be on disk — consume it without any search. A missing
+  // or invalid record simply falls through to the cold path below.
+  std::shared_ptr<persist::SpillStore> spill;
+  QueryResultKey artifact_key{};
+  if (!flags->spill_dir.empty() && api::QuerySpecCacheable(spec)) {
+    spill = ServiceRegistry::Global().spill_store();
+  }
+  if (spill != nullptr) {
+    artifact_key = api::CanonicalQueryKey(spec, dataset->fingerprint());
+    if (auto bytes =
+            spill->GetLabelArtifact(dataset->fingerprint(), artifact_key)) {
+      auto portable = PortableLabelFromBinary(*bytes);
+      if (portable.ok()) {
+        out << "dataset:           " << args.positional()[0] << " ("
+            << WithThousandsSeparators(table.num_rows()) << " rows, "
+            << table.num_attributes() << " attributes)\n";
+        std::vector<std::string> restored_attrs;
+        for (int a : portable->label_attributes) {
+          if (a >= 0 &&
+              a < static_cast<int>(portable->attribute_names.size())) {
+            restored_attrs.push_back(portable->attribute_names[a]);
+          }
+        }
+        out << "label attributes:  "
+            << (restored_attrs.empty() ? "(none within bound)"
+                                       : Join(restored_attrs, ", "))
+            << "\n";
+        out << "label size |PC|:   " << portable->size() << "\n";
+        out << "label artifact:    restored from spill (no search)\n";
+        out << FormatRegistryStats();
+        if (!out_path.empty()) {
+          if (Status s =
+                  SaveLabel(*portable, out_path, args.GetBool("binary"));
+              !s.ok()) {
+            return FailWith(s, "build", err);
+          }
+          out << "label written to:  " << out_path
+              << (args.GetBool("binary") ? " (binary)" : " (JSON)") << "\n";
+        }
+        return kExitOk;
+      }
+    }
+  }
+
   auto session = api::Session::Open(*dataset, flags->ToSessionOptions());
   if (!session.ok()) return FailWith(session.status(), "build", err);
   const api::QueryResult query = (*session)->Run(spec);
@@ -168,18 +225,26 @@ int CmdBuild(const Args& args, std::ostream& out, std::ostream& err) {
   out << FormatSizingConfig(*flags);
   out << FormatRegistryStats();
 
-  const std::string out_path = args.GetString("out");
-  if (!out_path.empty()) {
-    std::string name = args.GetString("name");
-    if (name.empty()) name = BaseName(args.positional()[0]);
+  if (!out_path.empty() || spill != nullptr) {
     const PortableLabel portable =
-        MakePortable(result.label, table, name);
-    if (Status s = SaveLabel(portable, out_path, args.GetBool("binary"));
-        !s.ok()) {
-      return FailWith(s, "build", err);
+        MakePortable(result.label, table, label_name);
+    if (!out_path.empty()) {
+      if (Status s = SaveLabel(portable, out_path, args.GetBool("binary"));
+          !s.ok()) {
+        return FailWith(s, "build", err);
+      }
+      out << "label written to:  " << out_path
+          << (args.GetBool("binary") ? " (binary)" : " (JSON)") << "\n";
     }
-    out << "label written to:  " << out_path
-        << (args.GetBool("binary") ? " (binary)" : " (JSON)") << "\n";
+    if (spill != nullptr) {
+      // Persist the finished artifact and the service's warm state, so
+      // an identical rerun answers from disk and a different query over
+      // the same content starts with warm PC sets.
+      spill->PutLabelArtifact(dataset->fingerprint(), artifact_key,
+                              ToBinary(portable));
+      ServiceRegistry::Global().SpillResident();
+      out << "label artifact:    spilled to " << flags->spill_dir << "\n";
+    }
   }
   return kExitOk;
 }

@@ -24,6 +24,7 @@
 #include "api/session.h"
 #include "cli/commands.h"
 #include "cli/common.h"
+#include "pattern/service_registry.h"
 #include "util/str.h"
 
 namespace pcbl {
@@ -58,7 +59,10 @@ constexpr char kUsage[] =
     "                     scalar, avx2, neon, or auto (default)\n"
     "  --min-rows-per-morsel N\n"
     "                     minimum rows per morsel for intra-subset\n"
-    "                     parallel scans (0 disables)\n";
+    "                     parallel scans (0 disables)\n"
+    "  --spill-dir DIR    warm-start spill directory for the true-count\n"
+    "                     service: restores its cached PC sets before\n"
+    "                     the query and spills them back before exit\n";
 }  // namespace
 
 int CmdEstimate(const Args& args, std::ostream& out, std::ostream& err) {
@@ -70,7 +74,7 @@ int CmdEstimate(const Args& args, std::ostream& out, std::ostream& err) {
                                   "no-engine", "cache-budget",
                                   "service-budget", "no-result-cache",
                                   "result-cache-budget", "kernel",
-                                  "min-rows-per-morsel"});
+                                  "min-rows-per-morsel", "spill-dir"});
       !s.ok()) {
     return FailWith(s, "estimate", err);
   }
@@ -137,6 +141,11 @@ int CmdEstimate(const Args& args, std::ostream& out, std::ostream& err) {
     out << StrFormat("abs error: %.2f\n", abs_err);
     out << StrFormat("q-error:   %.2f\n", q_err);
     out << FormatSizingConfig(*flags);
+    // Spill the warmed service back before the stats print so the line
+    // already reflects the spilled bytes (docs/PERSISTENCE.md).
+    if (!flags->spill_dir.empty()) {
+      ServiceRegistry::Global().SpillResident();
+    }
     out << FormatRegistryStats();
   }
   return kExitOk;

@@ -24,6 +24,7 @@
 #include "cli/commands.h"
 #include "cli/common.h"
 #include "harness/tablefmt.h"
+#include "pattern/service_registry.h"
 #include "relation/stats.h"
 #include "util/str.h"
 
@@ -61,7 +62,11 @@ constexpr char kUsage[] =
     "                     scalar, avx2, neon, or auto (default)\n"
     "  --min-rows-per-morsel N\n"
     "                     minimum rows per morsel for intra-subset\n"
-    "                     parallel scans (0 disables)\n";
+    "                     parallel scans (0 disables)\n"
+    "  --spill-dir DIR    warm-start spill directory: restores the\n"
+    "                     dataset's cached PC sets before sizing and\n"
+    "                     spills them back before exit (valid without\n"
+    "                     --pairs — it configures the dataset itself)\n";
 }  // namespace
 
 int CmdProfile(const Args& args, std::ostream& out, std::ostream& err) {
@@ -72,7 +77,8 @@ int CmdProfile(const Args& args, std::ostream& out, std::ostream& err) {
   if (Status s = args.CheckKnown({"help", "pairs", "threads", "no-engine",
                                   "cache-budget", "service-budget",
                                   "no-result-cache", "result-cache-budget",
-                                  "kernel", "min-rows-per-morsel"});
+                                  "kernel", "min-rows-per-morsel",
+                                  "spill-dir"});
       !s.ok()) {
     return FailWith(s, "profile", err);
   }
@@ -82,7 +88,15 @@ int CmdProfile(const Args& args, std::ostream& out, std::ostream& err) {
   }
   auto flags = ParseServiceFlags(args);
   if (!flags.ok()) return FailWith(flags.status(), "profile", err);
-  if (!args.Has("pairs") && flags->any) {
+  // --spill-dir is exempt from the require-pairs rule: it configures the
+  // dataset's service (restore on acquire, spill on exit), which happens
+  // whether or not the pairwise sizing runs.
+  const bool sizing_flags_given =
+      args.Has("threads") || args.Has("no-engine") ||
+      args.Has("cache-budget") || args.Has("service-budget") ||
+      args.Has("no-result-cache") || args.Has("result-cache-budget") ||
+      args.Has("kernel") || args.Has("min-rows-per-morsel");
+  if (!args.Has("pairs") && sizing_flags_given) {
     return FailWith(
         InvalidArgumentError("--threads/--no-engine/--cache-budget/"
                              "--service-budget/--no-result-cache/"
@@ -111,7 +125,14 @@ int CmdProfile(const Args& args, std::ostream& out, std::ostream& err) {
   }
   out << grid.ToMarkdown();
 
-  if (!args.Has("pairs")) return kExitOk;
+  if (!args.Has("pairs")) {
+    // Even without the pairwise sizing the acquire may have warmed the
+    // service from the spill; persist whatever is resident before exit.
+    if (!flags->spill_dir.empty()) {
+      ServiceRegistry::Global().SpillResident();
+    }
+    return kExitOk;
+  }
 
   auto session = api::Session::Open(*dataset, flags->ToSessionOptions());
   if (!session.ok()) return FailWith(session.status(), "profile", err);
@@ -143,6 +164,11 @@ int CmdProfile(const Args& args, std::ostream& out, std::ostream& err) {
   }
   out << pair_grid.ToMarkdown();
   out << FormatSizingConfig(*flags);
+  // Spill the warmed service back before the stats print so the line
+  // already reflects the spilled bytes (docs/PERSISTENCE.md).
+  if (!flags->spill_dir.empty()) {
+    ServiceRegistry::Global().SpillResident();
+  }
   out << FormatRegistryStats();
   return kExitOk;
 }

@@ -11,6 +11,7 @@
 
 #include "cli/commands.h"
 #include "cli/common.h"
+#include "pattern/service_registry.h"
 #include "server/catalog.h"
 #include "server/server.h"
 #include "util/str.h"
@@ -44,6 +45,10 @@ constexpr char kUsage[] =
     "  --cache-budget N       per-tenant engine memoization budget\n"
     "  --result-cache-budget N\n"
     "                         per-tenant completed-result cache budget\n"
+    "  --spill-dir DIR        warm-start spill directory: restores each\n"
+    "                         dataset's cached PC sets on startup (the\n"
+    "                         first post-restart query runs without full\n"
+    "                         scans) and spills them back on shutdown\n"
     "  --verbose              per-request log lines on stderr\n";
 
 Status BuildCatalog(const std::string& spec, server::Catalog* catalog,
@@ -74,12 +79,17 @@ int CmdServe(const Args& args, std::ostream& out, std::ostream& err) {
            "tenant-max-inflight", "retry-after-ms", "max-frame-bytes",
            "service-budget", "cache-budget", "result-cache-budget",
            "no-engine", "no-result-cache", "threads", "kernel",
-           "min-rows-per-morsel", "verbose"});
+           "min-rows-per-morsel", "spill-dir", "verbose"});
       !s.ok()) {
     return FailWith(s, "serve", err);
   }
   auto flags = ParseServiceFlags(args);
   if (!flags.ok()) return FailWith(flags.status(), "serve", err);
+  // Applied up front (not just through each dataset's options) so
+  // datasets clients register later warm-start too.
+  if (!flags->spill_dir.empty()) {
+    ServiceRegistry::Global().SetSpillDirectory(flags->spill_dir);
+  }
 
   server::ServerOptions options;
   options.address = args.GetString("listen", "127.0.0.1:0");
@@ -130,6 +140,14 @@ int CmdServe(const Args& args, std::ostream& out, std::ostream& err) {
   out.flush();
 
   server.Wait();
+
+  // Orderly shutdown: spill every warm service before the stats print,
+  // so the next `pcbl serve --spill-dir` answers its first query from
+  // the spill instead of full-table scans (and the registry line below
+  // already shows the spilled bytes).
+  if (!flags->spill_dir.empty()) {
+    ServiceRegistry::Global().SpillResident();
+  }
 
   // Final per-tenant accounting, the log an operator reads after drain.
   const server::wire::StatsReply stats = server.BuildStatsReply("");

@@ -61,6 +61,7 @@ api::SessionOptions ServiceFlags::ToSessionOptions() const {
 api::DatasetOptions ServiceFlags::ToDatasetOptions() const {
   api::DatasetOptions options;
   options.service_memory_budget = service_budget;  // -1 = leave unchanged
+  options.spill_directory = spill_dir;             // "" = leave unchanged
   return options;
 }
 
@@ -95,6 +96,12 @@ Result<ServiceFlags> ParseServiceFlags(const Args& args) {
           "parallelism)");
     }
   }
+  if (args.Has("spill-dir")) {
+    flags.spill_dir = args.GetString("spill-dir", "");
+    if (flags.spill_dir.empty()) {
+      return InvalidArgumentError("--spill-dir needs a directory path");
+    }
+  }
   if (args.Has("kernel")) {
     // Applied process-globally right here: the kernel table is a
     // dispatch concern, not a per-session option, and
@@ -107,7 +114,7 @@ Result<ServiceFlags> ParseServiceFlags(const Args& args) {
               args.Has("cache-budget") || args.Has("service-budget") ||
               args.Has("no-result-cache") ||
               args.Has("result-cache-budget") || args.Has("kernel") ||
-              args.Has("min-rows-per-morsel");
+              args.Has("min-rows-per-morsel") || args.Has("spill-dir");
   return flags;
 }
 
@@ -156,6 +163,22 @@ std::string FormatRegistryStats() {
         stats.append_batches == 1 ? "" : "s",
         static_cast<long long>(stats.interned_values),
         stats.interned_values == 1 ? "" : "s");
+  }
+  // The warm-start spill store, once it saw any traffic.
+  if (stats.spill_hits + stats.spill_misses + stats.spill_rejects +
+          stats.spills >
+      0) {
+    line += StrFormat(
+        "; spill: %lld hit%s, %lld miss%s, %lld reject%s, "
+        "%lld spilled (%lld bytes)",
+        static_cast<long long>(stats.spill_hits),
+        stats.spill_hits == 1 ? "" : "s",
+        static_cast<long long>(stats.spill_misses),
+        stats.spill_misses == 1 ? "" : "es",
+        static_cast<long long>(stats.spill_rejects),
+        stats.spill_rejects == 1 ? "" : "s",
+        static_cast<long long>(stats.spills),
+        static_cast<long long>(stats.spilled_bytes));
   }
   line += "\n";
   return line;

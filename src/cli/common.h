@@ -63,6 +63,7 @@ struct ServiceFlags {
   int64_t result_cache_budget = -1;  ///< iff has_result_cache_budget
   bool has_result_cache_budget = false;
   int64_t min_rows_per_morsel = -1;  ///< -1 = engine default
+  std::string spill_dir;        ///< warm-start spill directory; "" = off
   bool any = false;             ///< any of the flags was present
 
   /// Session defaults carrying the per-invocation knobs.

@@ -494,6 +494,33 @@ void CountingEngine::CacheInsert(AttrMask mask,
   cache_.emplace(mask.bits(), std::move(counts));
 }
 
+std::vector<CountingEngine::CacheSnapshotEntry>
+CountingEngine::ExportCacheSnapshot() const {
+  std::vector<CacheSnapshotEntry> out;
+  out.reserve(cache_.size());
+  for (uint64_t bits : insertion_order_) {
+    auto it = cache_.find(bits);
+    PCBL_DCHECK(it != cache_.end());
+    if (it != cache_.end()) out.push_back({bits, false, it->second});
+  }
+  std::vector<uint64_t> pinned(pinned_.begin(), pinned_.end());
+  std::sort(pinned.begin(), pinned.end());
+  for (uint64_t bits : pinned) {
+    auto it = cache_.find(bits);
+    PCBL_DCHECK(it != cache_.end());
+    if (it != cache_.end()) out.push_back({bits, true, it->second});
+  }
+  return out;
+}
+
+void CountingEngine::ImportCacheSnapshot(
+    const std::vector<CacheSnapshotEntry>& entries) {
+  for (const CacheSnapshotEntry& entry : entries) {
+    if (entry.counts == nullptr) continue;
+    CacheInsert(AttrMask(entry.mask_bits), entry.counts, entry.pinned);
+  }
+}
+
 void CountingEngine::Reconfigure(const CountingEngineOptions& options) {
   options_ = options;
   EvictToBudget();

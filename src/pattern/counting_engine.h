@@ -260,6 +260,31 @@ class CountingEngine {
   /// backlog avoids the per-row call and per-row allocation entirely.
   void CopyAppendedRows(int64_t first, int64_t count, ValueId* out) const;
 
+  /// One cache entry as seen by the warm-start spill store
+  /// (src/persist/): the mask, whether it is pinned, and a handle on the
+  /// immutable PC set.
+  struct CacheSnapshotEntry {
+    uint64_t mask_bits = 0;
+    bool pinned = false;
+    std::shared_ptr<const GroupCounts> counts;
+  };
+
+  /// Exports every cached PC set: unpinned entries first in FIFO
+  /// insertion order (so replaying them through ImportCacheSnapshot
+  /// reproduces the eviction order), then pinned entries in ascending
+  /// mask order (deterministic — pinned_ is an unordered set). Requires
+  /// the same external serialization as the mutating calls.
+  std::vector<CacheSnapshotEntry> ExportCacheSnapshot() const;
+
+  /// Replays a snapshot through the normal insert path, in order: the
+  /// budget, FIFO order, the rollup trie, and the resident-bytes
+  /// accountant all see the entries exactly as if scans had
+  /// materialized them — under a smaller budget the oldest entries
+  /// simply evict again. Entries must describe this engine's current
+  /// data (base table plus any appends already applied); already-cached
+  /// masks are skipped.
+  void ImportCacheSnapshot(const std::vector<CacheSnapshotEntry>& entries);
+
   /// Resident cache bytes (keys + counts + per-entry overhead, pinned
   /// included). Safe to read without external serialization — this is
   /// one of the two engine observables the process-wide registry polls

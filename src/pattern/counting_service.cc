@@ -735,6 +735,63 @@ Status CountingService::EncodeTicket(
   return Status::Ok();
 }
 
+// --- warm-start persistence (docs/PERSISTENCE.md) --------------------------
+
+ServiceWarmState CountingService::ExportWarmState() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServiceWarmState state;
+  const Table& base = engine_.table();
+  const int n = base.num_attributes();
+  state.interner_deltas.resize(static_cast<size_t>(n));
+  for (int a = 0; a < n; ++a) {
+    const int64_t base_domain = base.DomainSize(a);
+    const int64_t added = interner_.AddedValues(a);
+    std::vector<std::string>& log =
+        state.interner_deltas[static_cast<size_t>(a)];
+    log.reserve(static_cast<size_t>(added));
+    for (int64_t i = 0; i < added; ++i) {
+      log.push_back(
+          interner_.GetString(a, static_cast<ValueId>(base_domain + i)));
+    }
+  }
+  const int64_t appended = engine_.num_appended_rows();
+  if (appended > 0 && n > 0) {
+    state.appended_rows.resize(static_cast<size_t>(appended * n));
+    engine_.CopyAppendedRows(0, appended, state.appended_rows.data());
+  }
+  state.entries = engine_.ExportCacheSnapshot();
+  return state;
+}
+
+void CountingService::RestoreWarmState(const ServiceWarmState& state) {
+  const int n = engine_.table().num_attributes();
+  // Stage the interner deltas outside the lock (Batch reads only
+  // committed state); everything else happens under it.
+  SharedInterner::Batch batch(interner_);
+  const size_t attrs =
+      std::min(state.interner_deltas.size(), static_cast<size_t>(n));
+  for (size_t a = 0; a < attrs; ++a) {
+    for (const std::string& value : state.interner_deltas[a]) {
+      (void)batch.Intern(static_cast<int>(a), value);
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  interner_.Commit(std::move(batch));
+  if (!state.appended_rows.empty() && n > 0) {
+    const int64_t rows =
+        static_cast<int64_t>(state.appended_rows.size()) / n;
+    std::vector<std::vector<ValueId>> delta(static_cast<size_t>(rows));
+    for (int64_t r = 0; r < rows; ++r) {
+      const ValueId* row = state.appended_rows.data() + r * n;
+      delta[static_cast<size_t>(r)].assign(row, row + n);
+    }
+    // The cache is still empty here, so ApplyAppend patches nothing —
+    // the imported entries below already reflect these rows.
+    engine_.ApplyAppend(delta);
+  }
+  engine_.ImportCacheSnapshot(state.entries);
+}
+
 AppendBatchStats CountingService::append_stats() const {
   AppendBatchStats stats;
   {

@@ -197,6 +197,38 @@ struct ResultProbe {
   std::shared_future<QueryResultHandle> join;
 };
 
+/// Everything a CountingService accumulates beyond its immutable base
+/// table — the state worth carrying across a process restart. The spill
+/// store (src/persist/) serializes this; ExportWarmState produces it and
+/// RestoreWarmState replays it onto a freshly built service over a
+/// content-identical base table, after which searches, true counts, and
+/// profiles answer byte-identically to the service that exported it.
+struct ServiceWarmState {
+  /// Per-attribute interner delta logs: interner_deltas[a] holds the
+  /// values appended beyond attribute a's base dictionary, in committed
+  /// code order (code = base domain size + position).
+  std::vector<std::vector<std::string>> interner_deltas;
+
+  /// Appended rows, row-major with one ValueId per attribute in schema
+  /// order (num_attributes stride), in append order. Codes beyond the
+  /// base domain refer into interner_deltas.
+  std::vector<ValueId> appended_rows;
+
+  /// The engine's memoized PC sets, in CountingEngine::ExportCacheSnapshot
+  /// order (FIFO first, pinned after). Entries reflect base + appended
+  /// rows — they were patched at append time, so restore applies the
+  /// rows first and imports the entries as-is.
+  std::vector<CountingEngine::CacheSnapshotEntry> entries;
+
+  bool empty() const {
+    if (!appended_rows.empty() || !entries.empty()) return false;
+    for (const std::vector<std::string>& log : interner_deltas) {
+      if (!log.empty()) return false;
+    }
+    return true;
+  }
+};
+
 class CountingService {
  public:
   /// Default byte budget of the completed-result cache.
@@ -499,6 +531,27 @@ class CountingService {
   bool has_absorbed_appends() const {
     return engine_.AppendedRowsRelaxed() > 0;
   }
+
+  // -- warm-start persistence (src/persist/, docs/PERSISTENCE.md) -------
+
+  /// Snapshots the state worth spilling across a restart: interner
+  /// deltas, appended rows, and every cached PC set. Self-locks
+  /// mutex(); safe concurrently with queries (they take the same lock).
+  /// The completed-result tier is deliberately absent — results are
+  /// type-erased api objects, and a warm engine cache rebuilds them
+  /// without scans.
+  ServiceWarmState ExportWarmState() const;
+
+  /// Replays a warm state onto this service, which must be freshly
+  /// built over a base table content-identical to the exporter's (and
+  /// must not have served appends yet — the spill store's fingerprint
+  /// key guarantees the former, the registry's acquire path the
+  /// latter). Order matters and is handled here: interner deltas commit
+  /// first, appended rows apply while the cache is still empty (so
+  /// nothing is patched twice), then the cache entries — already
+  /// delta-patched at export time — import through the normal insert
+  /// path. Self-locks mutex().
+  void RestoreWarmState(const ServiceWarmState& state);
 
  private:
   // One queued wave request; outputs (or `error`) are written by the

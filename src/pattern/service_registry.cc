@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "persist/spill_store.h"
 #include "util/hash.h"
 #include "util/logging.h"
 
@@ -126,6 +127,7 @@ std::shared_ptr<CountingService> ServiceRegistry::AcquireLocked(
         std::make_shared<CountingService>(entry.table, options);
     it = services_.emplace(fingerprint, std::move(entry)).first;
     ++stats_.misses;
+    RestoreFromSpillLocked(fingerprint, it->second);
   } else if (it->second.service->has_absorbed_appends()) {
     // The cached service absorbed appends (an incremental session grew
     // it) and no longer describes this fingerprint's content. Retire it
@@ -134,6 +136,7 @@ std::shared_ptr<CountingService> ServiceRegistry::AcquireLocked(
     it->second.service =
         std::make_shared<CountingService>(it->second.table, options);
     ++stats_.misses;
+    RestoreFromSpillLocked(fingerprint, it->second);
   } else {
     ++stats_.hits;
   }
@@ -141,6 +144,59 @@ std::shared_ptr<CountingService> ServiceRegistry::AcquireLocked(
   std::shared_ptr<CountingService> service = it->second.service;
   TrimLocked();
   return service;
+}
+
+void ServiceRegistry::RestoreFromSpillLocked(
+    const TableFingerprint& fingerprint, const Entry& entry) {
+  if (spill_ == nullptr) return;
+  // Only a base-content record may warm an acquire: a record carrying
+  // appended rows describes *grown* content, and restoring it here
+  // would hand base-content callers counts over data they never
+  // acquired. (Diverged round-trips still work — through
+  // CountingService::RestoreWarmState directly, for a consumer that
+  // wants the grown state back.)
+  std::optional<ServiceWarmState> state =
+      spill_->GetWarmState(fingerprint, *entry.table, /*base_only=*/true);
+  if (state.has_value()) entry.service->RestoreWarmState(*state);
+}
+
+bool ServiceRegistry::SpillEntryLocked(const TableFingerprint& fingerprint,
+                                       const Entry& entry) {
+  if (spill_ == nullptr) return false;
+  // A diverged service's PC sets describe base + appended rows; keyed
+  // under the base fingerprint they would only ever be rejected by the
+  // base-only acquire path, so skip the write.
+  if (entry.service->has_absorbed_appends()) return false;
+  const ServiceWarmState state = entry.service->ExportWarmState();
+  if (state.empty()) return false;
+  return spill_->PutWarmState(fingerprint, *entry.table, state);
+}
+
+void ServiceRegistry::SetSpillDirectory(const std::string& directory) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (directory.empty()) {
+    spill_ = nullptr;
+    return;
+  }
+  if (spill_ != nullptr && spill_->directory() == directory) return;
+  persist::SpillStoreOptions options;
+  options.directory = directory;
+  spill_ = std::make_shared<persist::SpillStore>(std::move(options));
+}
+
+std::shared_ptr<persist::SpillStore> ServiceRegistry::spill_store() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spill_;
+}
+
+int64_t ServiceRegistry::SpillResident() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spill_ == nullptr) return 0;
+  int64_t spilled = 0;
+  for (const auto& [fingerprint, entry] : services_) {
+    if (SpillEntryLocked(fingerprint, entry)) ++spilled;
+  }
+  return spilled;
 }
 
 void ServiceRegistry::SetMemoryBudget(int64_t bytes) {
@@ -187,6 +243,10 @@ void ServiceRegistry::TrimLocked() {
     // against future acquire paths that might hand out references
     // without bumping use_count.
     if (it->second.service->in_flight() > 0) continue;
+    // An eviction is exactly the "expensive state about to be lost"
+    // moment: spill it first so the next acquire of this content —
+    // this process or the next — starts warm instead of rescanning.
+    SpillEntryLocked(*fp, it->second);
     it->second.service->MarkEvicted();
     resident -= entry_bytes(it->second);
     services_.erase(it);
@@ -227,6 +287,14 @@ ServiceRegistryStats ServiceRegistry::stats() const {
   for (const auto& [fp, entry] : services_) {
     // results_mu_ is a leaf lock, safe to take under mu_.
     AccumulateServiceStats(*entry.service, &stats);
+  }
+  if (spill_ != nullptr) {
+    const persist::SpillStoreStats spill = spill_->stats();
+    stats.spill_hits = spill.hits;
+    stats.spill_misses = spill.misses;
+    stats.spill_rejects = spill.rejects;
+    stats.spills = spill.spills;
+    stats.spilled_bytes = spill.spilled_bytes;
   }
   return stats;
 }

@@ -55,6 +55,10 @@
 
 namespace pcbl {
 
+namespace persist {
+class SpillStore;
+}  // namespace persist
+
 /// 128-bit content hash of a table: schema names, per-attribute
 /// dictionary contents, and column data (incl. NULL positions). Two
 /// tables with equal fingerprints have identical code spaces.
@@ -111,6 +115,16 @@ struct ServiceRegistryStats {
   int64_t append_batches = 0;
   int64_t append_requests = 0;
   int64_t interned_values = 0;
+  /// Warm-start spill-store counters (docs/PERSISTENCE.md): zero until
+  /// SetSpillDirectory points the registry at a cache directory. Loads
+  /// that restored a warm service / found no spill file / refused one
+  /// (corrupt, foreign version, diverged), records written, and the
+  /// bytes they cost on disk.
+  int64_t spill_hits = 0;
+  int64_t spill_misses = 0;
+  int64_t spill_rejects = 0;
+  int64_t spills = 0;
+  int64_t spilled_bytes = 0;
 };
 
 /// Folds one service's result-tier and append-path counters into
@@ -162,6 +176,27 @@ class ServiceRegistry {
   /// eviction never races a live wave. Primarily for tests.
   void Clear();
 
+  /// Points the registry at a spill directory (persist::SpillStore,
+  /// docs/PERSISTENCE.md): acquire-misses then consult the store first
+  /// (a validated warm-state record restores the new service's interner
+  /// deltas, appended rows, and cached PC sets before it is handed
+  /// out), and eviction spills a warm non-diverged service's state on
+  /// the way out. An empty directory disables spilling; changing the
+  /// directory replaces the store (counters restart from zero).
+  void SetSpillDirectory(const std::string& directory);
+
+  /// The active spill store (null while disabled). Consumers that
+  /// persist their own artifacts — e.g. `pcbl build` spilling a
+  /// completed label — go through this handle so everything lands in
+  /// one directory under one budget.
+  std::shared_ptr<persist::SpillStore> spill_store() const;
+
+  /// Spills every resident warm non-diverged service's state now — the
+  /// orderly-shutdown hook (`pcbl serve` calls it after the listener
+  /// stops, the batch CLIs before exit). Returns the number of services
+  /// spilled. No-op without a spill directory.
+  int64_t SpillResident();
+
   /// Records one query refused because its service was evicted; called
   /// by api::Session, surfaced through stats().evicted_rejections (and
   /// the CLI's registry line).
@@ -199,12 +234,26 @@ class ServiceRegistry {
       const CountingEngineOptions& options);
   void TrimLocked();
   int64_t ResidentBytesLocked() const;
+  // Spills one entry's warm state (no-op when the store is off, the
+  // service diverged, or there is nothing warm to keep). True when a
+  // record was written.
+  bool SpillEntryLocked(const TableFingerprint& fingerprint,
+                        const Entry& entry);
+  // Restores a just-built service from the spill store (no-op when the
+  // store is off, the record is missing, or validation refuses it — the
+  // service then simply starts cold).
+  void RestoreFromSpillLocked(const TableFingerprint& fingerprint,
+                              const Entry& entry);
 
   mutable std::mutex mu_;
   ServiceRegistryOptions options_;
   ServiceRegistryStats stats_;
   uint64_t clock_ = 0;
   std::unordered_map<TableFingerprint, Entry, FingerprintHash> services_;
+  // Warm-start persistence; null while disabled. Guarded by mu_ (the
+  // store itself is thread-safe — the shared_ptr lets spill_store()
+  // hand out a stable handle).
+  std::shared_ptr<persist::SpillStore> spill_;
   // Outside mu_: bumped on the query path (api::Session) while Clear may
   // be quiescing services under mu_ — an atomic avoids the lock cycle.
   std::atomic<int64_t> evicted_rejections_{0};

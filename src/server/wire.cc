@@ -567,6 +567,11 @@ void EncodeRegistryStats(const ServiceRegistryStats& stats, Writer* out) {
   out->I64(stats.append_batches);
   out->I64(stats.append_requests);
   out->I64(stats.interned_values);
+  out->I64(stats.spill_hits);
+  out->I64(stats.spill_misses);
+  out->I64(stats.spill_rejects);
+  out->I64(stats.spills);
+  out->I64(stats.spilled_bytes);
 }
 
 Result<ServiceRegistryStats> DecodeRegistryStats(Reader& in) {
@@ -586,6 +591,11 @@ Result<ServiceRegistryStats> DecodeRegistryStats(Reader& in) {
   stats.append_batches = in.I64();
   stats.append_requests = in.I64();
   stats.interned_values = in.I64();
+  stats.spill_hits = in.I64();
+  stats.spill_misses = in.I64();
+  stats.spill_rejects = in.I64();
+  stats.spills = in.I64();
+  stats.spilled_bytes = in.I64();
   if (!in.ok()) return InvalidArgumentError("malformed registry stats");
   return stats;
 }

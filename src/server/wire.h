@@ -46,7 +46,10 @@ namespace wire {
 
 /// "PCBW" read little-endian — distinct from the label format's "PCBL".
 inline constexpr uint32_t kMagic = 0x57424350;
-inline constexpr uint16_t kProtocolVersion = 1;
+/// v2: registry stats grew the five warm-start spill counters
+/// (spill_hits/misses/rejects, spills, spilled_bytes) — appended to the
+/// kStats registry-stats block, which changes that reply's byte layout.
+inline constexpr uint16_t kProtocolVersion = 2;
 
 /// Default ceiling on one frame's payload. A decoder never allocates
 /// more than the configured maximum, whatever the length field claims.

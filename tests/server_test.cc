@@ -17,6 +17,7 @@
 
 #include <sys/socket.h>
 
+#include <filesystem>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -29,6 +30,7 @@
 #include "api/dataset.h"
 #include "api/query.h"
 #include "api/session.h"
+#include "pattern/service_registry.h"
 #include "relation/csv.h"
 #include "server/client.h"
 #include "server/socket_io.h"
@@ -45,10 +47,14 @@ using api::QueryResult;
 using api::QuerySpec;
 using api::Session;
 
-Dataset PrivateDataset(const Table& table) {
+DatasetOptions PrivateOptions() {
   DatasetOptions options;
   options.private_service = true;
-  auto dataset = Dataset::FromTable(table, options);
+  return options;
+}
+
+Dataset PrivateDataset(const Table& table) {
+  auto dataset = Dataset::FromTable(table, PrivateOptions());
   PCBL_CHECK(dataset.ok()) << dataset.status();
   return *dataset;
 }
@@ -79,7 +85,7 @@ Client MustConnect(const std::string& address) {
 
 TEST(ServerTest, MatchesInProcessResultsAcrossConcurrentTenants) {
   Table table = workload::MakeCompas(600, 11).value();
-  Catalog catalog(DatasetOptions{.private_service = true});
+  Catalog catalog(PrivateOptions());
   ASSERT_TRUE(catalog.Add("compas", PrivateDataset(table)).ok());
   const Dataset dataset = *catalog.Lookup("compas");
 
@@ -132,7 +138,7 @@ TEST(ServerTest, ContentEqualTenantsShareOneWarmService) {
   // covers dictionary code assignment, so identical text is the unit of
   // content equality (not merely row-wise equal values).
   const std::string csv = WriteCsvString(table);
-  Catalog catalog(DatasetOptions{.private_service = true});
+  Catalog catalog(PrivateOptions());
   auto seeded = catalog.RegisterCsvText("first", csv);
   ASSERT_TRUE(seeded.ok()) << seeded.status();
   EXPECT_FALSE(seeded->shared_existing);
@@ -174,7 +180,7 @@ TEST(ServerTest, ContentEqualTenantsShareOneWarmService) {
 
 TEST(ServerTest, OverloadShedsImmediatelyAndRetrySucceeds) {
   Table table = workload::MakeCompas(400, 31).value();
-  Catalog catalog(DatasetOptions{.private_service = true});
+  Catalog catalog(PrivateOptions());
   ASSERT_TRUE(catalog.Add("compas", PrivateDataset(table)).ok());
   const Dataset dataset = *catalog.Lookup("compas");
 
@@ -238,7 +244,7 @@ TEST(ServerTest, OverloadShedsImmediatelyAndRetrySucceeds) {
 }
 
 TEST(ServerTest, UnknownDatasetIsNotFound) {
-  Catalog catalog(DatasetOptions{.private_service = true});
+  Catalog catalog(PrivateOptions());
   Server server(&catalog, ServerOptions{});
   ASSERT_TRUE(server.Start().ok());
   Client client = MustConnect(server.bound_address());
@@ -252,7 +258,7 @@ TEST(ServerTest, UnknownDatasetIsNotFound) {
 TEST(ServerTest, RegisterConflictsAndIdempotence) {
   Table table = workload::MakeCompas(200, 5).value();
   Table other = workload::MakeCompas(210, 6).value();
-  Catalog catalog(DatasetOptions{.private_service = true});
+  Catalog catalog(PrivateOptions());
   Server server(&catalog, ServerOptions{});
   ASSERT_TRUE(server.Start().ok());
   Client client = MustConnect(server.bound_address());
@@ -282,7 +288,7 @@ TEST(ServerTest, RegisterConflictsAndIdempotence) {
 }
 
 TEST(ServerTest, CorruptAndOversizedFramesAreRejected) {
-  Catalog catalog(DatasetOptions{.private_service = true});
+  Catalog catalog(PrivateOptions());
   Server server(&catalog, ServerOptions{});
   ASSERT_TRUE(server.Start().ok());
 
@@ -336,8 +342,64 @@ TEST(ServerTest, CorruptAndOversizedFramesAreRejected) {
   server.Stop();
 }
 
+// The restart-warm differential (docs/PERSISTENCE.md): a server over a
+// --spill-dir dataset answers, is shut down orderly (spill-on-exit, as
+// cmd_serve.cc does after Wait), and a *fresh* catalog + server over the
+// same content and directory answers the same query byte-identically
+// without a single full-table scan — the warm cache came off disk.
+TEST(ServerTest, RestartWithSpillDirAnswersFirstQueryWithoutFullScans) {
+  const std::string dir = ::testing::TempDir() + "pcbl_server_restart";
+  std::filesystem::remove_all(dir);
+  Table table = workload::MakeCompas(700, 19).value();
+  DatasetOptions options;
+  options.spill_directory = dir;
+  const QuerySpec spec = QuerySpec::LabelSearch(40);
+
+  ServiceRegistry::Global().Clear();
+  std::string want;
+  {
+    Catalog catalog(options);
+    auto dataset = Dataset::FromTable(table, options);
+    ASSERT_TRUE(dataset.ok()) << dataset.status();
+    ASSERT_TRUE(catalog.Add("compas", *dataset).ok());
+    Server server(&catalog, ServerOptions{});
+    ASSERT_TRUE(server.Start().ok());
+    Client client = MustConnect(server.bound_address());
+    auto result = client.Query("tenant", "compas", spec);
+    ASSERT_TRUE(result.ok()) << result.status();
+    ASSERT_TRUE(result->status.ok()) << result->status;
+    want = CanonicalBytes(*result);
+    EXPECT_GT(dataset->service()->stats().full_scans, 0);
+    server.Stop();
+    EXPECT_EQ(ServiceRegistry::Global().SpillResident(), 1);
+  }
+
+  // "Restart": drop every in-memory service, then rebuild the world.
+  ServiceRegistry::Global().Clear();
+  {
+    Catalog catalog(options);
+    auto dataset = Dataset::FromTable(table, options);
+    ASSERT_TRUE(dataset.ok()) << dataset.status();
+    ASSERT_TRUE(catalog.Add("compas", *dataset).ok());
+    Server server(&catalog, ServerOptions{});
+    ASSERT_TRUE(server.Start().ok());
+    Client client = MustConnect(server.bound_address());
+    auto result = client.Query("tenant", "compas", spec);
+    ASSERT_TRUE(result.ok()) << result.status();
+    ASSERT_TRUE(result->status.ok()) << result->status;
+    EXPECT_EQ(CanonicalBytes(*result), want);
+    EXPECT_EQ(catalog.Lookup("compas")->service()->stats().full_scans, 0)
+        << "the first post-restart query should be answered entirely "
+           "from the restored warm cache";
+    server.Stop();
+  }
+  // Restore the process-wide registry for the other tests.
+  ServiceRegistry::Global().SetSpillDirectory("");
+  ServiceRegistry::Global().Clear();
+}
+
 TEST(ServerTest, ShutdownRequestUnblocksWait) {
-  Catalog catalog(DatasetOptions{.private_service = true});
+  Catalog catalog(PrivateOptions());
   Server server(&catalog, ServerOptions{});
   ASSERT_TRUE(server.Start().ok());
   std::thread waiter([&] { server.Wait(); });

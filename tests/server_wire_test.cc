@@ -59,7 +59,7 @@ constexpr char kGoldenProfileSpec[] =
     "\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00";
 
 constexpr char kGoldenQueryFrame[] =
-    "\x50\x43\x42\x57\x01\x00\x02\x00\x03\x00\x00\x00"
+    "\x50\x43\x42\x57\x02\x00\x02\x00\x03\x00\x00\x00"
     "\x61\x62\x63";
 
 QuerySpec FullSearchSpec() {
@@ -443,6 +443,11 @@ TEST(WireStatsTest, StatsReplyRoundTrips) {
   reply.registry.services = 1;
   reply.registry.resident_bytes = 1 << 20;
   reply.registry.interned_values = 12;
+  reply.registry.spill_hits = 5;
+  reply.registry.spill_misses = 7;
+  reply.registry.spill_rejects = 1;
+  reply.registry.spills = 8;
+  reply.registry.spilled_bytes = 1 << 16;
 
   wire::Writer out;
   wire::EncodeStatsReply(reply, &out);
@@ -458,6 +463,11 @@ TEST(WireStatsTest, StatsReplyRoundTrips) {
   EXPECT_EQ(got->registry.acquires, 9);
   EXPECT_EQ(got->registry.resident_bytes, 1 << 20);
   EXPECT_EQ(got->registry.interned_values, 12);
+  EXPECT_EQ(got->registry.spill_hits, 5);
+  EXPECT_EQ(got->registry.spill_misses, 7);
+  EXPECT_EQ(got->registry.spill_rejects, 1);
+  EXPECT_EQ(got->registry.spills, 8);
+  EXPECT_EQ(got->registry.spilled_bytes, 1 << 16);
 }
 
 TEST(WireRequestTest, RequestsRoundTrip) {

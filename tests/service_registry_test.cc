@@ -7,7 +7,10 @@
 #include "pattern/service_registry.h"
 
 #include <atomic>
+#include <filesystem>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -278,6 +281,59 @@ TEST(ServiceRegistryTest, HotServicesSurviveTrim) {
   registry.Trim();
   EXPECT_EQ(registry.stats().evictions, 1);
   EXPECT_EQ(registry.stats().services, 0);
+}
+
+// The spill counters surfaced by `pcbl serve` kStats replies and the
+// CLI registry: line (cli::FormatRegistryStats): zero without a
+// directory, miss → spill → hit across two registry lifetimes over one
+// directory, and disabled again when the directory is unset.
+TEST(ServiceRegistryTest, SpillCountersFlowThroughStats) {
+  const std::string dir = ::testing::TempDir() + "pcbl_registry_counters";
+  std::filesystem::remove_all(dir);
+  Table t = workload::MakeCompas(700, 13).value();
+
+  // Without a directory every spill counter stays zero whatever the
+  // traffic — the stats block must not invent a disabled subsystem.
+  ServiceRegistry registry;
+  {
+    auto service = registry.Acquire(t);
+    EXPECT_EQ(registry.SpillResident(), 0);
+    const ServiceRegistryStats stats = registry.stats();
+    EXPECT_EQ(stats.spill_hits, 0);
+    EXPECT_EQ(stats.spill_misses, 0);
+    EXPECT_EQ(stats.spill_rejects, 0);
+    EXPECT_EQ(stats.spills, 0);
+    EXPECT_EQ(stats.spilled_bytes, 0);
+    registry.Clear();
+  }
+
+  registry.SetSpillDirectory(dir);
+  {
+    auto service = registry.Acquire(t);
+    EXPECT_EQ(registry.stats().spill_misses, 1);  // cold directory
+    std::lock_guard<std::mutex> lock(service->mutex());
+    ForEachSubsetOfSize(t.num_attributes(), 2, [&](AttrMask s) {
+      service->engine().PatternCounts(s);
+    });
+  }
+  EXPECT_EQ(registry.SpillResident(), 1);
+  EXPECT_EQ(registry.stats().spills, 1);
+  EXPECT_GT(registry.stats().spilled_bytes, 0);
+
+  ServiceRegistry fresh;
+  fresh.SetSpillDirectory(dir);
+  auto warmed = fresh.Acquire(t);
+  EXPECT_EQ(fresh.stats().spill_hits, 1);
+  EXPECT_EQ(fresh.stats().spill_misses, 0);
+  {
+    std::lock_guard<std::mutex> lock(warmed->mutex());
+    warmed->engine().PatternCounts(AttrMask::FromIndices({0, 1}));
+  }
+  EXPECT_EQ(warmed->stats().full_scans, 0);
+
+  // Unsetting the directory turns the subsystem back off.
+  fresh.SetSpillDirectory("");
+  EXPECT_EQ(fresh.SpillResident(), 0);
 }
 
 // Concurrency stress: N threads acquire the same fingerprint and size
